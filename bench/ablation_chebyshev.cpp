@@ -1,0 +1,99 @@
+// Ablation: dense eigendecomposition vs matrix-free Chebyshev mixing for
+// constrained (Clique-mixer) problems — the extension that removes the
+// paper's stated limiting factor ("memory requirements in finding the
+// eigendecomposition of the Clique mixer matrix", §2.2).
+//
+// For each Dicke space we report: setup time, per-application time at a
+// representative beta, long-lived memory, and the agreement between the
+// two propagators. Dense storage grows O(dim^2); the Chebyshev path keeps
+// only per-edge index tables, O(|E| * dim).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/alloc.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mixers/chebyshev_mixer.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "problems/state_space.hpp"
+
+
+int main(int argc, char** argv) {
+  using namespace fastqaoa;
+  namespace bu = benchutil;
+
+  const bool full = bu::has_flag(argc, argv, "--full");
+  bu::banner("Ablation",
+             "dense eigendecomposition vs matrix-free Chebyshev mixing",
+             full);
+  const double beta = 0.5;
+  std::printf("Clique mixer on Dicke(n, n/2), beta = %.2f\n\n", beta);
+  std::printf("%10s %6s | %12s %12s | %12s %12s | %12s %12s | %10s %6s\n",
+              "space", "dim", "eig setup", "cheb setup", "eig apply",
+              "cheb apply", "eig bytes", "cheb bytes", "|diff|", "K");
+
+  // The dense eigendecomposition is the object under study and is O(dim^3):
+  // Dicke(14,7) already takes ~9 minutes of setup on one core, so the
+  // reduced sweep stops at n=12 and the paper-scale pain is left to --full.
+  const int n_max = full ? 14 : 12;
+  for (int n = 8; n <= n_max; n += 2) {
+    const int k = n / 2;
+    StateSpace space = StateSpace::dicke(n, k);
+
+    MemoryTracker::reset_peak();
+    const std::size_t base = MemoryTracker::current_bytes();
+    WallTimer setup_eig;
+    EigenMixer exact = EigenMixer::clique(space);
+    const double t_setup_eig = setup_eig.seconds();
+    const std::size_t eig_bytes = MemoryTracker::current_bytes() - base;
+
+    const std::size_t base2 = MemoryTracker::current_bytes();
+    WallTimer setup_cheb;
+    ChebyshevMixer cheb = ChebyshevMixer::clique(space, 1e-10);
+    const double t_setup_cheb = setup_cheb.seconds();
+    // Index tables live outside the tracked allocator (std::vector<index_t>
+    // with the default allocator); account analytically.
+    const std::size_t cheb_bytes =
+        (MemoryTracker::current_bytes() - base2) +
+        static_cast<std::size_t>(n * (n - 1) / 2) * space.dim() *
+            sizeof(index_t);
+
+    Rng rng(static_cast<std::uint64_t>(n));
+    cvec reference(space.dim());
+    double norm_sq = 0.0;
+    for (auto& a : reference) {
+      a = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+      norm_sq += std::norm(a);
+    }
+    for (auto& a : reference) a /= std::sqrt(norm_sq);
+
+    cvec scratch;
+    const double t_eig = bu::time_median([&] {
+      cvec psi = reference;
+      exact.apply_exp(psi, beta, scratch);
+    }, 3);
+    const double t_cheb = bu::time_median([&] {
+      cvec psi = reference;
+      cheb.apply_exp(psi, beta, scratch);
+    }, 3);
+
+    cvec a = reference;
+    cvec b = reference;
+    exact.apply_exp(a, beta, scratch);
+    cheb.apply_exp(b, beta, scratch);
+
+    std::printf("Dicke(%2d,%d) %6zu | %10.3fs %10.3fs | %10.2e %10.2e | "
+                "%12zu %12zu | %10.1e %6d\n",
+                n, k, space.dim(), t_setup_eig, t_setup_cheb, t_eig, t_cheb,
+                eig_bytes, cheb_bytes, linalg::max_abs_diff(a, b),
+                cheb.last_degree());
+  }
+
+  std::printf("\nshape: dense setup grows ~dim^3 and storage ~dim^2; the "
+              "Chebyshev path has trivial setup, O(|E| dim) storage, and a "
+              "per-application cost ~K sparse sweeps with K ~ beta * "
+              "spectral-radius — it extends constrained mixing past the "
+              "memory wall the paper reports at n=18.\n");
+  return 0;
+}

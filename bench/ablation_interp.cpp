@@ -1,0 +1,93 @@
+// Ablation: the value of INTERP extrapolation in the iterative angle
+// finder (DESIGN.md §5). find_angles() seeds round p with the
+// piecewise-linear resampling of the round-(p-1) optimum; this harness
+// compares that seeding against (a) cold random seeds per p with the same
+// basinhopping budget, and (b) the raw INTERP seed *without* any
+// refinement — quantifying both the head start and the refinement gain.
+
+#include <cstdio>
+#include <vector>
+
+#include "anglefind/strategies.hpp"
+#include "bench_util.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+#include "study/ensemble.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fastqaoa;
+  namespace bu = benchutil;
+
+  const bool full = bu::has_flag(argc, argv, "--full");
+  const int n = static_cast<int>(bu::int_option(argc, argv, "--n",
+                                                full ? 12 : 10));
+  const int max_p = static_cast<int>(bu::int_option(argc, argv, "--p",
+                                                    full ? 8 : 5));
+  const int instances = static_cast<int>(
+      bu::int_option(argc, argv, "--instances", full ? 20 : 6));
+  bu::banner("Ablation", "INTERP extrapolation seeding vs cold restarts",
+             full);
+  std::printf("%d MaxCut instances, n=%d, p=1..%d\n\n", instances, n, max_p);
+
+  XMixer mixer = XMixer::transverse_field(n);
+  Rng master(31337);
+
+  std::vector<double> mean_interp(static_cast<std::size_t>(max_p), 0.0);
+  std::vector<double> mean_cold(static_cast<std::size_t>(max_p), 0.0);
+  std::vector<double> mean_seed_only(static_cast<std::size_t>(max_p), 0.0);
+
+  for (int inst = 0; inst < instances; ++inst) {
+    Rng rng = master.fork();
+    Graph g = erdos_renyi(n, 0.5, rng);
+    dvec table = tabulate(StateSpace::full(n),
+                          [&g](state_t x) { return maxcut(g, x); });
+
+    // (1) INTERP-seeded iterative search (the production path).
+    FindAnglesOptions opt;
+    opt.seed = rng();
+    opt.hopping.hops = 5;
+    auto schedules = find_angles(mixer, table, max_p, opt);
+    for (int p = 1; p <= max_p; ++p) {
+      mean_interp[static_cast<std::size_t>(p - 1)] += approximation_ratio(
+          schedules[static_cast<std::size_t>(p - 1)].expectation, table);
+    }
+
+    // (2) Cold start per p: same total basinhopping budget, random seed.
+    for (int p = 1; p <= max_p; ++p) {
+      std::vector<double> x0(static_cast<std::size_t>(2 * p));
+      for (auto& a : x0) a = rng.uniform(0.0, 2.0 * kPi);
+      FindAnglesOptions cold = opt;
+      cold.seed = rng();
+      AngleSchedule s = find_angles_at(mixer, table, p, x0, cold);
+      mean_cold[static_cast<std::size_t>(p - 1)] +=
+          approximation_ratio(s.expectation, table);
+    }
+
+    // (3) The raw INTERP seed evaluated without refinement.
+    for (int p = 2; p <= max_p; ++p) {
+      const AngleSchedule& prev = schedules[static_cast<std::size_t>(p - 2)];
+      std::vector<double> seed;
+      const auto betas = interp_extrapolate(prev.betas);
+      const auto gammas = interp_extrapolate(prev.gammas);
+      seed.insert(seed.end(), betas.begin(), betas.end());
+      seed.insert(seed.end(), gammas.begin(), gammas.end());
+      mean_seed_only[static_cast<std::size_t>(p - 1)] += approximation_ratio(
+          evaluate_angles(mixer, table, seed), table);
+    }
+    mean_seed_only[0] += approximation_ratio(
+        schedules[0].expectation, table);  // p=1 has no extrapolation
+  }
+
+  std::printf("%4s %18s %18s %20s\n", "p", "INTERP+basinhop",
+              "cold basinhop", "raw INTERP seed");
+  for (int p = 1; p <= max_p; ++p) {
+    const auto i = static_cast<std::size_t>(p - 1);
+    std::printf("%4d %18.4f %18.4f %20.4f\n", p, mean_interp[i] / instances,
+                mean_cold[i] / instances, mean_seed_only[i] / instances);
+  }
+  std::printf("\nexpected shape: the raw INTERP seed alone already tracks "
+              "the previous round's quality (smooth angle profiles), and "
+              "seeded refinement matches or beats cold restarts of equal "
+              "budget, with the gap growing at larger p.\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Kernel ablations (google-benchmark): quantify each specialization the
+// library's design leans on (DESIGN.md §5).
+//
+//   * WHT diagonal frame vs dense eigendecomposition for X mixers
+//     (O(n 2^n) vs O(4^n) per application),
+//   * rank-1 Grover update vs dense eigenmixer application,
+//   * real-V GEMV fast path vs complex GEMV for constrained mixers,
+//   * fused phase+scale pass vs separate passes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/vector_ops.hpp"
+#include "linalg/wht.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "mixers/grover_mixer.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/state_space.hpp"
+
+namespace {
+
+using namespace fastqaoa;
+
+cvec random_state(index_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  cvec psi(dim);
+  double norm_sq = 0.0;
+  for (auto& a : psi) {
+    a = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    norm_sq += std::norm(a);
+  }
+  for (auto& a : psi) a /= std::sqrt(norm_sq);
+  return psi;
+}
+
+/// X-mixer exponential through the WHT diagonal frame (the production path).
+void BM_XMixer_WHT(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  XMixer mixer = XMixer::transverse_field(n);
+  cvec psi = random_state(index_t{1} << n, 1);
+  cvec scratch;
+  for (auto _ : state) {
+    mixer.apply_exp(psi, 0.37, scratch);
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_XMixer_WHT)->DenseRange(6, 14, 2);
+
+/// Same mixer, applied as a dense eigendecomposition (what a generic
+/// "store V, D" implementation pays when it ignores the H^{⊗n} structure).
+void BM_XMixer_DenseEigen(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const index_t dim = index_t{1} << n;
+  // The transverse-field Hamiltonian is dense-diagonalizable as a real
+  // symmetric matrix <y|H|x> = [popcount(x^y)==1].
+  linalg::dmat h(dim, dim);
+  for (index_t x = 0; x < dim; ++x) {
+    for (int q = 0; q < n; ++q) h(x ^ (index_t{1} << q), x) += 1.0;
+  }
+  EigenMixer mixer = EigenMixer::from_hamiltonian(std::move(h), "dense-tf");
+  cvec psi = random_state(dim, 2);
+  cvec scratch;
+  for (auto _ : state) {
+    mixer.apply_exp(psi, 0.37, scratch);
+    benchmark::DoNotOptimize(psi.data());
+  }
+}
+BENCHMARK(BM_XMixer_DenseEigen)->DenseRange(6, 8, 2);
+
+/// Rank-1 Grover update (production path).
+void BM_Grover_Rank1(benchmark::State& state) {
+  const index_t dim = static_cast<index_t>(state.range(0));
+  GroverMixer mixer(dim);
+  cvec psi = random_state(dim, 3);
+  cvec scratch;
+  for (auto _ : state) {
+    mixer.apply_exp(psi, 0.8, scratch);
+    benchmark::DoNotOptimize(psi.data());
+  }
+}
+BENCHMARK(BM_Grover_Rank1)->RangeMultiplier(4)->Range(256, 16384);
+
+/// Grover mixer as a dense eigenmixer (ignoring the projector structure).
+void BM_Grover_DenseEigen(benchmark::State& state) {
+  const index_t dim = static_cast<index_t>(state.range(0));
+  linalg::dmat h(dim, dim);
+  const double inv = 1.0 / static_cast<double>(dim);
+  for (index_t r = 0; r < dim; ++r)
+    for (index_t c = 0; c < dim; ++c) h(r, c) = inv;
+  EigenMixer mixer = EigenMixer::from_hamiltonian(std::move(h), "dense-g");
+  cvec psi = random_state(dim, 4);
+  cvec scratch;
+  for (auto _ : state) {
+    mixer.apply_exp(psi, 0.8, scratch);
+    benchmark::DoNotOptimize(psi.data());
+  }
+}
+BENCHMARK(BM_Grover_DenseEigen)->RangeMultiplier(4)->Range(256, 1024);
+
+/// Real-V GEMV (two real kernels) — the Clique/Ring production path.
+void BM_Gemv_RealV(benchmark::State& state) {
+  const index_t dim = static_cast<index_t>(state.range(0));
+  Rng rng(5);
+  const linalg::dmat v = linalg::random_matrix(dim, dim, rng);
+  cvec x = random_state(dim, 6);
+  cvec y(dim);
+  for (auto _ : state) {
+    linalg::gemv(v, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Gemv_RealV)->RangeMultiplier(2)->Range(256, 2048);
+
+/// Complex-V GEMV — what a complex-storage implementation pays.
+void BM_Gemv_ComplexV(benchmark::State& state) {
+  const index_t dim = static_cast<index_t>(state.range(0));
+  Rng rng(7);
+  const linalg::cmat v = linalg::random_cmatrix(dim, dim, rng);
+  cvec x = random_state(dim, 8);
+  cvec y(dim);
+  for (auto _ : state) {
+    linalg::gemv(v, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_Gemv_ComplexV)->RangeMultiplier(2)->Range(256, 2048);
+
+/// Fused phase application (cos/sin computed inline, single pass).
+void BM_DiagPhase(benchmark::State& state) {
+  const index_t dim = static_cast<index_t>(state.range(0));
+  cvec psi = random_state(dim, 9);
+  Rng rng(10);
+  dvec d(dim, 0.0);
+  for (auto& v : d) v = rng.uniform(-4.0, 4.0);
+  for (auto _ : state) {
+    linalg::apply_diag_phase(psi, d, 0.21);
+    benchmark::DoNotOptimize(psi.data());
+  }
+}
+BENCHMARK(BM_DiagPhase)->RangeMultiplier(4)->Range(1024, 65536);
+
+/// Raw unnormalized WHT throughput.
+void BM_Wht(benchmark::State& state) {
+  const index_t dim = static_cast<index_t>(state.range(0));
+  cvec psi = random_state(dim, 11);
+  for (auto _ : state) {
+    linalg::wht_unnormalized(psi);
+    benchmark::DoNotOptimize(psi.data());
+  }
+}
+BENCHMARK(BM_Wht)->RangeMultiplier(4)->Range(1024, 65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Ablation (paper §4, QOKit discussion): exact eigendecomposition-based
+// constrained mixing vs first-order Trotterized mixing.
+//
+// QOKit implements Clique/Ring mixers as one Trotter step per application —
+// cheap per call and no O(dim^3) precomputation, but only approximately the
+// intended unitary. This harness quantifies both sides of the trade on
+// Densest k-Subgraph:
+//   * unitary error of the Trotterized exponential vs steps,
+//   * per-application cost (exact GEMV-pair vs steps * |E| Givens sweeps),
+//   * the end-to-end effect on a p=3 QAOA expectation value.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/trotter_mixer.hpp"
+#include "bench_util.hpp"
+#include "core/qaoa.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "problems/cost_functions.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fastqaoa;
+  namespace bu = benchutil;
+
+  const bool full = bu::has_flag(argc, argv, "--full");
+  const int n = static_cast<int>(bu::int_option(argc, argv, "--n",
+                                                full ? 12 : 10));
+  const int k = n / 2;
+  bu::banner("Ablation", "exact vs first-order-Trotter Clique mixing", full);
+
+  Rng rng(3);
+  Graph g = erdos_renyi(n, 0.5, rng);
+  StateSpace space = StateSpace::dicke(n, k);
+  dvec table =
+      tabulate(space, [&g](state_t x) { return densest_subgraph(g, x); });
+  std::printf("Densest %d-Subgraph, n=%d, feasible dim %zu\n\n", k, n,
+              space.dim());
+
+  WallTimer eig_timer;
+  EigenMixer exact = EigenMixer::clique(space);
+  const double eig_seconds = eig_timer.seconds();
+  std::printf("one-off eigendecomposition: %.3f s (amortized across every "
+              "subsequent evaluation)\n\n",
+              eig_seconds);
+
+  // Reference: exact mixer application on a random state.
+  cvec reference(space.dim());
+  {
+    Rng state_rng(9);
+    double norm_sq = 0.0;
+    for (auto& a : reference) {
+      a = cplx{state_rng.uniform(-1.0, 1.0), state_rng.uniform(-1.0, 1.0)};
+      norm_sq += std::norm(a);
+    }
+    for (auto& a : reference) a /= std::sqrt(norm_sq);
+  }
+  const double beta = 0.5;
+  cvec exact_state = reference;
+  cvec scratch;
+  exact.apply_exp(exact_state, beta, scratch);
+  const double t_exact =
+      bu::time_median([&] {
+        cvec psi = reference;
+        exact.apply_exp(psi, beta, scratch);
+      }, 5);
+
+  std::printf("%8s %16s %16s %12s\n", "steps", "unitary error",
+              "apply [s]", "vs exact");
+  for (const int steps : {1, 2, 4, 8, 16, 32}) {
+    baselines::TrotterXYMixer trotter(space, complete_graph(n), steps);
+    cvec psi = reference;
+    trotter.apply_exp(psi, beta, scratch);
+    const double err = linalg::max_abs_diff(psi, exact_state);
+    const double t_trotter =
+        bu::time_median([&] {
+          cvec state = reference;
+          trotter.apply_exp(state, beta, scratch);
+        }, 5);
+    std::printf("%8d %16.3e %16.3e %11.2fx\n", steps, err, t_trotter,
+                t_trotter / t_exact);
+  }
+  std::printf("%8s %16s %16.3e %11s  <- exact (V e^{-i beta D} V^T)\n",
+              "exact", "0", t_exact, "1.00x");
+
+  // End-to-end: p=3 QAOA expectation with each mixer at fixed angles.
+  std::printf("\np=3 QAOA expectation at fixed angles:\n");
+  std::vector<double> angles = {0.3, 0.7, 0.45, 0.8, 0.35, 0.95};
+  Qaoa engine_exact(exact, table, 3);
+  const double e_exact = engine_exact.run_packed(angles);
+  std::printf("%8s  <C> = %.8f\n", "exact", e_exact);
+  for (const int steps : {1, 4, 16}) {
+    baselines::TrotterXYMixer trotter(space, complete_graph(n), steps);
+    Qaoa engine(trotter, table, 3);
+    const double e = engine.run_packed(angles);
+    std::printf("%7dT  <C> = %.8f  (|diff| = %.2e)\n", steps, e,
+                std::abs(e - e_exact));
+  }
+
+  std::printf("\npaper reference: QOKit's Trotterized Clique/Ring mixers "
+              "avoid the eigendecomposition but are 'equivalent to a "
+              "first-order Trotter approximation' — error shrinks ~1/steps "
+              "while cost grows ~steps.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#pragma once
+/// Shared helpers for the figure-reproduction harnesses: tiny argument
+/// parsing (every binary accepts --full for the paper-size sweep and
+/// defaults to a reduced sweep sized for CI), repetition-based timing, and
+/// table printing.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace fastqaoa::benchutil {
+
+/// True when the given flag (e.g. "--full") appears in argv.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Value of "--key=value" style integer options, or fallback.
+inline long long int_option(int argc, char** argv, const char* key,
+                            long long fallback) {
+  const std::size_t len = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return std::strtoll(argv[i] + len + 1, nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+/// Median wall-clock seconds of `reps` calls to fn (after one warmup call).
+template <typename Fn>
+double time_median(Fn&& fn, int reps = 5) {
+  fn();  // warmup
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    times.push_back(timer.seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+/// Print a banner for a figure harness.
+inline void banner(const char* figure, const char* description, bool full) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("mode: %s (pass --full for the paper-size sweep)\n",
+              full ? "FULL" : "reduced");
+  std::printf("==========================================================\n");
+}
+
+}  // namespace fastqaoa::benchutil

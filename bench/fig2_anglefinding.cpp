@@ -1,0 +1,115 @@
+// Figure 2 reproduction: iterative angle finding across four problem types,
+// each with a different mixer, on a random instance.
+//
+//   MaxCut             + Transverse-Field mixer   (full space)
+//   3-SAT (density 6)  + Grover mixer             (full space)
+//   Densest k-Subgraph + Clique mixer             (Dicke subspace)
+//   Max k-Vertex Cover + Ring mixer               (Dicke subspace)
+//
+// Paper setting: n=12, k=6, G(n, 0.5), p = 1..10, one random instance per
+// problem, generated on an Apple M2 Max in under an hour. Reduced default
+// here: n=10, p <= 4 (same shape, minutes on one core). Output: one
+// approximation-ratio series per panel, ratios increasing with p.
+
+#include <cstdio>
+#include <vector>
+
+#include "anglefind/strategies.hpp"
+#include "bench_util.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "mixers/grover_mixer.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+
+namespace {
+
+using namespace fastqaoa;
+
+void print_series(const char* panel, const char* mixer_name,
+                  const std::vector<AngleSchedule>& schedules,
+                  const dvec& table) {
+  std::printf("\n[%s + %s]\n", panel, mixer_name);
+  std::printf("%4s %14s %10s\n", "p", "<C>", "ratio");
+  for (const AngleSchedule& s : schedules) {
+    std::printf("%4d %14.6f %10.4f\n", s.p, s.expectation,
+                approximation_ratio(s.expectation, table));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fastqaoa;
+  namespace bu = benchutil;
+
+  const bool full = bu::has_flag(argc, argv, "--full");
+  const int n = static_cast<int>(bu::int_option(argc, argv, "--n",
+                                                full ? 12 : 10));
+  const int k = static_cast<int>(bu::int_option(argc, argv, "--k", n / 2));
+  const int max_p = static_cast<int>(bu::int_option(argc, argv, "--p",
+                                                    full ? 10 : 4));
+  bu::banner("Figure 2", "angle finding across problem types and mixers",
+             full);
+  std::printf("n=%d, k=%d, p=1..%d, G(n,0.5), 3-SAT clause density 6\n", n,
+              k, max_p);
+
+  FindAnglesOptions opt;
+  opt.hopping.hops = full ? 15 : 6;
+  opt.seed = 2023;
+  WallTimer total;
+
+  // Panel 1: MaxCut + Transverse Field.
+  {
+    Rng rng(1);
+    Graph g = erdos_renyi(n, 0.5, rng);
+    dvec table = tabulate(StateSpace::full(n),
+                          [&g](state_t x) { return maxcut(g, x); });
+    XMixer mixer = XMixer::transverse_field(n);
+    print_series("MaxCut", "Transverse Field",
+                 find_angles(mixer, table, max_p, opt), table);
+  }
+
+  // Panel 2: 3-SAT at clause density 6 + Grover mixer.
+  {
+    Rng rng(2);
+    CnfFormula f = random_ksat_density(n, 3, 6.0, rng);
+    dvec table = tabulate(StateSpace::full(n),
+                          [&f](state_t x) { return ksat(f, x); });
+    GroverMixer mixer(index_t{1} << n);
+    print_series("3-SAT (density 6)", "Grover",
+                 find_angles(mixer, table, max_p, opt), table);
+  }
+
+  // Panel 3: Densest k-Subgraph + Clique mixer (feasible subspace only).
+  {
+    Rng rng(3);
+    Graph g = erdos_renyi(n, 0.5, rng);
+    StateSpace space = StateSpace::dicke(n, k);
+    dvec table =
+        tabulate(space, [&g](state_t x) { return densest_subgraph(g, x); });
+    WallTimer eig;
+    EigenMixer mixer = EigenMixer::clique(space);
+    std::printf("\n(clique mixer eigendecomposition, dim %zu: %.2f s)\n",
+                space.dim(), eig.seconds());
+    print_series("Densest k-Subgraph", "Clique",
+                 find_angles(mixer, table, max_p, opt), table);
+  }
+
+  // Panel 4: Max k-Vertex Cover + Ring mixer.
+  {
+    Rng rng(4);
+    Graph g = erdos_renyi(n, 0.5, rng);
+    StateSpace space = StateSpace::dicke(n, k);
+    dvec table =
+        tabulate(space, [&g](state_t x) { return vertex_cover(g, x); });
+    EigenMixer mixer = EigenMixer::ring(space);
+    print_series("Max k-Vertex Cover", "Ring",
+                 find_angles(mixer, table, max_p, opt), table);
+  }
+
+  std::printf("\ntotal wall time: %.1f s\n", total.seconds());
+  std::printf("paper reference: all four ratio series increase with p; "
+              "constrained problems (Clique/Ring) start higher because the "
+              "search is restricted to the feasible subspace.\n");
+  return 0;
+}

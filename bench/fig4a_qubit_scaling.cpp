@@ -1,0 +1,79 @@
+// Figure 4a reproduction: CPU time and memory vs qubit count for a p=1
+// MaxCut QAOA evaluation, comparing three packages on identical hardware:
+//
+//   fastqaoa       — this library (JuliQAOA's role): precomputed objective
+//                    table + diagonal-frame mixer, reusable buffers.
+//   circuit-light  — QAOA.jl/Yao stand-in: gate list rebuilt per call,
+//                    specialized RX/RZZ kernels, per-term measurement.
+//   circuit-heavy  — QAOAKit/Qiskit stand-in: dense generic gate matrices
+//                    rebuilt per call, fresh statevector allocation,
+//                    generic dispatch.
+//
+// Also prints the paper's §4 headline row: the n=6 speedup factors
+// ("faster than QAOAKit by a factor of over 2000, faster than QAOA.jl by a
+// factor of over 70" on the authors' M2 Max; our stand-ins reproduce the
+// ordering and the growth of the gap, not the exact constants).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/packages.hpp"
+#include "bench_util.hpp"
+#include "common/alloc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fastqaoa;
+  namespace bu = benchutil;
+
+  const bool full = bu::has_flag(argc, argv, "--full");
+  const int n_min = 4;
+  const int n_max = static_cast<int>(bu::int_option(argc, argv, "--nmax",
+                                                    full ? 18 : 14));
+  bu::banner("Figure 4a", "time & memory vs qubits, p=1 MaxCut", full);
+
+  std::vector<double> betas = {0.4};
+  std::vector<double> gammas = {0.9};
+
+  std::printf("%4s | %14s %14s %14s | %12s %12s %12s | %9s %9s\n", "n",
+              "fastqaoa [s]", "light [s]", "heavy [s]", "fast [B]",
+              "light [B]", "heavy [B]", "heavy/fq", "light/fq");
+  double n6_heavy_ratio = 0.0;
+  double n6_light_ratio = 0.0;
+
+  for (int n = n_min; n <= n_max; n += 2) {
+    Rng rng(static_cast<std::uint64_t>(n));
+    Graph g = erdos_renyi(n, 0.5, rng);
+
+    auto fast = baselines::make_fastqaoa_package(g, 1);
+    auto light = baselines::make_circuit_light_package(g);
+    auto heavy = baselines::make_circuit_heavy_package(g);
+
+    const int reps = n <= 10 ? 50 : (n <= 14 ? 9 : 3);
+    const double t_fast =
+        bu::time_median([&] { fast->evaluate(betas, gammas); }, reps);
+    const double t_light =
+        bu::time_median([&] { light->evaluate(betas, gammas); }, reps);
+    const double t_heavy =
+        bu::time_median([&] { heavy->evaluate(betas, gammas); }, reps);
+
+    std::printf("%4d | %14.3e %14.3e %14.3e | %12zu %12zu %12zu | %9.1f "
+                "%9.1f\n",
+                n, t_fast, t_light, t_heavy, fast->resident_bytes(),
+                light->resident_bytes(), heavy->resident_bytes(),
+                t_heavy / t_fast, t_light / t_fast);
+    if (n == 6) {
+      n6_heavy_ratio = t_heavy / t_fast;
+      n6_light_ratio = t_light / t_fast;
+    }
+  }
+
+  std::printf("\n§4 headline (n=6, p=1 MaxCut): circuit-heavy/fastqaoa = "
+              "%.0fx, circuit-light/fastqaoa = %.0fx\n",
+              n6_heavy_ratio, n6_light_ratio);
+  std::printf("paper reference: JuliQAOA 2000x faster than QAOAKit and 70x "
+              "faster than QAOA.jl at n=6 (different comparator "
+              "implementations; ordering and growth with n are the "
+              "reproducible shape).\n");
+  return 0;
+}

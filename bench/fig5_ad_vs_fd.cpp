@@ -1,0 +1,83 @@
+// Figure 5 reproduction: time to find the closest local minimum with BFGS,
+// using either finite differences or the exact adjoint (AD-equivalent)
+// gradient, averaged over random MaxCut instances and random starting
+// angles, as a function of p.
+//
+// Paper setting: 100 random n=14 MaxCut instances on an Apple M2 Max.
+// Reduced default: 20 instances at n=10. Expected shape: the FD curve grows
+// ~p times faster than the AD curve because every FD gradient costs
+// O(p) expectation evaluations while the adjoint costs O(1).
+
+#include <cstdio>
+#include <vector>
+
+#include "anglefind/bfgs.hpp"
+#include "anglefind/qaoa_objective.hpp"
+#include "bench_util.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fastqaoa;
+  namespace bu = benchutil;
+
+  const bool full = bu::has_flag(argc, argv, "--full");
+  const int n = static_cast<int>(bu::int_option(argc, argv, "--n",
+                                                full ? 14 : 10));
+  const int instances = static_cast<int>(
+      bu::int_option(argc, argv, "--instances", full ? 100 : 20));
+  const int p_max = static_cast<int>(bu::int_option(argc, argv, "--pmax",
+                                                    full ? 10 : 6));
+  bu::banner("Figure 5", "BFGS local-minimum search: AD vs finite-difference "
+                         "gradients", full);
+  std::printf("%d MaxCut instances, n=%d, p=1..%d\n\n", instances, n, p_max);
+
+  XMixer mixer = XMixer::transverse_field(n);
+
+  std::printf("%4s | %12s %12s %8s | %12s %12s\n", "p", "AD [s]", "FD [s]",
+              "FD/AD", "AD evals", "FD evals");
+  for (int p = 1; p <= p_max; ++p) {
+    double t_ad = 0.0;
+    double t_fd = 0.0;
+    std::size_t evals_ad = 0;
+    std::size_t evals_fd = 0;
+    Rng rng(static_cast<std::uint64_t>(500 + p));
+
+    for (int inst = 0; inst < instances; ++inst) {
+      Graph g = erdos_renyi(n, 0.5, rng);
+      dvec table = tabulate(StateSpace::full(n),
+                            [&g](state_t x) { return maxcut(g, x); });
+      std::vector<double> x0(static_cast<std::size_t>(2 * p));
+      for (auto& a : x0) a = rng.uniform(0.0, 2.0 * kPi);
+
+      {
+        Qaoa engine(mixer, table, p);
+        QaoaObjective obj(engine, Direction::Maximize,
+                          GradientProvider::Adjoint);
+        WallTimer timer;
+        bfgs_minimize(obj.as_grad_objective(), x0);
+        t_ad += timer.seconds();
+        evals_ad += obj.evaluations();
+      }
+      {
+        Qaoa engine(mixer, table, p);
+        QaoaObjective obj(engine, Direction::Maximize,
+                          GradientProvider::CentralDiff);
+        WallTimer timer;
+        bfgs_minimize(obj.as_grad_objective(), x0);
+        t_fd += timer.seconds();
+        evals_fd += obj.evaluations();
+      }
+    }
+    std::printf("%4d | %12.4f %12.4f %8.2f | %12zu %12zu\n", p,
+                t_ad / instances, t_fd / instances, t_fd / t_ad,
+                evals_ad / static_cast<std::size_t>(instances),
+                evals_fd / static_cast<std::size_t>(instances));
+  }
+
+  std::printf("\npaper reference: the FD/AD time ratio grows roughly "
+              "linearly in p (AD computes the whole 2p-angle gradient at "
+              "O(1) extra evaluations after a caching pass; FD needs O(p) "
+              "evaluations per gradient).\n");
+  return 0;
+}

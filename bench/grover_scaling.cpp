@@ -1,0 +1,88 @@
+// §2.4 reproduction: large-n Grover-mixer QAOA through the degeneracy
+// fast path.
+//
+// 1. Cross-check: at small n the compressed evolution matches the full
+//    statevector simulation to machine precision.
+// 2. Pre-computation scaling: streaming degeneracy histograms (the paper's
+//    Gosper-partitioned tabulation) vs n for MaxCut.
+// 3. Simulation scaling: p=20 Grover-QAOA on Hamming-weight objectives up
+//    to n=100 — the statevector would have 2^100 amplitudes; the
+//    compressed state has n+1 classes.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/grover_fast.hpp"
+#include "core/qaoa.hpp"
+#include "mixers/grover_mixer.hpp"
+#include "problems/cost_functions.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fastqaoa;
+  namespace bu = benchutil;
+
+  const bool full = bu::has_flag(argc, argv, "--full");
+  bu::banner("§2.4", "Grover-mixer degeneracy fast path up to n=100", full);
+
+  // 1. Cross-check against the full statevector at n=12.
+  {
+    Rng rng(1);
+    const int n = 12;
+    Graph g = erdos_renyi(n, 0.5, rng);
+    dvec table = tabulate(StateSpace::full(n),
+                          [&g](state_t x) { return maxcut(g, x); });
+    GroverMixer mixer(index_t{1} << n);
+    Qaoa full_sim(mixer, table, 4);
+    std::vector<double> angles(8);
+    for (auto& a : angles) a = rng.uniform(0.0, 2.0 * kPi);
+    const double e_full = full_sim.run_packed(angles);
+    GroverQaoa fast(degeneracy_table(table));
+    const double e_fast = fast.run_packed(angles);
+    std::printf("cross-check n=%d p=4: full=%.12f compressed=%.12f "
+                "(|diff| = %.2e)\n\n",
+                n, e_full, e_fast, std::abs(e_full - e_fast));
+  }
+
+  // 2. Streaming degeneracy tabulation vs n (the pre-computation the paper
+  //    spreads across workers).
+  std::printf("%4s %16s %14s %14s\n", "n", "#distinct values",
+              "tabulate [s]", "space size");
+  const int tab_max = full ? 24 : 20;
+  for (int n = 12; n <= tab_max; n += 4) {
+    Rng rng(static_cast<std::uint64_t>(n));
+    Graph g = erdos_renyi(n, 0.5, rng);
+    WallTimer timer;
+    DegeneracyTable t =
+        degeneracy_table_streaming(n, [&g](state_t x) { return maxcut(g, x); });
+    std::printf("%4d %16zu %14.3f %14.3e\n", n, t.num_distinct(),
+                timer.seconds(), static_cast<double>(t.total));
+  }
+
+  // 3. Simulation scaling with analytic Hamming-weight degeneracies.
+  std::printf("\np=20 Grover-QAOA on a Hamming-weight objective:\n");
+  std::printf("%4s %12s %16s %14s\n", "n", "#classes", "2^n states",
+              "simulate [s]");
+  for (const int n : {20, 40, 60, 80, 100}) {
+    std::vector<double> cost(static_cast<std::size_t>(n) + 1);
+    for (int m = 0; m <= n; ++m) {
+      // A rugged synthetic objective over Hamming weight classes.
+      cost[static_cast<std::size_t>(m)] =
+          std::abs(m - n / 3.0) + 2.0 * std::sin(0.7 * m);
+    }
+    GroverQaoa qaoa = grover_hamming_weight_qaoa(n, cost);
+    std::vector<double> angles(40);
+    Rng rng(static_cast<std::uint64_t>(n));
+    for (auto& a : angles) a = rng.uniform(0.0, 2.0 * kPi);
+    const double seconds =
+        bu::time_median([&] { qaoa.run_packed(angles); }, 5);
+    std::printf("%4d %12zu %16.3e %14.3e\n", n, qaoa.num_classes(),
+                std::pow(2.0, n), seconds);
+  }
+
+  std::printf("\npaper reference: simulation cost tracks the number of "
+              "distinct objective values, not 2^n — n=100 Grover-QAOA runs "
+              "in microseconds per evaluation.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Angle finding — the paper's Listing 3 workflows.
+//
+// Demonstrates both outer loops on one MaxCut instance:
+//  * find_angles(): iterative extrapolation + basinhopping with a
+//    checkpoint file (interrupt the program and re-run it — completed
+//    rounds are loaded and the search resumes where it left off);
+//  * find_angles_random(): the user-defined random-restart local-minima
+//    search from the paper's Listing 3 (the [22] baseline).
+//
+// Run: ./angle_finding [n] [max_p] [checkpoint-path]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "anglefind/strategies.hpp"
+#include "common/timer.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fastqaoa;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int max_p = argc > 2 ? std::atoi(argv[2]) : 5;
+  const std::string checkpoint = argc > 3 ? argv[3] : "";
+
+  Rng rng(13);
+  Graph graph = erdos_renyi(n, 0.5, rng);
+  dvec obj_vals = tabulate(StateSpace::full(n), [&graph](state_t x) {
+    return maxcut(graph, x);
+  });
+  XMixer mixer = XMixer::transverse_field(n);
+
+  FindAnglesOptions opt;
+  opt.hopping.hops = 8;
+  opt.checkpoint_file = checkpoint;
+  opt.seed = 101;
+
+  std::printf("== iterative extrapolation + basinhopping ==\n");
+  WallTimer timer;
+  auto schedules = find_angles(mixer, obj_vals, max_p, opt);
+  std::printf("finished in %.2f s%s\n", timer.seconds(),
+              checkpoint.empty() ? ""
+                                 : (" (checkpoint: " + checkpoint + ")").c_str());
+  std::printf("%4s %12s %8s\n", "p", "<C>", "ratio");
+  for (const AngleSchedule& s : schedules) {
+    std::printf("%4d %12.6f %8.4f\n", s.p, s.expectation,
+                approximation_ratio(s.expectation, obj_vals));
+  }
+
+  std::printf("\n== random local-minima search (100 restarts, p=%d) ==\n",
+              max_p);
+  timer.reset();
+  AngleSchedule random_best =
+      find_angles_random(mixer, obj_vals, max_p, 100, opt);
+  std::printf("finished in %.2f s\n", timer.seconds());
+  std::printf("%4d %12.6f %8.4f\n", random_best.p, random_best.expectation,
+              approximation_ratio(random_best.expectation, obj_vals));
+
+  std::printf("\nbest iterative angles at p=%d:\n  betas :", max_p);
+  for (const double b : schedules.back().betas) std::printf(" %8.4f", b);
+  std::printf("\n  gammas:");
+  for (const double g : schedules.back().gammas) std::printf(" %8.4f", g);
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// State analysis during QAOA: track half-chain entanglement entropy and
+// participation ratio along the optimized angle schedules — the kind of
+// dynamics study an exact-statevector simulator makes cheap.
+//
+// Run: ./entanglement_study [n] [max_p]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "analysis/entanglement.hpp"
+#include "anglefind/strategies.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fastqaoa;
+
+  const int n = argc > 1 ? std::atoi(argv[1]) : 10;
+  const int max_p = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  Rng rng(77);
+  Graph graph = erdos_renyi(n, 0.5, rng);
+  dvec obj_vals = tabulate(StateSpace::full(n), [&graph](state_t x) {
+    return maxcut(graph, x);
+  });
+  XMixer mixer = XMixer::transverse_field(n);
+
+  FindAnglesOptions opt;
+  opt.hopping.hops = 6;
+  opt.seed = 3;
+  auto schedules = find_angles(mixer, obj_vals, max_p, opt);
+
+  std::vector<int> half;
+  for (int q = 0; q < n / 2; ++q) half.push_back(q);
+
+  std::printf("MaxCut on G(%d, 0.5): entanglement along optimized QAOA\n\n",
+              n);
+  std::printf("%4s %10s %16s %18s %14s\n", "p", "ratio", "S(half) [nats]",
+              "S / S_max", "particip.");
+  const double s_max = (n / 2) * std::log(2.0);
+  for (const AngleSchedule& s : schedules) {
+    Qaoa engine(mixer, obj_vals, s.p);
+    engine.run_packed(s.packed());
+    const double entropy = entanglement_entropy(engine.state(), n, half);
+    std::printf("%4d %10.4f %16.4f %18.4f %14.1f\n", s.p,
+                approximation_ratio(s.expectation, obj_vals), entropy,
+                entropy / s_max, participation_ratio(engine.state()));
+  }
+  std::printf("\n(the uniform start has S = 0; optimized schedules build "
+              "entanglement as they concentrate on good cuts, then the "
+              "participation ratio drops as mass localizes)\n");
+  return 0;
+}

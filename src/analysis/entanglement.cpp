@@ -1,0 +1,103 @@
+#include "analysis/entanglement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/eigen_herm.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace fastqaoa {
+
+linalg::cmat reduced_density_matrix(const cvec& psi, int n,
+                                    const std::vector<int>& subsystem) {
+  FASTQAOA_CHECK(n >= 1 && n <= 24, "reduced_density_matrix: bad n");
+  FASTQAOA_CHECK(psi.size() == (index_t{1} << n),
+                 "reduced_density_matrix: state is not a full n-qubit "
+                 "vector (Dicke-subspace states must be embedded first)");
+  FASTQAOA_CHECK(!subsystem.empty() &&
+                     subsystem.size() < static_cast<std::size_t>(n) + 1,
+                 "reduced_density_matrix: bad subsystem size");
+  state_t sub_mask = 0;
+  for (const int q : subsystem) {
+    FASTQAOA_CHECK(q >= 0 && q < n,
+                   "reduced_density_matrix: qubit out of range");
+    FASTQAOA_CHECK(((sub_mask >> q) & 1) == 0,
+                   "reduced_density_matrix: repeated qubit");
+    sub_mask |= state_t{1} << q;
+  }
+  const int ns = static_cast<int>(subsystem.size());
+  const int ne = n - ns;  // environment qubits
+  FASTQAOA_CHECK(ns <= 14, "reduced_density_matrix: subsystem too large");
+
+  // Map full index -> (subsystem bits, environment bits).
+  std::vector<int> env;
+  env.reserve(static_cast<std::size_t>(ne));
+  for (int q = 0; q < n; ++q) {
+    if (((sub_mask >> q) & 1) == 0) env.push_back(q);
+  }
+  auto split = [&](state_t x) {
+    index_t s = 0;
+    for (int j = 0; j < ns; ++j) {
+      s |= static_cast<index_t>((x >> subsystem[static_cast<std::size_t>(j)]) & 1)
+           << j;
+    }
+    index_t e = 0;
+    for (int j = 0; j < ne; ++j) {
+      e |= static_cast<index_t>((x >> env[static_cast<std::size_t>(j)]) & 1)
+           << j;
+    }
+    return std::pair<index_t, index_t>{s, e};
+  };
+
+  // Reorganize into a (2^ns) x (2^ne) matrix M, rho = M M^H.
+  const index_t ds = index_t{1} << ns;
+  const index_t de = index_t{1} << ne;
+  linalg::cmat m(ds, de);
+  for (index_t x = 0; x < psi.size(); ++x) {
+    const auto [s, e] = split(static_cast<state_t>(x));
+    m(s, e) = psi[x];
+  }
+  linalg::cmat rho(ds, ds);
+  for (index_t a = 0; a < ds; ++a) {
+    for (index_t b = 0; b < ds; ++b) {
+      cplx acc{0.0, 0.0};
+      for (index_t e = 0; e < de; ++e) acc += m(a, e) * std::conj(m(b, e));
+      rho(a, b) = acc;
+    }
+  }
+  return rho;
+}
+
+double von_neumann_entropy(const linalg::cmat& rho) {
+  FASTQAOA_CHECK(rho.rows() == rho.cols(),
+                 "von_neumann_entropy: matrix must be square");
+  const linalg::HermEig eig = linalg::eigh(rho);
+  double entropy = 0.0;
+  for (const double p : eig.eigenvalues) {
+    if (p > 1e-14) entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+double entanglement_entropy(const cvec& psi, int n,
+                            const std::vector<int>& subsystem) {
+  return von_neumann_entropy(reduced_density_matrix(psi, n, subsystem));
+}
+
+double participation_ratio(const cvec& psi) {
+  FASTQAOA_CHECK(!psi.empty(), "participation_ratio: empty state");
+  double sum4 = 0.0;
+  for (const cplx& a : psi) {
+    const double p = std::norm(a);
+    sum4 += p * p;
+  }
+  FASTQAOA_CHECK(sum4 > 0.0, "participation_ratio: zero state");
+  return 1.0 / sum4;
+}
+
+double state_fidelity(const cvec& a, const cvec& b) {
+  return std::norm(linalg::dot(a, b));
+}
+
+}  // namespace fastqaoa

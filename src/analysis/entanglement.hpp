@@ -1,0 +1,42 @@
+#pragma once
+/// \file entanglement.hpp
+/// State-analysis observables for QAOA dynamics studies: reduced density
+/// matrices, von Neumann entanglement entropy across qubit bipartitions,
+/// participation ratios and state overlaps. These are the quantities
+/// numerical QAOA papers track beyond <C> (e.g. how much entanglement an
+/// ansatz builds at a given depth), computable here because the simulator
+/// is exact-statevector.
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/dense.hpp"
+
+namespace fastqaoa {
+
+/// Reduced density matrix of the qubits listed in `subsystem` (distinct,
+/// each < n), obtained by tracing out the rest of a full n-qubit pure
+/// state. The result is a 2^|subsystem| square Hermitian PSD matrix with
+/// unit trace; subsystem qubit `subsystem[j]` maps to bit j of the reduced
+/// index.
+linalg::cmat reduced_density_matrix(const cvec& psi, int n,
+                                    const std::vector<int>& subsystem);
+
+/// Von Neumann entropy  -Tr(rho ln rho)  of a density matrix (natural
+/// log). Zero for pure states; ln(dim) for maximally mixed.
+double von_neumann_entropy(const linalg::cmat& rho);
+
+/// Entanglement entropy of a qubit bipartition: the entropy of the reduced
+/// state on `subsystem` (equals the entropy of its complement for pure
+/// states).
+double entanglement_entropy(const cvec& psi, int n,
+                            const std::vector<int>& subsystem);
+
+/// Inverse participation ratio 1 / sum_i |psi_i|^4: the effective number
+/// of basis states the state occupies (1 = basis state, dim = uniform).
+double participation_ratio(const cvec& psi);
+
+/// Fidelity |<a|b>|^2 between two normalized states.
+double state_fidelity(const cvec& a, const cvec& b);
+
+}  // namespace fastqaoa

@@ -1,0 +1,67 @@
+#include "anglefind/basinhopping.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
+                       Rng& rng, const BasinHoppingOptions& opt) {
+  FASTQAOA_CHECK(!x0.empty(), "basinhopping: empty starting point");
+  FASTQAOA_CHECK(opt.hops >= 1, "basinhopping: need at least one hop");
+
+  // Initial local minimization from the seed point.
+  OptResult best = bfgs_minimize(fn, std::move(x0), opt.local);
+  std::size_t evals = best.evaluations;
+
+  std::vector<double> current = best.x;
+  double current_f = best.f;
+  double step = opt.step_size;
+  int accepted = 0;
+  int stale = 0;
+
+  std::vector<double> trial(current.size());
+  for (int hop = 0; hop < opt.hops; ++hop) {
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      trial[i] = current[i] + rng.uniform(-step, step);
+    }
+    OptResult local = bfgs_minimize(fn, trial, opt.local);
+    evals += local.evaluations;
+
+    // Metropolis acceptance on the *basin* energies.
+    bool accept = local.f <= current_f;
+    if (!accept && opt.temperature > 0.0) {
+      const double prob = std::exp(-(local.f - current_f) / opt.temperature);
+      accept = rng.uniform() < prob;
+    }
+    if (accept) {
+      current = local.x;
+      current_f = local.f;
+      ++accepted;
+    }
+    if (local.f < best.f) {
+      best.x = local.x;
+      best.f = local.f;
+      stale = 0;
+    } else {
+      ++stale;
+      if (opt.no_improvement_limit > 0 && stale >= opt.no_improvement_limit) {
+        break;
+      }
+    }
+    if (opt.adaptive_step && (hop + 1) % 10 == 0) {
+      // Steer acceptance toward ~50% (scipy's default heuristic).
+      const double rate =
+          static_cast<double>(accepted) / static_cast<double>(hop + 1);
+      step *= rate > 0.5 ? 1.1 : 0.9;
+    }
+    ++best.iterations;
+  }
+
+  best.evaluations = evals;
+  best.converged = true;
+  return best;
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,29 @@
+#pragma once
+/// \file basinhopping.hpp
+/// Wales–Doye basinhopping [33]: alternate random perturbations with local
+/// (BFGS) minimization and accept/reject hops with a Metropolis criterion.
+/// This is the paper's workhorse global angle-finder (§2.3).
+
+#include "anglefind/bfgs.hpp"
+#include "anglefind/optimizer.hpp"
+#include "common/rng.hpp"
+
+namespace fastqaoa {
+
+/// Basinhopping configuration.
+struct BasinHoppingOptions {
+  int hops = 30;                 ///< number of perturb+minimize cycles
+  double step_size = 0.5;        ///< uniform perturbation half-width
+  double temperature = 1.0;      ///< Metropolis temperature (0 = greedy)
+  bool adaptive_step = true;     ///< tune step_size toward ~50% acceptance
+  int no_improvement_limit = 0;  ///< early stop after this many stale hops
+                                 ///< (0 = disabled)
+  BfgsOptions local;             ///< local minimizer settings
+};
+
+/// Global minimization by basinhopping from x0. Perturbations and the
+/// Metropolis coin use `rng`, so runs are reproducible per seed.
+OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
+                       Rng& rng, const BasinHoppingOptions& options = {});
+
+}  // namespace fastqaoa

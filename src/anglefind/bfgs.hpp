@@ -1,0 +1,27 @@
+#pragma once
+/// \file bfgs.hpp
+/// Broyden–Fletcher–Goldfarb–Shanno quasi-Newton minimization with a
+/// strong-Wolfe line search (Nocedal & Wright algs. 3.5/3.6, Fletcher [15]).
+/// This is the local minimizer inside basinhopping and inside the paper's
+/// random-restart baseline (Listing 3 / Fig. 3 / Fig. 5).
+
+#include "anglefind/optimizer.hpp"
+
+namespace fastqaoa {
+
+/// BFGS configuration.
+struct BfgsOptions {
+  int max_iterations = 200;
+  double gradient_tolerance = 1e-8;  ///< stop when ||g||_inf below this
+  double step_tolerance = 1e-12;     ///< stop when ||dx||_inf below this
+  double wolfe_c1 = 1e-4;            ///< sufficient-decrease constant
+  double wolfe_c2 = 0.9;             ///< curvature constant
+  int max_line_search_steps = 40;
+};
+
+/// Minimize fn starting from x0. fn must provide gradients (use the
+/// autodiff adjoint or finite differences via qaoa_objective.hpp).
+OptResult bfgs_minimize(const GradObjective& fn, std::vector<double> x0,
+                        const BfgsOptions& options = {});
+
+}  // namespace fastqaoa

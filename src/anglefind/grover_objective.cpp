@@ -1,0 +1,71 @@
+#include "anglefind/grover_objective.hpp"
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+GroverObjective::GroverObjective(GroverQaoa& engine, Direction direction)
+    : engine_(&engine), direction_(direction) {}
+
+double GroverObjective::operator()(std::span<const double> packed,
+                                   std::span<double> grad) {
+  FASTQAOA_CHECK(packed.size() % 2 == 0 && !packed.empty(),
+                 "GroverObjective: need 2p packed angles");
+  const std::size_t p = packed.size() / 2;
+  const double sign = direction_ == Direction::Maximize ? -1.0 : 1.0;
+  if (grad.empty()) {
+    return sign * engine_->run(packed.subspan(0, p), packed.subspan(p, p));
+  }
+  FASTQAOA_CHECK(grad.size() == packed.size(),
+                 "GroverObjective: gradient span size mismatch");
+  grad_betas_.resize(p);
+  grad_gammas_.resize(p);
+  const double value = engine_->value_and_gradient(
+      packed.subspan(0, p), packed.subspan(p, p), grad_betas_, grad_gammas_);
+  for (std::size_t i = 0; i < p; ++i) {
+    grad[i] = sign * grad_betas_[i];
+    grad[p + i] = sign * grad_gammas_[i];
+  }
+  return sign * value;
+}
+
+GradObjective GroverObjective::as_grad_objective() {
+  return [this](std::span<const double> x, std::span<double> g) {
+    return (*this)(x, g);
+  };
+}
+
+std::vector<AngleSchedule> find_angles_compressed(
+    GroverQaoa& engine, int max_rounds, const FindAnglesOptions& options) {
+  FASTQAOA_CHECK(max_rounds >= 1, "find_angles_compressed: need rounds >= 1");
+  Rng rng(options.seed);
+  GroverObjective objective(engine, options.direction);
+  GradObjective fn = objective.as_grad_objective();
+
+  std::vector<AngleSchedule> schedules;
+  for (int p = 1; p <= max_rounds; ++p) {
+    std::vector<double> x0;
+    if (schedules.empty()) {
+      x0 = {rng.uniform(0.0, 2.0 * kPi), rng.uniform(0.0, 2.0 * kPi)};
+    } else {
+      const AngleSchedule& prev = schedules.back();
+      const auto betas = interp_extrapolate(prev.betas);
+      const auto gammas = interp_extrapolate(prev.gammas);
+      x0.insert(x0.end(), betas.begin(), betas.end());
+      x0.insert(x0.end(), gammas.begin(), gammas.end());
+    }
+    OptResult res = basinhopping(fn, x0, rng, options.hopping);
+    AngleSchedule s;
+    s.p = p;
+    s.betas.assign(res.x.begin(), res.x.begin() + p);
+    s.gammas.assign(res.x.begin() + p, res.x.end());
+    s.expectation = objective.to_expectation(res.f);
+    schedules.push_back(std::move(s));
+    if (!options.checkpoint_file.empty()) {
+      save_checkpoint(options.checkpoint_file, schedules);
+    }
+  }
+  return schedules;
+}
+
+}  // namespace fastqaoa

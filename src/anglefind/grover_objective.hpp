@@ -1,0 +1,47 @@
+#pragma once
+/// \file grover_objective.hpp
+/// Angle finding on the degeneracy-compressed Grover simulator: the same
+/// optimizer stack (BFGS/basinhopping, INTERP iteration) driven by
+/// GroverQaoa's O(p * #classes) evaluations and exact compressed
+/// gradients — classical angle optimization for Grover-mixer QAOAs at
+/// n ≈ 100 qubits, where no statevector exists.
+
+#include <span>
+
+#include "anglefind/basinhopping.hpp"
+#include "anglefind/optimizer.hpp"
+#include "anglefind/strategies.hpp"
+#include "core/grover_fast.hpp"
+
+namespace fastqaoa {
+
+/// Minimization objective over packed angles for a GroverQaoa instance
+/// (mirrors QaoaObjective).
+class GroverObjective {
+ public:
+  explicit GroverObjective(GroverQaoa& engine,
+                           Direction direction = Direction::Maximize);
+
+  /// Evaluate f = ±<C> (and the exact compressed gradient when `grad` is
+  /// non-empty).
+  double operator()(std::span<const double> packed, std::span<double> grad);
+
+  [[nodiscard]] GradObjective as_grad_objective();
+
+  [[nodiscard]] double to_expectation(double f) const noexcept {
+    return direction_ == Direction::Maximize ? -f : f;
+  }
+
+ private:
+  GroverQaoa* engine_;
+  Direction direction_;
+  std::vector<double> grad_betas_;
+  std::vector<double> grad_gammas_;
+};
+
+/// Iterative (INTERP + basinhopping) angle finding on the compressed
+/// simulator — find_angles() for spaces of up to ~2^1000 states.
+std::vector<AngleSchedule> find_angles_compressed(
+    GroverQaoa& engine, int max_rounds, const FindAnglesOptions& options = {});
+
+}  // namespace fastqaoa

@@ -1,0 +1,126 @@
+#include "anglefind/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+OptResult nelder_mead_minimize(const PlainObjective& fn,
+                               std::vector<double> x0,
+                               const NelderMeadOptions& opt) {
+  const std::size_t n = x0.size();
+  FASTQAOA_CHECK(n > 0, "nelder_mead_minimize: empty starting point");
+
+  std::size_t evals = 0;
+  auto eval = [&](const std::vector<double>& x) {
+    ++evals;
+    return fn(x);
+  };
+
+  // Initial simplex: x0 plus one vertex per coordinate direction.
+  std::vector<std::vector<double>> simplex(n + 1, x0);
+  std::vector<double> f(n + 1);
+  f[0] = eval(simplex[0]);
+  for (std::size_t i = 0; i < n; ++i) {
+    simplex[i + 1][i] += opt.initial_step;
+    f[i + 1] = eval(simplex[i + 1]);
+  }
+
+  std::vector<std::size_t> order(n + 1);
+  std::vector<double> centroid(n);
+  std::vector<double> xr(n);
+  std::vector<double> xe(n);
+  std::vector<double> xc(n);
+
+  OptResult result;
+  int iter = 0;
+  for (; iter < opt.max_iterations; ++iter) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&f](std::size_t a, std::size_t b) { return f[a] < f[b]; });
+    const std::size_t best = order[0];
+    const std::size_t worst = order[n];
+    const std::size_t second_worst = order[n - 1];
+
+    // Convergence: value spread and simplex diameter.
+    const double f_spread = std::abs(f[worst] - f[best]);
+    double diameter = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      diameter = std::max(
+          diameter, std::abs(simplex[worst][i] - simplex[best][i]));
+    }
+    if (f_spread < opt.f_tolerance && diameter < opt.x_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::fill(centroid.begin(), centroid.end(), 0.0);
+    for (std::size_t v = 0; v <= n; ++v) {
+      if (v == worst) continue;
+      for (std::size_t i = 0; i < n; ++i) centroid[i] += simplex[v][i];
+    }
+    for (std::size_t i = 0; i < n; ++i) centroid[i] /= static_cast<double>(n);
+
+    // Reflection.
+    for (std::size_t i = 0; i < n; ++i) {
+      xr[i] = centroid[i] + opt.reflection * (centroid[i] - simplex[worst][i]);
+    }
+    const double fr = eval(xr);
+
+    if (fr < f[best]) {
+      // Expansion.
+      for (std::size_t i = 0; i < n; ++i) {
+        xe[i] = centroid[i] + opt.expansion * (xr[i] - centroid[i]);
+      }
+      const double fe = eval(xe);
+      if (fe < fr) {
+        simplex[worst] = xe;
+        f[worst] = fe;
+      } else {
+        simplex[worst] = xr;
+        f[worst] = fr;
+      }
+    } else if (fr < f[second_worst]) {
+      simplex[worst] = xr;
+      f[worst] = fr;
+    } else {
+      // Contraction (outside if the reflected point improved the worst,
+      // inside otherwise).
+      const bool outside = fr < f[worst];
+      const std::vector<double>& toward = outside ? xr : simplex[worst];
+      for (std::size_t i = 0; i < n; ++i) {
+        xc[i] = centroid[i] + opt.contraction * (toward[i] - centroid[i]);
+      }
+      const double fc = eval(xc);
+      if (fc < std::min(fr, f[worst])) {
+        simplex[worst] = xc;
+        f[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t v = 0; v <= n; ++v) {
+          if (v == best) continue;
+          for (std::size_t i = 0; i < n; ++i) {
+            simplex[v][i] = simplex[best][i] +
+                            opt.shrink * (simplex[v][i] - simplex[best][i]);
+          }
+          f[v] = eval(simplex[v]);
+        }
+      }
+    }
+  }
+
+  const std::size_t best =
+      static_cast<std::size_t>(std::min_element(f.begin(), f.end()) -
+                               f.begin());
+  result.x = simplex[best];
+  result.f = f[best];
+  result.iterations = iter;
+  result.evaluations = evals;
+  return result;
+}
+
+}  // namespace fastqaoa

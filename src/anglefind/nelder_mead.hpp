@@ -1,0 +1,29 @@
+#pragma once
+/// \file nelder_mead.hpp
+/// Derivative-free Nelder–Mead simplex minimization. Provided as the
+/// gradient-free alternative in the angle-finding toolbox (useful for
+/// objectives where gradients are unavailable, e.g. sampled estimates).
+
+#include "anglefind/optimizer.hpp"
+
+namespace fastqaoa {
+
+/// Nelder–Mead configuration (standard reflection/expansion/contraction
+/// coefficients).
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  double f_tolerance = 1e-10;      ///< stop when simplex f-spread below this
+  double x_tolerance = 1e-10;      ///< stop when simplex diameter below this
+  double initial_step = 0.25;      ///< initial simplex edge length
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+/// Minimize a gradient-free objective starting from x0.
+OptResult nelder_mead_minimize(const PlainObjective& fn,
+                               std::vector<double> x0,
+                               const NelderMeadOptions& options = {});
+
+}  // namespace fastqaoa

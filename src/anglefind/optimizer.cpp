@@ -1,0 +1,17 @@
+#include "anglefind/optimizer.hpp"
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+GradObjective no_gradient(PlainObjective fn) {
+  return [fn = std::move(fn)](std::span<const double> x,
+                              std::span<double> grad) {
+    FASTQAOA_CHECK(grad.empty(),
+                   "no_gradient: this objective cannot supply gradients — "
+                   "use a gradient-free optimizer (nelder_mead_minimize)");
+    return fn(x);
+  };
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,33 @@
+#pragma once
+/// \file optimizer.hpp
+/// Common types for the classical angle-finding outer loop: the objective
+/// callable contract, optimizer options and results.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace fastqaoa {
+
+/// Objective with optional gradient: returns f(x); when `grad` is non-empty
+/// (same length as x) it must be filled with df/dx. Optimizers *minimize*.
+using GradObjective =
+    std::function<double(std::span<const double>, std::span<double>)>;
+
+/// Gradient-free objective.
+using PlainObjective = std::function<double(std::span<const double>)>;
+
+/// Result of a local or global minimization.
+struct OptResult {
+  std::vector<double> x;      ///< best point found
+  double f = 0.0;             ///< objective at x
+  int iterations = 0;         ///< optimizer iterations
+  std::size_t evaluations = 0;  ///< objective/gradient callbacks
+  bool converged = false;     ///< tolerance met (vs. iteration cap)
+};
+
+/// Wrap a gradient-free objective as a GradObjective that refuses gradient
+/// requests (for optimizers that never ask, like Nelder–Mead).
+GradObjective no_gradient(PlainObjective fn);
+
+}  // namespace fastqaoa

@@ -1,0 +1,54 @@
+#include "anglefind/qaoa_objective.hpp"
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+QaoaObjective::QaoaObjective(Qaoa& engine, Direction direction,
+                             GradientProvider provider)
+    : engine_(&engine),
+      direction_(direction),
+      provider_(provider),
+      adjoint_(engine),
+      central_(engine, FdScheme::Central),
+      forward_(engine, FdScheme::Forward) {}
+
+double QaoaObjective::operator()(std::span<const double> packed,
+                                 std::span<double> grad) {
+  const double sign = direction_ == Direction::Maximize ? -1.0 : 1.0;
+  if (grad.empty()) {
+    ++evals_;
+    return sign * engine_->run_packed(packed);
+  }
+  FASTQAOA_CHECK(grad.size() == packed.size(),
+                 "QaoaObjective: gradient span size mismatch");
+  double value = 0.0;
+  switch (provider_) {
+    case GradientProvider::Adjoint:
+      value = adjoint_.value_and_gradient_packed(packed, grad);
+      evals_ += 2;  // forward pass + reverse sweep of comparable cost
+      break;
+    case GradientProvider::CentralDiff: {
+      central_.reset_evaluations();
+      value = central_.value_and_gradient_packed(packed, grad);
+      evals_ += central_.evaluations();
+      break;
+    }
+    case GradientProvider::ForwardDiff: {
+      forward_.reset_evaluations();
+      value = forward_.value_and_gradient_packed(packed, grad);
+      evals_ += forward_.evaluations();
+      break;
+    }
+  }
+  for (double& g : grad) g *= sign;
+  return sign * value;
+}
+
+GradObjective QaoaObjective::as_grad_objective() {
+  return [this](std::span<const double> x, std::span<double> g) {
+    return (*this)(x, g);
+  };
+}
+
+}  // namespace fastqaoa

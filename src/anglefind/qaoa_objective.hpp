@@ -1,0 +1,63 @@
+#pragma once
+/// \file qaoa_objective.hpp
+/// Adapter that turns a Qaoa engine into the minimization objective the
+/// optimizers consume: f(angles) = -<C> for maximization (+<C> for
+/// minimization), with gradients supplied either by the adjoint AD path or
+/// by finite differences — the exact axis Fig. 5 sweeps.
+
+#include <span>
+
+#include "anglefind/optimizer.hpp"
+#include "autodiff/adjoint.hpp"
+#include "autodiff/finite_diff.hpp"
+#include "core/qaoa.hpp"
+
+namespace fastqaoa {
+
+/// How the optimizer obtains gradients of <C>.
+enum class GradientProvider {
+  Adjoint,      ///< exact reverse-mode (O(1) evaluations) — the AD analogue
+  CentralDiff,  ///< central finite differences (2p evaluations)
+  ForwardDiff,  ///< forward finite differences (p evaluations)
+};
+
+/// Minimization objective over packed angles [betas..., gammas...].
+/// Holds a reference to the engine; one instance per engine, reused across
+/// the whole optimization run (buffers allocated once).
+class QaoaObjective {
+ public:
+  QaoaObjective(Qaoa& engine, Direction direction = Direction::Maximize,
+                GradientProvider provider = GradientProvider::Adjoint);
+
+  /// Evaluate f (and the gradient when `grad` is non-empty).
+  double operator()(std::span<const double> packed, std::span<double> grad);
+
+  /// Expose as the std::function type the optimizers take. The returned
+  /// callable references *this; keep the QaoaObjective alive while in use.
+  [[nodiscard]] GradObjective as_grad_objective();
+
+  /// Number of underlying expectation-value evaluations so far (each
+  /// adjoint gradient counts as one forward evaluation plus one reverse
+  /// sweep, tallied as 2; finite differences tally every run() call).
+  [[nodiscard]] std::size_t evaluations() const noexcept { return evals_; }
+  void reset_evaluations() noexcept { evals_ = 0; }
+
+  [[nodiscard]] Direction direction() const noexcept { return direction_; }
+
+  /// Convert an optimizer value back to an expectation: <C> = -f for
+  /// maximization, +f for minimization.
+  [[nodiscard]] double to_expectation(double f) const noexcept {
+    return direction_ == Direction::Maximize ? -f : f;
+  }
+
+ private:
+  Qaoa* engine_;
+  Direction direction_;
+  GradientProvider provider_;
+  AdjointDifferentiator adjoint_;
+  FiniteDiffDifferentiator central_;
+  FiniteDiffDifferentiator forward_;
+  std::size_t evals_ = 0;
+};
+
+}  // namespace fastqaoa

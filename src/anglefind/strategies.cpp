@@ -1,0 +1,297 @@
+#include "anglefind/strategies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+std::vector<double> AngleSchedule::packed() const {
+  std::vector<double> out;
+  out.reserve(betas.size() + gammas.size());
+  out.insert(out.end(), betas.begin(), betas.end());
+  out.insert(out.end(), gammas.begin(), gammas.end());
+  return out;
+}
+
+std::vector<double> interp_extrapolate(const std::vector<double>& prev) {
+  FASTQAOA_CHECK(!prev.empty(), "interp_extrapolate: empty angle sequence");
+  const std::size_t p = prev.size();
+  std::vector<double> next(p + 1);
+  if (p == 1) {
+    next[0] = prev[0];
+    next[1] = prev[0];
+    return next;
+  }
+  // Resample the piecewise-linear profile through prev[0..p) at p+1 evenly
+  // spaced parameters (INTERP of Zhou et al.).
+  for (std::size_t i = 0; i <= p; ++i) {
+    const double t = static_cast<double>(i) * static_cast<double>(p - 1) /
+                     static_cast<double>(p);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(t));
+    const std::size_t hi = std::min(lo + 1, p - 1);
+    const double frac = t - static_cast<double>(lo);
+    next[i] = (1.0 - frac) * prev[lo] + frac * prev[hi];
+  }
+  return next;
+}
+
+std::vector<double> tqa_initial_angles(int p, double dt) {
+  FASTQAOA_CHECK(p >= 1, "tqa_initial_angles: need p >= 1");
+  FASTQAOA_CHECK(dt > 0.0, "tqa_initial_angles: need dt > 0");
+  std::vector<double> packed(static_cast<std::size_t>(2 * p));
+  for (int i = 0; i < p; ++i) {
+    const double s = (i + 0.5) / static_cast<double>(p);
+    packed[static_cast<std::size_t>(i)] = (1.0 - s) * dt;       // beta
+    packed[static_cast<std::size_t>(p + i)] = s * dt;           // gamma
+  }
+  return packed;
+}
+
+namespace {
+
+AngleSchedule run_basinhopping(Qaoa& engine, int p,
+                               const std::vector<double>& x0, Rng& rng,
+                               const FindAnglesOptions& options) {
+  QaoaObjective objective(engine, options.direction, options.gradient);
+  GradObjective fn = objective.as_grad_objective();
+  OptResult res = basinhopping(fn, x0, rng, options.hopping);
+
+  AngleSchedule schedule;
+  schedule.p = p;
+  schedule.betas.assign(res.x.begin(), res.x.begin() + p);
+  schedule.gammas.assign(res.x.begin() + p, res.x.end());
+  schedule.expectation = objective.to_expectation(res.f);
+  return schedule;
+}
+
+Qaoa make_engine(const Mixer& mixer, const dvec& obj_vals, int p,
+                 const FindAnglesOptions& options) {
+  Qaoa engine(mixer, obj_vals, p);
+  if (options.phase_values) engine.set_phase_values(*options.phase_values);
+  return engine;
+}
+
+}  // namespace
+
+std::vector<AngleSchedule> find_angles(const Mixer& mixer,
+                                       const dvec& obj_vals, int max_rounds,
+                                       const FindAnglesOptions& options) {
+  FASTQAOA_CHECK(max_rounds >= 1, "find_angles: need max_rounds >= 1");
+  Rng rng(options.seed);
+
+  std::vector<AngleSchedule> schedules;
+  if (!options.checkpoint_file.empty() &&
+      std::filesystem::exists(options.checkpoint_file)) {
+    schedules = load_checkpoint(options.checkpoint_file);
+    if (static_cast<int>(schedules.size()) > max_rounds) {
+      schedules.resize(static_cast<std::size_t>(max_rounds));
+    }
+  }
+
+  for (int p = static_cast<int>(schedules.size()) + 1; p <= max_rounds; ++p) {
+    std::vector<double> x0;
+    if (schedules.empty()) {
+      // Round 1: a small random start; basinhopping explores from there.
+      x0 = {rng.uniform(0.0, 2.0 * kPi), rng.uniform(0.0, 2.0 * kPi)};
+    } else {
+      const AngleSchedule& prev = schedules.back();
+      const std::vector<double> betas = interp_extrapolate(prev.betas);
+      const std::vector<double> gammas = interp_extrapolate(prev.gammas);
+      x0.insert(x0.end(), betas.begin(), betas.end());
+      x0.insert(x0.end(), gammas.begin(), gammas.end());
+    }
+    Qaoa engine = make_engine(mixer, obj_vals, p, options);
+    schedules.push_back(run_basinhopping(engine, p, x0, rng, options));
+    if (!options.checkpoint_file.empty()) {
+      save_checkpoint(options.checkpoint_file, schedules);
+    }
+  }
+  return schedules;
+}
+
+AngleSchedule find_angles_at(const Mixer& mixer, const dvec& obj_vals, int p,
+                             const std::vector<double>& initial_packed,
+                             const FindAnglesOptions& options) {
+  FASTQAOA_CHECK(static_cast<int>(initial_packed.size()) == 2 * p,
+                 "find_angles_at: need 2p initial angles");
+  Rng rng(options.seed);
+  Qaoa engine = make_engine(mixer, obj_vals, p, options);
+  return run_basinhopping(engine, p, initial_packed, rng, options);
+}
+
+AngleSchedule find_angles_random(const Mixer& mixer, const dvec& obj_vals,
+                                 int p, int restarts,
+                                 const FindAnglesOptions& options) {
+  FASTQAOA_CHECK(p >= 1 && restarts >= 1,
+                 "find_angles_random: need p >= 1 and restarts >= 1");
+  Rng rng(options.seed);
+  Qaoa engine = make_engine(mixer, obj_vals, p, options);
+  QaoaObjective objective(engine, options.direction, options.gradient);
+  GradObjective fn = objective.as_grad_objective();
+
+  OptResult best;
+  best.f = std::numeric_limits<double>::infinity();
+  std::vector<double> x0(static_cast<std::size_t>(2 * p));
+  for (int r = 0; r < restarts; ++r) {
+    for (double& a : x0) a = rng.uniform(0.0, 2.0 * kPi);
+    OptResult res = bfgs_minimize(fn, x0, options.hopping.local);
+    if (res.f < best.f) best = std::move(res);
+  }
+
+  AngleSchedule schedule;
+  schedule.p = p;
+  schedule.betas.assign(best.x.begin(), best.x.begin() + p);
+  schedule.gammas.assign(best.x.begin() + p, best.x.end());
+  schedule.expectation = objective.to_expectation(best.f);
+  return schedule;
+}
+
+AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
+                               int p, int points_per_axis,
+                               const FindAnglesOptions& options,
+                               bool polish) {
+  FASTQAOA_CHECK(p >= 1, "find_angles_grid: need p >= 1");
+  FASTQAOA_CHECK(points_per_axis >= 2,
+                 "find_angles_grid: need at least 2 points per axis");
+  const int dims = 2 * p;
+  FASTQAOA_CHECK(dims * std::log(points_per_axis) < std::log(5e7),
+                 "find_angles_grid: grid too large — this strategy is "
+                 "exponential in p; use find_angles() instead");
+
+  Qaoa engine = make_engine(mixer, obj_vals, p, options);
+  QaoaObjective objective(engine, options.direction, options.gradient);
+
+  const double step = 2.0 * kPi / points_per_axis;
+  std::vector<int> idx(static_cast<std::size_t>(dims), 0);
+  std::vector<double> point(static_cast<std::size_t>(dims), 0.0);
+  std::vector<double> best_point = point;
+  double best_f = std::numeric_limits<double>::infinity();
+
+  // Odometer enumeration of the full grid.
+  bool done = false;
+  while (!done) {
+    for (int d = 0; d < dims; ++d) {
+      point[static_cast<std::size_t>(d)] =
+          idx[static_cast<std::size_t>(d)] * step;
+    }
+    const double f = objective(point, {});
+    if (f < best_f) {
+      best_f = f;
+      best_point = point;
+    }
+    int d = 0;
+    while (d < dims && ++idx[static_cast<std::size_t>(d)] ==
+                           points_per_axis) {
+      idx[static_cast<std::size_t>(d)] = 0;
+      ++d;
+    }
+    done = d == dims;
+  }
+
+  if (polish) {
+    GradObjective fn = objective.as_grad_objective();
+    OptResult res = bfgs_minimize(fn, best_point, options.hopping.local);
+    if (res.f < best_f) {
+      best_f = res.f;
+      best_point = res.x;
+    }
+  }
+
+  AngleSchedule schedule;
+  schedule.p = p;
+  schedule.betas.assign(best_point.begin(), best_point.begin() + p);
+  schedule.gammas.assign(best_point.begin() + p, best_point.end());
+  schedule.expectation = objective.to_expectation(best_f);
+  return schedule;
+}
+
+std::vector<double> median_angles(
+    const std::vector<std::vector<double>>& packed_angle_sets) {
+  FASTQAOA_CHECK(!packed_angle_sets.empty(), "median_angles: no inputs");
+  const std::size_t width = packed_angle_sets.front().size();
+  for (const auto& set : packed_angle_sets) {
+    FASTQAOA_CHECK(set.size() == width, "median_angles: ragged inputs");
+  }
+  std::vector<double> medians(width);
+  std::vector<double> column(packed_angle_sets.size());
+  for (std::size_t i = 0; i < width; ++i) {
+    for (std::size_t s = 0; s < packed_angle_sets.size(); ++s) {
+      column[s] = packed_angle_sets[s][i];
+    }
+    std::sort(column.begin(), column.end());
+    const std::size_t mid = column.size() / 2;
+    medians[i] = column.size() % 2 == 1
+                     ? column[mid]
+                     : 0.5 * (column[mid - 1] + column[mid]);
+  }
+  return medians;
+}
+
+double evaluate_angles(const Mixer& mixer, const dvec& obj_vals,
+                       const std::vector<double>& packed,
+                       const std::optional<dvec>& phase_values) {
+  FASTQAOA_CHECK(packed.size() % 2 == 0 && !packed.empty(),
+                 "evaluate_angles: need 2p angles");
+  const int p = static_cast<int>(packed.size() / 2);
+  Qaoa engine(mixer, obj_vals, p);
+  if (phase_values) engine.set_phase_values(*phase_values);
+  return engine.run_packed(packed);
+}
+
+void save_checkpoint(const std::string& path,
+                     const std::vector<AngleSchedule>& schedules) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    FASTQAOA_CHECK(out.good(), "save_checkpoint: cannot open " + tmp);
+    out.precision(17);
+    out << "fastqaoa-angles v1\n";
+    out << schedules.size() << "\n";
+    for (const AngleSchedule& s : schedules) {
+      out << s.p << " " << s.expectation << "\n";
+      for (std::size_t i = 0; i < s.betas.size(); ++i) {
+        out << (i ? " " : "") << s.betas[i];
+      }
+      out << "\n";
+      for (std::size_t i = 0; i < s.gammas.size(); ++i) {
+        out << (i ? " " : "") << s.gammas[i];
+      }
+      out << "\n";
+    }
+    FASTQAOA_CHECK(out.good(), "save_checkpoint: write failed for " + tmp);
+  }
+  // Atomic-ish replace so an interrupted save never corrupts the resume
+  // file (the crash-resume behaviour the paper's §3 describes).
+  std::filesystem::rename(tmp, path);
+}
+
+std::vector<AngleSchedule> load_checkpoint(const std::string& path) {
+  std::ifstream in(path);
+  FASTQAOA_CHECK(in.good(), "load_checkpoint: cannot open " + path);
+  std::string header;
+  std::getline(in, header);
+  FASTQAOA_CHECK(header == "fastqaoa-angles v1",
+                 "load_checkpoint: unrecognized header in " + path);
+  std::size_t count = 0;
+  in >> count;
+  std::vector<AngleSchedule> schedules(count);
+  for (AngleSchedule& s : schedules) {
+    in >> s.p >> s.expectation;
+    FASTQAOA_CHECK(in.good() && s.p >= 1,
+                   "load_checkpoint: corrupt entry in " + path);
+    s.betas.resize(static_cast<std::size_t>(s.p));
+    s.gammas.resize(static_cast<std::size_t>(s.p));
+    for (double& b : s.betas) in >> b;
+    for (double& g : s.gammas) in >> g;
+    FASTQAOA_CHECK(!in.fail(), "load_checkpoint: corrupt angles in " + path);
+  }
+  return schedules;
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,104 @@
+#pragma once
+/// \file strategies.hpp
+/// The paper's angle-finding strategies (§2.3, Fig. 2/3):
+///  * find_angles()        — iterative: INTERP-extrapolate the round-(p-1)
+///                           optimum to seed round p, refine by basinhopping,
+///                           checkpoint each round to disk, resume on crash.
+///  * find_angles_random() — the random local-minima baseline of Lotshaw et
+///                           al. [22]: N random starts, BFGS each, keep best.
+///  * median_angles()      — the [22] median-angles heuristic across many
+///                           instances.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "anglefind/basinhopping.hpp"
+#include "anglefind/qaoa_objective.hpp"
+#include "common/rng.hpp"
+#include "core/qaoa.hpp"
+#include "mixers/mixer.hpp"
+
+namespace fastqaoa {
+
+/// Optimized angles for a p-round QAOA plus the expectation they achieve.
+struct AngleSchedule {
+  int p = 0;
+  std::vector<double> betas;
+  std::vector<double> gammas;
+  double expectation = 0.0;
+
+  /// Packed [betas..., gammas...] layout used by Qaoa::run_packed.
+  [[nodiscard]] std::vector<double> packed() const;
+};
+
+/// INTERP extrapolation (Zhou et al.): resample a length-(p) angle sequence
+/// to length p+1 by piecewise-linear interpolation, preserving the smooth
+/// annealing-like angle profiles the iterative strategy exploits.
+std::vector<double> interp_extrapolate(const std::vector<double>& prev);
+
+/// Trotterized-quantum-annealing initialization (Sack & Serbyn [31], one of
+/// the paper's cited initialization schemes): a linear anneal discretized
+/// into p steps of size dt gives
+///   beta_i  = (1 - (i+0.5)/p) * dt,    gamma_i = ((i+0.5)/p) * dt,
+/// returned packed [betas..., gammas...]. A strong depth-independent seed
+/// for gradient refinement, complementary to INTERP.
+std::vector<double> tqa_initial_angles(int p, double dt = 0.75);
+
+/// Options for find_angles() and find_angles_random().
+struct FindAnglesOptions {
+  Direction direction = Direction::Maximize;
+  GradientProvider gradient = GradientProvider::Adjoint;
+  BasinHoppingOptions hopping;
+  /// Phase-separator table if different from the objective (threshold QAOA).
+  std::optional<dvec> phase_values;
+  /// Round-by-round results are appended here and reloaded on restart
+  /// (empty = no checkpointing).
+  std::string checkpoint_file;
+  std::uint64_t seed = 0x5EED5EED5EEDULL;
+};
+
+/// The paper's find_angles(): learn good angles for rounds 1..max_rounds
+/// iteratively. Returns one AngleSchedule per round. If a checkpoint file
+/// with earlier rounds exists, resumes after the last completed round.
+std::vector<AngleSchedule> find_angles(const Mixer& mixer,
+                                       const dvec& obj_vals, int max_rounds,
+                                       const FindAnglesOptions& options = {});
+
+/// Basinhopping at a single fixed p from explicit initial angles (the
+/// paper's `initial_angles` escape hatch that bypasses iteration).
+AngleSchedule find_angles_at(const Mixer& mixer, const dvec& obj_vals, int p,
+                             const std::vector<double>& initial_packed,
+                             const FindAnglesOptions& options = {});
+
+/// Random local-minima search (Listing 3's find_angles_rand): `restarts`
+/// random points in [0, 2*pi)^{2p}, BFGS from each, return the best.
+AngleSchedule find_angles_random(const Mixer& mixer, const dvec& obj_vals,
+                                 int p, int restarts,
+                                 const FindAnglesOptions& options = {});
+
+/// Grid search over [0, 2*pi)^{2p} — the third common strategy the paper
+/// names (§2.3). `points_per_axis` grid points per angle; every grid point
+/// is evaluated and the best is optionally polished with BFGS. Exponential
+/// in p — practical for p = 1 (the regime [22] used it in).
+AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
+                               int p, int points_per_axis,
+                               const FindAnglesOptions& options = {},
+                               bool polish = true);
+
+/// Coordinate-wise median of a collection of packed angle vectors (all the
+/// same length) — the median-angles strategy of [22].
+std::vector<double> median_angles(
+    const std::vector<std::vector<double>>& packed_angle_sets);
+
+/// Evaluate fixed packed angles on a problem (used to score median angles).
+double evaluate_angles(const Mixer& mixer, const dvec& obj_vals,
+                       const std::vector<double>& packed,
+                       const std::optional<dvec>& phase_values = std::nullopt);
+
+/// Checkpoint persistence (plain text; human-inspectable).
+void save_checkpoint(const std::string& path,
+                     const std::vector<AngleSchedule>& schedules);
+std::vector<AngleSchedule> load_checkpoint(const std::string& path);
+
+}  // namespace fastqaoa

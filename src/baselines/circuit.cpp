@@ -1,0 +1,138 @@
+#include "baselines/circuit.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fastqaoa::baselines {
+
+Circuit build_maxcut_circuit(const Graph& g, std::span<const double> betas,
+                             std::span<const double> gammas) {
+  FASTQAOA_CHECK(betas.size() == gammas.size(),
+                 "build_maxcut_circuit: betas/gammas size mismatch");
+  Circuit c;
+  c.n = g.num_vertices();
+  for (int q = 0; q < c.n; ++q) c.gates.push_back(Gate{GateKind::H, q, -1, 0.0, {}});
+  for (std::size_t round = 0; round < gammas.size(); ++round) {
+    // e^{-i gamma H_C} with H_C = sum_e w (1 - Z_u Z_v)/2 equals (up to a
+    // global phase) prod_e RZZ(-gamma * w) on (u, v).
+    for (const Edge& e : g.edges()) {
+      c.gates.push_back(
+          Gate{GateKind::RZZ, e.u, e.v, -gammas[round] * e.weight, {}});
+    }
+    // e^{-i beta sum X_i} = prod_i RX(2 beta).
+    for (int q = 0; q < c.n; ++q) {
+      c.gates.push_back(Gate{GateKind::RX, q, -1, 2.0 * betas[round], {}});
+    }
+  }
+  return c;
+}
+
+namespace {
+
+std::vector<cplx> rx_matrix(double theta) {
+  const double ch = std::cos(theta / 2.0);
+  const double sh = std::sin(theta / 2.0);
+  return {cplx{ch, 0.0}, cplx{0.0, -sh}, cplx{0.0, -sh}, cplx{ch, 0.0}};
+}
+
+std::vector<cplx> h_matrix() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return {cplx{s, 0.0}, cplx{s, 0.0}, cplx{s, 0.0}, cplx{-s, 0.0}};
+}
+
+std::vector<cplx> rz_matrix(double theta) {
+  const cplx phase0{std::cos(theta / 2.0), -std::sin(theta / 2.0)};
+  return {phase0, cplx{0.0, 0.0}, cplx{0.0, 0.0}, std::conj(phase0)};
+}
+
+std::vector<cplx> cx_matrix() {
+  // Control = q1, target = q2 in apply_2q's |q2 q1> basis convention:
+  // rows with q1 = 1 have the q2 bit flipped.
+  std::vector<cplx> m(16, cplx{0.0, 0.0});
+  m[0] = cplx{1.0, 0.0};   // |00> -> |00>
+  m[13] = cplx{1.0, 0.0};  // |01> -> |11>
+  m[10] = cplx{1.0, 0.0};  // |10> -> |10>
+  m[7] = cplx{1.0, 0.0};   // |11> -> |01>
+  return m;
+}
+
+}  // namespace
+
+Circuit build_maxcut_circuit_generic(const Graph& g,
+                                     std::span<const double> betas,
+                                     std::span<const double> gammas) {
+  FASTQAOA_CHECK(betas.size() == gammas.size(),
+                 "build_maxcut_circuit_generic: betas/gammas size mismatch");
+  Circuit c;
+  c.n = g.num_vertices();
+  for (int q = 0; q < c.n; ++q) {
+    c.gates.push_back(Gate{GateKind::Generic1Q, q, -1, 0.0, h_matrix()});
+  }
+  for (std::size_t round = 0; round < gammas.size(); ++round) {
+    for (const Edge& e : g.edges()) {
+      // Transpiled RZZ: CX (u -> v), RZ on v, CX (u -> v) — the basis-gate
+      // decomposition a Qiskit-like stack executes.
+      c.gates.push_back(Gate{GateKind::Generic2Q, e.u, e.v, 0.0, cx_matrix()});
+      c.gates.push_back(Gate{GateKind::Generic1Q, e.v, -1, 0.0,
+                             rz_matrix(-gammas[round] * e.weight)});
+      c.gates.push_back(Gate{GateKind::Generic2Q, e.u, e.v, 0.0, cx_matrix()});
+    }
+    for (int q = 0; q < c.n; ++q) {
+      c.gates.push_back(
+          Gate{GateKind::Generic1Q, q, -1, 0.0, rx_matrix(2.0 * betas[round])});
+    }
+  }
+  return c;
+}
+
+void run_circuit(const Circuit& circuit, GateStateVector& sv) {
+  FASTQAOA_CHECK(circuit.n == sv.n(), "run_circuit: qubit count mismatch");
+  for (const Gate& gate : circuit.gates) {
+    switch (gate.kind) {
+      case GateKind::H:
+        sv.apply_h(gate.q1);
+        break;
+      case GateKind::RX:
+        sv.apply_rx(gate.param, gate.q1);
+        break;
+      case GateKind::RZ:
+        sv.apply_rz(gate.param, gate.q1);
+        break;
+      case GateKind::RZZ:
+        sv.apply_rzz(gate.param, gate.q1, gate.q2);
+        break;
+      case GateKind::XY:
+        sv.apply_xy(gate.param, gate.q1, gate.q2);
+        break;
+      case GateKind::Generic1Q: {
+        FASTQAOA_CHECK(gate.matrix.size() == 4,
+                       "run_circuit: malformed 1q matrix");
+        std::array<cplx, 4> u;
+        std::copy(gate.matrix.begin(), gate.matrix.end(), u.begin());
+        sv.apply_1q(u, gate.q1);
+        break;
+      }
+      case GateKind::Generic2Q: {
+        FASTQAOA_CHECK(gate.matrix.size() == 16,
+                       "run_circuit: malformed 2q matrix");
+        std::array<cplx, 16> u;
+        std::copy(gate.matrix.begin(), gate.matrix.end(), u.begin());
+        sv.apply_2q(u, gate.q1, gate.q2);
+        break;
+      }
+    }
+  }
+}
+
+double measure_maxcut(const GateStateVector& sv, const Graph& g) {
+  double expectation = 0.0;
+  for (const Edge& e : g.edges()) {
+    expectation += e.weight * 0.5 * (1.0 - sv.expectation_zz(e.u, e.v));
+  }
+  return expectation;
+}
+
+}  // namespace fastqaoa::baselines

@@ -1,0 +1,56 @@
+#pragma once
+/// \file circuit.hpp
+/// A circuit intermediate representation plus the QAOA-ansatz circuit
+/// builder. Circuit-based stacks (Qiskit under QAOAKit, Yao under QAOA.jl)
+/// re-materialize this object for every angle set the optimizer tries;
+/// reproducing that construction cost is part of the Fig. 4 comparison.
+
+#include <span>
+#include <vector>
+
+#include "baselines/gate_sim.hpp"
+#include "common/types.hpp"
+#include "graphs/graph.hpp"
+
+namespace fastqaoa::baselines {
+
+/// Gate kinds appearing in a (standard-decomposition) QAOA circuit.
+enum class GateKind { H, RX, RZ, RZZ, XY, Generic1Q, Generic2Q };
+
+/// One gate instance. Generic gates carry their dense matrix inline —
+/// the representation a generic circuit simulator dispatches on.
+struct Gate {
+  GateKind kind;
+  int q1 = -1;
+  int q2 = -1;
+  double param = 0.0;
+  std::vector<cplx> matrix;  ///< 4 entries for 1q, 16 for 2q generics
+};
+
+/// An ordered gate list over n qubits.
+struct Circuit {
+  int n = 0;
+  std::vector<Gate> gates;
+};
+
+/// Build the standard MaxCut QAOA circuit: initial H layer, then per round
+/// RZZ(-gamma * w) per edge (the phase separator, up to a global phase) and
+/// RX(2 beta) per qubit (the transverse-field mixer).
+Circuit build_maxcut_circuit(const Graph& g, std::span<const double> betas,
+                             std::span<const double> gammas);
+
+/// Same ansatz, but every gate lowered to a Generic1Q/Generic2Q dense
+/// matrix (the heavyweight representation Qiskit-like stacks execute).
+Circuit build_maxcut_circuit_generic(const Graph& g,
+                                     std::span<const double> betas,
+                                     std::span<const double> gammas);
+
+/// Execute a circuit on a statevector (which must already be initialized
+/// to |0...0>; the circuit's H layer produces the uniform start).
+void run_circuit(const Circuit& circuit, GateStateVector& sv);
+
+/// MaxCut expectation measured the circuit-stack way: one Z_u Z_v
+/// expectation pass per edge, combined as sum_e w_e (1 - <ZZ>) / 2.
+double measure_maxcut(const GateStateVector& sv, const Graph& g);
+
+}  // namespace fastqaoa::baselines

@@ -1,0 +1,188 @@
+#include "baselines/gate_sim.hpp"
+
+#include <cmath>
+
+#include "bits/bitops.hpp"
+#include "common/error.hpp"
+
+namespace fastqaoa::baselines {
+
+GateStateVector::GateStateVector(int n) : n_(n) {
+  FASTQAOA_CHECK(n >= 1 && n <= 30, "GateStateVector: need 1 <= n <= 30");
+  psi_.assign(index_t{1} << n, cplx{0.0, 0.0});
+  psi_[0] = cplx{1.0, 0.0};
+}
+
+void GateStateVector::check_qubit(int q) const {
+  FASTQAOA_CHECK(q >= 0 && q < n_, "GateStateVector: qubit out of range");
+}
+
+void GateStateVector::reset() {
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(psi_.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    psi_[static_cast<index_t>(i)] = cplx{0.0, 0.0};
+  }
+  psi_[0] = cplx{1.0, 0.0};
+}
+
+void GateStateVector::reset_uniform() {
+  const double amp = 1.0 / std::sqrt(static_cast<double>(psi_.size()));
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(psi_.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    psi_[static_cast<index_t>(i)] = cplx{amp, 0.0};
+  }
+}
+
+void GateStateVector::apply_1q(const std::array<cplx, 4>& u, int q) {
+  check_qubit(q);
+  const index_t stride = index_t{1} << q;
+  const std::ptrdiff_t pairs = static_cast<std::ptrdiff_t>(psi_.size() / 2);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t t = 0; t < pairs; ++t) {
+    // Index with a zero inserted at bit q.
+    const index_t low = static_cast<index_t>(t) & (stride - 1);
+    const index_t high = (static_cast<index_t>(t) >> q) << (q + 1);
+    const index_t i0 = high | low;
+    const index_t i1 = i0 | stride;
+    const cplx a = psi_[i0];
+    const cplx b = psi_[i1];
+    psi_[i0] = u[0] * a + u[1] * b;
+    psi_[i1] = u[2] * a + u[3] * b;
+  }
+}
+
+void GateStateVector::apply_2q(const std::array<cplx, 16>& u, int q1, int q2) {
+  check_qubit(q1);
+  check_qubit(q2);
+  FASTQAOA_CHECK(q1 != q2, "apply_2q: qubits must differ");
+  const index_t s1 = index_t{1} << q1;
+  const index_t s2 = index_t{1} << q2;
+  const int lo = q1 < q2 ? q1 : q2;
+  const int hi = q1 < q2 ? q2 : q1;
+  const index_t slo = index_t{1} << lo;
+  const index_t shi = index_t{1} << hi;
+  const std::ptrdiff_t groups = static_cast<std::ptrdiff_t>(psi_.size() / 4);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t t = 0; t < groups; ++t) {
+    // Insert zeros at bit positions lo and hi.
+    index_t idx = static_cast<index_t>(t);
+    const index_t a = idx & (slo - 1);
+    idx >>= lo;
+    const index_t b = idx & ((shi >> (lo + 1)) - 1);
+    idx >>= (hi - lo - 1);
+    const index_t base = (idx << (hi + 1)) | (b << (lo + 1)) | a;
+    const index_t i00 = base;
+    const index_t i01 = base | s1;        // q1 = 1
+    const index_t i10 = base | s2;        // q2 = 1
+    const index_t i11 = base | s1 | s2;
+    const cplx v00 = psi_[i00];
+    const cplx v01 = psi_[i01];
+    const cplx v10 = psi_[i10];
+    const cplx v11 = psi_[i11];
+    psi_[i00] = u[0] * v00 + u[1] * v01 + u[2] * v10 + u[3] * v11;
+    psi_[i01] = u[4] * v00 + u[5] * v01 + u[6] * v10 + u[7] * v11;
+    psi_[i10] = u[8] * v00 + u[9] * v01 + u[10] * v10 + u[11] * v11;
+    psi_[i11] = u[12] * v00 + u[13] * v01 + u[14] * v10 + u[15] * v11;
+  }
+}
+
+void GateStateVector::apply_h(int q) {
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  apply_1q({cplx{inv_sqrt2, 0.0}, cplx{inv_sqrt2, 0.0}, cplx{inv_sqrt2, 0.0},
+            cplx{-inv_sqrt2, 0.0}},
+           q);
+}
+
+void GateStateVector::apply_rx(double theta, int q) {
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  apply_1q({cplx{c, 0.0}, cplx{0.0, -s}, cplx{0.0, -s}, cplx{c, 0.0}}, q);
+}
+
+void GateStateVector::apply_rz(double theta, int q) {
+  check_qubit(q);
+  const cplx phase0{std::cos(theta / 2.0), -std::sin(theta / 2.0)};
+  const cplx phase1 = std::conj(phase0);
+  const index_t mask = index_t{1} << q;
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(psi_.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    psi_[static_cast<index_t>(i)] *=
+        (static_cast<index_t>(i) & mask) ? phase1 : phase0;
+  }
+}
+
+void GateStateVector::apply_rzz(double theta, int q1, int q2) {
+  check_qubit(q1);
+  check_qubit(q2);
+  FASTQAOA_CHECK(q1 != q2, "apply_rzz: qubits must differ");
+  const cplx even{std::cos(theta / 2.0), -std::sin(theta / 2.0)};
+  const cplx odd = std::conj(even);
+  const index_t m1 = index_t{1} << q1;
+  const index_t m2 = index_t{1} << q2;
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(psi_.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    const index_t x = static_cast<index_t>(i);
+    const bool same = ((x & m1) != 0) == ((x & m2) != 0);
+    psi_[x] *= same ? even : odd;
+  }
+}
+
+void GateStateVector::apply_xy(double theta, int q1, int q2) {
+  check_qubit(q1);
+  check_qubit(q2);
+  FASTQAOA_CHECK(q1 != q2, "apply_xy: qubits must differ");
+  // exp(-i theta (XX+YY)/2) is a Givens rotation on the |01>,|10> block:
+  // [[cos theta, -i sin theta], [-i sin theta, cos theta]].
+  const double c = std::cos(theta);
+  const cplx is{0.0, -std::sin(theta)};
+  const index_t m1 = index_t{1} << q1;
+  const index_t m2 = index_t{1} << q2;
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(psi_.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    const index_t x = static_cast<index_t>(i);
+    // Touch each |01>,|10> pair once via its q1=1, q2=0 member.
+    if ((x & m1) != 0 && (x & m2) == 0) {
+      const index_t y = (x ^ m1) | m2;
+      const cplx a = psi_[x];
+      const cplx b = psi_[y];
+      psi_[x] = c * a + is * b;
+      psi_[y] = is * a + c * b;
+    }
+  }
+}
+
+double GateStateVector::expectation_zz(int q1, int q2) const {
+  check_qubit(q1);
+  check_qubit(q2);
+  const index_t m1 = index_t{1} << q1;
+  const index_t m2 = index_t{1} << q2;
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(psi_.size());
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    const index_t x = static_cast<index_t>(i);
+    const bool same = ((x & m1) != 0) == ((x & m2) != 0);
+    const double p = std::norm(psi_[x]);
+    acc += same ? p : -p;
+  }
+  return acc;
+}
+
+double GateStateVector::expectation_diag(const dvec& vals) const {
+  FASTQAOA_CHECK(vals.size() == psi_.size(),
+                 "expectation_diag: size mismatch");
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(psi_.size());
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    acc += vals[static_cast<index_t>(i)] * std::norm(psi_[static_cast<index_t>(i)]);
+  }
+  return acc;
+}
+
+}  // namespace fastqaoa::baselines

@@ -1,0 +1,49 @@
+#pragma once
+/// \file packages.hpp
+/// The three "QAOA packages" Fig. 4 races against each other, behind one
+/// interface so the benchmark harness can sweep them uniformly:
+///
+///  * FastQaoaPackage     — this library: objective tabulated once, mixer in
+///    its diagonal frame, buffers pre-allocated (the paper's JuliQAOA).
+///  * CircuitLightPackage — stand-in for QAOA.jl/Yao: rebuilds the gate list
+///    per evaluation but executes with specialized RX/RZZ kernels and
+///    measures term-by-term.
+///  * CircuitHeavyPackage — stand-in for QAOAKit/Qiskit: per evaluation it
+///    materializes every gate as a dense generic matrix, allocates a fresh
+///    statevector, dispatches through the generic 1q/2q kernels, and
+///    measures term-by-term.
+///
+/// Absolute times are machine-specific; the *structural* costs (circuit
+/// re-construction, generic dispatch, per-term measurement, allocation
+/// churn vs. one precomputed diagonal) are the same ones separating the
+/// real packages, so the scaling shapes of Fig. 4 carry over.
+
+#include <memory>
+#include <string>
+
+#include "core/qaoa.hpp"
+#include "graphs/graph.hpp"
+#include "problems/cost_functions.hpp"
+
+namespace fastqaoa::baselines {
+
+/// A QAOA evaluation backend for MaxCut with the transverse-field mixer.
+class QaoaPackage {
+ public:
+  virtual ~QaoaPackage() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// <C> at the given angles; every call is a full evaluation, exactly what
+  /// an angle-finding outer loop pays per step.
+  virtual double evaluate(std::span<const double> betas,
+                          std::span<const double> gammas) = 0;
+  /// Bytes of long-lived simulation state this package holds (Fig. 4a's
+  /// memory axis).
+  [[nodiscard]] virtual std::size_t resident_bytes() const = 0;
+};
+
+/// Construct a package by name for a MaxCut instance.
+std::unique_ptr<QaoaPackage> make_fastqaoa_package(const Graph& g, int rounds);
+std::unique_ptr<QaoaPackage> make_circuit_light_package(const Graph& g);
+std::unique_ptr<QaoaPackage> make_circuit_heavy_package(const Graph& g);
+
+}  // namespace fastqaoa::baselines

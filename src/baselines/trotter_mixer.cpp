@@ -1,0 +1,84 @@
+#include "baselines/trotter_mixer.hpp"
+
+#include <cmath>
+
+#include "bits/bitops.hpp"
+#include "common/error.hpp"
+
+namespace fastqaoa::baselines {
+
+TrotterXYMixer::TrotterXYMixer(const StateSpace& space, const Graph& pairs,
+                               int steps)
+    : space_(space), pairs_(pairs), steps_(steps) {
+  FASTQAOA_CHECK(steps >= 1, "TrotterXYMixer: need steps >= 1");
+  FASTQAOA_CHECK(pairs.num_vertices() == space.n(),
+                 "TrotterXYMixer: pair graph must have n vertices");
+  partner_.resize(pairs_.edges().size());
+  for (std::size_t e = 0; e < pairs_.edges().size(); ++e) {
+    const Edge& edge = pairs_.edges()[e];
+    auto& table = partner_[e];
+    table.resize(space_.dim());
+    space_.for_each([&](index_t i, state_t x) {
+      if (bit(x, edge.u) != bit(x, edge.v)) {
+        table[i] = space_.index_of(flip(flip(x, edge.u), edge.v));
+      } else {
+        table[i] = i;
+      }
+    });
+  }
+}
+
+std::string TrotterXYMixer::name() const {
+  return "trotter-xy(steps=" + std::to_string(steps_) + ")";
+}
+
+void TrotterXYMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
+  (void)scratch;
+  FASTQAOA_CHECK(psi.size() == dim(), "TrotterXYMixer: state size mismatch");
+  const double theta_total = beta / static_cast<double>(steps_);
+  for (int s = 0; s < steps_; ++s) {
+    for (std::size_t e = 0; e < pairs_.edges().size(); ++e) {
+      const double w = pairs_.edges()[e].weight;
+      // exp(-i theta (XX+YY)) on the swap pair (matrix [[0,2],[2,0]] block):
+      // cos(2 theta) on the diagonal, -i sin(2 theta) across.
+      const double c = std::cos(2.0 * theta_total * w);
+      const cplx is{0.0, -std::sin(2.0 * theta_total * w)};
+      const auto& table = partner_[e];
+      const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(dim());
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t i = 0; i < sz; ++i) {
+        const index_t j = table[static_cast<index_t>(i)];
+        // Touch each pair once via its lower index.
+        if (j > static_cast<index_t>(i)) {
+          const cplx a = psi[static_cast<index_t>(i)];
+          const cplx b = psi[j];
+          psi[static_cast<index_t>(i)] = c * a + is * b;
+          psi[j] = is * a + c * b;
+        }
+      }
+    }
+  }
+}
+
+void TrotterXYMixer::apply_ham(const cvec& in, cvec& out,
+                               cvec& scratch) const {
+  (void)scratch;
+  FASTQAOA_CHECK(in.size() == dim(), "TrotterXYMixer: state size mismatch");
+  // Exact H application (H = sum_e 2 w_e swap_e on differing bits); the
+  // Trotterization only approximates the exponential, not H itself.
+  out.assign(dim(), cplx{0.0, 0.0});
+  for (std::size_t e = 0; e < pairs_.edges().size(); ++e) {
+    const double w = 2.0 * pairs_.edges()[e].weight;
+    const auto& table = partner_[e];
+    const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(dim());
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < sz; ++i) {
+      const index_t j = table[static_cast<index_t>(i)];
+      if (j != static_cast<index_t>(i)) {
+        out[static_cast<index_t>(i)] += w * in[j];
+      }
+    }
+  }
+}
+
+}  // namespace fastqaoa::baselines

@@ -1,0 +1,44 @@
+#pragma once
+/// \file trotter_mixer.hpp
+/// First-order-Trotter approximation of XY-hopping mixers — the QOKit
+/// approach the paper contrasts with (§4): "They include both Clique and
+/// Ring mixers, but their implementation is equivalent to a first-order
+/// Trotter approximation." Instead of the exact
+/// e^{-i beta sum_e (XX+YY)_e} via eigendecomposition, each application is
+/// prod_e e^{-i beta (XX+YY)_e} repeated `steps` times with beta/steps —
+/// O(steps * |E| * dim) per call, no O(dim^3) precomputation, but only
+/// approximately the target unitary (terms on overlapping pairs do not
+/// commute). Used by bench/ablation_trotter to quantify the trade.
+
+#include <vector>
+
+#include "graphs/graph.hpp"
+#include "mixers/mixer.hpp"
+#include "problems/state_space.hpp"
+
+namespace fastqaoa::baselines {
+
+/// Trotterized XY mixer on a feasible state space (full or Dicke — XY terms
+/// conserve Hamming weight, so the Dicke subspace stays closed either way).
+class TrotterXYMixer final : public Mixer {
+ public:
+  TrotterXYMixer(const StateSpace& space, const Graph& pairs, int steps = 1);
+
+  [[nodiscard]] index_t dim() const override { return space_.dim(); }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int steps() const noexcept { return steps_; }
+
+  void apply_exp(cvec& psi, double beta, cvec& scratch) const override;
+  void apply_ham(const cvec& in, cvec& out, cvec& scratch) const override;
+
+ private:
+  StateSpace space_;
+  Graph pairs_;
+  int steps_;
+  /// Precomputed swap partners: for edge e and feasible index i,
+  /// partner_[e][i] = index of the state with bits (u,v) swapped, or i
+  /// itself when the bits agree (no mixing).
+  std::vector<std::vector<index_t>> partner_;
+};
+
+}  // namespace fastqaoa::baselines

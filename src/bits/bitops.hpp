@@ -1,0 +1,48 @@
+#pragma once
+/// \file bitops.hpp
+/// Bit-level primitives on computational-basis states.
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace fastqaoa {
+
+/// Hamming weight of a basis state.
+inline int popcount(state_t x) noexcept { return std::popcount(x); }
+
+/// Parity (0/1) of the number of set bits in x.
+inline int parity(state_t x) noexcept { return std::popcount(x) & 1; }
+
+/// +1 if popcount(x & mask) is even, -1 if odd. This is the eigenvalue of
+/// the Pauli-Z product over `mask` on basis state |x> — the workhorse of the
+/// X-mixer diagonal frame (DESIGN.md §5).
+inline double z_sign(state_t x, state_t mask) noexcept {
+  return parity(x & mask) ? -1.0 : 1.0;
+}
+
+/// Value (0/1) of qubit q in state x.
+inline int bit(state_t x, int q) noexcept {
+  return static_cast<int>((x >> q) & 1ULL);
+}
+
+/// State x with qubit q flipped.
+inline state_t flip(state_t x, int q) noexcept { return x ^ (state_t{1} << q); }
+
+/// Mask with the lowest k bits set (the minimum weight-k state).
+inline state_t lowest_k_bits(int k) noexcept {
+  return k == 0 ? 0 : (k >= 64 ? ~state_t{0} : (state_t{1} << k) - 1);
+}
+
+/// Gosper's hack: the next integer after v with the same popcount.
+/// Precondition: v != 0. Iterating from lowest_k_bits(k) enumerates all
+/// weight-k n-bit strings in increasing order; stop once the result exceeds
+/// (1<<n)-1.
+inline state_t next_same_weight(state_t v) noexcept {
+  const state_t c = v & (~v + 1);  // lowest set bit
+  const state_t r = v + c;
+  return (((r ^ v) >> 2) / c) | r;
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,80 @@
+#include "bits/combinatorics.hpp"
+
+#include <limits>
+
+namespace fastqaoa {
+
+std::uint64_t binomial(int n, int k) {
+  FASTQAOA_CHECK(n >= 0, "binomial: n must be non-negative");
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // result * (n - k + i) / i is always integral at this point; guard the
+    // multiplication against 64-bit overflow.
+    const std::uint64_t factor = static_cast<std::uint64_t>(n - k + i);
+    FASTQAOA_CHECK(result <= std::numeric_limits<std::uint64_t>::max() / factor,
+                   "binomial: 64-bit overflow");
+    result = result * factor / static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+BinomialTable::BinomialTable(int max_n) : max_n_(max_n) {
+  FASTQAOA_CHECK(max_n >= 0 && max_n <= 67,
+                 "BinomialTable: rows above n=67 overflow 64 bits");
+  rows_.assign(static_cast<std::size_t>(max_n + 1) * (max_n + 1), 0);
+  for (int n = 0; n <= max_n; ++n) {
+    auto* row = &rows_[static_cast<std::size_t>(n) * (max_n + 1)];
+    row[0] = 1;
+    if (n == 0) continue;
+    const auto* prev = row - (max_n + 1);
+    for (int k = 1; k <= n; ++k) row[k] = prev[k - 1] + (k <= n - 1 ? prev[k] : 0);
+  }
+}
+
+index_t rank_combination(state_t x, const BinomialTable& binom) {
+  // Combinadic: rank = sum over set bits (in increasing position order) of
+  // C(position, 1-based ordinal of the bit).
+  index_t rank = 0;
+  int ordinal = 0;
+  while (x != 0) {
+    const int pos = std::countr_zero(x);
+    ++ordinal;
+    rank += binom(pos, ordinal);
+    x &= x - 1;  // clear lowest set bit
+  }
+  return rank;
+}
+
+state_t unrank_combination(index_t rank, int n, int k,
+                           const BinomialTable& binom) {
+  FASTQAOA_CHECK(n >= 0 && k >= 0 && k <= n, "unrank_combination: bad (n,k)");
+  FASTQAOA_CHECK(rank < binom(n, k), "unrank_combination: rank out of range");
+  state_t x = 0;
+  // Choose bit positions from the highest ordinal down.
+  std::uint64_t r = rank;
+  for (int ordinal = k; ordinal >= 1; --ordinal) {
+    // Largest pos with C(pos, ordinal) <= r.
+    int pos = ordinal - 1;
+    while (pos + 1 < n && binom(pos + 1, ordinal) <= r) ++pos;
+    x |= state_t{1} << pos;
+    r -= binom(pos, ordinal);
+  }
+  return x;
+}
+
+DickeBasis::DickeBasis(int n, int k) : n_(n), k_(k), binom_(n) {
+  FASTQAOA_CHECK(n >= 1 && n < 63, "DickeBasis: need 1 <= n < 63");
+  FASTQAOA_CHECK(k >= 0 && k <= n, "DickeBasis: need 0 <= k <= n");
+  states_.reserve(binom_(n, k));
+  for_each_weight_k(n, k, [this](state_t s) { states_.push_back(s); });
+}
+
+index_t DickeBasis::index_of(state_t x) const {
+  FASTQAOA_CHECK(popcount(x) == k_, "DickeBasis::index_of: wrong weight");
+  FASTQAOA_CHECK((x >> n_) == 0, "DickeBasis::index_of: state exceeds n bits");
+  return rank_combination(x, binom_);
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,94 @@
+#pragma once
+/// \file combinatorics.hpp
+/// Binomial coefficients and combinadic (combinatorial number system)
+/// ranking of fixed-Hamming-weight states. These index the Dicke feasible
+/// subspace used by constrained QAOA problems.
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/bitops.hpp"
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fastqaoa {
+
+/// Exact binomial coefficient C(n, k) as a 64-bit integer.
+/// Throws fastqaoa::Error on overflow.
+std::uint64_t binomial(int n, int k);
+
+/// Cached table of binomial coefficients up to C(max_n, *).
+class BinomialTable {
+ public:
+  /// Build Pascal's triangle rows 0..max_n.
+  explicit BinomialTable(int max_n);
+
+  /// C(n, k); 0 when k < 0 or k > n.
+  [[nodiscard]] std::uint64_t operator()(int n, int k) const {
+    FASTQAOA_ASSERT(n >= 0 && n <= max_n_, "BinomialTable: n out of range");
+    if (k < 0 || k > n) return 0;
+    return rows_[static_cast<std::size_t>(n) * (max_n_ + 1) + k];
+  }
+
+  [[nodiscard]] int max_n() const noexcept { return max_n_; }
+
+ private:
+  int max_n_;
+  std::vector<std::uint64_t> rows_;
+};
+
+/// Rank of a weight-k state x among all weight-k states in increasing
+/// numeric order (the combinadic rank). Inverse of unrank_combination.
+index_t rank_combination(state_t x, const BinomialTable& binom);
+
+/// The weight-k n-bit state of given rank in increasing numeric order.
+state_t unrank_combination(index_t rank, int n, int k,
+                           const BinomialTable& binom);
+
+/// The ordered basis of an n-qubit Hamming-weight-k (Dicke) subspace.
+/// basis()[i] is the i-th weight-k string in increasing numeric order;
+/// index_of() inverts it in O(k) via combinadic ranking (no hash table).
+class DickeBasis {
+ public:
+  /// Enumerate all C(n,k) weight-k strings with Gosper's hack.
+  DickeBasis(int n, int k);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] index_t size() const noexcept { return states_.size(); }
+  [[nodiscard]] const std::vector<state_t>& states() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] state_t state(index_t i) const {
+    FASTQAOA_ASSERT(i < states_.size(), "DickeBasis: index out of range");
+    return states_[i];
+  }
+
+  /// Index of a weight-k state in this basis.
+  [[nodiscard]] index_t index_of(state_t x) const;
+
+ private:
+  int n_;
+  int k_;
+  std::vector<state_t> states_;
+  BinomialTable binom_;
+};
+
+/// Enumerate all n-bit strings of Hamming weight k in increasing order,
+/// calling fn(state) for each. Uses Gosper's hack; the loop the paper's
+/// §2.4 uses to partition Grover-mixer objective tabulation across workers.
+template <typename Fn>
+void for_each_weight_k(int n, int k, Fn&& fn) {
+  FASTQAOA_CHECK(n >= 0 && n < 63, "for_each_weight_k: need 0 <= n < 63");
+  FASTQAOA_CHECK(k >= 0 && k <= n, "for_each_weight_k: need 0 <= k <= n");
+  if (k == 0) {
+    fn(state_t{0});
+    return;
+  }
+  const state_t limit = state_t{1} << n;
+  for (state_t v = lowest_k_bits(k); v < limit; v = next_same_weight(v)) {
+    fn(v);
+  }
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,89 @@
+#pragma once
+/// \file alloc.hpp
+/// Cache-line aligned allocation with byte-level accounting.
+///
+/// The paper's Fig. 4a reports memory usage per simulation package. We
+/// reproduce that by funnelling every statevector / cost-table / mixer
+/// allocation through TrackedAlignedAllocator, which maintains process-wide
+/// current and peak byte counters (see MemoryTracker). The counters are
+/// cheap relaxed atomics, so tracking costs nothing measurable next to the
+/// O(2^n) math they account for.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace fastqaoa {
+
+/// Process-wide allocation statistics for tracked containers.
+class MemoryTracker {
+ public:
+  /// Bytes currently allocated through tracked allocators.
+  static std::size_t current_bytes() noexcept {
+    return current_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark since the last reset_peak().
+  static std::size_t peak_bytes() noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  /// Reset the high-water mark to the current allocation level.
+  static void reset_peak() noexcept {
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+  static void add(std::size_t bytes) noexcept {
+    const std::size_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::size_t prev = peak_.load(std::memory_order_relaxed);
+    while (prev < now &&
+           !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  }
+  static void sub(std::size_t bytes) noexcept {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  static inline std::atomic<std::size_t> current_{0};
+  static inline std::atomic<std::size_t> peak_{0};
+};
+
+/// 64-byte aligned allocator that reports every allocation to MemoryTracker.
+template <typename T>
+class TrackedAlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+
+  TrackedAlignedAllocator() noexcept = default;
+  template <typename U>
+  explicit constexpr TrackedAlignedAllocator(
+      const TrackedAlignedAllocator<U>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    const std::size_t bytes = round_up(n * sizeof(T));
+    void* p = std::aligned_alloc(kAlignment, bytes);
+    if (p == nullptr) throw std::bad_alloc{};
+    MemoryTracker::add(bytes);
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    MemoryTracker::sub(round_up(n * sizeof(T)));
+    std::free(p);
+  }
+
+  template <typename U>
+  bool operator==(const TrackedAlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t round_up(std::size_t bytes) noexcept {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+};
+
+}  // namespace fastqaoa

@@ -1,0 +1,30 @@
+#pragma once
+/// \file threading.hpp
+/// Thin OpenMP shims so the library builds (serially) without OpenMP.
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace fastqaoa {
+
+/// Number of OpenMP threads the next parallel region will use (1 if OpenMP
+/// is unavailable).
+inline int num_threads() noexcept {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Index of the calling thread inside a parallel region (0 otherwise).
+inline int thread_id() noexcept {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,33 @@
+#pragma once
+/// \file types.hpp
+/// Core scalar and container aliases shared across all fastQAOA modules.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/alloc.hpp"
+
+namespace fastqaoa {
+
+/// Double-precision complex amplitude. All statevector math uses this type.
+using cplx = std::complex<double>;
+
+/// Computational-basis state encoded as a bit string (qubit i = bit i).
+using state_t = std::uint64_t;
+
+/// Index into a (possibly restricted) basis.
+using index_t = std::size_t;
+
+/// Cache-line aligned dynamic array of complex amplitudes.
+/// Allocation is tracked so simulators can report peak memory (Fig. 4a).
+using cvec = std::vector<cplx, TrackedAlignedAllocator<cplx>>;
+
+/// Cache-line aligned dynamic array of real values (tabulated cost
+/// functions, mixer eigenvalues, ...). Allocation is tracked.
+using dvec = std::vector<double, TrackedAlignedAllocator<double>>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr cplx kImag{0.0, 1.0};
+
+}  // namespace fastqaoa

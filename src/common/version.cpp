@@ -1,0 +1,7 @@
+#include "common/version.hpp"
+
+namespace fastqaoa {
+
+const char* version() noexcept { return "1.0.0"; }
+
+}  // namespace fastqaoa

@@ -1,0 +1,10 @@
+#pragma once
+/// \file version.hpp
+/// Library version string.
+
+namespace fastqaoa {
+
+/// Semantic version of the fastQAOA library.
+const char* version() noexcept;
+
+}  // namespace fastqaoa

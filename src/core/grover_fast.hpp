@@ -1,0 +1,108 @@
+#pragma once
+/// \file grover_fast.hpp
+/// The paper's §2.4 large-n Grover-mixer fast path. The Grover mixer gives
+/// *fair sampling*: states with equal objective value always carry equal
+/// amplitude. The entire statevector is therefore determined by one complex
+/// amplitude per *distinct objective value*, and a p-round Grover-QAOA over
+/// 2^100 states evolves in O(p * #distinct) time and O(#distinct) memory:
+///
+///   phase:  a_j <- e^{-i gamma v_j} a_j
+///   mixer:  a_j <- a_j + (e^{-i beta} - 1) * (sum_j m_j a_j) / N
+///
+/// where m_j are the degeneracies and N = sum m_j (state counts may exceed
+/// 2^64, so they are carried as doubles — exact for the structured tables
+/// this path is used with, and within 1 ulp otherwise).
+
+#include <span>
+
+#include "common/types.hpp"
+#include "problems/objective.hpp"
+
+namespace fastqaoa {
+
+/// Degeneracy-compressed Grover-QAOA simulator.
+class GroverQaoa {
+ public:
+  /// Build from distinct objective values and their multiplicities.
+  /// `values` and `counts` must be equal-length and non-empty; counts are
+  /// doubles so spaces up to n ≈ 1000 qubits are representable.
+  GroverQaoa(std::vector<double> values, std::vector<double> counts);
+
+  /// Convenience: adopt a DegeneracyTable (counts converted to double).
+  explicit GroverQaoa(const DegeneracyTable& table);
+
+  /// Number of distinct objective values (the compressed dimension).
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return values_.size();
+  }
+  /// Total number of underlying feasible states N.
+  [[nodiscard]] double total_states() const noexcept { return total_; }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] const std::vector<double>& counts() const noexcept {
+    return counts_;
+  }
+
+  /// Use a phase-separator value per class different from the measured one
+  /// (threshold-QAOA: Grover mixer + indicator phase = Grover search [17]).
+  void set_phase_values(std::vector<double> phase_vals);
+
+  /// Evolve p rounds and return <C>. Sizes of betas/gammas must match.
+  double run(std::span<const double> betas, std::span<const double> gammas);
+
+  /// Packed angles (betas then gammas), as in Qaoa::run_packed.
+  double run_packed(std::span<const double> angles);
+
+  /// Exact adjoint-mode gradient of <C> on the compressed representation
+  /// (the autodiff/adjoint.hpp technique with degeneracy-weighted inner
+  /// products): the full 2p gradient at O(p * #classes) cost. Returns <C>.
+  double value_and_gradient(std::span<const double> betas,
+                            std::span<const double> gammas,
+                            std::span<double> grad_betas,
+                            std::span<double> grad_gammas);
+
+  /// <C> after the last run().
+  [[nodiscard]] double expectation() const noexcept { return expectation_; }
+
+  /// Probability mass on the best class after the last run().
+  [[nodiscard]] double ground_state_probability(
+      Direction direction = Direction::Maximize) const;
+
+  /// Per-class amplitude after the last run() (equal for every state in
+  /// the class — fair sampling).
+  [[nodiscard]] cplx class_amplitude(std::size_t j) const;
+
+  /// Expand the compressed state onto an explicit per-state statevector
+  /// given the class index of every state (cross-check path for tests;
+  /// only sensible for small spaces).
+  [[nodiscard]] cvec expand(const std::vector<std::size_t>& class_of) const;
+
+ private:
+  /// psi <- e^{-i beta |psi0><psi0|} psi on the compressed amplitudes.
+  void apply_grover_exp(std::vector<cplx>& amps, double beta) const;
+  /// Degeneracy-weighted inner product sum_j m_j conj(a_j) b_j.
+  [[nodiscard]] cplx weighted_dot(const std::vector<cplx>& a,
+                                  const std::vector<cplx>& b) const;
+
+  std::vector<double> values_;
+  std::vector<double> counts_;
+  std::vector<double> phase_vals_;
+  std::vector<cplx> amps_;
+  double total_ = 0.0;
+  double expectation_ = 0.0;
+};
+
+/// Analytic degeneracy tables for very large n (no enumeration):
+
+/// Cost depending only on Hamming weight: C(x) = weight_cost[|x|],
+/// degeneracy of class m is C(n, m). Representable up to n ≈ 1000.
+GroverQaoa grover_hamming_weight_qaoa(int n,
+                                      const std::vector<double>& weight_cost);
+
+/// Unstructured search: `marked` states at value 1, the rest at value 0
+/// (with the Grover mixer and a threshold phase separator this is exactly
+/// Grover's algorithm as a QAOA).
+GroverQaoa grover_search_qaoa(double num_states, double marked);
+
+}  // namespace fastqaoa

@@ -1,0 +1,27 @@
+#include "core/multi_angle.hpp"
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+std::vector<XMixer> per_qubit_x_mixers(int n) {
+  FASTQAOA_CHECK(n >= 1 && n <= 30, "per_qubit_x_mixers: need 1 <= n <= 30");
+  std::vector<XMixer> mixers;
+  mixers.reserve(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    mixers.emplace_back(n, std::vector<PauliXTerm>{{state_t{1} << q, 1.0}});
+  }
+  return mixers;
+}
+
+std::vector<MixerLayer> repeated_layers(const std::vector<XMixer>& mixers,
+                                        int rounds) {
+  FASTQAOA_CHECK(rounds >= 1, "repeated_layers: need at least one round");
+  FASTQAOA_CHECK(!mixers.empty(), "repeated_layers: empty mixer set");
+  MixerLayer layer;
+  layer.mixers.reserve(mixers.size());
+  for (const XMixer& m : mixers) layer.mixers.push_back(&m);
+  return std::vector<MixerLayer>(static_cast<std::size_t>(rounds), layer);
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,25 @@
+#pragma once
+/// \file multi_angle.hpp
+/// Helpers for multi-angle QAOA (Herrman et al. [21], paper §3): each
+/// mixer component gets its own beta angle within a round. The Qaoa engine
+/// already takes arbitrary MixerLayer lists; these helpers build the common
+/// decompositions.
+
+#include <vector>
+
+#include "core/qaoa.hpp"
+#include "mixers/x_mixer.hpp"
+
+namespace fastqaoa {
+
+/// One single-qubit X mixer per qubit: the ma-QAOA mixer decomposition
+/// (n betas per round instead of one).
+std::vector<XMixer> per_qubit_x_mixers(int n);
+
+/// Assemble p identical multi-angle layers from a mixer set. The returned
+/// layers point at the supplied mixers — keep `mixers` alive while the
+/// Qaoa engine built from the layers is in use.
+std::vector<MixerLayer> repeated_layers(const std::vector<XMixer>& mixers,
+                                        int rounds);
+
+}  // namespace fastqaoa

@@ -1,0 +1,140 @@
+#pragma once
+/// \file qaoa.hpp
+/// The QAOA statevector engine (paper §2.2). A Qaoa object binds a
+/// precomputed objective table to a mixer schedule, pre-allocates every
+/// buffer once, and then evaluates
+///   |β,γ> = e^{-iβ_p H_M} e^{-iγ_p H_C} ... e^{-iβ_1 H_M} e^{-iγ_1 H_C} |ψ0>
+/// with functionally zero per-call overhead — the property the angle-finding
+/// outer loop leans on.
+///
+/// Flexibility knobs (paper §3):
+///  * per-round mixer schedules (array of p mixers),
+///  * multi-angle QAOA (several mixers, each with its own β, inside a round),
+///  * custom initial states (warm starts),
+///  * a phase-separator table decoupled from the measured objective
+///    (threshold-QAOA uses an indicator phase but measures the true cost).
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mixers/mixer.hpp"
+#include "problems/objective.hpp"
+
+namespace fastqaoa {
+
+/// One QAOA round applies the phase separator once, then each mixer in the
+/// layer in order, each consuming its own β angle.
+struct MixerLayer {
+  std::vector<const Mixer*> mixers;
+};
+
+/// Reusable QAOA evaluation engine.
+class Qaoa {
+ public:
+  /// Same mixer every round, for `rounds` rounds (the common case).
+  Qaoa(const Mixer& mixer, dvec obj_vals, int rounds);
+
+  /// One (single-mixer) layer per round.
+  Qaoa(std::vector<const Mixer*> round_mixers, dvec obj_vals);
+
+  /// Fully general multi-angle schedule: layers[k] lists the mixers of
+  /// round k, each taking its own β.
+  Qaoa(std::vector<MixerLayer> layers, dvec obj_vals);
+
+  /// Number of rounds p.
+  [[nodiscard]] int rounds() const noexcept {
+    return static_cast<int>(layers_.size());
+  }
+  /// Total number of β angles (= p for single-mixer layers).
+  [[nodiscard]] int num_betas() const noexcept { return num_betas_; }
+  /// Total number of γ angles (= p).
+  [[nodiscard]] int num_gammas() const noexcept { return rounds(); }
+  /// Hilbert-space (feasible subspace) dimension.
+  [[nodiscard]] index_t dim() const noexcept { return obj_vals_.size(); }
+
+  [[nodiscard]] const dvec& objective() const noexcept { return obj_vals_; }
+  [[nodiscard]] const dvec& phase_values() const noexcept {
+    return *phase_vals_;
+  }
+  [[nodiscard]] const std::vector<MixerLayer>& layers() const noexcept {
+    return layers_;
+  }
+
+  /// Override the |ψ0> = uniform-superposition default (warm starts).
+  /// The vector must be unit-norm and of dimension dim().
+  void set_initial_state(cvec psi0);
+
+  /// Use a phase-separator table different from the measured objective —
+  /// e.g. threshold_indicator(obj_vals, t) for threshold QAOA.
+  void set_phase_values(dvec phase_vals);
+
+  /// The initial state this engine starts from.
+  [[nodiscard]] const cvec& initial_state() const;
+
+  /// Evolve the ansatz and return <C>. betas.size() must equal num_betas(),
+  /// gammas.size() must equal num_gammas(). The statevector stays in the
+  /// internal buffer — read it via state().
+  double run(std::span<const double> betas, std::span<const double> gammas);
+
+  /// Paper-style packed angles: angles[0..p) = betas, angles[p..2p) = gammas
+  /// (Listing 1). Only valid when num_betas() == rounds().
+  double run_packed(std::span<const double> angles);
+
+  /// Statevector after the last run().
+  [[nodiscard]] const cvec& state() const noexcept { return psi_; }
+
+  /// <C> of the last run().
+  [[nodiscard]] double expectation() const noexcept { return expectation_; }
+
+  /// Probability mass on optimal states after the last run(): maximizers by
+  /// default, minimizers for Direction::Minimize.
+  [[nodiscard]] double ground_state_probability(
+      Direction direction = Direction::Maximize) const;
+
+  /// Probability mass on states whose objective equals `value`.
+  [[nodiscard]] double probability_of_value(double value) const;
+
+  /// Expectation of an arbitrary diagonal observable on the last run()'s
+  /// state (secondary objectives, feasibility masses, constraint checks —
+  /// anything tabulated over the same feasible set).
+  [[nodiscard]] double expectation_of(const dvec& observable) const;
+
+  /// Amplitude of feasible state index i after the last run().
+  [[nodiscard]] cplx amplitude(index_t i) const;
+
+ private:
+  void validate_layers() const;
+
+  std::vector<MixerLayer> layers_;
+  dvec obj_vals_;
+  dvec phase_vals_storage_;   ///< used when a custom phase table is set
+  const dvec* phase_vals_;    ///< points at obj_vals_ or the custom table
+  mutable cvec psi0_;         ///< empty = uniform superposition default,
+                              ///< built lazily on first use
+  cvec psi_;
+  cvec scratch_;
+  double expectation_ = 0.0;
+  int num_betas_ = 0;
+};
+
+/// Result of a one-shot simulate() call (the paper's Listing 1 object):
+/// owns its statevector and summary scalars.
+struct SimResult {
+  cvec statevector;
+  double exp_value = 0.0;           ///< <C>
+  double ground_state_prob = 0.0;   ///< probability of the best (max) states
+  double best_value = 0.0;          ///< max of the objective table
+};
+
+/// One-shot evaluation with packed angles (betas then gammas), mirroring the
+/// paper's `simulate(angles, mixer, obj_vals)`. For repeated evaluation
+/// (angle finding) construct a Qaoa engine instead — it reuses its buffers.
+SimResult simulate(std::span<const double> angles, const Mixer& mixer,
+                   const dvec& obj_vals);
+
+/// One-shot evaluation with a custom initial state.
+SimResult simulate(std::span<const double> angles, const Mixer& mixer,
+                   const dvec& obj_vals, const cvec& initial_state);
+
+}  // namespace fastqaoa

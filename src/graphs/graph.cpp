@@ -1,0 +1,110 @@
+#include "graphs/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fastqaoa {
+
+Graph::Graph(int n) : n_(n), adjacency_(static_cast<std::size_t>(n)) {
+  FASTQAOA_CHECK(n >= 1, "Graph: need at least one vertex");
+}
+
+Graph::Graph(int n, const std::vector<Edge>& edges) : Graph(n) {
+  for (const Edge& e : edges) add_edge(e.u, e.v, e.weight);
+}
+
+bool Graph::has_edge(int u, int v) const {
+  FASTQAOA_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_,
+                 "Graph::has_edge: vertex out of range");
+  const auto& adj = adjacency_[static_cast<std::size_t>(u)];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+void Graph::add_edge(int u, int v, double weight) {
+  FASTQAOA_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_,
+                 "Graph::add_edge: vertex out of range");
+  FASTQAOA_CHECK(u != v, "Graph::add_edge: self-loops not allowed");
+  FASTQAOA_CHECK(!has_edge(u, v), "Graph::add_edge: duplicate edge");
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v, weight});
+  adjacency_[static_cast<std::size_t>(u)].push_back(v);
+  adjacency_[static_cast<std::size_t>(v)].push_back(u);
+}
+
+double Graph::total_weight() const {
+  return std::accumulate(
+      edges_.begin(), edges_.end(), 0.0,
+      [](double acc, const Edge& e) { return acc + e.weight; });
+}
+
+Graph erdos_renyi(int n, double p, Rng& rng) {
+  FASTQAOA_CHECK(p >= 0.0 && p <= 1.0, "erdos_renyi: p must be in [0, 1]");
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.uniform() < p) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_regular(int n, int d, Rng& rng) {
+  FASTQAOA_CHECK(d >= 0 && d < n, "random_regular: need 0 <= d < n");
+  FASTQAOA_CHECK((static_cast<std::int64_t>(n) * d) % 2 == 0,
+                 "random_regular: n*d must be even");
+  // Pairing (configuration) model with full restarts on collision. For the
+  // small d used in QAOA studies (d=3) acceptance is high.
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * d);
+    for (int v = 0; v < n; ++v)
+      for (int i = 0; i < d; ++i) stubs.push_back(v);
+    // Fisher-Yates shuffle.
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      std::swap(stubs[i - 1], stubs[rng.bounded(i)]);
+    }
+    Graph g(n);
+    bool ok = true;
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const int u = stubs[i];
+      const int v = stubs[i + 1];
+      if (u == v || g.has_edge(u, v)) {
+        ok = false;
+        break;
+      }
+      g.add_edge(u, v);
+    }
+    if (ok) return g;
+  }
+  throw Error("random_regular: failed to generate after 10000 attempts");
+}
+
+Graph complete_graph(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph ring_graph(int n) {
+  FASTQAOA_CHECK(n >= 3, "ring_graph: need n >= 3");
+  Graph g(n);
+  for (int v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  return g;
+}
+
+Graph star_graph(int n) {
+  FASTQAOA_CHECK(n >= 2, "star_graph: need n >= 2");
+  Graph g(n);
+  for (int v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph path_graph(int n) {
+  FASTQAOA_CHECK(n >= 2, "path_graph: need n >= 2");
+  Graph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+}  // namespace fastqaoa

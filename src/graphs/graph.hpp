@@ -1,0 +1,82 @@
+#pragma once
+/// \file graph.hpp
+/// Simple undirected weighted graphs and the random ensembles the paper's
+/// evaluation draws instances from (Erdős–Rényi G(n, 0.5), d-regular).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace fastqaoa {
+
+/// Undirected weighted edge; endpoints are vertex indices with u < v.
+struct Edge {
+  int u;
+  int v;
+  double weight = 1.0;
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// Undirected graph on vertices 0..n-1 with an edge list and per-vertex
+/// adjacency. Parallel edges and self-loops are rejected.
+class Graph {
+ public:
+  /// Empty graph on n vertices.
+  explicit Graph(int n);
+
+  /// Graph from an explicit edge list.
+  Graph(int n, const std::vector<Edge>& edges);
+
+  [[nodiscard]] int num_vertices() const noexcept { return n_; }
+  [[nodiscard]] int num_edges() const noexcept {
+    return static_cast<int>(edges_.size());
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+  /// Neighbors of vertex v.
+  [[nodiscard]] const std::vector<int>& neighbors(int v) const {
+    FASTQAOA_CHECK(v >= 0 && v < n_, "Graph::neighbors: vertex out of range");
+    return adjacency_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] int degree(int v) const {
+    return static_cast<int>(neighbors(v).size());
+  }
+  [[nodiscard]] bool has_edge(int u, int v) const;
+
+  /// Add edge {u, v} with the given weight. Throws on self-loop/duplicate.
+  void add_edge(int u, int v, double weight = 1.0);
+
+  /// Sum of all edge weights.
+  [[nodiscard]] double total_weight() const;
+
+ private:
+  int n_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adjacency_;
+};
+
+/// Erdős–Rényi G(n, p): each of the C(n,2) edges present independently with
+/// probability p. The paper's Fig. 2-5 instances are G(n, 0.5).
+Graph erdos_renyi(int n, double p, Rng& rng);
+
+/// Random d-regular graph via the pairing model with restarts (rejecting
+/// self-loops and parallel edges). Requires n*d even and d < n.
+Graph random_regular(int n, int d, Rng& rng);
+
+/// Complete graph K_n.
+Graph complete_graph(int n);
+
+/// Cycle 0-1-...-(n-1)-0.
+Graph ring_graph(int n);
+
+/// Star graph: vertex 0 connected to all others.
+Graph star_graph(int n);
+
+/// Path graph 0-1-...-(n-1).
+Graph path_graph(int n);
+
+}  // namespace fastqaoa

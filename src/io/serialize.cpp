@@ -1,0 +1,212 @@
+#include "io/serialize.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace fastqaoa::io {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4F414651;  // "FQAO" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+enum class Tag : std::uint32_t {
+  RealMixer = 1,
+  ComplexMixer = 2,
+  Table = 3,
+  Degeneracy = 4,
+};
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ofstream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_doubles(std::ofstream& out, const double* data, std::size_t n) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(n * sizeof(double)));
+}
+
+void write_string(std::ofstream& out, const std::string& s) {
+  write_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint32_t read_u32(std::ifstream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+std::uint64_t read_u64(std::ifstream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void read_doubles(std::ifstream& in, double* data, std::size_t n) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(double)));
+}
+
+std::string read_string(std::ifstream& in) {
+  const std::uint64_t len = read_u64(in);
+  FASTQAOA_CHECK(len < (1ULL << 20), "serialize: implausible string length");
+  std::string s(len, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  return s;
+}
+
+std::ofstream open_for_write(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  FASTQAOA_CHECK(out.good(), "serialize: cannot open for writing: " + path);
+  return out;
+}
+
+std::ifstream open_checked(const std::string& path, Tag expected) {
+  std::ifstream in(path, std::ios::binary);
+  FASTQAOA_CHECK(in.good(), "serialize: cannot open: " + path);
+  FASTQAOA_CHECK(read_u32(in) == kMagic,
+                 "serialize: bad magic (not a fastqaoa file): " + path);
+  FASTQAOA_CHECK(read_u32(in) == kVersion,
+                 "serialize: unsupported format version: " + path);
+  FASTQAOA_CHECK(read_u32(in) == static_cast<std::uint32_t>(expected),
+                 "serialize: wrong payload type in: " + path);
+  return in;
+}
+
+void write_header(std::ofstream& out, Tag tag) {
+  write_u32(out, kMagic);
+  write_u32(out, kVersion);
+  write_u32(out, static_cast<std::uint32_t>(tag));
+}
+
+}  // namespace
+
+void save_mixer(const std::string& path, const EigenMixer& mixer) {
+  std::ofstream out = open_for_write(path);
+  const std::uint64_t dim = mixer.dim();
+  if (mixer.is_real()) {
+    const linalg::SymEig& eig = mixer.real_eig();
+    write_header(out, Tag::RealMixer);
+    write_string(out, mixer.name());
+    write_u64(out, dim);
+    write_doubles(out, eig.eigenvalues.data(), dim);
+    write_doubles(out, eig.vectors.data(), dim * dim);
+  } else {
+    const linalg::HermEig& eig = mixer.herm_eig();
+    write_header(out, Tag::ComplexMixer);
+    write_string(out, mixer.name());
+    write_u64(out, dim);
+    write_doubles(out, eig.eigenvalues.data(), dim);
+    // Complex matrices are stored as interleaved (re, im) pairs.
+    write_doubles(out, reinterpret_cast<const double*>(eig.vectors.data()),
+                  2 * dim * dim);
+  }
+  FASTQAOA_CHECK(out.good(), "save_mixer: write failed for " + path);
+}
+
+EigenMixer load_mixer(const std::string& path) {
+  // Peek the tag to select the decoding path.
+  std::ifstream probe(path, std::ios::binary);
+  FASTQAOA_CHECK(probe.good(), "load_mixer: cannot open: " + path);
+  read_u32(probe);  // magic, validated below by open_checked
+  read_u32(probe);  // version
+  const auto tag = static_cast<Tag>(read_u32(probe));
+  probe.close();
+
+  if (tag == Tag::RealMixer) {
+    std::ifstream in = open_checked(path, Tag::RealMixer);
+    const std::string name = read_string(in);
+    const std::uint64_t dim = read_u64(in);
+    FASTQAOA_CHECK(dim >= 1 && dim < (1ULL << 24),
+                   "load_mixer: implausible dimension in " + path);
+    linalg::SymEig eig;
+    eig.eigenvalues.resize(dim);
+    eig.vectors = linalg::dmat(dim, dim);
+    read_doubles(in, eig.eigenvalues.data(), dim);
+    read_doubles(in, eig.vectors.data(), dim * dim);
+    FASTQAOA_CHECK(in.good(), "load_mixer: truncated file: " + path);
+    return EigenMixer(std::move(eig), name);
+  }
+  FASTQAOA_CHECK(tag == Tag::ComplexMixer,
+                 "load_mixer: file does not contain a mixer: " + path);
+  std::ifstream in = open_checked(path, Tag::ComplexMixer);
+  const std::string name = read_string(in);
+  const std::uint64_t dim = read_u64(in);
+  FASTQAOA_CHECK(dim >= 1 && dim < (1ULL << 24),
+                 "load_mixer: implausible dimension in " + path);
+  linalg::HermEig eig;
+  eig.eigenvalues.resize(dim);
+  eig.vectors = linalg::cmat(dim, dim);
+  read_doubles(in, eig.eigenvalues.data(), dim);
+  read_doubles(in, reinterpret_cast<double*>(eig.vectors.data()),
+               2 * dim * dim);
+  FASTQAOA_CHECK(in.good(), "load_mixer: truncated file: " + path);
+  return EigenMixer(std::move(eig), name);
+}
+
+EigenMixer load_or_build_mixer(const std::string& path,
+                               const std::function<EigenMixer()>& build) {
+  if (std::filesystem::exists(path)) return load_mixer(path);
+  EigenMixer mixer = build();
+  save_mixer(path, mixer);
+  return mixer;
+}
+
+void save_table(const std::string& path, const dvec& values) {
+  std::ofstream out = open_for_write(path);
+  write_header(out, Tag::Table);
+  write_u64(out, values.size());
+  write_doubles(out, values.data(), values.size());
+  FASTQAOA_CHECK(out.good(), "save_table: write failed for " + path);
+}
+
+dvec load_table(const std::string& path) {
+  std::ifstream in = open_checked(path, Tag::Table);
+  const std::uint64_t size = read_u64(in);
+  FASTQAOA_CHECK(size < (1ULL << 40), "load_table: implausible size");
+  dvec values(size, 0.0);
+  read_doubles(in, values.data(), size);
+  FASTQAOA_CHECK(in.good(), "load_table: truncated file: " + path);
+  return values;
+}
+
+void save_degeneracy(const std::string& path, const DegeneracyTable& table) {
+  std::ofstream out = open_for_write(path);
+  write_header(out, Tag::Degeneracy);
+  write_u64(out, table.values.size());
+  write_doubles(out, table.values.data(), table.values.size());
+  out.write(reinterpret_cast<const char*>(table.counts.data()),
+            static_cast<std::streamsize>(table.counts.size() *
+                                         sizeof(std::uint64_t)));
+  write_u64(out, table.total);
+  FASTQAOA_CHECK(out.good(), "save_degeneracy: write failed for " + path);
+}
+
+DegeneracyTable load_degeneracy(const std::string& path) {
+  std::ifstream in = open_checked(path, Tag::Degeneracy);
+  const std::uint64_t size = read_u64(in);
+  FASTQAOA_CHECK(size < (1ULL << 32), "load_degeneracy: implausible size");
+  DegeneracyTable table;
+  table.values.resize(size);
+  table.counts.resize(size);
+  read_doubles(in, table.values.data(), size);
+  in.read(reinterpret_cast<char*>(table.counts.data()),
+          static_cast<std::streamsize>(size * sizeof(std::uint64_t)));
+  table.total = read_u64(in);
+  FASTQAOA_CHECK(in.good(), "load_degeneracy: truncated file: " + path);
+  std::uint64_t sum = 0;
+  for (const auto c : table.counts) sum += c;
+  FASTQAOA_CHECK(sum == table.total,
+                 "load_degeneracy: inconsistent totals in " + path);
+  return table;
+}
+
+}  // namespace fastqaoa::io

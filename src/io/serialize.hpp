@@ -1,0 +1,42 @@
+#pragma once
+/// \file serialize.hpp
+/// Binary persistence for expensive precomputations. The paper's Listing 2
+/// workflow: eigendecomposing a Clique mixer is O(dim^3) and worth caching;
+/// "if the included file path exists, the pre-computed mixer is loaded. If
+/// it does not exist, the eigendecomposition is stored for future re-use."
+///
+/// Format: little-endian, magic "FQAO", format version, a type tag, then
+/// raw dimensions + IEEE-754 doubles. Loads verify magic/version/tag and
+/// fail loudly rather than misinterpreting bytes.
+
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "problems/objective.hpp"
+
+namespace fastqaoa::io {
+
+/// Persist an EigenMixer's eigendecomposition (real or complex path).
+void save_mixer(const std::string& path, const EigenMixer& mixer);
+
+/// Load an EigenMixer previously saved with save_mixer.
+EigenMixer load_mixer(const std::string& path);
+
+/// The Listing-2 pattern in one call: load `path` if it exists, otherwise
+/// invoke `build`, save the result to `path`, and return it.
+EigenMixer load_or_build_mixer(const std::string& path,
+                               const std::function<EigenMixer()>& build);
+
+/// Persist / restore a tabulated objective (large cost tables for reuse).
+void save_table(const std::string& path, const dvec& values);
+dvec load_table(const std::string& path);
+
+/// Persist / restore a degeneracy histogram — the §2.4 Grover-path
+/// precomputation, which for large n is the expensive artifact worth
+/// keeping (distinct values + multiplicities instead of 2^n entries).
+void save_degeneracy(const std::string& path, const DegeneracyTable& table);
+DegeneracyTable load_degeneracy(const std::string& path);
+
+}  // namespace fastqaoa::io

@@ -1,0 +1,183 @@
+#include "linalg/dense.hpp"
+
+#include <cmath>
+
+namespace fastqaoa::linalg {
+
+namespace {
+using std::ptrdiff_t;
+}  // namespace
+
+void gemv(const dmat& a, const cvec& x, cvec& y) {
+  FASTQAOA_CHECK(a.cols() == x.size(), "gemv: dimension mismatch");
+  FASTQAOA_CHECK(a.rows() == y.size(), "gemv: output dimension mismatch");
+  FASTQAOA_CHECK(x.data() != y.data(), "gemv: x and y must not alias");
+  const ptrdiff_t rows = static_cast<ptrdiff_t>(a.rows());
+  const ptrdiff_t cols = static_cast<ptrdiff_t>(a.cols());
+#pragma omp parallel for schedule(static)
+  for (ptrdiff_t r = 0; r < rows; ++r) {
+    const double* arow = a.row(static_cast<index_t>(r));
+    double re = 0.0;
+    double im = 0.0;
+    for (ptrdiff_t c = 0; c < cols; ++c) {
+      re += arow[c] * x[c].real();
+      im += arow[c] * x[c].imag();
+    }
+    y[r] = {re, im};
+  }
+}
+
+void gemv_transpose(const dmat& a, const cvec& x, cvec& y) {
+  FASTQAOA_CHECK(a.rows() == x.size(), "gemv_transpose: dimension mismatch");
+  FASTQAOA_CHECK(a.cols() == y.size(), "gemv_transpose: output mismatch");
+  FASTQAOA_CHECK(x.data() != y.data(), "gemv_transpose: x and y must not alias");
+  const ptrdiff_t rows = static_cast<ptrdiff_t>(a.rows());
+  const ptrdiff_t cols = static_cast<ptrdiff_t>(a.cols());
+  // Traverse A row-by-row (unit stride) and accumulate into y. Parallelize
+  // over column blocks so threads never write the same y element.
+  const ptrdiff_t block = 256;
+#pragma omp parallel for schedule(static)
+  for (ptrdiff_t c0 = 0; c0 < cols; c0 += block) {
+    const ptrdiff_t c1 = std::min(c0 + block, cols);
+    for (ptrdiff_t c = c0; c < c1; ++c) y[c] = cplx{0.0, 0.0};
+    for (ptrdiff_t r = 0; r < rows; ++r) {
+      const double* arow = a.row(static_cast<index_t>(r));
+      const cplx xr = x[r];
+      for (ptrdiff_t c = c0; c < c1; ++c) {
+        y[c] += arow[c] * xr;
+      }
+    }
+  }
+}
+
+void gemv(const cmat& a, const cvec& x, cvec& y) {
+  FASTQAOA_CHECK(a.cols() == x.size(), "gemv: dimension mismatch");
+  FASTQAOA_CHECK(a.rows() == y.size(), "gemv: output dimension mismatch");
+  FASTQAOA_CHECK(x.data() != y.data(), "gemv: x and y must not alias");
+  const ptrdiff_t rows = static_cast<ptrdiff_t>(a.rows());
+  const ptrdiff_t cols = static_cast<ptrdiff_t>(a.cols());
+#pragma omp parallel for schedule(static)
+  for (ptrdiff_t r = 0; r < rows; ++r) {
+    const cplx* arow = a.row(static_cast<index_t>(r));
+    cplx acc{0.0, 0.0};
+    for (ptrdiff_t c = 0; c < cols; ++c) acc += arow[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void gemv_adjoint(const cmat& a, const cvec& x, cvec& y) {
+  FASTQAOA_CHECK(a.rows() == x.size(), "gemv_adjoint: dimension mismatch");
+  FASTQAOA_CHECK(a.cols() == y.size(), "gemv_adjoint: output mismatch");
+  FASTQAOA_CHECK(x.data() != y.data(), "gemv_adjoint: x and y must not alias");
+  const ptrdiff_t rows = static_cast<ptrdiff_t>(a.rows());
+  const ptrdiff_t cols = static_cast<ptrdiff_t>(a.cols());
+  const ptrdiff_t block = 256;
+#pragma omp parallel for schedule(static)
+  for (ptrdiff_t c0 = 0; c0 < cols; c0 += block) {
+    const ptrdiff_t c1 = std::min(c0 + block, cols);
+    for (ptrdiff_t c = c0; c < c1; ++c) y[c] = cplx{0.0, 0.0};
+    for (ptrdiff_t r = 0; r < rows; ++r) {
+      const cplx* arow = a.row(static_cast<index_t>(r));
+      const cplx xr = x[r];
+      for (ptrdiff_t c = c0; c < c1; ++c) {
+        y[c] += std::conj(arow[c]) * xr;
+      }
+    }
+  }
+}
+
+namespace {
+
+template <typename T>
+Matrix<T> matmul_impl(const Matrix<T>& a, const Matrix<T>& b) {
+  FASTQAOA_CHECK(a.cols() == b.rows(), "matmul: dimension mismatch");
+  Matrix<T> c(a.rows(), b.cols());
+  const ptrdiff_t n = static_cast<ptrdiff_t>(a.rows());
+  const ptrdiff_t m = static_cast<ptrdiff_t>(b.cols());
+  const ptrdiff_t k = static_cast<ptrdiff_t>(a.cols());
+#pragma omp parallel for schedule(static)
+  for (ptrdiff_t i = 0; i < n; ++i) {
+    T* crow = c.row(static_cast<index_t>(i));
+    const T* arow = a.row(static_cast<index_t>(i));
+    for (ptrdiff_t l = 0; l < k; ++l) {
+      const T av = arow[l];
+      const T* brow = b.row(static_cast<index_t>(l));
+      for (ptrdiff_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+dmat matmul(const dmat& a, const dmat& b) { return matmul_impl(a, b); }
+cmat matmul(const cmat& a, const cmat& b) { return matmul_impl(a, b); }
+
+dmat transpose(const dmat& a) {
+  dmat t(a.cols(), a.rows());
+  for (index_t r = 0; r < a.rows(); ++r)
+    for (index_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  return t;
+}
+
+cmat adjoint(const cmat& a) {
+  cmat t(a.cols(), a.rows());
+  for (index_t r = 0; r < a.rows(); ++r)
+    for (index_t c = 0; c < a.cols(); ++c) t(c, r) = std::conj(a(r, c));
+  return t;
+}
+
+namespace {
+
+template <typename T>
+double frobenius_diff_impl(const Matrix<T>& a, const Matrix<T>& b) {
+  FASTQAOA_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "frobenius_diff: shape mismatch");
+  double acc = 0.0;
+  for (index_t r = 0; r < a.rows(); ++r)
+    for (index_t c = 0; c < a.cols(); ++c) acc += std::norm(cplx(a(r, c)) - cplx(b(r, c)));
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+double frobenius_diff(const dmat& a, const dmat& b) {
+  return frobenius_diff_impl(a, b);
+}
+double frobenius_diff(const cmat& a, const cmat& b) {
+  return frobenius_diff_impl(a, b);
+}
+
+dmat random_matrix(index_t rows, index_t cols, Rng& rng) {
+  dmat m(rows, cols);
+  for (index_t r = 0; r < rows; ++r)
+    for (index_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+cmat random_cmatrix(index_t rows, index_t cols, Rng& rng) {
+  cmat m(rows, cols);
+  for (index_t r = 0; r < rows; ++r)
+    for (index_t c = 0; c < cols; ++c)
+      m(r, c) = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  return m;
+}
+
+dmat symmetrize(const dmat& a) {
+  FASTQAOA_CHECK(a.rows() == a.cols(), "symmetrize: matrix must be square");
+  dmat s(a.rows(), a.cols());
+  for (index_t r = 0; r < a.rows(); ++r)
+    for (index_t c = 0; c < a.cols(); ++c) s(r, c) = 0.5 * (a(r, c) + a(c, r));
+  return s;
+}
+
+cmat hermitize(const cmat& a) {
+  FASTQAOA_CHECK(a.rows() == a.cols(), "hermitize: matrix must be square");
+  cmat h(a.rows(), a.cols());
+  for (index_t r = 0; r < a.rows(); ++r)
+    for (index_t c = 0; c < a.cols(); ++c)
+      h(r, c) = 0.5 * (a(r, c) + std::conj(a(c, r)));
+  return h;
+}
+
+}  // namespace fastqaoa::linalg

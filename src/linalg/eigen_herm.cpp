@@ -1,0 +1,128 @@
+#include "linalg/eigen_herm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fastqaoa::linalg {
+
+namespace {
+
+/// Orthonormalize `candidates` (columns) with two-pass modified
+/// Gram–Schmidt, keeping vectors whose residual norm exceeds `tol`.
+/// Returns the kept orthonormal vectors.
+std::vector<cvec> gram_schmidt(std::vector<cvec> candidates, double tol) {
+  std::vector<cvec> kept;
+  for (auto& v : candidates) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& u : kept) {
+        cplx proj{0.0, 0.0};
+        for (index_t i = 0; i < v.size(); ++i) proj += std::conj(u[i]) * v[i];
+        for (index_t i = 0; i < v.size(); ++i) v[i] -= proj * u[i];
+      }
+    }
+    double nrm = 0.0;
+    for (const auto& c : v) nrm += std::norm(c);
+    nrm = std::sqrt(nrm);
+    if (nrm > tol) {
+      for (auto& c : v) c /= nrm;
+      kept.push_back(std::move(v));
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
+HermEig eigh(const cmat& h_in) {
+  FASTQAOA_CHECK(h_in.rows() == h_in.cols(), "eigh: matrix must be square");
+  const index_t n = h_in.rows();
+  const cmat h = hermitize(h_in);
+
+  // Real symmetric embedding M = [A -B; B A].
+  dmat m(2 * n, 2 * n);
+  for (index_t r = 0; r < n; ++r) {
+    for (index_t c = 0; c < n; ++c) {
+      const double a = h(r, c).real();
+      const double b = h(r, c).imag();
+      m(r, c) = a;
+      m(n + r, n + c) = a;
+      m(r, n + c) = -b;
+      m(n + r, c) = b;
+    }
+  }
+  SymEig embedded = eigh(m);
+
+  // Scale for "same eigenvalue" clustering.
+  double scale = 0.0;
+  for (double w : embedded.eigenvalues) scale = std::max(scale, std::abs(w));
+  const double cluster_tol = std::max(scale, 1.0) * 1e-9;
+
+  HermEig result;
+  result.eigenvalues = dvec();
+  result.eigenvalues.reserve(n);
+  result.vectors = cmat(n, n);
+
+  index_t out = 0;
+  index_t i = 0;
+  while (i < 2 * n) {
+    // Cluster [i, j) of (numerically) equal eigenvalues of M.
+    index_t j = i + 1;
+    while (j < 2 * n && embedded.eigenvalues[j] - embedded.eigenvalues[i] <=
+                            cluster_tol) {
+      ++j;
+    }
+    const index_t msize = j - i;
+    FASTQAOA_CHECK(msize % 2 == 0,
+                   "eigh(complex): embedding produced an odd cluster — "
+                   "eigenvalue clustering tolerance too tight");
+    const index_t want = msize / 2;
+
+    // Map real eigenvectors (x; y) -> z = x + iy and orthonormalize.
+    std::vector<cvec> candidates;
+    candidates.reserve(msize);
+    for (index_t col = i; col < j; ++col) {
+      cvec z(n, cplx{0.0, 0.0});
+      for (index_t r = 0; r < n; ++r) {
+        z[r] = cplx{embedded.vectors(r, col), embedded.vectors(n + r, col)};
+      }
+      candidates.push_back(std::move(z));
+    }
+    std::vector<cvec> ortho = gram_schmidt(std::move(candidates), 1e-6);
+    FASTQAOA_CHECK(ortho.size() >= want,
+                   "eigh(complex): failed to extract a full eigenbasis from "
+                   "a degenerate cluster");
+
+    const double eigenvalue =
+        std::accumulate(embedded.eigenvalues.begin() + i,
+                        embedded.eigenvalues.begin() + j, 0.0) /
+        static_cast<double>(msize);
+    for (index_t t = 0; t < want; ++t) {
+      result.eigenvalues.push_back(eigenvalue);
+      for (index_t r = 0; r < n; ++r) result.vectors(r, out) = ortho[t][r];
+      ++out;
+    }
+    i = j;
+  }
+  FASTQAOA_CHECK(out == n, "eigh(complex): eigenvector count mismatch");
+  return result;
+}
+
+double eig_residual(const cmat& h, const HermEig& eig) {
+  const index_t n = h.rows();
+  double worst = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t r = 0; r < n; ++r) {
+      cplx hv{0.0, 0.0};
+      for (index_t c = 0; c < n; ++c) hv += h(r, c) * eig.vectors(c, j);
+      worst = std::max(
+          worst, std::abs(hv - eig.eigenvalues[j] * eig.vectors(r, j)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace fastqaoa::linalg

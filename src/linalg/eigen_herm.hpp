@@ -1,0 +1,35 @@
+#pragma once
+/// \file eigen_herm.hpp
+/// Complex Hermitian eigendecomposition via the 2N real embedding.
+///
+/// For H = A + iB (A symmetric, B antisymmetric), the real symmetric matrix
+///     M = [ A  -B ]
+///         [ B   A ]
+/// has each eigenvalue of H twice; a real eigenvector (x; y) of M maps to a
+/// complex eigenvector z = x + iy of H. Degenerate clusters are resolved
+/// with modified Gram–Schmidt in the complex eigenspace. This routes every
+/// Hermitian mixer through the same battle-tested real-symmetric kernel
+/// (eigen_sym.hpp) instead of a separate complex Householder path.
+
+#include "common/types.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/eigen_sym.hpp"
+
+namespace fastqaoa::linalg {
+
+/// Eigendecomposition of a complex Hermitian matrix H = V diag(w) V^H.
+/// Column j of `vectors` is the (unit-norm) eigenvector for eigenvalues[j];
+/// eigenvalues (all real) are sorted ascending.
+struct HermEig {
+  dvec eigenvalues;
+  cmat vectors;
+};
+
+/// Compute all eigenvalues/eigenvectors of a complex Hermitian matrix.
+/// Hermiticity is enforced by averaging H with its adjoint first.
+HermEig eigh(const cmat& h);
+
+/// Max |(H v_j) - w_j v_j| over all j.
+double eig_residual(const cmat& h, const HermEig& eig);
+
+}  // namespace fastqaoa::linalg

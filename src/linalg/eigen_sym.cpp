@@ -1,0 +1,278 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace fastqaoa::linalg {
+
+namespace {
+
+double sign_with(double magnitude, double sign_of) {
+  return sign_of >= 0.0 ? std::abs(magnitude) : -std::abs(magnitude);
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form
+/// (classical tred2). On exit `z` holds the accumulated orthogonal
+/// transform Q (A = Q T Q^T), `d` the diagonal of T and `e` the
+/// subdiagonal (e[0] unused).
+void tridiagonalize(dmat& z, dvec& d, dvec& e) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(z.rows());
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+
+  for (std::ptrdiff_t i = n - 1; i >= 1; --i) {
+    const std::ptrdiff_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (std::ptrdiff_t k = 0; k <= l; ++k) scale += std::abs(z(i, k));
+      if (scale == 0.0) {
+        e[i] = z(i, l);
+      } else {
+        for (std::ptrdiff_t k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (std::ptrdiff_t j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (std::ptrdiff_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (std::ptrdiff_t k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[j] = g / h;
+          f += e[j] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::ptrdiff_t j = 0; j <= l; ++j) {
+          f = z(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::ptrdiff_t k = 0; k <= j; ++k) {
+            z(j, k) -= f * e[k] + g * z(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = z(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+
+  // Accumulate the orthogonal transform.
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t l = i - 1;
+    if (d[i] != 0.0) {
+      for (std::ptrdiff_t j = 0; j <= l; ++j) {
+        double g = 0.0;
+        for (std::ptrdiff_t k = 0; k <= l; ++k) g += z(i, k) * z(k, j);
+        for (std::ptrdiff_t k = 0; k <= l; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    d[i] = z(i, i);
+    z(i, i) = 1.0;
+    for (std::ptrdiff_t j = 0; j <= l; ++j) {
+      z(j, i) = 0.0;
+      z(i, j) = 0.0;
+    }
+  }
+}
+
+/// Eigenvalues-only variant of tridiagonalize (tred1): no transform
+/// accumulation.
+void tridiagonalize_novec(dmat& a, dvec& d, dvec& e) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(a.rows());
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  for (std::ptrdiff_t i = n - 1; i >= 1; --i) {
+    const std::ptrdiff_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (std::ptrdiff_t k = 0; k <= l; ++k) scale += std::abs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (std::ptrdiff_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (std::ptrdiff_t j = 0; j <= l; ++j) {
+          g = 0.0;
+          for (std::ptrdiff_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (std::ptrdiff_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::ptrdiff_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::ptrdiff_t k = 0; k <= j; ++k) {
+            a(j, k) -= f * e[k] + g * a(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  for (std::ptrdiff_t i = 0; i < n; ++i) d[i] = a(i, i);
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix (tql2).
+/// If `z` is non-null, plane rotations are accumulated into its columns so
+/// that on exit column j of z is the eigenvector for d[j].
+void ql_implicit(dvec& d, dvec& e, dmat* z) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(d.size());
+  if (n == 0) return;
+  for (std::ptrdiff_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  // Deflation threshold: the classic relative test |e| <= eps(|d_m|+|d_m+1|)
+  // stalls on matrices with large clusters of (near-)zero eigenvalues (e.g.
+  // hypercube adjacency matrices), so we also deflate against eps*||T||,
+  // which keeps the standard backward-error bound O(eps*||A||) (LAPACK
+  // dsteqr does the same via matrix scaling).
+  double anorm = 0.0;
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    anorm = std::max(anorm, std::abs(d[i]) + std::abs(e[i]));
+  }
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double abs_tol = eps * anorm;
+
+  for (std::ptrdiff_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::ptrdiff_t m = 0;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= std::max(eps * dd, abs_tol)) {
+          break;
+        }
+      }
+      if (m != l) {
+        FASTQAOA_CHECK(iter++ < 64, "eigh: QL iteration failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + sign_with(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        bool underflow = false;
+        for (std::ptrdiff_t i = m - 1; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          if (z != nullptr) {
+            for (std::ptrdiff_t k = 0; k < n; ++k) {
+              f = (*z)(k, i + 1);
+              (*z)(k, i + 1) = s * (*z)(k, i) + c * f;
+              (*z)(k, i) = c * (*z)(k, i) - s * f;
+            }
+          }
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+/// Sort eigenvalues ascending, permuting eigenvector columns to match.
+void sort_eigensystem(dvec& d, dmat* z) {
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(d.size());
+  std::vector<std::ptrdiff_t> order(n);
+  std::iota(order.begin(), order.end(), std::ptrdiff_t{0});
+  std::sort(order.begin(), order.end(),
+            [&d](std::ptrdiff_t a, std::ptrdiff_t b) { return d[a] < d[b]; });
+
+  dvec d_sorted(n, 0.0);
+  for (std::ptrdiff_t j = 0; j < n; ++j) d_sorted[j] = d[order[j]];
+  d = std::move(d_sorted);
+
+  if (z != nullptr) {
+    dmat sorted(z->rows(), z->cols());
+    for (std::ptrdiff_t j = 0; j < n; ++j) {
+      for (std::ptrdiff_t k = 0; k < n; ++k) {
+        sorted(k, j) = (*z)(k, order[j]);
+      }
+    }
+    *z = std::move(sorted);
+  }
+}
+
+}  // namespace
+
+SymEig eigh(const dmat& a) {
+  FASTQAOA_CHECK(a.rows() == a.cols(), "eigh: matrix must be square");
+  SymEig result;
+  result.vectors = symmetrize(a);
+  dvec e;
+  tridiagonalize(result.vectors, result.eigenvalues, e);
+  ql_implicit(result.eigenvalues, e, &result.vectors);
+  sort_eigensystem(result.eigenvalues, &result.vectors);
+  return result;
+}
+
+dvec eigvalsh(const dmat& a) {
+  FASTQAOA_CHECK(a.rows() == a.cols(), "eigvalsh: matrix must be square");
+  dmat work = symmetrize(a);
+  dvec d;
+  dvec e;
+  tridiagonalize_novec(work, d, e);
+  ql_implicit(d, e, nullptr);
+  sort_eigensystem(d, nullptr);
+  return d;
+}
+
+double eig_residual(const dmat& a, const SymEig& eig) {
+  const index_t n = a.rows();
+  double worst = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t r = 0; r < n; ++r) {
+      double av = 0.0;
+      for (index_t c = 0; c < n; ++c) av += a(r, c) * eig.vectors(c, j);
+      worst = std::max(worst,
+                       std::abs(av - eig.eigenvalues[j] * eig.vectors(r, j)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace fastqaoa::linalg

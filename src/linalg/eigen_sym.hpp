@@ -1,0 +1,34 @@
+#pragma once
+/// \file eigen_sym.hpp
+/// Dense real-symmetric eigendecomposition, built from scratch:
+/// Householder tridiagonalization (tred2) followed by implicit-shift QL
+/// iteration with eigenvector accumulation (tql2). This is the substrate
+/// behind every constrained-mixer precomputation H_M = V D V^T (paper §2.1).
+
+#include "common/types.hpp"
+#include "linalg/dense.hpp"
+
+namespace fastqaoa::linalg {
+
+/// Eigendecomposition of a real symmetric matrix A = V diag(w) V^T.
+/// `vectors` holds eigenvector j in column j; eigenvalues are sorted
+/// ascending and columns are ordered to match.
+struct SymEig {
+  dvec eigenvalues;
+  dmat vectors;
+};
+
+/// Compute all eigenvalues and eigenvectors of a real symmetric matrix.
+/// The input is copied; symmetry is enforced from the lower triangle.
+/// Throws fastqaoa::Error if QL fails to converge (pathological input).
+SymEig eigh(const dmat& a);
+
+/// Eigenvalues only (same algorithm without eigenvector accumulation;
+/// roughly 2-3x faster, used when the diagonal frame is not needed).
+dvec eigvalsh(const dmat& a);
+
+/// Max |(A v_j) - w_j v_j| over all j — residual used by tests and by
+/// sanity checks after loading cached decompositions from disk.
+double eig_residual(const dmat& a, const SymEig& eig);
+
+}  // namespace fastqaoa::linalg

@@ -1,0 +1,121 @@
+#include "linalg/lanczos.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace fastqaoa::linalg {
+
+namespace {
+
+/// Eigenvalue range of the m x m symmetric tridiagonal with diagonal a and
+/// off-diagonal b (b[i] couples i and i+1) via the dense solver — m stays
+/// small (Krylov dimension), so this is cheap.
+std::pair<double, double> tridiag_extremes(const std::vector<double>& a,
+                                           const std::vector<double>& b) {
+  const index_t m = a.size();
+  dmat t(m, m);
+  for (index_t i = 0; i < m; ++i) {
+    t(i, i) = a[i];
+    if (i + 1 < m) {
+      t(i, i + 1) = b[i];
+      t(i + 1, i) = b[i];
+    }
+  }
+  dvec vals = eigvalsh(t);
+  return {vals.front(), vals.back()};
+}
+
+}  // namespace
+
+LanczosResult lanczos_extremal(const HermitianApply& apply, index_t dim,
+                               Rng& rng, const LanczosOptions& opt) {
+  FASTQAOA_CHECK(dim >= 1, "lanczos_extremal: empty operator");
+  FASTQAOA_CHECK(opt.max_iterations >= 1, "lanczos_extremal: bad iteration cap");
+
+  LanczosResult result;
+  const int m_cap = static_cast<int>(
+      std::min<index_t>(static_cast<index_t>(opt.max_iterations), dim));
+
+  // Random unit start vector.
+  std::vector<cvec> basis;
+  basis.reserve(static_cast<std::size_t>(m_cap));
+  {
+    cvec v0(dim);
+    for (auto& x : v0) x = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    normalize(v0);
+    basis.push_back(std::move(v0));
+  }
+
+  std::vector<double> alpha;
+  std::vector<double> beta;  // beta[j] couples j and j+1
+  cvec w(dim);
+  double prev_min = 0.0;
+  double prev_max = 0.0;
+  bool have_prev = false;
+
+  for (int j = 0; j < m_cap; ++j) {
+    apply(basis[static_cast<std::size_t>(j)], w);
+    const double a = dot(basis[static_cast<std::size_t>(j)], w).real();
+    alpha.push_back(a);
+
+    // w <- w - a v_j - b_{j-1} v_{j-1}, then full reorthogonalization.
+    axpy(cplx{-a, 0.0}, basis[static_cast<std::size_t>(j)], w);
+    if (j > 0) {
+      axpy(cplx{-beta[static_cast<std::size_t>(j - 1)], 0.0},
+           basis[static_cast<std::size_t>(j - 1)], w);
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const cvec& v : basis) {
+        const cplx overlap = dot(v, w);
+        if (std::abs(overlap) > 0.0) axpy(-overlap, v, w);
+      }
+    }
+
+    const double b = norm(w);
+    // Invariant subspace found: the Krylov space is exact.
+    if (b < 1e-13) {
+      const auto [lo, hi] = tridiag_extremes(alpha, beta);
+      result.min_eigenvalue = lo;
+      result.max_eigenvalue = hi;
+      result.iterations = j + 1;
+      result.converged = true;
+      return result;
+    }
+
+    if ((j + 1) % opt.check_interval == 0 || j + 1 == m_cap) {
+      const auto [lo, hi] = tridiag_extremes(alpha, beta);
+      if (have_prev && std::abs(lo - prev_min) < opt.tolerance &&
+          std::abs(hi - prev_max) < opt.tolerance) {
+        result.min_eigenvalue = lo;
+        result.max_eigenvalue = hi;
+        result.iterations = j + 1;
+        result.converged = true;
+        return result;
+      }
+      prev_min = lo;
+      prev_max = hi;
+      have_prev = true;
+    }
+
+    if (j + 1 < m_cap) {
+      beta.push_back(b);
+      cvec next = w;
+      scale(next, cplx{1.0 / b, 0.0});
+      basis.push_back(std::move(next));
+    }
+  }
+
+  const auto [lo, hi] = tridiag_extremes(alpha, beta);
+  result.min_eigenvalue = lo;
+  result.max_eigenvalue = hi;
+  result.iterations = m_cap;
+  result.converged = false;
+  return result;
+}
+
+}  // namespace fastqaoa::linalg

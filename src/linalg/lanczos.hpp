@@ -1,0 +1,41 @@
+#pragma once
+/// \file lanczos.hpp
+/// Lanczos iteration for extremal eigenvalues of large Hermitian operators
+/// given only their action on a vector. Used to tighten the Chebyshev
+/// mixer's spectral interval (Gershgorin bounds can be loose, and the
+/// expansion degree scales with beta * radius), and generally useful for
+/// matrix-free spectral analysis of mixer Hamiltonians.
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fastqaoa::linalg {
+
+/// Action of a Hermitian operator: out = H * in (no aliasing).
+using HermitianApply = std::function<void(const cvec&, cvec&)>;
+
+/// Result of a Lanczos extremal-eigenvalue run.
+struct LanczosResult {
+  double min_eigenvalue = 0.0;
+  double max_eigenvalue = 0.0;
+  int iterations = 0;
+  bool converged = false;  ///< extremal Ritz values stabilized below tol
+};
+
+/// Options for lanczos_extremal.
+struct LanczosOptions {
+  int max_iterations = 300;  ///< Krylov dimension cap
+  double tolerance = 1e-10;  ///< extremal Ritz-value change threshold
+  int check_interval = 5;    ///< convergence test frequency
+};
+
+/// Estimate the smallest and largest eigenvalues of a Hermitian operator of
+/// the given dimension. Uses full reorthogonalization (memory O(dim * m),
+/// m = iterations) for robustness against ghost eigenvalues. The start
+/// vector is drawn from `rng`.
+LanczosResult lanczos_extremal(const HermitianApply& apply, index_t dim,
+                               Rng& rng, const LanczosOptions& options = {});
+
+}  // namespace fastqaoa::linalg

@@ -1,0 +1,128 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fastqaoa::linalg {
+
+namespace {
+using std::ptrdiff_t;
+}  // namespace
+
+void fill(cvec& v, cplx value) {
+  const ptrdiff_t n = static_cast<ptrdiff_t>(v.size());
+#pragma omp parallel for schedule(static)
+  for (ptrdiff_t i = 0; i < n; ++i) v[i] = value;
+}
+
+void scale(cvec& v, cplx s) {
+  const ptrdiff_t n = static_cast<ptrdiff_t>(v.size());
+#pragma omp parallel for schedule(static)
+  for (ptrdiff_t i = 0; i < n; ++i) v[i] *= s;
+}
+
+void axpy(cplx a, const cvec& x, cvec& y) {
+  FASTQAOA_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  const ptrdiff_t n = static_cast<ptrdiff_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (ptrdiff_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+cplx dot(const cvec& x, const cvec& y) {
+  FASTQAOA_CHECK(x.size() == y.size(), "dot: size mismatch");
+  const ptrdiff_t n = static_cast<ptrdiff_t>(x.size());
+  double re = 0.0;
+  double im = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : re, im)
+  for (ptrdiff_t i = 0; i < n; ++i) {
+    const cplx t = std::conj(x[i]) * y[i];
+    re += t.real();
+    im += t.imag();
+  }
+  return {re, im};
+}
+
+double norm_sq(const cvec& v) {
+  const ptrdiff_t n = static_cast<ptrdiff_t>(v.size());
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (ptrdiff_t i = 0; i < n; ++i) acc += std::norm(v[i]);
+  return acc;
+}
+
+double norm(const cvec& v) { return std::sqrt(norm_sq(v)); }
+
+double normalize(cvec& v) {
+  const double nrm = norm(v);
+  FASTQAOA_CHECK(nrm > 0.0, "normalize: zero vector");
+  scale(v, cplx{1.0 / nrm, 0.0});
+  return nrm;
+}
+
+void apply_diag_phase(cvec& psi, const dvec& d, double angle) {
+  FASTQAOA_CHECK(psi.size() == d.size(), "apply_diag_phase: size mismatch");
+  const ptrdiff_t n = static_cast<ptrdiff_t>(psi.size());
+#pragma omp parallel for schedule(static)
+  for (ptrdiff_t i = 0; i < n; ++i) {
+    const double phase = -angle * d[i];
+    psi[i] *= cplx{std::cos(phase), std::sin(phase)};
+  }
+}
+
+void apply_threshold_phase(cvec& psi, const dvec& d, double threshold,
+                           double angle) {
+  FASTQAOA_CHECK(psi.size() == d.size(),
+                 "apply_threshold_phase: size mismatch");
+  const ptrdiff_t n = static_cast<ptrdiff_t>(psi.size());
+  const cplx phase{std::cos(angle), -std::sin(angle)};
+#pragma omp parallel for schedule(static)
+  for (ptrdiff_t i = 0; i < n; ++i) {
+    if (d[i] > threshold) psi[i] *= phase;
+  }
+}
+
+double diag_expectation(const dvec& d, const cvec& psi) {
+  FASTQAOA_CHECK(psi.size() == d.size(), "diag_expectation: size mismatch");
+  const ptrdiff_t n = static_cast<ptrdiff_t>(psi.size());
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (ptrdiff_t i = 0; i < n; ++i) acc += d[i] * std::norm(psi[i]);
+  return acc;
+}
+
+double diag_bracket_imag(const cvec& lambda, const dvec& d, const cvec& psi) {
+  FASTQAOA_CHECK(lambda.size() == d.size() && psi.size() == d.size(),
+                 "diag_bracket_imag: size mismatch");
+  const ptrdiff_t n = static_cast<ptrdiff_t>(psi.size());
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (ptrdiff_t i = 0; i < n; ++i) {
+    const cplx t = std::conj(lambda[i]) * psi[i];
+    acc += d[i] * t.imag();
+  }
+  return acc;
+}
+
+double probability_at_value(const dvec& d, const cvec& psi, double value,
+                            double tol) {
+  FASTQAOA_CHECK(psi.size() == d.size(), "probability_at_value: size mismatch");
+  const ptrdiff_t n = static_cast<ptrdiff_t>(psi.size());
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (ptrdiff_t i = 0; i < n; ++i) {
+    if (std::abs(d[i] - value) <= tol) acc += std::norm(psi[i]);
+  }
+  return acc;
+}
+
+double max_abs_diff(const cvec& v, const cvec& w) {
+  FASTQAOA_CHECK(v.size() == w.size(), "max_abs_diff: size mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    m = std::max(m, std::abs(v[i] - w[i]));
+  }
+  return m;
+}
+
+}  // namespace fastqaoa::linalg

@@ -1,0 +1,62 @@
+#pragma once
+/// \file vector_ops.hpp
+/// Flat SIMD-friendly kernels on complex amplitude vectors. These are the
+/// inner loops of the simulator: fused diagonal-phase application, conjugated
+/// dot products, rank-1 updates. All kernels are allocation-free and OpenMP
+/// parallel over the vector length.
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace fastqaoa::linalg {
+
+/// out <- value for every element.
+void fill(cvec& v, cplx value);
+
+/// v <- v * s (complex scale).
+void scale(cvec& v, cplx s);
+
+/// y <- y + a * x. x and y must have equal length.
+void axpy(cplx a, const cvec& x, cvec& y);
+
+/// Conjugated inner product <x|y> = sum_i conj(x_i) * y_i.
+[[nodiscard]] cplx dot(const cvec& x, const cvec& y);
+
+/// Squared 2-norm sum_i |v_i|^2.
+[[nodiscard]] double norm_sq(const cvec& v);
+
+/// 2-norm.
+[[nodiscard]] double norm(const cvec& v);
+
+/// Normalize v to unit 2-norm; returns the original norm.
+double normalize(cvec& v);
+
+/// psi_i <- exp(-i * angle * d_i) * psi_i — the phase-separator /
+/// diagonal-mixer kernel. d holds real eigenvalues (cost values).
+void apply_diag_phase(cvec& psi, const dvec& d, double angle);
+
+/// psi_i <- exp(-i * angle * d_i) * psi_i restricted to indices where
+/// d_i > threshold applies phase -angle, else no phase: the threshold
+/// phase separator of Golden et al. [18] uses an indicator cost; this
+/// helper applies phase only above the threshold.
+void apply_threshold_phase(cvec& psi, const dvec& d, double threshold,
+                           double angle);
+
+/// Expectation sum_i d_i * |psi_i|^2 of a diagonal observable.
+[[nodiscard]] double diag_expectation(const dvec& d, const cvec& psi);
+
+/// Derivative helper: Im( sum_i conj(lambda_i) * d_i * psi_i ), the
+/// imaginary part of <lambda| diag(d) |psi>. Used by the adjoint gradient.
+[[nodiscard]] double diag_bracket_imag(const cvec& lambda, const dvec& d,
+                                       const cvec& psi);
+
+/// Total probability of states whose cost equals the extremal value
+/// (within tol): sum over argmax/argmin of |psi_i|^2.
+[[nodiscard]] double probability_at_value(const dvec& d, const cvec& psi,
+                                          double value, double tol = 1e-12);
+
+/// Maximum |v_i - w_i| over all elements (test helper, but broadly useful).
+[[nodiscard]] double max_abs_diff(const cvec& v, const cvec& w);
+
+}  // namespace fastqaoa::linalg

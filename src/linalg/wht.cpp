@@ -1,0 +1,47 @@
+#include "linalg/wht.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fastqaoa::linalg {
+
+bool is_power_of_two(index_t sz) { return sz != 0 && (sz & (sz - 1)) == 0; }
+
+int log2_exact(index_t sz) {
+  FASTQAOA_CHECK(is_power_of_two(sz), "log2_exact: size must be a power of 2");
+  return std::countr_zero(sz);
+}
+
+void wht_unnormalized(cvec& v) {
+  const index_t n = v.size();
+  FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
+  cplx* a = v.data();
+  // Radix-2 butterflies. For strides that fit in cache the loop is a simple
+  // pair sweep; parallelism is over independent butterfly blocks.
+  for (index_t h = 1; h < n; h <<= 1) {
+    const std::ptrdiff_t blocks = static_cast<std::ptrdiff_t>(n / (2 * h));
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t b = 0; b < blocks; ++b) {
+      const index_t base = static_cast<index_t>(b) * 2 * h;
+      for (index_t j = base; j < base + h; ++j) {
+        const cplx x = a[j];
+        const cplx y = a[j + h];
+        a[j] = x + y;
+        a[j + h] = x - y;
+      }
+    }
+  }
+}
+
+void wht_orthonormal(cvec& v) {
+  wht_unnormalized(v);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(v.size()));
+  cplx* a = v.data();
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(v.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) a[i] *= scale;
+}
+
+}  // namespace fastqaoa::linalg

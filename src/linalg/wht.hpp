@@ -1,0 +1,30 @@
+#pragma once
+/// \file wht.hpp
+/// Fast Walsh–Hadamard transform.
+///
+/// H^{⊗n} diagonalizes every mixer built from sums of products of Pauli-X
+/// (HZH = X, Eq. 2 of the paper), so applying an X-type mixer exponential is
+/// WHT -> elementwise phase -> WHT. The *unnormalized* transform applied
+/// twice equals 2^n * identity; callers fold the single 1/2^n scale into an
+/// adjacent elementwise pass instead of paying two 1/sqrt(2^n) scalings.
+
+#include "common/types.hpp"
+
+namespace fastqaoa::linalg {
+
+/// In-place unnormalized Walsh–Hadamard transform of a length-2^n vector:
+/// v'_x = sum_y (-1)^{popcount(x & y)} v_y.
+/// Complexity O(n 2^n); cache-blocked butterflies, OpenMP parallel.
+void wht_unnormalized(cvec& v);
+
+/// In-place orthonormal transform H^{⊗n} (unnormalized WHT scaled by
+/// 2^{-n/2}). Self-inverse.
+void wht_orthonormal(cvec& v);
+
+/// True iff sz is a power of two (and non-zero).
+bool is_power_of_two(index_t sz);
+
+/// log2 of a power-of-two size.
+int log2_exact(index_t sz);
+
+}  // namespace fastqaoa::linalg

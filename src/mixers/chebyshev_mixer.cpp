@@ -1,0 +1,114 @@
+#include "mixers/chebyshev_mixer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace fastqaoa {
+
+ChebyshevMixer::ChebyshevMixer(std::shared_ptr<const SparseXYOperator> op,
+                               double tolerance, int max_degree)
+    : op_(std::move(op)), tolerance_(tolerance), max_degree_(max_degree) {
+  FASTQAOA_CHECK(op_ != nullptr, "ChebyshevMixer: null operator");
+  FASTQAOA_CHECK(tolerance > 0.0, "ChebyshevMixer: tolerance must be > 0");
+  FASTQAOA_CHECK(max_degree >= 1, "ChebyshevMixer: max_degree must be >= 1");
+}
+
+ChebyshevMixer ChebyshevMixer::clique(const StateSpace& space,
+                                      double tolerance) {
+  return ChebyshevMixer(
+      std::make_shared<SparseXYOperator>(space, complete_graph(space.n())),
+      tolerance);
+}
+
+ChebyshevMixer ChebyshevMixer::ring(const StateSpace& space,
+                                    double tolerance) {
+  FASTQAOA_CHECK(space.n() >= 3, "ChebyshevMixer::ring: need n >= 3");
+  return ChebyshevMixer(
+      std::make_shared<SparseXYOperator>(space, ring_graph(space.n())),
+      tolerance);
+}
+
+double ChebyshevMixer::tighten_spectral_bound(Rng& rng) {
+  linalg::LanczosOptions opt;
+  opt.tolerance = 1e-8;
+  const linalg::LanczosResult lanczos = linalg::lanczos_extremal(
+      [this](const cvec& in, cvec& out) { op_->apply(in, out); }, dim(), rng,
+      opt);
+  const double radius = std::max(std::abs(lanczos.min_eigenvalue),
+                                 std::abs(lanczos.max_eigenvalue));
+  // Safety factor: Lanczos approaches the spectrum from inside; the
+  // expansion needs H/r strictly within [-1, 1].
+  bound_override_ = std::min(op_->spectral_bound(),
+                             std::max(radius * 1.01, 1e-12));
+  return bound_override_;
+}
+
+void ChebyshevMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
+  (void)scratch;
+  FASTQAOA_CHECK(psi.size() == dim(), "ChebyshevMixer: state size mismatch");
+  const double r = spectral_bound();
+  const double z = beta * r;
+  const double az = std::abs(z);
+
+  // Bessel coefficients: e^{-i z x} = J_0(z) + 2 sum (-i)^k J_k(z) T_k(x)
+  // for x in [-1, 1]; for z < 0 use J_k(-z) = (-1)^k J_k(z), i.e. flip the
+  // sign of the imaginary unit.
+  const cplx unit = z >= 0.0 ? cplx{0.0, -1.0} : cplx{0.0, 1.0};
+
+  // T_0 term.
+  t_cur_ = psi;                        // T_0(H~) psi = psi
+  accum_.assign(dim(), cplx{0.0, 0.0});
+  const double j0 = std::cyl_bessel_j(0.0, az);
+  linalg::axpy(cplx{j0, 0.0}, t_cur_, accum_);
+
+  // T_1 term: T_1(H~) psi = (H/r) psi.
+  op_->apply(t_cur_, t_next_);
+  linalg::scale(t_next_, cplx{1.0 / r, 0.0});
+  t_prev_ = std::move(t_cur_);
+  t_cur_ = std::move(t_next_);
+  cplx phase = unit;  // (-i)^1
+  int consecutive_small = 0;
+  int k = 1;
+  for (; k <= max_degree_; ++k) {
+    const double jk = std::cyl_bessel_j(static_cast<double>(k), az);
+    if (std::abs(2.0 * jk) > tolerance_) {
+      linalg::axpy(2.0 * jk * phase, t_cur_, accum_);
+      consecutive_small = 0;
+    } else if (static_cast<double>(k) > az) {
+      // Past the turning point k ~ |z| the Bessel tail decays
+      // superexponentially; a few consecutive negligible terms certify
+      // convergence.
+      if (++consecutive_small >= 4) break;
+    }
+    // T_{k+1} = 2 H~ T_k - T_{k-1}.
+    t_next_.resize(dim());
+    op_->apply(t_cur_, t_next_);
+    const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(dim());
+    const double inv_r = 1.0 / r;
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < sz; ++i) {
+      t_next_[static_cast<index_t>(i)] =
+          2.0 * inv_r * t_next_[static_cast<index_t>(i)] -
+          t_prev_[static_cast<index_t>(i)];
+    }
+    std::swap(t_prev_, t_cur_);
+    std::swap(t_cur_, t_next_);
+    phase *= unit;
+  }
+  FASTQAOA_CHECK(k <= max_degree_,
+                 "ChebyshevMixer: expansion did not converge within "
+                 "max_degree — increase the cap or the tolerance");
+  last_degree_ = k;
+  psi = accum_;
+}
+
+void ChebyshevMixer::apply_ham(const cvec& in, cvec& out,
+                               cvec& scratch) const {
+  (void)scratch;
+  op_->apply(in, out);
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,77 @@
+#pragma once
+/// \file eigen_mixer.hpp
+/// Mixers applied through a precomputed dense eigendecomposition
+/// H_M = V D V^H, so e^{-i beta H_M} = V e^{-i beta D} V^H (paper §2.1).
+/// Built once (potentially expensive), reused across every simulator call,
+/// and serializable to disk (io/serialize.hpp) for reuse across runs —
+/// exactly the paper's Listing 2 workflow.
+///
+/// The Clique and Ring mixers sum XY hopping terms X_iX_j + Y_iY_j, which
+/// on the computational basis swap the (differing) bits i,j with matrix
+/// element 2. They are therefore *real symmetric* on the Dicke basis, and
+/// the real fast path (two real GEMVs per transform) is used. Arbitrary
+/// complex Hermitian mixers take the complex path.
+
+#include <optional>
+#include <string>
+
+#include "graphs/graph.hpp"
+#include "linalg/eigen_herm.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "mixers/mixer.hpp"
+#include "problems/state_space.hpp"
+
+namespace fastqaoa {
+
+/// Dense-eigendecomposition mixer with a real and a complex storage path.
+class EigenMixer final : public Mixer {
+ public:
+  /// Wrap an existing real-symmetric eigendecomposition.
+  EigenMixer(linalg::SymEig eig, std::string name);
+
+  /// Wrap an existing complex-Hermitian eigendecomposition.
+  EigenMixer(linalg::HermEig eig, std::string name);
+
+  /// Clique mixer sum_{i<j} (X_i X_j + Y_i Y_j) on the feasible space.
+  static EigenMixer clique(const StateSpace& space);
+
+  /// Ring mixer sum_i (X_i X_{i+1} + Y_i Y_{i+1}) (indices mod n).
+  static EigenMixer ring(const StateSpace& space);
+
+  /// XY hopping mixer over an arbitrary pair graph: sum_{(i,j) in E}
+  /// w_ij (X_i X_j + Y_i Y_j). Clique/ring are special cases.
+  static EigenMixer xy_graph(const StateSpace& space, const Graph& pairs,
+                             std::string name = "xy-graph");
+
+  /// Arbitrary real-symmetric mixer Hamiltonian given as a dense matrix on
+  /// the feasible basis.
+  static EigenMixer from_hamiltonian(linalg::dmat h, std::string name);
+
+  /// Arbitrary complex Hermitian mixer Hamiltonian.
+  static EigenMixer from_hamiltonian(linalg::cmat h, std::string name);
+
+  /// Build the dense XY-hopping Hamiltonian on the feasible basis (exposed
+  /// for tests and for the Trotter baseline).
+  static linalg::dmat xy_hamiltonian(const StateSpace& space,
+                                     const Graph& pairs);
+
+  [[nodiscard]] index_t dim() const override {
+    return real_ ? real_->eigenvalues.size() : herm_->eigenvalues.size();
+  }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool is_real() const noexcept { return real_.has_value(); }
+
+  /// Accessors for serialization (io module).
+  [[nodiscard]] const linalg::SymEig& real_eig() const;
+  [[nodiscard]] const linalg::HermEig& herm_eig() const;
+
+  void apply_exp(cvec& psi, double beta, cvec& scratch) const override;
+  void apply_ham(const cvec& in, cvec& out, cvec& scratch) const override;
+
+ private:
+  std::optional<linalg::SymEig> real_;
+  std::optional<linalg::HermEig> herm_;
+  std::string name_;
+};
+
+}  // namespace fastqaoa

@@ -1,0 +1,31 @@
+#pragma once
+/// \file grover_mixer.hpp
+/// The Grover mixer H_G = |psi0><psi0| (Bärtschi & Eidenbenz [8]), where
+/// |psi0> is the uniform superposition over the feasible set. Because H_G
+/// is a rank-1 projector,
+///     e^{-i beta H_G} = I + (e^{-i beta} - 1) |psi0><psi0|,
+/// each application is a single reduction plus an axpy, O(dim). The mixer
+/// conserves Hamming weight, so the same implementation serves both the
+/// full space and Dicke subspaces (paper §2.4).
+
+#include "mixers/mixer.hpp"
+
+namespace fastqaoa {
+
+/// Rank-1 Grover mixer on a feasible space of given dimension.
+class GroverMixer final : public Mixer {
+ public:
+  /// dim = 2^n for unconstrained problems, C(n,k) for Dicke spaces.
+  explicit GroverMixer(index_t dim);
+
+  [[nodiscard]] index_t dim() const override { return dim_; }
+  [[nodiscard]] std::string name() const override { return "grover"; }
+
+  void apply_exp(cvec& psi, double beta, cvec& scratch) const override;
+  void apply_ham(const cvec& in, cvec& out, cvec& scratch) const override;
+
+ private:
+  index_t dim_;
+};
+
+}  // namespace fastqaoa

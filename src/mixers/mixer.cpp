@@ -1,0 +1,15 @@
+#include "mixers/mixer.hpp"
+
+#include <cmath>
+
+#include "linalg/vector_ops.hpp"
+
+namespace fastqaoa {
+
+void Mixer::initial_state(cvec& psi) const {
+  psi.assign(dim(), cplx{0.0, 0.0});
+  const double amp = 1.0 / std::sqrt(static_cast<double>(dim()));
+  linalg::fill(psi, cplx{amp, 0.0});
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,45 @@
+#pragma once
+/// \file mixer.hpp
+/// The mixer abstraction. Every mixer the paper supports is represented in
+/// a *diagonal frame*: e^{-i beta H_M} = T diag(e^{-i beta d}) T^{-1} for
+/// some cheap transform T. Concrete implementations:
+///   * XMixer      — T = H^{⊗n} via fast Walsh–Hadamard, O(n 2^n)
+///   * GroverMixer — rank-1 projector, O(dim)
+///   * EigenMixer  — dense precomputed eigenvectors, O(dim^2)
+/// The two virtuals are everything the simulator (apply_exp) and the
+/// adjoint-mode gradient (apply_ham) need.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace fastqaoa {
+
+/// A mixer Hamiltonian H_M restricted to a feasible subspace of dimension
+/// dim(). Implementations must be thread-compatible: const methods may be
+/// called concurrently as long as each call gets its own scratch vector.
+class Mixer {
+ public:
+  virtual ~Mixer() = default;
+
+  /// Dimension of the (feasible sub)space the mixer acts on.
+  [[nodiscard]] virtual index_t dim() const = 0;
+
+  /// Human-readable name ("transverse-field", "clique", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// psi <- e^{-i beta H_M} psi. `scratch` is caller-provided workspace
+  /// (resized as needed once, then reused allocation-free).
+  virtual void apply_exp(cvec& psi, double beta, cvec& scratch) const = 0;
+
+  /// out <- H_M * in (used by the adjoint gradient). `in` must not alias
+  /// `out`.
+  virtual void apply_ham(const cvec& in, cvec& out, cvec& scratch) const = 0;
+
+  /// The uniform superposition the paper defaults |psi0> to, expressed on
+  /// this mixer's space. Overridable for mixers whose natural ground state
+  /// differs; the default is 1/sqrt(dim) on every feasible state.
+  virtual void initial_state(cvec& psi) const;
+};
+
+}  // namespace fastqaoa

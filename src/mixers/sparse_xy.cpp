@@ -1,0 +1,52 @@
+#include "mixers/sparse_xy.hpp"
+
+#include <cmath>
+
+#include "bits/bitops.hpp"
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+SparseXYOperator::SparseXYOperator(const StateSpace& space, const Graph& pairs)
+    : dim_(space.dim()), pairs_(pairs) {
+  FASTQAOA_CHECK(pairs.num_vertices() == space.n(),
+                 "SparseXYOperator: pair graph must have n vertices");
+  partner_.resize(pairs_.edges().size());
+  std::vector<double> row_sum(dim_, 0.0);
+  for (std::size_t e = 0; e < pairs_.edges().size(); ++e) {
+    const Edge& edge = pairs_.edges()[e];
+    auto& table = partner_[e];
+    table.resize(dim_);
+    space.for_each([&](index_t i, state_t x) {
+      if (bit(x, edge.u) != bit(x, edge.v)) {
+        table[i] = space.index_of(flip(flip(x, edge.u), edge.v));
+        row_sum[i] += 2.0 * std::abs(edge.weight);
+      } else {
+        table[i] = i;
+      }
+    });
+  }
+  for (const double r : row_sum) bound_ = std::max(bound_, r);
+  if (bound_ == 0.0) bound_ = 1.0;  // H == 0; any positive scale works
+}
+
+void SparseXYOperator::apply(const cvec& in, cvec& out) const {
+  FASTQAOA_CHECK(in.size() == dim_, "SparseXYOperator: state size mismatch");
+  FASTQAOA_CHECK(in.data() != out.data(),
+                 "SparseXYOperator: in must not alias out");
+  out.assign(dim_, cplx{0.0, 0.0});
+  for (std::size_t e = 0; e < pairs_.edges().size(); ++e) {
+    const double w = 2.0 * pairs_.edges()[e].weight;
+    const auto& table = partner_[e];
+    const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(dim_);
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t i = 0; i < sz; ++i) {
+      const index_t j = table[static_cast<index_t>(i)];
+      if (j != static_cast<index_t>(i)) {
+        out[static_cast<index_t>(i)] += w * in[j];
+      }
+    }
+  }
+}
+
+}  // namespace fastqaoa

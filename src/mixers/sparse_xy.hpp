@@ -1,0 +1,45 @@
+#pragma once
+/// \file sparse_xy.hpp
+/// Sparse matrix-free XY-hopping operator on a feasible subspace.
+///
+/// The dense EigenMixer pays O(dim^2) memory for V — the very limit the
+/// paper hits ("the main limiting factor ... was the memory requirements in
+/// finding the eigendecomposition of the Clique mixer matrix", §2.2). The
+/// XY Hamiltonian itself is sparse: each feasible state couples to at most
+/// k(n-k) partners. This operator stores only per-edge swap-partner index
+/// tables (O(|E| * dim) integers) and applies H in O(|E| * dim) flops,
+/// enabling the Chebyshev mixer (chebyshev_mixer.hpp) to evolve subspaces
+/// whose dense eigendecomposition would not fit in memory.
+
+#include <vector>
+
+#include "graphs/graph.hpp"
+#include "problems/state_space.hpp"
+
+namespace fastqaoa {
+
+/// H = sum_{(u,v) in E} w_uv (X_u X_v + Y_u Y_v) restricted to a feasible
+/// space, applied matrix-free.
+class SparseXYOperator {
+ public:
+  SparseXYOperator(const StateSpace& space, const Graph& pairs);
+
+  [[nodiscard]] index_t dim() const noexcept { return dim_; }
+  [[nodiscard]] const Graph& pairs() const noexcept { return pairs_; }
+
+  /// out = H * in. in must not alias out.
+  void apply(const cvec& in, cvec& out) const;
+
+  /// Gershgorin bound on the spectral radius: max_x sum_y |H_xy|.
+  [[nodiscard]] double spectral_bound() const noexcept { return bound_; }
+
+ private:
+  index_t dim_;
+  Graph pairs_;
+  /// partner_[e][i]: index after swapping edge e's endpoints in state i,
+  /// or i itself when the endpoint bits agree (term annihilates).
+  std::vector<std::vector<index_t>> partner_;
+  double bound_ = 0.0;
+};
+
+}  // namespace fastqaoa

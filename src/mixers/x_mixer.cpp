@@ -1,0 +1,138 @@
+#include "mixers/x_mixer.hpp"
+
+#include <cmath>
+
+#include "bits/bitops.hpp"
+#include "bits/combinatorics.hpp"
+#include "common/error.hpp"
+#include "linalg/wht.hpp"
+
+namespace fastqaoa {
+
+namespace {
+
+std::string order_name(const std::vector<int>& orders) {
+  std::string s = "X-mixer(orders=";
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    if (i > 0) s += ',';
+    s += std::to_string(orders[i]);
+  }
+  s += ')';
+  return s;
+}
+
+}  // namespace
+
+XMixer::XMixer(int n, std::vector<PauliXTerm> terms, dvec dvals,
+               std::string name)
+    : n_(n),
+      terms_(std::move(terms)),
+      dvals_(std::move(dvals)),
+      name_(std::move(name)) {}
+
+XMixer::XMixer(int n, std::vector<PauliXTerm> terms)
+    : n_(n), terms_(std::move(terms)), name_("X-mixer") {
+  FASTQAOA_CHECK(n >= 1 && n <= 30, "XMixer: need 1 <= n <= 30");
+  const index_t size = index_t{1} << n;
+  for (const PauliXTerm& t : terms_) {
+    FASTQAOA_CHECK((t.mask >> n) == 0, "XMixer: term mask exceeds n bits");
+  }
+  dvals_.assign(size, 0.0);
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(size);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t z = 0; z < sz; ++z) {
+    double d = 0.0;
+    for (const PauliXTerm& t : terms_) {
+      d += t.weight * z_sign(static_cast<state_t>(z), t.mask);
+    }
+    dvals_[static_cast<index_t>(z)] = d;
+  }
+}
+
+XMixer XMixer::transverse_field(int n) {
+  std::vector<PauliXTerm> terms;
+  terms.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    terms.push_back(PauliXTerm{state_t{1} << i, 1.0});
+  }
+  XMixer m(n, std::move(terms));
+  m.name_ = "transverse-field";
+  return m;
+}
+
+XMixer XMixer::from_orders(int n, const std::vector<int>& orders) {
+  FASTQAOA_CHECK(n >= 1 && n <= 30, "XMixer: need 1 <= n <= 30");
+  FASTQAOA_CHECK(!orders.empty(), "XMixer::from_orders: no orders given");
+  // Krawtchouk evaluation: the diagonal value at z depends only on
+  // m = popcount(z):  sum_{|S|=r} (-1)^{|z & S|}
+  //                 = sum_j (-1)^j C(m, j) C(n-m, r-j) = K_r(m; n).
+  BinomialTable binom(n);
+  std::vector<double> by_weight(static_cast<std::size_t>(n) + 1, 0.0);
+  for (const int r : orders) {
+    FASTQAOA_CHECK(r >= 1 && r <= n, "XMixer::from_orders: order out of range");
+    for (int m = 0; m <= n; ++m) {
+      double k = 0.0;
+      for (int j = 0; j <= r; ++j) {
+        const double term = static_cast<double>(binom(m, j)) *
+                            static_cast<double>(binom(n - m, r - j));
+        k += (j % 2 == 0) ? term : -term;
+      }
+      by_weight[static_cast<std::size_t>(m)] += k;
+    }
+  }
+  const index_t size = index_t{1} << n;
+  dvec dvals(size, 0.0);
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(size);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t z = 0; z < sz; ++z) {
+    dvals[static_cast<index_t>(z)] =
+        by_weight[static_cast<std::size_t>(popcount(static_cast<state_t>(z)))];
+  }
+  // Materialize the term list as documentation/metadata (weight-r subsets),
+  // unless the subset count is impractically large — the diagonal above is
+  // all the simulation needs.
+  std::vector<PauliXTerm> terms;
+  std::uint64_t total_terms = 0;
+  for (const int r : orders) total_terms += binom(n, r);
+  if (total_terms <= 100000) {
+    terms.reserve(total_terms);
+    for (const int r : orders) {
+      for_each_weight_k(n, r,
+                        [&terms](state_t s) { terms.push_back({s, 1.0}); });
+    }
+  }
+  return XMixer(n, std::move(terms), std::move(dvals), order_name(orders));
+}
+
+void XMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
+  (void)scratch;  // WHT is in-place; no workspace needed.
+  FASTQAOA_CHECK(psi.size() == dvals_.size(), "XMixer: state size mismatch");
+  linalg::wht_unnormalized(psi);
+  // Fused phase + the single 1/2^n normalization of the two unnormalized
+  // transforms.
+  const double inv = 1.0 / static_cast<double>(dvals_.size());
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(psi.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    const double phase = -beta * dvals_[static_cast<index_t>(i)];
+    psi[static_cast<index_t>(i)] *=
+        cplx{std::cos(phase) * inv, std::sin(phase) * inv};
+  }
+  linalg::wht_unnormalized(psi);
+}
+
+void XMixer::apply_ham(const cvec& in, cvec& out, cvec& scratch) const {
+  (void)scratch;
+  FASTQAOA_CHECK(in.size() == dvals_.size(), "XMixer: state size mismatch");
+  out = in;
+  linalg::wht_unnormalized(out);
+  const double inv = 1.0 / static_cast<double>(dvals_.size());
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(out.size());
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    out[static_cast<index_t>(i)] *= dvals_[static_cast<index_t>(i)] * inv;
+  }
+  linalg::wht_unnormalized(out);
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,110 @@
+#include "pauli/pauli_string.hpp"
+
+#include "bits/bitops.hpp"
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+state_t PauliString::bitmask(int qubit) {
+  FASTQAOA_CHECK(qubit >= 0 && qubit < 63, "PauliString: qubit out of range");
+  return state_t{1} << qubit;
+}
+
+PauliString PauliString::from_label(const std::string& label) {
+  state_t x = 0;
+  state_t z = 0;
+  int phase = 0;
+  const int n = static_cast<int>(label.size());
+  FASTQAOA_CHECK(n >= 1 && n <= 62, "PauliString: label length out of range");
+  for (int i = 0; i < n; ++i) {
+    // Leftmost label character is the highest qubit.
+    const int qubit = n - 1 - i;
+    const state_t bit = state_t{1} << qubit;
+    switch (label[static_cast<std::size_t>(i)]) {
+      case 'I':
+        break;
+      case 'X':
+        x |= bit;
+        break;
+      case 'Z':
+        z |= bit;
+        break;
+      case 'Y':
+        x |= bit;
+        z |= bit;
+        phase += 1;  // Y = i X Z
+        break;
+      default:
+        throw Error("PauliString: invalid label character '" +
+                    std::string(1, label[static_cast<std::size_t>(i)]) + "'");
+    }
+  }
+  return {x, z, phase};
+}
+
+cplx PauliString::phase() const noexcept {
+  switch (phase_) {
+    case 0:
+      return {1.0, 0.0};
+    case 1:
+      return {0.0, 1.0};
+    case 2:
+      return {-1.0, 0.0};
+    default:
+      return {0.0, -1.0};
+  }
+}
+
+int PauliString::weight() const noexcept { return popcount(x_ | z_); }
+
+PauliString PauliString::operator*(const PauliString& rhs) const {
+  // Z^b1 X^a2 = (-1)^{|b1 & a2|} X^a2 Z^b1.
+  const int phase =
+      phase_ + rhs.phase_ + 2 * parity(z_ & rhs.x_);
+  return {x_ ^ rhs.x_, z_ ^ rhs.z_, phase};
+}
+
+bool PauliString::commutes_with(const PauliString& rhs) const {
+  return ((parity(z_ & rhs.x_) + parity(x_ & rhs.z_)) & 1) == 0;
+}
+
+PauliString::BasisAction PauliString::apply(state_t x) const {
+  // X^a Z^b |x> = (-1)^{|b & x|} |x ^ a>, times the stored i^k.
+  const double sign = parity(z_ & x) ? -1.0 : 1.0;
+  return {x ^ x_, phase() * sign};
+}
+
+bool PauliString::is_hermitian() const {
+  // P^dag = i^{-k} Z^b X^a = i^{-k} (-1)^{|a&b|} X^a Z^b, which equals
+  // i^{k} X^a Z^b iff i^{2k} = (-1)^{|a&b|}, i.e. matching parities.
+  return (phase_ & 1) == (popcount(x_ & z_) & 1);
+}
+
+std::string PauliString::label(int n) const {
+  FASTQAOA_CHECK(n >= 1 && n <= 62, "PauliString::label: bad qubit count");
+  FASTQAOA_CHECK(((x_ | z_) >> n) == 0,
+                 "PauliString::label: string acts beyond n qubits");
+  std::string body;
+  body.reserve(static_cast<std::size_t>(n));
+  int y_count = 0;
+  for (int q = n - 1; q >= 0; --q) {
+    const bool has_x = (x_ >> q) & 1;
+    const bool has_z = (z_ >> q) & 1;
+    if (has_x && has_z) {
+      body += 'Y';
+      ++y_count;
+    } else if (has_x) {
+      body += 'X';
+    } else if (has_z) {
+      body += 'Z';
+    } else {
+      body += 'I';
+    }
+  }
+  // Displayed phase after absorbing one i into each Y.
+  const int shown = ((phase_ - y_count) % 4 + 4) % 4;
+  static const char* prefix[] = {"", "i*", "-", "-i*"};
+  return std::string(prefix[shown]) + body;
+}
+
+}  // namespace fastqaoa

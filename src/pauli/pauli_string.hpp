@@ -1,0 +1,98 @@
+#pragma once
+/// \file pauli_string.hpp
+/// Pauli strings in the symplectic (X-mask, Z-mask) representation.
+///
+/// A Pauli string P = i^k · X^a Z^b (a, b bitmasks) covers every tensor
+/// product of I, X, Y, Z with a global phase: Y_j = i X_j Z_j. This is the
+/// substrate for building arbitrary cost and mixer Hamiltonians from Pauli
+/// sums (paper §4: "arbitrarily complicated or synthetic optimization
+/// functions and mixer Hamiltonians"); sums of such strings lower to dense
+/// Hermitian matrices consumed by EigenMixer, and X-only sums lower to the
+/// fast XMixer path.
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace fastqaoa {
+
+/// A single n-qubit Pauli string with an i^k phase (k in 0..3), stored as
+/// P = i^phase_power * (X^x_mask) * (Z^z_mask). Qubit j carries:
+///   I when neither mask has bit j, X for x only, Z for z only, Y for both
+///   (with the i absorbed into phase_power at construction).
+class PauliString {
+ public:
+  /// The identity string.
+  PauliString() = default;
+
+  /// From explicit masks in the X^a Z^b convention (no implicit Y phase).
+  PauliString(state_t x_mask, state_t z_mask, int phase_power = 0)
+      : x_(x_mask), z_(z_mask), phase_(((phase_power % 4) + 4) % 4) {}
+
+  /// Parse a label like "XIZY" (leftmost character = highest qubit index,
+  /// matching the usual ket convention |q_{n-1} ... q_0>). Throws on other
+  /// characters.
+  static PauliString from_label(const std::string& label);
+
+  /// Single-qubit constructors.
+  static PauliString X(int qubit) { return {bitmask(qubit), 0, 0}; }
+  static PauliString Z(int qubit) { return {0, bitmask(qubit), 0}; }
+  static PauliString Y(int qubit) {
+    return {bitmask(qubit), bitmask(qubit), 1};  // Y = i X Z
+  }
+
+  [[nodiscard]] state_t x_mask() const noexcept { return x_; }
+  [[nodiscard]] state_t z_mask() const noexcept { return z_; }
+  /// k of the i^k phase factor.
+  [[nodiscard]] int phase_power() const noexcept { return phase_; }
+  /// The i^k phase as a complex number.
+  [[nodiscard]] cplx phase() const noexcept;
+
+  /// Number of non-identity tensor factors.
+  [[nodiscard]] int weight() const noexcept;
+
+  /// True when the string is I...I (any phase).
+  [[nodiscard]] bool is_identity() const noexcept {
+    return x_ == 0 && z_ == 0;
+  }
+
+  /// True when P is diagonal in the computational basis (no X part).
+  [[nodiscard]] bool is_diagonal() const noexcept { return x_ == 0; }
+
+  /// True when P contains only X factors (and no phase) — eligible for the
+  /// Walsh–Hadamard fast path.
+  [[nodiscard]] bool is_x_only() const noexcept {
+    return z_ == 0 && phase_ == 0;
+  }
+
+  /// Product of two Pauli strings (phases tracked exactly).
+  [[nodiscard]] PauliString operator*(const PauliString& rhs) const;
+
+  /// True when the two strings commute.
+  [[nodiscard]] bool commutes_with(const PauliString& rhs) const;
+
+  /// Action on a computational basis state: P|x> = amplitude * |result>.
+  struct BasisAction {
+    state_t result;
+    cplx amplitude;
+  };
+  [[nodiscard]] BasisAction apply(state_t x) const;
+
+  /// Hermitian iff its phase works out real on the Y count: P^dagger == P.
+  [[nodiscard]] bool is_hermitian() const;
+
+  /// Label string over the lowest `n` qubits, e.g. "ZIXY" (includes a
+  /// leading phase marker when the phase is not +1).
+  [[nodiscard]] std::string label(int n) const;
+
+  bool operator==(const PauliString&) const = default;
+
+ private:
+  static state_t bitmask(int qubit);
+
+  state_t x_ = 0;
+  state_t z_ = 0;
+  int phase_ = 0;  // P = i^phase_ X^x_ Z^z_
+};
+
+}  // namespace fastqaoa

@@ -1,0 +1,202 @@
+#include "pauli/pauli_sum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "bits/bitops.hpp"
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+PauliSum::PauliSum(int n) : n_(n) {
+  FASTQAOA_CHECK(n >= 1 && n <= 62, "PauliSum: need 1 <= n <= 62");
+}
+
+PauliSum::PauliSum(int n, std::vector<PauliTerm> terms) : PauliSum(n) {
+  for (auto& t : terms) add(t.coefficient, t.string);
+}
+
+void PauliSum::add(cplx coefficient, const PauliString& string) {
+  FASTQAOA_CHECK(((string.x_mask() | string.z_mask()) >> n_) == 0,
+                 "PauliSum::add: string acts beyond n qubits");
+  terms_.push_back({coefficient, string});
+}
+
+void PauliSum::add(cplx coefficient, const std::string& label) {
+  FASTQAOA_CHECK(static_cast<int>(label.size()) == n_,
+                 "PauliSum::add: label length must equal n");
+  add(coefficient, PauliString::from_label(label));
+}
+
+void PauliSum::simplify(double tol) {
+  // Fold i^k phases into coefficients and combine by (x, z) masks.
+  std::map<std::pair<state_t, state_t>, cplx> combined;
+  for (const PauliTerm& t : terms_) {
+    combined[{t.string.x_mask(), t.string.z_mask()}] +=
+        t.coefficient * t.string.phase();
+  }
+  terms_.clear();
+  for (const auto& [masks, coeff] : combined) {
+    if (std::abs(coeff) > tol) {
+      terms_.push_back({coeff, PauliString(masks.first, masks.second, 0)});
+    }
+  }
+}
+
+PauliSum PauliSum::operator+(const PauliSum& rhs) const {
+  FASTQAOA_CHECK(n_ == rhs.n_, "PauliSum: qubit count mismatch");
+  PauliSum out(n_);
+  out.terms_ = terms_;
+  out.terms_.insert(out.terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+  return out;
+}
+
+PauliSum PauliSum::operator*(const PauliSum& rhs) const {
+  FASTQAOA_CHECK(n_ == rhs.n_, "PauliSum: qubit count mismatch");
+  PauliSum out(n_);
+  out.terms_.reserve(terms_.size() * rhs.terms_.size());
+  for (const PauliTerm& a : terms_) {
+    for (const PauliTerm& b : rhs.terms_) {
+      out.terms_.push_back(
+          {a.coefficient * b.coefficient, a.string * b.string});
+    }
+  }
+  return out;
+}
+
+PauliSum PauliSum::operator*(cplx scale) const {
+  PauliSum out(n_);
+  out.terms_ = terms_;
+  for (PauliTerm& t : out.terms_) t.coefficient *= scale;
+  return out;
+}
+
+bool PauliSum::is_hermitian(double tol) const {
+  // Work on a simplified copy so cancellations are honored, then require
+  // each surviving effective coefficient to be real (all canonical X^a Z^b
+  // strings with |a&b| even are Hermitian; odd ones are anti-Hermitian, so
+  // their coefficient must be imaginary — equivalently c * i^{|a&b|} real).
+  PauliSum copy = *this;
+  copy.simplify(tol);
+  for (const PauliTerm& t : copy.terms_) {
+    const int y_overlap = popcount(t.string.x_mask() & t.string.z_mask());
+    const cplx effective =
+        (y_overlap & 1) ? t.coefficient * cplx{0.0, 1.0} : t.coefficient;
+    if (std::abs(effective.imag()) > tol) return false;
+  }
+  return true;
+}
+
+bool PauliSum::is_diagonal() const noexcept {
+  return std::all_of(terms_.begin(), terms_.end(), [](const PauliTerm& t) {
+    return t.string.is_diagonal();
+  });
+}
+
+bool PauliSum::is_x_only() const noexcept {
+  return std::all_of(terms_.begin(), terms_.end(), [](const PauliTerm& t) {
+    return t.string.is_x_only();
+  });
+}
+
+void PauliSum::apply(const cvec& in, cvec& out) const {
+  const index_t dim = index_t{1} << n_;
+  FASTQAOA_CHECK(in.size() == dim, "PauliSum::apply: state size mismatch");
+  out.assign(dim, cplx{0.0, 0.0});
+  for (const PauliTerm& t : terms_) {
+    const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(dim);
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t x = 0; x < sz; ++x) {
+      const auto action = t.string.apply(static_cast<state_t>(x));
+      // P|x> = amp |y>  =>  out[y] += c * amp * in[x]; iterate over targets
+      // instead to keep writes race-free: out[x] += <x|P|y> in[y] with
+      // y = x ^ x_mask (apply from y lands on x with the same amplitude
+      // formula evaluated at y).
+      const state_t y = action.result;  // = x ^ x_mask
+      const auto from = t.string.apply(y);
+      FASTQAOA_ASSERT(from.result == static_cast<state_t>(x),
+                      "PauliSum::apply: involution mismatch");
+      out[static_cast<index_t>(x)] +=
+          t.coefficient * from.amplitude * in[y];
+    }
+  }
+}
+
+linalg::cmat PauliSum::to_matrix() const {
+  FASTQAOA_CHECK(n_ <= 14, "PauliSum::to_matrix: dense build limited to "
+                           "n <= 14 (2^28 entries)");
+  const index_t dim = index_t{1} << n_;
+  linalg::cmat m(dim, dim);
+  for (const PauliTerm& t : terms_) {
+    for (index_t x = 0; x < dim; ++x) {
+      const auto action = t.string.apply(static_cast<state_t>(x));
+      m(static_cast<index_t>(action.result), x) +=
+          t.coefficient * action.amplitude;
+    }
+  }
+  return m;
+}
+
+dvec PauliSum::to_diagonal() const {
+  FASTQAOA_CHECK(is_diagonal(), "PauliSum::to_diagonal: sum has X/Y terms");
+  const index_t dim = index_t{1} << n_;
+  dvec diag(dim, 0.0);
+  for (const PauliTerm& t : terms_) {
+    const cplx c = t.coefficient * t.string.phase();
+    FASTQAOA_CHECK(std::abs(c.imag()) < 1e-12,
+                   "PauliSum::to_diagonal: non-real diagonal coefficient");
+    for (index_t x = 0; x < dim; ++x) {
+      diag[x] += c.real() * z_sign(static_cast<state_t>(x),
+                                   t.string.z_mask());
+    }
+  }
+  return diag;
+}
+
+XMixer PauliSum::to_x_mixer() const {
+  FASTQAOA_CHECK(is_x_only(),
+                 "PauliSum::to_x_mixer: sum has Z/Y/phase content — use "
+                 "to_eigen_mixer instead");
+  std::vector<PauliXTerm> terms;
+  terms.reserve(terms_.size());
+  for (const PauliTerm& t : terms_) {
+    FASTQAOA_CHECK(std::abs(t.coefficient.imag()) < 1e-12,
+                   "PauliSum::to_x_mixer: coefficients must be real");
+    terms.push_back({t.string.x_mask(), t.coefficient.real()});
+  }
+  return XMixer(n_, std::move(terms));
+}
+
+EigenMixer PauliSum::to_eigen_mixer(const std::string& name) const {
+  FASTQAOA_CHECK(is_hermitian(),
+                 "PauliSum::to_eigen_mixer: sum is not Hermitian");
+  return EigenMixer::from_hamiltonian(linalg::hermitize(to_matrix()), name);
+}
+
+PauliSum PauliSum::ising(const Graph& couplings,
+                         const std::vector<double>& fields) {
+  const int n = couplings.num_vertices();
+  FASTQAOA_CHECK(static_cast<int>(fields.size()) == n,
+                 "PauliSum::ising: one field per vertex required");
+  PauliSum h(n);
+  for (int v = 0; v < n; ++v) {
+    if (fields[static_cast<std::size_t>(v)] != 0.0) {
+      h.add(cplx{fields[static_cast<std::size_t>(v)], 0.0},
+            PauliString::Z(v));
+    }
+  }
+  for (const Edge& e : couplings.edges()) {
+    h.add(cplx{e.weight, 0.0},
+          PauliString::Z(e.u) * PauliString::Z(e.v));
+  }
+  return h;
+}
+
+PauliSum PauliSum::transverse_field(int n) {
+  PauliSum h(n);
+  for (int q = 0; q < n; ++q) h.add(cplx{1.0, 0.0}, PauliString::X(q));
+  return h;
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,100 @@
+#pragma once
+/// \file pauli_sum.hpp
+/// Weighted sums of Pauli strings — the general Hamiltonian representation.
+///
+/// A PauliSum lowers to whichever execution path fits (paper §2.1's
+/// hierarchy): X-only sums become XMixer diagonals (fast Walsh–Hadamard
+/// path), diagonal sums become cost tables, and everything else builds a
+/// dense Hermitian matrix for EigenMixer ("any mixer that is not of the
+/// above formats ... can be implemented as a unitary matrix, and the
+/// eigendecomposition is computed and stored").
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "mixers/x_mixer.hpp"
+#include "pauli/pauli_string.hpp"
+
+namespace fastqaoa {
+
+/// One weighted term of a Pauli sum.
+struct PauliTerm {
+  cplx coefficient{1.0, 0.0};
+  PauliString string;
+};
+
+/// H = sum_t c_t P_t on n qubits.
+class PauliSum {
+ public:
+  explicit PauliSum(int n);
+  PauliSum(int n, std::vector<PauliTerm> terms);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t num_terms() const noexcept {
+    return terms_.size();
+  }
+  [[nodiscard]] const std::vector<PauliTerm>& terms() const noexcept {
+    return terms_;
+  }
+
+  /// Append coefficient * string (string must fit in n qubits).
+  void add(cplx coefficient, const PauliString& string);
+  /// Append a term parsed from a label, e.g. add(0.5, "XXI").
+  void add(cplx coefficient, const std::string& label);
+
+  /// Combine like terms (same masks; phases folded into coefficients) and
+  /// drop terms with |c| <= tol.
+  void simplify(double tol = 1e-14);
+
+  /// Sum of two Pauli sums over the same qubit count.
+  [[nodiscard]] PauliSum operator+(const PauliSum& rhs) const;
+  /// Product (term-by-term Pauli algebra); call simplify() after chains.
+  [[nodiscard]] PauliSum operator*(const PauliSum& rhs) const;
+  /// Scalar multiple.
+  [[nodiscard]] PauliSum operator*(cplx scale) const;
+
+  /// True when every term's effective coefficient is real and every string
+  /// Hermitian-compatible, i.e. the sum is a Hermitian operator.
+  [[nodiscard]] bool is_hermitian(double tol = 1e-12) const;
+
+  /// True when all strings are diagonal (I/Z only).
+  [[nodiscard]] bool is_diagonal() const noexcept;
+
+  /// True when all strings are X-products with no phase (XMixer-eligible).
+  [[nodiscard]] bool is_x_only() const noexcept;
+
+  /// out += H * in on the full 2^n basis (sparse term-by-term action;
+  /// O(terms * 2^n), no matrix materialization).
+  void apply(const cvec& in, cvec& out) const;
+
+  /// Dense matrix on the full 2^n basis.
+  [[nodiscard]] linalg::cmat to_matrix() const;
+
+  /// Diagonal of a diagonal sum as a real table (throws otherwise).
+  [[nodiscard]] dvec to_diagonal() const;
+
+  /// Lower an X-only sum to the fast Walsh–Hadamard mixer (throws if any
+  /// term has Z or phase content).
+  [[nodiscard]] XMixer to_x_mixer() const;
+
+  /// Lower an arbitrary Hermitian sum to an eigendecomposition mixer on
+  /// the full basis (throws if not Hermitian). O(8^n) setup — intended for
+  /// small-n studies of exotic mixers.
+  [[nodiscard]] EigenMixer to_eigen_mixer(const std::string& name) const;
+
+  /// The Ising form of a cost table: sum_i h_i Z_i + sum_{ij} J_ij Z_i Z_j
+  /// + offset, from fields/couplings on a graph. (Inverse of tabulating
+  /// ising_energy over the full basis.)
+  static PauliSum ising(const Graph& couplings,
+                        const std::vector<double>& fields);
+
+  /// The transverse-field mixer sum_i X_i as a PauliSum.
+  static PauliSum transverse_field(int n);
+
+ private:
+  int n_;
+  std::vector<PauliTerm> terms_;
+};
+
+}  // namespace fastqaoa

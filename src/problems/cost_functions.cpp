@@ -1,0 +1,85 @@
+#include "problems/cost_functions.hpp"
+
+#include <cmath>
+
+#include "bits/bitops.hpp"
+
+namespace fastqaoa {
+
+double maxcut(const Graph& g, state_t x) {
+  double cut = 0.0;
+  for (const Edge& e : g.edges()) {
+    if (bit(x, e.u) != bit(x, e.v)) cut += e.weight;
+  }
+  return cut;
+}
+
+double ksat(const CnfFormula& f, state_t x) {
+  return static_cast<double>(f.count_satisfied(x));
+}
+
+double densest_subgraph(const Graph& g, state_t x) {
+  double inside = 0.0;
+  for (const Edge& e : g.edges()) {
+    if (bit(x, e.u) == 1 && bit(x, e.v) == 1) inside += e.weight;
+  }
+  return inside;
+}
+
+double vertex_cover(const Graph& g, state_t x) {
+  double covered = 0.0;
+  for (const Edge& e : g.edges()) {
+    if (bit(x, e.u) == 1 || bit(x, e.v) == 1) covered += e.weight;
+  }
+  return covered;
+}
+
+double number_partition(const std::vector<double>& weights, state_t x) {
+  FASTQAOA_CHECK(weights.size() <= 62, "number_partition: too many items");
+  double selected = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    total += weights[i];
+    if (bit(x, static_cast<int>(i))) selected += weights[i];
+  }
+  return std::abs(2.0 * selected - total);
+}
+
+double portfolio_value(const std::vector<double>& expected_returns,
+                       const linalg::dmat& covariance, double risk_aversion,
+                       state_t x) {
+  const std::size_t n = expected_returns.size();
+  FASTQAOA_CHECK(covariance.rows() == n && covariance.cols() == n,
+                 "portfolio_value: covariance must be n x n");
+  FASTQAOA_CHECK(n <= 62, "portfolio_value: too many assets");
+  double value = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!bit(x, static_cast<int>(i))) continue;
+    value += expected_returns[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (bit(x, static_cast<int>(j))) {
+        value -= risk_aversion * covariance(i, j);
+      }
+    }
+  }
+  return value;
+}
+
+double ising_energy(const Graph& couplings, const std::vector<double>& fields,
+                    state_t x) {
+  FASTQAOA_CHECK(static_cast<int>(fields.size()) == couplings.num_vertices(),
+                 "ising_energy: one field per vertex required");
+  double energy = 0.0;
+  for (int v = 0; v < couplings.num_vertices(); ++v) {
+    const double s = bit(x, v) ? -1.0 : 1.0;
+    energy += fields[static_cast<std::size_t>(v)] * s;
+  }
+  for (const Edge& e : couplings.edges()) {
+    const double su = bit(x, e.u) ? -1.0 : 1.0;
+    const double sv = bit(x, e.v) ? -1.0 : 1.0;
+    energy += e.weight * su * sv;
+  }
+  return energy;
+}
+
+}  // namespace fastqaoa

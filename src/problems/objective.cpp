@@ -1,0 +1,79 @@
+#include "problems/objective.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+ObjectiveStats objective_stats(const dvec& values) {
+  FASTQAOA_CHECK(!values.empty(), "objective_stats: empty table");
+  ObjectiveStats s;
+  s.min_value = values[0];
+  s.max_value = values[0];
+  double sum = 0.0;
+  for (index_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    sum += v;
+    if (v < s.min_value) {
+      s.min_value = v;
+      s.argmin = i;
+    }
+    if (v > s.max_value) {
+      s.max_value = v;
+      s.argmax = i;
+    }
+  }
+  for (const double v : values) {
+    if (v == s.min_value) ++s.count_min;
+    if (v == s.max_value) ++s.count_max;
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  return s;
+}
+
+dvec negated(const dvec& values) {
+  dvec out(values.size(), 0.0);
+  for (index_t i = 0; i < values.size(); ++i) out[i] = -values[i];
+  return out;
+}
+
+dvec shifted(const dvec& values, double offset) {
+  dvec out(values.size(), 0.0);
+  for (index_t i = 0; i < values.size(); ++i) out[i] = values[i] + offset;
+  return out;
+}
+
+dvec threshold_indicator(const dvec& values, double t) {
+  dvec out(values.size(), 0.0);
+  for (index_t i = 0; i < values.size(); ++i) out[i] = values[i] > t ? 1.0 : 0.0;
+  return out;
+}
+
+double approximation_ratio(double expectation, const dvec& values,
+                           Direction direction) {
+  const ObjectiveStats s = objective_stats(values);
+  const double range = s.max_value - s.min_value;
+  FASTQAOA_CHECK(range > 0.0,
+                 "approximation_ratio: objective is constant over S");
+  if (direction == Direction::Maximize) {
+    return (expectation - s.min_value) / range;
+  }
+  return (s.max_value - expectation) / range;
+}
+
+DegeneracyTable degeneracy_table(const dvec& values) {
+  std::map<double, std::uint64_t> hist;
+  for (const double v : values) ++hist[v];
+  DegeneracyTable table;
+  table.values.reserve(hist.size());
+  table.counts.reserve(hist.size());
+  for (const auto& [v, c] : hist) {
+    table.values.push_back(v);
+    table.counts.push_back(c);
+    table.total += c;
+  }
+  return table;
+}
+
+}  // namespace fastqaoa

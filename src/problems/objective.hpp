@@ -1,0 +1,115 @@
+#pragma once
+/// \file objective.hpp
+/// Objective-value tables and the transforms the paper applies to them:
+/// sign flips for minimization, offsets, the threshold phase separator of
+/// Golden et al. [18], and the (value, degeneracy) histogram that powers
+/// the large-n Grover-mixer fast path (paper §2.4).
+
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "problems/state_space.hpp"
+
+namespace fastqaoa {
+
+/// Whether the outer loop should push <C> up or down.
+enum class Direction { Maximize, Minimize };
+
+/// Summary statistics of a tabulated objective.
+struct ObjectiveStats {
+  double min_value = 0.0;
+  double max_value = 0.0;
+  index_t argmin = 0;   ///< index of (one) minimizing state
+  index_t argmax = 0;   ///< index of (one) maximizing state
+  index_t count_min = 0;  ///< degeneracy of the minimum
+  index_t count_max = 0;  ///< degeneracy of the maximum
+  double mean = 0.0;
+};
+
+/// Scan a value table for its extrema and mean.
+ObjectiveStats objective_stats(const dvec& values);
+
+/// values'[i] = -values[i] (turn a minimization into the maximization the
+/// angle finder expects — the paper's "add an overall minus sign").
+dvec negated(const dvec& values);
+
+/// values'[i] = values[i] + offset (the paper's "add an offset to make them
+/// all the same sign").
+dvec shifted(const dvec& values, double offset);
+
+/// Indicator cost of the threshold phase separator: 1 where value > t else
+/// 0. With the Grover mixer this reproduces Grover search as a QAOA [17].
+dvec threshold_indicator(const dvec& values, double t);
+
+/// Approximation ratio of an expectation value against a table's extrema:
+/// (E - worst) / (best - worst) for maximization. 1.0 = optimal.
+double approximation_ratio(double expectation, const dvec& values,
+                           Direction direction = Direction::Maximize);
+
+/// Distinct objective values with their degeneracies — all the Grover
+/// mixer needs (fair sampling: equal-value states keep equal amplitudes).
+/// Values are keyed with a tolerance-free exact comparison; cost functions
+/// counting edges/clauses produce exactly representable values.
+struct DegeneracyTable {
+  std::vector<double> values;        ///< distinct values, ascending
+  std::vector<std::uint64_t> counts;  ///< multiplicity of each value
+  std::uint64_t total = 0;           ///< sum of counts == |S|
+
+  [[nodiscard]] std::size_t num_distinct() const { return values.size(); }
+};
+
+/// Histogram a full value table (small spaces).
+DegeneracyTable degeneracy_table(const dvec& values);
+
+/// Histogram a cost function over the full n-qubit space *without*
+/// materializing the 2^n table — streaming, OpenMP-partitioned over the
+/// integer range exactly as the paper partitions work across workers.
+template <typename CostFn>
+DegeneracyTable degeneracy_table_streaming(int n, CostFn&& cost) {
+  std::map<double, std::uint64_t> hist;
+  const state_t limit = state_t{1} << n;
+#ifdef _OPENMP
+#pragma omp parallel
+  {
+    std::map<double, std::uint64_t> local;
+#pragma omp for schedule(static) nowait
+    for (std::int64_t x = 0; x < static_cast<std::int64_t>(limit); ++x) {
+      ++local[cost(static_cast<state_t>(x))];
+    }
+#pragma omp critical(fastqaoa_degeneracy_merge)
+    for (const auto& [v, c] : local) hist[v] += c;
+  }
+#else
+  for (state_t x = 0; x < limit; ++x) ++hist[cost(x)];
+#endif
+  DegeneracyTable table;
+  table.values.reserve(hist.size());
+  table.counts.reserve(hist.size());
+  for (const auto& [v, c] : hist) {
+    table.values.push_back(v);
+    table.counts.push_back(c);
+    table.total += c;
+  }
+  return table;
+}
+
+/// Streaming histogram over the Hamming-weight-k subspace via Gosper's
+/// hack (paper §2.4: "one can use Gosper's hack to efficiently iterate
+/// through all binary strings with k ones").
+template <typename CostFn>
+DegeneracyTable degeneracy_table_streaming_dicke(int n, int k, CostFn&& cost) {
+  std::map<double, std::uint64_t> hist;
+  for_each_weight_k(n, k, [&](state_t x) { ++hist[cost(x)]; });
+  DegeneracyTable table;
+  table.values.reserve(hist.size());
+  table.counts.reserve(hist.size());
+  for (const auto& [v, c] : hist) {
+    table.values.push_back(v);
+    table.counts.push_back(c);
+    table.total += c;
+  }
+  return table;
+}
+
+}  // namespace fastqaoa

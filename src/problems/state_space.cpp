@@ -1,0 +1,38 @@
+#include "problems/state_space.hpp"
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+StateSpace::StateSpace(int n, int k) : n_(n), k_(k) {
+  FASTQAOA_CHECK(n >= 1 && n < 63, "StateSpace: need 1 <= n < 63");
+  if (k >= 0) {
+    FASTQAOA_CHECK(k <= n, "StateSpace: need k <= n");
+    dicke_ = std::make_shared<const DickeBasis>(n, k);
+    dim_ = dicke_->size();
+  } else {
+    FASTQAOA_CHECK(n <= 34, "StateSpace: full space above n=34 will not fit "
+                            "in memory for statevector simulation");
+    dim_ = index_t{1} << n;
+  }
+}
+
+StateSpace StateSpace::full(int n) { return StateSpace(n, -1); }
+
+StateSpace StateSpace::dicke(int n, int k) {
+  FASTQAOA_CHECK(k >= 0, "StateSpace::dicke: k must be non-negative");
+  return StateSpace(n, k);
+}
+
+index_t StateSpace::index_of(state_t x) const {
+  if (constrained()) return dicke_->index_of(x);
+  FASTQAOA_CHECK((x >> n_) == 0, "StateSpace::index_of: state exceeds n bits");
+  return static_cast<index_t>(x);
+}
+
+bool StateSpace::contains(state_t x) const {
+  if ((x >> n_) != 0) return false;
+  return !constrained() || popcount(x) == k_;
+}
+
+}  // namespace fastqaoa

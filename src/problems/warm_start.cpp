@@ -1,0 +1,51 @@
+#include "problems/warm_start.hpp"
+
+#include <cmath>
+
+#include "bits/bitops.hpp"
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+cvec warm_start_product_state(int n, state_t solution, double epsilon) {
+  FASTQAOA_CHECK(n >= 1 && n <= 30, "warm_start_product_state: bad n");
+  FASTQAOA_CHECK((solution >> n) == 0,
+                 "warm_start_product_state: solution exceeds n bits");
+  FASTQAOA_CHECK(epsilon >= 0.0 && epsilon <= 1.0,
+                 "warm_start_product_state: epsilon must be in [0, 1]");
+  const double match = std::sqrt(1.0 - epsilon);
+  const double differ = std::sqrt(epsilon);
+  const index_t dim = index_t{1} << n;
+  cvec psi(dim);
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(dim);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t x = 0; x < sz; ++x) {
+    const int differing = popcount(static_cast<state_t>(x) ^ solution);
+    psi[static_cast<index_t>(x)] =
+        cplx{std::pow(differ, differing) * std::pow(match, n - differing),
+             0.0};
+  }
+  return psi;
+}
+
+cvec warm_start_biased_state(const StateSpace& space, state_t target,
+                             double weight_on_target) {
+  FASTQAOA_CHECK(space.contains(target),
+                 "warm_start_biased_state: target is not feasible");
+  FASTQAOA_CHECK(weight_on_target >= 0.0 && weight_on_target <= 1.0,
+                 "warm_start_biased_state: weight must be in [0, 1]");
+  const index_t dim = space.dim();
+  const index_t target_index = space.index_of(target);
+  if (dim == 1) return cvec(1, cplx{1.0, 0.0});
+
+  // psi = a|target> + b * sum_{x != target} |x> with
+  // a^2 = weight, b^2 = (1 - weight)/(dim - 1).
+  const double a = std::sqrt(weight_on_target);
+  const double b =
+      std::sqrt((1.0 - weight_on_target) / static_cast<double>(dim - 1));
+  cvec psi(dim, cplx{b, 0.0});
+  psi[target_index] = cplx{a, 0.0};
+  return psi;
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,26 @@
+#pragma once
+/// \file warm_start.hpp
+/// Warm-start initial states (Egger, Mareček & Woerner [11], cited by the
+/// paper's "different initial states" flexibility point). Instead of the
+/// uniform superposition, bias |psi0> toward a classical candidate
+/// solution; QAOA then refines it.
+
+#include "common/types.hpp"
+#include "problems/state_space.hpp"
+
+namespace fastqaoa {
+
+/// Product warm start on the full n-qubit space: qubit i is prepared in
+/// sqrt(1-eps)|b_i> + sqrt(eps)|1-b_i> where b is the classical solution
+/// bitstring. eps = 0.5 recovers the uniform superposition; eps -> 0
+/// concentrates on |b>. Returns a unit-norm state of dimension 2^n.
+cvec warm_start_product_state(int n, state_t solution, double epsilon);
+
+/// Subspace-safe warm start: mixes the uniform superposition over the
+/// feasible set with a delta on one feasible target,
+/// sqrt(weight)|target> + sqrt(1-weight)|uniform⊥-ish>. Works for both
+/// full and Dicke spaces (where product states would leave the subspace).
+cvec warm_start_biased_state(const StateSpace& space, state_t target,
+                             double weight_on_target);
+
+}  // namespace fastqaoa

@@ -1,0 +1,111 @@
+#include "sampling/sampler.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+MeasurementSampler::MeasurementSampler(const cvec& psi) {
+  FASTQAOA_CHECK(!psi.empty(), "MeasurementSampler: empty state");
+  probability_.resize(psi.size());
+  double total = 0.0;
+  for (index_t i = 0; i < psi.size(); ++i) {
+    probability_[i] = std::norm(psi[i]);
+    total += probability_[i];
+  }
+  FASTQAOA_CHECK(total > 0.0, "MeasurementSampler: zero-norm state");
+  for (double& p : probability_) p /= total;
+  build_alias_table();
+}
+
+MeasurementSampler::MeasurementSampler(const dvec& weights) {
+  FASTQAOA_CHECK(!weights.empty(), "MeasurementSampler: empty weights");
+  probability_ = weights;
+  double total = 0.0;
+  for (const double w : probability_) {
+    FASTQAOA_CHECK(w >= 0.0, "MeasurementSampler: negative weight");
+    total += w;
+  }
+  FASTQAOA_CHECK(total > 0.0, "MeasurementSampler: all-zero weights");
+  for (double& p : probability_) p /= total;
+  build_alias_table();
+}
+
+void MeasurementSampler::build_alias_table() {
+  // Walker/Vose alias construction: split outcomes into under- and
+  // over-full bins at the uniform level 1/dim, then pair them off.
+  const index_t n = probability_.size();
+  threshold_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  for (index_t i = 0; i < n; ++i) alias_[i] = i;
+
+  std::vector<double> scaled(n);
+  std::deque<index_t> small;
+  std::deque<index_t> large;
+  for (index_t i = 0; i < n; ++i) {
+    scaled[i] = probability_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const index_t s = small.front();
+    small.pop_front();
+    const index_t l = large.front();
+    threshold_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= (1.0 - scaled[s]);
+    if (scaled[l] < 1.0) {
+      large.pop_front();
+      small.push_back(l);
+    }
+  }
+  // Leftovers (float drift) saturate at threshold 1 (never alias).
+  for (const index_t i : small) threshold_[i] = 1.0;
+  for (const index_t i : large) threshold_[i] = 1.0;
+}
+
+index_t MeasurementSampler::sample(Rng& rng) const {
+  const index_t column = static_cast<index_t>(rng.bounded(dim()));
+  return rng.uniform() < threshold_[column] ? column : alias_[column];
+}
+
+std::vector<std::uint64_t> MeasurementSampler::sample_counts(
+    std::uint64_t shots, Rng& rng) const {
+  std::vector<std::uint64_t> counts(dim(), 0);
+  for (std::uint64_t s = 0; s < shots; ++s) ++counts[sample(rng)];
+  return counts;
+}
+
+double MeasurementSampler::estimate_expectation(const dvec& values,
+                                                std::uint64_t shots,
+                                                Rng& rng) const {
+  FASTQAOA_CHECK(values.size() == dim(),
+                 "estimate_expectation: value table size mismatch");
+  FASTQAOA_CHECK(shots > 0, "estimate_expectation: need at least one shot");
+  double sum = 0.0;
+  for (std::uint64_t s = 0; s < shots; ++s) sum += values[sample(rng)];
+  return sum / static_cast<double>(shots);
+}
+
+double MeasurementSampler::exact_expectation(const dvec& values) const {
+  FASTQAOA_CHECK(values.size() == dim(),
+                 "exact_expectation: value table size mismatch");
+  double e = 0.0;
+  for (index_t i = 0; i < dim(); ++i) e += probability_[i] * values[i];
+  return e;
+}
+
+double MeasurementSampler::standard_error(const dvec& values,
+                                          std::uint64_t shots) const {
+  FASTQAOA_CHECK(shots > 0, "standard_error: need at least one shot");
+  const double mean = exact_expectation(values);
+  double variance = 0.0;
+  for (index_t i = 0; i < dim(); ++i) {
+    const double d = values[i] - mean;
+    variance += probability_[i] * d * d;
+  }
+  return std::sqrt(variance / static_cast<double>(shots));
+}
+
+}  // namespace fastqaoa

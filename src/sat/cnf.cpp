@@ -1,0 +1,77 @@
+#include "sat/cnf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fastqaoa {
+
+CnfFormula::CnfFormula(int num_variables) : n_(num_variables) {
+  FASTQAOA_CHECK(num_variables >= 1, "CnfFormula: need at least one variable");
+}
+
+CnfFormula::CnfFormula(int num_variables, std::vector<Clause> clauses)
+    : CnfFormula(num_variables) {
+  for (auto& c : clauses) add_clause(std::move(c));
+}
+
+void CnfFormula::add_clause(Clause clause) {
+  FASTQAOA_CHECK(!clause.empty(), "add_clause: empty clause");
+  for (std::size_t i = 0; i < clause.size(); ++i) {
+    FASTQAOA_CHECK(clause[i].variable >= 0 && clause[i].variable < n_,
+                   "add_clause: variable out of range");
+    for (std::size_t j = i + 1; j < clause.size(); ++j) {
+      FASTQAOA_CHECK(clause[i].variable != clause[j].variable,
+                     "add_clause: repeated variable within a clause");
+    }
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+int CnfFormula::count_satisfied(state_t x) const {
+  int count = 0;
+  for (const Clause& clause : clauses_) {
+    for (const Literal& lit : clause) {
+      const bool value = ((x >> lit.variable) & 1ULL) != 0;
+      if (value != lit.negated) {  // literal true
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+CnfFormula random_ksat(int num_variables, int k, int num_clauses, Rng& rng) {
+  FASTQAOA_CHECK(k >= 1 && k <= num_variables,
+                 "random_ksat: need 1 <= k <= num_variables");
+  FASTQAOA_CHECK(num_clauses >= 0, "random_ksat: negative clause count");
+  CnfFormula f(num_variables);
+  std::vector<int> vars(static_cast<std::size_t>(num_variables));
+  for (int i = 0; i < num_variables; ++i) vars[static_cast<std::size_t>(i)] = i;
+  for (int c = 0; c < num_clauses; ++c) {
+    // Partial Fisher-Yates: draw k distinct variables.
+    for (int i = 0; i < k; ++i) {
+      const auto j =
+          i + static_cast<int>(rng.bounded(
+                  static_cast<std::uint64_t>(num_variables - i)));
+      std::swap(vars[static_cast<std::size_t>(i)],
+                vars[static_cast<std::size_t>(j)]);
+    }
+    Clause clause;
+    clause.reserve(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      clause.push_back(
+          Literal{vars[static_cast<std::size_t>(i)], rng.uniform() < 0.5});
+    }
+    f.add_clause(std::move(clause));
+  }
+  return f;
+}
+
+CnfFormula random_ksat_density(int num_variables, int k, double density,
+                               Rng& rng) {
+  const int m = static_cast<int>(std::lround(density * num_variables));
+  return random_ksat(num_variables, k, m, rng);
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,71 @@
+#pragma once
+/// \file cnf.hpp
+/// CNF formulas and random k-SAT instance generation. The paper's Fig. 2
+/// uses a random 3-SAT instance at clause density 6 (clauses = 6n); the
+/// QAOA objective counts satisfied clauses.
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fastqaoa {
+
+/// A single literal: variable index (0-based) and polarity.
+struct Literal {
+  int variable;
+  bool negated;
+
+  bool operator==(const Literal&) const = default;
+};
+
+/// A disjunction of literals.
+using Clause = std::vector<Literal>;
+
+/// A CNF formula over n boolean variables.
+class CnfFormula {
+ public:
+  explicit CnfFormula(int num_variables);
+  CnfFormula(int num_variables, std::vector<Clause> clauses);
+
+  [[nodiscard]] int num_variables() const noexcept { return n_; }
+  [[nodiscard]] int num_clauses() const noexcept {
+    return static_cast<int>(clauses_.size());
+  }
+  [[nodiscard]] const std::vector<Clause>& clauses() const noexcept {
+    return clauses_;
+  }
+
+  /// Append a clause (literal variables must be < num_variables and
+  /// distinct within the clause).
+  void add_clause(Clause clause);
+
+  /// Number of clauses satisfied by assignment x (bit i of x = variable i).
+  [[nodiscard]] int count_satisfied(state_t x) const;
+
+  /// True iff every clause is satisfied by x.
+  [[nodiscard]] bool satisfied(state_t x) const {
+    return count_satisfied(x) == num_clauses();
+  }
+
+  /// Clause density m/n.
+  [[nodiscard]] double clause_density() const {
+    return static_cast<double>(num_clauses()) / n_;
+  }
+
+ private:
+  int n_;
+  std::vector<Clause> clauses_;
+};
+
+/// Uniform random k-SAT: each clause picks k distinct variables uniformly
+/// and negates each independently with probability 1/2.
+CnfFormula random_ksat(int num_variables, int k, int num_clauses, Rng& rng);
+
+/// Random k-SAT at a target clause density alpha (num_clauses =
+/// round(alpha * n)).
+CnfFormula random_ksat_density(int num_variables, int k, double density,
+                               Rng& rng);
+
+}  // namespace fastqaoa

@@ -1,0 +1,93 @@
+#include "study/ensemble.hpp"
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+EnsembleResult run_ensemble(const Mixer& mixer, const InstanceFactory& factory,
+                            const EnsembleConfig& config) {
+  FASTQAOA_CHECK(config.instances >= 1, "run_ensemble: need >= 1 instance");
+  FASTQAOA_CHECK(config.max_rounds >= 1, "run_ensemble: need >= 1 round");
+
+  EnsembleResult result;
+  result.schedules.reserve(static_cast<std::size_t>(config.instances));
+  result.ratios.reserve(static_cast<std::size_t>(config.instances));
+
+  Rng master(config.seed);
+  for (int inst = 0; inst < config.instances; ++inst) {
+    Rng instance_rng = master.fork();
+    dvec table = factory(instance_rng);
+    FASTQAOA_CHECK(table.size() == mixer.dim(),
+                   "run_ensemble: factory table does not match mixer "
+                   "dimension");
+
+    FindAnglesOptions opt = config.angle_options;
+    // Per-instance angle-finder stream, still derived from the study seed.
+    opt.seed = instance_rng();
+    std::vector<AngleSchedule> schedules =
+        find_angles(mixer, table, config.max_rounds, opt);
+
+    std::vector<double> inst_ratios;
+    inst_ratios.reserve(schedules.size());
+    for (const AngleSchedule& s : schedules) {
+      inst_ratios.push_back(
+          approximation_ratio(s.expectation, table, opt.direction));
+    }
+    result.schedules.push_back(std::move(schedules));
+    result.ratios.push_back(std::move(inst_ratios));
+  }
+
+  result.per_round.reserve(static_cast<std::size_t>(config.max_rounds));
+  for (int p = 1; p <= config.max_rounds; ++p) {
+    std::vector<double> column;
+    column.reserve(static_cast<std::size_t>(config.instances));
+    for (const auto& inst : result.ratios) {
+      column.push_back(inst[static_cast<std::size_t>(p - 1)]);
+    }
+    result.per_round.push_back(sample_stats(column));
+  }
+  return result;
+}
+
+MedianTransferResult median_angle_transfer(const Mixer& mixer,
+                                           const InstanceFactory& factory,
+                                           int p, int restarts,
+                                           const EnsembleConfig& config) {
+  FASTQAOA_CHECK(config.instances >= 1,
+                 "median_angle_transfer: need >= 1 instance");
+  FASTQAOA_CHECK(p >= 1 && restarts >= 1,
+                 "median_angle_transfer: bad p/restarts");
+
+  Rng master(config.seed);
+  std::vector<dvec> tables;
+  std::vector<std::vector<double>> angle_sets;
+  std::vector<double> donor_ratios;
+  for (int inst = 0; inst < config.instances; ++inst) {
+    Rng instance_rng = master.fork();
+    dvec table = factory(instance_rng);
+    FindAnglesOptions opt = config.angle_options;
+    opt.seed = instance_rng();
+    AngleSchedule s = find_angles_random(mixer, table, p, restarts, opt);
+    donor_ratios.push_back(
+        approximation_ratio(s.expectation, table, opt.direction));
+    angle_sets.push_back(s.packed());
+    tables.push_back(std::move(table));
+  }
+
+  MedianTransferResult result;
+  result.median_packed = median_angles(angle_sets);
+  result.donor_ratios = sample_stats(donor_ratios);
+
+  std::vector<double> transfer;
+  transfer.reserve(tables.size());
+  for (const dvec& table : tables) {
+    const double e = evaluate_angles(mixer, table, result.median_packed,
+                                     config.angle_options.phase_values);
+    transfer.push_back(
+        approximation_ratio(e, table, config.angle_options.direction));
+  }
+  result.transfer_ratios = sample_stats(transfer);
+  return result;
+}
+
+}  // namespace fastqaoa

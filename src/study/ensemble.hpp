@@ -1,0 +1,57 @@
+#pragma once
+/// \file ensemble.hpp
+/// Reproducible ensemble studies — the "mean over 50 random instances"
+/// workflow behind the paper's Fig. 2/3 made into a library facility:
+/// generate R random instances from a factory, learn angles on each, and
+/// aggregate approximation ratios per round. Every instance draws from a
+/// forked RNG stream, so the full study is reproducible from one seed and
+/// embarrassingly parallel across instances.
+
+#include <functional>
+#include <vector>
+
+#include "anglefind/strategies.hpp"
+#include "study/stats.hpp"
+
+namespace fastqaoa {
+
+/// Produces one tabulated objective per call (one problem instance).
+using InstanceFactory = std::function<dvec(Rng&)>;
+
+/// Ensemble study configuration.
+struct EnsembleConfig {
+  int instances = 10;
+  int max_rounds = 4;
+  std::uint64_t seed = 0xE75E7B1E;
+  FindAnglesOptions angle_options;  ///< direction, hopping budget, gradient
+};
+
+/// Results of an ensemble angle-finding study.
+struct EnsembleResult {
+  /// schedules[i][p-1] = optimized angles for instance i at p rounds.
+  std::vector<std::vector<AngleSchedule>> schedules;
+  /// ratios[i][p-1] = approximation ratio instance i achieved at p rounds.
+  std::vector<std::vector<double>> ratios;
+  /// per_round[p-1] = aggregate ratio statistics across instances.
+  std::vector<SampleStats> per_round;
+};
+
+/// Run iterative angle finding over an instance ensemble.
+EnsembleResult run_ensemble(const Mixer& mixer, const InstanceFactory& factory,
+                            const EnsembleConfig& config);
+
+/// The median-angle transfer experiment of [22] / Fig. 3: learn angles per
+/// instance (random-restart search), take coordinate-wise medians, evaluate
+/// the median angles on every instance.
+struct MedianTransferResult {
+  std::vector<double> median_packed;  ///< the transferred angle vector
+  SampleStats donor_ratios;           ///< per-instance optimized ratios
+  SampleStats transfer_ratios;        ///< median angles evaluated per instance
+};
+
+MedianTransferResult median_angle_transfer(const Mixer& mixer,
+                                           const InstanceFactory& factory,
+                                           int p, int restarts,
+                                           const EnsembleConfig& config);
+
+}  // namespace fastqaoa

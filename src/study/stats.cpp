@@ -1,0 +1,36 @@
+#include "study/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+SampleStats sample_stats(const std::vector<double>& xs) {
+  FASTQAOA_CHECK(!xs.empty(), "sample_stats: empty sample");
+  SampleStats s;
+  s.count = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+  return s;
+}
+
+double median(std::vector<double> xs) {
+  FASTQAOA_CHECK(!xs.empty(), "median: empty sample");
+  std::sort(xs.begin(), xs.end());
+  const std::size_t mid = xs.size() / 2;
+  return xs.size() % 2 == 1 ? xs[mid] : 0.5 * (xs[mid - 1] + xs[mid]);
+}
+
+}  // namespace fastqaoa

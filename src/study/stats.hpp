@@ -1,0 +1,24 @@
+#pragma once
+/// \file stats.hpp
+/// Small descriptive-statistics helpers for ensemble studies.
+
+#include <vector>
+
+namespace fastqaoa {
+
+/// Mean / stddev / extrema of a sample.
+struct SampleStats {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Descriptive statistics of a (non-empty) sample.
+SampleStats sample_stats(const std::vector<double>& xs);
+
+/// Median of a (non-empty) sample (averaged middle pair for even sizes).
+double median(std::vector<double> xs);
+
+}  // namespace fastqaoa

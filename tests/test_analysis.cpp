@@ -1,0 +1,187 @@
+// Tests for state-analysis observables (reduced density matrices,
+// entanglement entropy, participation ratio, fidelity) and the Lanczos
+// extremal-eigenvalue solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/entanglement.hpp"
+#include "common/rng.hpp"
+#include "core/qaoa.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "mixers/sparse_xy.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+TEST(ReducedDensity, ProductStateIsPure) {
+  // |+>|0>: tracing out either qubit leaves a pure reduced state.
+  cvec psi(4, cplx{0.0, 0.0});
+  psi[0b00] = cplx{1.0 / std::sqrt(2.0), 0.0};
+  psi[0b01] = cplx{1.0 / std::sqrt(2.0), 0.0};  // qubit0 = |+>, qubit1 = |0>
+  linalg::cmat rho0 = reduced_density_matrix(psi, 2, {0});
+  EXPECT_NEAR(std::abs(rho0(0, 0) - cplx{0.5, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(rho0(0, 1) - cplx{0.5, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(von_neumann_entropy(rho0), 0.0, 1e-10);
+  linalg::cmat rho1 = reduced_density_matrix(psi, 2, {1});
+  EXPECT_NEAR(std::abs(rho1(0, 0) - cplx{1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(von_neumann_entropy(rho1), 0.0, 1e-10);
+}
+
+TEST(ReducedDensity, BellStateIsMaximallyEntangled) {
+  cvec psi(4, cplx{0.0, 0.0});
+  psi[0b00] = cplx{1.0 / std::sqrt(2.0), 0.0};
+  psi[0b11] = cplx{1.0 / std::sqrt(2.0), 0.0};
+  EXPECT_NEAR(entanglement_entropy(psi, 2, {0}), std::log(2.0), 1e-10);
+  EXPECT_NEAR(entanglement_entropy(psi, 2, {1}), std::log(2.0), 1e-10);
+  // Reduced state is I/2.
+  linalg::cmat rho = reduced_density_matrix(psi, 2, {0});
+  EXPECT_NEAR(std::abs(rho(0, 0) - cplx{0.5, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(rho(0, 1)), 0.0, 1e-12);
+}
+
+TEST(ReducedDensity, TraceIsOneAndHermitian) {
+  Rng rng(1);
+  cvec psi = testutil::random_state(32, rng);
+  linalg::cmat rho = reduced_density_matrix(psi, 5, {1, 3});
+  EXPECT_EQ(rho.rows(), 4u);
+  cplx trace{0.0, 0.0};
+  for (index_t i = 0; i < 4; ++i) trace += rho(i, i);
+  EXPECT_NEAR(std::abs(trace - cplx{1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_LT(linalg::frobenius_diff(rho, linalg::adjoint(rho)), 1e-12);
+}
+
+TEST(ReducedDensity, ComplementSubsystemsHaveEqualEntropy) {
+  // Pure-state property: S(A) == S(complement of A).
+  Rng rng(2);
+  cvec psi = testutil::random_state(64, rng);
+  const double sa = entanglement_entropy(psi, 6, {0, 2, 5});
+  const double sb = entanglement_entropy(psi, 6, {1, 3, 4});
+  EXPECT_NEAR(sa, sb, 1e-9);
+}
+
+TEST(ReducedDensity, GhzHalfChainEntropyIsLog2) {
+  const int n = 6;
+  cvec psi(64, cplx{0.0, 0.0});
+  psi[0] = cplx{1.0 / std::sqrt(2.0), 0.0};
+  psi[63] = cplx{1.0 / std::sqrt(2.0), 0.0};
+  EXPECT_NEAR(entanglement_entropy(psi, n, {0, 1, 2}), std::log(2.0), 1e-10);
+}
+
+TEST(ReducedDensity, Validation) {
+  cvec psi(8, cplx{0.0, 0.0});
+  psi[0] = cplx{1.0, 0.0};
+  EXPECT_THROW(reduced_density_matrix(psi, 3, {}), Error);
+  EXPECT_THROW(reduced_density_matrix(psi, 3, {3}), Error);
+  EXPECT_THROW(reduced_density_matrix(psi, 3, {0, 0}), Error);
+  cvec wrong(6);
+  EXPECT_THROW(reduced_density_matrix(wrong, 3, {0}), Error);
+}
+
+TEST(Participation, BasisUniformAndIntermediate) {
+  cvec basis(16, cplx{0.0, 0.0});
+  basis[3] = cplx{1.0, 0.0};
+  EXPECT_NEAR(participation_ratio(basis), 1.0, 1e-12);
+  EXPECT_NEAR(participation_ratio(testutil::uniform_state(16)), 16.0, 1e-9);
+  // Two equal amplitudes -> PR = 2.
+  cvec two(8, cplx{0.0, 0.0});
+  two[1] = cplx{1.0 / std::sqrt(2.0), 0.0};
+  two[5] = cplx{0.0, 1.0 / std::sqrt(2.0)};
+  EXPECT_NEAR(participation_ratio(two), 2.0, 1e-12);
+}
+
+TEST(Fidelity, SelfAndOrthogonal) {
+  Rng rng(3);
+  cvec a = testutil::random_state(16, rng);
+  EXPECT_NEAR(state_fidelity(a, a), 1.0, 1e-12);
+  cvec e0(4, cplx{0.0, 0.0});
+  cvec e1(4, cplx{0.0, 0.0});
+  e0[0] = cplx{1.0, 0.0};
+  e1[1] = cplx{1.0, 0.0};
+  EXPECT_NEAR(state_fidelity(e0, e1), 0.0, 1e-14);
+  // Global phase invariant.
+  cvec b = a;
+  linalg::scale(b, std::exp(cplx{0.0, 1.234}));
+  EXPECT_NEAR(state_fidelity(a, b), 1.0, 1e-12);
+}
+
+TEST(Analysis, QaoaEntanglementGrowsFromZero) {
+  // The uniform product start has zero entanglement; a generic QAOA round
+  // builds some.
+  Rng rng(4);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(6),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(6);
+  Qaoa engine(mixer, table, 1);
+  std::vector<double> zeros = {0.0, 0.0};
+  engine.run_packed(zeros);
+  EXPECT_NEAR(entanglement_entropy(engine.state(), 6, {0, 1, 2}), 0.0,
+              1e-10);
+  std::vector<double> angles = {0.4, 0.8};
+  engine.run_packed(angles);
+  EXPECT_GT(entanglement_entropy(engine.state(), 6, {0, 1, 2}), 0.05);
+}
+
+TEST(Lanczos, MatchesDenseSolverOnRandomSymmetric) {
+  Rng rng(5);
+  const index_t dim = 60;
+  const linalg::dmat a =
+      linalg::symmetrize(linalg::random_matrix(dim, dim, rng));
+  const dvec exact = linalg::eigvalsh(a);
+  linalg::LanczosResult res = linalg::lanczos_extremal(
+      [&a](const cvec& in, cvec& out) {
+        out.assign(in.size(), cplx{0.0, 0.0});
+        for (index_t r = 0; r < a.rows(); ++r) {
+          for (index_t c = 0; c < a.cols(); ++c) out[r] += a(r, c) * in[c];
+        }
+      },
+      dim, rng);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.min_eigenvalue, exact.front(), 1e-7);
+  EXPECT_NEAR(res.max_eigenvalue, exact.back(), 1e-7);
+}
+
+TEST(Lanczos, ExactOnSmallInvariantSubspace) {
+  // Diagonal operator: Krylov space closes quickly.
+  Rng rng(6);
+  const index_t dim = 16;
+  dvec diag(dim, 0.0);
+  for (index_t i = 0; i < dim; ++i) diag[i] = static_cast<double>(i);
+  linalg::LanczosResult res = linalg::lanczos_extremal(
+      [&diag](const cvec& in, cvec& out) {
+        out.resize(in.size());
+        for (index_t i = 0; i < in.size(); ++i) out[i] = diag[i] * in[i];
+      },
+      dim, rng);
+  EXPECT_NEAR(res.min_eigenvalue, 0.0, 1e-8);
+  EXPECT_NEAR(res.max_eigenvalue, 15.0, 1e-8);
+}
+
+TEST(Lanczos, SparseXYSpectralRadiusBelowGershgorin) {
+  StateSpace space = StateSpace::dicke(8, 4);
+  SparseXYOperator op(space, ring_graph(8));
+  Rng rng(7);
+  linalg::LanczosResult res = linalg::lanczos_extremal(
+      [&op](const cvec& in, cvec& out) { op.apply(in, out); }, op.dim(),
+      rng);
+  const double radius =
+      std::max(std::abs(res.min_eigenvalue), std::abs(res.max_eigenvalue));
+  // Ring mixers are much sparser than their Gershgorin bound suggests.
+  EXPECT_LT(radius, op.spectral_bound());
+  // Cross-check against the dense spectrum.
+  const dvec exact = linalg::eigvalsh(
+      EigenMixer::xy_hamiltonian(space, ring_graph(8)));
+  EXPECT_NEAR(res.max_eigenvalue, exact.back(), 1e-6);
+  EXPECT_NEAR(res.min_eigenvalue, exact.front(), 1e-6);
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,226 @@
+// Unit tests for gradients: the adjoint reverse-mode path must match
+// central finite differences across every mixer family, round count and
+// phase-separator configuration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/adjoint.hpp"
+#include "autodiff/finite_diff.hpp"
+#include "common/rng.hpp"
+#include "core/qaoa.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "mixers/grover_mixer.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+
+namespace fastqaoa {
+namespace {
+
+/// Compare adjoint and central-FD gradients at random angles.
+void expect_gradients_match(Qaoa& engine, Rng& rng, double tol = 1e-5) {
+  const std::size_t nb = static_cast<std::size_t>(engine.num_betas());
+  const std::size_t ng = static_cast<std::size_t>(engine.num_gammas());
+  std::vector<double> betas(nb);
+  std::vector<double> gammas(ng);
+  for (auto& a : betas) a = rng.uniform(0.0, 2.0 * kPi);
+  for (auto& a : gammas) a = rng.uniform(0.0, 2.0 * kPi);
+
+  std::vector<double> gb_adj(nb), gg_adj(ng), gb_fd(nb), gg_fd(ng);
+  AdjointDifferentiator adjoint(engine);
+  const double value_adj =
+      adjoint.value_and_gradient(betas, gammas, gb_adj, gg_adj);
+  FiniteDiffDifferentiator fd(engine, FdScheme::Central, 1e-6);
+  const double value_fd = fd.value_and_gradient(betas, gammas, gb_fd, gg_fd);
+
+  EXPECT_NEAR(value_adj, value_fd, 1e-10);
+  for (std::size_t i = 0; i < nb; ++i) {
+    EXPECT_NEAR(gb_adj[i], gb_fd[i], tol) << "beta[" << i << "]";
+  }
+  for (std::size_t i = 0; i < ng; ++i) {
+    EXPECT_NEAR(gg_adj[i], gg_fd[i], tol) << "gamma[" << i << "]";
+  }
+}
+
+TEST(Adjoint, MatchesFdTransverseFieldMaxCut) {
+  Rng rng(1);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(6),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(6);
+  for (const int p : {1, 2, 4}) {
+    Qaoa engine(mixer, table, p);
+    expect_gradients_match(engine, rng);
+  }
+}
+
+TEST(Adjoint, MatchesFdGroverMixer) {
+  Rng rng(2);
+  Graph g = erdos_renyi(5, 0.6, rng);
+  dvec table = tabulate(StateSpace::full(5),
+                        [&g](state_t x) { return maxcut(g, x); });
+  GroverMixer mixer(32);
+  Qaoa engine(mixer, table, 3);
+  expect_gradients_match(engine, rng);
+}
+
+TEST(Adjoint, MatchesFdCliqueMixerConstrained) {
+  Rng rng(3);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  StateSpace space = StateSpace::dicke(6, 3);
+  dvec table =
+      tabulate(space, [&g](state_t x) { return densest_subgraph(g, x); });
+  EigenMixer mixer = EigenMixer::clique(space);
+  Qaoa engine(mixer, table, 2);
+  expect_gradients_match(engine, rng);
+}
+
+TEST(Adjoint, MatchesFdRingMixer) {
+  Rng rng(4);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  StateSpace space = StateSpace::dicke(6, 2);
+  dvec table = tabulate(space, [&g](state_t x) { return vertex_cover(g, x); });
+  EigenMixer mixer = EigenMixer::ring(space);
+  Qaoa engine(mixer, table, 3);
+  expect_gradients_match(engine, rng);
+}
+
+TEST(Adjoint, MatchesFdWithThresholdPhase) {
+  Rng rng(5);
+  Graph g = erdos_renyi(5, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(5),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(5);
+  Qaoa engine(mixer, table, 2);
+  engine.set_phase_values(threshold_indicator(table, 2.5));
+  expect_gradients_match(engine, rng);
+}
+
+TEST(Adjoint, MatchesFdMultiAngleLayers) {
+  Rng rng(6);
+  Graph g = erdos_renyi(4, 0.6, rng);
+  dvec table = tabulate(StateSpace::full(4),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer x1(4, {{0b0011, 1.0}});
+  XMixer x2(4, {{0b1100, 1.0}});
+  std::vector<MixerLayer> layers = {MixerLayer{{&x1, &x2}},
+                                    MixerLayer{{&x2, &x1}}};
+  Qaoa engine(layers, table);
+  expect_gradients_match(engine, rng);
+}
+
+TEST(Adjoint, MatchesFdWithWarmStart) {
+  Rng rng(7);
+  Graph g = erdos_renyi(5, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(5),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(5);
+  Qaoa engine(mixer, table, 2);
+  cvec warm(32);
+  double ns = 0.0;
+  for (auto& a : warm) {
+    a = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    ns += std::norm(a);
+  }
+  for (auto& a : warm) a /= std::sqrt(ns);
+  engine.set_initial_state(warm);
+  expect_gradients_match(engine, rng);
+}
+
+TEST(Adjoint, GradientVanishesAtCriticalPoint) {
+  // Single edge: the optimum (pi/8, pi/2) is a stationary point.
+  Graph g(2, {{0, 1}});
+  dvec table = tabulate(StateSpace::full(2),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(2);
+  Qaoa engine(mixer, table, 1);
+  AdjointDifferentiator adjoint(engine);
+  std::vector<double> betas = {kPi / 8.0};
+  std::vector<double> gammas = {kPi / 2.0};
+  std::vector<double> gb(1), gg(1);
+  const double e = adjoint.value_and_gradient(betas, gammas, gb, gg);
+  EXPECT_NEAR(e, 1.0, 1e-12);
+  EXPECT_NEAR(gb[0], 0.0, 1e-10);
+  EXPECT_NEAR(gg[0], 0.0, 1e-10);
+}
+
+TEST(Adjoint, PackedLayoutAgreesWithSplit) {
+  Rng rng(8);
+  Graph g = erdos_renyi(4, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(4),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(4);
+  Qaoa engine(mixer, table, 2);
+  AdjointDifferentiator adjoint(engine);
+
+  std::vector<double> packed = {0.2, 0.5, 0.9, 1.4};
+  std::vector<double> grad_packed(4);
+  const double v1 = adjoint.value_and_gradient_packed(packed, grad_packed);
+
+  std::vector<double> gb(2), gg(2);
+  std::vector<double> betas = {0.2, 0.5};
+  std::vector<double> gammas = {0.9, 1.4};
+  const double v2 = adjoint.value_and_gradient(betas, gammas, gb, gg);
+  EXPECT_NEAR(v1, v2, 1e-13);
+  EXPECT_NEAR(grad_packed[0], gb[0], 1e-13);
+  EXPECT_NEAR(grad_packed[1], gb[1], 1e-13);
+  EXPECT_NEAR(grad_packed[2], gg[0], 1e-13);
+  EXPECT_NEAR(grad_packed[3], gg[1], 1e-13);
+}
+
+TEST(FiniteDiff, ForwardSchemeRoughlyMatchesCentral) {
+  Rng rng(9);
+  Graph g = erdos_renyi(5, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(5),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(5);
+  Qaoa engine(mixer, table, 2);
+  std::vector<double> betas = {0.3, 0.8};
+  std::vector<double> gammas = {0.6, 1.1};
+  std::vector<double> gb_c(2), gg_c(2), gb_f(2), gg_f(2);
+  FiniteDiffDifferentiator central(engine, FdScheme::Central, 1e-6);
+  FiniteDiffDifferentiator forward(engine, FdScheme::Forward, 1e-7);
+  central.value_and_gradient(betas, gammas, gb_c, gg_c);
+  forward.value_and_gradient(betas, gammas, gb_f, gg_f);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(gb_c[static_cast<std::size_t>(i)],
+                gb_f[static_cast<std::size_t>(i)], 1e-4);
+    EXPECT_NEAR(gg_c[static_cast<std::size_t>(i)],
+                gg_f[static_cast<std::size_t>(i)], 1e-4);
+  }
+}
+
+TEST(FiniteDiff, EvaluationCountScalesWithP) {
+  // The Fig. 5 bookkeeping: central FD costs 1 + 2*(2p) evaluations per
+  // gradient; the adjoint path is O(1).
+  Rng rng(10);
+  Graph g = erdos_renyi(4, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(4),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(4);
+  for (const int p : {1, 3, 6}) {
+    Qaoa engine(mixer, table, p);
+    FiniteDiffDifferentiator fd(engine, FdScheme::Central);
+    std::vector<double> betas(static_cast<std::size_t>(p), 0.3);
+    std::vector<double> gammas(static_cast<std::size_t>(p), 0.7);
+    std::vector<double> gb(betas.size()), gg(gammas.size());
+    fd.value_and_gradient(betas, gammas, gb, gg);
+    EXPECT_EQ(fd.evaluations(), static_cast<std::size_t>(1 + 4 * p));
+  }
+}
+
+TEST(FiniteDiff, GradSpanValidation) {
+  dvec table(4, 0.0);
+  table[1] = 1.0;
+  XMixer mixer = XMixer::transverse_field(2);
+  Qaoa engine(mixer, table, 1);
+  FiniteDiffDifferentiator fd(engine);
+  std::vector<double> b(1, 0.1), g(1, 0.1), wrong(2);
+  EXPECT_THROW(fd.value_and_gradient(b, g, wrong, g), Error);
+  EXPECT_THROW(FiniteDiffDifferentiator(engine, FdScheme::Central, -1.0),
+               Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

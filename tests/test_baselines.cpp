@@ -1,0 +1,206 @@
+// Tests for the comparator substrate: the gate-level simulator must agree
+// with the precomputed fastQAOA path on identical ansätze — that agreement
+// is what makes the Fig. 4 timing comparison meaningful.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/circuit.hpp"
+#include "baselines/gate_sim.hpp"
+#include "baselines/packages.hpp"
+#include "bits/bitops.hpp"
+#include "common/rng.hpp"
+#include "core/qaoa.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+using baselines::build_maxcut_circuit;
+using baselines::build_maxcut_circuit_generic;
+using baselines::GateStateVector;
+using baselines::measure_maxcut;
+using baselines::run_circuit;
+
+TEST(GateSim, InitialStateIsZeroKet) {
+  GateStateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_EQ(sv.state()[0], (cplx{1.0, 0.0}));
+  for (index_t i = 1; i < 8; ++i) EXPECT_EQ(sv.state()[i], (cplx{0.0, 0.0}));
+}
+
+TEST(GateSim, HadamardLayerGivesUniform) {
+  GateStateVector sv(4);
+  for (int q = 0; q < 4; ++q) sv.apply_h(q);
+  for (const auto& a : sv.state()) {
+    EXPECT_NEAR(std::abs(a - cplx{0.25, 0.0}), 0.0, 1e-13);
+  }
+  // reset_uniform is the fused equivalent.
+  GateStateVector sv2(4);
+  sv2.reset_uniform();
+  EXPECT_LT(testutil::max_diff(sv.state(), sv2.state()), 1e-14);
+}
+
+TEST(GateSim, RxOnSingleQubit) {
+  GateStateVector sv(1);
+  sv.apply_rx(2.0 * 0.7, 0);  // e^{-i 0.7 X}
+  EXPECT_NEAR(std::abs(sv.state()[0] - cplx{std::cos(0.7), 0.0}), 0.0, 1e-13);
+  EXPECT_NEAR(std::abs(sv.state()[1] - cplx{0.0, -std::sin(0.7)}), 0.0,
+              1e-13);
+}
+
+TEST(GateSim, RzPhases) {
+  GateStateVector sv(1);
+  sv.apply_h(0);
+  sv.apply_rz(1.3, 0);
+  EXPECT_NEAR(std::arg(sv.state()[1] / sv.state()[0]), 1.3, 1e-12);
+}
+
+TEST(GateSim, RzzDiagonalPhases) {
+  GateStateVector sv(2);
+  sv.reset_uniform();
+  sv.apply_rzz(0.9, 0, 1);
+  // |00>,|11> get e^{-i 0.45}; |01>,|10> get e^{+i 0.45}.
+  const double expected = -0.9;  // relative phase of odd vs even parity
+  EXPECT_NEAR(std::arg(sv.state()[0] / sv.state()[1]), expected, 1e-12);
+  EXPECT_NEAR(std::arg(sv.state()[3] / sv.state()[2]), expected, 1e-12);
+}
+
+TEST(GateSim, GenericGateMatchesSpecialized) {
+  Rng rng(1);
+  GateStateVector a(5), b(5);
+  a.reset_uniform();
+  b.reset_uniform();
+  // Random RX via both paths.
+  const double theta = 1.234;
+  a.apply_rx(theta, 2);
+  const double c = std::cos(theta / 2.0);
+  const double s = std::sin(theta / 2.0);
+  b.apply_1q({cplx{c, 0}, cplx{0, -s}, cplx{0, -s}, cplx{c, 0}}, 2);
+  EXPECT_LT(testutil::max_diff(a.state(), b.state()), 1e-14);
+}
+
+TEST(GateSim, Generic2qMatchesRzz) {
+  GateStateVector a(4), b(4);
+  a.reset_uniform();
+  b.reset_uniform();
+  const double theta = 0.77;
+  a.apply_rzz(theta, 1, 3);
+  const cplx even{std::cos(theta / 2.0), -std::sin(theta / 2.0)};
+  const cplx odd = std::conj(even);
+  std::array<cplx, 16> u{};
+  u[0] = even;
+  u[5] = odd;
+  u[10] = odd;
+  u[15] = even;
+  b.apply_2q(u, 1, 3);
+  EXPECT_LT(testutil::max_diff(a.state(), b.state()), 1e-14);
+}
+
+TEST(GateSim, XyGateConservesHammingWeight) {
+  Rng rng(2);
+  GateStateVector sv(4);
+  // Start in |0011> (weight 2).
+  sv.state()[0] = cplx{0.0, 0.0};
+  sv.state()[0b0011] = cplx{1.0, 0.0};
+  sv.apply_xy(0.6, 1, 2);
+  sv.apply_xy(1.1, 0, 3);
+  double weight2_mass = 0.0;
+  for (index_t x = 0; x < 16; ++x) {
+    if (popcount(x) == 2) weight2_mass += std::norm(sv.state()[x]);
+  }
+  EXPECT_NEAR(weight2_mass, 1.0, 1e-12);
+}
+
+TEST(GateSim, ExpectationZzSigns) {
+  GateStateVector sv(2);
+  EXPECT_NEAR(sv.expectation_zz(0, 1), 1.0, 1e-14);  // |00>
+  sv.state()[0] = cplx{0.0, 0.0};
+  sv.state()[1] = cplx{1.0, 0.0};  // |01>
+  EXPECT_NEAR(sv.expectation_zz(0, 1), -1.0, 1e-14);
+}
+
+TEST(Circuit, SpecializedAndGenericCircuitsAgree) {
+  Rng rng(3);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  std::vector<double> betas = {0.3, 0.9};
+  std::vector<double> gammas = {0.7, 0.4};
+  GateStateVector sv1(6), sv2(6);
+  run_circuit(build_maxcut_circuit(g, betas, gammas), sv1);
+  run_circuit(build_maxcut_circuit_generic(g, betas, gammas), sv2);
+  EXPECT_LT(testutil::max_diff(sv1.state(), sv2.state()), 1e-12);
+}
+
+TEST(Circuit, MatchesFastQaoaExpectation) {
+  // The central cross-validation: gate-by-gate RZZ/RX circuit simulation
+  // and the precomputed diagonal-frame simulation compute the same <C>.
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = erdos_renyi(7, 0.5, rng);
+    const int p = 1 + trial % 3;
+    std::vector<double> betas(static_cast<std::size_t>(p));
+    std::vector<double> gammas(static_cast<std::size_t>(p));
+    for (auto& b : betas) b = rng.uniform(0.0, 2.0 * kPi);
+    for (auto& gm : gammas) gm = rng.uniform(0.0, 2.0 * kPi);
+
+    GateStateVector sv(7);
+    run_circuit(build_maxcut_circuit(g, betas, gammas), sv);
+    const double e_circuit = measure_maxcut(sv, g);
+
+    dvec table = tabulate(StateSpace::full(7),
+                          [&g](state_t x) { return maxcut(g, x); });
+    XMixer mixer = XMixer::transverse_field(7);
+    Qaoa engine(mixer, table, p);
+    const double e_fast = engine.run(betas, gammas);
+    EXPECT_NEAR(e_circuit, e_fast, 1e-10) << "trial=" << trial << " p=" << p;
+
+    // The statevectors agree too, up to the RZZ decomposition's global
+    // phase — compare via per-state probabilities against the table.
+    EXPECT_NEAR(sv.expectation_diag(table), e_fast, 1e-10);
+  }
+}
+
+TEST(Packages, AllThreeAgreeOnExpectation) {
+  Rng rng(5);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  std::vector<double> betas = {0.25, 0.85};
+  std::vector<double> gammas = {0.55, 1.15};
+  auto fast = baselines::make_fastqaoa_package(g, 2);
+  auto light = baselines::make_circuit_light_package(g);
+  auto heavy = baselines::make_circuit_heavy_package(g);
+  const double e_fast = fast->evaluate(betas, gammas);
+  const double e_light = light->evaluate(betas, gammas);
+  const double e_heavy = heavy->evaluate(betas, gammas);
+  EXPECT_NEAR(e_fast, e_light, 1e-10);
+  EXPECT_NEAR(e_fast, e_heavy, 1e-10);
+  EXPECT_GT(fast->resident_bytes(), 0u);
+  EXPECT_GT(light->resident_bytes(), 0u);
+  heavy->evaluate(betas, gammas);
+  EXPECT_GT(heavy->resident_bytes(), 0u);
+}
+
+TEST(Packages, RepeatedEvaluationIsConsistent) {
+  Rng rng(6);
+  Graph g = erdos_renyi(5, 0.5, rng);
+  auto light = baselines::make_circuit_light_package(g);
+  std::vector<double> betas = {0.4};
+  std::vector<double> gammas = {0.8};
+  const double e1 = light->evaluate(betas, gammas);
+  const double e2 = light->evaluate(betas, gammas);
+  EXPECT_DOUBLE_EQ(e1, e2);
+}
+
+TEST(GateSim, Validation) {
+  EXPECT_THROW(GateStateVector(0), Error);
+  GateStateVector sv(3);
+  EXPECT_THROW(sv.apply_h(3), Error);
+  EXPECT_THROW(sv.apply_rzz(0.1, 1, 1), Error);
+  EXPECT_THROW(sv.apply_xy(0.1, 0, 5), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

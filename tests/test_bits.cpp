@@ -1,0 +1,140 @@
+// Unit tests for the bits module: bit primitives, binomial coefficients,
+// Gosper iteration, combinadic ranking and the Dicke basis.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "bits/bitops.hpp"
+#include "bits/combinatorics.hpp"
+
+namespace fastqaoa {
+namespace {
+
+TEST(BitOps, PopcountAndParity) {
+  EXPECT_EQ(popcount(0b0), 0);
+  EXPECT_EQ(popcount(0b1011), 3);
+  EXPECT_EQ(parity(0b1011), 1);
+  EXPECT_EQ(parity(0b1010), 0);
+  EXPECT_EQ(popcount(~state_t{0}), 64);
+}
+
+TEST(BitOps, ZSign) {
+  // Z on qubit 0 applied to |...1> gives -1.
+  EXPECT_DOUBLE_EQ(z_sign(0b1, 0b1), -1.0);
+  EXPECT_DOUBLE_EQ(z_sign(0b0, 0b1), 1.0);
+  // Z0 Z1 on |11> gives +1 (even overlap).
+  EXPECT_DOUBLE_EQ(z_sign(0b11, 0b11), 1.0);
+  EXPECT_DOUBLE_EQ(z_sign(0b01, 0b11), -1.0);
+}
+
+TEST(BitOps, BitAndFlip) {
+  EXPECT_EQ(bit(0b101, 0), 1);
+  EXPECT_EQ(bit(0b101, 1), 0);
+  EXPECT_EQ(flip(0b101, 1), state_t{0b111});
+  EXPECT_EQ(flip(0b101, 0), state_t{0b100});
+}
+
+TEST(BitOps, LowestKBits) {
+  EXPECT_EQ(lowest_k_bits(0), state_t{0});
+  EXPECT_EQ(lowest_k_bits(3), state_t{0b111});
+  EXPECT_EQ(lowest_k_bits(64), ~state_t{0});
+}
+
+TEST(Gosper, EnumeratesAllWeightKStrings) {
+  for (int n = 1; n <= 10; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      std::vector<state_t> seen;
+      for_each_weight_k(n, k, [&](state_t s) { seen.push_back(s); });
+      EXPECT_EQ(seen.size(), binomial(n, k)) << "n=" << n << " k=" << k;
+      state_t prev = 0;
+      bool first = true;
+      for (state_t s : seen) {
+        EXPECT_EQ(popcount(s), k);
+        EXPECT_LT(s, state_t{1} << n);
+        if (!first) {
+          EXPECT_GT(s, prev) << "must be strictly increasing";
+        }
+        prev = s;
+        first = false;
+      }
+    }
+  }
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(12, 6), 924u);
+  EXPECT_EQ(binomial(18, 9), 48620u);
+  EXPECT_EQ(binomial(10, 11), 0u);
+  EXPECT_EQ(binomial(10, -1), 0u);
+  EXPECT_EQ(binomial(52, 26), 495918532948104ULL);
+}
+
+TEST(Binomial, OverflowThrows) {
+  EXPECT_THROW(binomial(100, 50), Error);
+}
+
+TEST(BinomialTable, MatchesDirectComputation) {
+  BinomialTable table(20);
+  for (int n = 0; n <= 20; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_EQ(table(n, k), binomial(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Combinadic, RankUnrankRoundTrip) {
+  BinomialTable binom(14);
+  for (int n = 4; n <= 14; n += 5) {
+    for (int k = 1; k < n; k += 2) {
+      index_t expected_rank = 0;
+      for_each_weight_k(n, k, [&](state_t s) {
+        EXPECT_EQ(rank_combination(s, binom), expected_rank);
+        EXPECT_EQ(unrank_combination(expected_rank, n, k, binom), s);
+        ++expected_rank;
+      });
+    }
+  }
+}
+
+TEST(DickeBasis, SizeAndOrdering) {
+  DickeBasis basis(12, 6);
+  EXPECT_EQ(basis.size(), 924u);
+  EXPECT_EQ(basis.n(), 12);
+  EXPECT_EQ(basis.k(), 6);
+  EXPECT_EQ(basis.state(0), state_t{0b111111});
+  for (index_t i = 0; i < basis.size(); ++i) {
+    EXPECT_EQ(basis.index_of(basis.state(i)), i);
+  }
+}
+
+TEST(DickeBasis, RejectsWrongWeight) {
+  DickeBasis basis(6, 3);
+  EXPECT_THROW((void)basis.index_of(0b1111), Error);
+  EXPECT_THROW((void)basis.index_of(state_t{1} << 10), Error);
+}
+
+class GosperParamTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GosperParamTest, MatchesBruteForceEnumeration) {
+  const auto [n, k] = GetParam();
+  std::set<state_t> brute;
+  for (state_t s = 0; s < (state_t{1} << n); ++s) {
+    if (popcount(s) == k) brute.insert(s);
+  }
+  std::set<state_t> gosper;
+  for_each_weight_k(n, k, [&](state_t s) { gosper.insert(s); });
+  EXPECT_EQ(brute, gosper);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GosperParamTest,
+    ::testing::Values(std::pair{4, 2}, std::pair{8, 1}, std::pair{8, 4},
+                      std::pair{10, 5}, std::pair{12, 6}, std::pair{13, 2},
+                      std::pair{14, 7}, std::pair{15, 15}, std::pair{9, 0}));
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,205 @@
+// Tests for the matrix-free Chebyshev mixer: must match the exact
+// eigendecomposition mixer to the requested tolerance while never
+// materializing a dense matrix.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autodiff/adjoint.hpp"
+#include "autodiff/finite_diff.hpp"
+#include "common/rng.hpp"
+#include "core/qaoa.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mixers/chebyshev_mixer.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "problems/cost_functions.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+TEST(SparseXY, ApplyMatchesDenseHamiltonian) {
+  Rng rng(1);
+  StateSpace space = StateSpace::dicke(6, 3);
+  Graph pairs = complete_graph(6);
+  SparseXYOperator op(space, pairs);
+  const linalg::dmat h = EigenMixer::xy_hamiltonian(space, pairs);
+  cvec psi = testutil::random_state(space.dim(), rng);
+  cvec out;
+  op.apply(psi, out);
+  cvec expected(space.dim(), cplx{0.0, 0.0});
+  for (index_t r = 0; r < space.dim(); ++r) {
+    for (index_t c = 0; c < space.dim(); ++c) expected[r] += h(r, c) * psi[c];
+  }
+  EXPECT_LT(testutil::max_diff(out, expected), 1e-12);
+}
+
+TEST(SparseXY, SpectralBoundDominatesTrueSpectrum) {
+  StateSpace space = StateSpace::dicke(6, 2);
+  Graph pairs = complete_graph(6);
+  SparseXYOperator op(space, pairs);
+  const auto eig =
+      linalg::eigvalsh(EigenMixer::xy_hamiltonian(space, pairs));
+  EXPECT_GE(op.spectral_bound(), std::abs(eig.front()) - 1e-9);
+  EXPECT_GE(op.spectral_bound(), std::abs(eig.back()) - 1e-9);
+  // Clique on Dicke(n,k): every state has exactly k(n-k) partners, so the
+  // Gershgorin bound is 2 k (n-k).
+  EXPECT_DOUBLE_EQ(op.spectral_bound(), 2.0 * 2 * (6 - 2));
+}
+
+class ChebyshevVsExact
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(ChebyshevVsExact, MatchesEigenMixerToTolerance) {
+  const auto [n, k, beta] = GetParam();
+  StateSpace space = StateSpace::dicke(n, k);
+  EigenMixer exact = EigenMixer::clique(space);
+  ChebyshevMixer cheb = ChebyshevMixer::clique(space, 1e-12);
+  Rng rng(static_cast<std::uint64_t>(n * 31 + k));
+  cvec psi_exact = testutil::random_state(space.dim(), rng);
+  cvec psi_cheb = psi_exact;
+  cvec scratch;
+  exact.apply_exp(psi_exact, beta, scratch);
+  cheb.apply_exp(psi_cheb, beta, scratch);
+  EXPECT_LT(testutil::max_diff(psi_cheb, psi_exact), 1e-9)
+      << "degree used: " << cheb.last_degree();
+  EXPECT_NEAR(linalg::norm(psi_cheb), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ChebyshevVsExact,
+    ::testing::Values(std::tuple{5, 2, 0.3}, std::tuple{6, 3, 0.9},
+                      std::tuple{6, 3, -1.2}, std::tuple{7, 3, 2.0},
+                      std::tuple{8, 4, 0.05}, std::tuple{6, 2, 6.28}));
+
+TEST(Chebyshev, RingMixerMatchesExact) {
+  StateSpace space = StateSpace::dicke(7, 3);
+  EigenMixer exact = EigenMixer::ring(space);
+  ChebyshevMixer cheb = ChebyshevMixer::ring(space);
+  Rng rng(9);
+  cvec a = testutil::random_state(space.dim(), rng);
+  cvec b = a;
+  cvec scratch;
+  exact.apply_exp(a, 0.7, scratch);
+  cheb.apply_exp(b, 0.7, scratch);
+  EXPECT_LT(testutil::max_diff(a, b), 1e-9);
+}
+
+TEST(Chebyshev, ZeroBetaIsIdentity) {
+  StateSpace space = StateSpace::dicke(5, 2);
+  ChebyshevMixer cheb = ChebyshevMixer::clique(space);
+  Rng rng(3);
+  cvec psi = testutil::random_state(space.dim(), rng);
+  cvec orig = psi;
+  cvec scratch;
+  cheb.apply_exp(psi, 0.0, scratch);
+  EXPECT_LT(testutil::max_diff(psi, orig), 1e-12);
+}
+
+TEST(Chebyshev, InverseUndoesForward) {
+  StateSpace space = StateSpace::dicke(6, 3);
+  ChebyshevMixer cheb = ChebyshevMixer::clique(space);
+  Rng rng(4);
+  cvec psi = testutil::random_state(space.dim(), rng);
+  cvec orig = psi;
+  cvec scratch;
+  cheb.apply_exp(psi, 0.85, scratch);
+  cheb.apply_exp(psi, -0.85, scratch);
+  EXPECT_LT(testutil::max_diff(psi, orig), 1e-9);
+}
+
+TEST(Chebyshev, DegreeTracksBetaTimesSpectralRadius) {
+  StateSpace space = StateSpace::dicke(6, 3);
+  ChebyshevMixer cheb = ChebyshevMixer::clique(space);
+  Rng rng(5);
+  cvec psi = testutil::random_state(space.dim(), rng);
+  cvec scratch;
+  cheb.apply_exp(psi, 0.1, scratch);
+  const int small_degree = cheb.last_degree();
+  cheb.apply_exp(psi, 2.0, scratch);
+  const int large_degree = cheb.last_degree();
+  EXPECT_GT(large_degree, small_degree);
+}
+
+TEST(Chebyshev, DrivesFullQaoaMatchingEigenMixer) {
+  Rng rng(6);
+  Graph g = erdos_renyi(7, 0.5, rng);
+  StateSpace space = StateSpace::dicke(7, 3);
+  dvec table =
+      tabulate(space, [&g](state_t x) { return densest_subgraph(g, x); });
+  EigenMixer exact = EigenMixer::clique(space);
+  ChebyshevMixer cheb = ChebyshevMixer::clique(space);
+  std::vector<double> angles = {0.3, 0.8, 0.5, 1.1};
+  Qaoa engine_exact(exact, table, 2);
+  Qaoa engine_cheb(cheb, table, 2);
+  EXPECT_NEAR(engine_exact.run_packed(angles), engine_cheb.run_packed(angles),
+              1e-9);
+}
+
+TEST(Chebyshev, AdjointGradientsMatchFiniteDifferences) {
+  Rng rng(7);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  StateSpace space = StateSpace::dicke(6, 3);
+  dvec table = tabulate(space, [&g](state_t x) { return vertex_cover(g, x); });
+  ChebyshevMixer cheb = ChebyshevMixer::clique(space);
+  Qaoa engine(cheb, table, 2);
+  AdjointDifferentiator adjoint(engine);
+  FiniteDiffDifferentiator fd(engine, FdScheme::Central, 1e-6);
+  std::vector<double> betas = {0.4, 0.9};
+  std::vector<double> gammas = {0.7, 0.2};
+  std::vector<double> ga_b(2), ga_g(2), gf_b(2), gf_g(2);
+  adjoint.value_and_gradient(betas, gammas, ga_b, ga_g);
+  fd.value_and_gradient(betas, gammas, gf_b, gf_g);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(ga_b[static_cast<std::size_t>(i)],
+                gf_b[static_cast<std::size_t>(i)], 2e-5);
+    EXPECT_NEAR(ga_g[static_cast<std::size_t>(i)],
+                gf_g[static_cast<std::size_t>(i)], 2e-5);
+  }
+}
+
+TEST(Chebyshev, LanczosTightenedBoundCutsDegreeAndStaysExact) {
+  // Ring mixers have a loose Gershgorin bound; the Lanczos-tightened
+  // spectral interval shrinks the expansion degree without losing accuracy.
+  StateSpace space = StateSpace::dicke(8, 4);
+  ChebyshevMixer cheb = ChebyshevMixer::ring(space);
+  EigenMixer exact = EigenMixer::ring(space);
+  Rng rng(11);
+  cvec reference = testutil::random_state(space.dim(), rng);
+  cvec scratch;
+
+  cvec a = reference;
+  cheb.apply_exp(a, 1.1, scratch);
+  const int degree_gershgorin = cheb.last_degree();
+
+  const double old_bound = cheb.spectral_bound();
+  const double new_bound = cheb.tighten_spectral_bound(rng);
+  EXPECT_LT(new_bound, old_bound);
+
+  cvec b = reference;
+  cheb.apply_exp(b, 1.1, scratch);
+  EXPECT_LT(cheb.last_degree(), degree_gershgorin);
+
+  cvec c = reference;
+  exact.apply_exp(c, 1.1, scratch);
+  EXPECT_LT(testutil::max_diff(b, c), 1e-9);
+  EXPECT_LT(testutil::max_diff(a, c), 1e-9);
+}
+
+TEST(Chebyshev, Validation) {
+  EXPECT_THROW(ChebyshevMixer(nullptr), Error);
+  StateSpace space = StateSpace::dicke(4, 2);
+  auto op = std::make_shared<SparseXYOperator>(space, complete_graph(4));
+  EXPECT_THROW(ChebyshevMixer(op, -1.0), Error);
+  EXPECT_THROW(ChebyshevMixer(op, 1e-12, 0), Error);
+  // A hopeless degree cap fails loudly rather than silently truncating.
+  ChebyshevMixer capped(op, 1e-14, 2);
+  cvec psi(space.dim(), cplx{0.0, 0.0});
+  psi[0] = cplx{1.0, 0.0};
+  cvec scratch;
+  EXPECT_THROW(capped.apply_exp(psi, 3.0, scratch), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

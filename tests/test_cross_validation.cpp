@@ -1,0 +1,113 @@
+// Cross-validation fuzz tests: independent implementations of the same
+// mathematical object must agree on random inputs. Three XY-mixer paths
+// (dense eigendecomposition, matrix-free Chebyshev, fine-step Trotter),
+// two X-mixer construction paths, two sampling determinism guarantees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/trotter_mixer.hpp"
+#include "bits/combinatorics.hpp"
+#include "common/rng.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mixers/chebyshev_mixer.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "mixers/x_mixer.hpp"
+#include "sampling/sampler.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+class XyMixerTriangle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XyMixerTriangle, ThreePathsAgreeOnRandomPairGraphs) {
+  Rng rng(GetParam());
+  const int n = 5 + static_cast<int>(rng.bounded(3));  // 5..7
+  const int k = 2 + static_cast<int>(rng.bounded(
+                        static_cast<std::uint64_t>(n - 3)));  // 2..n-2
+  StateSpace space = StateSpace::dicke(n, k);
+  // Random connected-ish pair graph with random weights.
+  Graph pairs = erdos_renyi(n, 0.6, rng);
+  if (pairs.num_edges() == 0) pairs.add_edge(0, 1);
+
+  const double beta = rng.uniform(-1.5, 1.5);
+  cvec reference = testutil::random_state(space.dim(), rng);
+  cvec scratch;
+
+  // Path 1: dense eigendecomposition (exact).
+  EigenMixer dense = EigenMixer::xy_graph(space, pairs);
+  cvec a = reference;
+  dense.apply_exp(a, beta, scratch);
+
+  // Path 2: matrix-free Chebyshev (exact to tolerance).
+  ChebyshevMixer cheb(std::make_shared<SparseXYOperator>(space, pairs),
+                      1e-12);
+  cvec b = reference;
+  cheb.apply_exp(b, beta, scratch);
+  EXPECT_LT(testutil::max_diff(a, b), 1e-9) << "n=" << n << " k=" << k;
+
+  // Path 3: Trotter with many steps (converges ~1/steps).
+  baselines::TrotterXYMixer trotter(space, pairs, 256);
+  cvec c = reference;
+  trotter.apply_exp(c, beta, scratch);
+  EXPECT_LT(testutil::max_diff(a, c), 2e-2) << "n=" << n << " k=" << k;
+
+  // All three preserve the norm exactly.
+  EXPECT_NEAR(linalg::norm(a), 1.0, 1e-9);
+  EXPECT_NEAR(linalg::norm(b), 1.0, 1e-9);
+  EXPECT_NEAR(linalg::norm(c), 1.0, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, XyMixerTriangle,
+                         ::testing::Values(101, 202, 303, 404, 505, 606,
+                                           707, 808));
+
+class XMixerConstruction : public ::testing::TestWithParam<int> {};
+
+TEST_P(XMixerConstruction, OrderMixersMatchExplicitTermEnumeration) {
+  // from_orders (Krawtchouk analytic diagonal) vs the direct term-list
+  // constructor, applied — not just the diagonals but the action.
+  const int order = GetParam();
+  const int n = 6;
+  XMixer fast = XMixer::from_orders(n, {order});
+  std::vector<PauliXTerm> terms;
+  for_each_weight_k(n, order,
+                    [&terms](state_t m) { terms.push_back({m, 1.0}); });
+  XMixer direct(n, terms);
+  Rng rng(static_cast<std::uint64_t>(order) * 17);
+  cvec a = testutil::random_state(64, rng);
+  cvec b = a;
+  cvec scratch;
+  fast.apply_exp(a, 0.45, scratch);
+  direct.apply_exp(b, 0.45, scratch);
+  EXPECT_LT(testutil::max_diff(a, b), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, XMixerConstruction,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(SamplerDeterminism, SameSeedSameDraws) {
+  Rng state_rng(1);
+  cvec psi = testutil::random_state(64, state_rng);
+  MeasurementSampler sampler(psi);
+  Rng a(99), b(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(sampler.sample(a), sampler.sample(b));
+  }
+}
+
+TEST(SamplerDeterminism, CountsMatchSingleDrawsUnderSameStream) {
+  Rng state_rng(2);
+  cvec psi = testutil::random_state(16, state_rng);
+  MeasurementSampler sampler(psi);
+  Rng a(7), b(7);
+  auto counts = sampler.sample_counts(500, a);
+  std::vector<std::uint64_t> manual(16, 0);
+  for (int i = 0; i < 500; ++i) ++manual[sampler.sample(b)];
+  EXPECT_EQ(counts, manual);
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,220 @@
+// Unit tests for eigendecomposition-based mixers (Clique, Ring, custom XY
+// and generic Hermitian mixers) on Dicke subspaces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+linalg::cmat to_complex(const linalg::dmat& m) {
+  linalg::cmat c(m.rows(), m.cols());
+  for (index_t r = 0; r < m.rows(); ++r)
+    for (index_t col = 0; col < m.cols(); ++col)
+      c(r, col) = cplx{m(r, col), 0.0};
+  return c;
+}
+
+TEST(XyHamiltonian, TwoQubitSingleExcitation) {
+  // n=2, k=1: basis {|01>, |10>}; X0X1 + Y0Y1 = 2*swap = [[0,2],[2,0]].
+  StateSpace space = StateSpace::dicke(2, 1);
+  linalg::dmat h = EigenMixer::xy_hamiltonian(space, complete_graph(2));
+  EXPECT_DOUBLE_EQ(h(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(h(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(h(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(h(1, 1), 0.0);
+}
+
+TEST(XyHamiltonian, IsSymmetricWithRowSumsForClique) {
+  // Clique mixer on Dicke(n,k): every state connects to k(n-k) partners
+  // with matrix element 2, so every row sums to 2k(n-k).
+  StateSpace space = StateSpace::dicke(6, 2);
+  linalg::dmat h = EigenMixer::xy_hamiltonian(space, complete_graph(6));
+  const index_t dim = space.dim();
+  for (index_t r = 0; r < dim; ++r) {
+    double row_sum = 0.0;
+    for (index_t c = 0; c < dim; ++c) {
+      EXPECT_DOUBLE_EQ(h(r, c), h(c, r));
+      row_sum += h(r, c);
+    }
+    EXPECT_DOUBLE_EQ(row_sum, 2.0 * 2 * (6 - 2));
+  }
+}
+
+TEST(EigenMixer, CliqueMatchesDenseExponential) {
+  Rng rng(1);
+  StateSpace space = StateSpace::dicke(5, 2);
+  const linalg::dmat h =
+      EigenMixer::xy_hamiltonian(space, complete_graph(5));
+  EigenMixer mixer = EigenMixer::clique(space);
+  EXPECT_TRUE(mixer.is_real());
+  EXPECT_EQ(mixer.dim(), 10u);
+  EXPECT_EQ(mixer.name(), "clique");
+
+  for (const double beta : {0.0, 0.35, -1.1}) {
+    const linalg::cmat u = testutil::exp_minus_i_beta(h, beta);
+    cvec psi = testutil::random_state(10, rng);
+    cvec expected = testutil::matvec(u, psi);
+    cvec scratch;
+    mixer.apply_exp(psi, beta, scratch);
+    EXPECT_LT(testutil::max_diff(psi, expected), 1e-10) << "beta=" << beta;
+  }
+}
+
+TEST(EigenMixer, RingMatchesDenseExponential) {
+  Rng rng(2);
+  StateSpace space = StateSpace::dicke(6, 3);
+  const linalg::dmat h = EigenMixer::xy_hamiltonian(space, ring_graph(6));
+  EigenMixer mixer = EigenMixer::ring(space);
+  const double beta = 0.6;
+  const linalg::cmat u = testutil::exp_minus_i_beta(h, beta);
+  cvec psi = testutil::random_state(space.dim(), rng);
+  cvec expected = testutil::matvec(u, psi);
+  cvec scratch;
+  mixer.apply_exp(psi, beta, scratch);
+  EXPECT_LT(testutil::max_diff(psi, expected), 1e-10);
+}
+
+TEST(EigenMixer, PreservesNormAndInverse) {
+  Rng rng(3);
+  StateSpace space = StateSpace::dicke(7, 3);
+  EigenMixer mixer = EigenMixer::clique(space);
+  cvec psi = testutil::random_state(space.dim(), rng);
+  cvec orig = psi;
+  cvec scratch;
+  mixer.apply_exp(psi, 1.4, scratch);
+  EXPECT_NEAR(linalg::norm(psi), 1.0, 1e-10);
+  mixer.apply_exp(psi, -1.4, scratch);
+  EXPECT_LT(testutil::max_diff(psi, orig), 1e-10);
+}
+
+TEST(EigenMixer, ApplyHamMatchesMatrix) {
+  Rng rng(4);
+  StateSpace space = StateSpace::dicke(5, 2);
+  const linalg::dmat h = EigenMixer::xy_hamiltonian(space, ring_graph(5));
+  EigenMixer mixer = EigenMixer::ring(space);
+  cvec psi = testutil::random_state(space.dim(), rng);
+  cvec out, scratch;
+  mixer.apply_ham(psi, out, scratch);
+  cvec expected = testutil::matvec(to_complex(h), psi);
+  EXPECT_LT(testutil::max_diff(out, expected), 1e-10);
+}
+
+TEST(EigenMixer, CustomXyGraphWeights) {
+  StateSpace space = StateSpace::dicke(3, 1);
+  Graph pairs(3);
+  pairs.add_edge(0, 1, 2.0);
+  pairs.add_edge(1, 2, 0.5);
+  linalg::dmat h = EigenMixer::xy_hamiltonian(space, pairs);
+  // Basis {|001>=idx0, |010>=idx1, |100>=idx2}: 0<->1 element 4, 1<->2
+  // element 1, 0<->2 absent.
+  EXPECT_DOUBLE_EQ(h(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(h(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(h(0, 2), 0.0);
+}
+
+TEST(EigenMixer, FromRealHamiltonian) {
+  Rng rng(5);
+  linalg::dmat h = linalg::symmetrize(linalg::random_matrix(8, 8, rng));
+  EigenMixer mixer = EigenMixer::from_hamiltonian(h, "custom");
+  EXPECT_TRUE(mixer.is_real());
+  cvec psi = testutil::random_state(8, rng);
+  cvec expected = testutil::matvec(testutil::exp_minus_i_beta(h, 0.8), psi);
+  cvec scratch;
+  mixer.apply_exp(psi, 0.8, scratch);
+  EXPECT_LT(testutil::max_diff(psi, expected), 1e-9);
+}
+
+TEST(EigenMixer, FromComplexHamiltonian) {
+  Rng rng(6);
+  linalg::cmat h = linalg::hermitize(linalg::random_cmatrix(6, 6, rng));
+  EigenMixer mixer = EigenMixer::from_hamiltonian(h, "custom-herm");
+  EXPECT_FALSE(mixer.is_real());
+  cvec psi = testutil::random_state(6, rng);
+  cvec expected = testutil::matvec(testutil::exp_minus_i_beta(h, -0.45), psi);
+  cvec scratch;
+  mixer.apply_exp(psi, -0.45, scratch);
+  EXPECT_LT(testutil::max_diff(psi, expected), 1e-9);
+  // apply_ham agrees with the dense matrix too.
+  cvec out;
+  mixer.apply_ham(psi, out, scratch);
+  cvec hexp = testutil::matvec(h, psi);
+  EXPECT_LT(testutil::max_diff(out, hexp), 1e-9);
+}
+
+TEST(EigenMixer, DickePlusStateIsCliqueEigenvector) {
+  // The uniform Dicke state is the top eigenvector of the Clique mixer, so
+  // mixing only multiplies it by a phase.
+  StateSpace space = StateSpace::dicke(6, 3);
+  EigenMixer mixer = EigenMixer::clique(space);
+  cvec psi = testutil::uniform_state(space.dim());
+  cvec scratch;
+  mixer.apply_exp(psi, 0.5, scratch);
+  // All amplitudes still equal (global phase only).
+  for (index_t i = 1; i < psi.size(); ++i) {
+    EXPECT_NEAR(std::abs(psi[i] - psi[0]), 0.0, 1e-10);
+  }
+  EXPECT_NEAR(std::abs(psi[0]),
+              1.0 / std::sqrt(static_cast<double>(space.dim())), 1e-10);
+}
+
+TEST(EigenMixer, CliqueTopEigenvalueIsAnalytic) {
+  // The uniform Dicke state is the top eigenvector of the Clique mixer
+  // with eigenvalue 2k(n-k) (each state couples to k(n-k) partners with
+  // element 2 and the row sums are constant).
+  for (const auto& [n, k] : std::vector<std::pair<int, int>>{
+           {5, 2}, {6, 3}, {8, 4}, {9, 3}}) {
+    StateSpace space = StateSpace::dicke(n, k);
+    EigenMixer mixer = EigenMixer::clique(space);
+    const dvec& vals = mixer.real_eig().eigenvalues;
+    EXPECT_NEAR(vals.back(), 2.0 * k * (n - k), 1e-8)
+        << "n=" << n << " k=" << k;
+    // And the corresponding eigenvector is the uniform superposition.
+    const double amp = 1.0 / std::sqrt(static_cast<double>(space.dim()));
+    const auto& v = mixer.real_eig().vectors;
+    const double sign = v(0, space.dim() - 1) >= 0 ? 1.0 : -1.0;
+    for (index_t i = 0; i < space.dim(); ++i) {
+      EXPECT_NEAR(sign * v(i, space.dim() - 1), amp, 1e-7);
+    }
+  }
+}
+
+TEST(EigenMixer, RepeatedApplicationIsDeterministic) {
+  StateSpace space = StateSpace::dicke(6, 3);
+  EigenMixer mixer = EigenMixer::clique(space);
+  Rng rng(12);
+  cvec psi1 = testutil::random_state(space.dim(), rng);
+  cvec psi2 = psi1;
+  cvec scratch1, scratch2;
+  for (int i = 0; i < 5; ++i) {
+    mixer.apply_exp(psi1, 0.37, scratch1);
+    mixer.apply_exp(psi2, 0.37, scratch2);
+  }
+  EXPECT_EQ(testutil::max_diff(psi1, psi2), 0.0);
+}
+
+TEST(EigenMixer, AccessorsThrowOnWrongPath) {
+  StateSpace space = StateSpace::dicke(4, 2);
+  EigenMixer real_mixer = EigenMixer::clique(space);
+  EXPECT_THROW((void)real_mixer.herm_eig(), Error);
+  Rng rng(7);
+  EigenMixer herm_mixer = EigenMixer::from_hamiltonian(
+      linalg::hermitize(linalg::random_cmatrix(4, 4, rng)), "h");
+  EXPECT_THROW((void)herm_mixer.real_eig(), Error);
+}
+
+TEST(EigenMixer, MismatchedPairGraphThrows) {
+  StateSpace space = StateSpace::dicke(5, 2);
+  EXPECT_THROW(EigenMixer::xy_hamiltonian(space, complete_graph(4)), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

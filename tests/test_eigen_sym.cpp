@@ -1,0 +1,178 @@
+// Unit tests for the from-scratch real-symmetric eigensolver (Householder
+// tridiagonalization + implicit-shift QL).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include "bits/combinatorics.hpp"
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/eigen_sym.hpp"
+
+namespace fastqaoa {
+namespace {
+
+using linalg::dmat;
+using linalg::eig_residual;
+using linalg::eigh;
+using linalg::eigvalsh;
+using linalg::SymEig;
+
+void expect_orthonormal_columns(const dmat& v, double tol = 1e-10) {
+  const index_t n = v.rows();
+  for (index_t a = 0; a < n; ++a) {
+    for (index_t b = a; b < n; ++b) {
+      double d = 0.0;
+      for (index_t r = 0; r < n; ++r) d += v(r, a) * v(r, b);
+      EXPECT_NEAR(d, a == b ? 1.0 : 0.0, tol) << "columns " << a << "," << b;
+    }
+  }
+}
+
+TEST(EigSym, DiagonalMatrix) {
+  dmat a = {{3.0, 0.0, 0.0}, {0.0, -1.0, 0.0}, {0.0, 0.0, 2.0}};
+  SymEig e = eigh(a);
+  EXPECT_NEAR(e.eigenvalues[0], -1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[2], 3.0, 1e-12);
+  EXPECT_LT(eig_residual(a, e), 1e-12);
+}
+
+TEST(EigSym, TwoByTwoKnownValues) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  dmat a = {{2.0, 1.0}, {1.0, 2.0}};
+  SymEig e = eigh(a);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-12);
+  expect_orthonormal_columns(e.vectors);
+}
+
+TEST(EigSym, OneByOne) {
+  dmat a = {{7.5}};
+  SymEig e = eigh(a);
+  EXPECT_NEAR(e.eigenvalues[0], 7.5, 1e-14);
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), 1.0, 1e-14);
+}
+
+TEST(EigSym, DegenerateEigenvalues) {
+  // 4x4 with eigenvalue 2 three times and 6 once (projector structure).
+  // A = 2 I + 4 u u^T with u = (1,1,1,1)/2.
+  dmat a(4, 4);
+  for (index_t r = 0; r < 4; ++r) {
+    for (index_t c = 0; c < 4; ++c) a(r, c) = 1.0 + (r == c ? 2.0 : 0.0);
+  }
+  SymEig e = eigh(a);
+  EXPECT_NEAR(e.eigenvalues[0], 2.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[2], 2.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[3], 6.0, 1e-10);
+  EXPECT_LT(eig_residual(a, e), 1e-10);
+  expect_orthonormal_columns(e.vectors);
+}
+
+TEST(EigSym, TraceAndSumOfEigenvaluesAgree) {
+  Rng rng(1);
+  const dmat a = linalg::symmetrize(linalg::random_matrix(20, 20, rng));
+  SymEig e = eigh(a);
+  double trace = 0.0;
+  for (index_t i = 0; i < 20; ++i) trace += a(i, i);
+  double sum = 0.0;
+  for (const double w : e.eigenvalues) sum += w;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+class EigSymRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigSymRandom, ResidualAndOrthonormality) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 7919);
+  const dmat a = linalg::symmetrize(
+      linalg::random_matrix(static_cast<index_t>(n), static_cast<index_t>(n),
+                            rng));
+  SymEig e = eigh(a);
+  // Sorted ascending.
+  EXPECT_TRUE(std::is_sorted(e.eigenvalues.begin(), e.eigenvalues.end()));
+  EXPECT_LT(eig_residual(a, e), 1e-9 * std::max(1, n));
+  expect_orthonormal_columns(e.vectors, 1e-9);
+  // Eigenvalues-only path agrees.
+  dvec vals = eigvalsh(a);
+  for (index_t i = 0; i < vals.size(); ++i) {
+    EXPECT_NEAR(vals[i], e.eigenvalues[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSymRandom,
+                         ::testing::Values(2, 3, 5, 8, 16, 33, 64, 100));
+
+TEST(EigSym, TridiagonalMatrixKnownSpectrum) {
+  // The n x n tridiagonal (-1, 2, -1) matrix has eigenvalues
+  // 2 - 2 cos(k pi / (n+1)), k = 1..n (discrete Laplacian).
+  const int n = 12;
+  dmat a(n, n);
+  for (int i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i + 1 < n) {
+      a(i, i + 1) = -1.0;
+      a(i + 1, i) = -1.0;
+    }
+  }
+  SymEig e = eigh(a);
+  for (int k = 1; k <= n; ++k) {
+    const double expected = 2.0 - 2.0 * std::cos(k * kPi / (n + 1));
+    EXPECT_NEAR(e.eigenvalues[static_cast<index_t>(k - 1)], expected, 1e-10);
+  }
+}
+
+TEST(EigSym, UsesLowerTriangleViaSymmetrization) {
+  // Asymmetric input is symmetrized; eigh(A) == eigh((A + A^T)/2).
+  Rng rng(5);
+  const dmat a = linalg::random_matrix(6, 6, rng);
+  SymEig e1 = eigh(a);
+  SymEig e2 = eigh(linalg::symmetrize(a));
+  for (index_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(e1.eigenvalues[i], e2.eigenvalues[i], 1e-11);
+  }
+}
+
+TEST(EigSym, HypercubeAdjacencyWithMassiveDegeneracy) {
+  // Regression: the n-cube adjacency matrix has eigenvalue n-2m with
+  // multiplicity C(n,m); the huge zero cluster stalled the purely relative
+  // deflation test until an absolute eps*||T|| threshold was added.
+  const int n = 8;
+  const index_t dim = index_t{1} << n;
+  dmat h(dim, dim);
+  for (index_t x = 0; x < dim; ++x) {
+    for (int q = 0; q < n; ++q) h(x ^ (index_t{1} << q), x) += 1.0;
+  }
+  SymEig e = eigh(h);
+  EXPECT_LT(eig_residual(h, e), 1e-10);
+  // Spectrum check: eigenvalues are n - 2m with multiplicity C(n, m).
+  index_t idx = 0;
+  for (int m = n; m >= 0; --m) {  // ascending eigenvalue order
+    const double expected = static_cast<double>(n - 2 * m);
+    const auto mult = static_cast<index_t>(binomial(n, m));
+    for (index_t j = 0; j < mult; ++j) {
+      ASSERT_LT(idx, dim);
+      EXPECT_NEAR(e.eigenvalues[idx], expected, 1e-9);
+      ++idx;
+    }
+  }
+}
+
+TEST(EigSym, NonSquareThrows) {
+  dmat a(3, 4);
+  EXPECT_THROW(eigh(a), Error);
+  EXPECT_THROW(eigvalsh(a), Error);
+}
+
+TEST(EigSym, ZeroMatrix) {
+  dmat a(5, 5);
+  SymEig e = eigh(a);
+  for (const double w : e.eigenvalues) EXPECT_NEAR(w, 0.0, 1e-14);
+  expect_orthonormal_columns(e.vectors);
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,200 @@
+// Exhaustive gate-kernel verification against explicit Kronecker-product
+// reference matrices: every qubit position and every ordered qubit pair of
+// the gate simulator is checked against dense linear algebra.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "baselines/gate_sim.hpp"
+#include "common/rng.hpp"
+#include "linalg/eigen_herm.hpp"
+#include "linalg/vector_ops.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+using baselines::GateStateVector;
+
+/// Dense n-qubit operator of a 1-qubit gate u on qubit q (Kronecker
+/// embedding built element-wise).
+linalg::cmat embed_1q(const std::array<cplx, 4>& u, int q, int n) {
+  const index_t dim = index_t{1} << n;
+  linalg::cmat m(dim, dim);
+  for (index_t col = 0; col < dim; ++col) {
+    const int b = static_cast<int>((col >> q) & 1);
+    for (int r = 0; r < 2; ++r) {
+      const index_t row = (col & ~(index_t{1} << q)) |
+                          (static_cast<index_t>(r) << q);
+      m(row, col) += u[static_cast<std::size_t>(2 * r + b)];
+    }
+  }
+  return m;
+}
+
+/// Dense n-qubit operator of a 2-qubit gate (basis |q2 q1>) on (q1, q2).
+linalg::cmat embed_2q(const std::array<cplx, 16>& u, int q1, int q2, int n) {
+  const index_t dim = index_t{1} << n;
+  linalg::cmat m(dim, dim);
+  for (index_t col = 0; col < dim; ++col) {
+    const int in = static_cast<int>(((col >> q2) & 1) * 2 + ((col >> q1) & 1));
+    for (int out = 0; out < 4; ++out) {
+      index_t row = col & ~((index_t{1} << q1) | (index_t{1} << q2));
+      row |= static_cast<index_t>(out & 1) << q1;
+      row |= static_cast<index_t>((out >> 1) & 1) << q2;
+      m(row, col) += u[static_cast<std::size_t>(4 * out + in)];
+    }
+  }
+  return m;
+}
+
+/// A random 2x2 unitary via the exponential of a random Hermitian.
+std::array<cplx, 4> random_1q_unitary(Rng& rng) {
+  linalg::cmat h = linalg::hermitize(linalg::random_cmatrix(2, 2, rng));
+  linalg::cmat u = testutil::exp_minus_i_beta(h, 1.0);
+  return {u(0, 0), u(0, 1), u(1, 0), u(1, 1)};
+}
+
+/// A random 4x4 unitary the same way.
+std::array<cplx, 16> random_2q_unitary(Rng& rng) {
+  linalg::cmat h = linalg::hermitize(linalg::random_cmatrix(4, 4, rng));
+  linalg::cmat u = testutil::exp_minus_i_beta(h, 1.0);
+  std::array<cplx, 16> out;
+  for (index_t r = 0; r < 4; ++r) {
+    for (index_t c = 0; c < 4; ++c) out[4 * r + c] = u(r, c);
+  }
+  return out;
+}
+
+TEST(GateKron, Apply1qMatchesEmbeddingOnEveryQubit) {
+  const int n = 5;
+  Rng rng(1);
+  for (int q = 0; q < n; ++q) {
+    const auto u = random_1q_unitary(rng);
+    GateStateVector sv(n);
+    cvec psi = testutil::random_state(index_t{1} << n, rng);
+    sv.state() = psi;
+    sv.apply_1q(u, q);
+    cvec expected = testutil::matvec(embed_1q(u, q, n), psi);
+    EXPECT_LT(testutil::max_diff(sv.state(), expected), 1e-11)
+        << "qubit " << q;
+  }
+}
+
+TEST(GateKron, Apply2qMatchesEmbeddingOnEveryOrderedPair) {
+  const int n = 4;
+  Rng rng(2);
+  for (int q1 = 0; q1 < n; ++q1) {
+    for (int q2 = 0; q2 < n; ++q2) {
+      if (q1 == q2) continue;
+      const auto u = random_2q_unitary(rng);
+      GateStateVector sv(n);
+      cvec psi = testutil::random_state(index_t{1} << n, rng);
+      sv.state() = psi;
+      sv.apply_2q(u, q1, q2);
+      cvec expected = testutil::matvec(embed_2q(u, q1, q2, n), psi);
+      EXPECT_LT(testutil::max_diff(sv.state(), expected), 1e-11)
+          << "pair (" << q1 << "," << q2 << ")";
+    }
+  }
+}
+
+TEST(GateKron, NamedGatesMatchTheirMatrices) {
+  const int n = 3;
+  Rng rng(3);
+  const double theta = 0.83;
+
+  // RX.
+  {
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    const std::array<cplx, 4> rx = {cplx{c, 0}, cplx{0, -s}, cplx{0, -s},
+                                    cplx{c, 0}};
+    for (int q = 0; q < n; ++q) {
+      GateStateVector sv(n);
+      cvec psi = testutil::random_state(8, rng);
+      sv.state() = psi;
+      sv.apply_rx(theta, q);
+      cvec expected = testutil::matvec(embed_1q(rx, q, n), psi);
+      EXPECT_LT(testutil::max_diff(sv.state(), expected), 1e-12);
+    }
+  }
+  // RZ.
+  {
+    const cplx p0{std::cos(theta / 2.0), -std::sin(theta / 2.0)};
+    const std::array<cplx, 4> rz = {p0, cplx{0, 0}, cplx{0, 0},
+                                    std::conj(p0)};
+    GateStateVector sv(n);
+    cvec psi = testutil::random_state(8, rng);
+    sv.state() = psi;
+    sv.apply_rz(theta, 1);
+    cvec expected = testutil::matvec(embed_1q(rz, 1, n), psi);
+    EXPECT_LT(testutil::max_diff(sv.state(), expected), 1e-12);
+  }
+  // RZZ via its 4x4 diagonal matrix.
+  {
+    const cplx even{std::cos(theta / 2.0), -std::sin(theta / 2.0)};
+    const cplx odd = std::conj(even);
+    std::array<cplx, 16> rzz{};
+    rzz[0] = even;
+    rzz[5] = odd;
+    rzz[10] = odd;
+    rzz[15] = even;
+    GateStateVector sv(n);
+    cvec psi = testutil::random_state(8, rng);
+    sv.state() = psi;
+    sv.apply_rzz(theta, 0, 2);
+    cvec expected = testutil::matvec(embed_2q(rzz, 0, 2, n), psi);
+    EXPECT_LT(testutil::max_diff(sv.state(), expected), 1e-12);
+  }
+  // XY rotation via its Givens block.
+  {
+    const double c = std::cos(theta);
+    const cplx is{0.0, -std::sin(theta)};
+    std::array<cplx, 16> xy{};
+    xy[0] = cplx{1, 0};
+    xy[5] = cplx{c, 0};
+    xy[6] = is;
+    xy[9] = is;
+    xy[10] = cplx{c, 0};
+    xy[15] = cplx{1, 0};
+    GateStateVector sv(n);
+    cvec psi = testutil::random_state(8, rng);
+    sv.state() = psi;
+    sv.apply_xy(theta, 0, 1);
+    cvec expected = testutil::matvec(embed_2q(xy, 0, 1, n), psi);
+    EXPECT_LT(testutil::max_diff(sv.state(), expected), 1e-12);
+  }
+}
+
+TEST(GateKron, UnitarityPreservedUnderLongRandomCircuits) {
+  Rng rng(4);
+  const int n = 6;
+  GateStateVector sv(n);
+  sv.reset_uniform();
+  for (int step = 0; step < 50; ++step) {
+    const int q1 = static_cast<int>(rng.bounded(n));
+    int q2 = static_cast<int>(rng.bounded(n));
+    while (q2 == q1) q2 = static_cast<int>(rng.bounded(n));
+    switch (rng.bounded(4)) {
+      case 0:
+        sv.apply_1q(random_1q_unitary(rng), q1);
+        break;
+      case 1:
+        sv.apply_2q(random_2q_unitary(rng), q1, q2);
+        break;
+      case 2:
+        sv.apply_rzz(rng.uniform(-2.0, 2.0), q1, q2);
+        break;
+      default:
+        sv.apply_xy(rng.uniform(-2.0, 2.0), q1, q2);
+        break;
+    }
+  }
+  EXPECT_NEAR(linalg::norm(sv.state()), 1.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,112 @@
+// Unit tests for the graph substrate and its random ensembles.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "graphs/graph.hpp"
+
+namespace fastqaoa {
+namespace {
+
+TEST(Graph, AddEdgeAndAdjacency) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1, 2.5);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(3), 0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.5);
+  // Edges normalized with u < v.
+  EXPECT_EQ(g.edges()[1].u, 1);
+  EXPECT_EQ(g.edges()[1].v, 2);
+}
+
+TEST(Graph, RejectsSelfLoopsAndDuplicates) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 1), Error);
+  EXPECT_THROW(g.add_edge(1, 0), Error);
+  EXPECT_THROW(g.add_edge(0, 5), Error);
+}
+
+TEST(Graph, EdgeListConstructor) {
+  Graph g(3, {{0, 1, 1.0}, {1, 2, 2.0}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.0);
+}
+
+TEST(ErdosRenyi, ProbabilityZeroAndOne) {
+  Rng rng(1);
+  Graph empty = erdos_renyi(10, 0.0, rng);
+  EXPECT_EQ(empty.num_edges(), 0);
+  Graph full = erdos_renyi(10, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 45);
+}
+
+TEST(ErdosRenyi, EdgeDensityNearP) {
+  Rng rng(2);
+  int total = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    total += erdos_renyi(14, 0.5, rng).num_edges();
+  }
+  const double mean = static_cast<double>(total) / trials;
+  const double expected = 0.5 * 14 * 13 / 2.0;  // 45.5
+  EXPECT_NEAR(mean, expected, 3.0);
+}
+
+TEST(ErdosRenyi, DeterministicPerSeed) {
+  Rng a(7), b(7);
+  Graph g1 = erdos_renyi(12, 0.5, a);
+  Graph g2 = erdos_renyi(12, 0.5, b);
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (int i = 0; i < g1.num_edges(); ++i) {
+    EXPECT_EQ(g1.edges()[static_cast<std::size_t>(i)],
+              g2.edges()[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(RandomRegular, AllDegreesEqual) {
+  Rng rng(3);
+  for (const int d : {2, 3, 4}) {
+    Graph g = random_regular(12, d, rng);
+    for (int v = 0; v < 12; ++v) {
+      EXPECT_EQ(g.degree(v), d) << "vertex " << v << " degree " << d;
+    }
+  }
+}
+
+TEST(RandomRegular, ParityConstraintEnforced) {
+  Rng rng(4);
+  EXPECT_THROW(random_regular(5, 3, rng), Error);  // n*d odd
+  EXPECT_THROW(random_regular(4, 4, rng), Error);  // d >= n
+}
+
+TEST(NamedGraphs, CompleteRingStarPath) {
+  Graph k5 = complete_graph(5);
+  EXPECT_EQ(k5.num_edges(), 10);
+  Graph c6 = ring_graph(6);
+  EXPECT_EQ(c6.num_edges(), 6);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(c6.degree(v), 2);
+  Graph s5 = star_graph(5);
+  EXPECT_EQ(s5.num_edges(), 4);
+  EXPECT_EQ(s5.degree(0), 4);
+  Graph p4 = path_graph(4);
+  EXPECT_EQ(p4.num_edges(), 3);
+  EXPECT_EQ(p4.degree(0), 1);
+  EXPECT_EQ(p4.degree(1), 2);
+}
+
+TEST(NamedGraphs, RingNeedsThreeVertices) {
+  EXPECT_THROW(ring_graph(2), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,129 @@
+// Unit tests for the rank-1 Grover mixer e^{-i beta |psi0><psi0|}.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mixers/grover_mixer.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+/// Dense |psi0><psi0| projector for the uniform state.
+linalg::cmat dense_grover_hamiltonian(index_t dim) {
+  linalg::cmat h(dim, dim);
+  const double inv = 1.0 / static_cast<double>(dim);
+  for (index_t r = 0; r < dim; ++r)
+    for (index_t c = 0; c < dim; ++c) h(r, c) = cplx{inv, 0.0};
+  return h;
+}
+
+TEST(GroverMixer, MatchesDenseProjectorExponential) {
+  Rng rng(1);
+  const index_t dim = 20;  // non-power-of-two: Dicke-style subspace size
+  GroverMixer mixer(dim);
+  const linalg::cmat h = dense_grover_hamiltonian(dim);
+  for (const double beta : {0.0, 0.4, kPi, -1.3}) {
+    const linalg::cmat u = testutil::exp_minus_i_beta(h, beta);
+    cvec psi = testutil::random_state(dim, rng);
+    cvec expected = testutil::matvec(u, psi);
+    cvec scratch;
+    mixer.apply_exp(psi, beta, scratch);
+    EXPECT_LT(testutil::max_diff(psi, expected), 1e-11) << "beta=" << beta;
+  }
+}
+
+TEST(GroverMixer, UniformStateGetsGlobalPhase) {
+  // |psi0> is the eigenvector with eigenvalue 1: e^{-i beta}|psi0>.
+  const index_t dim = 32;
+  GroverMixer mixer(dim);
+  cvec psi = testutil::uniform_state(dim);
+  cvec scratch;
+  const double beta = 0.9;
+  mixer.apply_exp(psi, beta, scratch);
+  const cplx phase{std::cos(beta), -std::sin(beta)};
+  const double amp = 1.0 / std::sqrt(static_cast<double>(dim));
+  for (const auto& a : psi) {
+    EXPECT_NEAR(std::abs(a - phase * amp), 0.0, 1e-13);
+  }
+}
+
+TEST(GroverMixer, OrthogonalStatesUntouched) {
+  // A state orthogonal to |psi0> (zero sum) is an eigenvector with
+  // eigenvalue 0 — no change at all.
+  const index_t dim = 8;
+  GroverMixer mixer(dim);
+  cvec psi(dim, cplx{0.0, 0.0});
+  psi[0] = cplx{1.0 / std::sqrt(2.0), 0.0};
+  psi[1] = cplx{-1.0 / std::sqrt(2.0), 0.0};
+  cvec orig = psi;
+  cvec scratch;
+  mixer.apply_exp(psi, 1.234, scratch);
+  EXPECT_LT(testutil::max_diff(psi, orig), 1e-13);
+}
+
+TEST(GroverMixer, PreservesNormAndInverse) {
+  Rng rng(2);
+  GroverMixer mixer(50);
+  cvec psi = testutil::random_state(50, rng);
+  cvec orig = psi;
+  cvec scratch;
+  mixer.apply_exp(psi, 0.77, scratch);
+  EXPECT_NEAR(linalg::norm(psi), 1.0, 1e-12);
+  mixer.apply_exp(psi, -0.77, scratch);
+  EXPECT_LT(testutil::max_diff(psi, orig), 1e-12);
+}
+
+TEST(GroverMixer, TwoPiBetaIsIdentity) {
+  // Eigenvalues are 0 and 1, so beta = 2 pi gives the identity.
+  Rng rng(3);
+  GroverMixer mixer(16);
+  cvec psi = testutil::random_state(16, rng);
+  cvec orig = psi;
+  cvec scratch;
+  mixer.apply_exp(psi, 2.0 * kPi, scratch);
+  EXPECT_LT(testutil::max_diff(psi, orig), 1e-12);
+}
+
+TEST(GroverMixer, ApplyHamIsProjection) {
+  Rng rng(4);
+  const index_t dim = 12;
+  GroverMixer mixer(dim);
+  cvec psi = testutil::random_state(dim, rng);
+  cvec out, scratch;
+  mixer.apply_ham(psi, out, scratch);
+  const linalg::cmat h = dense_grover_hamiltonian(dim);
+  cvec expected = testutil::matvec(h, psi);
+  EXPECT_LT(testutil::max_diff(out, expected), 1e-13);
+  // Projector: H(H psi) = H psi.
+  cvec out2;
+  mixer.apply_ham(out, out2, scratch);
+  EXPECT_LT(testutil::max_diff(out, out2), 1e-13);
+}
+
+TEST(GroverMixer, FairSampling) {
+  // Starting uniform and applying phase+mixer keeps equal-value classes at
+  // equal amplitude: here all states have equal cost so the state stays
+  // uniform up to a phase.
+  GroverMixer mixer(10);
+  cvec psi = testutil::uniform_state(10);
+  cvec scratch;
+  mixer.apply_exp(psi, 0.3, scratch);
+  for (index_t i = 1; i < psi.size(); ++i) {
+    EXPECT_NEAR(std::abs(psi[i] - psi[0]), 0.0, 1e-13);
+  }
+}
+
+TEST(GroverMixer, Validation) {
+  EXPECT_THROW(GroverMixer(0), Error);
+  GroverMixer m(4);
+  cvec wrong(5);
+  cvec scratch;
+  EXPECT_THROW(m.apply_exp(wrong, 0.1, scratch), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,183 @@
+// Tests for binary serialization: mixers and cost tables round-trip through
+// disk; the load_or_build helper implements the paper's Listing 2 caching.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "core/grover_fast.hpp"
+#include "io/serialize.hpp"
+#include "linalg/vector_ops.hpp"
+#include "problems/cost_functions.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fastqaoa_io_" + std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+TEST(Serialize, RealMixerRoundTrip) {
+  TempDir tmp;
+  StateSpace space = StateSpace::dicke(6, 3);
+  EigenMixer original = EigenMixer::clique(space);
+  const std::string path = tmp.path("clique.mix");
+  io::save_mixer(path, original);
+  EigenMixer loaded = io::load_mixer(path);
+
+  EXPECT_TRUE(loaded.is_real());
+  EXPECT_EQ(loaded.name(), "clique");
+  EXPECT_EQ(loaded.dim(), original.dim());
+  // Behavioural equality: identical action on a random state.
+  Rng rng(1);
+  cvec psi1 = testutil::random_state(space.dim(), rng);
+  cvec psi2 = psi1;
+  cvec scratch;
+  original.apply_exp(psi1, 0.83, scratch);
+  loaded.apply_exp(psi2, 0.83, scratch);
+  EXPECT_LT(testutil::max_diff(psi1, psi2), 1e-14);
+}
+
+TEST(Serialize, ComplexMixerRoundTrip) {
+  TempDir tmp;
+  Rng rng(2);
+  EigenMixer original = EigenMixer::from_hamiltonian(
+      linalg::hermitize(linalg::random_cmatrix(7, 7, rng)), "herm7");
+  const std::string path = tmp.path("herm.mix");
+  io::save_mixer(path, original);
+  EigenMixer loaded = io::load_mixer(path);
+  EXPECT_FALSE(loaded.is_real());
+  EXPECT_EQ(loaded.name(), "herm7");
+
+  cvec psi1 = testutil::random_state(7, rng);
+  cvec psi2 = psi1;
+  cvec scratch;
+  original.apply_exp(psi1, -1.2, scratch);
+  loaded.apply_exp(psi2, -1.2, scratch);
+  EXPECT_LT(testutil::max_diff(psi1, psi2), 1e-14);
+}
+
+TEST(Serialize, LoadOrBuildCachesExpensiveDecomposition) {
+  TempDir tmp;
+  const std::string path = tmp.path("cache.mix");
+  int builds = 0;
+  auto build = [&builds] {
+    ++builds;
+    return EigenMixer::clique(StateSpace::dicke(5, 2));
+  };
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EigenMixer first = io::load_or_build_mixer(path, build);
+  EXPECT_EQ(builds, 1);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EigenMixer second = io::load_or_build_mixer(path, build);
+  EXPECT_EQ(builds, 1) << "second call must load, not rebuild";
+  EXPECT_EQ(second.dim(), first.dim());
+}
+
+TEST(Serialize, TableRoundTrip) {
+  TempDir tmp;
+  Rng rng(3);
+  Graph g = erdos_renyi(8, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(8),
+                        [&g](state_t x) { return maxcut(g, x); });
+  const std::string path = tmp.path("table.bin");
+  io::save_table(path, table);
+  dvec loaded = io::load_table(path);
+  ASSERT_EQ(loaded.size(), table.size());
+  for (index_t i = 0; i < table.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i], table[i]);
+  }
+}
+
+TEST(Serialize, DegeneracyRoundTrip) {
+  TempDir tmp;
+  Rng rng(4);
+  Graph g = erdos_renyi(9, 0.5, rng);
+  DegeneracyTable table = degeneracy_table_streaming(
+      9, [&g](state_t x) { return maxcut(g, x); });
+  const std::string path = tmp.path("hist.bin");
+  io::save_degeneracy(path, table);
+  DegeneracyTable loaded = io::load_degeneracy(path);
+  ASSERT_EQ(loaded.values.size(), table.values.size());
+  EXPECT_EQ(loaded.total, table.total);
+  for (std::size_t i = 0; i < table.values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.values[i], table.values[i]);
+    EXPECT_EQ(loaded.counts[i], table.counts[i]);
+  }
+  // The reloaded histogram drives a Grover simulation identically.
+  GroverQaoa a(table);
+  GroverQaoa b(loaded);
+  std::vector<double> angles = {0.4, 0.9, 1.2, 0.3};
+  EXPECT_DOUBLE_EQ(a.run_packed(angles), b.run_packed(angles));
+}
+
+TEST(Serialize, DegeneracyRejectsWrongTag) {
+  TempDir tmp;
+  dvec table(8, 1.0);
+  const std::string path = tmp.path("table.bin");
+  io::save_table(path, table);
+  EXPECT_THROW(io::load_degeneracy(path), Error);
+}
+
+TEST(Serialize, RejectsWrongPayloadType) {
+  TempDir tmp;
+  dvec table(16, 1.5);
+  const std::string path = tmp.path("table.bin");
+  io::save_table(path, table);
+  EXPECT_THROW(io::load_mixer(path), Error);
+}
+
+TEST(Serialize, RejectsGarbageAndMissingFiles) {
+  TempDir tmp;
+  const std::string garbage = tmp.path("garbage.bin");
+  std::ofstream(garbage, std::ios::binary) << "this is not a fastqaoa file";
+  EXPECT_THROW(io::load_table(garbage), Error);
+  EXPECT_THROW(io::load_mixer(garbage), Error);
+  EXPECT_THROW(io::load_table(tmp.path("missing.bin")), Error);
+}
+
+TEST(Serialize, LoadOrBuildFailsLoudlyOnCorruptCache) {
+  // A corrupt cache file must surface as an error, not a silent rebuild —
+  // silent fallback would mask data loss.
+  TempDir tmp;
+  const std::string path = tmp.path("corrupt.mix");
+  std::ofstream(path, std::ios::binary) << "garbage bytes";
+  int builds = 0;
+  auto build = [&builds] {
+    ++builds;
+    return EigenMixer::clique(StateSpace::dicke(4, 2));
+  };
+  EXPECT_THROW(io::load_or_build_mixer(path, build), Error);
+  EXPECT_EQ(builds, 0);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  TempDir tmp;
+  StateSpace space = StateSpace::dicke(5, 2);
+  EigenMixer mixer = EigenMixer::clique(space);
+  const std::string path = tmp.path("full.mix");
+  io::save_mixer(path, mixer);
+  // Truncate to half size.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(io::load_mixer(path), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,159 @@
+// Unit tests for dense matrices and the GEMV kernels used by
+// eigendecomposition mixers.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "linalg/dense.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+using linalg::adjoint;
+using linalg::cmat;
+using linalg::dmat;
+using linalg::frobenius_diff;
+using linalg::gemv;
+using linalg::gemv_adjoint;
+using linalg::gemv_transpose;
+using linalg::hermitize;
+using linalg::matmul;
+using linalg::random_cmatrix;
+using linalg::random_matrix;
+using linalg::symmetrize;
+using linalg::transpose;
+
+TEST(DenseMatrix, ConstructionAndIndexing) {
+  dmat m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(DenseMatrix, InitializerList) {
+  dmat m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(DenseMatrix, IdentityActsTrivially) {
+  Rng rng(1);
+  const dmat eye = dmat::identity(8);
+  cvec x = testutil::random_state(8, rng);
+  cvec y(8);
+  gemv(eye, x, y);
+  EXPECT_LT(testutil::max_diff(x, y), 1e-15);
+}
+
+TEST(Gemv, RealMatrixMatchesNaive) {
+  Rng rng(2);
+  const dmat a = random_matrix(7, 5, rng);
+  cvec x = testutil::random_state(5, rng);
+  cvec y(7);
+  gemv(a, x, y);
+  for (index_t r = 0; r < 7; ++r) {
+    cplx acc{0.0, 0.0};
+    for (index_t c = 0; c < 5; ++c) acc += a(r, c) * x[c];
+    EXPECT_NEAR(std::abs(y[r] - acc), 0.0, 1e-13);
+  }
+}
+
+TEST(Gemv, TransposeMatchesExplicitTranspose) {
+  Rng rng(3);
+  const dmat a = random_matrix(9, 6, rng);
+  const dmat at = transpose(a);
+  cvec x = testutil::random_state(9, rng);
+  cvec y1(6), y2(6);
+  gemv_transpose(a, x, y1);
+  gemv(at, x, y2);
+  EXPECT_LT(testutil::max_diff(y1, y2), 1e-13);
+}
+
+TEST(Gemv, ComplexMatchesNaive) {
+  Rng rng(4);
+  const cmat a = random_cmatrix(6, 6, rng);
+  cvec x = testutil::random_state(6, rng);
+  cvec y(6);
+  gemv(a, x, y);
+  cvec expected = testutil::matvec(a, x);
+  EXPECT_LT(testutil::max_diff(y, expected), 1e-13);
+}
+
+TEST(Gemv, AdjointMatchesExplicitAdjoint) {
+  Rng rng(5);
+  const cmat a = random_cmatrix(8, 8, rng);
+  const cmat ah = adjoint(a);
+  cvec x = testutil::random_state(8, rng);
+  cvec y1(8);
+  gemv_adjoint(a, x, y1);
+  cvec y2 = testutil::matvec(ah, x);
+  EXPECT_LT(testutil::max_diff(y1, y2), 1e-13);
+}
+
+TEST(Gemv, LargeBlockedTransposeCrossesBlockBoundary) {
+  // The transpose kernel processes 256-column blocks; exercise > 1 block.
+  Rng rng(6);
+  const dmat a = random_matrix(300, 600, rng);
+  const dmat at = transpose(a);
+  cvec x = testutil::random_state(300, rng);
+  cvec y1(600), y2(600);
+  gemv_transpose(a, x, y1);
+  gemv(at, x, y2);
+  EXPECT_LT(testutil::max_diff(y1, y2), 1e-11);
+}
+
+TEST(Gemv, DimensionMismatchThrows) {
+  const dmat a(3, 4);
+  cvec x(3), y(3);
+  EXPECT_THROW(gemv(a, x, y), Error);
+  cvec x2(4), y2(4);
+  EXPECT_THROW(gemv(a, x2, y2), Error);
+}
+
+TEST(Matmul, AssociatesWithIdentity) {
+  Rng rng(7);
+  const dmat a = random_matrix(5, 5, rng);
+  EXPECT_LT(frobenius_diff(matmul(a, dmat::identity(5)), a), 1e-13);
+  EXPECT_LT(frobenius_diff(matmul(dmat::identity(5), a), a), 1e-13);
+}
+
+TEST(Matmul, KnownProduct) {
+  dmat a = {{1.0, 2.0}, {3.0, 4.0}};
+  dmat b = {{5.0, 6.0}, {7.0, 8.0}};
+  dmat c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matmul, ComplexAdjointProductIsHermitian) {
+  Rng rng(8);
+  const cmat a = random_cmatrix(6, 6, rng);
+  const cmat aha = matmul(adjoint(a), a);
+  EXPECT_LT(frobenius_diff(aha, hermitize(aha)), 1e-12);
+}
+
+TEST(Symmetrize, ProducesSymmetricMatrix) {
+  Rng rng(9);
+  const dmat s = symmetrize(random_matrix(10, 10, rng));
+  EXPECT_LT(frobenius_diff(s, transpose(s)), 1e-14);
+}
+
+TEST(Hermitize, ProducesHermitianMatrix) {
+  Rng rng(10);
+  const cmat h = hermitize(random_cmatrix(10, 10, rng));
+  EXPECT_LT(frobenius_diff(h, adjoint(h)), 1e-14);
+  for (index_t i = 0; i < 10; ++i) EXPECT_NEAR(h(i, i).imag(), 0.0, 1e-15);
+}
+
+TEST(DenseMatrix, RaggedInitializerThrows) {
+  auto make_ragged = [] { return dmat{{1.0, 2.0}, {3.0}}; };
+  EXPECT_THROW(make_ragged(), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

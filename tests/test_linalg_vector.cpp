@@ -1,0 +1,147 @@
+// Unit tests for the flat complex-vector kernels that form the simulator's
+// inner loops.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/vector_ops.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+using linalg::apply_diag_phase;
+using linalg::apply_threshold_phase;
+using linalg::axpy;
+using linalg::diag_bracket_imag;
+using linalg::diag_expectation;
+using linalg::dot;
+using linalg::norm;
+using linalg::norm_sq;
+using linalg::normalize;
+using linalg::probability_at_value;
+
+TEST(VectorOps, FillAndScale) {
+  cvec v(5);
+  linalg::fill(v, cplx{2.0, -1.0});
+  for (const auto& x : v) EXPECT_EQ(x, (cplx{2.0, -1.0}));
+  linalg::scale(v, cplx{0.0, 1.0});
+  for (const auto& x : v) EXPECT_EQ(x, (cplx{1.0, 2.0}));
+}
+
+TEST(VectorOps, AxpyMatchesManual) {
+  cvec x = {cplx{1, 1}, cplx{2, 0}, cplx{0, -3}};
+  cvec y = {cplx{0, 0}, cplx{1, 1}, cplx{2, 2}};
+  axpy(cplx{2.0, 0.0}, x, y);
+  EXPECT_EQ(y[0], (cplx{2, 2}));
+  EXPECT_EQ(y[1], (cplx{5, 1}));
+  EXPECT_EQ(y[2], (cplx{2, -4}));
+}
+
+TEST(VectorOps, DotIsConjugateLinear) {
+  cvec x = {cplx{1, 2}, cplx{3, -1}};
+  cvec y = {cplx{0, 1}, cplx{2, 2}};
+  // <x|y> = conj(1+2i)(i) + conj(3-i)(2+2i) = (1-2i)(i) + (3+i)(2+2i)
+  const cplx expected = cplx{1, -2} * cplx{0, 1} + cplx{3, 1} * cplx{2, 2};
+  EXPECT_NEAR(std::abs(dot(x, y) - expected), 0.0, 1e-14);
+}
+
+TEST(VectorOps, DotOfSelfIsNormSq) {
+  Rng rng(3);
+  cvec v = testutil::random_state(64, rng);
+  const cplx d = dot(v, v);
+  EXPECT_NEAR(d.real(), norm_sq(v), 1e-12);
+  EXPECT_NEAR(d.imag(), 0.0, 1e-14);
+  EXPECT_NEAR(norm(v), 1.0, 1e-12);
+}
+
+TEST(VectorOps, NormalizeReturnsOldNorm) {
+  cvec v = {cplx{3, 0}, cplx{0, 4}};
+  const double old_norm = normalize(v);
+  EXPECT_DOUBLE_EQ(old_norm, 5.0);
+  EXPECT_NEAR(norm(v), 1.0, 1e-15);
+  cvec zero(3, cplx{0.0, 0.0});
+  EXPECT_THROW(normalize(zero), Error);
+}
+
+TEST(VectorOps, DiagPhasePreservesNormAndAppliesPhases) {
+  Rng rng(9);
+  cvec psi = testutil::random_state(32, rng);
+  cvec orig = psi;
+  dvec d(32, 0.0);
+  for (auto& x : d) x = rng.uniform(-4.0, 4.0);
+  apply_diag_phase(psi, d, 0.7);
+  EXPECT_NEAR(norm(psi), 1.0, 1e-12);
+  for (index_t i = 0; i < psi.size(); ++i) {
+    const cplx expected =
+        orig[i] * std::exp(cplx{0.0, -0.7 * d[i]});
+    EXPECT_NEAR(std::abs(psi[i] - expected), 0.0, 1e-13);
+  }
+}
+
+TEST(VectorOps, DiagPhaseZeroAngleIsIdentity) {
+  Rng rng(11);
+  cvec psi = testutil::random_state(16, rng);
+  cvec orig = psi;
+  dvec d(16, 3.0);
+  apply_diag_phase(psi, d, 0.0);
+  EXPECT_LT(testutil::max_diff(psi, orig), 1e-15);
+}
+
+TEST(VectorOps, ThresholdPhaseOnlyAboveThreshold) {
+  cvec psi(4, cplx{0.5, 0.0});
+  dvec d = {0.0, 1.0, 2.0, 3.0};
+  apply_threshold_phase(psi, d, 1.5, kPi);
+  // States 0,1 unchanged; 2,3 picked up e^{-i pi} = -1.
+  EXPECT_NEAR(std::abs(psi[0] - cplx{0.5, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(psi[1] - cplx{0.5, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(psi[2] + cplx{0.5, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(psi[3] + cplx{0.5, 0.0}), 0.0, 1e-14);
+}
+
+TEST(VectorOps, DiagExpectationUniformIsMean) {
+  const index_t n = 128;
+  cvec psi = testutil::uniform_state(n);
+  dvec d(n, 0.0);
+  double mean = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    d[i] = static_cast<double>(i);
+    mean += d[i];
+  }
+  mean /= static_cast<double>(n);
+  EXPECT_NEAR(diag_expectation(d, psi), mean, 1e-10);
+}
+
+TEST(VectorOps, DiagBracketImagMatchesDirectComputation) {
+  Rng rng(21);
+  const index_t n = 40;
+  cvec a = testutil::random_state(n, rng);
+  cvec b = testutil::random_state(n, rng);
+  dvec d(n, 0.0);
+  for (auto& x : d) x = rng.uniform(-2.0, 2.0);
+  cplx direct{0.0, 0.0};
+  for (index_t i = 0; i < n; ++i) direct += std::conj(a[i]) * d[i] * b[i];
+  EXPECT_NEAR(diag_bracket_imag(a, d, b), direct.imag(), 1e-13);
+}
+
+TEST(VectorOps, ProbabilityAtValueSumsMatchingStates) {
+  cvec psi = {cplx{0.5, 0}, cplx{0.5, 0}, cplx{0.5, 0}, cplx{0.5, 0}};
+  dvec d = {1.0, 2.0, 2.0, 3.0};
+  EXPECT_NEAR(probability_at_value(d, psi, 2.0), 0.5, 1e-14);
+  EXPECT_NEAR(probability_at_value(d, psi, 3.0), 0.25, 1e-14);
+  EXPECT_NEAR(probability_at_value(d, psi, 9.0), 0.0, 1e-14);
+}
+
+TEST(VectorOps, SizeMismatchesThrow) {
+  cvec a(4), b(5);
+  dvec d(4, 0.0);
+  EXPECT_THROW(axpy(cplx{1, 0}, a, b), Error);
+  EXPECT_THROW((void)dot(a, b), Error);
+  EXPECT_THROW(apply_diag_phase(b, d, 1.0), Error);
+  EXPECT_THROW((void)diag_expectation(d, b), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,235 @@
+// Unit tests for Pauli strings and Pauli sums: algebra, labels, basis
+// actions, and lowering to mixers / diagonals / dense matrices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/vector_ops.hpp"
+#include "pauli/pauli_sum.hpp"
+#include "problems/cost_functions.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+TEST(PauliString, SingleQubitConstructorsAndLabels) {
+  EXPECT_EQ(PauliString::X(0).label(1), "X");
+  EXPECT_EQ(PauliString::Z(0).label(1), "Z");
+  EXPECT_EQ(PauliString::Y(0).label(1), "Y");
+  EXPECT_EQ(PauliString().label(3), "III");
+  EXPECT_EQ(PauliString::X(2).label(3), "XII");
+}
+
+TEST(PauliString, FromLabelRoundTrip) {
+  for (const std::string label : {"XIZY", "IIII", "YYYY", "ZXZX"}) {
+    EXPECT_EQ(PauliString::from_label(label).label(4), label);
+  }
+  EXPECT_THROW(PauliString::from_label("ABC"), Error);
+}
+
+TEST(PauliString, SingleQubitProducts) {
+  const PauliString x = PauliString::X(0);
+  const PauliString y = PauliString::Y(0);
+  const PauliString z = PauliString::Z(0);
+  // XY = iZ, YZ = iX, ZX = iY; squares are identity.
+  EXPECT_EQ((x * y).label(1), "i*Z");
+  EXPECT_EQ((y * z).label(1), "i*X");
+  EXPECT_EQ((z * x).label(1), "i*Y");
+  EXPECT_EQ((y * x).label(1), "-i*Z");
+  EXPECT_TRUE((x * x).is_identity());
+  EXPECT_TRUE((y * y).is_identity());
+  EXPECT_EQ((y * y).phase(), (cplx{1.0, 0.0}));
+}
+
+TEST(PauliString, CommutationRules) {
+  EXPECT_FALSE(PauliString::X(0).commutes_with(PauliString::Z(0)));
+  EXPECT_FALSE(PauliString::X(0).commutes_with(PauliString::Y(0)));
+  EXPECT_TRUE(PauliString::X(0).commutes_with(PauliString::X(0)));
+  EXPECT_TRUE(PauliString::X(0).commutes_with(PauliString::Z(1)));
+  // XX and ZZ on the same pair commute (two anticommutations cancel).
+  const PauliString xx = PauliString::X(0) * PauliString::X(1);
+  const PauliString zz = PauliString::Z(0) * PauliString::Z(1);
+  EXPECT_TRUE(xx.commutes_with(zz));
+}
+
+TEST(PauliString, ProductMatchesMatrixProduct) {
+  // Verify the symplectic product against dense 2-qubit matrices built via
+  // apply() on each basis state.
+  Rng rng(1);
+  auto to_matrix = [](const PauliString& p) {
+    linalg::cmat m(4, 4);
+    for (state_t x = 0; x < 4; ++x) {
+      const auto a = p.apply(x);
+      m(static_cast<index_t>(a.result), static_cast<index_t>(x)) =
+          a.amplitude;
+    }
+    return m;
+  };
+  const std::vector<PauliString> basis = {
+      PauliString::X(0), PauliString::Y(0), PauliString::Z(0),
+      PauliString::X(1), PauliString::Y(1), PauliString::Z(1),
+      PauliString::from_label("XY"), PauliString::from_label("ZY")};
+  for (const auto& a : basis) {
+    for (const auto& b : basis) {
+      const linalg::cmat direct = linalg::matmul(to_matrix(a), to_matrix(b));
+      const linalg::cmat composed = to_matrix(a * b);
+      EXPECT_LT(linalg::frobenius_diff(direct, composed), 1e-13)
+          << a.label(2) << " * " << b.label(2);
+    }
+  }
+}
+
+TEST(PauliString, ApplyYGivesCorrectPhases) {
+  // Y|0> = i|1>, Y|1> = -i|0>.
+  const PauliString y = PauliString::Y(0);
+  auto a0 = y.apply(0);
+  EXPECT_EQ(a0.result, state_t{1});
+  EXPECT_NEAR(std::abs(a0.amplitude - cplx{0.0, 1.0}), 0.0, 1e-15);
+  auto a1 = y.apply(1);
+  EXPECT_EQ(a1.result, state_t{0});
+  EXPECT_NEAR(std::abs(a1.amplitude - cplx{0.0, -1.0}), 0.0, 1e-15);
+}
+
+TEST(PauliString, WeightAndPredicates) {
+  const PauliString p = PauliString::from_label("XIZY");
+  EXPECT_EQ(p.weight(), 3);
+  EXPECT_FALSE(p.is_diagonal());
+  EXPECT_FALSE(p.is_x_only());
+  EXPECT_TRUE(PauliString::from_label("ZIZ").is_diagonal());
+  EXPECT_TRUE(PauliString::from_label("XXI").is_x_only());
+  EXPECT_TRUE(PauliString::Y(0).is_hermitian());
+  EXPECT_TRUE(PauliString::from_label("XYZ").is_hermitian());
+  EXPECT_FALSE(PauliString(1, 0, 1).is_hermitian());  // i*X
+}
+
+TEST(PauliSum, SimplifyCombinesLikeTerms) {
+  PauliSum h(2);
+  h.add(cplx{1.0, 0.0}, "XI");
+  h.add(cplx{2.0, 0.0}, "XI");
+  h.add(cplx{1.0, 0.0}, "ZZ");
+  h.add(cplx{-1.0, 0.0}, "ZZ");
+  h.simplify();
+  ASSERT_EQ(h.num_terms(), 1u);
+  EXPECT_NEAR(std::abs(h.terms()[0].coefficient - cplx{3.0, 0.0}), 0.0,
+              1e-14);
+}
+
+TEST(PauliSum, HermiticityDetection) {
+  PauliSum h(2);
+  h.add(cplx{1.0, 0.0}, "XY");
+  h.add(cplx{0.5, 0.0}, "ZI");
+  EXPECT_TRUE(h.is_hermitian());
+  PauliSum bad(2);
+  bad.add(cplx{0.0, 1.0}, "XI");  // i*X is anti-Hermitian
+  EXPECT_FALSE(bad.is_hermitian());
+  // i(XZ) term: X*Z has |a&b| odd after composition on one qubit -> the
+  // imaginary coefficient *makes* it Hermitian (it is Y up to sign).
+  PauliSum y_like(1);
+  y_like.add(cplx{0.0, 1.0}, PauliString::X(0) * PauliString::Z(0));
+  EXPECT_TRUE(y_like.is_hermitian());
+}
+
+TEST(PauliSum, ApplyMatchesDenseMatrix) {
+  Rng rng(2);
+  PauliSum h(3);
+  h.add(cplx{0.7, 0.0}, "XIZ");
+  h.add(cplx{-1.2, 0.0}, "YYI");
+  h.add(cplx{0.4, 0.0}, "ZZZ");
+  h.add(cplx{0.3, 0.0}, "IXI");
+  cvec psi = testutil::random_state(8, rng);
+  cvec out;
+  h.apply(psi, out);
+  cvec expected = testutil::matvec(h.to_matrix(), psi);
+  EXPECT_LT(testutil::max_diff(out, expected), 1e-13);
+}
+
+TEST(PauliSum, IsingDiagonalMatchesCostFunction) {
+  Rng rng(3);
+  Graph j = erdos_renyi(6, 0.5, rng);
+  std::vector<double> fields(6);
+  for (auto& f : fields) f = rng.uniform(-1.0, 1.0);
+  PauliSum h = PauliSum::ising(j, fields);
+  EXPECT_TRUE(h.is_diagonal());
+  EXPECT_TRUE(h.is_hermitian());
+  dvec diag = h.to_diagonal();
+  for (state_t x = 0; x < 64; ++x) {
+    EXPECT_NEAR(diag[x], ising_energy(j, fields, x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(PauliSum, TransverseFieldLowersToXMixer) {
+  PauliSum h = PauliSum::transverse_field(5);
+  EXPECT_TRUE(h.is_x_only());
+  XMixer from_sum = h.to_x_mixer();
+  XMixer direct = XMixer::transverse_field(5);
+  for (index_t z = 0; z < 32; ++z) {
+    EXPECT_DOUBLE_EQ(from_sum.diagonal()[z], direct.diagonal()[z]);
+  }
+}
+
+TEST(PauliSum, EigenMixerFromExoticHamiltonian) {
+  // A mixer with X, Y and Z content lowers through the dense path and acts
+  // as the exact exponential.
+  Rng rng(4);
+  PauliSum h(3);
+  h.add(cplx{1.0, 0.0}, "XXI");
+  h.add(cplx{0.8, 0.0}, "IYY");
+  h.add(cplx{0.5, 0.0}, "ZIZ");
+  ASSERT_TRUE(h.is_hermitian());
+  EigenMixer mixer = h.to_eigen_mixer("exotic");
+  cvec psi = testutil::random_state(8, rng);
+  cvec expected = testutil::matvec(
+      testutil::exp_minus_i_beta(linalg::hermitize(h.to_matrix()), 0.6), psi);
+  cvec scratch;
+  mixer.apply_exp(psi, 0.6, scratch);
+  EXPECT_LT(testutil::max_diff(psi, expected), 1e-9);
+}
+
+TEST(PauliSum, SumAndScalarOperators) {
+  PauliSum a(2);
+  a.add(cplx{1.0, 0.0}, "XI");
+  PauliSum b(2);
+  b.add(cplx{2.0, 0.0}, "IZ");
+  PauliSum c = (a + b) * cplx{2.0, 0.0};
+  c.simplify();
+  EXPECT_EQ(c.num_terms(), 2u);
+  linalg::cmat m = c.to_matrix();
+  // "XI" acts on the high qubit (label convention): 2X flips bit 1, and
+  // "IZ" contributes +4 on states with bit 0 clear.
+  EXPECT_NEAR(std::abs(m(2, 0) - cplx{2.0, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(m(0, 0) - cplx{4.0, 0.0}), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(m(1, 1) - cplx{-4.0, 0.0}), 0.0, 1e-14);
+}
+
+TEST(PauliSum, ProductExpandsAlgebra) {
+  // (X + Z)^2 = 2 I (cross terms XZ + ZX cancel).
+  PauliSum s(1);
+  s.add(cplx{1.0, 0.0}, PauliString::X(0));
+  s.add(cplx{1.0, 0.0}, PauliString::Z(0));
+  PauliSum sq = s * s;
+  sq.simplify();
+  ASSERT_EQ(sq.num_terms(), 1u);
+  EXPECT_TRUE(sq.terms()[0].string.is_identity());
+  EXPECT_NEAR(std::abs(sq.terms()[0].coefficient - cplx{2.0, 0.0}), 0.0,
+              1e-14);
+}
+
+TEST(PauliSum, Validation) {
+  PauliSum h(2);
+  EXPECT_THROW(h.add(cplx{1.0, 0.0}, PauliString::X(5)), Error);
+  EXPECT_THROW(h.add(cplx{1.0, 0.0}, "XXX"), Error);
+  PauliSum has_x(2);
+  has_x.add(cplx{1.0, 0.0}, "XI");
+  EXPECT_THROW(has_x.to_diagonal(), Error);
+  PauliSum has_z(2);
+  has_z.add(cplx{1.0, 0.0}, "ZI");
+  EXPECT_THROW(has_z.to_x_mixer(), Error);
+  PauliSum not_hermitian(2);
+  not_hermitian.add(cplx{0.0, 1.0}, "XI");
+  EXPECT_THROW(not_hermitian.to_eigen_mixer("bad"), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

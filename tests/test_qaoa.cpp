@@ -1,0 +1,304 @@
+// Unit and integration tests for the core QAOA statevector engine.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bits/bitops.hpp"
+#include "common/rng.hpp"
+#include "core/qaoa.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "mixers/grover_mixer.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+dvec maxcut_table(const Graph& g) {
+  return tabulate(StateSpace::full(g.num_vertices()),
+                  [&g](state_t x) { return maxcut(g, x); });
+}
+
+TEST(Qaoa, ZeroAnglesLeaveUniformState) {
+  Rng rng(1);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  dvec table = maxcut_table(g);
+  XMixer mixer = XMixer::transverse_field(6);
+  Qaoa engine(mixer, table, 2);
+  std::vector<double> zeros(4, 0.0);
+  const double e = engine.run_packed(zeros);
+  // <C> of the uniform state is the mean cost.
+  EXPECT_NEAR(e, objective_stats(table).mean, 1e-10);
+  for (const auto& amp : engine.state()) {
+    EXPECT_NEAR(std::abs(amp), 1.0 / 8.0, 1e-12);
+  }
+}
+
+TEST(Qaoa, NormPreservedAcrossRounds) {
+  Rng rng(2);
+  Graph g = erdos_renyi(8, 0.5, rng);
+  dvec table = maxcut_table(g);
+  XMixer mixer = XMixer::transverse_field(8);
+  Qaoa engine(mixer, table, 5);
+  std::vector<double> angles(10);
+  for (auto& a : angles) a = rng.uniform(0.0, 2.0 * kPi);
+  engine.run_packed(angles);
+  EXPECT_NEAR(linalg::norm(engine.state()), 1.0, 1e-11);
+}
+
+TEST(Qaoa, SingleRoundMatchesHandRolledEvolution) {
+  Rng rng(3);
+  Graph g = erdos_renyi(5, 0.6, rng);
+  dvec table = maxcut_table(g);
+  XMixer mixer = XMixer::transverse_field(5);
+
+  const double beta = 0.3;
+  const double gamma = 0.8;
+  // Hand-rolled: uniform -> phase -> mixer.
+  cvec psi = testutil::uniform_state(32);
+  linalg::apply_diag_phase(psi, table, gamma);
+  cvec scratch;
+  mixer.apply_exp(psi, beta, scratch);
+  const double expected = linalg::diag_expectation(table, psi);
+
+  Qaoa engine(mixer, table, 1);
+  const double e = engine.run({&beta, 1}, {&gamma, 1});
+  EXPECT_NEAR(e, expected, 1e-12);
+  EXPECT_LT(testutil::max_diff(engine.state(), psi), 1e-12);
+}
+
+TEST(Qaoa, MaxCutP1AnalyticSingleEdge) {
+  // For a single edge (n=2) with mixer e^{-i beta (X0+X1)}, <C> has the
+  // closed form 1/2 (1 + sin(4 beta) sin(gamma)) [Farhi et al., adapted to
+  // the Hamiltonian-angle convention: RX angle = 2 beta].
+  Graph g(2, {{0, 1}});
+  dvec table = maxcut_table(g);
+  XMixer mixer = XMixer::transverse_field(2);
+  Qaoa engine(mixer, table, 1);
+  for (const double beta : {0.1, 0.7, 1.9}) {
+    for (const double gamma : {0.2, 1.0, 2.4}) {
+      const double e = engine.run({&beta, 1}, {&gamma, 1});
+      const double analytic =
+          0.5 * (1.0 + std::sin(4.0 * beta) * std::sin(gamma));
+      EXPECT_NEAR(e, analytic, 1e-12) << "beta=" << beta << " gamma=" << gamma;
+    }
+  }
+}
+
+TEST(Qaoa, OptimalP1SingleEdgeReachesCutOne) {
+  // beta = pi/8, gamma = pi/2 solves the single-edge MaxCut exactly.
+  Graph g(2, {{0, 1}});
+  dvec table = maxcut_table(g);
+  XMixer mixer = XMixer::transverse_field(2);
+  Qaoa engine(mixer, table, 1);
+  const double beta = kPi / 8.0;
+  const double gamma = kPi / 2.0;
+  EXPECT_NEAR(engine.run({&beta, 1}, {&gamma, 1}), 1.0, 1e-12);
+  EXPECT_NEAR(engine.ground_state_probability(), 1.0, 1e-12);
+}
+
+TEST(Qaoa, GroundStateProbabilityAndAmplitudes) {
+  Graph g(2, {{0, 1}});
+  dvec table = maxcut_table(g);
+  XMixer mixer = XMixer::transverse_field(2);
+  Qaoa engine(mixer, table, 1);
+  std::vector<double> zeros(2, 0.0);
+  engine.run_packed(zeros);
+  // Uniform over 4 states; maximizers are |01> and |10>.
+  EXPECT_NEAR(engine.ground_state_probability(), 0.5, 1e-12);
+  EXPECT_NEAR(engine.ground_state_probability(Direction::Minimize), 0.5,
+              1e-12);
+  EXPECT_NEAR(engine.probability_of_value(1.0), 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(engine.amplitude(0)), 0.5, 1e-12);
+  EXPECT_THROW((void)engine.amplitude(100), Error);
+}
+
+TEST(Qaoa, CustomInitialStateWarmStart) {
+  Graph g(2, {{0, 1}});
+  dvec table = maxcut_table(g);
+  XMixer mixer = XMixer::transverse_field(2);
+  Qaoa engine(mixer, table, 1);
+  // Start in the solution state |01>; zero angles must keep it there.
+  cvec warm(4, cplx{0.0, 0.0});
+  warm[1] = cplx{1.0, 0.0};
+  engine.set_initial_state(warm);
+  std::vector<double> zeros(2, 0.0);
+  EXPECT_NEAR(engine.run_packed(zeros), 1.0, 1e-12);
+  EXPECT_NEAR(engine.ground_state_probability(), 1.0, 1e-12);
+}
+
+TEST(Qaoa, InitialStateValidation) {
+  dvec table(4, 0.0);
+  table[0] = 1.0;
+  XMixer mixer = XMixer::transverse_field(2);
+  Qaoa engine(mixer, table, 1);
+  cvec bad_dim(3, cplx{1.0, 0.0});
+  EXPECT_THROW(engine.set_initial_state(bad_dim), Error);
+  cvec not_normalized(4, cplx{1.0, 0.0});
+  EXPECT_THROW(engine.set_initial_state(not_normalized), Error);
+}
+
+TEST(Qaoa, PhaseValuesDecoupledFromObjective) {
+  // Threshold phase separator: phases from the indicator, measurement from
+  // the true cost. With gamma = pi the indicator flips marked states'
+  // sign, which must change <C> relative to gamma = 0 at beta != 0.
+  Graph g(3, {{0, 1}, {1, 2}});
+  dvec table = maxcut_table(g);
+  XMixer mixer = XMixer::transverse_field(3);
+  Qaoa engine(mixer, table, 1);
+  engine.set_phase_values(threshold_indicator(table, 1.5));
+  const double beta = 0.4;
+  double gamma = 0.0;
+  const double e0 = engine.run({&beta, 1}, {&gamma, 1});
+  gamma = kPi;
+  const double e1 = engine.run({&beta, 1}, {&gamma, 1});
+  EXPECT_GT(std::abs(e1 - e0), 1e-3);
+  // And the expectation is still measured against the *true* objective:
+  // it never exceeds the best cut.
+  EXPECT_LE(e1, objective_stats(table).max_value + 1e-12);
+}
+
+TEST(Qaoa, PerRoundMixerSchedule) {
+  Rng rng(4);
+  Graph g = erdos_renyi(5, 0.5, rng);
+  dvec table = maxcut_table(g);
+  XMixer tf = XMixer::transverse_field(5);
+  GroverMixer grover(32);
+  Qaoa engine({&tf, &grover}, table);
+  EXPECT_EQ(engine.rounds(), 2);
+  EXPECT_EQ(engine.num_betas(), 2);
+  std::vector<double> betas = {0.3, 0.5};
+  std::vector<double> gammas = {0.7, 0.2};
+  const double e = engine.run(betas, gammas);
+
+  // Hand-rolled cross-check.
+  cvec psi = testutil::uniform_state(32);
+  cvec scratch;
+  linalg::apply_diag_phase(psi, table, 0.7);
+  tf.apply_exp(psi, 0.3, scratch);
+  linalg::apply_diag_phase(psi, table, 0.2);
+  grover.apply_exp(psi, 0.5, scratch);
+  EXPECT_NEAR(e, linalg::diag_expectation(table, psi), 1e-12);
+}
+
+TEST(Qaoa, MultiAngleLayers) {
+  // Two mixers inside one round, each with its own beta (multi-angle QAOA).
+  Rng rng(5);
+  Graph g = erdos_renyi(4, 0.6, rng);
+  dvec table = maxcut_table(g);
+  XMixer x1(4, {{0b0001, 1.0}, {0b0010, 1.0}});
+  XMixer x2(4, {{0b0100, 1.0}, {0b1000, 1.0}});
+  std::vector<MixerLayer> layers = {MixerLayer{{&x1, &x2}}};
+  Qaoa engine(layers, table);
+  EXPECT_EQ(engine.rounds(), 1);
+  EXPECT_EQ(engine.num_betas(), 2);
+  std::vector<double> betas = {0.4, 0.9};
+  std::vector<double> gammas = {0.6};
+  const double e = engine.run(betas, gammas);
+
+  cvec psi = testutil::uniform_state(16);
+  cvec scratch;
+  linalg::apply_diag_phase(psi, table, 0.6);
+  x1.apply_exp(psi, 0.4, scratch);
+  x2.apply_exp(psi, 0.9, scratch);
+  EXPECT_NEAR(e, linalg::diag_expectation(table, psi), 1e-12);
+  // Packed interface rejects multi-angle layouts.
+  std::vector<double> packed = {0.4, 0.9, 0.6};
+  EXPECT_THROW(engine.run_packed(packed), Error);
+}
+
+TEST(Qaoa, ConstrainedProblemOnDickeSubspace) {
+  // Densest-2-subgraph on a triangle-plus-pendant graph with the Clique
+  // mixer; best pair is any triangle edge (value 1).
+  Graph g(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  StateSpace space = StateSpace::dicke(4, 2);
+  dvec table =
+      tabulate(space, [&g](state_t x) { return densest_subgraph(g, x); });
+  EigenMixer mixer = EigenMixer::clique(space);
+  Qaoa engine(mixer, table, 2);
+  Rng rng(6);
+  std::vector<double> angles(4);
+  for (auto& a : angles) a = rng.uniform(0.0, 2.0 * kPi);
+  const double e = engine.run_packed(angles);
+  EXPECT_NEAR(linalg::norm(engine.state()), 1.0, 1e-10);
+  EXPECT_LE(e, 1.0 + 1e-10);
+  EXPECT_GE(e, 0.0);
+}
+
+TEST(Qaoa, ExpectationOfSecondaryObservable) {
+  Rng rng(8);
+  Graph g = erdos_renyi(5, 0.5, rng);
+  dvec table = maxcut_table(g);
+  XMixer mixer = XMixer::transverse_field(5);
+  Qaoa engine(mixer, table, 2);
+  std::vector<double> angles = {0.3, 0.7, 0.5, 0.9};
+  const double e = engine.run_packed(angles);
+  // Measuring the objective itself through expectation_of must agree.
+  EXPECT_NEAR(engine.expectation_of(table), e, 1e-12);
+  // A constant observable returns that constant (norm check in disguise).
+  dvec ones(table.size(), 1.0);
+  EXPECT_NEAR(engine.expectation_of(ones), 1.0, 1e-12);
+  // Hamming-weight observable stays within [0, n].
+  dvec weight(table.size(), 0.0);
+  for (index_t i = 0; i < weight.size(); ++i) {
+    weight[i] = static_cast<double>(popcount(static_cast<state_t>(i)));
+  }
+  const double w = engine.expectation_of(weight);
+  EXPECT_GE(w, 0.0);
+  EXPECT_LE(w, 5.0);
+  dvec wrong(3, 0.0);
+  EXPECT_THROW((void)engine.expectation_of(wrong), Error);
+}
+
+TEST(Qaoa, MixerDimensionMismatchThrows) {
+  dvec table(8, 0.0);
+  XMixer mixer = XMixer::transverse_field(2);  // dim 4 != 8
+  EXPECT_THROW(Qaoa(mixer, table, 1), Error);
+}
+
+TEST(Qaoa, AngleCountValidation) {
+  dvec table(4, 1.0);
+  table[0] = 0.0;
+  XMixer mixer = XMixer::transverse_field(2);
+  Qaoa engine(mixer, table, 2);
+  std::vector<double> three(3, 0.1);
+  EXPECT_THROW(engine.run_packed(three), Error);
+  std::vector<double> b(1, 0.1), g(2, 0.1);
+  EXPECT_THROW(engine.run(b, g), Error);
+}
+
+TEST(SimulateFreeFunction, MatchesEngineAndFillsSummary) {
+  Rng rng(7);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  dvec table = maxcut_table(g);
+  XMixer mixer = XMixer::transverse_field(6);
+  std::vector<double> angles(6);
+  for (auto& a : angles) a = rng.uniform(0.0, 2.0 * kPi);
+
+  SimResult result = simulate(angles, mixer, table);
+  Qaoa engine(mixer, table, 3);
+  const double e = engine.run_packed(angles);
+  EXPECT_NEAR(result.exp_value, e, 1e-12);
+  EXPECT_EQ(result.statevector.size(), 64u);
+  EXPECT_DOUBLE_EQ(result.best_value, objective_stats(table).max_value);
+  EXPECT_NEAR(result.ground_state_prob, engine.ground_state_probability(),
+              1e-12);
+}
+
+TEST(SimulateFreeFunction, WithInitialState) {
+  Graph g(2, {{0, 1}});
+  dvec table = maxcut_table(g);
+  XMixer mixer = XMixer::transverse_field(2);
+  cvec warm(4, cplx{0.0, 0.0});
+  warm[2] = cplx{1.0, 0.0};
+  std::vector<double> zeros(2, 0.0);
+  SimResult result = simulate(zeros, mixer, table, warm);
+  EXPECT_NEAR(result.exp_value, 1.0, 1e-12);
+  EXPECT_NEAR(result.ground_state_prob, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace fastqaoa

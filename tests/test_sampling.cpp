@@ -1,0 +1,128 @@
+// Unit tests for measurement sampling: alias-method correctness,
+// convergence of shot estimates, and empirical fair sampling for Grover
+// states.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/qaoa.hpp"
+#include "mixers/grover_mixer.hpp"
+#include "problems/cost_functions.hpp"
+#include "sampling/sampler.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+TEST(Sampler, DeterministicOutcomeForDeltaState) {
+  cvec psi(8, cplx{0.0, 0.0});
+  psi[5] = cplx{1.0, 0.0};
+  MeasurementSampler sampler(psi);
+  Rng rng(1);
+  for (int s = 0; s < 100; ++s) EXPECT_EQ(sampler.sample(rng), 5u);
+  EXPECT_DOUBLE_EQ(sampler.probability(5), 1.0);
+}
+
+TEST(Sampler, ProbabilitiesMatchAmplitudes) {
+  Rng rng(2);
+  cvec psi = testutil::random_state(32, rng);
+  MeasurementSampler sampler(psi);
+  double total = 0.0;
+  for (index_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(sampler.probability(i), std::norm(psi[i]), 1e-12);
+    total += sampler.probability(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Sampler, EmpiricalFrequenciesConverge) {
+  // Chi-square-ish: each outcome frequency within 5 sigma of expectation.
+  Rng rng(3);
+  cvec psi = testutil::random_state(16, rng);
+  MeasurementSampler sampler(psi);
+  const std::uint64_t shots = 200000;
+  auto counts = sampler.sample_counts(shots, rng);
+  for (index_t i = 0; i < 16; ++i) {
+    const double expected = sampler.probability(i) * shots;
+    const double sigma =
+        std::sqrt(sampler.probability(i) * (1.0 - sampler.probability(i)) *
+                  shots) +
+        1.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]), expected, 5.0 * sigma)
+        << "outcome " << i;
+  }
+}
+
+TEST(Sampler, WeightsConstructorNormalizes) {
+  dvec weights = {1.0, 3.0, 0.0, 4.0};
+  MeasurementSampler sampler(weights);
+  EXPECT_DOUBLE_EQ(sampler.probability(0), 0.125);
+  EXPECT_DOUBLE_EQ(sampler.probability(1), 0.375);
+  EXPECT_DOUBLE_EQ(sampler.probability(2), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.probability(3), 0.5);
+  Rng rng(4);
+  for (int s = 0; s < 1000; ++s) EXPECT_NE(sampler.sample(rng), 2u);
+}
+
+TEST(Sampler, ShotEstimateConvergesAtSqrtRate) {
+  Rng rng(5);
+  Graph g = erdos_renyi(8, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(8),
+                        [&g](state_t x) { return maxcut(g, x); });
+  cvec psi = testutil::random_state(256, rng);
+  MeasurementSampler sampler(psi);
+  const double exact = sampler.exact_expectation(table);
+
+  for (const std::uint64_t shots : {1000ull, 100000ull}) {
+    const double err_bound = 6.0 * sampler.standard_error(table, shots);
+    const double estimate = sampler.estimate_expectation(table, shots, rng);
+    EXPECT_NEAR(estimate, exact, err_bound) << shots << " shots";
+  }
+  // The predicted standard error itself shrinks like 1/sqrt(shots).
+  EXPECT_NEAR(sampler.standard_error(table, 100) /
+                  sampler.standard_error(table, 10000),
+              10.0, 1e-9);
+}
+
+TEST(Sampler, FairSamplingOfGroverState) {
+  // After Grover-mixer QAOA, equal-cost states must be measured equally
+  // often (paper §2.4's fair-sampling property) — checked empirically.
+  Rng rng(6);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(6),
+                        [&g](state_t x) { return maxcut(g, x); });
+  GroverMixer mixer(64);
+  Qaoa engine(mixer, table, 2);
+  std::vector<double> angles = {0.7, 1.1, 0.4, 0.9};
+  engine.run_packed(angles);
+
+  MeasurementSampler sampler(engine.state());
+  for (index_t i = 0; i < 64; ++i) {
+    for (index_t j = i + 1; j < 64; ++j) {
+      if (table[i] == table[j]) {
+        EXPECT_NEAR(sampler.probability(i), sampler.probability(j), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Sampler, Validation) {
+  cvec empty;
+  EXPECT_THROW(MeasurementSampler{empty}, Error);
+  cvec zero(4, cplx{0.0, 0.0});
+  EXPECT_THROW(MeasurementSampler{zero}, Error);
+  dvec negative = {0.5, -0.1};
+  EXPECT_THROW(MeasurementSampler{negative}, Error);
+  MeasurementSampler ok(dvec{1.0, 1.0});
+  dvec wrong_size = {1.0, 2.0, 3.0};
+  Rng rng(7);
+  EXPECT_THROW((void)ok.exact_expectation(wrong_size), Error);
+  EXPECT_THROW((void)ok.estimate_expectation(wrong_size, 10, rng), Error);
+  dvec fine = {1.0, 2.0};
+  EXPECT_THROW((void)ok.estimate_expectation(fine, 0, rng), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,95 @@
+// Unit tests for CNF formulas and random k-SAT generation.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sat/cnf.hpp"
+
+namespace fastqaoa {
+namespace {
+
+TEST(Cnf, CountSatisfiedKnownFormula) {
+  // (x0 or x1) and (!x0 or x2) and (!x1 or !x2)
+  CnfFormula f(3);
+  f.add_clause({{0, false}, {1, false}});
+  f.add_clause({{0, true}, {2, false}});
+  f.add_clause({{1, true}, {2, true}});
+  EXPECT_EQ(f.num_clauses(), 3);
+
+  EXPECT_EQ(f.count_satisfied(0b000), 2);  // clause 1 fails
+  EXPECT_EQ(f.count_satisfied(0b001), 2);  // x0=1: clause 2 fails
+  EXPECT_EQ(f.count_satisfied(0b101), 3);  // x0=1, x2=1: all pass
+  EXPECT_TRUE(f.satisfied(0b101));
+  EXPECT_FALSE(f.satisfied(0b111));  // clause 3 fails
+}
+
+TEST(Cnf, NegatedLiteralSemantics) {
+  CnfFormula f(1);
+  f.add_clause({{0, true}});  // (!x0)
+  EXPECT_TRUE(f.satisfied(0b0));
+  EXPECT_FALSE(f.satisfied(0b1));
+}
+
+TEST(Cnf, ValidatesClauses) {
+  CnfFormula f(2);
+  EXPECT_THROW(f.add_clause({}), Error);
+  EXPECT_THROW(f.add_clause({{5, false}}), Error);
+  EXPECT_THROW(f.add_clause({{0, false}, {0, true}}), Error);
+}
+
+TEST(RandomKsat, ShapeAndDistinctVariables) {
+  Rng rng(1);
+  CnfFormula f = random_ksat(10, 3, 40, rng);
+  EXPECT_EQ(f.num_variables(), 10);
+  EXPECT_EQ(f.num_clauses(), 40);
+  for (const Clause& c : f.clauses()) {
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_NE(c[0].variable, c[1].variable);
+    EXPECT_NE(c[0].variable, c[2].variable);
+    EXPECT_NE(c[1].variable, c[2].variable);
+    for (const Literal& lit : c) {
+      EXPECT_GE(lit.variable, 0);
+      EXPECT_LT(lit.variable, 10);
+    }
+  }
+}
+
+TEST(RandomKsat, DensityHelper) {
+  Rng rng(2);
+  CnfFormula f = random_ksat_density(12, 3, 6.0, rng);
+  EXPECT_EQ(f.num_clauses(), 72);
+  EXPECT_NEAR(f.clause_density(), 6.0, 1e-12);
+}
+
+TEST(RandomKsat, PolarityBalance) {
+  Rng rng(3);
+  CnfFormula f = random_ksat(20, 3, 2000, rng);
+  int negated = 0;
+  int total = 0;
+  for (const Clause& c : f.clauses()) {
+    for (const Literal& lit : c) {
+      negated += lit.negated;
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(negated) / total, 0.5, 0.03);
+}
+
+TEST(RandomKsat, SatisfiedCountUpperBound) {
+  Rng rng(4);
+  CnfFormula f = random_ksat(8, 3, 48, rng);
+  for (state_t x = 0; x < (state_t{1} << 8); ++x) {
+    const int sat = f.count_satisfied(x);
+    EXPECT_GE(sat, 0);
+    EXPECT_LE(sat, 48);
+  }
+}
+
+TEST(RandomKsat, RejectsBadParameters) {
+  Rng rng(5);
+  EXPECT_THROW(random_ksat(3, 4, 10, rng), Error);
+  EXPECT_THROW(random_ksat(3, 0, 10, rng), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,83 @@
+// Unit tests for the feasible-set abstraction (full basis vs Dicke subspace).
+
+#include <gtest/gtest.h>
+
+#include "problems/state_space.hpp"
+
+namespace fastqaoa {
+namespace {
+
+TEST(StateSpace, FullBasisIsIdentityIndexed) {
+  StateSpace space = StateSpace::full(5);
+  EXPECT_EQ(space.n(), 5);
+  EXPECT_EQ(space.k(), -1);
+  EXPECT_FALSE(space.constrained());
+  EXPECT_EQ(space.dim(), 32u);
+  for (index_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(space.state(i), static_cast<state_t>(i));
+    EXPECT_EQ(space.index_of(static_cast<state_t>(i)), i);
+    EXPECT_TRUE(space.contains(static_cast<state_t>(i)));
+  }
+  EXPECT_FALSE(space.contains(state_t{1} << 5));
+}
+
+TEST(StateSpace, DickeSubspaceEnumeration) {
+  StateSpace space = StateSpace::dicke(6, 2);
+  EXPECT_TRUE(space.constrained());
+  EXPECT_EQ(space.dim(), 15u);
+  index_t count = 0;
+  space.for_each([&](index_t i, state_t s) {
+    EXPECT_EQ(i, count);
+    EXPECT_EQ(popcount(s), 2);
+    EXPECT_EQ(space.index_of(s), i);
+    ++count;
+  });
+  EXPECT_EQ(count, 15u);
+}
+
+TEST(StateSpace, DickeContainsOnlyWeightK) {
+  StateSpace space = StateSpace::dicke(6, 3);
+  EXPECT_TRUE(space.contains(0b000111));
+  EXPECT_FALSE(space.contains(0b001111));
+  EXPECT_FALSE(space.contains(0b000011));
+  EXPECT_FALSE(space.contains(state_t{0b111} << 10));  // exceeds n bits
+  EXPECT_THROW((void)space.index_of(0b1111), Error);
+}
+
+TEST(StateSpace, ForEachOrderIsIncreasing) {
+  StateSpace space = StateSpace::dicke(8, 4);
+  state_t prev = 0;
+  bool first = true;
+  space.for_each([&](index_t, state_t s) {
+    if (!first) {
+      EXPECT_GT(s, prev);
+    }
+    prev = s;
+    first = false;
+  });
+}
+
+TEST(StateSpace, EqualityComparesShapeOnly) {
+  EXPECT_EQ(StateSpace::full(4), StateSpace::full(4));
+  EXPECT_FALSE(StateSpace::full(4) == StateSpace::full(5));
+  EXPECT_EQ(StateSpace::dicke(6, 3), StateSpace::dicke(6, 3));
+  EXPECT_FALSE(StateSpace::dicke(6, 3) == StateSpace::dicke(6, 2));
+  EXPECT_FALSE(StateSpace::full(6) == StateSpace::dicke(6, 3));
+}
+
+TEST(StateSpace, ValidatesArguments) {
+  EXPECT_THROW(StateSpace::full(0), Error);
+  EXPECT_THROW(StateSpace::full(63), Error);
+  EXPECT_THROW(StateSpace::dicke(5, 6), Error);
+  EXPECT_THROW(StateSpace::dicke(5, -1), Error);
+}
+
+TEST(StateSpace, EdgeWeights) {
+  EXPECT_EQ(StateSpace::dicke(6, 0).dim(), 1u);
+  EXPECT_EQ(StateSpace::dicke(6, 6).dim(), 1u);
+  EXPECT_EQ(StateSpace::dicke(6, 0).state(0), state_t{0});
+  EXPECT_EQ(StateSpace::dicke(6, 6).state(0), state_t{0b111111});
+}
+
+}  // namespace
+}  // namespace fastqaoa

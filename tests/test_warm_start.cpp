@@ -1,0 +1,149 @@
+// Tests for warm-start initial states and the library-level number
+// partitioning cost, plus the grid-search angle strategy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anglefind/strategies.hpp"
+#include "common/rng.hpp"
+#include "core/qaoa.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+#include "problems/warm_start.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+TEST(WarmStart, HalfEpsilonIsUniform) {
+  cvec psi = warm_start_product_state(5, 0b10110, 0.5);
+  EXPECT_NEAR(linalg::norm(psi), 1.0, 1e-12);
+  const double amp = 1.0 / std::sqrt(32.0);
+  for (const auto& a : psi) {
+    EXPECT_NEAR(std::abs(a - cplx{amp, 0.0}), 0.0, 1e-12);
+  }
+}
+
+TEST(WarmStart, ZeroEpsilonIsDelta) {
+  const state_t solution = 0b01101;
+  cvec psi = warm_start_product_state(5, solution, 0.0);
+  EXPECT_NEAR(std::abs(psi[solution] - cplx{1.0, 0.0}), 0.0, 1e-12);
+  for (index_t x = 0; x < psi.size(); ++x) {
+    if (x != solution) {
+      EXPECT_NEAR(std::abs(psi[x]), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(WarmStart, ProductAmplitudesFactorize) {
+  const double eps = 0.2;
+  const state_t solution = 0b011;
+  cvec psi = warm_start_product_state(3, solution, eps);
+  EXPECT_NEAR(linalg::norm(psi), 1.0, 1e-12);
+  for (state_t x = 0; x < 8; ++x) {
+    const int d = popcount(x ^ solution);
+    const double expected =
+        std::pow(std::sqrt(eps), d) * std::pow(std::sqrt(1.0 - eps), 3 - d);
+    EXPECT_NEAR(psi[x].real(), expected, 1e-12) << "x=" << x;
+  }
+}
+
+TEST(WarmStart, BiasedStateOnDickeSubspaceStaysFeasible) {
+  StateSpace space = StateSpace::dicke(6, 3);
+  const state_t target = 0b000111;
+  cvec psi = warm_start_biased_state(space, target, 0.6);
+  EXPECT_EQ(psi.size(), space.dim());
+  EXPECT_NEAR(linalg::norm(psi), 1.0, 1e-12);
+  EXPECT_NEAR(std::norm(psi[space.index_of(target)]), 0.6, 1e-12);
+  // Remaining mass spread evenly.
+  const double rest = 0.4 / static_cast<double>(space.dim() - 1);
+  for (index_t i = 0; i < space.dim(); ++i) {
+    if (i != space.index_of(target)) {
+      EXPECT_NEAR(std::norm(psi[i]), rest, 1e-12);
+    }
+  }
+}
+
+TEST(WarmStart, BiasedStateValidation) {
+  StateSpace space = StateSpace::dicke(6, 3);
+  EXPECT_THROW(warm_start_biased_state(space, 0b001111, 0.5), Error);
+  EXPECT_THROW(warm_start_biased_state(space, 0b000111, 1.5), Error);
+  EXPECT_THROW(warm_start_product_state(3, 0b1111, 0.2), Error);
+  EXPECT_THROW(warm_start_product_state(3, 0b111, -0.1), Error);
+}
+
+TEST(WarmStart, FeedsQaoaEngine) {
+  Rng rng(1);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(6),
+                        [&g](state_t x) { return maxcut(g, x); });
+  const ObjectiveStats stats = objective_stats(table);
+  XMixer mixer = XMixer::transverse_field(6);
+  Qaoa engine(mixer, table, 1);
+  engine.set_initial_state(warm_start_product_state(
+      6, static_cast<state_t>(stats.argmax), 0.1));
+  std::vector<double> zeros(2, 0.0);
+  // With 90%-per-qubit bias toward the best cut and no evolution, <C>
+  // should clearly beat the uniform mean.
+  EXPECT_GT(engine.run_packed(zeros), stats.mean);
+}
+
+TEST(NumberPartition, KnownValues) {
+  const std::vector<double> w = {3.0, 1.0, 4.0};
+  EXPECT_DOUBLE_EQ(number_partition(w, 0b000), 8.0);
+  EXPECT_DOUBLE_EQ(number_partition(w, 0b001), 2.0);  // {3} vs {1,4}
+  EXPECT_DOUBLE_EQ(number_partition(w, 0b110), 2.0);  // complement
+  EXPECT_DOUBLE_EQ(number_partition(w, 0b111), 8.0);
+}
+
+TEST(NumberPartition, ComplementSymmetry) {
+  Rng rng(2);
+  std::vector<double> w(8);
+  for (auto& x : w) x = std::floor(rng.uniform(1.0, 20.0));
+  for (state_t x = 0; x < 256; ++x) {
+    EXPECT_DOUBLE_EQ(number_partition(w, x), number_partition(w, x ^ 0xFF));
+  }
+}
+
+TEST(GridSearch, FindsSingleEdgeOptimumAtP1) {
+  Graph g(2, {{0, 1}});
+  dvec table = tabulate(StateSpace::full(2),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(2);
+  AngleSchedule s = find_angles_grid(mixer, table, 1, 16);
+  EXPECT_NEAR(s.expectation, 1.0, 1e-6);
+}
+
+TEST(GridSearch, UnpolishedIsGridBest) {
+  Graph g(2, {{0, 1}});
+  dvec table = tabulate(StateSpace::full(2),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(2);
+  // Coarse grid without polish: best grid value of
+  // (1 + sin(4 beta) sin(gamma)) / 2 over the 8-point axes.
+  AngleSchedule s =
+      find_angles_grid(mixer, table, 1, 8, FindAnglesOptions{}, false);
+  double best = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      const double beta = i * 2.0 * kPi / 8;
+      const double gamma = j * 2.0 * kPi / 8;
+      best = std::max(best,
+                      0.5 * (1.0 + std::sin(4.0 * beta) * std::sin(gamma)));
+    }
+  }
+  EXPECT_NEAR(s.expectation, best, 1e-10);
+}
+
+TEST(GridSearch, RejectsExponentialGrids) {
+  dvec table(4, 0.0);
+  table[1] = 1.0;
+  XMixer mixer = XMixer::transverse_field(2);
+  EXPECT_THROW(find_angles_grid(mixer, table, 10, 16), Error);
+  EXPECT_THROW(find_angles_grid(mixer, table, 1, 1), Error);
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,118 @@
+// Unit tests for the fast Walsh–Hadamard transform — the diagonal frame of
+// every X-type mixer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bits/bitops.hpp"
+#include "common/rng.hpp"
+#include "linalg/vector_ops.hpp"
+#include "linalg/wht.hpp"
+#include "test_util.hpp"
+
+namespace fastqaoa {
+namespace {
+
+using linalg::is_power_of_two;
+using linalg::log2_exact;
+using linalg::wht_orthonormal;
+using linalg::wht_unnormalized;
+
+TEST(Wht, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(24));
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(1024), 10);
+  EXPECT_THROW(log2_exact(3), Error);
+}
+
+TEST(Wht, MatchesDirectDefinition) {
+  // v'_x = sum_y (-1)^{popcount(x & y)} v_y for n = 4.
+  Rng rng(1);
+  const int n = 4;
+  const index_t size = index_t{1} << n;
+  cvec v = testutil::random_state(size, rng);
+  cvec direct(size, cplx{0.0, 0.0});
+  for (index_t x = 0; x < size; ++x) {
+    for (index_t y = 0; y < size; ++y) {
+      direct[x] += z_sign(x, y) * v[y];
+    }
+  }
+  wht_unnormalized(v);
+  EXPECT_LT(testutil::max_diff(v, direct), 1e-12);
+}
+
+TEST(Wht, UnnormalizedTwiceIsScaling) {
+  Rng rng(2);
+  for (int n = 1; n <= 8; ++n) {
+    const index_t size = index_t{1} << n;
+    cvec v = testutil::random_state(size, rng);
+    cvec orig = v;
+    wht_unnormalized(v);
+    wht_unnormalized(v);
+    const double scale = static_cast<double>(size);
+    double max_err = 0.0;
+    for (index_t i = 0; i < size; ++i) {
+      max_err = std::max(max_err, std::abs(v[i] - scale * orig[i]));
+    }
+    EXPECT_LT(max_err, 1e-10) << "n=" << n;
+  }
+}
+
+TEST(Wht, OrthonormalIsSelfInverse) {
+  Rng rng(3);
+  cvec v = testutil::random_state(256, rng);
+  cvec orig = v;
+  wht_orthonormal(v);
+  wht_orthonormal(v);
+  EXPECT_LT(testutil::max_diff(v, orig), 1e-12);
+}
+
+TEST(Wht, OrthonormalPreservesNorm) {
+  Rng rng(4);
+  cvec v = testutil::random_state(128, rng);
+  wht_orthonormal(v);
+  EXPECT_NEAR(linalg::norm(v), 1.0, 1e-12);
+}
+
+TEST(Wht, UniformStateTransformsToDelta) {
+  // H^{⊗n} |+...+> = |0...0>.
+  const int n = 6;
+  cvec v = testutil::uniform_state(index_t{1} << n);
+  wht_orthonormal(v);
+  EXPECT_NEAR(std::abs(v[0] - cplx{1.0, 0.0}), 0.0, 1e-12);
+  for (index_t i = 1; i < v.size(); ++i) {
+    EXPECT_NEAR(std::abs(v[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Wht, DeltaTransformsToSignPattern) {
+  // H^{⊗n}|y> has amplitudes (-1)^{x.y} / sqrt(2^n).
+  const int n = 5;
+  const index_t size = index_t{1} << n;
+  const state_t y = 0b10110;
+  cvec v(size, cplx{0.0, 0.0});
+  v[y] = cplx{1.0, 0.0};
+  wht_orthonormal(v);
+  const double amp = 1.0 / std::sqrt(static_cast<double>(size));
+  for (index_t x = 0; x < size; ++x) {
+    EXPECT_NEAR(std::abs(v[x] - cplx{z_sign(x, y) * amp, 0.0}), 0.0, 1e-12);
+  }
+}
+
+TEST(Wht, NonPowerOfTwoThrows) {
+  cvec v(12);
+  EXPECT_THROW(wht_unnormalized(v), Error);
+}
+
+TEST(Wht, SizeOneIsIdentity) {
+  cvec v = {cplx{0.3, -0.2}};
+  wht_unnormalized(v);
+  EXPECT_EQ(v[0], (cplx{0.3, -0.2}));
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -1,0 +1,215 @@
+// qaoa_cli — run QAOA experiments from the command line without writing C++.
+//
+// Wires a problem generator, a mixer, and an angle-finding strategy into one
+// driver that prints a CSV series (one row per round). Exactly the workflow
+// the paper's Fig. 2 automates, exposed as a tool.
+//
+// Usage:
+//   qaoa_cli --problem=maxcut|ksat|densest|vertexcover|partition
+//            --mixer=tf|grover|clique|ring
+//            [--n=10] [--k=n/2] [--p=4] [--seed=42] [--density=6]
+//            [--strategy=iterative|random|grid] [--restarts=50] [--hops=8]
+//            [--minimize] [--shots=0] [--checkpoint=path] [--mixer-cache=path]
+//
+// Examples:
+//   qaoa_cli --problem=maxcut --mixer=tf --n=10 --p=5
+//   qaoa_cli --problem=densest --mixer=clique --n=10 --k=5 --p=3
+//   qaoa_cli --problem=ksat --mixer=grover --n=10 --density=6 --p=4
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "anglefind/strategies.hpp"
+#include "common/timer.hpp"
+#include "core/qaoa.hpp"
+#include "io/serialize.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "mixers/grover_mixer.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+#include "sampling/sampler.hpp"
+
+namespace {
+
+using namespace fastqaoa;
+
+std::string string_option(int argc, char** argv, const char* key,
+                          const std::string& fallback) {
+  const std::size_t len = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+long long int_option(int argc, char** argv, const char* key,
+                     long long fallback) {
+  const std::string v = string_option(argc, argv, key, "");
+  return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double double_option(int argc, char** argv, const char* key,
+                     double fallback) {
+  const std::string v = string_option(argc, argv, key, "");
+  return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "qaoa_cli: %s\n", message.c_str());
+  std::fprintf(stderr,
+               "usage: qaoa_cli --problem=maxcut|ksat|densest|vertexcover|"
+               "partition --mixer=tf|grover|clique|ring [--n=10] [--k=n/2] "
+               "[--p=4] [--seed=42] [--density=6] "
+               "[--strategy=iterative|random|grid] [--restarts=50] "
+               "[--hops=8] [--minimize] [--shots=0] [--checkpoint=path] "
+               "[--mixer-cache=path]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h")) {
+    usage_error("help requested");
+  }
+  const std::string problem = string_option(argc, argv, "--problem", "maxcut");
+  const std::string mixer_name = string_option(argc, argv, "--mixer", "tf");
+  const std::string strategy =
+      string_option(argc, argv, "--strategy", "iterative");
+  const int n = static_cast<int>(int_option(argc, argv, "--n", 10));
+  const int k = static_cast<int>(int_option(argc, argv, "--k", n / 2));
+  const int p = static_cast<int>(int_option(argc, argv, "--p", 4));
+  const auto seed = static_cast<std::uint64_t>(
+      int_option(argc, argv, "--seed", 42));
+  const double density = double_option(argc, argv, "--density", 6.0);
+  const auto shots =
+      static_cast<std::uint64_t>(int_option(argc, argv, "--shots", 0));
+  const bool minimize = has_flag(argc, argv, "--minimize");
+  if (n < 2 || n > 24) usage_error("--n out of supported range [2, 24]");
+  if (p < 1 || p > 50) usage_error("--p out of supported range [1, 50]");
+
+  Rng rng(seed);
+
+  // --- feasible space ---------------------------------------------------
+  const bool constrained = mixer_name == "clique" || mixer_name == "ring";
+  if (constrained && (k < 1 || k >= n)) {
+    usage_error("--k must satisfy 1 <= k < n for constrained mixers");
+  }
+  StateSpace space =
+      constrained ? StateSpace::dicke(n, k) : StateSpace::full(n);
+
+  // --- problem ----------------------------------------------------------
+  dvec obj_vals;
+  if (problem == "maxcut") {
+    Graph g = erdos_renyi(n, 0.5, rng);
+    obj_vals = tabulate(space, [&g](state_t x) { return maxcut(g, x); });
+  } else if (problem == "ksat") {
+    CnfFormula f = random_ksat_density(n, 3, density, rng);
+    obj_vals = tabulate(space, [&f](state_t x) { return ksat(f, x); });
+  } else if (problem == "densest") {
+    Graph g = erdos_renyi(n, 0.5, rng);
+    obj_vals =
+        tabulate(space, [&g](state_t x) { return densest_subgraph(g, x); });
+  } else if (problem == "vertexcover") {
+    Graph g = erdos_renyi(n, 0.5, rng);
+    obj_vals = tabulate(space, [&g](state_t x) { return vertex_cover(g, x); });
+  } else if (problem == "partition") {
+    std::vector<double> weights(static_cast<std::size_t>(n));
+    for (auto& w : weights) w = std::floor(rng.uniform(1.0, 30.0));
+    obj_vals =
+        tabulate(space, [&weights](state_t x) {
+          return number_partition(weights, x);
+        });
+  } else {
+    usage_error("unknown --problem '" + problem + "'");
+  }
+
+  // --- mixer ------------------------------------------------------------
+  std::unique_ptr<Mixer> owned_mixer;
+  if (mixer_name == "tf") {
+    owned_mixer = std::make_unique<XMixer>(XMixer::transverse_field(n));
+  } else if (mixer_name == "grover") {
+    owned_mixer = std::make_unique<GroverMixer>(space.dim());
+  } else if (mixer_name == "clique" || mixer_name == "ring") {
+    const std::string cache = string_option(argc, argv, "--mixer-cache", "");
+    auto build = [&] {
+      return mixer_name == "clique" ? EigenMixer::clique(space)
+                                    : EigenMixer::ring(space);
+    };
+    WallTimer timer;
+    owned_mixer = std::make_unique<EigenMixer>(
+        cache.empty() ? build() : io::load_or_build_mixer(cache, build));
+    std::fprintf(stderr, "# %s mixer ready in %.3f s (dim %zu)\n",
+                 mixer_name.c_str(), timer.seconds(), space.dim());
+  } else {
+    usage_error("unknown --mixer '" + mixer_name + "'");
+  }
+  const Mixer& mixer = *owned_mixer;
+
+  // --- options ----------------------------------------------------------
+  FindAnglesOptions opt;
+  opt.seed = seed;
+  opt.direction = minimize ? Direction::Minimize : Direction::Maximize;
+  opt.hopping.hops = static_cast<int>(int_option(argc, argv, "--hops", 8));
+  opt.checkpoint_file = string_option(argc, argv, "--checkpoint", "");
+  const int restarts =
+      static_cast<int>(int_option(argc, argv, "--restarts", 50));
+
+  const ObjectiveStats stats = objective_stats(obj_vals);
+  std::fprintf(stderr,
+               "# problem=%s mixer=%s n=%d k=%d dim=%zu p=%d seed=%llu "
+               "best=%.4f worst=%.4f mean=%.4f\n",
+               problem.c_str(), mixer_name.c_str(), n,
+               constrained ? k : -1, space.dim(), p,
+               static_cast<unsigned long long>(seed), stats.max_value,
+               stats.min_value, stats.mean);
+
+  // --- run --------------------------------------------------------------
+  WallTimer timer;
+  std::vector<AngleSchedule> schedules;
+  if (strategy == "iterative") {
+    schedules = find_angles(mixer, obj_vals, p, opt);
+  } else if (strategy == "random") {
+    schedules.push_back(find_angles_random(mixer, obj_vals, p, restarts, opt));
+  } else if (strategy == "grid") {
+    const int points =
+        static_cast<int>(int_option(argc, argv, "--grid-points", 16));
+    schedules.push_back(find_angles_grid(mixer, obj_vals, p, points, opt));
+  } else {
+    usage_error("unknown --strategy '" + strategy + "'");
+  }
+  const double elapsed = timer.seconds();
+
+  // --- report -----------------------------------------------------------
+  std::printf("p,expectation,ratio,ground_state_prob%s\n",
+              shots > 0 ? ",shot_estimate,shot_stderr" : "");
+  for (const AngleSchedule& s : schedules) {
+    Qaoa engine(mixer, obj_vals, s.p);
+    engine.run_packed(s.packed());
+    const double ratio =
+        approximation_ratio(s.expectation, obj_vals, opt.direction);
+    const double gs = engine.ground_state_probability(opt.direction);
+    if (shots > 0) {
+      MeasurementSampler sampler(engine.state());
+      Rng shot_rng(seed ^ 0xABCDEF);
+      std::printf("%d,%.8f,%.6f,%.6f,%.8f,%.8f\n", s.p, s.expectation, ratio,
+                  gs, sampler.estimate_expectation(obj_vals, shots, shot_rng),
+                  sampler.standard_error(obj_vals, shots));
+    } else {
+      std::printf("%d,%.8f,%.6f,%.6f\n", s.p, s.expectation, ratio, gs);
+    }
+  }
+  std::fprintf(stderr, "# angle finding took %.2f s\n", elapsed);
+  return 0;
+}
