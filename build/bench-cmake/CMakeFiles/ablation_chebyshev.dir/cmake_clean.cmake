@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_chebyshev"
+  "../bench/ablation_chebyshev.pdb"
+  "CMakeFiles/ablation_chebyshev.dir/ablation_chebyshev.cpp.o"
+  "CMakeFiles/ablation_chebyshev.dir/ablation_chebyshev.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chebyshev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_interp"
+  "../bench/ablation_interp.pdb"
+  "CMakeFiles/ablation_interp.dir/ablation_interp.cpp.o"
+  "CMakeFiles/ablation_interp.dir/ablation_interp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

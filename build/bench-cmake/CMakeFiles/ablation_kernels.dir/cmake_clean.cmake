@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kernels"
+  "../bench/ablation_kernels.pdb"
+  "CMakeFiles/ablation_kernels.dir/ablation_kernels.cpp.o"
+  "CMakeFiles/ablation_kernels.dir/ablation_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_trotter"
+  "../bench/ablation_trotter.pdb"
+  "CMakeFiles/ablation_trotter.dir/ablation_trotter.cpp.o"
+  "CMakeFiles/ablation_trotter.dir/ablation_trotter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trotter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

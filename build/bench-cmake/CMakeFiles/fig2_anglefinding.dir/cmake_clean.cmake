@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_anglefinding"
+  "../bench/fig2_anglefinding.pdb"
+  "CMakeFiles/fig2_anglefinding.dir/fig2_anglefinding.cpp.o"
+  "CMakeFiles/fig2_anglefinding.dir/fig2_anglefinding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_anglefinding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_strategies"
+  "../bench/fig3_strategies.pdb"
+  "CMakeFiles/fig3_strategies.dir/fig3_strategies.cpp.o"
+  "CMakeFiles/fig3_strategies.dir/fig3_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4a_qubit_scaling"
+  "../bench/fig4a_qubit_scaling.pdb"
+  "CMakeFiles/fig4a_qubit_scaling.dir/fig4a_qubit_scaling.cpp.o"
+  "CMakeFiles/fig4a_qubit_scaling.dir/fig4a_qubit_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_qubit_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

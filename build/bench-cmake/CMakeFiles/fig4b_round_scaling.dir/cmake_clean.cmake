@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4b_round_scaling"
+  "../bench/fig4b_round_scaling.pdb"
+  "CMakeFiles/fig4b_round_scaling.dir/fig4b_round_scaling.cpp.o"
+  "CMakeFiles/fig4b_round_scaling.dir/fig4b_round_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_round_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

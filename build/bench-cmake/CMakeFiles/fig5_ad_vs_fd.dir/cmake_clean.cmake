@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_ad_vs_fd"
+  "../bench/fig5_ad_vs_fd.pdb"
+  "CMakeFiles/fig5_ad_vs_fd.dir/fig5_ad_vs_fd.cpp.o"
+  "CMakeFiles/fig5_ad_vs_fd.dir/fig5_ad_vs_fd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ad_vs_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

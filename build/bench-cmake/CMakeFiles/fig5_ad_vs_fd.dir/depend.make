@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_ad_vs_fd.
+# This may be replaced when dependencies are built.

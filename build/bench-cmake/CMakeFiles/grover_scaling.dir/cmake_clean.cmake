@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/grover_scaling"
+  "../bench/grover_scaling.pdb"
+  "CMakeFiles/grover_scaling.dir/grover_scaling.cpp.o"
+  "CMakeFiles/grover_scaling.dir/grover_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grover_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/angle_finding.dir/angle_finding.cpp.o"
+  "CMakeFiles/angle_finding.dir/angle_finding.cpp.o.d"
+  "angle_finding"
+  "angle_finding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/angle_finding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

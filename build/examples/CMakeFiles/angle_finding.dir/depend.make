@@ -1,0 +1,2 @@
+# Empty dependencies file for angle_finding.
+# This may be replaced when dependencies are built.

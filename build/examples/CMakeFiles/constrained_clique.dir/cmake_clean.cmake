@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_clique.dir/constrained_clique.cpp.o"
+  "CMakeFiles/constrained_clique.dir/constrained_clique.cpp.o.d"
+  "constrained_clique"
+  "constrained_clique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_clique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

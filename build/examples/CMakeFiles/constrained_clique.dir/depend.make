@@ -1,0 +1,2 @@
+# Empty dependencies file for constrained_clique.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_problem.dir/custom_problem.cpp.o"
+  "CMakeFiles/custom_problem.dir/custom_problem.cpp.o.d"
+  "custom_problem"
+  "custom_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/ensemble_study.cpp" "examples/CMakeFiles/ensemble_study.dir/ensemble_study.cpp.o" "gcc" "examples/CMakeFiles/ensemble_study.dir/ensemble_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastqaoa_pauli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_anglefind.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_mixers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_study.dir/ensemble_study.cpp.o"
+  "CMakeFiles/ensemble_study.dir/ensemble_study.cpp.o.d"
+  "ensemble_study"
+  "ensemble_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

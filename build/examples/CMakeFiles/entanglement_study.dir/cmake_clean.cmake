@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entanglement_study.dir/entanglement_study.cpp.o"
+  "CMakeFiles/entanglement_study.dir/entanglement_study.cpp.o.d"
+  "entanglement_study"
+  "entanglement_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entanglement_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

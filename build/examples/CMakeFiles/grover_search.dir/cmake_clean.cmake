@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grover_search.dir/grover_search.cpp.o"
+  "CMakeFiles/grover_search.dir/grover_search.cpp.o.d"
+  "grover_search"
+  "grover_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grover_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_angle.dir/multi_angle.cpp.o"
+  "CMakeFiles/multi_angle.dir/multi_angle.cpp.o.d"
+  "multi_angle"
+  "multi_angle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_angle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portfolio.dir/portfolio.cpp.o"
+  "CMakeFiles/portfolio.dir/portfolio.cpp.o.d"
+  "portfolio"
+  "portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

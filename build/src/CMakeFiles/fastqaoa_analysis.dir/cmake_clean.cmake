@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_analysis.dir/analysis/entanglement.cpp.o"
+  "CMakeFiles/fastqaoa_analysis.dir/analysis/entanglement.cpp.o.d"
+  "libfastqaoa_analysis.a"
+  "libfastqaoa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/basinhopping.cpp.o"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/basinhopping.cpp.o.d"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/bfgs.cpp.o"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/bfgs.cpp.o.d"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/grover_objective.cpp.o"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/grover_objective.cpp.o.d"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/nelder_mead.cpp.o"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/nelder_mead.cpp.o.d"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/optimizer.cpp.o"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/optimizer.cpp.o.d"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/qaoa_objective.cpp.o"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/qaoa_objective.cpp.o.d"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/strategies.cpp.o"
+  "CMakeFiles/fastqaoa_anglefind.dir/anglefind/strategies.cpp.o.d"
+  "libfastqaoa_anglefind.a"
+  "libfastqaoa_anglefind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_anglefind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

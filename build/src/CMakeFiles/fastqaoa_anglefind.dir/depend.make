@@ -1,0 +1,2 @@
+# Empty dependencies file for fastqaoa_anglefind.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_autodiff.dir/autodiff/adjoint.cpp.o"
+  "CMakeFiles/fastqaoa_autodiff.dir/autodiff/adjoint.cpp.o.d"
+  "CMakeFiles/fastqaoa_autodiff.dir/autodiff/finite_diff.cpp.o"
+  "CMakeFiles/fastqaoa_autodiff.dir/autodiff/finite_diff.cpp.o.d"
+  "libfastqaoa_autodiff.a"
+  "libfastqaoa_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fastqaoa_autodiff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/circuit.cpp" "src/CMakeFiles/fastqaoa_baselines.dir/baselines/circuit.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_baselines.dir/baselines/circuit.cpp.o.d"
+  "/root/repo/src/baselines/gate_sim.cpp" "src/CMakeFiles/fastqaoa_baselines.dir/baselines/gate_sim.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_baselines.dir/baselines/gate_sim.cpp.o.d"
+  "/root/repo/src/baselines/packages.cpp" "src/CMakeFiles/fastqaoa_baselines.dir/baselines/packages.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_baselines.dir/baselines/packages.cpp.o.d"
+  "/root/repo/src/baselines/trotter_mixer.cpp" "src/CMakeFiles/fastqaoa_baselines.dir/baselines/trotter_mixer.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_baselines.dir/baselines/trotter_mixer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastqaoa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_mixers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

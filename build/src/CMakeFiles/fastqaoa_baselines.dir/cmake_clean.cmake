@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_baselines.dir/baselines/circuit.cpp.o"
+  "CMakeFiles/fastqaoa_baselines.dir/baselines/circuit.cpp.o.d"
+  "CMakeFiles/fastqaoa_baselines.dir/baselines/gate_sim.cpp.o"
+  "CMakeFiles/fastqaoa_baselines.dir/baselines/gate_sim.cpp.o.d"
+  "CMakeFiles/fastqaoa_baselines.dir/baselines/packages.cpp.o"
+  "CMakeFiles/fastqaoa_baselines.dir/baselines/packages.cpp.o.d"
+  "CMakeFiles/fastqaoa_baselines.dir/baselines/trotter_mixer.cpp.o"
+  "CMakeFiles/fastqaoa_baselines.dir/baselines/trotter_mixer.cpp.o.d"
+  "libfastqaoa_baselines.a"
+  "libfastqaoa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

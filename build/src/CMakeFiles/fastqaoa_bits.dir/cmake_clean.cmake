@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_bits.dir/bits/combinatorics.cpp.o"
+  "CMakeFiles/fastqaoa_bits.dir/bits/combinatorics.cpp.o.d"
+  "libfastqaoa_bits.a"
+  "libfastqaoa_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

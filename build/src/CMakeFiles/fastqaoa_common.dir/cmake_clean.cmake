@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_common.dir/common/version.cpp.o"
+  "CMakeFiles/fastqaoa_common.dir/common/version.cpp.o.d"
+  "libfastqaoa_common.a"
+  "libfastqaoa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

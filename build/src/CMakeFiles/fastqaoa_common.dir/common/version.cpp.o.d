@@ -1,0 +1,3 @@
+src/CMakeFiles/fastqaoa_common.dir/common/version.cpp.o: \
+ /root/repo/src/common/version.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/common/version.hpp

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_core.dir/core/grover_fast.cpp.o"
+  "CMakeFiles/fastqaoa_core.dir/core/grover_fast.cpp.o.d"
+  "CMakeFiles/fastqaoa_core.dir/core/multi_angle.cpp.o"
+  "CMakeFiles/fastqaoa_core.dir/core/multi_angle.cpp.o.d"
+  "CMakeFiles/fastqaoa_core.dir/core/qaoa.cpp.o"
+  "CMakeFiles/fastqaoa_core.dir/core/qaoa.cpp.o.d"
+  "libfastqaoa_core.a"
+  "libfastqaoa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_graphs.dir/graphs/graph.cpp.o"
+  "CMakeFiles/fastqaoa_graphs.dir/graphs/graph.cpp.o.d"
+  "libfastqaoa_graphs.a"
+  "libfastqaoa_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

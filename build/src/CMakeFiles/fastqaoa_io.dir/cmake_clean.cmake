@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_io.dir/io/serialize.cpp.o"
+  "CMakeFiles/fastqaoa_io.dir/io/serialize.cpp.o.d"
+  "libfastqaoa_io.a"
+  "libfastqaoa_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/eigen_herm.cpp" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/eigen_herm.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/eigen_herm.cpp.o.d"
+  "/root/repo/src/linalg/eigen_sym.cpp" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/eigen_sym.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/eigen_sym.cpp.o.d"
+  "/root/repo/src/linalg/lanczos.cpp" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/lanczos.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/lanczos.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/vector_ops.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/vector_ops.cpp.o.d"
+  "/root/repo/src/linalg/wht.cpp" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/wht.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_linalg.dir/linalg/wht.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastqaoa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_bits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

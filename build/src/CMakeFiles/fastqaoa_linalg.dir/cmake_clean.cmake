@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/dense.cpp.o"
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/dense.cpp.o.d"
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/eigen_herm.cpp.o"
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/eigen_herm.cpp.o.d"
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/eigen_sym.cpp.o"
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/eigen_sym.cpp.o.d"
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/lanczos.cpp.o"
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/lanczos.cpp.o.d"
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/vector_ops.cpp.o"
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/vector_ops.cpp.o.d"
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/wht.cpp.o"
+  "CMakeFiles/fastqaoa_linalg.dir/linalg/wht.cpp.o.d"
+  "libfastqaoa_linalg.a"
+  "libfastqaoa_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mixers/chebyshev_mixer.cpp" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/chebyshev_mixer.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/chebyshev_mixer.cpp.o.d"
+  "/root/repo/src/mixers/eigen_mixer.cpp" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/eigen_mixer.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/eigen_mixer.cpp.o.d"
+  "/root/repo/src/mixers/grover_mixer.cpp" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/grover_mixer.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/grover_mixer.cpp.o.d"
+  "/root/repo/src/mixers/mixer.cpp" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/mixer.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/mixer.cpp.o.d"
+  "/root/repo/src/mixers/sparse_xy.cpp" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/sparse_xy.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/sparse_xy.cpp.o.d"
+  "/root/repo/src/mixers/x_mixer.cpp" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/x_mixer.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_mixers.dir/mixers/x_mixer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastqaoa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

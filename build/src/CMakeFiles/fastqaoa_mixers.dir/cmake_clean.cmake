@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/chebyshev_mixer.cpp.o"
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/chebyshev_mixer.cpp.o.d"
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/eigen_mixer.cpp.o"
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/eigen_mixer.cpp.o.d"
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/grover_mixer.cpp.o"
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/grover_mixer.cpp.o.d"
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/mixer.cpp.o"
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/mixer.cpp.o.d"
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/sparse_xy.cpp.o"
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/sparse_xy.cpp.o.d"
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/x_mixer.cpp.o"
+  "CMakeFiles/fastqaoa_mixers.dir/mixers/x_mixer.cpp.o.d"
+  "libfastqaoa_mixers.a"
+  "libfastqaoa_mixers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_mixers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_pauli.dir/pauli/pauli_string.cpp.o"
+  "CMakeFiles/fastqaoa_pauli.dir/pauli/pauli_string.cpp.o.d"
+  "CMakeFiles/fastqaoa_pauli.dir/pauli/pauli_sum.cpp.o"
+  "CMakeFiles/fastqaoa_pauli.dir/pauli/pauli_sum.cpp.o.d"
+  "libfastqaoa_pauli.a"
+  "libfastqaoa_pauli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_pauli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

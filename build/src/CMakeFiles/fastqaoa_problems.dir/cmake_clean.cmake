@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_problems.dir/problems/cost_functions.cpp.o"
+  "CMakeFiles/fastqaoa_problems.dir/problems/cost_functions.cpp.o.d"
+  "CMakeFiles/fastqaoa_problems.dir/problems/objective.cpp.o"
+  "CMakeFiles/fastqaoa_problems.dir/problems/objective.cpp.o.d"
+  "CMakeFiles/fastqaoa_problems.dir/problems/state_space.cpp.o"
+  "CMakeFiles/fastqaoa_problems.dir/problems/state_space.cpp.o.d"
+  "CMakeFiles/fastqaoa_problems.dir/problems/warm_start.cpp.o"
+  "CMakeFiles/fastqaoa_problems.dir/problems/warm_start.cpp.o.d"
+  "libfastqaoa_problems.a"
+  "libfastqaoa_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/sampler.cpp" "src/CMakeFiles/fastqaoa_sampling.dir/sampling/sampler.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_sampling.dir/sampling/sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastqaoa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_graphs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

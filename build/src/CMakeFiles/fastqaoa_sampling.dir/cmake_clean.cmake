@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_sampling.dir/sampling/sampler.cpp.o"
+  "CMakeFiles/fastqaoa_sampling.dir/sampling/sampler.cpp.o.d"
+  "libfastqaoa_sampling.a"
+  "libfastqaoa_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_sat.dir/sat/cnf.cpp.o"
+  "CMakeFiles/fastqaoa_sat.dir/sat/cnf.cpp.o.d"
+  "libfastqaoa_sat.a"
+  "libfastqaoa_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/ensemble.cpp" "src/CMakeFiles/fastqaoa_study.dir/study/ensemble.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_study.dir/study/ensemble.cpp.o.d"
+  "/root/repo/src/study/stats.cpp" "src/CMakeFiles/fastqaoa_study.dir/study/stats.cpp.o" "gcc" "src/CMakeFiles/fastqaoa_study.dir/study/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fastqaoa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_anglefind.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_mixers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_bits.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fastqaoa_graphs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

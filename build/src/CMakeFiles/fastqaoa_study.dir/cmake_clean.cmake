@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastqaoa_study.dir/study/ensemble.cpp.o"
+  "CMakeFiles/fastqaoa_study.dir/study/ensemble.cpp.o.d"
+  "CMakeFiles/fastqaoa_study.dir/study/stats.cpp.o"
+  "CMakeFiles/fastqaoa_study.dir/study/stats.cpp.o.d"
+  "libfastqaoa_study.a"
+  "libfastqaoa_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastqaoa_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

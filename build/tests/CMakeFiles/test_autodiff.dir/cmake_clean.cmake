@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autodiff.dir/test_autodiff.cpp.o"
+  "CMakeFiles/test_autodiff.dir/test_autodiff.cpp.o.d"
+  "test_autodiff"
+  "test_autodiff.pdb"
+  "test_autodiff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

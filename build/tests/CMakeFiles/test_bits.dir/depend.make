@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bits.
+# This may be replaced when dependencies are built.

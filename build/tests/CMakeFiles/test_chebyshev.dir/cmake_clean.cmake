@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chebyshev.dir/test_chebyshev.cpp.o"
+  "CMakeFiles/test_chebyshev.dir/test_chebyshev.cpp.o.d"
+  "test_chebyshev"
+  "test_chebyshev.pdb"
+  "test_chebyshev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chebyshev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigen_herm.dir/test_eigen_herm.cpp.o"
+  "CMakeFiles/test_eigen_herm.dir/test_eigen_herm.cpp.o.d"
+  "test_eigen_herm"
+  "test_eigen_herm.pdb"
+  "test_eigen_herm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigen_herm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

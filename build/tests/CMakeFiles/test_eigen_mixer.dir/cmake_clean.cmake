@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigen_mixer.dir/test_eigen_mixer.cpp.o"
+  "CMakeFiles/test_eigen_mixer.dir/test_eigen_mixer.cpp.o.d"
+  "test_eigen_mixer"
+  "test_eigen_mixer.pdb"
+  "test_eigen_mixer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigen_mixer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigen_sym.dir/test_eigen_sym.cpp.o"
+  "CMakeFiles/test_eigen_sym.dir/test_eigen_sym.cpp.o.d"
+  "test_eigen_sym"
+  "test_eigen_sym.pdb"
+  "test_eigen_sym[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigen_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

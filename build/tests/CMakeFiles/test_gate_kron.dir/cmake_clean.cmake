@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate_kron.dir/test_gate_kron.cpp.o"
+  "CMakeFiles/test_gate_kron.dir/test_gate_kron.cpp.o.d"
+  "test_gate_kron"
+  "test_gate_kron.pdb"
+  "test_gate_kron[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate_kron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

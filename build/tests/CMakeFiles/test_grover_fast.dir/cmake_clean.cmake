@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grover_fast.dir/test_grover_fast.cpp.o"
+  "CMakeFiles/test_grover_fast.dir/test_grover_fast.cpp.o.d"
+  "test_grover_fast"
+  "test_grover_fast.pdb"
+  "test_grover_fast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grover_fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

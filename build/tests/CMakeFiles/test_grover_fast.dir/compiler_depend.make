@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_grover_fast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grover_mixer.dir/test_grover_mixer.cpp.o"
+  "CMakeFiles/test_grover_mixer.dir/test_grover_mixer.cpp.o.d"
+  "test_grover_mixer"
+  "test_grover_mixer.pdb"
+  "test_grover_mixer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grover_mixer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_dense.dir/test_linalg_dense.cpp.o"
+  "CMakeFiles/test_linalg_dense.dir/test_linalg_dense.cpp.o.d"
+  "test_linalg_dense"
+  "test_linalg_dense.pdb"
+  "test_linalg_dense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg_vector.dir/test_linalg_vector.cpp.o"
+  "CMakeFiles/test_linalg_vector.dir/test_linalg_vector.cpp.o.d"
+  "test_linalg_vector"
+  "test_linalg_vector.pdb"
+  "test_linalg_vector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimizers.dir/test_optimizers.cpp.o"
+  "CMakeFiles/test_optimizers.dir/test_optimizers.cpp.o.d"
+  "test_optimizers"
+  "test_optimizers.pdb"
+  "test_optimizers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pauli.dir/test_pauli.cpp.o"
+  "CMakeFiles/test_pauli.dir/test_pauli.cpp.o.d"
+  "test_pauli"
+  "test_pauli.pdb"
+  "test_pauli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pauli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

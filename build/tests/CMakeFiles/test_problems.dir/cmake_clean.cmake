@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_problems.dir/test_problems.cpp.o"
+  "CMakeFiles/test_problems.dir/test_problems.cpp.o.d"
+  "test_problems"
+  "test_problems.pdb"
+  "test_problems[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qaoa.dir/test_qaoa.cpp.o"
+  "CMakeFiles/test_qaoa.dir/test_qaoa.cpp.o.d"
+  "test_qaoa"
+  "test_qaoa.pdb"
+  "test_qaoa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qaoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

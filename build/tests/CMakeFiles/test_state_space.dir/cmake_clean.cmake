@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_space.dir/test_state_space.cpp.o"
+  "CMakeFiles/test_state_space.dir/test_state_space.cpp.o.d"
+  "test_state_space"
+  "test_state_space.pdb"
+  "test_state_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

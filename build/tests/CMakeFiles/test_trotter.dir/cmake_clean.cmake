@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trotter.dir/test_trotter.cpp.o"
+  "CMakeFiles/test_trotter.dir/test_trotter.cpp.o.d"
+  "test_trotter"
+  "test_trotter.pdb"
+  "test_trotter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trotter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

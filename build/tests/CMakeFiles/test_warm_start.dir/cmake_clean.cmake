@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warm_start.dir/test_warm_start.cpp.o"
+  "CMakeFiles/test_warm_start.dir/test_warm_start.cpp.o.d"
+  "test_warm_start"
+  "test_warm_start.pdb"
+  "test_warm_start[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warm_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

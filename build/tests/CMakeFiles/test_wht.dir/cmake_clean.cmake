@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wht.dir/test_wht.cpp.o"
+  "CMakeFiles/test_wht.dir/test_wht.cpp.o.d"
+  "test_wht"
+  "test_wht.pdb"
+  "test_wht[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

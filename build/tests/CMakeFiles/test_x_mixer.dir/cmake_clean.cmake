@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_x_mixer.dir/test_x_mixer.cpp.o"
+  "CMakeFiles/test_x_mixer.dir/test_x_mixer.cpp.o.d"
+  "test_x_mixer"
+  "test_x_mixer.pdb"
+  "test_x_mixer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_x_mixer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

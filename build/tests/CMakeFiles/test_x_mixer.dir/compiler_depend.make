@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_x_mixer.
+# This may be replaced when dependencies are built.

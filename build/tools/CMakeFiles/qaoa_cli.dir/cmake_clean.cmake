@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_cli.dir/qaoa_cli.cpp.o"
+  "CMakeFiles/qaoa_cli.dir/qaoa_cli.cpp.o.d"
+  "qaoa_cli"
+  "qaoa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

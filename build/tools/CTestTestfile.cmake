@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_maxcut_tf]=] "/root/repo/build/tools/qaoa_cli" "--problem=maxcut" "--mixer=tf" "--n=6" "--p=2" "--hops=2")
+set_tests_properties([=[cli_maxcut_tf]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_densest_clique]=] "/root/repo/build/tools/qaoa_cli" "--problem=densest" "--mixer=clique" "--n=6" "--k=3" "--p=1" "--hops=2")
+set_tests_properties([=[cli_densest_clique]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_ksat_grover_random]=] "/root/repo/build/tools/qaoa_cli" "--problem=ksat" "--mixer=grover" "--n=6" "--p=2" "--strategy=random" "--restarts=3")
+set_tests_properties([=[cli_ksat_grover_random]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_partition_minimize_shots]=] "/root/repo/build/tools/qaoa_cli" "--problem=partition" "--mixer=tf" "--n=6" "--p=1" "--minimize" "--shots=500" "--hops=2")
+set_tests_properties([=[cli_partition_minimize_shots]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_grid_strategy]=] "/root/repo/build/tools/qaoa_cli" "--problem=maxcut" "--mixer=ring" "--n=6" "--k=3" "--p=1" "--strategy=grid" "--grid-points=8")
+set_tests_properties([=[cli_grid_strategy]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_rejects_bad_problem]=] "/root/repo/build/tools/qaoa_cli" "--problem=nonsense")
+set_tests_properties([=[cli_rejects_bad_problem]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
