@@ -1,0 +1,144 @@
+// bench_parallel_scaling — thread-scaling of the shared-plan evaluation
+// core and the parallel random-restart outer loop.
+//
+// Sweeps 1..max threads twice:
+//   1. raw evaluate() throughput: T std::threads hammer one shared QaoaPlan
+//      with private workspaces (inner OpenMP pinned to 1 thread so only the
+//      outer concurrency is measured);
+//   2. find_angles_random() wall time at each OpenMP team size, verifying
+//      the best objective is identical at every thread count.
+//
+// Prints a table plus a JSON blob (compare against
+// bench/baselines/parallel_scaling.json).
+//
+// Usage: bench_parallel_scaling [--full] [--n=12] [--restarts=24]
+//                               [--max-threads=N]
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anglefind/strategies.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/threading.hpp"
+#include "common/timer.hpp"
+#include "core/plan.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+
+using namespace fastqaoa;
+
+namespace {
+
+std::vector<int> thread_sweep(int max_threads) {
+  std::vector<int> sweep;
+  for (int t = 1; t < max_threads; t *= 2) sweep.push_back(t);
+  sweep.push_back(max_threads);
+  return sweep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = benchutil::has_flag(argc, argv, "--full");
+  const int n =
+      static_cast<int>(benchutil::int_option(argc, argv, "--n", full ? 16 : 12));
+  const int p = 4;
+  const int restarts = static_cast<int>(
+      benchutil::int_option(argc, argv, "--restarts", full ? 64 : 24));
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int max_threads = static_cast<int>(benchutil::int_option(
+      argc, argv, "--max-threads", hw ? static_cast<long long>(hw) : 1));
+
+  benchutil::banner("parallel scaling",
+                    "shared-plan evaluation + random-restart outer loop",
+                    full);
+  std::printf("n=%d p=%d restarts=%d max_threads=%d\n\n", n, p, restarts,
+              max_threads);
+
+  Rng rng(42);
+  Graph g = erdos_renyi(n, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(n),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(n);
+  QaoaPlan plan(mixer, table, p);
+
+  std::vector<double> angles(static_cast<std::size_t>(2 * p));
+  for (auto& a : angles) a = rng.uniform(0.0, 2.0 * kPi);
+
+  // --- phase 1: raw shared-plan evaluate() throughput -------------------
+  const int evals_per_thread = full ? 400 : 100;
+  const std::vector<int> sweep = thread_sweep(max_threads);
+
+  std::printf("shared-plan evaluate() throughput (%d evals/thread)\n",
+              evals_per_thread);
+  std::printf("%8s %14s %10s\n", "threads", "evals/sec", "speedup");
+  std::vector<double> eval_rates;
+  for (int t : sweep) {
+    WallTimer timer;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(t));
+    for (int w = 0; w < t; ++w) {
+      workers.emplace_back([&] {
+        set_num_threads(1);
+        EvalWorkspace ws;
+        ws.reserve(plan);
+        for (int e = 0; e < evals_per_thread; ++e) {
+          evaluate_packed(plan, ws, angles);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    const double rate =
+        static_cast<double>(t) * evals_per_thread / timer.seconds();
+    eval_rates.push_back(rate);
+    std::printf("%8d %14.1f %9.2fx\n", t, rate, rate / eval_rates.front());
+  }
+
+  // --- phase 2: parallel random restarts --------------------------------
+  std::printf("\nfind_angles_random() wall time (%d restarts)\n", restarts);
+  std::printf("%8s %10s %14s %10s %14s\n", "threads", "seconds",
+              "restarts/sec", "speedup", "best <C>");
+  FindAnglesOptions opt;
+  opt.seed = 7;
+  std::vector<double> restart_rates;
+  std::vector<double> best_values;
+  for (int t : sweep) {
+    set_num_threads(t);
+    WallTimer timer;
+    const AngleSchedule s = find_angles_random(mixer, table, p, restarts, opt);
+    const double secs = timer.seconds();
+    const double rate = restarts / secs;
+    restart_rates.push_back(rate);
+    best_values.push_back(s.expectation);
+    std::printf("%8d %10.3f %14.2f %9.2fx %14.8f\n", t, secs, rate,
+                rate / restart_rates.front(), s.expectation);
+  }
+  set_num_threads(max_threads);
+  for (double v : best_values) {
+    if (v != best_values.front()) {
+      std::printf("WARNING: best objective varies with thread count!\n");
+      return 1;
+    }
+  }
+
+  // --- JSON summary ------------------------------------------------------
+  std::printf("\n{\"bench\":\"parallel_scaling\",\"n\":%d,\"p\":%d,"
+              "\"restarts\":%d,\"threads\":[",
+              n, p, restarts);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    std::printf("%s%d", i ? "," : "", sweep[i]);
+  }
+  std::printf("],\"eval_rate\":[");
+  for (std::size_t i = 0; i < eval_rates.size(); ++i) {
+    std::printf("%s%.1f", i ? "," : "", eval_rates[i]);
+  }
+  std::printf("],\"restart_rate\":[");
+  for (std::size_t i = 0; i < restart_rates.size(); ++i) {
+    std::printf("%s%.2f", i ? "," : "", restart_rates[i]);
+  }
+  std::printf("],\"best\":%.10f}\n", best_values.front());
+  return 0;
+}

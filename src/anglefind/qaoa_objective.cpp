@@ -4,28 +4,32 @@
 
 namespace fastqaoa {
 
-QaoaObjective::QaoaObjective(Qaoa& engine, Direction direction,
-                             GradientProvider provider)
-    : engine_(&engine),
+QaoaObjective::QaoaObjective(const QaoaPlan& plan, EvalWorkspace& ws,
+                             Direction direction, GradientProvider provider)
+    : plan_(&plan),
+      ws_(&ws),
       direction_(direction),
       provider_(provider),
-      adjoint_(engine),
-      central_(engine, FdScheme::Central),
-      forward_(engine, FdScheme::Forward) {}
+      central_(plan, ws, FdScheme::Central),
+      forward_(plan, ws, FdScheme::Forward) {}
+
+QaoaObjective::QaoaObjective(Qaoa& engine, Direction direction,
+                             GradientProvider provider)
+    : QaoaObjective(engine.plan(), engine.workspace(), direction, provider) {}
 
 double QaoaObjective::operator()(std::span<const double> packed,
                                  std::span<double> grad) {
   const double sign = direction_ == Direction::Maximize ? -1.0 : 1.0;
   if (grad.empty()) {
     ++evals_;
-    return sign * engine_->run_packed(packed);
+    return sign * evaluate_packed(*plan_, *ws_, packed);
   }
   FASTQAOA_CHECK(grad.size() == packed.size(),
                  "QaoaObjective: gradient span size mismatch");
   double value = 0.0;
   switch (provider_) {
     case GradientProvider::Adjoint:
-      value = adjoint_.value_and_gradient_packed(packed, grad);
+      value = adjoint_value_and_gradient_packed(*plan_, *ws_, packed, grad);
       evals_ += 2;  // forward pass + reverse sweep of comparable cost
       break;
     case GradientProvider::CentralDiff: {

@@ -1,15 +1,17 @@
 #pragma once
 /// \file qaoa_objective.hpp
-/// Adapter that turns a Qaoa engine into the minimization objective the
-/// optimizers consume: f(angles) = -<C> for maximization (+<C> for
-/// minimization), with gradients supplied either by the adjoint AD path or
-/// by finite differences — the exact axis Fig. 5 sweeps.
+/// Adapter that turns a QAOA plan + workspace (or a Qaoa engine) into the
+/// minimization objective the optimizers consume: f(angles) = -<C> for
+/// maximization (+<C> for minimization), with gradients supplied either by
+/// the adjoint AD path or by finite differences — the exact axis Fig. 5
+/// sweeps.
 
 #include <span>
 
 #include "anglefind/optimizer.hpp"
 #include "autodiff/adjoint.hpp"
 #include "autodiff/finite_diff.hpp"
+#include "core/plan.hpp"
 #include "core/qaoa.hpp"
 
 namespace fastqaoa {
@@ -22,12 +24,20 @@ enum class GradientProvider {
 };
 
 /// Minimization objective over packed angles [betas..., gammas...].
-/// Holds a reference to the engine; one instance per engine, reused across
-/// the whole optimization run (buffers allocated once).
+/// Holds references to a shared (immutable) plan and a private workspace;
+/// one instance per optimization thread, reused across the whole run
+/// (buffers allocated once). The plan may be shared across threads — each
+/// thread's QaoaObjective just needs its own EvalWorkspace.
 class QaoaObjective {
  public:
-  QaoaObjective(Qaoa& engine, Direction direction = Direction::Maximize,
+  QaoaObjective(const QaoaPlan& plan, EvalWorkspace& ws,
+                Direction direction = Direction::Maximize,
                 GradientProvider provider = GradientProvider::Adjoint);
+
+  /// Convenience: bind to a Qaoa engine's plan + workspace.
+  explicit QaoaObjective(Qaoa& engine,
+                         Direction direction = Direction::Maximize,
+                         GradientProvider provider = GradientProvider::Adjoint);
 
   /// Evaluate f (and the gradient when `grad` is non-empty).
   double operator()(std::span<const double> packed, std::span<double> grad);
@@ -38,7 +48,7 @@ class QaoaObjective {
 
   /// Number of underlying expectation-value evaluations so far (each
   /// adjoint gradient counts as one forward evaluation plus one reverse
-  /// sweep, tallied as 2; finite differences tally every run() call).
+  /// sweep, tallied as 2; finite differences tally every evaluation).
   [[nodiscard]] std::size_t evaluations() const noexcept { return evals_; }
   void reset_evaluations() noexcept { evals_ = 0; }
 
@@ -51,10 +61,10 @@ class QaoaObjective {
   }
 
  private:
-  Qaoa* engine_;
+  const QaoaPlan* plan_;
+  EvalWorkspace* ws_;
   Direction direction_;
   GradientProvider provider_;
-  AdjointDifferentiator adjoint_;
   FiniteDiffDifferentiator central_;
   FiniteDiffDifferentiator forward_;
   std::size_t evals_ = 0;

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
+#include "core/plan.hpp"
 
 namespace fastqaoa {
 
@@ -55,26 +58,87 @@ std::vector<double> tqa_initial_angles(int p, double dt) {
 
 namespace {
 
-AngleSchedule run_basinhopping(Qaoa& engine, int p,
-                               const std::vector<double>& x0, Rng& rng,
-                               const FindAnglesOptions& options) {
-  QaoaObjective objective(engine, options.direction, options.gradient);
+/// Build the shared, immutable evaluation plan every worker reads from.
+QaoaPlan make_plan(const Mixer& mixer, const dvec& obj_vals, int p,
+                   const FindAnglesOptions& options) {
+  QaoaPlanOptions plan_options;
+  if (options.phase_values) plan_options.phase_values = *options.phase_values;
+  return QaoaPlan(mixer, obj_vals, p, std::move(plan_options));
+}
+
+struct ChainResult {
+  AngleSchedule schedule;
+  double f = std::numeric_limits<double>::infinity();  ///< minimized value
+};
+
+/// One basinhopping chain: private workspace + RNG against the shared plan.
+ChainResult run_basinhopping(const QaoaPlan& plan, int p,
+                             const std::vector<double>& x0, Rng& rng,
+                             const FindAnglesOptions& options) {
+  EvalWorkspace ws;
+  QaoaObjective objective(plan, ws, options.direction, options.gradient);
   GradObjective fn = objective.as_grad_objective();
   OptResult res = basinhopping(fn, x0, rng, options.hopping);
 
-  AngleSchedule schedule;
-  schedule.p = p;
-  schedule.betas.assign(res.x.begin(), res.x.begin() + p);
-  schedule.gammas.assign(res.x.begin() + p, res.x.end());
-  schedule.expectation = objective.to_expectation(res.f);
-  return schedule;
+  ChainResult out;
+  out.f = res.f;
+  out.schedule.p = p;
+  out.schedule.betas.assign(res.x.begin(), res.x.begin() + p);
+  out.schedule.gammas.assign(res.x.begin() + p, res.x.end());
+  out.schedule.expectation = objective.to_expectation(res.f);
+  return out;
 }
 
-Qaoa make_engine(const Mixer& mixer, const dvec& obj_vals, int p,
-                 const FindAnglesOptions& options) {
-  Qaoa engine(mixer, obj_vals, p);
-  if (options.phase_values) engine.set_phase_values(*options.phase_values);
-  return engine;
+/// Run options.parallel_starts independent chains from (jittered copies of)
+/// x0 and keep the best. RNG streams are forked serially before the
+/// parallel region, and ties break on the chain index, so the result is
+/// identical at any thread count.
+AngleSchedule best_of_chains(const QaoaPlan& plan, int p,
+                             const std::vector<double>& x0, Rng& rng,
+                             const FindAnglesOptions& options) {
+  const int chains = std::max(1, options.parallel_starts);
+  if (chains == 1) {
+    // Single chain: consume the caller's stream directly, exactly like the
+    // classic serial implementation (byte-for-byte reproducible results
+    // for existing seeds).
+    return run_basinhopping(plan, p, x0, rng, options).schedule;
+  }
+
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(chains));
+  for (int c = 0; c < chains; ++c) streams.push_back(rng.fork());
+
+  // Chain 0 starts exactly at x0 (the INTERP/TQA seed); the others explore
+  // jittered copies so the extra workers do not all climb the same basin.
+  std::vector<std::vector<double>> starts(static_cast<std::size_t>(chains),
+                                          x0);
+  for (int c = 1; c < chains; ++c) {
+    for (double& a : starts[static_cast<std::size_t>(c)]) {
+      a += streams[static_cast<std::size_t>(c)].uniform(
+          -options.hopping.step_size, options.hopping.step_size);
+    }
+  }
+
+  std::vector<ChainResult> results(static_cast<std::size_t>(chains));
+  std::exception_ptr error;
+#pragma omp parallel for schedule(dynamic) if (chains > 1)
+  for (int c = 0; c < chains; ++c) {
+    try {
+      results[static_cast<std::size_t>(c)] = run_basinhopping(
+          plan, p, starts[static_cast<std::size_t>(c)],
+          streams[static_cast<std::size_t>(c)], options);
+    } catch (...) {
+#pragma omp critical(fastqaoa_chain_error)
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < results.size(); ++c) {
+    if (results[c].f < results[best].f) best = c;
+  }
+  return std::move(results[best].schedule);
 }
 
 }  // namespace
@@ -106,8 +170,8 @@ std::vector<AngleSchedule> find_angles(const Mixer& mixer,
       x0.insert(x0.end(), betas.begin(), betas.end());
       x0.insert(x0.end(), gammas.begin(), gammas.end());
     }
-    Qaoa engine = make_engine(mixer, obj_vals, p, options);
-    schedules.push_back(run_basinhopping(engine, p, x0, rng, options));
+    const QaoaPlan plan = make_plan(mixer, obj_vals, p, options);
+    schedules.push_back(best_of_chains(plan, p, x0, rng, options));
     if (!options.checkpoint_file.empty()) {
       save_checkpoint(options.checkpoint_file, schedules);
     }
@@ -121,8 +185,8 @@ AngleSchedule find_angles_at(const Mixer& mixer, const dvec& obj_vals, int p,
   FASTQAOA_CHECK(static_cast<int>(initial_packed.size()) == 2 * p,
                  "find_angles_at: need 2p initial angles");
   Rng rng(options.seed);
-  Qaoa engine = make_engine(mixer, obj_vals, p, options);
-  return run_basinhopping(engine, p, initial_packed, rng, options);
+  const QaoaPlan plan = make_plan(mixer, obj_vals, p, options);
+  return best_of_chains(plan, p, initial_packed, rng, options);
 }
 
 AngleSchedule find_angles_random(const Mixer& mixer, const dvec& obj_vals,
@@ -131,24 +195,51 @@ AngleSchedule find_angles_random(const Mixer& mixer, const dvec& obj_vals,
   FASTQAOA_CHECK(p >= 1 && restarts >= 1,
                  "find_angles_random: need p >= 1 and restarts >= 1");
   Rng rng(options.seed);
-  Qaoa engine = make_engine(mixer, obj_vals, p, options);
-  QaoaObjective objective(engine, options.direction, options.gradient);
-  GradObjective fn = objective.as_grad_objective();
+  const QaoaPlan plan = make_plan(mixer, obj_vals, p, options);
 
-  OptResult best;
-  best.f = std::numeric_limits<double>::infinity();
-  std::vector<double> x0(static_cast<std::size_t>(2 * p));
-  for (int r = 0; r < restarts; ++r) {
+  // Draw every start point serially (one stream, fixed order), then run the
+  // local minimizations in parallel against the shared plan. Ties break on
+  // the restart index, so the winner is thread-count independent.
+  std::vector<std::vector<double>> starts(
+      static_cast<std::size_t>(restarts),
+      std::vector<double>(static_cast<std::size_t>(2 * p)));
+  for (auto& x0 : starts) {
     for (double& a : x0) a = rng.uniform(0.0, 2.0 * kPi);
-    OptResult res = bfgs_minimize(fn, x0, options.hopping.local);
-    if (res.f < best.f) best = std::move(res);
   }
+
+  std::vector<OptResult> results(static_cast<std::size_t>(restarts));
+  std::exception_ptr error;
+#pragma omp parallel if (restarts > 1)
+  {
+    EvalWorkspace ws;
+    QaoaObjective objective(plan, ws, options.direction, options.gradient);
+    GradObjective fn = objective.as_grad_objective();
+#pragma omp for schedule(dynamic)
+    for (int r = 0; r < restarts; ++r) {
+      try {
+        results[static_cast<std::size_t>(r)] =
+            bfgs_minimize(fn, starts[static_cast<std::size_t>(r)],
+                          options.hopping.local);
+      } catch (...) {
+#pragma omp critical(fastqaoa_restart_error)
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    if (results[r].f < results[best].f) best = r;
+  }
+  const OptResult& winner = results[best];
 
   AngleSchedule schedule;
   schedule.p = p;
-  schedule.betas.assign(best.x.begin(), best.x.begin() + p);
-  schedule.gammas.assign(best.x.begin() + p, best.x.end());
-  schedule.expectation = objective.to_expectation(best.f);
+  schedule.betas.assign(winner.x.begin(), winner.x.begin() + p);
+  schedule.gammas.assign(winner.x.begin() + p, winner.x.end());
+  schedule.expectation =
+      options.direction == Direction::Maximize ? -winner.f : winner.f;
   return schedule;
 }
 
@@ -164,37 +255,65 @@ AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
                  "find_angles_grid: grid too large — this strategy is "
                  "exponential in p; use find_angles() instead");
 
-  Qaoa engine = make_engine(mixer, obj_vals, p, options);
-  QaoaObjective objective(engine, options.direction, options.gradient);
+  const QaoaPlan plan = make_plan(mixer, obj_vals, p, options);
 
   const double step = 2.0 * kPi / points_per_axis;
-  std::vector<int> idx(static_cast<std::size_t>(dims), 0);
-  std::vector<double> point(static_cast<std::size_t>(dims), 0.0);
-  std::vector<double> best_point = point;
-  double best_f = std::numeric_limits<double>::infinity();
+  long long total = 1;
+  for (int d = 0; d < dims; ++d) total *= points_per_axis;
 
-  // Odometer enumeration of the full grid.
-  bool done = false;
-  while (!done) {
-    for (int d = 0; d < dims; ++d) {
-      point[static_cast<std::size_t>(d)] =
-          idx[static_cast<std::size_t>(d)] * step;
+  // Flat enumeration of the grid (index -> mixed-radix digits), parallel
+  // over grid points with one workspace per thread. The global winner is
+  // the lexicographic min of (f, index), so any schedule gives the same
+  // answer.
+  double best_f = std::numeric_limits<double>::infinity();
+  long long best_index = -1;
+  std::exception_ptr error;
+#pragma omp parallel if (total > 1)
+  {
+    EvalWorkspace ws;
+    QaoaObjective objective(plan, ws, options.direction, options.gradient);
+    std::vector<double> point(static_cast<std::size_t>(dims), 0.0);
+    double local_f = std::numeric_limits<double>::infinity();
+    long long local_index = -1;
+#pragma omp for schedule(static)
+    for (long long t = 0; t < total; ++t) {
+      long long rest = t;
+      for (int d = 0; d < dims; ++d) {
+        point[static_cast<std::size_t>(d)] =
+            static_cast<double>(rest % points_per_axis) * step;
+        rest /= points_per_axis;
+      }
+      try {
+        const double f = objective(point, {});
+        if (f < local_f) {
+          local_f = f;
+          local_index = t;
+        }
+      } catch (...) {
+#pragma omp critical(fastqaoa_grid_error)
+        if (!error) error = std::current_exception();
+      }
     }
-    const double f = objective(point, {});
-    if (f < best_f) {
-      best_f = f;
-      best_point = point;
+#pragma omp critical(fastqaoa_grid_best)
+    if (local_f < best_f ||
+        (local_f == best_f && local_index < best_index)) {
+      best_f = local_f;
+      best_index = local_index;
     }
-    int d = 0;
-    while (d < dims && ++idx[static_cast<std::size_t>(d)] ==
-                           points_per_axis) {
-      idx[static_cast<std::size_t>(d)] = 0;
-      ++d;
-    }
-    done = d == dims;
+  }
+  if (error) std::rethrow_exception(error);
+
+  std::vector<double> best_point(static_cast<std::size_t>(dims), 0.0);
+  long long rest = best_index;
+  for (int d = 0; d < dims; ++d) {
+    best_point[static_cast<std::size_t>(d)] =
+        static_cast<double>(rest % points_per_axis) * step;
+    rest /= points_per_axis;
   }
 
   if (polish) {
+    EvalWorkspace ws;
+    QaoaObjective objective(plan, ws, options.direction, options.gradient);
     GradObjective fn = objective.as_grad_objective();
     OptResult res = bfgs_minimize(fn, best_point, options.hopping.local);
     if (res.f < best_f) {
@@ -207,7 +326,8 @@ AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
   schedule.p = p;
   schedule.betas.assign(best_point.begin(), best_point.begin() + p);
   schedule.gammas.assign(best_point.begin() + p, best_point.end());
-  schedule.expectation = objective.to_expectation(best_f);
+  schedule.expectation =
+      options.direction == Direction::Maximize ? -best_f : best_f;
   return schedule;
 }
 
@@ -239,9 +359,11 @@ double evaluate_angles(const Mixer& mixer, const dvec& obj_vals,
   FASTQAOA_CHECK(packed.size() % 2 == 0 && !packed.empty(),
                  "evaluate_angles: need 2p angles");
   const int p = static_cast<int>(packed.size() / 2);
-  Qaoa engine(mixer, obj_vals, p);
-  if (phase_values) engine.set_phase_values(*phase_values);
-  return engine.run_packed(packed);
+  QaoaPlanOptions plan_options;
+  if (phase_values) plan_options.phase_values = *phase_values;
+  const QaoaPlan plan(mixer, obj_vals, p, std::move(plan_options));
+  EvalWorkspace ws;
+  return evaluate_packed(plan, ws, packed);
 }
 
 void save_checkpoint(const std::string& path,

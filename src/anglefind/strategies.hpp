@@ -56,6 +56,12 @@ struct FindAnglesOptions {
   /// (empty = no checkpointing).
   std::string checkpoint_file;
   std::uint64_t seed = 0x5EED5EED5EEDULL;
+  /// Number of independent basinhopping chains per round in find_angles()
+  /// / find_angles_at(). Chains share one immutable QaoaPlan and run in an
+  /// OpenMP parallel-for with per-thread workspaces and serially forked RNG
+  /// streams, so the best-of-chains result is identical at any thread
+  /// count. 1 = the classic single-chain behaviour.
+  int parallel_starts = 1;
 };
 
 /// The paper's find_angles(): learn good angles for rounds 1..max_rounds
@@ -72,15 +78,19 @@ AngleSchedule find_angles_at(const Mixer& mixer, const dvec& obj_vals, int p,
                              const FindAnglesOptions& options = {});
 
 /// Random local-minima search (Listing 3's find_angles_rand): `restarts`
-/// random points in [0, 2*pi)^{2p}, BFGS from each, return the best.
+/// random points in [0, 2*pi)^{2p}, BFGS from each, return the best. The
+/// restarts run in an OpenMP parallel-for against one shared QaoaPlan
+/// (start points are drawn serially up front, so the result is identical
+/// at any thread count).
 AngleSchedule find_angles_random(const Mixer& mixer, const dvec& obj_vals,
                                  int p, int restarts,
                                  const FindAnglesOptions& options = {});
 
 /// Grid search over [0, 2*pi)^{2p} — the third common strategy the paper
 /// names (§2.3). `points_per_axis` grid points per angle; every grid point
-/// is evaluated and the best is optionally polished with BFGS. Exponential
-/// in p — practical for p = 1 (the regime [22] used it in).
+/// is evaluated (OpenMP-parallel over the grid, one workspace per thread)
+/// and the best is optionally polished with BFGS. Exponential in p —
+/// practical for p = 1 (the regime [22] used it in).
 AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
                                int p, int points_per_axis,
                                const FindAnglesOptions& options = {},

@@ -5,27 +5,29 @@
 
 namespace fastqaoa {
 
-AdjointDifferentiator::AdjointDifferentiator(Qaoa& qaoa) : qaoa_(&qaoa) {}
-
-double AdjointDifferentiator::value_and_gradient(
-    std::span<const double> betas, std::span<const double> gammas,
-    std::span<double> grad_betas, std::span<double> grad_gammas) {
+double adjoint_value_and_gradient(const QaoaPlan& plan, EvalWorkspace& ws,
+                                  std::span<const double> betas,
+                                  std::span<const double> gammas,
+                                  std::span<double> grad_betas,
+                                  std::span<double> grad_gammas) {
   FASTQAOA_CHECK(grad_betas.size() == betas.size(),
                  "value_and_gradient: grad_betas size mismatch");
   FASTQAOA_CHECK(grad_gammas.size() == gammas.size(),
                  "value_and_gradient: grad_gammas size mismatch");
 
-  // Forward pass (the engine keeps the final state).
-  const double value = qaoa_->run(betas, gammas);
-  psi_ = qaoa_->state();
+  // Forward pass (ws.psi keeps the final state; the reverse sweep unwinds a
+  // copy so callers can still read the optimized state afterwards).
+  const double value = evaluate(plan, ws, betas, gammas);
+  ws.adjoint_psi = ws.psi;
+  cvec& psi = ws.adjoint_psi;
 
   // lambda = C |psi>, with C the *measured* objective.
-  const dvec& obj = qaoa_->objective();
-  lambda_.resize(psi_.size());
-  for (index_t i = 0; i < psi_.size(); ++i) lambda_[i] = obj[i] * psi_[i];
+  const dvec& obj = plan.objective();
+  ws.lambda.resize(psi.size());
+  for (index_t i = 0; i < psi.size(); ++i) ws.lambda[i] = obj[i] * psi[i];
 
-  const dvec& phase = qaoa_->phase_values();
-  const auto& layers = qaoa_->layers();
+  const dvec& phase = plan.phase_values();
+  const auto& layers = plan.layers();
 
   // Reverse sweep: unapply each layer from both psi and lambda, harvesting
   // angle gradients along the way.
@@ -36,32 +38,54 @@ double AdjointDifferentiator::value_and_gradient(
       const Mixer& m = *layer.mixers[j];
       --beta_index;
       // dE/dbeta = 2 Im <lambda| H_M |psi> at the post-mixer-j state.
-      m.apply_ham(psi_, hpsi_, scratch_);
-      grad_betas[beta_index] = 2.0 * linalg::dot(lambda_, hpsi_).imag();
+      m.apply_ham(psi, ws.hpsi, ws.scratch);
+      grad_betas[beta_index] = 2.0 * linalg::dot(ws.lambda, ws.hpsi).imag();
       // Unapply this mixer from both trajectories.
-      m.apply_exp(psi_, -betas[beta_index], scratch_);
-      m.apply_exp(lambda_, -betas[beta_index], scratch_);
+      m.apply_exp(psi, -betas[beta_index], ws.scratch);
+      m.apply_exp(ws.lambda, -betas[beta_index], ws.scratch);
     }
     // dE/dgamma = 2 Im <lambda| H_C |phi> at the post-phase state.
-    grad_gammas[k] = 2.0 * linalg::diag_bracket_imag(lambda_, phase, psi_);
-    linalg::apply_diag_phase(psi_, phase, -gammas[k]);
-    linalg::apply_diag_phase(lambda_, phase, -gammas[k]);
+    grad_gammas[k] = 2.0 * linalg::diag_bracket_imag(ws.lambda, phase, psi);
+    linalg::apply_diag_phase(psi, phase, -gammas[k]);
+    linalg::apply_diag_phase(ws.lambda, phase, -gammas[k]);
   }
   FASTQAOA_ASSERT(beta_index == 0, "adjoint: beta bookkeeping error");
   return value;
 }
 
-double AdjointDifferentiator::value_and_gradient_packed(
-    std::span<const double> angles, std::span<double> grad) {
-  const int p = qaoa_->rounds();
-  FASTQAOA_CHECK(qaoa_->num_betas() == p,
+double adjoint_value_and_gradient_packed(const QaoaPlan& plan,
+                                         EvalWorkspace& ws,
+                                         std::span<const double> angles,
+                                         std::span<double> grad) {
+  const int p = plan.rounds();
+  FASTQAOA_CHECK(plan.num_betas() == p,
                  "value_and_gradient_packed: only for single-mixer rounds");
   FASTQAOA_CHECK(static_cast<int>(angles.size()) == 2 * p &&
                      grad.size() == angles.size(),
                  "value_and_gradient_packed: need 2p angles and gradients");
   const std::size_t sp = static_cast<std::size_t>(p);
-  return value_and_gradient(angles.subspan(0, sp), angles.subspan(sp, sp),
-                            grad.subspan(0, sp), grad.subspan(sp, sp));
+  return adjoint_value_and_gradient(plan, ws, angles.subspan(0, sp),
+                                    angles.subspan(sp, sp),
+                                    grad.subspan(0, sp), grad.subspan(sp, sp));
+}
+
+AdjointDifferentiator::AdjointDifferentiator(Qaoa& qaoa)
+    : plan_(&qaoa.plan()), ws_(&qaoa.workspace()) {}
+
+AdjointDifferentiator::AdjointDifferentiator(const QaoaPlan& plan,
+                                             EvalWorkspace& ws)
+    : plan_(&plan), ws_(&ws) {}
+
+double AdjointDifferentiator::value_and_gradient(
+    std::span<const double> betas, std::span<const double> gammas,
+    std::span<double> grad_betas, std::span<double> grad_gammas) {
+  return adjoint_value_and_gradient(*plan_, *ws_, betas, gammas, grad_betas,
+                                    grad_gammas);
+}
+
+double AdjointDifferentiator::value_and_gradient_packed(
+    std::span<const double> angles, std::span<double> grad) {
+  return adjoint_value_and_gradient_packed(*plan_, *ws_, angles, grad);
 }
 
 }  // namespace fastqaoa

@@ -14,23 +14,48 @@
 /// which costs a small constant multiple of one forward evaluation,
 /// independent of p — versus the 2p+1 evaluations of central finite
 /// differences (Fig. 5 of the paper).
+///
+/// The core entry points are free functions over (const QaoaPlan&,
+/// EvalWorkspace&) — all mutable state lives in the caller's workspace, so
+/// gradients of one shared plan can be computed from many threads
+/// concurrently. AdjointDifferentiator is a thin binder kept for callers
+/// that hold a Qaoa engine.
 
 #include <span>
 
+#include "core/plan.hpp"
 #include "core/qaoa.hpp"
 
 namespace fastqaoa {
 
-/// Reverse-mode differentiator bound to a Qaoa engine. Owns its work
-/// buffers; safe to reuse across many gradient evaluations (the BFGS inner
-/// loop) without allocation.
+/// Evaluate E(betas, gammas) on (plan, ws) and write dE/dbeta into
+/// grad_betas and dE/dgamma into grad_gammas. Span sizes must match
+/// plan.num_betas() / plan.num_gammas(). Returns E. Leaves ws.psi holding
+/// the final statevector (the reverse sweep unwinds a copy). Allocation-free
+/// after the workspace buffers have warmed up.
+double adjoint_value_and_gradient(const QaoaPlan& plan, EvalWorkspace& ws,
+                                  std::span<const double> betas,
+                                  std::span<const double> gammas,
+                                  std::span<double> grad_betas,
+                                  std::span<double> grad_gammas);
+
+/// Packed variant: angles = [betas..., gammas...], grad laid out the same
+/// way (only valid for single-mixer rounds, like evaluate_packed).
+double adjoint_value_and_gradient_packed(const QaoaPlan& plan,
+                                         EvalWorkspace& ws,
+                                         std::span<const double> angles,
+                                         std::span<double> grad);
+
+/// Reverse-mode differentiator bound to a plan + workspace (or to a Qaoa
+/// engine's pair). Work buffers live in the workspace, so the binder itself
+/// is stateless and safe to recreate freely.
 class AdjointDifferentiator {
  public:
   explicit AdjointDifferentiator(Qaoa& qaoa);
+  AdjointDifferentiator(const QaoaPlan& plan, EvalWorkspace& ws);
 
   /// Evaluate E(betas, gammas) and write dE/dbeta into grad_betas and
-  /// dE/dgamma into grad_gammas. Span sizes must match
-  /// qaoa.num_betas() / qaoa.num_gammas(). Returns E.
+  /// dE/dgamma into grad_gammas. Returns E.
   double value_and_gradient(std::span<const double> betas,
                             std::span<const double> gammas,
                             std::span<double> grad_betas,
@@ -42,11 +67,8 @@ class AdjointDifferentiator {
                                    std::span<double> grad);
 
  private:
-  Qaoa* qaoa_;
-  cvec psi_;
-  cvec lambda_;
-  cvec hpsi_;
-  cvec scratch_;
+  const QaoaPlan* plan_;
+  EvalWorkspace* ws_;
 };
 
 }  // namespace fastqaoa

@@ -6,14 +6,20 @@ namespace fastqaoa {
 
 FiniteDiffDifferentiator::FiniteDiffDifferentiator(Qaoa& qaoa, FdScheme scheme,
                                                    double step)
-    : qaoa_(&qaoa), scheme_(scheme), step_(step) {
+    : FiniteDiffDifferentiator(qaoa.plan(), qaoa.workspace(), scheme, step) {}
+
+FiniteDiffDifferentiator::FiniteDiffDifferentiator(const QaoaPlan& plan,
+                                                   EvalWorkspace& ws,
+                                                   FdScheme scheme,
+                                                   double step)
+    : plan_(&plan), ws_(&ws), scheme_(scheme), step_(step) {
   FASTQAOA_CHECK(step > 0.0, "FiniteDiffDifferentiator: step must be > 0");
 }
 
-double FiniteDiffDifferentiator::evaluate(std::span<const double> betas,
-                                          std::span<const double> gammas) {
+double FiniteDiffDifferentiator::do_evaluate(std::span<const double> betas,
+                                             std::span<const double> gammas) {
   ++evals_;
-  return qaoa_->run(betas, gammas);
+  return evaluate(*plan_, *ws_, betas, gammas);
 }
 
 double FiniteDiffDifferentiator::value_and_gradient(
@@ -26,20 +32,20 @@ double FiniteDiffDifferentiator::value_and_gradient(
   work_betas_.assign(betas.begin(), betas.end());
   work_gammas_.assign(gammas.begin(), gammas.end());
 
-  const double value = evaluate(work_betas_, work_gammas_);
+  const double value = do_evaluate(work_betas_, work_gammas_);
 
   auto differentiate = [&](std::vector<double>& angles, std::size_t i) {
     const double saved = angles[i];
     double derivative = 0.0;
     if (scheme_ == FdScheme::Central) {
       angles[i] = saved + step_;
-      const double plus = evaluate(work_betas_, work_gammas_);
+      const double plus = do_evaluate(work_betas_, work_gammas_);
       angles[i] = saved - step_;
-      const double minus = evaluate(work_betas_, work_gammas_);
+      const double minus = do_evaluate(work_betas_, work_gammas_);
       derivative = (plus - minus) / (2.0 * step_);
     } else {
       angles[i] = saved + step_;
-      const double plus = evaluate(work_betas_, work_gammas_);
+      const double plus = do_evaluate(work_betas_, work_gammas_);
       derivative = (plus - value) / step_;
     }
     angles[i] = saved;
@@ -57,8 +63,8 @@ double FiniteDiffDifferentiator::value_and_gradient(
 
 double FiniteDiffDifferentiator::value_and_gradient_packed(
     std::span<const double> angles, std::span<double> grad) {
-  const int p = qaoa_->rounds();
-  FASTQAOA_CHECK(qaoa_->num_betas() == p,
+  const int p = plan_->rounds();
+  FASTQAOA_CHECK(plan_->num_betas() == p,
                  "value_and_gradient_packed: only for single-mixer rounds");
   FASTQAOA_CHECK(static_cast<int>(angles.size()) == 2 * p &&
                      grad.size() == angles.size(),

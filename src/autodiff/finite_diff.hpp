@@ -7,7 +7,9 @@
 /// adjoint path closes.
 
 #include <span>
+#include <vector>
 
+#include "core/plan.hpp"
 #include "core/qaoa.hpp"
 
 namespace fastqaoa {
@@ -18,14 +20,19 @@ enum class FdScheme {
   Forward,  ///< (E(x+h) - E(x)) / h   — O(h) accurate, 1 eval per angle
 };
 
-/// Finite-difference differentiator bound to a Qaoa engine; mirrors
-/// AdjointDifferentiator's interface so optimizers can swap gradient
-/// providers (Fig. 5 harness does exactly that).
+/// Finite-difference differentiator bound to a plan + workspace (or a Qaoa
+/// engine's pair); mirrors AdjointDifferentiator's interface so optimizers
+/// can swap gradient providers (Fig. 5 harness does exactly that). The
+/// angle work vectors are per-instance, so use one differentiator per
+/// thread (sharing the plan is fine).
 class FiniteDiffDifferentiator {
  public:
   explicit FiniteDiffDifferentiator(Qaoa& qaoa,
                                     FdScheme scheme = FdScheme::Central,
                                     double step = 1e-6);
+  FiniteDiffDifferentiator(const QaoaPlan& plan, EvalWorkspace& ws,
+                           FdScheme scheme = FdScheme::Central,
+                           double step = 1e-6);
 
   /// Evaluate E and the full 2p gradient by repeated expectation calls.
   double value_and_gradient(std::span<const double> betas,
@@ -43,10 +50,11 @@ class FiniteDiffDifferentiator {
   void reset_evaluations() noexcept { evals_ = 0; }
 
  private:
-  double evaluate(std::span<const double> betas,
-                  std::span<const double> gammas);
+  double do_evaluate(std::span<const double> betas,
+                     std::span<const double> gammas);
 
-  Qaoa* qaoa_;
+  const QaoaPlan* plan_;
+  EvalWorkspace* ws_;
   FdScheme scheme_;
   double step_;
   std::size_t evals_ = 0;

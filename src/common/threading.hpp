@@ -27,4 +27,25 @@ inline int thread_id() noexcept {
 #endif
 }
 
+/// Set the default OpenMP team size for subsequent parallel regions
+/// (no-op without OpenMP). Used by qaoa_cli's --threads flag and the
+/// scaling bench.
+inline void set_num_threads(int n) noexcept {
+#ifdef _OPENMP
+  if (n >= 1) omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// Whether the caller is already inside an active parallel region (nested
+/// regions then run serially by default).
+inline bool in_parallel() noexcept {
+#ifdef _OPENMP
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
 }  // namespace fastqaoa

@@ -1,0 +1,119 @@
+#include "core/plan.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace fastqaoa {
+
+namespace {
+
+std::vector<MixerLayer> repeat_layer(const Mixer& mixer, int rounds) {
+  FASTQAOA_CHECK(rounds >= 1, "QaoaPlan: need at least one round");
+  std::vector<MixerLayer> layers(static_cast<std::size_t>(rounds));
+  for (auto& layer : layers) layer.mixers = {&mixer};
+  return layers;
+}
+
+std::vector<MixerLayer> one_per_round(const std::vector<const Mixer*>& ms) {
+  FASTQAOA_CHECK(!ms.empty(), "QaoaPlan: need at least one round");
+  std::vector<MixerLayer> layers(ms.size());
+  for (std::size_t i = 0; i < ms.size(); ++i) layers[i].mixers = {ms[i]};
+  return layers;
+}
+
+}  // namespace
+
+QaoaPlan::QaoaPlan(std::vector<MixerLayer> layers, dvec obj_vals,
+                   QaoaPlanOptions options)
+    : layers_(std::move(layers)), obj_vals_(std::move(obj_vals)) {
+  validate_and_finalize(std::move(options));
+}
+
+QaoaPlan::QaoaPlan(const Mixer& mixer, dvec obj_vals, int rounds,
+                   QaoaPlanOptions options)
+    : QaoaPlan(repeat_layer(mixer, rounds), std::move(obj_vals),
+               std::move(options)) {}
+
+QaoaPlan::QaoaPlan(std::vector<const Mixer*> round_mixers, dvec obj_vals,
+                   QaoaPlanOptions options)
+    : QaoaPlan(one_per_round(round_mixers), std::move(obj_vals),
+               std::move(options)) {}
+
+void QaoaPlan::validate_and_finalize(QaoaPlanOptions options) {
+  FASTQAOA_CHECK(!layers_.empty(), "QaoaPlan: need at least one round");
+  FASTQAOA_CHECK(!obj_vals_.empty(), "QaoaPlan: empty objective table");
+  for (const MixerLayer& layer : layers_) {
+    FASTQAOA_CHECK(!layer.mixers.empty(),
+                   "QaoaPlan: every round needs at least one mixer");
+    for (const Mixer* m : layer.mixers) {
+      FASTQAOA_CHECK(m != nullptr, "QaoaPlan: null mixer");
+      FASTQAOA_CHECK(
+          m->dim() == obj_vals_.size(),
+          "QaoaPlan: mixer dimension does not match objective table — "
+          "did you tabulate over the wrong feasible set?");
+    }
+    num_betas_ += static_cast<int>(layer.mixers.size());
+  }
+
+  if (options.phase_values) {
+    FASTQAOA_CHECK(options.phase_values->size() == dim(),
+                   "QaoaPlan: phase table dimension mismatch");
+    phase_vals_ = std::move(*options.phase_values);
+  }
+
+  if (options.initial_state) {
+    FASTQAOA_CHECK(options.initial_state->size() == dim(),
+                   "QaoaPlan: initial state dimension mismatch");
+    const double nrm = linalg::norm(*options.initial_state);
+    FASTQAOA_CHECK(std::abs(nrm - 1.0) < 1e-8,
+                   "QaoaPlan: initial state must be unit norm");
+    psi0_ = std::move(*options.initial_state);
+    custom_psi0_ = true;
+  } else {
+    // Eager uniform-superposition default: building |ψ0> here (instead of
+    // lazily on first use) is what makes evaluation truly const.
+    psi0_.resize(dim());
+    const double amp = 1.0 / std::sqrt(static_cast<double>(dim()));
+    linalg::fill(psi0_, cplx{amp, 0.0});
+  }
+}
+
+void EvalWorkspace::reserve(const QaoaPlan& plan) {
+  psi.reserve(plan.dim());
+  scratch.reserve(plan.dim());
+}
+
+double evaluate(const QaoaPlan& plan, EvalWorkspace& ws,
+                std::span<const double> betas,
+                std::span<const double> gammas) {
+  FASTQAOA_CHECK(static_cast<int>(betas.size()) == plan.num_betas(),
+                 "evaluate: wrong number of beta angles");
+  FASTQAOA_CHECK(static_cast<int>(gammas.size()) == plan.num_gammas(),
+                 "evaluate: wrong number of gamma angles");
+  ws.psi = plan.initial_state();
+  const dvec& phase = plan.phase_values();
+  const auto& layers = plan.layers();
+  std::size_t beta_index = 0;
+  for (std::size_t k = 0; k < layers.size(); ++k) {
+    linalg::apply_diag_phase(ws.psi, phase, gammas[k]);
+    for (const Mixer* m : layers[k].mixers) {
+      m->apply_exp(ws.psi, betas[beta_index++], ws.scratch);
+    }
+  }
+  ws.expectation = linalg::diag_expectation(plan.objective(), ws.psi);
+  return ws.expectation;
+}
+
+double evaluate_packed(const QaoaPlan& plan, EvalWorkspace& ws,
+                       std::span<const double> angles) {
+  FASTQAOA_CHECK(plan.num_betas() == plan.rounds(),
+                 "evaluate_packed: only valid for single-mixer rounds");
+  FASTQAOA_CHECK(static_cast<int>(angles.size()) == 2 * plan.rounds(),
+                 "evaluate_packed: need 2p angles (betas then gammas)");
+  const std::size_t p = static_cast<std::size_t>(plan.rounds());
+  return evaluate(plan, ws, angles.subspan(0, p), angles.subspan(p, p));
+}
+
+}  // namespace fastqaoa

@@ -1,134 +1,68 @@
 #include "core/qaoa.hpp"
 
-#include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace fastqaoa {
 
-Qaoa::Qaoa(std::vector<MixerLayer> layers, dvec obj_vals)
-    : layers_(std::move(layers)),
-      obj_vals_(std::move(obj_vals)),
-      phase_vals_(&obj_vals_) {
-  validate_layers();
-  psi_.resize(dim());
-  for (const MixerLayer& layer : layers_) {
-    num_betas_ += static_cast<int>(layer.mixers.size());
-  }
-}
-
-namespace {
-
-std::vector<MixerLayer> repeat_layer(const Mixer& mixer, int rounds) {
-  FASTQAOA_CHECK(rounds >= 1, "Qaoa: need at least one round");
-  std::vector<MixerLayer> layers(static_cast<std::size_t>(rounds));
-  for (auto& layer : layers) layer.mixers = {&mixer};
-  return layers;
-}
-
-std::vector<MixerLayer> one_per_round(const std::vector<const Mixer*>& ms) {
-  FASTQAOA_CHECK(!ms.empty(), "Qaoa: need at least one round");
-  std::vector<MixerLayer> layers(ms.size());
-  for (std::size_t i = 0; i < ms.size(); ++i) layers[i].mixers = {ms[i]};
-  return layers;
-}
-
-}  // namespace
-
 Qaoa::Qaoa(const Mixer& mixer, dvec obj_vals, int rounds)
-    : Qaoa(repeat_layer(mixer, rounds), std::move(obj_vals)) {}
+    : plan_(mixer, std::move(obj_vals), rounds) {}
 
 Qaoa::Qaoa(std::vector<const Mixer*> round_mixers, dvec obj_vals)
-    : Qaoa(one_per_round(round_mixers), std::move(obj_vals)) {}
+    : plan_(std::move(round_mixers), std::move(obj_vals)) {}
 
-void Qaoa::validate_layers() const {
-  FASTQAOA_CHECK(!layers_.empty(), "Qaoa: need at least one round");
-  FASTQAOA_CHECK(!obj_vals_.empty(), "Qaoa: empty objective table");
-  for (const MixerLayer& layer : layers_) {
-    FASTQAOA_CHECK(!layer.mixers.empty(),
-                   "Qaoa: every round needs at least one mixer");
-    for (const Mixer* m : layer.mixers) {
-      FASTQAOA_CHECK(m != nullptr, "Qaoa: null mixer");
-      FASTQAOA_CHECK(m->dim() == obj_vals_.size(),
-                     "Qaoa: mixer dimension does not match objective table — "
-                     "did you tabulate over the wrong feasible set?");
-    }
-  }
-}
+Qaoa::Qaoa(std::vector<MixerLayer> layers, dvec obj_vals)
+    : plan_(std::move(layers), std::move(obj_vals)) {}
+
+Qaoa::Qaoa(QaoaPlan plan) : plan_(std::move(plan)) {}
 
 void Qaoa::set_initial_state(cvec psi0) {
-  FASTQAOA_CHECK(psi0.size() == dim(),
-                 "set_initial_state: dimension mismatch");
-  const double nrm = linalg::norm(psi0);
-  FASTQAOA_CHECK(std::abs(nrm - 1.0) < 1e-8,
-                 "set_initial_state: state must be unit norm");
-  psi0_ = std::move(psi0);
+  QaoaPlanOptions options;
+  options.initial_state = std::move(psi0);
+  if (plan_.has_custom_phase()) options.phase_values = plan_.phase_values();
+  plan_ = QaoaPlan(plan_.layers(), plan_.objective(), std::move(options));
 }
 
 void Qaoa::set_phase_values(dvec phase_vals) {
-  FASTQAOA_CHECK(phase_vals.size() == dim(),
-                 "set_phase_values: dimension mismatch");
-  phase_vals_storage_ = std::move(phase_vals);
-  phase_vals_ = &phase_vals_storage_;
-}
-
-const cvec& Qaoa::initial_state() const {
-  if (!psi0_.empty()) return psi0_;
-  // Lazily build the uniform default once.
-  psi0_.assign(dim(), cplx{0.0, 0.0});
-  const double amp = 1.0 / std::sqrt(static_cast<double>(dim()));
-  linalg::fill(psi0_, cplx{amp, 0.0});
-  return psi0_;
+  QaoaPlanOptions options;
+  options.phase_values = std::move(phase_vals);
+  if (plan_.has_custom_initial_state()) {
+    options.initial_state = plan_.initial_state();
+  }
+  plan_ = QaoaPlan(plan_.layers(), plan_.objective(), std::move(options));
 }
 
 double Qaoa::run(std::span<const double> betas,
                  std::span<const double> gammas) {
-  FASTQAOA_CHECK(static_cast<int>(betas.size()) == num_betas_,
-                 "Qaoa::run: wrong number of beta angles");
-  FASTQAOA_CHECK(static_cast<int>(gammas.size()) == rounds(),
-                 "Qaoa::run: wrong number of gamma angles");
-  psi_ = initial_state();
-  std::size_t beta_index = 0;
-  for (std::size_t k = 0; k < layers_.size(); ++k) {
-    linalg::apply_diag_phase(psi_, *phase_vals_, gammas[k]);
-    for (const Mixer* m : layers_[k].mixers) {
-      m->apply_exp(psi_, betas[beta_index++], scratch_);
-    }
-  }
-  expectation_ = linalg::diag_expectation(obj_vals_, psi_);
-  return expectation_;
+  return evaluate(plan_, ws_, betas, gammas);
 }
 
 double Qaoa::run_packed(std::span<const double> angles) {
-  FASTQAOA_CHECK(num_betas_ == rounds(),
-                 "run_packed: only valid for single-mixer rounds");
-  FASTQAOA_CHECK(static_cast<int>(angles.size()) == 2 * rounds(),
-                 "run_packed: need 2p angles (betas then gammas)");
-  const std::size_t p = static_cast<std::size_t>(rounds());
-  return run(angles.subspan(0, p), angles.subspan(p, p));
+  return evaluate_packed(plan_, ws_, angles);
 }
 
 double Qaoa::ground_state_probability(Direction direction) const {
-  const ObjectiveStats stats = objective_stats(obj_vals_);
+  const ObjectiveStats stats = objective_stats(plan_.objective());
   const double target =
       direction == Direction::Maximize ? stats.max_value : stats.min_value;
-  return linalg::probability_at_value(obj_vals_, psi_, target);
+  return linalg::probability_at_value(plan_.objective(), ws_.psi, target);
 }
 
 double Qaoa::probability_of_value(double value) const {
-  return linalg::probability_at_value(obj_vals_, psi_, value);
+  return linalg::probability_at_value(plan_.objective(), ws_.psi, value);
 }
 
 double Qaoa::expectation_of(const dvec& observable) const {
   FASTQAOA_CHECK(observable.size() == dim(),
                  "expectation_of: observable size mismatch");
-  return linalg::diag_expectation(observable, psi_);
+  return linalg::diag_expectation(observable, ws_.psi);
 }
 
 cplx Qaoa::amplitude(index_t i) const {
-  FASTQAOA_CHECK(i < psi_.size(), "amplitude: index out of range");
-  return psi_[i];
+  FASTQAOA_CHECK(i < ws_.psi.size(), "amplitude: index out of range");
+  return ws_.psi[i];
 }
 
 SimResult simulate(std::span<const double> angles, const Mixer& mixer,

@@ -1,11 +1,13 @@
 #pragma once
 /// \file qaoa.hpp
-/// The QAOA statevector engine (paper §2.2). A Qaoa object binds a
-/// precomputed objective table to a mixer schedule, pre-allocates every
-/// buffer once, and then evaluates
+/// The QAOA statevector engine (paper §2.2), now a thin compatibility
+/// facade over the QaoaPlan / EvalWorkspace split (see core/plan.hpp). A
+/// Qaoa object owns one immutable plan plus one workspace and evaluates
 ///   |β,γ> = e^{-iβ_p H_M} e^{-iγ_p H_C} ... e^{-iβ_1 H_M} e^{-iγ_1 H_C} |ψ0>
 /// with functionally zero per-call overhead — the property the angle-finding
-/// outer loop leans on.
+/// outer loop leans on. Code that wants to share one precomputation across
+/// threads should use QaoaPlan + per-thread EvalWorkspace directly; this
+/// class exists so single-threaded callers keep the familiar API.
 ///
 /// Flexibility knobs (paper §3):
 ///  * per-round mixer schedules (array of p mixers),
@@ -18,18 +20,15 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/plan.hpp"
 #include "mixers/mixer.hpp"
 #include "problems/objective.hpp"
 
 namespace fastqaoa {
 
-/// One QAOA round applies the phase separator once, then each mixer in the
-/// layer in order, each consuming its own β angle.
-struct MixerLayer {
-  std::vector<const Mixer*> mixers;
-};
-
-/// Reusable QAOA evaluation engine.
+/// Reusable QAOA evaluation engine: an owned QaoaPlan plus one
+/// EvalWorkspace. Not thread-safe as a whole (the workspace is mutable
+/// state); share plan() across threads instead.
 class Qaoa {
  public:
   /// Same mixer every round, for `rounds` rounds (the common case).
@@ -42,39 +41,56 @@ class Qaoa {
   /// round k, each taking its own β.
   Qaoa(std::vector<MixerLayer> layers, dvec obj_vals);
 
-  /// Number of rounds p.
-  [[nodiscard]] int rounds() const noexcept {
-    return static_cast<int>(layers_.size());
-  }
-  /// Total number of β angles (= p for single-mixer layers).
-  [[nodiscard]] int num_betas() const noexcept { return num_betas_; }
-  /// Total number of γ angles (= p).
-  [[nodiscard]] int num_gammas() const noexcept { return rounds(); }
-  /// Hilbert-space (feasible subspace) dimension.
-  [[nodiscard]] index_t dim() const noexcept { return obj_vals_.size(); }
+  /// Wrap an existing plan (copied; plans are cheap relative to evaluation).
+  explicit Qaoa(QaoaPlan plan);
 
-  [[nodiscard]] const dvec& objective() const noexcept { return obj_vals_; }
+  /// Number of rounds p.
+  [[nodiscard]] int rounds() const noexcept { return plan_.rounds(); }
+  /// Total number of β angles (= p for single-mixer layers).
+  [[nodiscard]] int num_betas() const noexcept { return plan_.num_betas(); }
+  /// Total number of γ angles (= p).
+  [[nodiscard]] int num_gammas() const noexcept { return plan_.num_gammas(); }
+  /// Hilbert-space (feasible subspace) dimension.
+  [[nodiscard]] index_t dim() const noexcept { return plan_.dim(); }
+
+  [[nodiscard]] const dvec& objective() const noexcept {
+    return plan_.objective();
+  }
   [[nodiscard]] const dvec& phase_values() const noexcept {
-    return *phase_vals_;
+    return plan_.phase_values();
   }
   [[nodiscard]] const std::vector<MixerLayer>& layers() const noexcept {
-    return layers_;
+    return plan_.layers();
   }
 
+  /// The immutable plan backing this engine. Safe to evaluate from other
+  /// threads (with their own workspaces) while this engine exists — but
+  /// note set_initial_state()/set_phase_values() rebuild the plan in place,
+  /// so do not mutate the engine while the plan is shared.
+  [[nodiscard]] const QaoaPlan& plan() const noexcept { return plan_; }
+
+  /// This engine's own workspace (adjoint/finite-diff helpers bind to it).
+  [[nodiscard]] EvalWorkspace& workspace() noexcept { return ws_; }
+  [[nodiscard]] const EvalWorkspace& workspace() const noexcept { return ws_; }
+
   /// Override the |ψ0> = uniform-superposition default (warm starts).
-  /// The vector must be unit-norm and of dimension dim().
+  /// The vector must be unit-norm and of dimension dim(). Rebuilds the plan.
   void set_initial_state(cvec psi0);
 
   /// Use a phase-separator table different from the measured objective —
-  /// e.g. threshold_indicator(obj_vals, t) for threshold QAOA.
+  /// e.g. threshold_indicator(obj_vals, t) for threshold QAOA. Rebuilds the
+  /// plan.
   void set_phase_values(dvec phase_vals);
 
-  /// The initial state this engine starts from.
-  [[nodiscard]] const cvec& initial_state() const;
+  /// The initial state this engine starts from (built eagerly at
+  /// construction).
+  [[nodiscard]] const cvec& initial_state() const noexcept {
+    return plan_.initial_state();
+  }
 
   /// Evolve the ansatz and return <C>. betas.size() must equal num_betas(),
   /// gammas.size() must equal num_gammas(). The statevector stays in the
-  /// internal buffer — read it via state().
+  /// workspace buffer — read it via state().
   double run(std::span<const double> betas, std::span<const double> gammas);
 
   /// Paper-style packed angles: angles[0..p) = betas, angles[p..2p) = gammas
@@ -82,10 +98,10 @@ class Qaoa {
   double run_packed(std::span<const double> angles);
 
   /// Statevector after the last run().
-  [[nodiscard]] const cvec& state() const noexcept { return psi_; }
+  [[nodiscard]] const cvec& state() const noexcept { return ws_.psi; }
 
   /// <C> of the last run().
-  [[nodiscard]] double expectation() const noexcept { return expectation_; }
+  [[nodiscard]] double expectation() const noexcept { return ws_.expectation; }
 
   /// Probability mass on optimal states after the last run(): maximizers by
   /// default, minimizers for Direction::Minimize.
@@ -104,18 +120,8 @@ class Qaoa {
   [[nodiscard]] cplx amplitude(index_t i) const;
 
  private:
-  void validate_layers() const;
-
-  std::vector<MixerLayer> layers_;
-  dvec obj_vals_;
-  dvec phase_vals_storage_;   ///< used when a custom phase table is set
-  const dvec* phase_vals_;    ///< points at obj_vals_ or the custom table
-  mutable cvec psi0_;         ///< empty = uniform superposition default,
-                              ///< built lazily on first use
-  cvec psi_;
-  cvec scratch_;
-  double expectation_ = 0.0;
-  int num_betas_ = 0;
+  QaoaPlan plan_;
+  EvalWorkspace ws_;
 };
 
 /// Result of a one-shot simulate() call (the paper's Listing 1 object):

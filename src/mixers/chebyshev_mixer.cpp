@@ -1,12 +1,52 @@
 #include "mixers/chebyshev_mixer.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "linalg/lanczos.hpp"
-#include "linalg/vector_ops.hpp"
 
 namespace fastqaoa {
+
+namespace {
+
+/// All Bessel J_k(x), k = 0..nmax, by Miller's backward recurrence with the
+/// J_0 + 2 J_2 + 2 J_4 + ... = 1 normalization. Pure arithmetic — unlike
+/// std::cyl_bessel_j, whose libstdc++ implementation routes through
+/// lgamma() and races on the global `signgam` under concurrent callers.
+void bessel_j_sequence(double x, int nmax, double* out) {
+  for (int k = 0; k <= nmax; ++k) out[k] = 0.0;
+  if (x <= 0.0) {
+    out[0] = 1.0;
+    return;
+  }
+  // Start the downward recurrence far enough above both nmax and x that
+  // the arbitrary seed has decayed to pure J_k by the time we store.
+  const int base = std::max(nmax, static_cast<int>(x) + 1);
+  int start = base + 16 + static_cast<int>(std::sqrt(60.0 * base));
+  if (start % 2 != 0) ++start;
+
+  double j_up = 0.0;    // J_{k+1} (seed scale)
+  double j_cur = 1e-30; // J_k
+  double norm = 0.0;    // J_0 + 2 sum_{even k >= 2} J_k, same scale
+  for (int k = start; k >= 1; --k) {
+    const double j_down = 2.0 * k / x * j_cur - j_up;
+    j_up = j_cur;
+    j_cur = j_down;
+    if (k - 1 <= nmax) out[k - 1] = j_cur;
+    if ((k - 1) % 2 == 0) norm += (k == 1) ? j_cur : 2.0 * j_cur;
+    if (std::abs(j_cur) > 1e150) {  // renormalize before overflow
+      j_cur *= 1e-150;
+      j_up *= 1e-150;
+      norm *= 1e-150;
+      for (int i = std::min(k - 1, nmax); i <= nmax; ++i) out[i] *= 1e-150;
+    }
+  }
+  const double inv = 1.0 / norm;
+  for (int k = 0; k <= nmax; ++k) out[k] *= inv;
+}
+
+}  // namespace
 
 ChebyshevMixer::ChebyshevMixer(std::shared_ptr<const SparseXYOperator> op,
                                double tolerance, int max_degree)
@@ -14,6 +54,38 @@ ChebyshevMixer::ChebyshevMixer(std::shared_ptr<const SparseXYOperator> op,
   FASTQAOA_CHECK(op_ != nullptr, "ChebyshevMixer: null operator");
   FASTQAOA_CHECK(tolerance > 0.0, "ChebyshevMixer: tolerance must be > 0");
   FASTQAOA_CHECK(max_degree >= 1, "ChebyshevMixer: max_degree must be >= 1");
+}
+
+ChebyshevMixer::ChebyshevMixer(const ChebyshevMixer& other)
+    : op_(other.op_),
+      tolerance_(other.tolerance_),
+      max_degree_(other.max_degree_),
+      bound_override_(other.bound_override_),
+      last_degree_(other.last_degree()) {}
+
+ChebyshevMixer::ChebyshevMixer(ChebyshevMixer&& other) noexcept
+    : op_(std::move(other.op_)),
+      tolerance_(other.tolerance_),
+      max_degree_(other.max_degree_),
+      bound_override_(other.bound_override_),
+      last_degree_(other.last_degree()) {}
+
+ChebyshevMixer& ChebyshevMixer::operator=(const ChebyshevMixer& other) {
+  op_ = other.op_;
+  tolerance_ = other.tolerance_;
+  max_degree_ = other.max_degree_;
+  bound_override_ = other.bound_override_;
+  last_degree_.store(other.last_degree(), std::memory_order_relaxed);
+  return *this;
+}
+
+ChebyshevMixer& ChebyshevMixer::operator=(ChebyshevMixer&& other) noexcept {
+  op_ = std::move(other.op_);
+  tolerance_ = other.tolerance_;
+  max_degree_ = other.max_degree_;
+  bound_override_ = other.bound_override_;
+  last_degree_.store(other.last_degree(), std::memory_order_relaxed);
+  return *this;
 }
 
 ChebyshevMixer ChebyshevMixer::clique(const StateSpace& space,
@@ -47,35 +119,64 @@ double ChebyshevMixer::tighten_spectral_bound(Rng& rng) {
 }
 
 void ChebyshevMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
-  (void)scratch;
   FASTQAOA_CHECK(psi.size() == dim(), "ChebyshevMixer: state size mismatch");
+  // The whole recurrence runs inside the caller's scratch (four dim-sized
+  // sub-buffers), so concurrent calls on one shared mixer stay independent
+  // — the thread-compatibility contract of mixer.hpp.
+  const index_t d = dim();
   const double r = spectral_bound();
   const double z = beta * r;
   const double az = std::abs(z);
+
+  // Coefficient orders actually reachable: the tail past k ~ |z| decays
+  // superexponentially, so |z| plus an O(|z|^{1/3}) transition margin
+  // covers any sane tolerance long before max_degree_.
+  const int navail = std::min(
+      max_degree_, static_cast<int>(std::ceil(az)) + 60 +
+                       static_cast<int>(12.0 * std::cbrt(az)));
+
+  // Carve everything out of the caller's scratch: four dim-sized recurrence
+  // buffers plus the Bessel coefficient table (doubles packed into cplx
+  // slots via the std::complex array-compatibility guarantee).
+  const index_t coeff_slots = static_cast<index_t>(navail) / 2 + 1;
+  if (scratch.size() < 4 * d + coeff_slots) scratch.resize(4 * d + coeff_slots);
+  cplx* t_prev = scratch.data();
+  cplx* t_cur = scratch.data() + d;
+  cplx* t_next = scratch.data() + 2 * d;
+  cplx* accum = scratch.data() + 3 * d;
+  double* bessel = reinterpret_cast<double*>(scratch.data() + 4 * d);
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(d);
 
   // Bessel coefficients: e^{-i z x} = J_0(z) + 2 sum (-i)^k J_k(z) T_k(x)
   // for x in [-1, 1]; for z < 0 use J_k(-z) = (-1)^k J_k(z), i.e. flip the
   // sign of the imaginary unit.
   const cplx unit = z >= 0.0 ? cplx{0.0, -1.0} : cplx{0.0, 1.0};
+  bessel_j_sequence(az, navail, bessel);
 
-  // T_0 term.
-  t_cur_ = psi;                        // T_0(H~) psi = psi
-  accum_.assign(dim(), cplx{0.0, 0.0});
-  const double j0 = std::cyl_bessel_j(0.0, az);
-  linalg::axpy(cplx{j0, 0.0}, t_cur_, accum_);
+  // T_0 term: T_0(H~) psi = psi.
+  const double j0 = bessel[0];
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    t_cur[i] = psi[static_cast<index_t>(i)];
+    accum[i] = j0 * t_cur[i];
+  }
 
   // T_1 term: T_1(H~) psi = (H/r) psi.
-  op_->apply(t_cur_, t_next_);
-  linalg::scale(t_next_, cplx{1.0 / r, 0.0});
-  t_prev_ = std::move(t_cur_);
-  t_cur_ = std::move(t_next_);
+  op_->apply(t_cur, t_next);
+  const double inv_r = 1.0 / r;
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) t_next[i] *= inv_r;
+  std::swap(t_prev, t_cur);
+  std::swap(t_cur, t_next);
   cplx phase = unit;  // (-i)^1
   int consecutive_small = 0;
   int k = 1;
-  for (; k <= max_degree_; ++k) {
-    const double jk = std::cyl_bessel_j(static_cast<double>(k), az);
+  for (; k <= navail; ++k) {
+    const double jk = bessel[k];
     if (std::abs(2.0 * jk) > tolerance_) {
-      linalg::axpy(2.0 * jk * phase, t_cur_, accum_);
+      const cplx coeff = 2.0 * jk * phase;
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t i = 0; i < sz; ++i) accum[i] += coeff * t_cur[i];
       consecutive_small = 0;
     } else if (static_cast<double>(k) > az) {
       // Past the turning point k ~ |z| the Bessel tail decays
@@ -84,25 +185,23 @@ void ChebyshevMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
       if (++consecutive_small >= 4) break;
     }
     // T_{k+1} = 2 H~ T_k - T_{k-1}.
-    t_next_.resize(dim());
-    op_->apply(t_cur_, t_next_);
-    const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(dim());
-    const double inv_r = 1.0 / r;
+    op_->apply(t_cur, t_next);
 #pragma omp parallel for schedule(static)
     for (std::ptrdiff_t i = 0; i < sz; ++i) {
-      t_next_[static_cast<index_t>(i)] =
-          2.0 * inv_r * t_next_[static_cast<index_t>(i)] -
-          t_prev_[static_cast<index_t>(i)];
+      t_next[i] = 2.0 * inv_r * t_next[i] - t_prev[i];
     }
-    std::swap(t_prev_, t_cur_);
-    std::swap(t_cur_, t_next_);
+    std::swap(t_prev, t_cur);
+    std::swap(t_cur, t_next);
     phase *= unit;
   }
-  FASTQAOA_CHECK(k <= max_degree_,
+  FASTQAOA_CHECK(k <= navail,
                  "ChebyshevMixer: expansion did not converge within "
                  "max_degree — increase the cap or the tolerance");
-  last_degree_ = k;
-  psi = accum_;
+  last_degree_.store(k, std::memory_order_relaxed);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) {
+    psi[static_cast<index_t>(i)] = accum[i];
+  }
 }
 
 void ChebyshevMixer::apply_ham(const cvec& in, cvec& out,

@@ -14,6 +14,7 @@
 /// number of cheap sparse sweeps, and unlike Trotterization it is exact to
 /// the requested tolerance.
 
+#include <atomic>
 #include <memory>
 
 #include "mixers/mixer.hpp"
@@ -23,11 +24,12 @@ namespace fastqaoa {
 
 /// Chebyshev-propagator mixer over a sparse XY operator.
 ///
-/// Note: apply_exp uses internal recurrence buffers, so a ChebyshevMixer
-/// instance must not be used from multiple threads concurrently (unlike
-/// the stateless mixers). The angle-finding loop is sequential, so this
-/// only matters for user-driven parallel sweeps — use one instance per
-/// thread there.
+/// Thread-compatible like every other mixer: the recurrence runs entirely
+/// inside the caller-provided scratch vector (grown to 4*dim on first use),
+/// so concurrent apply_exp calls are safe as long as each call brings its
+/// own scratch — the contract mixer.hpp promises and tests/test_parallel.cpp
+/// enforces. The last_degree() diagnostic is a relaxed atomic (it records
+/// whichever concurrent call stored last).
 class ChebyshevMixer final : public Mixer {
  public:
   /// tolerance: truncation target for the propagator (sup-norm over the
@@ -45,8 +47,15 @@ class ChebyshevMixer final : public Mixer {
   [[nodiscard]] index_t dim() const override { return op_->dim(); }
   [[nodiscard]] std::string name() const override { return "chebyshev-xy"; }
 
+  ChebyshevMixer(const ChebyshevMixer& other);
+  ChebyshevMixer(ChebyshevMixer&& other) noexcept;
+  ChebyshevMixer& operator=(const ChebyshevMixer& other);
+  ChebyshevMixer& operator=(ChebyshevMixer&& other) noexcept;
+
   /// Expansion degree used by the most recent apply_exp (diagnostics).
-  [[nodiscard]] int last_degree() const noexcept { return last_degree_; }
+  [[nodiscard]] int last_degree() const noexcept {
+    return last_degree_.load(std::memory_order_relaxed);
+  }
 
   /// The spectral bound currently scaling the expansion (Gershgorin by
   /// default).
@@ -68,12 +77,9 @@ class ChebyshevMixer final : public Mixer {
   double tolerance_;
   int max_degree_;
   double bound_override_ = 0.0;
-  mutable int last_degree_ = 0;
-  // Chebyshev recurrence workspace (see class comment re: thread use).
-  mutable cvec t_prev_;
-  mutable cvec t_cur_;
-  mutable cvec t_next_;
-  mutable cvec accum_;
+  /// Diagnostic only — relaxed atomic so concurrent apply_exp calls do not
+  /// race (atomics are not copyable, hence the manual copy/move members).
+  mutable std::atomic<int> last_degree_{0};
 };
 
 }  // namespace fastqaoa

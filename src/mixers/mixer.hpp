@@ -16,8 +16,17 @@
 namespace fastqaoa {
 
 /// A mixer Hamiltonian H_M restricted to a feasible subspace of dimension
-/// dim(). Implementations must be thread-compatible: const methods may be
-/// called concurrently as long as each call gets its own scratch vector.
+/// dim().
+///
+/// Thread-compatibility contract (enforced by tests/test_parallel.cpp and
+/// relied on by every parallel outer loop — see docs/architecture.md):
+/// const methods MUST be safe to call concurrently on one shared instance
+/// as long as each call gets its own scratch vector. Concretely, apply_exp
+/// and apply_ham must not write any member state; every mutable buffer the
+/// recurrence needs has to live in the caller-provided `scratch` (grow it
+/// with resize, then carve sub-buffers out of it — ChebyshevMixer shows the
+/// pattern). Diagnostics that must survive a const call go in relaxed
+/// atomics.
 class Mixer {
  public:
   virtual ~Mixer() = default;

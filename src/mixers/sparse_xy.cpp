@@ -34,16 +34,23 @@ void SparseXYOperator::apply(const cvec& in, cvec& out) const {
   FASTQAOA_CHECK(in.size() == dim_, "SparseXYOperator: state size mismatch");
   FASTQAOA_CHECK(in.data() != out.data(),
                  "SparseXYOperator: in must not alias out");
-  out.assign(dim_, cplx{0.0, 0.0});
+  out.resize(dim_);
+  apply(in.data(), out.data());
+}
+
+void SparseXYOperator::apply(const cplx* in, cplx* out) const {
+  FASTQAOA_CHECK(in != out, "SparseXYOperator: in must not alias out");
+  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(dim_);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < sz; ++i) out[i] = cplx{0.0, 0.0};
   for (std::size_t e = 0; e < pairs_.edges().size(); ++e) {
     const double w = 2.0 * pairs_.edges()[e].weight;
     const auto& table = partner_[e];
-    const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(dim_);
 #pragma omp parallel for schedule(static)
     for (std::ptrdiff_t i = 0; i < sz; ++i) {
       const index_t j = table[static_cast<index_t>(i)];
       if (j != static_cast<index_t>(i)) {
-        out[static_cast<index_t>(i)] += w * in[j];
+        out[i] += w * in[j];
       }
     }
   }

@@ -30,6 +30,11 @@ class SparseXYOperator {
   /// out = H * in. in must not alias out.
   void apply(const cvec& in, cvec& out) const;
 
+  /// Raw-pointer core of apply(): both spans must hold dim() elements and
+  /// must not alias. Lets callers run the recurrence on sub-buffers of a
+  /// caller-provided workspace (see ChebyshevMixer::apply_exp).
+  void apply(const cplx* in, cplx* out) const;
+
   /// Gershgorin bound on the spectral radius: max_x sum_y |H_xy|.
   [[nodiscard]] double spectral_bound() const noexcept { return bound_; }
 

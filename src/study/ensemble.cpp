@@ -1,8 +1,23 @@
 #include "study/ensemble.hpp"
 
+#include <exception>
+
 #include "common/error.hpp"
+#include "common/threading.hpp"
 
 namespace fastqaoa {
+
+namespace {
+
+/// Resolve an EnsembleConfig thread request into an OpenMP num_threads
+/// argument (clamped to the instance count; at least 1).
+int resolve_threads(int requested, int instances) {
+  int t = requested > 0 ? requested : num_threads();
+  if (t > instances) t = instances;
+  return t < 1 ? 1 : t;
+}
+
+}  // namespace
 
 EnsembleResult run_ensemble(const Mixer& mixer, const InstanceFactory& factory,
                             const EnsembleConfig& config) {
@@ -10,32 +25,53 @@ EnsembleResult run_ensemble(const Mixer& mixer, const InstanceFactory& factory,
   FASTQAOA_CHECK(config.max_rounds >= 1, "run_ensemble: need >= 1 round");
 
   EnsembleResult result;
-  result.schedules.reserve(static_cast<std::size_t>(config.instances));
-  result.ratios.reserve(static_cast<std::size_t>(config.instances));
+  result.schedules.resize(static_cast<std::size_t>(config.instances));
+  result.ratios.resize(static_cast<std::size_t>(config.instances));
 
+  // Fork one stream per instance serially so instance i sees the same
+  // randomness no matter how many threads run the loop below.
   Rng master(config.seed);
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(config.instances));
   for (int inst = 0; inst < config.instances; ++inst) {
-    Rng instance_rng = master.fork();
-    dvec table = factory(instance_rng);
-    FASTQAOA_CHECK(table.size() == mixer.dim(),
-                   "run_ensemble: factory table does not match mixer "
-                   "dimension");
-
-    FindAnglesOptions opt = config.angle_options;
-    // Per-instance angle-finder stream, still derived from the study seed.
-    opt.seed = instance_rng();
-    std::vector<AngleSchedule> schedules =
-        find_angles(mixer, table, config.max_rounds, opt);
-
-    std::vector<double> inst_ratios;
-    inst_ratios.reserve(schedules.size());
-    for (const AngleSchedule& s : schedules) {
-      inst_ratios.push_back(
-          approximation_ratio(s.expectation, table, opt.direction));
-    }
-    result.schedules.push_back(std::move(schedules));
-    result.ratios.push_back(std::move(inst_ratios));
+    streams.push_back(master.fork());
   }
+
+  const int team = resolve_threads(config.threads, config.instances);
+  std::exception_ptr error;
+#pragma omp parallel for schedule(dynamic) num_threads(team) \
+    if (config.instances > 1)
+  for (int inst = 0; inst < config.instances; ++inst) {
+    try {
+      Rng instance_rng = streams[static_cast<std::size_t>(inst)];
+      dvec table = factory(instance_rng);
+      FASTQAOA_CHECK(table.size() == mixer.dim(),
+                     "run_ensemble: factory table does not match mixer "
+                     "dimension");
+
+      FindAnglesOptions opt = config.angle_options;
+      // Per-instance angle-finder stream, still derived from the study seed.
+      opt.seed = instance_rng();
+      // Per-instance checkpoints would race on one file; studies re-run
+      // whole instances instead.
+      opt.checkpoint_file.clear();
+      std::vector<AngleSchedule> schedules =
+          find_angles(mixer, table, config.max_rounds, opt);
+
+      std::vector<double> inst_ratios;
+      inst_ratios.reserve(schedules.size());
+      for (const AngleSchedule& s : schedules) {
+        inst_ratios.push_back(
+            approximation_ratio(s.expectation, table, opt.direction));
+      }
+      result.schedules[static_cast<std::size_t>(inst)] = std::move(schedules);
+      result.ratios[static_cast<std::size_t>(inst)] = std::move(inst_ratios);
+    } catch (...) {
+#pragma omp critical(fastqaoa_ensemble_error)
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
 
   result.per_round.reserve(static_cast<std::size_t>(config.max_rounds));
   for (int p = 1; p <= config.max_rounds; ++p) {
@@ -59,33 +95,61 @@ MedianTransferResult median_angle_transfer(const Mixer& mixer,
                  "median_angle_transfer: bad p/restarts");
 
   Rng master(config.seed);
-  std::vector<dvec> tables;
-  std::vector<std::vector<double>> angle_sets;
-  std::vector<double> donor_ratios;
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<std::size_t>(config.instances));
   for (int inst = 0; inst < config.instances; ++inst) {
-    Rng instance_rng = master.fork();
-    dvec table = factory(instance_rng);
-    FindAnglesOptions opt = config.angle_options;
-    opt.seed = instance_rng();
-    AngleSchedule s = find_angles_random(mixer, table, p, restarts, opt);
-    donor_ratios.push_back(
-        approximation_ratio(s.expectation, table, opt.direction));
-    angle_sets.push_back(s.packed());
-    tables.push_back(std::move(table));
+    streams.push_back(master.fork());
   }
+
+  std::vector<dvec> tables(static_cast<std::size_t>(config.instances));
+  std::vector<std::vector<double>> angle_sets(
+      static_cast<std::size_t>(config.instances));
+  std::vector<double> donor_ratios(static_cast<std::size_t>(config.instances));
+
+  const int team = resolve_threads(config.threads, config.instances);
+  std::exception_ptr error;
+#pragma omp parallel for schedule(dynamic) num_threads(team) \
+    if (config.instances > 1)
+  for (int inst = 0; inst < config.instances; ++inst) {
+    try {
+      Rng instance_rng = streams[static_cast<std::size_t>(inst)];
+      dvec table = factory(instance_rng);
+      FindAnglesOptions opt = config.angle_options;
+      opt.seed = instance_rng();
+      AngleSchedule s = find_angles_random(mixer, table, p, restarts, opt);
+      donor_ratios[static_cast<std::size_t>(inst)] =
+          approximation_ratio(s.expectation, table, opt.direction);
+      angle_sets[static_cast<std::size_t>(inst)] = s.packed();
+      tables[static_cast<std::size_t>(inst)] = std::move(table);
+    } catch (...) {
+#pragma omp critical(fastqaoa_transfer_error)
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
 
   MedianTransferResult result;
   result.median_packed = median_angles(angle_sets);
   result.donor_ratios = sample_stats(donor_ratios);
 
-  std::vector<double> transfer;
-  transfer.reserve(tables.size());
-  for (const dvec& table : tables) {
-    const double e = evaluate_angles(mixer, table, result.median_packed,
-                                     config.angle_options.phase_values);
-    transfer.push_back(
-        approximation_ratio(e, table, config.angle_options.direction));
+  std::vector<double> transfer(tables.size());
+#pragma omp parallel for schedule(dynamic) num_threads(team) \
+    if (tables.size() > 1)
+  for (std::ptrdiff_t i = 0;
+       i < static_cast<std::ptrdiff_t>(tables.size()); ++i) {
+    try {
+      const double e = evaluate_angles(
+          mixer, tables[static_cast<std::size_t>(i)], result.median_packed,
+          config.angle_options.phase_values);
+      transfer[static_cast<std::size_t>(i)] = approximation_ratio(
+          e, tables[static_cast<std::size_t>(i)],
+          config.angle_options.direction);
+    } catch (...) {
+#pragma omp critical(fastqaoa_transfer_eval_error)
+      if (!error) error = std::current_exception();
+    }
   }
+  if (error) std::rethrow_exception(error);
   result.transfer_ratios = sample_stats(transfer);
   return result;
 }

@@ -16,6 +16,9 @@
 namespace fastqaoa {
 
 /// Produces one tabulated objective per call (one problem instance).
+/// Called concurrently from the ensemble parallel-for (each call with its
+/// own forked Rng), so the factory must be thread-safe: a pure function of
+/// its Rng argument (every generator in problems/ and graphs/ qualifies).
 using InstanceFactory = std::function<dvec(Rng&)>;
 
 /// Ensemble study configuration.
@@ -24,6 +27,11 @@ struct EnsembleConfig {
   int max_rounds = 4;
   std::uint64_t seed = 0xE75E7B1E;
   FindAnglesOptions angle_options;  ///< direction, hopping budget, gradient
+  /// OpenMP team size for the instance loop ("embarrassingly parallel
+  /// across instances"): 0 = the OpenMP default, 1 = serial. Per-instance
+  /// RNG streams are forked serially from the study seed and results are
+  /// written by index, so ratios are bit-identical at any thread count.
+  int threads = 0;
 };
 
 /// Results of an ensemble angle-finding study.

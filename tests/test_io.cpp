@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 
@@ -19,8 +21,12 @@ namespace {
 class TempDir {
  public:
   TempDir() {
+    // gtest_discover_tests runs every TEST in its own process, so a bare
+    // counter restarts at 0 each time and concurrent ctest jobs would
+    // collide on (and remove_all!) the same directory — key by pid too.
     dir_ = std::filesystem::temp_directory_path() /
-           ("fastqaoa_io_" + std::to_string(counter_++));
+           ("fastqaoa_io_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
     std::filesystem::create_directories(dir_);
   }
   ~TempDir() { std::filesystem::remove_all(dir_); }

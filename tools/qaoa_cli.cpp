@@ -10,6 +10,7 @@
 //            [--n=10] [--k=n/2] [--p=4] [--seed=42] [--density=6]
 //            [--strategy=iterative|random|grid] [--restarts=50] [--hops=8]
 //            [--minimize] [--shots=0] [--checkpoint=path] [--mixer-cache=path]
+//            [--threads=N] [--starts=M]
 //
 // Examples:
 //   qaoa_cli --problem=maxcut --mixer=tf --n=10 --p=5
@@ -22,6 +23,7 @@
 #include <string>
 
 #include "anglefind/strategies.hpp"
+#include "common/threading.hpp"
 #include "common/timer.hpp"
 #include "core/qaoa.hpp"
 #include "io/serialize.hpp"
@@ -73,7 +75,7 @@ bool has_flag(int argc, char** argv, const char* flag) {
                "[--p=4] [--seed=42] [--density=6] "
                "[--strategy=iterative|random|grid] [--restarts=50] "
                "[--hops=8] [--minimize] [--shots=0] [--checkpoint=path] "
-               "[--mixer-cache=path]\n");
+               "[--mixer-cache=path] [--threads=N] [--starts=M]\n");
   std::exit(2);
 }
 
@@ -98,6 +100,11 @@ int main(int argc, char** argv) {
   const bool minimize = has_flag(argc, argv, "--minimize");
   if (n < 2 || n > 24) usage_error("--n out of supported range [2, 24]");
   if (p < 1 || p > 50) usage_error("--p out of supported range [1, 50]");
+
+  // --threads caps both the restart/grid outer loops and the per-state
+  // inner kernels (they share the OpenMP default team size).
+  const int threads = static_cast<int>(int_option(argc, argv, "--threads", 0));
+  if (threads > 0) set_num_threads(threads);
 
   Rng rng(seed);
 
@@ -163,6 +170,9 @@ int main(int argc, char** argv) {
   opt.direction = minimize ? Direction::Minimize : Direction::Maximize;
   opt.hopping.hops = static_cast<int>(int_option(argc, argv, "--hops", 8));
   opt.checkpoint_file = string_option(argc, argv, "--checkpoint", "");
+  opt.parallel_starts =
+      static_cast<int>(int_option(argc, argv, "--starts", 1));
+  if (opt.parallel_starts < 1) usage_error("--starts must be >= 1");
   const int restarts =
       static_cast<int>(int_option(argc, argv, "--restarts", 50));
 
