@@ -1,18 +1,22 @@
 // bench_parallel_scaling — thread-scaling of the shared-plan evaluation
 // core and the parallel random-restart outer loop.
 //
-// Sweeps 1..max threads twice:
+// Sweeps 1..max threads twice, then measures instrumentation overhead:
 //   1. raw evaluate() throughput: T std::threads hammer one shared QaoaPlan
 //      with private workspaces (inner OpenMP pinned to 1 thread so only the
 //      outer concurrency is measured);
 //   2. find_angles_random() wall time at each OpenMP team size, verifying
-//      the best objective is identical at every thread count.
+//      the best objective is identical at every thread count;
+//   3. single-thread evaluate() median with metrics recording on vs off
+//      (the runtime toggle — both in one binary), the acceptance check for
+//      the observability layer (compare bench/baselines/obs_overhead.json).
 //
 // Prints a table plus a JSON blob (compare against
-// bench/baselines/parallel_scaling.json).
+// bench/baselines/parallel_scaling.json). --json=path writes the structured
+// report shared by all harnesses.
 //
 // Usage: bench_parallel_scaling [--full] [--n=12] [--restarts=24]
-//                               [--max-threads=N]
+//                               [--max-threads=N] [--json=path]
 
 #include <cstdio>
 #include <string>
@@ -26,6 +30,7 @@
 #include "common/timer.hpp"
 #include "core/plan.hpp"
 #include "mixers/x_mixer.hpp"
+#include "obs/metrics.hpp"
 #include "problems/cost_functions.hpp"
 
 using namespace fastqaoa;
@@ -124,6 +129,26 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- phase 3: instrumentation overhead ---------------------------------
+  // Median single-thread evaluate() with metrics recording enabled vs
+  // disabled at runtime, in this same binary. With FASTQAOA_PROFILING=OFF
+  // both runs are uninstrumented and the ratio sits at ~1.0 by construction.
+  set_num_threads(1);
+  const int overhead_reps = full ? 200 : 60;
+  EvalWorkspace overhead_ws;
+  overhead_ws.reserve(plan);
+  auto eval_once = [&] { evaluate_packed(plan, overhead_ws, angles); };
+  obs::set_metrics_enabled(false);
+  const double t_off = benchutil::time_median(eval_once, overhead_reps);
+  obs::set_metrics_enabled(true);
+  const double t_on = benchutil::time_median(eval_once, overhead_reps);
+  set_num_threads(max_threads);
+  const double overhead_ratio = t_on / t_off;
+  std::printf("\nevaluate() instrumentation overhead (1 thread, %d reps)\n",
+              overhead_reps);
+  std::printf("%14s %14s %10s\n", "metrics off", "metrics on", "on/off");
+  std::printf("%13.3es %13.3es %9.4fx\n", t_off, t_on, overhead_ratio);
+
   // --- JSON summary ------------------------------------------------------
   std::printf("\n{\"bench\":\"parallel_scaling\",\"n\":%d,\"p\":%d,"
               "\"restarts\":%d,\"threads\":[",
@@ -139,6 +164,26 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < restart_rates.size(); ++i) {
     std::printf("%s%.2f", i ? "," : "", restart_rates[i]);
   }
-  std::printf("],\"best\":%.10f}\n", best_values.front());
+  std::printf("],\"best\":%.10f,\"overhead\":{\"median_off_s\":%.6e,"
+              "\"median_on_s\":%.6e,\"ratio\":%.4f}}\n",
+              best_values.front(), t_off, t_on, overhead_ratio);
+
+  benchutil::JsonReport report(argc, argv, "bench_parallel_scaling");
+  report.meta("n", static_cast<long long>(n));
+  report.meta("p", static_cast<long long>(p));
+  report.meta("restarts", static_cast<long long>(restarts));
+  report.meta("full", static_cast<long long>(full ? 1 : 0));
+  report.meta("overhead_median_off_s", t_off);
+  report.meta("overhead_median_on_s", t_on);
+  report.meta("overhead_ratio", overhead_ratio);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    report.row();
+    report.field("threads", static_cast<long long>(sweep[i]));
+    report.field("eval_rate", eval_rates[i]);
+    report.field("restart_rate", restart_rates[i]);
+    report.field("best", best_values[i]);
+  }
+  report.attach_metrics();
+  report.write();
   return 0;
 }

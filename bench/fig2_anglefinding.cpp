@@ -27,12 +27,20 @@ using namespace fastqaoa;
 
 void print_series(const char* panel, const char* mixer_name,
                   const std::vector<AngleSchedule>& schedules,
-                  const dvec& table) {
+                  const dvec& table, benchutil::JsonReport& report) {
   std::printf("\n[%s + %s]\n", panel, mixer_name);
   std::printf("%4s %14s %10s\n", "p", "<C>", "ratio");
   for (const AngleSchedule& s : schedules) {
-    std::printf("%4d %14.6f %10.4f\n", s.p, s.expectation,
-                approximation_ratio(s.expectation, table));
+    const double ratio = approximation_ratio(s.expectation, table);
+    std::printf("%4d %14.6f %10.4f\n", s.p, s.expectation, ratio);
+    report.row();
+    report.field("panel", std::string(panel));
+    report.field("mixer", std::string(mixer_name));
+    report.field("p", static_cast<long long>(s.p));
+    report.field("expectation", s.expectation);
+    report.field("ratio", ratio);
+    report.field("optimizer_calls", static_cast<long long>(s.optimizer_calls));
+    report.field("evaluations", static_cast<long long>(s.evaluations));
   }
 }
 
@@ -53,6 +61,12 @@ int main(int argc, char** argv) {
   std::printf("n=%d, k=%d, p=1..%d, G(n,0.5), 3-SAT clause density 6\n", n,
               k, max_p);
 
+  bu::JsonReport report(argc, argv, "fig2_anglefinding");
+  report.meta("n", static_cast<long long>(n));
+  report.meta("k", static_cast<long long>(k));
+  report.meta("max_p", static_cast<long long>(max_p));
+  report.meta("full", static_cast<long long>(full ? 1 : 0));
+
   FindAnglesOptions opt;
   opt.hopping.hops = full ? 15 : 6;
   opt.seed = 2023;
@@ -66,7 +80,7 @@ int main(int argc, char** argv) {
                           [&g](state_t x) { return maxcut(g, x); });
     XMixer mixer = XMixer::transverse_field(n);
     print_series("MaxCut", "Transverse Field",
-                 find_angles(mixer, table, max_p, opt), table);
+                 find_angles(mixer, table, max_p, opt), table, report);
   }
 
   // Panel 2: 3-SAT at clause density 6 + Grover mixer.
@@ -77,7 +91,7 @@ int main(int argc, char** argv) {
                           [&f](state_t x) { return ksat(f, x); });
     GroverMixer mixer(index_t{1} << n);
     print_series("3-SAT (density 6)", "Grover",
-                 find_angles(mixer, table, max_p, opt), table);
+                 find_angles(mixer, table, max_p, opt), table, report);
   }
 
   // Panel 3: Densest k-Subgraph + Clique mixer (feasible subspace only).
@@ -92,7 +106,7 @@ int main(int argc, char** argv) {
     std::printf("\n(clique mixer eigendecomposition, dim %zu: %.2f s)\n",
                 space.dim(), eig.seconds());
     print_series("Densest k-Subgraph", "Clique",
-                 find_angles(mixer, table, max_p, opt), table);
+                 find_angles(mixer, table, max_p, opt), table, report);
   }
 
   // Panel 4: Max k-Vertex Cover + Ring mixer.
@@ -104,10 +118,13 @@ int main(int argc, char** argv) {
         tabulate(space, [&g](state_t x) { return vertex_cover(g, x); });
     EigenMixer mixer = EigenMixer::ring(space);
     print_series("Max k-Vertex Cover", "Ring",
-                 find_angles(mixer, table, max_p, opt), table);
+                 find_angles(mixer, table, max_p, opt), table, report);
   }
 
   std::printf("\ntotal wall time: %.1f s\n", total.seconds());
+  report.meta("wall_seconds", total.seconds());
+  report.attach_metrics();
+  report.write();
   std::printf("paper reference: all four ratio series increase with p; "
               "constrained problems (Clique/Ring) start higher because the "
               "search is restricted to the feasible subspace.\n");

@@ -32,6 +32,11 @@ int main(int argc, char** argv) {
                                                     full ? 18 : 14));
   bu::banner("Figure 4a", "time & memory vs qubits, p=1 MaxCut", full);
 
+  bu::JsonReport report(argc, argv, "fig4a_qubit_scaling");
+  report.meta("n_min", static_cast<long long>(n_min));
+  report.meta("n_max", static_cast<long long>(n_max));
+  report.meta("full", static_cast<long long>(full ? 1 : 0));
+
   std::vector<double> betas = {0.4};
   std::vector<double> gammas = {0.9};
 
@@ -62,6 +67,17 @@ int main(int argc, char** argv) {
                 n, t_fast, t_light, t_heavy, fast->resident_bytes(),
                 light->resident_bytes(), heavy->resident_bytes(),
                 t_heavy / t_fast, t_light / t_fast);
+    report.row();
+    report.field("n", static_cast<long long>(n));
+    report.field("fastqaoa_seconds", t_fast);
+    report.field("light_seconds", t_light);
+    report.field("heavy_seconds", t_heavy);
+    report.field("fastqaoa_bytes",
+                 static_cast<long long>(fast->resident_bytes()));
+    report.field("light_bytes",
+                 static_cast<long long>(light->resident_bytes()));
+    report.field("heavy_bytes",
+                 static_cast<long long>(heavy->resident_bytes()));
     if (n == 6) {
       n6_heavy_ratio = t_heavy / t_fast;
       n6_light_ratio = t_light / t_fast;
@@ -71,6 +87,10 @@ int main(int argc, char** argv) {
   std::printf("\n§4 headline (n=6, p=1 MaxCut): circuit-heavy/fastqaoa = "
               "%.0fx, circuit-light/fastqaoa = %.0fx\n",
               n6_heavy_ratio, n6_light_ratio);
+  report.meta("n6_heavy_ratio", n6_heavy_ratio);
+  report.meta("n6_light_ratio", n6_light_ratio);
+  report.attach_metrics();
+  report.write();
   std::printf("paper reference: JuliQAOA 2000x faster than QAOAKit and 70x "
               "faster than QAOA.jl at n=6 (different comparator "
               "implementations; ordering and growth with n are the "

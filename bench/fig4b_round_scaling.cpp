@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
   bu::banner("Figure 4b", "time vs rounds, MaxCut", full);
   std::printf("n=%d, p=1..%d\n\n", n, p_max);
 
+  bu::JsonReport report(argc, argv, "fig4b_round_scaling");
+  report.meta("n", static_cast<long long>(n));
+  report.meta("p_max", static_cast<long long>(p_max));
+  report.meta("full", static_cast<long long>(full ? 1 : 0));
+
   Rng rng(14);
   Graph g = erdos_renyi(n, 0.5, rng);
 
@@ -45,7 +50,14 @@ int main(int argc, char** argv) {
         bu::time_median([&] { heavy->evaluate(betas, gammas); }, reps);
     std::printf("%4d | %14.3e %14.3e %14.3e | %9.1f %9.1f\n", p, t_fast,
                 t_light, t_heavy, t_heavy / t_fast, t_light / t_fast);
+    report.row();
+    report.field("p", static_cast<long long>(p));
+    report.field("fastqaoa_seconds", t_fast);
+    report.field("light_seconds", t_light);
+    report.field("heavy_seconds", t_heavy);
   }
+  report.attach_metrics();
+  report.write();
 
   std::printf("\npaper reference: all three scale linearly in p; the "
               "package ordering (fastqaoa < QAOA.jl-like < QAOAKit-like) is "

@@ -34,6 +34,12 @@ int main(int argc, char** argv) {
 
   XMixer mixer = XMixer::transverse_field(n);
 
+  bu::JsonReport report(argc, argv, "fig5_ad_vs_fd");
+  report.meta("n", static_cast<long long>(n));
+  report.meta("instances", static_cast<long long>(instances));
+  report.meta("p_max", static_cast<long long>(p_max));
+  report.meta("full", static_cast<long long>(full ? 1 : 0));
+
   std::printf("%4s | %12s %12s %8s | %12s %12s\n", "p", "AD [s]", "FD [s]",
               "FD/AD", "AD evals", "FD evals");
   for (int p = 1; p <= p_max; ++p) {
@@ -73,7 +79,15 @@ int main(int argc, char** argv) {
                 t_ad / instances, t_fd / instances, t_fd / t_ad,
                 evals_ad / static_cast<std::size_t>(instances),
                 evals_fd / static_cast<std::size_t>(instances));
+    report.row();
+    report.field("p", static_cast<long long>(p));
+    report.field("ad_seconds", t_ad / instances);
+    report.field("fd_seconds", t_fd / instances);
+    report.field("ad_evals", static_cast<long long>(evals_ad));
+    report.field("fd_evals", static_cast<long long>(evals_fd));
   }
+  report.attach_metrics();
+  report.write();
 
   std::printf("\npaper reference: the FD/AD time ratio grows roughly "
               "linearly in p (AD computes the whole 2p-angle gradient at "

@@ -26,6 +26,9 @@ int main(int argc, char** argv) {
   const bool full = bu::has_flag(argc, argv, "--full");
   bu::banner("§2.4", "Grover-mixer degeneracy fast path up to n=100", full);
 
+  bu::JsonReport report(argc, argv, "grover_scaling");
+  report.meta("full", static_cast<long long>(full ? 1 : 0));
+
   // 1. Cross-check against the full statevector at n=12.
   {
     Rng rng(1);
@@ -43,6 +46,7 @@ int main(int argc, char** argv) {
     std::printf("cross-check n=%d p=4: full=%.12f compressed=%.12f "
                 "(|diff| = %.2e)\n\n",
                 n, e_full, e_fast, std::abs(e_full - e_fast));
+    report.meta("crosscheck_diff", std::abs(e_full - e_fast));
   }
 
   // 2. Streaming degeneracy tabulation vs n (the pre-computation the paper
@@ -79,7 +83,13 @@ int main(int argc, char** argv) {
         bu::time_median([&] { qaoa.run_packed(angles); }, 5);
     std::printf("%4d %12zu %16.3e %14.3e\n", n, qaoa.num_classes(),
                 std::pow(2.0, n), seconds);
+    report.row();
+    report.field("n", static_cast<long long>(n));
+    report.field("classes", static_cast<long long>(qaoa.num_classes()));
+    report.field("simulate_seconds", seconds);
   }
+  report.attach_metrics();
+  report.write();
 
   std::printf("\npaper reference: simulation cost tracks the number of "
               "distinct objective values, not 2^n — n=100 Grover-QAOA runs "

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace fastqaoa {
 
@@ -10,6 +11,8 @@ OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
                        Rng& rng, const BasinHoppingOptions& opt) {
   FASTQAOA_CHECK(!x0.empty(), "basinhopping: empty starting point");
   FASTQAOA_CHECK(opt.hops >= 1, "basinhopping: need at least one hop");
+  FASTQAOA_OBS_TIMED("anglefind.basinhopping");
+  FASTQAOA_TRACE_SPAN("basinhopping");
 
   // Initial local minimization from the seed point.
   OptResult best = bfgs_minimize(fn, std::move(x0), opt.local);
@@ -23,6 +26,8 @@ OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
 
   std::vector<double> trial(current.size());
   for (int hop = 0; hop < opt.hops; ++hop) {
+    FASTQAOA_OBS_COUNT("anglefind.basinhopping.hops", 1);
+    FASTQAOA_TRACE_SPAN("basinhop");
     for (std::size_t i = 0; i < current.size(); ++i) {
       trial[i] = current[i] + rng.uniform(-step, step);
     }
@@ -39,6 +44,7 @@ OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
       current = local.x;
       current_f = local.f;
       ++accepted;
+      FASTQAOA_OBS_COUNT("anglefind.basinhopping.accepted", 1);
     }
     if (local.f < best.f) {
       best.x = local.x;

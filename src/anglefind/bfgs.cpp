@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace fastqaoa {
 
@@ -39,6 +40,7 @@ class LineSearcher {
       xt_[i] = x_[i] + alpha * d_[i];
     }
     ++evals_;
+    FASTQAOA_OBS_COUNT("anglefind.bfgs.linesearch_steps", 1);
     phi_ = fn_(xt_, gt_);
     return {phi_, dot(gt_, d_)};
   }
@@ -133,6 +135,9 @@ OptResult bfgs_minimize(const GradObjective& fn, std::vector<double> x0,
                         const BfgsOptions& options) {
   const std::size_t n = x0.size();
   FASTQAOA_CHECK(n > 0, "bfgs_minimize: empty starting point");
+  FASTQAOA_OBS_COUNT("anglefind.bfgs.calls", 1);
+  FASTQAOA_OBS_TIMED("anglefind.bfgs");
+  FASTQAOA_TRACE_SPAN("bfgs_minimize");
 
   OptResult result;
   std::size_t evals = 0;
@@ -231,6 +236,8 @@ OptResult bfgs_minimize(const GradObjective& fn, std::vector<double> x0,
     g = g_new;
   }
 
+  FASTQAOA_OBS_COUNT("anglefind.bfgs.iterations",
+                     static_cast<std::uint64_t>(iter));
   result.x = std::move(x);
   result.f = f;
   result.iterations = iter;

@@ -1,6 +1,10 @@
 #include "anglefind/grover_objective.hpp"
 
+#include <chrono>
+
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fastqaoa {
 
@@ -42,8 +46,15 @@ std::vector<AngleSchedule> find_angles_compressed(
   GroverObjective objective(engine, options.direction);
   GradObjective fn = objective.as_grad_objective();
 
+  // The compressed engine has no EvalWorkspace; record through a local sink
+  // bound for the whole (serial) search and merged once at the end.
+  obs::MetricsSink sink;
+  FASTQAOA_OBS_SCOPE(sink);
+
   std::vector<AngleSchedule> schedules;
   for (int p = 1; p <= max_rounds; ++p) {
+    FASTQAOA_TRACE_SPAN("find_angles_compressed_round");
+    const auto round_start = std::chrono::steady_clock::now();
     std::vector<double> x0;
     if (schedules.empty()) {
       x0 = {rng.uniform(0.0, 2.0 * kPi), rng.uniform(0.0, 2.0 * kPi)};
@@ -60,11 +71,21 @@ std::vector<AngleSchedule> find_angles_compressed(
     s.betas.assign(res.x.begin(), res.x.begin() + p);
     s.gammas.assign(res.x.begin() + p, res.x.end());
     s.expectation = objective.to_expectation(res.f);
+    s.optimizer_calls = res.evaluations;
+    s.evaluations = res.evaluations;  // every callback is one compressed eval
     schedules.push_back(std::move(s));
     if (!options.checkpoint_file.empty()) {
       save_checkpoint(options.checkpoint_file, schedules);
     }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      round_start)
+            .count();
+    FASTQAOA_OBS_COUNT("anglefind.rounds", 1);
+    FASTQAOA_OBS_TIME("anglefind.round", seconds);
+    if (options.on_round) options.on_round(schedules.back(), seconds);
   }
+  FASTQAOA_OBS_MERGE_GLOBAL(sink);
   return schedules;
 }
 

@@ -1,6 +1,7 @@
 #include "anglefind/strategies.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <filesystem>
@@ -11,6 +12,8 @@
 
 #include "common/error.hpp"
 #include "core/plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fastqaoa {
 
@@ -72,10 +75,16 @@ struct ChainResult {
 };
 
 /// One basinhopping chain: private workspace + RNG against the shared plan.
+/// The workspace's metric sink is bound for the duration of the chain and
+/// merged into the global registry before returning (the join point), so
+/// merged totals are identical at any thread count.
 ChainResult run_basinhopping(const QaoaPlan& plan, int p,
                              const std::vector<double>& x0, Rng& rng,
                              const FindAnglesOptions& options) {
   EvalWorkspace ws;
+  FASTQAOA_OBS_SCOPE(ws.metrics);
+  FASTQAOA_OBS_COUNT("anglefind.chains", 1);
+  FASTQAOA_TRACE_SPAN("chain");
   QaoaObjective objective(plan, ws, options.direction, options.gradient);
   GradObjective fn = objective.as_grad_objective();
   OptResult res = basinhopping(fn, x0, rng, options.hopping);
@@ -86,6 +95,9 @@ ChainResult run_basinhopping(const QaoaPlan& plan, int p,
   out.schedule.betas.assign(res.x.begin(), res.x.begin() + p);
   out.schedule.gammas.assign(res.x.begin() + p, res.x.end());
   out.schedule.expectation = objective.to_expectation(res.f);
+  out.schedule.optimizer_calls = res.evaluations;
+  out.schedule.evaluations = objective.evaluations();
+  FASTQAOA_OBS_MERGE_GLOBAL(ws.metrics);
   return out;
 }
 
@@ -138,7 +150,18 @@ AngleSchedule best_of_chains(const QaoaPlan& plan, int p,
   for (std::size_t c = 1; c < results.size(); ++c) {
     if (results[c].f < results[best].f) best = c;
   }
-  return std::move(results[best].schedule);
+  // The schedule carries the cost of the *whole* search, not just the
+  // winning chain.
+  std::size_t calls = 0;
+  std::size_t evals = 0;
+  for (const ChainResult& r : results) {
+    calls += r.schedule.optimizer_calls;
+    evals += r.schedule.evaluations;
+  }
+  AngleSchedule winner = std::move(results[best].schedule);
+  winner.optimizer_calls = calls;
+  winner.evaluations = evals;
+  return winner;
 }
 
 }  // namespace
@@ -159,6 +182,8 @@ std::vector<AngleSchedule> find_angles(const Mixer& mixer,
   }
 
   for (int p = static_cast<int>(schedules.size()) + 1; p <= max_rounds; ++p) {
+    FASTQAOA_TRACE_SPAN("find_angles_round");
+    const auto round_start = std::chrono::steady_clock::now();
     std::vector<double> x0;
     if (schedules.empty()) {
       // Round 1: a small random start; basinhopping explores from there.
@@ -175,6 +200,13 @@ std::vector<AngleSchedule> find_angles(const Mixer& mixer,
     if (!options.checkpoint_file.empty()) {
       save_checkpoint(options.checkpoint_file, schedules);
     }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      round_start)
+            .count();
+    FASTQAOA_OBS_COUNT_GLOBAL("anglefind.rounds", 1);
+    FASTQAOA_OBS_TIME_GLOBAL("anglefind.round", seconds);
+    if (options.on_round) options.on_round(schedules.back(), seconds);
   }
   return schedules;
 }
@@ -208,10 +240,12 @@ AngleSchedule find_angles_random(const Mixer& mixer, const dvec& obj_vals,
   }
 
   std::vector<OptResult> results(static_cast<std::size_t>(restarts));
+  std::size_t total_evals = 0;
   std::exception_ptr error;
 #pragma omp parallel if (restarts > 1)
   {
     EvalWorkspace ws;
+    FASTQAOA_OBS_SCOPE(ws.metrics);
     QaoaObjective objective(plan, ws, options.direction, options.gradient);
     GradObjective fn = objective.as_grad_objective();
 #pragma omp for schedule(dynamic)
@@ -225,12 +259,18 @@ AngleSchedule find_angles_random(const Mixer& mixer, const dvec& obj_vals,
         if (!error) error = std::current_exception();
       }
     }
+    const std::size_t mine = objective.evaluations();
+#pragma omp atomic
+    total_evals += mine;
+    FASTQAOA_OBS_MERGE_GLOBAL(ws.metrics);
   }
   if (error) std::rethrow_exception(error);
 
   std::size_t best = 0;
-  for (std::size_t r = 1; r < results.size(); ++r) {
-    if (results[r].f < results[best].f) best = r;
+  std::size_t total_calls = 0;
+  for (std::size_t r = 0; r < results.size(); ++r) {
+    total_calls += results[r].evaluations;
+    if (r > 0 && results[r].f < results[best].f) best = r;
   }
   const OptResult& winner = results[best];
 
@@ -240,6 +280,8 @@ AngleSchedule find_angles_random(const Mixer& mixer, const dvec& obj_vals,
   schedule.gammas.assign(winner.x.begin() + p, winner.x.end());
   schedule.expectation =
       options.direction == Direction::Maximize ? -winner.f : winner.f;
+  schedule.optimizer_calls = total_calls;
+  schedule.evaluations = total_evals;
   return schedule;
 }
 
@@ -267,10 +309,12 @@ AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
   // answer.
   double best_f = std::numeric_limits<double>::infinity();
   long long best_index = -1;
+  std::size_t grid_evals = 0;
   std::exception_ptr error;
 #pragma omp parallel if (total > 1)
   {
     EvalWorkspace ws;
+    FASTQAOA_OBS_SCOPE(ws.metrics);
     QaoaObjective objective(plan, ws, options.direction, options.gradient);
     std::vector<double> point(static_cast<std::size_t>(dims), 0.0);
     double local_f = std::numeric_limits<double>::infinity();
@@ -300,8 +344,16 @@ AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
       best_f = local_f;
       best_index = local_index;
     }
+    const std::size_t mine = objective.evaluations();
+#pragma omp atomic
+    grid_evals += mine;
+    FASTQAOA_OBS_MERGE_GLOBAL(ws.metrics);
   }
   if (error) std::rethrow_exception(error);
+
+  // Every grid point is one objective callback; the polish adds its own.
+  std::size_t optimizer_calls = static_cast<std::size_t>(total);
+  std::size_t evaluations = grid_evals;
 
   std::vector<double> best_point(static_cast<std::size_t>(dims), 0.0);
   long long rest = best_index;
@@ -313,9 +365,13 @@ AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
 
   if (polish) {
     EvalWorkspace ws;
+    FASTQAOA_OBS_SCOPE(ws.metrics);
     QaoaObjective objective(plan, ws, options.direction, options.gradient);
     GradObjective fn = objective.as_grad_objective();
     OptResult res = bfgs_minimize(fn, best_point, options.hopping.local);
+    optimizer_calls += res.evaluations;
+    evaluations += objective.evaluations();
+    FASTQAOA_OBS_MERGE_GLOBAL(ws.metrics);
     if (res.f < best_f) {
       best_f = res.f;
       best_point = res.x;
@@ -328,6 +384,8 @@ AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
   schedule.gammas.assign(best_point.begin() + p, best_point.end());
   schedule.expectation =
       options.direction == Direction::Maximize ? -best_f : best_f;
+  schedule.optimizer_calls = optimizer_calls;
+  schedule.evaluations = evaluations;
   return schedule;
 }
 
@@ -363,7 +421,9 @@ double evaluate_angles(const Mixer& mixer, const dvec& obj_vals,
   if (phase_values) plan_options.phase_values = *phase_values;
   const QaoaPlan plan(mixer, obj_vals, p, std::move(plan_options));
   EvalWorkspace ws;
-  return evaluate_packed(plan, ws, packed);
+  const double value = evaluate_packed(plan, ws, packed);
+  FASTQAOA_OBS_MERGE_GLOBAL(ws.metrics);
+  return value;
 }
 
 void save_checkpoint(const std::string& path,

@@ -9,6 +9,8 @@
 ///  * median_angles()      — the [22] median-angles heuristic across many
 ///                           instances.
 
+#include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,12 +23,22 @@
 
 namespace fastqaoa {
 
-/// Optimized angles for a p-round QAOA plus the expectation they achieve.
+/// Optimized angles for a p-round QAOA plus the expectation they achieve
+/// and what the search spent to find them.
 struct AngleSchedule {
   int p = 0;
   std::vector<double> betas;
   std::vector<double> gammas;
   double expectation = 0.0;
+  /// Objective/gradient callbacks the optimizer issued producing this
+  /// schedule, summed over every chain/restart (0 for schedules loaded
+  /// from a checkpoint).
+  std::size_t optimizer_calls = 0;
+  /// Underlying expectation-evaluation equivalents those callbacks cost
+  /// (an adjoint gradient tallies 2, central differences 2p+1, ...),
+  /// summed over every chain/restart. Thread-count invariant: the chains
+  /// do identical work no matter how they are scheduled.
+  std::size_t evaluations = 0;
 
   /// Packed [betas..., gammas...] layout used by Qaoa::run_packed.
   [[nodiscard]] std::vector<double> packed() const;
@@ -62,6 +74,11 @@ struct FindAnglesOptions {
   /// streams, so the best-of-chains result is identical at any thread
   /// count. 1 = the classic single-chain behaviour.
   int parallel_starts = 1;
+  /// Called by find_angles() after each freshly optimized round (not for
+  /// rounds restored from a checkpoint) with the round's schedule and its
+  /// wall-clock seconds — the hook behind qaoa_cli --progress. Runs on the
+  /// calling thread, outside any parallel region.
+  std::function<void(const AngleSchedule&, double seconds)> on_round;
 };
 
 /// The paper's find_angles(): learn good angles for rounds 1..max_rounds

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/trace.hpp"
 
 namespace fastqaoa {
 
@@ -92,12 +93,20 @@ double evaluate(const QaoaPlan& plan, EvalWorkspace& ws,
                  "evaluate: wrong number of beta angles");
   FASTQAOA_CHECK(static_cast<int>(gammas.size()) == plan.num_gammas(),
                  "evaluate: wrong number of gamma angles");
+  FASTQAOA_OBS_SCOPE(ws.metrics);
+  FASTQAOA_OBS_COUNT("core.evaluate.calls", 1);
+  FASTQAOA_OBS_TIMED("core.evaluate");
+  FASTQAOA_TRACE_SPAN("evaluate");
   ws.psi = plan.initial_state();
   const dvec& phase = plan.phase_values();
   const auto& layers = plan.layers();
   std::size_t beta_index = 0;
   for (std::size_t k = 0; k < layers.size(); ++k) {
-    linalg::apply_diag_phase(ws.psi, phase, gammas[k]);
+    {
+      FASTQAOA_OBS_TIMED("core.evaluate.phase");
+      linalg::apply_diag_phase(ws.psi, phase, gammas[k]);
+    }
+    FASTQAOA_OBS_TIMED("core.evaluate.mix");
     for (const Mixer* m : layers[k].mixers) {
       m->apply_exp(ws.psi, betas[beta_index++], ws.scratch);
     }

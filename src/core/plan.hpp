@@ -19,6 +19,7 @@
 
 #include "common/types.hpp"
 #include "mixers/mixer.hpp"
+#include "obs/metrics.hpp"
 #include "problems/objective.hpp"
 
 namespace fastqaoa {
@@ -114,6 +115,12 @@ struct EvalWorkspace {
   cvec hpsi;
   /// <C> of the last evaluate().
   double expectation = 0.0;
+  /// This workspace's metric sink. evaluate() binds it as the thread's
+  /// active sink, so every instrumented kernel it reaches (WHT, GEMV,
+  /// adjoint sweeps) tallies here without touching shared state. Outer
+  /// loops merge it into the global aggregate at their join point
+  /// (obs::merge_global). Untouched when FASTQAOA_PROFILING=OFF.
+  obs::MetricsSink metrics;
 
   /// Pre-size the forward buffers for a plan (optional warm-up; evaluation
   /// grows them on demand anyway).

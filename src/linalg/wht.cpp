@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace fastqaoa::linalg {
 
@@ -17,6 +18,8 @@ int log2_exact(index_t sz) {
 void wht_unnormalized(cvec& v) {
   const index_t n = v.size();
   FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
+  FASTQAOA_OBS_COUNT("linalg.wht.applies", 1);
+  FASTQAOA_OBS_TIMED("linalg.wht");
   cplx* a = v.data();
   // Radix-2 butterflies. For strides that fit in cache the loop is a simple
   // pair sweep; parallelism is over independent butterfly blocks.

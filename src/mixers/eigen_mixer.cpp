@@ -6,6 +6,7 @@
 #include "bits/bitops.hpp"
 #include "common/error.hpp"
 #include "linalg/vector_ops.hpp"
+#include "obs/metrics.hpp"
 
 namespace fastqaoa {
 
@@ -76,6 +77,8 @@ const linalg::HermEig& EigenMixer::herm_eig() const {
 
 void EigenMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
   FASTQAOA_CHECK(psi.size() == dim(), "EigenMixer: state size mismatch");
+  FASTQAOA_OBS_COUNT("mixers.eigen.exp_applies", 1);
+  FASTQAOA_OBS_TIMED("mixers.eigen.exp");
   scratch.resize(dim());
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(dim());
   if (real_) {
@@ -101,6 +104,8 @@ void EigenMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
 
 void EigenMixer::apply_ham(const cvec& in, cvec& out, cvec& scratch) const {
   FASTQAOA_CHECK(in.size() == dim(), "EigenMixer: state size mismatch");
+  FASTQAOA_OBS_COUNT("mixers.eigen.ham_applies", 1);
+  FASTQAOA_OBS_TIMED("mixers.eigen.ham");
   scratch.resize(dim());
   out.resize(dim());
   const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(dim());

@@ -1,0 +1,229 @@
+#include "obs/metrics.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace fastqaoa::obs {
+
+namespace {
+
+/// Append-only name registry. Counter and timer names live in separate id
+/// spaces (a sink indexes two separate vectors).
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> timer_names;
+  std::unordered_map<std::string, MetricId> counter_ids;
+  std::unordered_map<std::string, MetricId> timer_ids;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+MetricId intern(std::string_view name, std::vector<std::string>& names,
+                std::unordered_map<std::string, MetricId>& ids) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::string key(name);
+  auto it = ids.find(key);
+  if (it != ids.end()) return it->second;
+  const MetricId id = names.size();
+  names.push_back(key);
+  ids.emplace(std::move(key), id);
+  return id;
+}
+
+std::string counter_name(MetricId id) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.counter_names[id];
+}
+
+std::string timer_name(MetricId id) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.timer_names[id];
+}
+
+std::atomic<bool> g_metrics_enabled{true};
+
+thread_local MetricsSink* t_active_sink = nullptr;
+
+/// Global aggregate, written only through the mutex-protected entry points.
+struct GlobalSink {
+  std::mutex mutex;
+  MetricsSink sink;
+};
+
+GlobalSink& global_sink() {
+  static GlobalSink g;
+  return g;
+}
+
+void append_json_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_double(std::ostringstream& os, double v) {
+  // min of an empty TimingStat is +inf, which JSON cannot represent.
+  if (v == std::numeric_limits<double>::infinity()) {
+    os << "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+MetricId counter_id(std::string_view name) {
+  Registry& r = registry();
+  return intern(name, r.counter_names, r.counter_ids);
+}
+
+MetricId timer_id(std::string_view name) {
+  Registry& r = registry();
+  return intern(name, r.timer_names, r.timer_ids);
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, count] : other.counters) counters[name] += count;
+  for (const auto& [name, stat] : other.timings) timings[name].merge(stat);
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, count] : counters) {
+    if (!first) os << ',';
+    first = false;
+    append_json_escaped(os, name);
+    os << ':' << count;
+  }
+  os << "},\"timings\":{";
+  first = true;
+  for (const auto& [name, stat] : timings) {
+    if (!first) os << ',';
+    first = false;
+    append_json_escaped(os, name);
+    os << ":{\"count\":" << stat.count << ",\"total_s\":";
+    append_double(os, stat.total);
+    os << ",\"min_s\":";
+    append_double(os, stat.min);
+    os << ",\"max_s\":";
+    append_double(os, stat.max);
+    os << '}';
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsSink::merge(const MetricsSink& other) {
+  if (other.counters_.size() > counters_.size()) {
+    counters_.resize(other.counters_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  if (other.timings_.size() > timings_.size()) {
+    timings_.resize(other.timings_.size());
+  }
+  for (std::size_t i = 0; i < other.timings_.size(); ++i) {
+    timings_[i].merge(other.timings_[i]);
+  }
+}
+
+bool MetricsSink::empty() const noexcept {
+  for (const std::uint64_t c : counters_) {
+    if (c != 0) return false;
+  }
+  for (const TimingStat& t : timings_) {
+    if (t.count != 0) return false;
+  }
+  return true;
+}
+
+MetricsSnapshot MetricsSink::snapshot() const {
+  MetricsSnapshot snap;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i] != 0) snap.counters[counter_name(i)] = counters_[i];
+  }
+  for (std::size_t i = 0; i < timings_.size(); ++i) {
+    if (timings_[i].count != 0) snap.timings[timer_name(i)] = timings_[i];
+  }
+  return snap;
+}
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+MetricsSink* active_sink() noexcept { return t_active_sink; }
+
+SinkScope::SinkScope(MetricsSink& sink) noexcept
+    : previous_(t_active_sink) {
+  t_active_sink = metrics_enabled() ? &sink : nullptr;
+}
+
+SinkScope::~SinkScope() { t_active_sink = previous_; }
+
+void merge_global(const MetricsSink& sink) {
+  if (sink.empty()) return;
+  GlobalSink& g = global_sink();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.sink.merge(sink);
+}
+
+void count_global(MetricId id, std::uint64_t delta) {
+  GlobalSink& g = global_sink();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.sink.add_count(id, delta);
+}
+
+void time_global(MetricId id, double seconds) {
+  GlobalSink& g = global_sink();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.sink.add_timing(id, seconds);
+}
+
+MetricsSnapshot global_snapshot() {
+  GlobalSink& g = global_sink();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  return g.sink.snapshot();
+}
+
+void reset_global() {
+  GlobalSink& g = global_sink();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.sink.clear();
+}
+
+}  // namespace fastqaoa::obs

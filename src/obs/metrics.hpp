@@ -1,0 +1,251 @@
+#pragma once
+/// \file metrics.hpp
+/// Engine-wide metrics: named counters and timing accumulators with
+/// per-thread sinks merged at join points.
+///
+/// The design mirrors the plan/workspace split: hot paths increment a
+/// MetricsSink they own exclusively (the one embedded in their
+/// EvalWorkspace, bound as the thread's *active sink* for the duration of a
+/// call), so instrumentation never touches shared state on the hot path.
+/// Outer loops merge each worker's sink into the process-global aggregate
+/// exactly once, at their join point — which is why merged totals are
+/// identical at any thread count: the same deterministic work produces the
+/// same counts no matter how it was scheduled.
+///
+/// Metric names are interned once into dense ids (function-local statics at
+/// each instrumentation site), so a hot-path increment is a vector index,
+/// not a hash lookup.
+///
+/// All classes here compile unconditionally; only the FASTQAOA_OBS_* macros
+/// at the bottom — the things that sit on hot paths — compile to nothing
+/// when the build sets FASTQAOA_PROFILING=OFF.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace fastqaoa::obs {
+
+/// Dense handle for an interned metric name.
+using MetricId = std::size_t;
+
+/// Intern a counter / timer name (process-global, append-only; safe to call
+/// from any thread, but intended to run once per site via a local static).
+MetricId counter_id(std::string_view name);
+MetricId timer_id(std::string_view name);
+
+/// Accumulated timing distribution for one named timer.
+struct TimingStat {
+  std::uint64_t count = 0;
+  double total = 0.0;  ///< seconds
+  double min = std::numeric_limits<double>::infinity();
+  double max = 0.0;
+
+  void add(double seconds) noexcept {
+    ++count;
+    total += seconds;
+    if (seconds < min) min = seconds;
+    if (seconds > max) max = seconds;
+  }
+  void merge(const TimingStat& other) noexcept {
+    count += other.count;
+    total += other.total;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+};
+
+/// Point-in-time view of a sink (or of the global aggregate) keyed by name.
+/// Mergeable, and serializable to a stable (sorted-key) JSON object.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, TimingStat> timings;
+
+  void merge(const MetricsSnapshot& other);
+  [[nodiscard]] bool empty() const noexcept {
+    return counters.empty() && timings.empty();
+  }
+  /// {"counters": {name: count, ...},
+  ///  "timings": {name: {"count": n, "total_s": t, "min_s": a, "max_s": b}}}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// One thread's (or one workspace's) metric store. Not thread-safe — that
+/// is the point: exactly one thread writes a given sink, and merges into
+/// shared aggregates happen only at join points.
+class MetricsSink {
+ public:
+  void add_count(MetricId id, std::uint64_t delta = 1) {
+    if (id >= counters_.size()) counters_.resize(id + 1, 0);
+    counters_[id] += delta;
+  }
+  void add_timing(MetricId id, double seconds) {
+    if (id >= timings_.size()) timings_.resize(id + 1);
+    timings_[id].add(seconds);
+  }
+  void merge(const MetricsSink& other);
+  void clear() noexcept {
+    counters_.clear();
+    timings_.clear();
+  }
+  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  std::vector<std::uint64_t> counters_;  ///< indexed by counter MetricId
+  std::vector<TimingStat> timings_;      ///< indexed by timer MetricId
+};
+
+/// Runtime master switch (default on). When off, SinkScope binds no active
+/// sink, so every instrumentation site becomes a null-pointer test — the
+/// knob the overhead bench uses to measure instrumented vs uninstrumented
+/// evaluate() inside one binary.
+void set_metrics_enabled(bool enabled) noexcept;
+[[nodiscard]] bool metrics_enabled() noexcept;
+
+/// The calling thread's active sink (nullptr when none is bound).
+[[nodiscard]] MetricsSink* active_sink() noexcept;
+
+/// RAII binding of a sink as the calling thread's active sink. evaluate()
+/// binds its workspace's sink; optimizer outer loops bind their chain's
+/// workspace sink around the whole chain so BFGS/basinhopping counters land
+/// in the same per-thread store. Scopes nest (the previous binding is
+/// restored on destruction).
+class SinkScope {
+ public:
+  explicit SinkScope(MetricsSink& sink) noexcept;
+  ~SinkScope();
+  SinkScope(const SinkScope&) = delete;
+  SinkScope& operator=(const SinkScope&) = delete;
+
+ private:
+  MetricsSink* previous_;
+};
+
+/// Times a scope into the active sink (captured at construction).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(MetricId id) noexcept
+      : sink_(active_sink()), id_(id) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->add_timing(id_, timer_.seconds());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsSink* sink_;
+  MetricId id_;
+  WallTimer timer_;
+};
+
+/// Process-global aggregate. merge_global is the join-point primitive
+/// (mutex-protected, called once per chain/instance — never per
+/// evaluation); count_global/time_global record cold-path events that have
+/// no per-thread sink (find_angles rounds, ensemble instances).
+void merge_global(const MetricsSink& sink);
+void count_global(MetricId id, std::uint64_t delta = 1);
+void time_global(MetricId id, double seconds);
+[[nodiscard]] MetricsSnapshot global_snapshot();
+void reset_global();
+
+}  // namespace fastqaoa::obs
+
+// ---------------------------------------------------------------------------
+// Hot-path instrumentation macros. These — and only these — compile to
+// nothing when FASTQAOA_PROFILING=OFF, so an uninstrumented build carries
+// zero overhead and zero behavior change.
+// ---------------------------------------------------------------------------
+
+#define FASTQAOA_OBS_CONCAT_IMPL(a, b) a##b
+#define FASTQAOA_OBS_CONCAT(a, b) FASTQAOA_OBS_CONCAT_IMPL(a, b)
+
+#ifdef FASTQAOA_PROFILING_ENABLED
+
+/// Bind `sink` as this thread's active sink for the enclosing scope.
+#define FASTQAOA_OBS_SCOPE(sink) \
+  ::fastqaoa::obs::SinkScope FASTQAOA_OBS_CONCAT(fq_obs_scope_, __LINE__)(sink)
+
+/// Add `delta` to the named counter in the active sink (no-op if none).
+#define FASTQAOA_OBS_COUNT(name, delta)                                  \
+  do {                                                                   \
+    if (::fastqaoa::obs::MetricsSink* fq_obs_s =                         \
+            ::fastqaoa::obs::active_sink()) {                            \
+      static const ::fastqaoa::obs::MetricId fq_obs_id =                 \
+          ::fastqaoa::obs::counter_id(name);                             \
+      fq_obs_s->add_count(fq_obs_id, (delta));                           \
+    }                                                                    \
+  } while (false)
+
+/// Time the enclosing scope into the named timer of the active sink.
+#define FASTQAOA_OBS_TIMED(name)                                         \
+  static const ::fastqaoa::obs::MetricId FASTQAOA_OBS_CONCAT(            \
+      fq_obs_tid_, __LINE__) = ::fastqaoa::obs::timer_id(name);          \
+  ::fastqaoa::obs::ScopedTimer FASTQAOA_OBS_CONCAT(fq_obs_timer_,        \
+                                                   __LINE__)(            \
+      FASTQAOA_OBS_CONCAT(fq_obs_tid_, __LINE__))
+
+/// Record an externally measured duration into the named timer of the
+/// active sink (for durations not expressible as an enclosing scope).
+#define FASTQAOA_OBS_TIME(name, seconds)                                  \
+  do {                                                                    \
+    if (::fastqaoa::obs::MetricsSink* fq_obs_s =                          \
+            ::fastqaoa::obs::active_sink()) {                             \
+      static const ::fastqaoa::obs::MetricId fq_obs_id =                  \
+          ::fastqaoa::obs::timer_id(name);                                \
+      fq_obs_s->add_timing(fq_obs_id, (seconds));                         \
+    }                                                                     \
+  } while (false)
+
+/// Cold-path global counter/timer (serial outer-loop bookkeeping).
+#define FASTQAOA_OBS_COUNT_GLOBAL(name, delta)                           \
+  do {                                                                   \
+    if (::fastqaoa::obs::metrics_enabled()) {                            \
+      static const ::fastqaoa::obs::MetricId fq_obs_id =                 \
+          ::fastqaoa::obs::counter_id(name);                             \
+      ::fastqaoa::obs::count_global(fq_obs_id, (delta));                 \
+    }                                                                    \
+  } while (false)
+
+#define FASTQAOA_OBS_TIME_GLOBAL(name, seconds)                          \
+  do {                                                                   \
+    if (::fastqaoa::obs::metrics_enabled()) {                            \
+      static const ::fastqaoa::obs::MetricId fq_obs_id =                 \
+          ::fastqaoa::obs::timer_id(name);                               \
+      ::fastqaoa::obs::time_global(fq_obs_id, (seconds));                \
+    }                                                                    \
+  } while (false)
+
+/// Merge a worker sink into the global aggregate at a join point.
+#define FASTQAOA_OBS_MERGE_GLOBAL(sink) ::fastqaoa::obs::merge_global(sink)
+
+#else  // !FASTQAOA_PROFILING_ENABLED
+
+#define FASTQAOA_OBS_SCOPE(sink) \
+  do {                           \
+  } while (false)
+#define FASTQAOA_OBS_COUNT(name, delta) \
+  do {                                  \
+  } while (false)
+#define FASTQAOA_OBS_TIMED(name) \
+  do {                           \
+  } while (false)
+#define FASTQAOA_OBS_TIME(name, seconds) \
+  do {                                   \
+  } while (false)
+#define FASTQAOA_OBS_COUNT_GLOBAL(name, delta) \
+  do {                                         \
+  } while (false)
+#define FASTQAOA_OBS_TIME_GLOBAL(name, seconds) \
+  do {                                          \
+  } while (false)
+#define FASTQAOA_OBS_MERGE_GLOBAL(sink) \
+  do {                                  \
+  } while (false)
+
+#endif  // FASTQAOA_PROFILING_ENABLED

@@ -1,0 +1,184 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace fastqaoa::obs {
+
+namespace {
+
+using trace_clock = std::chrono::steady_clock;
+
+struct TraceEvent {
+  const char* name;
+  double ts_us;
+  double dur_us;
+};
+
+/// Per-thread span buffer. Owned by the thread (appends are uncontended);
+/// registered globally so the session can harvest all of them. When a
+/// thread dies its events move to the session's retired list so nothing is
+/// lost.
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  int tid = 0;
+  ~ThreadBuffer();
+};
+
+/// Hard per-thread cap so a runaway session cannot exhaust memory; overflow
+/// is counted and reported in the emitted JSON instead of silently lost.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 22;
+
+struct Session {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> buffers;           ///< live threads
+  std::vector<TraceEvent> retired;              ///< from exited threads
+  std::vector<std::pair<int, std::uint64_t>> retired_dropped;
+  std::atomic<bool> enabled{false};
+  std::atomic<std::int64_t> t0_ns{0};
+  int next_tid = 0;
+};
+
+Session& session() {
+  static Session s;
+  return s;
+}
+
+ThreadBuffer::~ThreadBuffer() {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (std::size_t i = 0; i < s.buffers.size(); ++i) {
+    if (s.buffers[i] == this) {
+      s.buffers.erase(s.buffers.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  s.retired.insert(s.retired.end(), events.begin(), events.end());
+  if (dropped != 0) s.retired_dropped.emplace_back(tid, dropped);
+}
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer owned;
+  thread_local bool registered = false;
+  if (!registered) {
+    registered = true;
+    Session& s = session();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    owned.tid = s.next_tid++;
+    s.buffers.push_back(&owned);
+  }
+  return owned;
+}
+
+double now_us() {
+  const std::int64_t t0 = session().t0_ns.load(std::memory_order_relaxed);
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          trace_clock::now().time_since_epoch())
+          .count();
+  return static_cast<double>(now - t0) * 1e-3;
+}
+
+void append_event_json(std::ostringstream& os, const TraceEvent& e,
+                       int tid, bool& first) {
+  if (!first) os << ',';
+  first = false;
+  char buf[64];
+  os << "{\"name\":\"" << e.name << "\",\"cat\":\"fastqaoa\",\"ph\":\"X\"";
+  std::snprintf(buf, sizeof buf, ",\"ts\":%.3f,\"dur\":%.3f", e.ts_us,
+                e.dur_us);
+  os << buf << ",\"pid\":1,\"tid\":" << tid << '}';
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return session().enabled.load(std::memory_order_relaxed);
+}
+
+void trace_begin() {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (ThreadBuffer* b : s.buffers) {
+    b->events.clear();
+    b->dropped = 0;
+  }
+  s.retired.clear();
+  s.retired_dropped.clear();
+  s.t0_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    trace_clock::now().time_since_epoch())
+                    .count(),
+                std::memory_order_relaxed);
+  s.enabled.store(true, std::memory_order_release);
+}
+
+std::string trace_end_json() {
+  Session& s = session();
+  s.enabled.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(s.mutex);
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::uint64_t dropped = 0;
+  for (const ThreadBuffer* b : s.buffers) {
+    for (const TraceEvent& e : b->events) {
+      append_event_json(os, e, b->tid, first);
+    }
+    dropped += b->dropped;
+  }
+  for (const TraceEvent& e : s.retired) {
+    append_event_json(os, e, /*tid=*/-1, first);
+  }
+  for (const auto& [tid, n] : s.retired_dropped) dropped += n;
+  if (dropped != 0) {
+    // Surface overflow as a metadata event rather than dropping silently.
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"fastqaoa.dropped_spans\",\"ph\":\"i\",\"ts\":0,"
+          "\"pid\":1,\"tid\":0,\"s\":\"g\",\"args\":{\"count\":"
+       << dropped << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+bool write_trace(const std::string& path) {
+  const std::string json = trace_end_json();
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << json << '\n';
+  return out.good();
+}
+
+std::size_t trace_span_count() {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t n = s.retired.size();
+  for (const ThreadBuffer* b : s.buffers) n += b->events.size();
+  return n;
+}
+
+TraceSpan::TraceSpan(const char* name) noexcept
+    : name_(name), start_us_(-1.0) {
+  if (tracing_enabled()) start_us_ = now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0.0 || !tracing_enabled()) return;
+  ThreadBuffer& buffer = thread_buffer();
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(
+      TraceEvent{name_, start_us_, now_us() - start_us_});
+}
+
+}  // namespace fastqaoa::obs

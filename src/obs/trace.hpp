@@ -1,0 +1,73 @@
+#pragma once
+/// \file trace.hpp
+/// Scoped spans emitting Chrome-trace-event JSON, loadable in
+/// chrome://tracing or https://ui.perfetto.dev.
+///
+/// Tracing is off by default and costs one relaxed atomic load per span
+/// site while off. trace_begin() arms it; every TraceSpan constructed while
+/// armed records a complete ("ph":"X") event into a per-thread buffer
+/// (registered once per thread; appends never contend). trace_end_json()
+/// disarms and merges all buffers into one JSON document.
+///
+/// Begin/end are quiescent-point operations: call them when no instrumented
+/// work is in flight (before/after a run), exactly like reading the global
+/// metrics aggregate. Span names must be string literals (or otherwise
+/// outlive the session) — spans store the pointer, not a copy.
+///
+/// As with metrics, the classes compile unconditionally; the
+/// FASTQAOA_TRACE_SPAN macro placed on hot paths compiles to nothing when
+/// FASTQAOA_PROFILING=OFF.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace fastqaoa::obs {
+
+/// Whether a tracing session is currently armed.
+[[nodiscard]] bool tracing_enabled() noexcept;
+
+/// Arm tracing: clears all span buffers and restarts the session clock.
+void trace_begin();
+
+/// Disarm tracing and serialize every recorded span as Chrome trace-event
+/// JSON ({"traceEvents":[...],"displayTimeUnit":"ms"}). Timestamps are
+/// microseconds since trace_begin(). Always returns a valid JSON document,
+/// even when no spans were recorded.
+[[nodiscard]] std::string trace_end_json();
+
+/// trace_end_json() written to `path`; returns false if the file could not
+/// be written.
+bool write_trace(const std::string& path);
+
+/// Spans recorded across all threads in the current session (diagnostic;
+/// buffers are sampled the same way trace_end_json does, so call it at a
+/// quiescent point).
+[[nodiscard]] std::size_t trace_span_count();
+
+/// RAII span: records [construction, destruction) under `name` on the
+/// calling thread. Nested spans nest naturally in the trace viewer because
+/// their intervals are contained in the parent's.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept;
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_;  ///< < 0 when tracing was off at construction
+};
+
+}  // namespace fastqaoa::obs
+
+#ifdef FASTQAOA_PROFILING_ENABLED
+#define FASTQAOA_TRACE_SPAN(name)                                  \
+  ::fastqaoa::obs::TraceSpan FASTQAOA_OBS_CONCAT(fq_trace_span_,   \
+                                                 __LINE__)(name)
+#else
+#define FASTQAOA_TRACE_SPAN(name) \
+  do {                            \
+  } while (false)
+#endif

@@ -1,9 +1,12 @@
 #include "study/ensemble.hpp"
 
+#include <chrono>
 #include <exception>
 
 #include "common/error.hpp"
 #include "common/threading.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fastqaoa {
 
@@ -43,6 +46,9 @@ EnsembleResult run_ensemble(const Mixer& mixer, const InstanceFactory& factory,
     if (config.instances > 1)
   for (int inst = 0; inst < config.instances; ++inst) {
     try {
+      FASTQAOA_TRACE_SPAN("ensemble_instance");
+      [[maybe_unused]] const auto instance_start =
+          std::chrono::steady_clock::now();
       Rng instance_rng = streams[static_cast<std::size_t>(inst)];
       dvec table = factory(instance_rng);
       FASTQAOA_CHECK(table.size() == mixer.dim(),
@@ -66,6 +72,12 @@ EnsembleResult run_ensemble(const Mixer& mixer, const InstanceFactory& factory,
       }
       result.schedules[static_cast<std::size_t>(inst)] = std::move(schedules);
       result.ratios[static_cast<std::size_t>(inst)] = std::move(inst_ratios);
+      FASTQAOA_OBS_COUNT_GLOBAL("study.ensemble.instances", 1);
+      FASTQAOA_OBS_TIME_GLOBAL(
+          "study.ensemble.instance",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        instance_start)
+              .count());
     } catch (...) {
 #pragma omp critical(fastqaoa_ensemble_error)
       if (!error) error = std::current_exception();

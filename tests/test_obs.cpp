@@ -1,0 +1,415 @@
+// Tests for the observability layer (src/obs/): per-thread counter sinks
+// and their merge semantics, scoped trace spans and the Chrome trace-event
+// JSON they serialize to, and the thread-count invariance of merged
+// evaluation counts coming out of the instrumented angle-finding loops.
+//
+// The obs classes compile in both FASTQAOA_PROFILING configurations; only
+// the macro-driven assertions (global counters populated by instrumented
+// hot paths) are gated on FASTQAOA_PROFILING_ENABLED.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anglefind/strategies.hpp"
+#include "common/threading.hpp"
+#include "mixers/x_mixer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "problems/cost_functions.hpp"
+
+namespace fastqaoa {
+namespace {
+
+// --- minimal JSON syntax validator -----------------------------------------
+// Recursive-descent checker for the JSON the obs layer emits. Accepts any
+// syntactically valid document; no semantics, no number parsing beyond shape.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return i_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\n' ||
+                              s_[i_] == '\r' || s_[i_] == '\t')) {
+      ++i_;
+    }
+  }
+  bool literal(const char* lit) {
+    for (const char* c = lit; *c != '\0'; ++c, ++i_) {
+      if (i_ >= s_.size() || s_[i_] != *c) return false;
+    }
+    return true;
+  }
+  bool string() {
+    if (s_[i_] != '"') return false;
+    ++i_;
+    while (i_ < s_.size() && s_[i_] != '"') {
+      if (s_[i_] == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return false;
+      }
+      ++i_;
+    }
+    if (i_ >= s_.size()) return false;
+    ++i_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = i_;
+    if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
+    bool digits = false;
+    while (i_ < s_.size() &&
+           ((s_[i_] >= '0' && s_[i_] <= '9') || s_[i_] == '.' ||
+            s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '-' ||
+            s_[i_] == '+')) {
+      if (s_[i_] >= '0' && s_[i_] <= '9') digits = true;
+      ++i_;
+    }
+    return digits && i_ > start;
+  }
+  bool object() {
+    ++i_;  // '{'
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == '}') {
+      ++i_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (i_ >= s_.size() || s_[i_] != ':') return false;
+      ++i_;
+      if (!value()) return false;
+      skip_ws();
+      if (i_ >= s_.size()) return false;
+      if (s_[i_] == '}') {
+        ++i_;
+        return true;
+      }
+      if (s_[i_] != ',') return false;
+      ++i_;
+    }
+  }
+  bool array() {
+    ++i_;  // '['
+    skip_ws();
+    if (i_ < s_.size() && s_[i_] == ']') {
+      ++i_;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (i_ >= s_.size()) return false;
+      if (s_[i_] == ']') {
+        ++i_;
+        return true;
+      }
+      if (s_[i_] != ',') return false;
+      ++i_;
+    }
+  }
+  bool value() {
+    skip_ws();
+    if (i_ >= s_.size()) return false;
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+// --- counter / timer sinks --------------------------------------------------
+
+TEST(Metrics, InterningIsStableAndDistinct) {
+  const obs::MetricId a1 = obs::counter_id("obs_test.alpha");
+  const obs::MetricId a2 = obs::counter_id("obs_test.alpha");
+  const obs::MetricId b = obs::counter_id("obs_test.beta");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  // Counter and timer namespaces are independent.
+  const obs::MetricId t = obs::timer_id("obs_test.alpha");
+  const obs::MetricId t2 = obs::timer_id("obs_test.alpha");
+  EXPECT_EQ(t, t2);
+}
+
+TEST(Metrics, CountersMergeAcrossSixThreads) {
+  const obs::MetricId count_id = obs::counter_id("obs_test.merge.count");
+  const obs::MetricId time_id = obs::timer_id("obs_test.merge.time");
+
+  constexpr int kThreads = 6;
+  std::vector<obs::MetricsSink> sinks(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Thread t adds (t+1)*100 counts and (t+1) timing samples of t+1 ms.
+      for (int i = 0; i < (t + 1) * 100; ++i) {
+        sinks[static_cast<std::size_t>(t)].add_count(count_id);
+      }
+      for (int i = 0; i <= t; ++i) {
+        sinks[static_cast<std::size_t>(t)].add_timing(time_id,
+                                                      1e-3 * (t + 1));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  obs::MetricsSink total;
+  for (const auto& sink : sinks) total.merge(sink);
+  const obs::MetricsSnapshot snap = total.snapshot();
+
+  // 100 + 200 + ... + 600 = 2100 counts; 1 + 2 + ... + 6 = 21 samples.
+  ASSERT_EQ(snap.counters.count("obs_test.merge.count"), 1u);
+  EXPECT_EQ(snap.counters.at("obs_test.merge.count"), 2100u);
+  ASSERT_EQ(snap.timings.count("obs_test.merge.time"), 1u);
+  const obs::TimingStat& stat = snap.timings.at("obs_test.merge.time");
+  EXPECT_EQ(stat.count, 21u);
+  EXPECT_NEAR(stat.min, 1e-3, 1e-12);
+  EXPECT_NEAR(stat.max, 6e-3, 1e-12);
+  // total = sum over t of (t+1) samples of (t+1) ms = 1+4+9+...+36 ms.
+  EXPECT_NEAR(stat.total, 91e-3, 1e-9);
+}
+
+TEST(Metrics, SnapshotMergeAddsAndJsonIsValid) {
+  const obs::MetricId id = obs::counter_id("obs_test.snapshot.count");
+  const obs::MetricId tid = obs::timer_id("obs_test.snapshot.time");
+
+  obs::MetricsSink a;
+  a.add_count(id, 3);
+  a.add_timing(tid, 0.5);
+  obs::MetricsSink b;
+  b.add_count(id, 4);
+  b.add_timing(tid, 1.5);
+
+  obs::MetricsSnapshot sa = a.snapshot();
+  const obs::MetricsSnapshot sb = b.snapshot();
+  sa.merge(sb);
+  EXPECT_EQ(sa.counters.at("obs_test.snapshot.count"), 7u);
+  EXPECT_EQ(sa.timings.at("obs_test.snapshot.time").count, 2u);
+  EXPECT_NEAR(sa.timings.at("obs_test.snapshot.time").total, 2.0, 1e-12);
+  EXPECT_NEAR(sa.timings.at("obs_test.snapshot.time").min, 0.5, 1e-12);
+  EXPECT_NEAR(sa.timings.at("obs_test.snapshot.time").max, 1.5, 1e-12);
+
+  const std::string json = sa.to_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"obs_test.snapshot.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.snapshot.time\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_s\""), std::string::npos);
+
+  // An empty snapshot still serializes to a valid document.
+  const obs::MetricsSnapshot empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(JsonValidator(empty.to_json()).valid()) << empty.to_json();
+}
+
+TEST(Metrics, SinkScopeBindsNestsAndHonorsRuntimeToggle) {
+  EXPECT_EQ(obs::active_sink(), nullptr);
+  obs::MetricsSink outer;
+  obs::MetricsSink inner;
+  {
+    obs::SinkScope bind_outer(outer);
+    EXPECT_EQ(obs::active_sink(), &outer);
+    {
+      obs::SinkScope bind_inner(inner);
+      EXPECT_EQ(obs::active_sink(), &inner);
+    }
+    EXPECT_EQ(obs::active_sink(), &outer);
+  }
+  EXPECT_EQ(obs::active_sink(), nullptr);
+
+  obs::set_metrics_enabled(false);
+  {
+    obs::SinkScope bind(outer);
+    EXPECT_EQ(obs::active_sink(), nullptr);
+  }
+  obs::set_metrics_enabled(true);
+  EXPECT_TRUE(obs::metrics_enabled());
+}
+
+TEST(Metrics, GlobalMergeAndReset) {
+  obs::reset_global();
+  const obs::MetricId id = obs::counter_id("obs_test.global.count");
+  obs::MetricsSink sink;
+  sink.add_count(id, 5);
+  obs::merge_global(sink);
+  obs::count_global(id, 2);
+  EXPECT_EQ(obs::global_snapshot().counters.at("obs_test.global.count"), 7u);
+  obs::reset_global();
+  EXPECT_EQ(obs::global_snapshot().counters.count("obs_test.global.count"),
+            0u);
+}
+
+// --- trace spans -------------------------------------------------------------
+
+TEST(Trace, NestedSpansSerializeToValidChromeTraceJson) {
+  obs::trace_begin();
+  {
+    obs::TraceSpan outer("obs_test_outer");
+    {
+      obs::TraceSpan inner("obs_test_inner");
+    }
+    {
+      obs::TraceSpan inner2("obs_test_inner2");
+    }
+  }
+  EXPECT_EQ(obs::trace_span_count(), 3u);
+  const std::string json = obs::trace_end_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_FALSE(obs::tracing_enabled());
+}
+
+TEST(Trace, SpansFromMultipleThreadsAllLand) {
+  obs::trace_begin();
+  constexpr int kThreads = 6;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] { obs::TraceSpan span("obs_test_worker"); });
+  }
+  for (auto& w : workers) w.join();
+  const std::string json = obs::trace_end_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  // All six spans appear, even though their threads have exited.
+  std::size_t found = 0;
+  for (std::size_t pos = json.find("obs_test_worker");
+       pos != std::string::npos; pos = json.find("obs_test_worker", pos + 1)) {
+    ++found;
+  }
+  EXPECT_EQ(found, 6u);
+}
+
+TEST(Trace, DisarmedSpansCostNothingAndRecordNothing) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  {
+    obs::TraceSpan span("obs_test_disarmed");
+  }
+  obs::trace_begin();
+  const std::string json = obs::trace_end_json();
+  EXPECT_EQ(json.find("obs_test_disarmed"), std::string::npos);
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+}
+
+// --- end-to-end: instrumented angle finding ---------------------------------
+
+TEST(ObsIntegration, FindAnglesEvalCountsThreadCountInvariant) {
+  Rng rng(31);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(6),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(6);
+  FindAnglesOptions opt;
+  opt.seed = 13;
+  opt.hopping.hops = 3;
+  opt.parallel_starts = 8;
+
+  set_num_threads(1);
+  obs::reset_global();
+  const std::vector<AngleSchedule> serial = find_angles(mixer, table, 2, opt);
+  const obs::MetricsSnapshot snap_serial = obs::global_snapshot();
+
+  set_num_threads(4);
+  obs::reset_global();
+  const std::vector<AngleSchedule> parallel =
+      find_angles(mixer, table, 2, opt);
+  const obs::MetricsSnapshot snap_parallel = obs::global_snapshot();
+  set_num_threads(1);
+  obs::reset_global();
+
+  // The schedule-level totals are part of the public API and must be
+  // identical at any thread count (and non-zero: the chains did real work).
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_GT(serial[i].optimizer_calls, 0u);
+    EXPECT_GT(serial[i].evaluations, 0u);
+    EXPECT_GE(serial[i].evaluations, serial[i].optimizer_calls);
+    EXPECT_EQ(serial[i].optimizer_calls, parallel[i].optimizer_calls);
+    EXPECT_EQ(serial[i].evaluations, parallel[i].evaluations);
+    EXPECT_EQ(serial[i].expectation, parallel[i].expectation);
+  }
+
+#ifdef FASTQAOA_PROFILING_ENABLED
+  // With profiling compiled in, the merged global counters must also be
+  // identical: per-chain sinks merged at join points count the same
+  // deterministic work regardless of scheduling. (Timings differ, of
+  // course — only the counters are invariant.)
+  EXPECT_FALSE(snap_serial.counters.empty());
+  EXPECT_EQ(snap_serial.counters, snap_parallel.counters);
+  EXPECT_GT(snap_serial.counters.at("core.evaluate.calls"), 0u);
+  EXPECT_GT(snap_serial.counters.at("anglefind.chains"), 0u);
+  EXPECT_EQ(snap_serial.counters.at("anglefind.rounds"), 2u);
+#else
+  // Compiled out: the macros must leave no residue in the global aggregate.
+  EXPECT_TRUE(snap_serial.counters.empty());
+  EXPECT_TRUE(snap_parallel.counters.empty());
+#endif
+}
+
+TEST(ObsIntegration, RandomAndGridSchedulesCarryEvalCounts) {
+  Rng rng(32);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(6),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(6);
+  FindAnglesOptions opt;
+  opt.seed = 5;
+
+  set_num_threads(1);
+  const AngleSchedule random = find_angles_random(mixer, table, 2, 4, opt);
+  EXPECT_GT(random.optimizer_calls, 0u);
+  EXPECT_GE(random.evaluations, random.optimizer_calls);
+
+  const AngleSchedule grid = find_angles_grid(mixer, table, 1, 6, opt);
+  // 6^2 grid points plus the BFGS polish.
+  EXPECT_GT(grid.optimizer_calls, 36u);
+  EXPECT_GE(grid.evaluations, grid.optimizer_calls);
+}
+
+TEST(ObsIntegration, OnRoundCallbackFiresPerRound) {
+  Rng rng(33);
+  Graph g = erdos_renyi(6, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(6),
+                        [&g](state_t x) { return maxcut(g, x); });
+  XMixer mixer = XMixer::transverse_field(6);
+  FindAnglesOptions opt;
+  opt.seed = 4;
+  opt.hopping.hops = 2;
+  std::vector<int> rounds;
+  opt.on_round = [&rounds](const AngleSchedule& s, double seconds) {
+    EXPECT_GE(seconds, 0.0);
+    rounds.push_back(s.p);
+  };
+
+  set_num_threads(1);
+  const std::vector<AngleSchedule> schedules =
+      find_angles(mixer, table, 3, opt);
+  ASSERT_EQ(schedules.size(), 3u);
+  EXPECT_EQ(rounds, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -11,6 +11,13 @@
 //            [--strategy=iterative|random|grid] [--restarts=50] [--hops=8]
 //            [--minimize] [--shots=0] [--checkpoint=path] [--mixer-cache=path]
 //            [--threads=N] [--starts=M]
+//            [--metrics=out.json] [--trace=out.trace.json] [--progress]
+//
+// Observability: --metrics writes the merged engine counters/timers as JSON
+// after the run; --trace records scoped spans and writes Chrome trace-event
+// JSON (open in chrome://tracing or ui.perfetto.dev); --progress prints one
+// stderr line per completed angle-finding round. With the library built at
+// FASTQAOA_PROFILING=OFF the files are still written but contain no samples.
 //
 // Examples:
 //   qaoa_cli --problem=maxcut --mixer=tf --n=10 --p=5
@@ -19,6 +26,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -30,6 +38,8 @@
 #include "mixers/eigen_mixer.hpp"
 #include "mixers/grover_mixer.hpp"
 #include "mixers/x_mixer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "problems/cost_functions.hpp"
 #include "sampling/sampler.hpp"
 
@@ -75,7 +85,9 @@ bool has_flag(int argc, char** argv, const char* flag) {
                "[--p=4] [--seed=42] [--density=6] "
                "[--strategy=iterative|random|grid] [--restarts=50] "
                "[--hops=8] [--minimize] [--shots=0] [--checkpoint=path] "
-               "[--mixer-cache=path] [--threads=N] [--starts=M]\n");
+               "[--mixer-cache=path] [--threads=N] [--starts=M] "
+               "[--metrics=out.json] [--trace=out.trace.json] "
+               "[--progress]\n");
   std::exit(2);
 }
 
@@ -105,6 +117,12 @@ int main(int argc, char** argv) {
   // inner kernels (they share the OpenMP default team size).
   const int threads = static_cast<int>(int_option(argc, argv, "--threads", 0));
   if (threads > 0) set_num_threads(threads);
+
+  const std::string metrics_path =
+      string_option(argc, argv, "--metrics", "");
+  const std::string trace_path = string_option(argc, argv, "--trace", "");
+  const bool progress = has_flag(argc, argv, "--progress");
+  if (!trace_path.empty()) obs::trace_begin();
 
   Rng rng(seed);
 
@@ -173,6 +191,15 @@ int main(int argc, char** argv) {
   opt.parallel_starts =
       static_cast<int>(int_option(argc, argv, "--starts", 1));
   if (opt.parallel_starts < 1) usage_error("--starts must be >= 1");
+  if (progress) {
+    opt.on_round = [](const AngleSchedule& s, double seconds) {
+      std::fprintf(stderr,
+                   "# round p=%d done in %.2f s: <C>=%.6f "
+                   "(%zu optimizer calls, %zu evaluations)\n",
+                   s.p, seconds, s.expectation, s.optimizer_calls,
+                   s.evaluations);
+    };
+  }
   const int restarts =
       static_cast<int>(int_option(argc, argv, "--restarts", 50));
 
@@ -202,7 +229,8 @@ int main(int argc, char** argv) {
   const double elapsed = timer.seconds();
 
   // --- report -----------------------------------------------------------
-  std::printf("p,expectation,ratio,ground_state_prob%s\n",
+  std::printf("p,expectation,ratio,ground_state_prob,optimizer_calls,"
+              "evaluations%s\n",
               shots > 0 ? ",shot_estimate,shot_stderr" : "");
   for (const AngleSchedule& s : schedules) {
     Qaoa engine(mixer, obj_vals, s.p);
@@ -213,13 +241,35 @@ int main(int argc, char** argv) {
     if (shots > 0) {
       MeasurementSampler sampler(engine.state());
       Rng shot_rng(seed ^ 0xABCDEF);
-      std::printf("%d,%.8f,%.6f,%.6f,%.8f,%.8f\n", s.p, s.expectation, ratio,
-                  gs, sampler.estimate_expectation(obj_vals, shots, shot_rng),
+      std::printf("%d,%.8f,%.6f,%.6f,%zu,%zu,%.8f,%.8f\n", s.p,
+                  s.expectation, ratio, gs, s.optimizer_calls, s.evaluations,
+                  sampler.estimate_expectation(obj_vals, shots, shot_rng),
                   sampler.standard_error(obj_vals, shots));
     } else {
-      std::printf("%d,%.8f,%.6f,%.6f\n", s.p, s.expectation, ratio, gs);
+      std::printf("%d,%.8f,%.6f,%.6f,%zu,%zu\n", s.p, s.expectation, ratio,
+                  gs, s.optimizer_calls, s.evaluations);
     }
   }
   std::fprintf(stderr, "# angle finding took %.2f s\n", elapsed);
+
+  // --- observability artifacts -------------------------------------------
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "qaoa_cli: cannot open --metrics file %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    out << obs::global_snapshot().to_json() << "\n";
+    std::fprintf(stderr, "# metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!obs::write_trace(trace_path)) {
+      std::fprintf(stderr, "qaoa_cli: cannot open --trace file %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# trace written to %s\n", trace_path.c_str());
+  }
   return 0;
 }
