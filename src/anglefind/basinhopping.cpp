@@ -17,6 +17,17 @@ OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
   // Initial local minimization from the seed point.
   OptResult best = bfgs_minimize(fn, std::move(x0), opt.local);
   std::size_t evals = best.evaluations;
+  if (!std::isfinite(best.f)) {
+    // Even the seed basin is poisoned — hand the non-finite result straight
+    // back so the chain-level quarantine can reseed the whole chain.
+    best.stop_reason = runtime::StopReason::NonFinite;
+    best.converged = false;
+    return best;
+  }
+  if (best.stopped_early() &&
+      best.stop_reason != runtime::StopReason::NonFinite) {
+    return best;  // budget tripped during the seed minimization
+  }
 
   std::vector<double> current = best.x;
   double current_f = best.f;
@@ -26,6 +37,13 @@ OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
 
   std::vector<double> trial(current.size());
   for (int hop = 0; hop < opt.hops; ++hop) {
+    if (opt.local.budget != nullptr) {
+      const runtime::StopReason reason = opt.local.budget->check();
+      if (reason != runtime::StopReason::None) {
+        best.stop_reason = reason;
+        break;
+      }
+    }
     FASTQAOA_OBS_COUNT("anglefind.basinhopping.hops", 1);
     FASTQAOA_TRACE_SPAN("basinhop");
     for (std::size_t i = 0; i < current.size(); ++i) {
@@ -33,6 +51,19 @@ OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
     }
     OptResult local = bfgs_minimize(fn, trial, opt.local);
     evals += local.evaluations;
+
+    if (!std::isfinite(local.f)) {
+      // A hop that diverged (NaN, or a -Inf that would otherwise win the
+      // basin comparison) is rejected outright; the chain keeps hopping
+      // from the last finite basin.
+      FASTQAOA_OBS_COUNT("runtime.nonfinite.hops", 1);
+      ++stale;
+      if (opt.no_improvement_limit > 0 && stale >= opt.no_improvement_limit) {
+        break;
+      }
+      ++best.iterations;
+      continue;
+    }
 
     // Metropolis acceptance on the *basin* energies.
     bool accept = local.f <= current_f;
@@ -56,6 +87,14 @@ OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
         break;
       }
     }
+    if (local.stopped_early() &&
+        local.stop_reason != runtime::StopReason::NonFinite) {
+      // Budget tripped inside this hop's local minimization; its result is
+      // already folded into best, so stop hopping here.
+      best.stop_reason = local.stop_reason;
+      ++best.iterations;
+      break;
+    }
     if (opt.adaptive_step && (hop + 1) % 10 == 0) {
       // Steer acceptance toward ~50% (scipy's default heuristic).
       const double rate =
@@ -66,7 +105,7 @@ OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
   }
 
   best.evaluations = evals;
-  best.converged = true;
+  best.converged = !best.stopped_early();
   return best;
 }
 

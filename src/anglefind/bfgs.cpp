@@ -22,6 +22,13 @@ double inf_norm(const std::vector<double>& v) {
   return m;
 }
 
+bool all_finite(const std::vector<double>& v) {
+  for (const double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
 /// One evaluation of phi(alpha) = f(x + alpha d) and phi'(alpha) = g.d.
 struct LineEval {
   double phi;
@@ -158,7 +165,30 @@ OptResult bfgs_minimize(const GradObjective& fn, std::vector<double> x0,
 
   bool first_step = true;
   int iter = 0;
+  std::size_t reported_evals = 0;
   for (; iter < options.max_iterations; ++iter) {
+    if (options.budget != nullptr) {
+      // Report this iteration's evaluations, then poll — so a
+      // max-evaluations budget sees every chain's spend promptly and a
+      // tripped budget stops the search within one iteration.
+      options.budget->add_evaluations(evals - reported_evals);
+      reported_evals = evals;
+      const runtime::StopReason reason = options.budget->check();
+      if (reason != runtime::StopReason::None) {
+        result.stop_reason = reason;
+        break;
+      }
+    }
+    if (!std::isfinite(f) || !all_finite(g)) {
+      // A NaN/Inf objective or gradient would poison every subsequent
+      // update; stop here so the caller can quarantine the point. When the
+      // very first evaluation was non-finite, result.f carries it and the
+      // chain-level recovery reseeds; otherwise x/f are the last finite
+      // accepted iterate.
+      result.stop_reason = runtime::StopReason::NonFinite;
+      FASTQAOA_OBS_COUNT("runtime.nonfinite.bfgs", 1);
+      break;
+    }
     if (inf_norm(g) <= options.gradient_tolerance) {
       result.converged = true;
       break;
@@ -189,6 +219,14 @@ OptResult bfgs_minimize(const GradObjective& fn, std::vector<double> x0,
     const std::vector<double>& x_new = ls.last_point();
     const std::vector<double>& g_new = ls.last_gradient();
     const double f_new = ls.last_value();
+
+    if (!std::isfinite(f_new) || !all_finite(g_new)) {
+      // The line search stepped into a non-finite region: keep the last
+      // finite iterate instead of accepting the poisoned step.
+      result.stop_reason = runtime::StopReason::NonFinite;
+      FASTQAOA_OBS_COUNT("runtime.nonfinite.bfgs", 1);
+      break;
+    }
 
     for (std::size_t i = 0; i < n; ++i) {
       s[i] = x_new[i] - x[i];
@@ -236,6 +274,9 @@ OptResult bfgs_minimize(const GradObjective& fn, std::vector<double> x0,
     g = g_new;
   }
 
+  if (options.budget != nullptr) {
+    options.budget->add_evaluations(evals - reported_evals);
+  }
   FASTQAOA_OBS_COUNT("anglefind.bfgs.iterations",
                      static_cast<std::uint64_t>(iter));
   result.x = std::move(x);

@@ -17,6 +17,12 @@ struct BfgsOptions {
   double wolfe_c1 = 1e-4;            ///< sufficient-decrease constant
   double wolfe_c2 = 0.9;             ///< curvature constant
   int max_line_search_steps = 40;
+  /// Shared run budget, polled once per BFGS iteration (nullptr = none).
+  /// On a trip the minimizer reports its evaluation delta, stops, and
+  /// returns the best point so far with the tripped StopReason — so a
+  /// deadline-budgeted search overruns by at most one iteration.
+  /// Non-owning; the caller's run entry point keeps the tracker alive.
+  const runtime::BudgetTracker* budget = nullptr;
 };
 
 /// Minimize fn starting from x0. fn must provide gradients (use the

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace fastqaoa {
 
@@ -17,7 +19,15 @@ OptResult nelder_mead_minimize(const PlainObjective& fn,
   std::size_t evals = 0;
   auto eval = [&](const std::vector<double>& x) {
     ++evals;
-    return fn(x);
+    const double v = fn(x);
+    if (!std::isfinite(v)) {
+      // Clamp NaN/Inf to worst-possible: the vertex sorts last, so the
+      // simplex contracts away from the non-finite region instead of
+      // propagating NaN through centroids and comparisons.
+      FASTQAOA_OBS_COUNT("runtime.nonfinite.nelder_mead", 1);
+      return std::numeric_limits<double>::infinity();
+    }
+    return v;
   };
 
   // Initial simplex: x0 plus one vertex per coordinate direction.

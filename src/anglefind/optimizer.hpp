@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "runtime/budget.hpp"
+
 namespace fastqaoa {
 
 /// Objective with optional gradient: returns f(x); when `grad` is non-empty
@@ -24,6 +26,15 @@ struct OptResult {
   int iterations = 0;         ///< optimizer iterations
   std::size_t evaluations = 0;  ///< objective/gradient callbacks
   bool converged = false;     ///< tolerance met (vs. iteration cap)
+  /// Why the optimizer returned before converging/exhausting iterations:
+  /// a tripped RunBudget, cancellation, or a non-finite objective value it
+  /// backed away from. None for a normal finish. Budget trips return the
+  /// best point found so far — they never throw.
+  runtime::StopReason stop_reason = runtime::StopReason::None;
+
+  [[nodiscard]] bool stopped_early() const noexcept {
+    return stop_reason != runtime::StopReason::None;
+  }
 };
 
 /// Wrap a gradient-free objective as a GradObjective that refuses gradient

@@ -10,7 +10,9 @@
 ///                           instances.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -20,6 +22,7 @@
 #include "common/rng.hpp"
 #include "core/qaoa.hpp"
 #include "mixers/mixer.hpp"
+#include "runtime/budget.hpp"
 
 namespace fastqaoa {
 
@@ -31,14 +34,23 @@ struct AngleSchedule {
   std::vector<double> gammas;
   double expectation = 0.0;
   /// Objective/gradient callbacks the optimizer issued producing this
-  /// schedule, summed over every chain/restart (0 for schedules loaded
-  /// from a checkpoint).
+  /// schedule, summed over every chain/restart (round-tripped through v2
+  /// checkpoints, so resumed rounds keep their true cost).
   std::size_t optimizer_calls = 0;
   /// Underlying expectation-evaluation equivalents those callbacks cost
   /// (an adjoint gradient tallies 2, central differences 2p+1, ...),
   /// summed over every chain/restart. Thread-count invariant: the chains
   /// do identical work no matter how they are scheduled.
   std::size_t evaluations = 0;
+  /// None when the round's search ran to completion; a budget/cancel
+  /// reason when the run stopped during (or right after) this round and
+  /// the angles are best-so-far rather than fully optimized. Stopped
+  /// rounds are checkpointed for inspection but re-run on resume.
+  runtime::StopReason stop_reason = runtime::StopReason::None;
+
+  [[nodiscard]] bool stopped_early() const noexcept {
+    return stop_reason != runtime::StopReason::None;
+  }
 
   /// Packed [betas..., gammas...] layout used by Qaoa::run_packed.
   [[nodiscard]] std::vector<double> packed() const;
@@ -79,11 +91,27 @@ struct FindAnglesOptions {
   /// wall-clock seconds — the hook behind qaoa_cli --progress. Runs on the
   /// calling thread, outside any parallel region.
   std::function<void(const AngleSchedule&, double seconds)> on_round;
+  /// Cooperative stop limits for the whole call (all rounds, all chains):
+  /// wall-clock deadline, max evaluations, external CancelToken. Checked at
+  /// BFGS-iteration and basinhopping-hop granularity, so a tripped budget
+  /// returns best-so-far schedules flagged with the StopReason instead of
+  /// throwing. Default: unconstrained (and completely free).
+  runtime::RunBudget budget;
+  /// Advanced: share one live BudgetTracker across several calls (how
+  /// run_ensemble gives all instances a single deadline). When set, `budget`
+  /// is ignored and the tracker must outlive the call. Non-owning.
+  runtime::BudgetTracker* shared_tracker = nullptr;
 };
 
 /// The paper's find_angles(): learn good angles for rounds 1..max_rounds
 /// iteratively. Returns one AngleSchedule per round. If a checkpoint file
-/// with earlier rounds exists, resumes after the last completed round.
+/// with earlier rounds exists, resumes after the last completed round —
+/// the checkpoint's fingerprint (dimension, direction, seed, mixer tag)
+/// must match or the resume is refused with a fastqaoa::Error. Each round
+/// draws from its own serially forked RNG stream, so a resumed run is
+/// bit-identical to an uninterrupted one. A tripped options.budget stops
+/// the iteration and returns the rounds finished so far (the last one
+/// flagged with its StopReason) without throwing.
 std::vector<AngleSchedule> find_angles(const Mixer& mixer,
                                        const dvec& obj_vals, int max_rounds,
                                        const FindAnglesOptions& options = {});
@@ -123,9 +151,41 @@ double evaluate_angles(const Mixer& mixer, const dvec& obj_vals,
                        const std::vector<double>& packed,
                        const std::optional<dvec>& phase_values = std::nullopt);
 
-/// Checkpoint persistence (plain text; human-inspectable).
-void save_checkpoint(const std::string& path,
+/// Identity of the run a checkpoint belongs to. Written into every v2
+/// checkpoint header and validated on resume, so a checkpoint produced by
+/// a different problem size, optimization direction, seed, or mixer is
+/// rejected loudly instead of silently resumed into garbage.
+struct CheckpointFingerprint {
+  std::uint64_t dim = 0;  ///< feasible-space dimension (obj table size)
+  Direction direction = Direction::Maximize;
+  std::uint64_t seed = 0;
+  std::string mixer;  ///< Mixer::name() tag
+
+  bool operator==(const CheckpointFingerprint&) const = default;
+};
+
+/// Checkpoint persistence (plain text; human-inspectable). Writes are
+/// atomic (tmp file + rename) and full precision, so a reader never sees a
+/// torn file and loaded angles are bit-identical to the saved ones. When a
+/// fingerprint is supplied to save_checkpoint it is embedded in the header;
+/// when one is supplied to load_checkpoint the file must carry a matching
+/// fingerprint (legacy v1 files, which predate fingerprints, are then
+/// refused). Loading without an expected fingerprint skips validation —
+/// the inspection-tool escape hatch.
+void save_checkpoint(
+    const std::string& path, const std::vector<AngleSchedule>& schedules,
+    const std::optional<CheckpointFingerprint>& fingerprint = std::nullopt);
+std::vector<AngleSchedule> load_checkpoint(
+    const std::string& path,
+    const std::optional<CheckpointFingerprint>& expected = std::nullopt);
+
+/// Schedule-block (de)serialization shared by find_angles checkpoints and
+/// run_ensemble instance files: count line, then per schedule one
+/// `p expectation optimizer_calls evaluations stop_reason` line plus a
+/// betas line and a gammas line, full (round-trip exact) precision.
+void write_schedules(std::ostream& out,
                      const std::vector<AngleSchedule>& schedules);
-std::vector<AngleSchedule> load_checkpoint(const std::string& path);
+std::vector<AngleSchedule> read_schedules(std::istream& in,
+                                          const std::string& context);
 
 }  // namespace fastqaoa

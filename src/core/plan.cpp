@@ -24,6 +24,21 @@ std::vector<MixerLayer> one_per_round(const std::vector<const Mixer*>& ms) {
   return layers;
 }
 
+/// Reject NaN/Inf table entries at construction so a poisoned cost table is
+/// caught once, loudly, instead of silently NaN-ing hours of optimization.
+void check_table_finite(const dvec& table, const char* which) {
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (!std::isfinite(table[i])) {
+      FASTQAOA_CHECK(false, std::string("QaoaPlan: ") + which +
+                                " table contains a non-finite value at "
+                                "index " +
+                                std::to_string(i) +
+                                " — fix the cost function or filter the "
+                                "instance before building a plan");
+    }
+  }
+}
+
 }  // namespace
 
 QaoaPlan::QaoaPlan(std::vector<MixerLayer> layers, dvec obj_vals,
@@ -57,10 +72,12 @@ void QaoaPlan::validate_and_finalize(QaoaPlanOptions options) {
     }
     num_betas_ += static_cast<int>(layer.mixers.size());
   }
+  check_table_finite(obj_vals_, "objective");
 
   if (options.phase_values) {
     FASTQAOA_CHECK(options.phase_values->size() == dim(),
                    "QaoaPlan: phase table dimension mismatch");
+    check_table_finite(*options.phase_values, "phase-separator");
     phase_vals_ = std::move(*options.phase_values);
   }
 

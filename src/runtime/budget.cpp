@@ -1,0 +1,43 @@
+#include "runtime/budget.hpp"
+
+namespace fastqaoa::runtime {
+
+const char* to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::None: return "none";
+    case StopReason::Deadline: return "deadline";
+    case StopReason::MaxEvaluations: return "max-evaluations";
+    case StopReason::Cancelled: return "cancelled";
+    case StopReason::NonFinite: return "non-finite";
+  }
+  return "unknown";
+}
+
+BudgetTracker::BudgetTracker(const RunBudget& budget)
+    : active_(!budget.unconstrained()),
+      has_deadline_(budget.wall_seconds > 0.0),
+      max_evaluations_(budget.max_evaluations),
+      cancel_(budget.cancel) {
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(budget.wall_seconds));
+  }
+}
+
+StopReason BudgetTracker::check() const noexcept {
+  if (!active_) return StopReason::None;
+  if (cancel_ != nullptr && cancel_->stop_requested()) {
+    return StopReason::Cancelled;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return StopReason::Deadline;
+  }
+  if (max_evaluations_ > 0 &&
+      evaluations_.load(std::memory_order_relaxed) >= max_evaluations_) {
+    return StopReason::MaxEvaluations;
+  }
+  return StopReason::None;
+}
+
+}  // namespace fastqaoa::runtime

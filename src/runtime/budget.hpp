@@ -1,0 +1,118 @@
+#pragma once
+/// \file budget.hpp
+/// Cooperative cancellation and run budgets — the fault-tolerant execution
+/// layer's first pillar.
+///
+/// Long-running searches (iterative find_angles out to dozens of rounds,
+/// 50-instance ensembles) must stop *gracefully* when a wall-clock limit, an
+/// evaluation budget, or an external stop request (SIGINT, a supervisor)
+/// arrives: return the best result found so far, flagged with a structured
+/// StopReason, instead of throwing or running to completion. The contract:
+///
+///  * A RunBudget is a plain value the caller puts in FindAnglesOptions /
+///    EnsembleConfig: wall-clock seconds, max expectation-evaluations, and
+///    an optional CancelToken to poll.
+///  * The run entry point materializes it into one shared BudgetTracker
+///    (deadline captured once, evaluation counter atomic) and threads a
+///    pointer down to every worker.
+///  * Workers poll at coarse granularity — each BFGS iteration, each
+///    basinhopping hop, each ensemble instance — so a trip costs at most
+///    one more optimizer step, never a mid-kernel abort.
+///
+/// Budget trips are *not* errors: results come back valid, partial, and
+/// marked. Only genuine precondition violations still throw.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace fastqaoa::runtime {
+
+/// Why a run returned before finishing its requested work.
+enum class StopReason : std::uint8_t {
+  None = 0,        ///< ran to completion
+  Deadline,        ///< RunBudget::wall_seconds elapsed
+  MaxEvaluations,  ///< RunBudget::max_evaluations spent
+  Cancelled,       ///< the CancelToken was triggered (SIGINT, supervisor)
+  NonFinite,       ///< optimization quarantined on a NaN/Inf it could not
+                   ///< recover from
+};
+
+/// Stable human-readable tag ("deadline", "cancelled", ...).
+const char* to_string(StopReason reason) noexcept;
+
+/// Thread-safe external stop flag. request_stop() is async-signal-safe
+/// (a lock-free atomic store), so a SIGINT handler may call it directly —
+/// exactly what qaoa_cli does.
+class CancelToken {
+ public:
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { stop_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+/// Declarative budget for one run. Zero values mean "unlimited"; the
+/// default-constructed budget imposes nothing and costs nothing.
+struct RunBudget {
+  /// Wall-clock limit in seconds for the whole run (<= 0 = unlimited).
+  double wall_seconds = 0.0;
+  /// Limit on objective/gradient callbacks (optimizer evaluations), summed
+  /// across every chain/restart/instance of the run (0 = unlimited).
+  std::size_t max_evaluations = 0;
+  /// External stop flag polled alongside the limits (nullptr = none).
+  /// Non-owning: keep the token alive for the duration of the run.
+  const CancelToken* cancel = nullptr;
+
+  /// True when no limit and no token is set — the tracker then short
+  /// circuits every check.
+  [[nodiscard]] bool unconstrained() const noexcept {
+    return wall_seconds <= 0.0 && max_evaluations == 0 && cancel == nullptr;
+  }
+};
+
+/// One run's live budget state, shared by every worker thread of the run.
+/// The deadline is captured at construction; evaluation counts accumulate
+/// in a relaxed atomic (workers report deltas at BFGS-iteration
+/// granularity). check() returns the first tripped reason, with external
+/// cancellation taking priority over the passive limits.
+class BudgetTracker {
+ public:
+  BudgetTracker() = default;
+  explicit BudgetTracker(const RunBudget& budget);
+
+  /// Whether any limit is configured (false = checks are free no-ops).
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Report `n` more expectation evaluations (thread-safe). Const: workers
+  /// hold a const pointer — reporting progress into the shared counter is
+  /// not a mutation of the budget's configuration.
+  void add_evaluations(std::size_t n) const noexcept {
+    if (active_) evaluations_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t evaluations() const noexcept {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+
+  /// First tripped limit, or StopReason::None. Thread-safe; sticky — once a
+  /// reason trips it keeps being reported (the deadline never un-expires,
+  /// counters never decrease, tokens are never auto-reset mid-run).
+  [[nodiscard]] StopReason check() const noexcept;
+
+ private:
+  bool active_ = false;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::size_t max_evaluations_ = 0;
+  const CancelToken* cancel_ = nullptr;
+  mutable std::atomic<std::size_t> evaluations_{0};
+};
+
+}  // namespace fastqaoa::runtime

@@ -1,0 +1,76 @@
+#include "runtime/checkpoint.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/error.hpp"
+#include "runtime/fault.hpp"
+
+namespace fastqaoa::runtime {
+
+namespace {
+
+std::string os_error_message() {
+  const int err = errno;
+  return err != 0 ? std::strerror(err) : "unknown error";
+}
+
+void remove_quietly(const std::string& path) noexcept {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, std::string_view contents,
+                       std::string_view what) {
+  const std::string tmp = path + ".tmp";
+  {
+    errno = 0;
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      const std::string os = os_error_message();
+      remove_quietly(tmp);
+      throw Error(std::string(what) + ": cannot open " + tmp + " — " + os);
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    if (FASTQAOA_FAULT_FIRE("runtime.checkpoint_write_fail", -1)) {
+      out.setstate(std::ios::badbit);  // simulated mid-stream failure
+    }
+    out.flush();
+    if (!out.good()) {
+      const std::string os = os_error_message();
+      out.close();
+      remove_quietly(tmp);
+      throw Error(std::string(what) + ": write failed for " + tmp + " — " +
+                  os);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    remove_quietly(tmp);
+    throw Error(std::string(what) + ": cannot rename " + tmp + " to " + path +
+                " — " + ec.message());
+  }
+}
+
+std::optional<std::string> read_file_if_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) return std::nullopt;
+    throw Error("read_file_if_exists: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  FASTQAOA_CHECK(!in.bad(), "read_file_if_exists: read failed for " + path);
+  return buffer.str();
+}
+
+}  // namespace fastqaoa::runtime

@@ -1,0 +1,34 @@
+#pragma once
+/// \file checkpoint.hpp
+/// Crash-safe file persistence primitives shared by every checkpoint writer
+/// (find_angles round checkpoints, run_ensemble instance manifests).
+///
+/// The invariant all writers need: a reader never observes a torn file.
+/// atomic_write_file() renders the full contents into `path + ".tmp"`, then
+/// renames over `path` — readers see either the complete old version or the
+/// complete new one. Failure paths are first-class: a failed write removes
+/// the temporary (no `.tmp` litter accumulating on a full disk) and the
+/// thrown Error carries the underlying OS message, so "disk full" and
+/// "directory vanished" are distinguishable from the stack trace alone.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fastqaoa::runtime {
+
+/// Atomically replace `path` with `contents` (write tmp + rename).
+/// `what` names the caller in error messages ("save_checkpoint", ...).
+/// Throws fastqaoa::Error — with the OS error string — if the temporary
+/// cannot be opened, written, or renamed into place; in every failure case
+/// the temporary file is removed and the previous `path` (if any) is left
+/// untouched. Fault point: "runtime.checkpoint_write_fail" simulates a
+/// mid-stream write failure.
+void atomic_write_file(const std::string& path, std::string_view contents,
+                       std::string_view what);
+
+/// Read a whole file; nullopt when it does not exist. Throws
+/// fastqaoa::Error on a file that exists but cannot be read.
+std::optional<std::string> read_file_if_exists(const std::string& path);
+
+}  // namespace fastqaoa::runtime

@@ -1,0 +1,107 @@
+#include "runtime/fault.hpp"
+
+#ifdef FASTQAOA_FAULT_INJECTION_ENABLED
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace fastqaoa::fault {
+
+namespace {
+
+struct ArmedFault {
+  std::string point;
+  long long index;  ///< -1 = match any site index
+  int skips;        ///< matching hits to let pass before firing
+  bool fired = false;
+};
+
+std::mutex g_mutex;
+std::vector<ArmedFault> g_armed;
+std::map<std::string, int, std::less<>> g_fired;
+/// Count of not-yet-fired armed faults; the hot-path gate.
+std::atomic<int> g_live{0};
+
+}  // namespace
+
+bool compiled_in() noexcept { return true; }
+
+void arm(std::string_view point, long long index, int after) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed.push_back(
+      {std::string(point), index, after > 1 ? after - 1 : 0, false});
+  g_live.fetch_add(1, std::memory_order_relaxed);
+}
+
+void reset() noexcept {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_armed.clear();
+  g_fired.clear();
+  g_live.store(0, std::memory_order_relaxed);
+}
+
+int fired_count(std::string_view point) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const auto it = g_fired.find(point);
+  return it == g_fired.end() ? 0 : it->second;
+}
+
+bool fire(std::string_view point, long long index) noexcept {
+  if (g_live.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  for (ArmedFault& f : g_armed) {
+    if (f.fired || f.point != point) continue;
+    if (f.index >= 0 && f.index != index) continue;
+    if (f.skips > 0) {
+      --f.skips;
+      continue;
+    }
+    f.fired = true;
+    g_live.fetch_sub(1, std::memory_order_relaxed);
+    ++g_fired[f.point];
+    return true;
+  }
+  return false;
+}
+
+void arm_from_env() {
+  const char* env = std::getenv("FASTQAOA_FAULTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string_view spec(env);
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view entry = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (entry.empty()) continue;
+    std::string_view point = entry;
+    long long index = -1;
+    int after = 1;
+    const std::size_t c1 = entry.find(':');
+    if (c1 != std::string_view::npos) {
+      point = entry.substr(0, c1);
+      std::string_view rest = entry.substr(c1 + 1);
+      const std::size_t c2 = rest.find(':');
+      index = std::atoll(std::string(rest.substr(0, c2)).c_str());
+      if (c2 != std::string_view::npos) {
+        after = std::atoi(std::string(rest.substr(c2 + 1)).c_str());
+      }
+    }
+    arm(point, index, after);
+  }
+}
+
+}  // namespace fastqaoa::fault
+
+#else  // !FASTQAOA_FAULT_INJECTION_ENABLED
+
+namespace fastqaoa::fault {
+
+bool compiled_in() noexcept { return false; }
+
+}  // namespace fastqaoa::fault
+
+#endif  // FASTQAOA_FAULT_INJECTION_ENABLED

@@ -8,9 +8,11 @@
 /// embarrassingly parallel across instances.
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "anglefind/strategies.hpp"
+#include "runtime/budget.hpp"
 #include "study/stats.hpp"
 
 namespace fastqaoa {
@@ -32,6 +34,20 @@ struct EnsembleConfig {
   /// RNG streams are forked serially from the study seed and results are
   /// written by index, so ratios are bit-identical at any thread count.
   int threads = 0;
+  /// Crash-safe study checkpointing: when non-empty, each fully completed
+  /// instance is persisted to `<dir>/instance_<i>.txt` (atomic write) and a
+  /// manifest recording the study identity (dimension, mixer tag, seed,
+  /// instance count, max_rounds) guards against resuming someone else's
+  /// directory. A re-run with the same config skips the finished instances
+  /// and — because every instance's randomness is a pure function of the
+  /// study seed — produces results bit-identical to an uninterrupted run at
+  /// any thread count. Empty = no checkpointing.
+  std::string checkpoint_dir;
+  /// Cooperative stop limits shared by *all* instances (one live tracker
+  /// threaded through every find_angles call). A tripped budget returns the
+  /// instances finished so far, flagged via EnsembleResult::stop_reason,
+  /// without throwing.
+  runtime::RunBudget budget;
 };
 
 /// Results of an ensemble angle-finding study.
@@ -40,8 +56,19 @@ struct EnsembleResult {
   std::vector<std::vector<AngleSchedule>> schedules;
   /// ratios[i][p-1] = approximation ratio instance i achieved at p rounds.
   std::vector<std::vector<double>> ratios;
-  /// per_round[p-1] = aggregate ratio statistics across instances.
+  /// per_round[p-1] = aggregate ratio statistics across the instances that
+  /// completed round p (count < instances when a budget stopped the study).
   std::vector<SampleStats> per_round;
+  /// Instances whose full max_rounds search ran to completion (loaded from
+  /// a checkpoint or computed this run).
+  int completed_instances = 0;
+  /// None when every instance ran to completion; otherwise why the study
+  /// stopped early (partial results above are still valid).
+  runtime::StopReason stop_reason = runtime::StopReason::None;
+
+  [[nodiscard]] bool stopped_early() const noexcept {
+    return stop_reason != runtime::StopReason::None;
+  }
 };
 
 /// Run iterative angle finding over an instance ensemble.

@@ -11,7 +11,15 @@
 //            [--strategy=iterative|random|grid] [--restarts=50] [--hops=8]
 //            [--minimize] [--shots=0] [--checkpoint=path] [--mixer-cache=path]
 //            [--threads=N] [--starts=M]
+//            [--deadline=seconds] [--max-evals=N]
 //            [--metrics=out.json] [--trace=out.trace.json] [--progress]
+//
+// Robustness: --deadline / --max-evals bound the whole angle search (it
+// stops within one optimizer iteration of the limit and reports best-so-far
+// rows). SIGINT/SIGTERM trigger the same cooperative stop, so Ctrl-C still
+// flushes checkpoints, partial CSV rows, and the observability artifacts;
+// cancelled runs exit 130. FASTQAOA_FAULTS arms deterministic fault points
+// in builds configured with -DFASTQAOA_FAULT_INJECTION=ON.
 //
 // Observability: --metrics writes the merged engine counters/timers as JSON
 // after the run; --trace records scoped spans and writes Chrome trace-event
@@ -24,6 +32,7 @@
 //   qaoa_cli --problem=densest --mixer=clique --n=10 --k=5 --p=3
 //   qaoa_cli --problem=ksat --mixer=grover --n=10 --density=6 --p=4
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,11 +50,25 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "problems/cost_functions.hpp"
+#include "runtime/budget.hpp"
+#include "runtime/fault.hpp"
 #include "sampling/sampler.hpp"
 
 namespace {
 
 using namespace fastqaoa;
+
+// SIGINT/SIGTERM request a *cooperative* stop: the handler only flips the
+// (async-signal-safe) CancelToken, the optimizer notices at its next
+// iteration, and the normal shutdown path still runs — partial CSV rows,
+// the last round's checkpoint, and the metrics/trace artifacts all land on
+// disk. A second Ctrl-C falls back to the default handler (hard kill).
+runtime::CancelToken g_cancel;
+
+extern "C" void handle_stop_signal(int sig) {
+  g_cancel.request_stop();
+  std::signal(sig, SIG_DFL);
+}
 
 std::string string_option(int argc, char** argv, const char* key,
                           const std::string& fallback) {
@@ -86,6 +109,7 @@ bool has_flag(int argc, char** argv, const char* flag) {
                "[--strategy=iterative|random|grid] [--restarts=50] "
                "[--hops=8] [--minimize] [--shots=0] [--checkpoint=path] "
                "[--mixer-cache=path] [--threads=N] [--starts=M] "
+               "[--deadline=seconds] [--max-evals=N] "
                "[--metrics=out.json] [--trace=out.trace.json] "
                "[--progress]\n");
   std::exit(2);
@@ -97,6 +121,11 @@ int main(int argc, char** argv) {
   if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h")) {
     usage_error("help requested");
   }
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  // Deterministic fault-injection arming (FASTQAOA_FAULTS env var); no-op
+  // unless the build has FASTQAOA_FAULT_INJECTION=ON.
+  fault::arm_from_env();
   const std::string problem = string_option(argc, argv, "--problem", "maxcut");
   const std::string mixer_name = string_option(argc, argv, "--mixer", "tf");
   const std::string strategy =
@@ -191,6 +220,10 @@ int main(int argc, char** argv) {
   opt.parallel_starts =
       static_cast<int>(int_option(argc, argv, "--starts", 1));
   if (opt.parallel_starts < 1) usage_error("--starts must be >= 1");
+  opt.budget.wall_seconds = double_option(argc, argv, "--deadline", 0.0);
+  opt.budget.max_evaluations =
+      static_cast<std::size_t>(int_option(argc, argv, "--max-evals", 0));
+  opt.budget.cancel = &g_cancel;
   if (progress) {
     opt.on_round = [](const AngleSchedule& s, double seconds) {
       std::fprintf(stderr,
@@ -252,6 +285,25 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "# angle finding took %.2f s\n", elapsed);
 
+  // Structured stop reporting: a tripped budget / Ctrl-C is not an error —
+  // the partial rows above are valid best-so-far results — but the caller
+  // should know the run was cut short (and scripts can branch on exit 130
+  // for an interactive interrupt, mirroring the shell convention).
+  runtime::StopReason stop = runtime::StopReason::None;
+  for (const AngleSchedule& s : schedules) {
+    if (s.stopped_early()) stop = s.stop_reason;
+  }
+  if (g_cancel.stop_requested()) stop = runtime::StopReason::Cancelled;
+  if (stop != runtime::StopReason::None) {
+    std::fprintf(stderr,
+                 "# run stopped early (%s): results above are best-so-far"
+                 "%s\n",
+                 runtime::to_string(stop),
+                 opt.checkpoint_file.empty()
+                     ? ""
+                     : "; re-run with the same --checkpoint to resume");
+  }
+
   // --- observability artifacts -------------------------------------------
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
@@ -271,5 +323,5 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "# trace written to %s\n", trace_path.c_str());
   }
-  return 0;
+  return stop == runtime::StopReason::Cancelled ? 130 : 0;
 }
