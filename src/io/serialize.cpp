@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace fastqaoa::io {
 
@@ -20,22 +21,25 @@ enum class Tag : std::uint32_t {
   Degeneracy = 4,
 };
 
-void write_u32(std::ofstream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+// Writers render into an in-memory buffer, then publish it atomically via
+// runtime::atomic_write_file — no partially written artifact ever lands at
+// the destination path.
+
+void write_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void write_u64(std::ofstream& out, std::uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void write_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void write_doubles(std::ofstream& out, const double* data, std::size_t n) {
-  out.write(reinterpret_cast<const char*>(data),
-            static_cast<std::streamsize>(n * sizeof(double)));
+void write_doubles(std::string& out, const double* data, std::size_t n) {
+  out.append(reinterpret_cast<const char*>(data), n * sizeof(double));
 }
 
-void write_string(std::ofstream& out, const std::string& s) {
+void write_string(std::string& out, const std::string& s) {
   write_u64(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  out.append(s.data(), s.size());
 }
 
 std::uint32_t read_u32(std::ifstream& in) {
@@ -63,12 +67,6 @@ std::string read_string(std::ifstream& in) {
   return s;
 }
 
-std::ofstream open_for_write(const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  FASTQAOA_CHECK(out.good(), "serialize: cannot open for writing: " + path);
-  return out;
-}
-
 std::ifstream open_checked(const std::string& path, Tag expected) {
   std::ifstream in(path, std::ios::binary);
   FASTQAOA_CHECK(in.good(), "serialize: cannot open: " + path);
@@ -81,7 +79,7 @@ std::ifstream open_checked(const std::string& path, Tag expected) {
   return in;
 }
 
-void write_header(std::ofstream& out, Tag tag) {
+void write_header(std::string& out, Tag tag) {
   write_u32(out, kMagic);
   write_u32(out, kVersion);
   write_u32(out, static_cast<std::uint32_t>(tag));
@@ -90,10 +88,11 @@ void write_header(std::ofstream& out, Tag tag) {
 }  // namespace
 
 void save_mixer(const std::string& path, const EigenMixer& mixer) {
-  std::ofstream out = open_for_write(path);
+  std::string out;
   const std::uint64_t dim = mixer.dim();
   if (mixer.is_real()) {
     const linalg::SymEig& eig = mixer.real_eig();
+    out.reserve(64 + mixer.name().size() + (dim + dim * dim) * sizeof(double));
     write_header(out, Tag::RealMixer);
     write_string(out, mixer.name());
     write_u64(out, dim);
@@ -101,6 +100,8 @@ void save_mixer(const std::string& path, const EigenMixer& mixer) {
     write_doubles(out, eig.vectors.data(), dim * dim);
   } else {
     const linalg::HermEig& eig = mixer.herm_eig();
+    out.reserve(64 + mixer.name().size() +
+                (dim + 2 * dim * dim) * sizeof(double));
     write_header(out, Tag::ComplexMixer);
     write_string(out, mixer.name());
     write_u64(out, dim);
@@ -109,7 +110,7 @@ void save_mixer(const std::string& path, const EigenMixer& mixer) {
     write_doubles(out, reinterpret_cast<const double*>(eig.vectors.data()),
                   2 * dim * dim);
   }
-  FASTQAOA_CHECK(out.good(), "save_mixer: write failed for " + path);
+  runtime::atomic_write_file(path, out, "save_mixer");
 }
 
 EigenMixer load_mixer(const std::string& path) {
@@ -161,11 +162,12 @@ EigenMixer load_or_build_mixer(const std::string& path,
 }
 
 void save_table(const std::string& path, const dvec& values) {
-  std::ofstream out = open_for_write(path);
+  std::string out;
+  out.reserve(32 + values.size() * sizeof(double));
   write_header(out, Tag::Table);
   write_u64(out, values.size());
   write_doubles(out, values.data(), values.size());
-  FASTQAOA_CHECK(out.good(), "save_table: write failed for " + path);
+  runtime::atomic_write_file(path, out, "save_table");
 }
 
 dvec load_table(const std::string& path) {
@@ -178,16 +180,24 @@ dvec load_table(const std::string& path) {
   return values;
 }
 
+dvec load_or_build_table(const std::string& path,
+                         const std::function<dvec()>& build) {
+  if (std::filesystem::exists(path)) return load_table(path);
+  dvec values = build();
+  save_table(path, values);
+  return values;
+}
+
 void save_degeneracy(const std::string& path, const DegeneracyTable& table) {
-  std::ofstream out = open_for_write(path);
+  std::string out;
+  out.reserve(40 + table.values.size() * 2 * sizeof(double));
   write_header(out, Tag::Degeneracy);
   write_u64(out, table.values.size());
   write_doubles(out, table.values.data(), table.values.size());
-  out.write(reinterpret_cast<const char*>(table.counts.data()),
-            static_cast<std::streamsize>(table.counts.size() *
-                                         sizeof(std::uint64_t)));
+  out.append(reinterpret_cast<const char*>(table.counts.data()),
+             table.counts.size() * sizeof(std::uint64_t));
   write_u64(out, table.total);
-  FASTQAOA_CHECK(out.good(), "save_degeneracy: write failed for " + path);
+  runtime::atomic_write_file(path, out, "save_degeneracy");
 }
 
 DegeneracyTable load_degeneracy(const std::string& path) {

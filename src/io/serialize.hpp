@@ -8,6 +8,12 @@
 /// Format: little-endian, magic "FQAO", format version, a type tag, then
 /// raw dimensions + IEEE-754 doubles. Loads verify magic/version/tag and
 /// fail loudly rather than misinterpreting bytes.
+///
+/// All writers are crash-safe: the payload is rendered in memory and
+/// published via runtime::atomic_write_file (write tmp + rename), so a
+/// reader — including a concurrent load_or_build_* in another process —
+/// never observes a torn artifact; it sees the complete old file or the
+/// complete new one.
 
 #include <functional>
 #include <string>
@@ -32,6 +38,11 @@ EigenMixer load_or_build_mixer(const std::string& path,
 /// Persist / restore a tabulated objective (large cost tables for reuse).
 void save_table(const std::string& path, const dvec& values);
 dvec load_table(const std::string& path);
+
+/// Listing-2 pattern for cost tables: load `path` if it exists, otherwise
+/// invoke `build`, save the result to `path`, and return it.
+dvec load_or_build_table(const std::string& path,
+                         const std::function<dvec()>& build);
 
 /// Persist / restore a degeneracy histogram — the §2.4 Grover-path
 /// precomputation, which for large n is the expensive artifact worth

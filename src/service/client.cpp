@@ -1,0 +1,68 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "service/net.hpp"
+
+namespace fastqaoa::service {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), carry_(std::move(other.carry_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    carry_ = std::move(other.carry_);
+  }
+  return *this;
+}
+
+Client Client::connect_unix(const std::string& socket_path) {
+  return Client(fastqaoa::service::connect_unix(socket_path));
+}
+
+Client Client::connect_tcp(int port) {
+  return Client(fastqaoa::service::connect_tcp(port));
+}
+
+Json Client::request(const Json& req) {
+  FASTQAOA_CHECK(connected(), "client is not connected");
+  write_all(fd_, req.dump() + "\n");
+
+  std::string line;
+  for (;;) {
+    const std::size_t pos = carry_.find('\n');
+    if (pos != std::string::npos) {
+      line.assign(carry_, 0, pos);
+      carry_.erase(0, pos + 1);
+      break;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("recv: ") + std::strerror(errno));
+    }
+    FASTQAOA_CHECK(n != 0, "connection closed before a response arrived");
+    carry_.append(chunk, static_cast<std::size_t>(n));
+  }
+  return Json::parse(line);
+}
+
+void Client::close() noexcept {
+  if (fd_ >= 0) {
+    close_fd(fd_);
+    fd_ = -1;
+  }
+  carry_.clear();
+}
+
+}  // namespace fastqaoa::service

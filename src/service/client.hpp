@@ -1,0 +1,43 @@
+#pragma once
+/// \file client.hpp
+/// Minimal synchronous client for the NDJSON protocol: one request line
+/// out, one response line back, parsed. Used by `qaoa_client` and the
+/// end-to-end tests.
+
+#include <string>
+
+#include "service/json.hpp"
+
+namespace fastqaoa::service {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Throws fastqaoa::Error if the daemon is not reachable.
+  static Client connect_unix(const std::string& socket_path);
+  static Client connect_tcp(int port);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Send one request object, block for the matching response line.
+  /// Throws fastqaoa::Error on transport failure (daemon went away) or an
+  /// unparseable response; protocol-level failures come back as parsed
+  /// {"ok":false,...} objects, not exceptions.
+  Json request(const Json& req);
+
+  void close() noexcept;
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string carry_;  ///< bytes past the last consumed newline
+};
+
+}  // namespace fastqaoa::service

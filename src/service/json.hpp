@@ -1,0 +1,117 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON value, parser, and writer for the service protocol.
+///
+/// The daemon speaks newline-delimited JSON over a socket; requests and
+/// responses are small, so this is a straightforward recursive-descent
+/// parser with two properties the protocol actually depends on:
+///
+///  * Doubles are emitted with %.17g, so every finite double round-trips
+///    bit-identically through dump() -> parse(). That is what lets a client
+///    compare a served expectation value against a direct library call with
+///    operator== instead of a tolerance.
+///  * Integers without '.'/'e' are kept in an exact 64-bit signed lane
+///    (seeds, job ids, byte counts), separate from the double lane.
+///
+/// Objects preserve insertion order (stored as a flat pair vector — lookup
+/// is linear, which is the right trade for <20-key protocol messages).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fastqaoa::service {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : type_(Type::Bool), bool_(b) {}  // NOLINT
+  Json(double v) : type_(Type::Number), num_(v) {}  // NOLINT
+  Json(int v) : Json(static_cast<long long>(v)) {}  // NOLINT
+  Json(long long v)  // NOLINT(google-explicit-constructor)
+      : type_(Type::Number), num_(static_cast<double>(v)), int_(v),
+        is_int_(true) {}
+  Json(std::uint64_t v);  // NOLINT(google-explicit-constructor)
+  Json(std::size_t v, int) = delete;
+  Json(const char* s) : type_(Type::String), str_(s) {}  // NOLINT
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}  // NOLINT
+  Json(std::string_view s) : type_(Type::String), str_(s) {}  // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  /// Parse one JSON document (throws fastqaoa::Error on malformed input or
+  /// trailing garbage).
+  static Json parse(std::string_view text);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::Object;
+  }
+
+  /// Checked accessors — throw fastqaoa::Error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] long long as_int64() const;
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object lookup: nullptr when absent (or when this is not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  /// Checked object lookup — throws fastqaoa::Error when the key is absent.
+  [[nodiscard]] const Json& at(std::string_view key) const;
+
+  /// Object mutation: replaces the value when the key exists.
+  Json& set(std::string_view key, Json value);
+  /// Array append.
+  Json& push_back(Json value);
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Serialize (compact, stable member order = insertion order).
+  [[nodiscard]] std::string dump() const;
+  void dump(std::string& out) const;
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  long long int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Format one double exactly as Json::dump does (shared with code that
+/// builds numeric strings by hand).
+std::string json_double(double v);
+
+}  // namespace fastqaoa::service

@@ -1,0 +1,55 @@
+#pragma once
+/// \file net.hpp
+/// Thin POSIX socket helpers for the NDJSON protocol: listeners (Unix
+/// domain by default, TCP-on-loopback optional), blocking connects, and
+/// line-oriented I/O that never raises SIGPIPE.
+///
+/// Everything here throws fastqaoa::Error with the OS error string on
+/// failure; callers (daemon accept loop, client) treat a throw as "this
+/// connection is over", not as a process-fatal event.
+
+#include <string>
+
+namespace fastqaoa::service {
+
+/// Create, bind, and listen on a Unix-domain stream socket at `path`.
+/// An existing socket file at `path` is unlinked first (stale sockets from
+/// a crashed daemon must not block restart). Returns the listening fd.
+int listen_unix(const std::string& path);
+
+/// Create, bind, and listen on 127.0.0.1:`port` (SO_REUSEADDR). Pass
+/// port 0 to let the kernel pick; `bound_port` receives the actual port.
+int listen_tcp(int port, int* bound_port = nullptr);
+
+/// Blocking connect to a Unix-domain socket / to 127.0.0.1:`port`.
+int connect_unix(const std::string& path);
+int connect_tcp(int port);
+
+/// Write all of `data` (handles short writes; MSG_NOSIGNAL so a dead peer
+/// yields an Error, not SIGPIPE).
+void write_all(int fd, const std::string& data);
+
+/// Buffered line reader over one fd. Lines are '\n'-terminated; the
+/// terminator is stripped. A final unterminated chunk before EOF is
+/// returned as a line (curl-style tolerance for missing trailing newline).
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Read the next line into `line`. Returns false on EOF with no pending
+  /// data. Throws on read errors or on a line exceeding the cap (a
+  /// defensive limit against a peer streaming garbage without newlines).
+  bool next(std::string& line);
+
+  static constexpr std::size_t kMaxLineBytes = 16u << 20;  // 16 MiB
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// close() ignoring errors (for cleanup paths).
+void close_fd(int fd) noexcept;
+
+}  // namespace fastqaoa::service

@@ -1,0 +1,124 @@
+#include "service/plan_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/alloc.hpp"
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace fastqaoa::service {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_u64(std::uint64_t& h, std::uint64_t v) noexcept {
+  fnv_bytes(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+std::uint64_t plan_fingerprint(const PlanKeyMaterial& material) noexcept {
+  std::uint64_t h = kFnvOffset;
+  fnv_u64(h, material.mixer_kind.size());
+  fnv_bytes(h, material.mixer_kind.data(), material.mixer_kind.size());
+  fnv_u64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(material.n)));
+  fnv_u64(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(material.k)));
+  fnv_u64(h, static_cast<std::uint64_t>(
+                 static_cast<std::int64_t>(material.rounds)));
+  fnv_u64(h, material.obj_vals.size());
+  fnv_bytes(h, material.obj_vals.data(), material.obj_vals.size_bytes());
+  fnv_u64(h, material.phase_values.size());
+  fnv_bytes(h, material.phase_values.data(),
+            material.phase_values.size_bytes());
+  fnv_u64(h, material.initial_state.size());
+  fnv_bytes(h, material.initial_state.data(),
+            material.initial_state.size_bytes());
+  return h;
+}
+
+PlanHandle PlanCache::get_or_build(const PlanKeyMaterial& material,
+                                   const std::function<CachedPlan()>& build) {
+  const std::uint64_t fp = plan_fingerprint(material);
+  // Floor for the byte estimate, in case the builder received pre-built
+  // tables (the MemoryTracker delta then misses them).
+  const std::size_t nominal = material.obj_vals.size_bytes() +
+                              material.phase_values.size_bytes() +
+                              material.initial_state.size_bytes();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = entries_.find(fp); it != entries_.end()) {
+    ++hits_;
+    FASTQAOA_OBS_COUNT_GLOBAL("service.plan_cache.hit", 1);
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.plan;
+  }
+  ++misses_;
+  FASTQAOA_OBS_COUNT_GLOBAL("service.plan_cache.miss", 1);
+
+  const std::size_t before = MemoryTracker::current_bytes();
+  CachedPlan built = build();
+  const std::size_t after = MemoryTracker::current_bytes();
+  FASTQAOA_CHECK(built.plan != nullptr,
+                 "PlanCache: builder returned a null plan");
+  built.fingerprint = fp;
+  built.bytes = std::max(after > before ? after - before : std::size_t{0},
+                         nominal);
+
+  auto handle = std::make_shared<const CachedPlan>(std::move(built));
+  lru_.push_front(fp);
+  entries_[fp] = Entry{handle, lru_.begin()};
+  bytes_ += handle->bytes;
+  evict_over_budget_locked();
+  return handle;
+}
+
+void PlanCache::evict_over_budget_locked() {
+  if (config_.max_bytes == 0) return;
+  auto it = lru_.end();
+  while (bytes_ > config_.max_bytes && it != lru_.begin()) {
+    --it;
+    auto ent = entries_.find(*it);
+    if (ent == entries_.end()) {
+      it = lru_.erase(it);
+      continue;
+    }
+    // use_count > 1 means a job still holds the handle: pinned, skip.
+    if (ent->second.plan.use_count() > 1) continue;
+    bytes_ -= std::min(bytes_, ent->second.plan->bytes);
+    ++evictions_;
+    FASTQAOA_OBS_COUNT_GLOBAL("service.plan_cache.evict", 1);
+    entries_.erase(ent);
+    it = lru_.erase(it);
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  return s;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace fastqaoa::service

@@ -1,0 +1,295 @@
+#include "service/protocol.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace fastqaoa::service {
+
+namespace {
+
+std::vector<double> doubles_from_json(const Json& value,
+                                      const std::string& field) {
+  FASTQAOA_CHECK(value.is_array(), "'" + field + "' must be an array");
+  std::vector<double> out;
+  out.reserve(value.size());
+  for (const Json& v : value.as_array()) out.push_back(v.as_double());
+  return out;
+}
+
+Json doubles_to_json(const std::vector<double>& values) {
+  Json arr = Json::array();
+  for (const double v : values) arr.push_back(Json(v));
+  return arr;
+}
+
+Json schedule_to_json(const AngleSchedule& s) {
+  Json j = Json::object();
+  j.set("p", Json(static_cast<long long>(s.p)));
+  j.set("expectation", Json(s.expectation));
+  j.set("betas", doubles_to_json(s.betas));
+  j.set("gammas", doubles_to_json(s.gammas));
+  j.set("optimizer_calls", Json(static_cast<std::uint64_t>(s.optimizer_calls)));
+  j.set("evaluations", Json(static_cast<std::uint64_t>(s.evaluations)));
+  j.set("stop_reason", Json(runtime::to_string(s.stop_reason)));
+  return j;
+}
+
+Json result_to_json(const JobKind kind, const JobResultData& r) {
+  Json j = Json::object();
+  j.set("expectation", Json(r.expectation));
+  switch (kind) {
+    case JobKind::Evaluate:
+      break;
+    case JobKind::Gradient:
+      j.set("grad_betas", doubles_to_json(r.grad_betas));
+      j.set("grad_gammas", doubles_to_json(r.grad_gammas));
+      break;
+    case JobKind::Sample:
+      j.set("shot_estimate", Json(r.shot_estimate));
+      j.set("shot_stderr", Json(r.shot_stderr));
+      break;
+    case JobKind::FindAngles: {
+      Json schedules = Json::array();
+      for (const AngleSchedule& s : r.schedules) {
+        schedules.push_back(schedule_to_json(s));
+      }
+      j.set("schedules", std::move(schedules));
+      break;
+    }
+  }
+  j.set("stop_reason", Json(runtime::to_string(r.stop)));
+  j.set("cache_hit", Json(r.cache_hit));
+  j.set("seconds", Json(r.seconds));
+  return j;
+}
+
+JobKind kind_from_op(const std::string& op) {
+  if (op == "evaluate") return JobKind::Evaluate;
+  if (op == "gradient") return JobKind::Gradient;
+  if (op == "find_angles") return JobKind::FindAngles;
+  if (op == "sample") return JobKind::Sample;
+  throw Error("unknown job op '" + op + "'");
+}
+
+bool is_job_op(const std::string& op) {
+  return op == "evaluate" || op == "gradient" || op == "find_angles" ||
+         op == "sample";
+}
+
+}  // namespace
+
+JobSpec job_spec_from_json(const Json& request) {
+  JobSpec spec;
+  spec.kind = kind_from_op(request.at("op").as_string());
+  if (const Json* v = request.find("problem")) spec.problem.problem = v->as_string();
+  if (const Json* v = request.find("mixer")) spec.problem.mixer = v->as_string();
+  if (const Json* v = request.find("n")) spec.problem.n = static_cast<int>(v->as_int64());
+  if (const Json* v = request.find("k")) spec.problem.k = static_cast<int>(v->as_int64());
+  if (const Json* v = request.find("density")) spec.problem.density = v->as_double();
+  if (const Json* v = request.find("seed")) spec.problem.instance_seed = v->as_uint64();
+  if (const Json* v = request.find("p")) spec.p = static_cast<int>(v->as_int64());
+  if (const Json* v = request.find("minimize")) spec.minimize = v->as_bool();
+  if (const Json* v = request.find("betas")) spec.betas = doubles_from_json(*v, "betas");
+  if (const Json* v = request.find("gammas")) spec.gammas = doubles_from_json(*v, "gammas");
+  if (const Json* v = request.find("shots")) spec.shots = v->as_uint64();
+  if (const Json* v = request.find("hops")) spec.hops = static_cast<int>(v->as_int64());
+  if (const Json* v = request.find("starts")) spec.starts = static_cast<int>(v->as_int64());
+  if (const Json* v = request.find("opt_seed")) spec.opt_seed = v->as_uint64();
+  if (const Json* v = request.find("checkpoint")) spec.checkpoint = v->as_string();
+  if (const Json* v = request.find("deadline")) spec.deadline_seconds = v->as_double();
+  if (const Json* v = request.find("max_evals")) {
+    spec.max_evaluations = static_cast<std::size_t>(v->as_uint64());
+  }
+  validate_job_spec(spec);
+  return spec;
+}
+
+Json job_spec_to_json(const JobSpec& spec) {
+  Json j = Json::object();
+  j.set("op", Json(to_string(spec.kind)));
+  j.set("problem", Json(spec.problem.problem));
+  j.set("mixer", Json(spec.problem.mixer));
+  j.set("n", Json(static_cast<long long>(spec.problem.n)));
+  if (spec.problem.k >= 0) j.set("k", Json(static_cast<long long>(spec.problem.k)));
+  j.set("density", Json(spec.problem.density));
+  j.set("seed", Json(spec.problem.instance_seed));
+  j.set("p", Json(static_cast<long long>(spec.p)));
+  if (spec.minimize) j.set("minimize", Json(true));
+  switch (spec.kind) {
+    case JobKind::Evaluate:
+    case JobKind::Gradient:
+      j.set("betas", doubles_to_json(spec.betas));
+      j.set("gammas", doubles_to_json(spec.gammas));
+      break;
+    case JobKind::Sample:
+      j.set("betas", doubles_to_json(spec.betas));
+      j.set("gammas", doubles_to_json(spec.gammas));
+      j.set("shots", Json(spec.shots));
+      j.set("opt_seed", Json(spec.opt_seed));
+      break;
+    case JobKind::FindAngles:
+      j.set("hops", Json(static_cast<long long>(spec.hops)));
+      j.set("starts", Json(static_cast<long long>(spec.starts)));
+      j.set("opt_seed", Json(spec.opt_seed));
+      if (!spec.checkpoint.empty()) j.set("checkpoint", Json(spec.checkpoint));
+      if (spec.deadline_seconds > 0.0) j.set("deadline", Json(spec.deadline_seconds));
+      if (spec.max_evaluations > 0) {
+        j.set("max_evals", Json(static_cast<std::uint64_t>(spec.max_evaluations)));
+      }
+      break;
+  }
+  return j;
+}
+
+Json job_to_json(const Job& job) {
+  Json j = Json::object();
+  j.set("id", Json(job.id));
+  j.set("op", Json(to_string(job.spec.kind)));
+  JobState state;
+  JobResultData result;
+  std::string error;
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    state = job.state;
+    if (state == JobState::Done || state == JobState::Cancelled) {
+      result = job.result;
+    }
+    error = job.error;
+  }
+  j.set("state", Json(to_string(state)));
+  if (state == JobState::Done ||
+      (state == JobState::Cancelled && !result.schedules.empty())) {
+    j.set("result", result_to_json(job.spec.kind, result));
+  } else if (state == JobState::Cancelled) {
+    j.set("stop_reason", Json(runtime::to_string(runtime::StopReason::Cancelled)));
+  }
+  if (state == JobState::Failed) {
+    Json err = Json::object();
+    err.set("code", Json("job_failed"));
+    err.set("message", Json(error));
+    j.set("error", std::move(err));
+  }
+  return j;
+}
+
+Json stats_to_json(const ServiceStats& stats) {
+  Json cache = Json::object();
+  cache.set("entries", Json(static_cast<std::uint64_t>(stats.plan_cache.entries)));
+  cache.set("bytes", Json(static_cast<std::uint64_t>(stats.plan_cache.bytes)));
+  cache.set("hits", Json(stats.plan_cache.hits));
+  cache.set("misses", Json(stats.plan_cache.misses));
+  cache.set("evictions", Json(stats.plan_cache.evictions));
+
+  Json j = Json::object();
+  j.set("queue_depth", Json(static_cast<std::uint64_t>(stats.queue_depth)));
+  j.set("running", Json(static_cast<std::uint64_t>(stats.running)));
+  j.set("workers", Json(static_cast<long long>(stats.workers)));
+  j.set("submitted", Json(stats.submitted));
+  j.set("completed", Json(stats.completed));
+  j.set("failed", Json(stats.failed));
+  j.set("cancelled", Json(stats.cancelled));
+  j.set("rejected", Json(stats.rejected));
+  j.set("draining", Json(stats.draining));
+  j.set("plan_cache", std::move(cache));
+  return j;
+}
+
+Json error_response(std::string_view code, std::string_view message) {
+  Json err = Json::object();
+  err.set("code", Json(code));
+  err.set("message", Json(message));
+  Json j = Json::object();
+  j.set("ok", Json(false));
+  j.set("error", std::move(err));
+  return j;
+}
+
+Json handle_request(Service& service, const Json& request) {
+  try {
+    const std::string& op = request.at("op").as_string();
+    if (is_job_op(op)) {
+      JobSpec spec = job_spec_from_json(request);
+      Service::SubmitOutcome outcome = service.submit(std::move(spec));
+      if (!outcome.accepted()) {
+        // Structured backpressure: tell the client how deep the queue is.
+        Json err = Json::object();
+        err.set("code", Json(outcome.error_code));
+        err.set("message",
+                Json(outcome.error_code == "overloaded"
+                         ? "queue is at its high-water mark; retry later"
+                         : "service is draining; no new jobs accepted"));
+        err.set("queue_depth",
+                Json(static_cast<std::uint64_t>(outcome.queue_depth)));
+        Json response = Json::object();
+        response.set("ok", Json(false));
+        response.set("error", std::move(err));
+        return response;
+      }
+      const Json* async = request.find("async");
+      if (async != nullptr && async->as_bool()) {
+        Json j = Json::object();
+        j.set("ok", Json(true));
+        j.set("id", Json(outcome.job->id));
+        j.set("state", Json(to_string(outcome.job->snapshot_state())));
+        return j;
+      }
+      Service::wait(*outcome.job);
+      Json j = job_to_json(*outcome.job);
+      j.set("ok", Json(true));
+      return j;
+    }
+    if (op == "status") {
+      const std::uint64_t id = request.at("id").as_uint64();
+      std::shared_ptr<Job> job = service.find(id);
+      if (job == nullptr) {
+        return error_response("unknown_job",
+                              "no job with id " + std::to_string(id));
+      }
+      Json j = job_to_json(*job);
+      j.set("ok", Json(true));
+      return j;
+    }
+    if (op == "cancel") {
+      const std::uint64_t id = request.at("id").as_uint64();
+      std::shared_ptr<Job> job = service.find(id);
+      if (job == nullptr) {
+        return error_response("unknown_job",
+                              "no job with id " + std::to_string(id));
+      }
+      const bool cancelled = service.cancel(id);
+      Json j = Json::object();
+      j.set("ok", Json(true));
+      j.set("id", Json(id));
+      j.set("cancelled", Json(cancelled));
+      return j;
+    }
+    if (op == "stats") {
+      Json j = Json::object();
+      j.set("ok", Json(true));
+      j.set("stats", stats_to_json(service.stats()));
+      return j;
+    }
+    if (op == "ping") {
+      Json j = Json::object();
+      j.set("ok", Json(true));
+      j.set("pong", Json(true));
+      return j;
+    }
+    return error_response("bad_request", "unknown op '" + op + "'");
+  } catch (const std::exception& e) {
+    return error_response("bad_request", e.what());
+  }
+}
+
+std::string handle_request_line(Service& service, const std::string& line) {
+  Json request;
+  try {
+    request = Json::parse(line);
+  } catch (const std::exception& e) {
+    return error_response("bad_request", e.what()).dump();
+  }
+  return handle_request(service, request).dump();
+}
+
+}  // namespace fastqaoa::service

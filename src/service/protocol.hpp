@@ -1,0 +1,53 @@
+#pragma once
+/// \file protocol.hpp
+/// The wire protocol: newline-delimited JSON request/response messages.
+///
+/// One request object per line, one response object per line, in order.
+/// Job verbs (evaluate, gradient, find_angles, sample) either block until
+/// the result is ready (the default) or, with "async": true, return the
+/// assigned job id immediately for later "status" polling. Control verbs:
+/// "status", "cancel", "stats", "ping".
+///
+/// Responses always carry "ok". Failures look like
+///   {"ok":false,"error":{"code":"overloaded","message":...,"queue_depth":N}}
+/// with stable codes: "overloaded" (queue at its high-water mark — back off
+/// and retry), "draining" (daemon is shutting down), "bad_request",
+/// "unknown_job".
+///
+/// handle_request() is the single server-side dispatcher — the daemon's
+/// connection threads and the in-process tests route through the same
+/// function, so the protocol is tested without a socket in the loop.
+
+#include <string>
+#include <string_view>
+
+#include "service/job.hpp"
+#include "service/json.hpp"
+#include "service/service.hpp"
+
+namespace fastqaoa::service {
+
+/// Parse a job request ("op" + spec fields) into a JobSpec.
+/// Throws fastqaoa::Error naming the offending field.
+JobSpec job_spec_from_json(const Json& request);
+
+/// Client-side: render a JobSpec as a request object (without "async").
+Json job_spec_to_json(const JobSpec& spec);
+
+/// Snapshot a job as the protocol's job object:
+/// {"id":..,"op":..,"state":..,"result":{...}} (result present only once
+/// terminal; failed jobs carry "error" instead).
+Json job_to_json(const Job& job);
+
+Json stats_to_json(const ServiceStats& stats);
+
+Json error_response(std::string_view code, std::string_view message);
+
+/// Dispatch one parsed request against a service and produce the response.
+/// Never throws: malformed requests become "bad_request" responses.
+Json handle_request(Service& service, const Json& request);
+
+/// Convenience: parse `line`, dispatch, and serialize the response.
+std::string handle_request_line(Service& service, const std::string& line);
+
+}  // namespace fastqaoa::service

@@ -1,0 +1,247 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/checkpoint.hpp"
+#include "service/json.hpp"
+#include "service/net.hpp"
+#include "service/protocol.hpp"
+
+namespace fastqaoa::service {
+
+namespace {
+
+// Self-pipe: the write end is the only thing the signal handler touches.
+std::atomic<int> g_signal_pipe_wr{-1};
+
+extern "C" void daemon_signal_handler(int /*signo*/) {
+  const int fd = g_signal_pipe_wr.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // write() is async-signal-safe; a full pipe just means a wakeup is
+    // already pending.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+/// Connection threads register their fd so drain can shutdown(SHUT_RD) any
+/// reader still blocked in recv(); finished threads queue themselves for
+/// joining so a long-lived daemon does not accumulate dead std::threads.
+class ConnectionTracker {
+ public:
+  void add(std::uint64_t id, int fd, std::thread thread) {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.emplace(id, std::move(thread));
+    fds_.emplace(id, fd);
+  }
+
+  /// Called by a connection thread as it exits.
+  void finished(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fds_.erase(id);
+    done_.push_back(id);
+  }
+
+  /// Join threads that announced completion (accept-loop housekeeping).
+  void reap() {
+    std::vector<std::thread> joinable;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const std::uint64_t id : done_) {
+        auto it = threads_.find(id);
+        if (it != threads_.end()) {
+          joinable.push_back(std::move(it->second));
+          threads_.erase(it);
+        }
+      }
+      done_.clear();
+    }
+    for (std::thread& t : joinable) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  /// Unblock readers: half-close every live connection's read side. The
+  /// write side stays open so in-flight responses still reach the client.
+  void shutdown_reads() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, fd] : fds_) ::shutdown(fd, SHUT_RD);
+  }
+
+  void join_all() {
+    std::unordered_map<std::uint64_t, std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      threads.swap(threads_);
+      done_.clear();
+    }
+    for (auto& [id, t] : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::thread> threads_;
+  std::unordered_map<std::uint64_t, int> fds_;
+  std::deque<std::uint64_t> done_;
+};
+
+void serve_connection(Service& service, int fd) {
+  try {
+    LineReader reader(fd);
+    std::string line;
+    while (reader.next(line)) {
+      if (line.empty()) continue;
+      write_all(fd, handle_request_line(service, line) + "\n");
+    }
+  } catch (const std::exception&) {
+    // Peer vanished or sent garbage past the line cap — this connection is
+    // over; the daemon itself is unaffected.
+  }
+  close_fd(fd);
+}
+
+}  // namespace
+
+std::string metrics_document(const Service& service) {
+  Json doc = Json::object();
+  doc.set("service", stats_to_json(service.stats()));
+  doc.set("engine", Json::parse(obs::global_snapshot().to_json()));
+  return doc.dump() + "\n";
+}
+
+int run_daemon(const DaemonOptions& options) {
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "qaoa_serve: --socket path is required\n");
+    return 2;
+  }
+
+  int listen_fds[2] = {-1, -1};
+  int n_listeners = 0;
+  int tcp_port = -1;
+  try {
+    listen_fds[n_listeners++] = listen_unix(options.socket_path);
+    if (options.tcp_port >= 0) {
+      listen_fds[n_listeners++] = listen_tcp(options.tcp_port, &tcp_port);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qaoa_serve: %s\n", e.what());
+    for (int i = 0; i < n_listeners; ++i) close_fd(listen_fds[i]);
+    return 2;
+  }
+
+  int signal_pipe[2] = {-1, -1};
+  if (::pipe(signal_pipe) != 0) {
+    std::fprintf(stderr, "qaoa_serve: pipe: %s\n", std::strerror(errno));
+    for (int i = 0; i < n_listeners; ++i) close_fd(listen_fds[i]);
+    return 2;
+  }
+  g_signal_pipe_wr.store(signal_pipe[1], std::memory_order_relaxed);
+
+  struct sigaction sa{};
+  sa.sa_handler = daemon_signal_handler;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  {
+    Service service(options.service);
+    ConnectionTracker connections;
+    std::uint64_t next_conn_id = 1;
+
+    if (options.verbose) {
+      std::fprintf(stderr, "qaoa_serve: listening on %s",
+                   options.socket_path.c_str());
+      if (tcp_port >= 0) std::fprintf(stderr, " and 127.0.0.1:%d", tcp_port);
+      std::fprintf(stderr, " (workers=%d, queue=%zu)\n",
+                   options.service.workers, options.service.queue_high_water);
+    }
+
+    bool drain = false;
+    while (!drain) {
+      pollfd fds[3];
+      fds[0] = {signal_pipe[0], POLLIN, 0};
+      for (int i = 0; i < n_listeners; ++i) {
+        fds[i + 1] = {listen_fds[i], POLLIN, 0};
+      }
+      const int rc = ::poll(fds, static_cast<nfds_t>(n_listeners + 1), -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        std::fprintf(stderr, "qaoa_serve: poll: %s\n", std::strerror(errno));
+        drain = true;
+        break;
+      }
+      if ((fds[0].revents & POLLIN) != 0) {
+        drain = true;
+        break;
+      }
+      for (int i = 0; i < n_listeners; ++i) {
+        if ((fds[i + 1].revents & POLLIN) == 0) continue;
+        const int conn = ::accept(listen_fds[i], nullptr, nullptr);
+        if (conn < 0) continue;  // transient (ECONNABORTED, EINTR, ...)
+        const std::uint64_t id = next_conn_id++;
+        std::thread t([&service, &connections, conn, id] {
+          serve_connection(service, conn);
+          connections.finished(id);
+        });
+        connections.add(id, conn, std::move(t));
+      }
+      connections.reap();
+    }
+
+    if (options.verbose) {
+      std::fprintf(stderr, "qaoa_serve: draining (queued jobs cancelled, "
+                           "running jobs finishing)\n");
+    }
+
+    // Drain: stop accepting first, so no client can slip a job in between
+    // "listener closed" and "service draining".
+    for (int i = 0; i < n_listeners; ++i) close_fd(listen_fds[i]);
+    ::unlink(options.socket_path.c_str());
+    service.begin_drain();
+    service.shutdown();  // every in-flight job delivers its result
+
+    // All jobs are terminal now, so any connection thread blocked in
+    // Service::wait() has already been released and is writing its
+    // response; half-close the rest so recv() returns EOF.
+    connections.shutdown_reads();
+    connections.join_all();
+
+    if (!options.metrics_path.empty()) {
+      try {
+        runtime::atomic_write_file(options.metrics_path,
+                                   metrics_document(service),
+                                   "daemon_metrics");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "qaoa_serve: metrics flush failed: %s\n",
+                     e.what());
+      }
+    }
+    if (options.verbose) std::fprintf(stderr, "qaoa_serve: drained, bye\n");
+  }
+
+  g_signal_pipe_wr.store(-1, std::memory_order_relaxed);
+  close_fd(signal_pipe[0]);
+  close_fd(signal_pipe[1]);
+  return 0;
+}
+
+}  // namespace fastqaoa::service

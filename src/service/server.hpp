@@ -1,0 +1,47 @@
+#pragma once
+/// \file server.hpp
+/// The daemon: listeners + connection threads around an embedded Service.
+///
+/// run_daemon() owns the whole lifecycle so `qaoa_serve` is a thin flag
+/// parser and tests can fork a real daemon without exec'ing a binary:
+///
+///   1. bind listeners (Unix socket always; TCP-on-loopback when asked),
+///   2. accept connections, one thread per connection, each speaking the
+///      NDJSON protocol via handle_request_line(),
+///   3. on SIGTERM/SIGINT (self-pipe, async-signal-safe): stop accepting,
+///      unlink the socket, drain the service — queued jobs are cancelled,
+///      running ones trip their cancel tokens and deliver (and checkpoint)
+///      best-so-far results — flush metrics, and return 0.
+///
+/// A clean drain is exit code 0 by design: SIGTERM is the orchestrator's
+/// "please finish", not a failure.
+
+#include <string>
+
+#include "service/service.hpp"
+
+namespace fastqaoa::service {
+
+struct DaemonOptions {
+  ServiceConfig service;
+  /// Unix-domain socket path (required).
+  std::string socket_path;
+  /// TCP listener on 127.0.0.1 when >= 0 (0 = kernel-assigned port,
+  /// printed on startup). Disabled when < 0.
+  int tcp_port = -1;
+  /// Where to flush the final metrics JSON on drain ("" = skip).
+  std::string metrics_path;
+  bool verbose = true;
+};
+
+/// Run until SIGTERM/SIGINT, then drain. Returns the process exit code:
+/// 0 after a clean drain, non-zero only for startup failures (bad socket
+/// path, bind errors).
+int run_daemon(const DaemonOptions& options);
+
+/// The metrics document run_daemon flushes: {"service": <stats>,
+/// "engine": <obs global snapshot>}. Exposed for the daemon's final flush
+/// and for anything that wants the same document on demand.
+std::string metrics_document(const Service& service);
+
+}  // namespace fastqaoa::service

@@ -1,0 +1,327 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "autodiff/adjoint.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "sampling/sampler.hpp"
+
+namespace fastqaoa::service {
+
+Service::Service(ServiceConfig config)
+    : config_(std::move(config)), cache_(PlanCache::Config{config_.cache_bytes}) {
+  config_.workers = std::max(1, config_.workers);
+  config_.queue_high_water = std::max<std::size_t>(1, config_.queue_high_water);
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { shutdown(); }
+
+Service::SubmitOutcome Service::submit(JobSpec spec) {
+  validate_job_spec(spec);
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) {
+    ++rejected_;
+    FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.rejected", 1);
+    return SubmitOutcome{nullptr, "draining", queue_.size()};
+  }
+  if (queue_.size() >= config_.queue_high_water) {
+    ++rejected_;
+    FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.rejected", 1);
+    return SubmitOutcome{nullptr, "overloaded", queue_.size()};
+  }
+  job->id = next_id_++;
+  jobs_.emplace(job->id, job);
+  queue_.push_back(job);
+  ++submitted_;
+  FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.submitted", 1);
+  const std::size_t depth = queue_.size();
+  lock.unlock();
+  work_cv_.notify_one();
+  return SubmitOutcome{std::move(job), "", depth};
+}
+
+std::shared_ptr<Job> Service::find(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+bool Service::cancel(std::uint64_t id) {
+  std::shared_ptr<Job> job = find(id);
+  if (job == nullptr) return false;
+  bool was_queued = false;
+  {
+    std::lock_guard<std::mutex> lock(job->mu);
+    switch (job->state) {
+      case JobState::Queued:
+        job->state = JobState::Cancelled;
+        job->result.stop = runtime::StopReason::Cancelled;
+        was_queued = true;
+        break;
+      case JobState::Running:
+        job->cancel.request_stop();
+        break;
+      default:
+        return false;  // already terminal
+    }
+  }
+  job->cv.notify_all();
+  if (was_queued) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++cancelled_;
+    FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.cancelled", 1);
+  }
+  return true;
+}
+
+void Service::wait(Job& job) {
+  std::unique_lock<std::mutex> lock(job.mu);
+  job.cv.wait(lock, [&job] {
+    return job.state == JobState::Done || job.state == JobState::Failed ||
+           job.state == JobState::Cancelled;
+  });
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
+    s.running = running_;
+    s.workers = config_.workers;
+    s.submitted = submitted_;
+    s.completed = completed_;
+    s.failed = failed_;
+    s.cancelled = cancelled_;
+    s.rejected = rejected_;
+    s.draining = draining_;
+  }
+  s.plan_cache = cache_.stats();
+  return s;
+}
+
+bool Service::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void Service::begin_drain() {
+  std::vector<std::shared_ptr<Job>> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    all.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) all.push_back(job);
+  }
+  std::uint64_t newly_cancelled = 0;
+  for (const auto& job : all) {
+    bool was_queued = false;
+    {
+      std::lock_guard<std::mutex> lock(job->mu);
+      if (job->state == JobState::Queued) {
+        job->state = JobState::Cancelled;
+        job->result.stop = runtime::StopReason::Cancelled;
+        was_queued = true;
+      } else if (job->state == JobState::Running) {
+        // Fast jobs finish; budget-polled searches stop at the next
+        // iteration and deliver (and checkpoint) best-so-far results.
+        job->cancel.request_stop();
+      }
+    }
+    if (was_queued) {
+      job->cv.notify_all();
+      ++newly_cancelled;
+    }
+  }
+  if (newly_cancelled > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ += newly_cancelled;
+    FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.cancelled", newly_cancelled);
+  }
+  work_cv_.notify_all();
+}
+
+void Service::shutdown() {
+  begin_drain();
+  bool join_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    if (!joined_) {
+      joined_ = true;
+      join_here = true;
+    }
+  }
+  work_cv_.notify_all();
+  if (join_here) {
+    for (std::thread& t : workers_) {
+      if (t.joinable()) t.join();
+    }
+  }
+}
+
+void Service::worker_loop() {
+  EvalWorkspace ws;  // reused across jobs; buffers grow to the largest plan
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      job = queue_.front();
+      queue_.pop_front();
+      ++running_;
+    }
+    run_job(*job, ws);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+    FASTQAOA_OBS_MERGE_GLOBAL(ws.metrics);
+    ws.metrics.clear();
+  }
+}
+
+void Service::run_job(Job& job, EvalWorkspace& ws) {
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    if (job.state != JobState::Queued) return;  // cancelled while queued
+    job.state = JobState::Running;
+  }
+
+  WallTimer timer;
+  JobResultData out;
+  JobState final_state = JobState::Done;
+  std::string error;
+  try {
+    execute(job, ws, out);
+    if (out.stop == runtime::StopReason::Cancelled) {
+      final_state = JobState::Cancelled;
+    }
+  } catch (const std::exception& e) {
+    final_state = JobState::Failed;
+    error = e.what();
+  }
+  out.seconds = timer.seconds();
+  FASTQAOA_OBS_TIME_GLOBAL("service.job_seconds", out.seconds);
+
+  // Count the outcome *before* publishing the terminal state: a waiter
+  // released by the notify below must already see consistent stats().
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (final_state) {
+      case JobState::Done:
+        ++completed_;
+        FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.completed", 1);
+        break;
+      case JobState::Failed:
+        ++failed_;
+        FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.failed", 1);
+        break;
+      case JobState::Cancelled:
+        ++cancelled_;
+        FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.cancelled", 1);
+        break;
+      default:
+        break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(job.mu);
+    job.result = std::move(out);
+    job.error = std::move(error);
+    job.state = final_state;
+  }
+  job.cv.notify_all();
+}
+
+void Service::execute(Job& job, EvalWorkspace& ws, JobResultData& out) {
+  const JobSpec& spec = job.spec;
+  const StateSpace space = problem_space(spec.problem);
+  dvec obj_vals = build_objective(spec.problem, space);
+
+  PlanKeyMaterial material;
+  material.mixer_kind = spec.problem.mixer;
+  material.n = spec.problem.n;
+  material.k = spec.problem.effective_k();
+  material.rounds = spec.p;
+  material.obj_vals = obj_vals;
+
+  bool built_here = false;
+  const PlanHandle cached =
+      cache_.get_or_build(material, [&]() -> CachedPlan {
+        built_here = true;
+        CachedPlan entry;
+        entry.mixer = build_mixer(spec.problem, space, config_.cache_dir);
+        entry.plan = std::make_shared<const QaoaPlan>(
+            *entry.mixer, std::move(obj_vals), spec.p);
+        return entry;
+      });
+  out.cache_hit = !built_here;
+  const QaoaPlan& plan = *cached->plan;
+  const Direction direction =
+      spec.minimize ? Direction::Minimize : Direction::Maximize;
+
+  switch (spec.kind) {
+    case JobKind::Evaluate: {
+      out.expectation = evaluate(plan, ws, spec.betas, spec.gammas);
+      break;
+    }
+    case JobKind::Gradient: {
+      out.grad_betas.resize(spec.betas.size());
+      out.grad_gammas.resize(spec.gammas.size());
+      out.expectation = adjoint_value_and_gradient(
+          plan, ws, spec.betas, spec.gammas, out.grad_betas, out.grad_gammas);
+      break;
+    }
+    case JobKind::Sample: {
+      out.expectation = evaluate(plan, ws, spec.betas, spec.gammas);
+      MeasurementSampler sampler(ws.psi);
+      // Deterministic per-job shot stream: seeded from the spec, never from
+      // worker identity, so results are worker-count invariant.
+      Rng shot_rng(spec.opt_seed ^ 0xABCDEFULL);
+      out.shot_estimate = sampler.estimate_expectation(plan.objective(),
+                                                       spec.shots, shot_rng);
+      out.shot_stderr = sampler.standard_error(plan.objective(), spec.shots);
+      break;
+    }
+    case JobKind::FindAngles: {
+      FindAnglesOptions opt;
+      opt.direction = direction;
+      opt.seed = spec.opt_seed;
+      opt.hopping.hops = spec.hops;
+      opt.parallel_starts = spec.starts;
+      opt.checkpoint_file = spec.checkpoint;
+      opt.budget.wall_seconds = spec.deadline_seconds;
+      opt.budget.max_evaluations = spec.max_evaluations;
+      opt.budget.cancel = &job.cancel;
+      out.schedules =
+          find_angles(*cached->mixer, plan.objective(), spec.p, opt);
+      if (!out.schedules.empty()) {
+        out.expectation = out.schedules.back().expectation;
+        out.stop = out.schedules.back().stop_reason;
+      }
+      if (job.cancel.stop_requested()) {
+        out.stop = runtime::StopReason::Cancelled;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace fastqaoa::service

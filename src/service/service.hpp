@@ -1,0 +1,159 @@
+#pragma once
+/// \file service.hpp
+/// The embeddable job service: bounded queue + worker pool + plan cache.
+///
+/// This is the daemon's engine, usable without any socket: submit() either
+/// admits a job (returning a shared record the caller can wait on, poll, or
+/// cancel) or rejects it with a structured reason — "overloaded" once the
+/// queue is at its high-water mark, "draining" once shutdown has begun.
+/// Rejection at admission is the backpressure contract: the queue never
+/// grows without bound, and a client that sees "overloaded" knows to back
+/// off rather than time out.
+///
+/// Worker threads each own an EvalWorkspace and pull jobs off the queue;
+/// plans come from the shared PlanCache, so N workers evaluating the same
+/// problem share one precomputation. Every job carries its own CancelToken
+/// and RunBudget, threaded into the runtime layer, so long searches stop
+/// cooperatively — cancellation and drain both return best-so-far results
+/// (checkpointed to the job's checkpoint file, if it named one) instead of
+/// tearing anything down.
+///
+/// Drain semantics (what SIGTERM maps to in the daemon): begin_drain()
+/// rejects new work, cancels queued jobs, and trips the cancel token of
+/// running ones; shutdown() additionally waits for workers to finish
+/// delivering those results. Nothing in-flight is lost — a drained
+/// find_angles job leaves a resumable checkpoint behind.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/budget.hpp"
+#include "service/job.hpp"
+#include "service/plan_cache.hpp"
+
+namespace fastqaoa::service {
+
+struct ServiceConfig {
+  int workers = 2;
+  /// Admission high-water mark: jobs *waiting* in the queue (not the ones
+  /// already running). A submit that would push the depth past this is
+  /// rejected with "overloaded".
+  std::size_t queue_high_water = 64;
+  /// PlanCache byte budget (0 = unlimited).
+  std::size_t cache_bytes = 0;
+  /// Disk tier for expensive mixers ("" = memory only).
+  std::string cache_dir;
+};
+
+/// One job's shared record. The service and the submitting client both hold
+/// a shared_ptr; `mu`/`cv` guard state/result/error.
+class Job {
+ public:
+  std::uint64_t id = 0;
+  JobSpec spec;
+  runtime::CancelToken cancel;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  JobState state = JobState::Queued;  // guarded by mu
+  JobResultData result;               // stable once state is terminal
+  std::string error;                  // set when state == Failed
+
+  [[nodiscard]] JobState snapshot_state() const {
+    std::lock_guard<std::mutex> lock(mu);
+    return state;
+  }
+  [[nodiscard]] bool terminal() const {
+    const JobState s = snapshot_state();
+    return s == JobState::Done || s == JobState::Failed ||
+           s == JobState::Cancelled;
+  }
+};
+
+struct ServiceStats {
+  std::size_t queue_depth = 0;
+  std::size_t running = 0;
+  int workers = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t rejected = 0;
+  bool draining = false;
+  PlanCache::Stats plan_cache;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+  ~Service();  // shutdown()
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  struct SubmitOutcome {
+    std::shared_ptr<Job> job;  ///< null when rejected
+    std::string error_code;    ///< "", "overloaded", or "draining"
+    std::size_t queue_depth = 0;
+    [[nodiscard]] bool accepted() const noexcept { return job != nullptr; }
+  };
+
+  /// Validate and enqueue. Throws fastqaoa::Error on an invalid spec;
+  /// returns a rejection (never throws) on backpressure or drain.
+  SubmitOutcome submit(JobSpec spec);
+
+  /// Look up a job by id (nullptr if unknown). Records are kept for the
+  /// lifetime of the service so status queries never race completion.
+  [[nodiscard]] std::shared_ptr<Job> find(std::uint64_t id) const;
+
+  /// Cancel: a queued job is cancelled immediately; a running job has its
+  /// token tripped (it finishes as soon as the runtime layer polls it).
+  /// Returns false for unknown or already-terminal jobs.
+  bool cancel(std::uint64_t id);
+
+  /// Block until the job reaches a terminal state.
+  static void wait(Job& job);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] bool draining() const;
+
+  /// Stop admitting work; cancel queued jobs and trip running ones.
+  void begin_drain();
+
+  /// begin_drain() + wait for workers to deliver every in-flight result,
+  /// then join the pool. Idempotent.
+  void shutdown();
+
+ private:
+  void worker_loop();
+  void run_job(Job& job, EvalWorkspace& ws);
+  void execute(Job& job, EvalWorkspace& ws, JobResultData& out);
+
+  ServiceConfig config_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+  std::size_t running_ = 0;
+  bool draining_ = false;
+  bool stop_ = false;
+  bool joined_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t rejected_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fastqaoa::service

@@ -1,0 +1,106 @@
+#include "service/workload.hpp"
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "graphs/graph.hpp"
+#include "io/serialize.hpp"
+#include "mixers/eigen_mixer.hpp"
+#include "mixers/grover_mixer.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+#include "sat/cnf.hpp"
+
+namespace fastqaoa::service {
+
+int ProblemSpec::effective_k() const noexcept {
+  if (!constrained_mixer(mixer)) return -1;
+  return k < 0 ? n / 2 : k;
+}
+
+bool constrained_mixer(const std::string& mixer) noexcept {
+  return mixer == "clique" || mixer == "ring";
+}
+
+void validate_problem_spec(const ProblemSpec& spec) {
+  FASTQAOA_CHECK(spec.problem == "maxcut" || spec.problem == "ksat" ||
+                     spec.problem == "densest" ||
+                     spec.problem == "vertexcover" ||
+                     spec.problem == "partition",
+                 "unknown problem '" + spec.problem + "'");
+  FASTQAOA_CHECK(spec.mixer == "tf" || spec.mixer == "grover" ||
+                     spec.mixer == "clique" || spec.mixer == "ring",
+                 "unknown mixer '" + spec.mixer + "'");
+  FASTQAOA_CHECK(spec.n >= 2 && spec.n <= 24,
+                 "n out of supported range [2, 24]");
+  if (constrained_mixer(spec.mixer)) {
+    const int k = spec.effective_k();
+    FASTQAOA_CHECK(k >= 1 && k < spec.n,
+                   "k must satisfy 1 <= k < n for constrained mixers");
+  }
+  FASTQAOA_CHECK(spec.density > 0.0, "density must be positive");
+}
+
+StateSpace problem_space(const ProblemSpec& spec) {
+  return constrained_mixer(spec.mixer)
+             ? StateSpace::dicke(spec.n, spec.effective_k())
+             : StateSpace::full(spec.n);
+}
+
+dvec build_objective(const ProblemSpec& spec, const StateSpace& space) {
+  Rng rng(spec.instance_seed);
+  const int n = spec.n;
+  if (spec.problem == "maxcut") {
+    Graph g = erdos_renyi(n, 0.5, rng);
+    return tabulate(space, [&g](state_t x) { return maxcut(g, x); });
+  }
+  if (spec.problem == "ksat") {
+    CnfFormula f = random_ksat_density(n, 3, spec.density, rng);
+    return tabulate(space, [&f](state_t x) { return ksat(f, x); });
+  }
+  if (spec.problem == "densest") {
+    Graph g = erdos_renyi(n, 0.5, rng);
+    return tabulate(space, [&g](state_t x) { return densest_subgraph(g, x); });
+  }
+  if (spec.problem == "vertexcover") {
+    Graph g = erdos_renyi(n, 0.5, rng);
+    return tabulate(space, [&g](state_t x) { return vertex_cover(g, x); });
+  }
+  FASTQAOA_CHECK(spec.problem == "partition",
+                 "unknown problem '" + spec.problem + "'");
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  for (auto& w : weights) w = std::floor(rng.uniform(1.0, 30.0));
+  return tabulate(space,
+                  [&weights](state_t x) { return number_partition(weights, x); });
+}
+
+std::unique_ptr<const Mixer> build_mixer(const ProblemSpec& spec,
+                                         const StateSpace& space,
+                                         const std::string& disk_cache_dir) {
+  if (spec.mixer == "tf") {
+    return std::make_unique<XMixer>(XMixer::transverse_field(spec.n));
+  }
+  if (spec.mixer == "grover") {
+    return std::make_unique<GroverMixer>(space.dim());
+  }
+  FASTQAOA_CHECK(constrained_mixer(spec.mixer),
+                 "unknown mixer '" + spec.mixer + "'");
+  auto build = [&] {
+    return spec.mixer == "clique" ? EigenMixer::clique(space)
+                                  : EigenMixer::ring(space);
+  };
+  if (disk_cache_dir.empty()) {
+    return std::make_unique<EigenMixer>(build());
+  }
+  // Disk tier: the eigendecomposition is fully determined by (kind, n, k),
+  // so the file name is its content address.
+  std::filesystem::create_directories(disk_cache_dir);
+  const std::string path = disk_cache_dir + "/mixer-" + spec.mixer + "-n" +
+                           std::to_string(spec.n) + "-k" +
+                           std::to_string(spec.effective_k()) + ".fqm";
+  return std::make_unique<EigenMixer>(io::load_or_build_mixer(path, build));
+}
+
+}  // namespace fastqaoa::service

@@ -1,0 +1,58 @@
+#pragma once
+/// \file workload.hpp
+/// Deterministic problem/mixer construction from a declarative spec.
+///
+/// The service builds workloads server-side: a request names a generator
+/// ("maxcut on Erdős–Rényi, n=10, seed=42"), not a table, so requests stay
+/// small and every rebuild is bit-identical. This mirrors qaoa_cli's
+/// generator wiring exactly — one Rng seeded from instance_seed, consumed
+/// in the same order — so a served result can be cross-checked against a
+/// direct library call with operator==. Tests rely on that.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "mixers/mixer.hpp"
+#include "problems/state_space.hpp"
+
+namespace fastqaoa::service {
+
+/// What to simulate: a named generator plus its parameters.
+struct ProblemSpec {
+  std::string problem = "maxcut";  ///< maxcut|ksat|densest|vertexcover|partition
+  std::string mixer = "tf";        ///< tf|grover|clique|ring
+  int n = 8;
+  int k = -1;  ///< Hamming weight for constrained mixers (< 0 = n/2)
+  double density = 6.0;            ///< k-SAT clause density
+  std::uint64_t instance_seed = 42;
+
+  /// Hamming weight actually used (k, defaulted to n/2 for constrained
+  /// mixers; -1 for unconstrained ones — part of the cache key).
+  [[nodiscard]] int effective_k() const noexcept;
+};
+
+/// Whether `mixer` restricts the feasible set to a Dicke subspace.
+[[nodiscard]] bool constrained_mixer(const std::string& mixer) noexcept;
+
+/// Validate ranges and names; throws fastqaoa::Error with a message naming
+/// the offending field.
+void validate_problem_spec(const ProblemSpec& spec);
+
+/// The feasible space the spec implies (full or Dicke).
+[[nodiscard]] StateSpace problem_space(const ProblemSpec& spec);
+
+/// Tabulate the objective (deterministic in instance_seed).
+[[nodiscard]] dvec build_objective(const ProblemSpec& spec,
+                                   const StateSpace& space);
+
+/// Construct the mixer. When `disk_cache_dir` is non-empty, eigendecomposed
+/// mixers (clique/ring) are persisted there via io::load_or_build_mixer
+/// under a name keyed by (kind, n, k) — the service's disk tier, sharing
+/// the CLI's cache-file convention.
+[[nodiscard]] std::unique_ptr<const Mixer> build_mixer(
+    const ProblemSpec& spec, const StateSpace& space,
+    const std::string& disk_cache_dir = {});
+
+}  // namespace fastqaoa::service

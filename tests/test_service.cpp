@@ -1,0 +1,691 @@
+// Tests for the src/service/ job-service layer: the JSON codec, plan-cache
+// keying and eviction, the worker pool's determinism and backpressure, the
+// protocol dispatcher, and the daemon end to end.
+//
+// Naming is load-bearing for CI: ServiceConcurrency.* and PlanCache.* run
+// under ThreadSanitizer (pure std::thread concurrency, no fork); the
+// DaemonE2E.* tests fork() a real daemon and are excluded from the TSan
+// filter. gtest_discover_tests runs each TEST in its own process, so every
+// fork happens before this process enters an OpenMP region.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "anglefind/strategies.hpp"
+#include "autodiff/adjoint.hpp"
+#include "common/error.hpp"
+#include "core/plan.hpp"
+#include "io/serialize.hpp"
+#include "service/client.hpp"
+#include "service/job.hpp"
+#include "service/json.hpp"
+#include "service/plan_cache.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "service/workload.hpp"
+
+namespace fastqaoa::service {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fastqaoa_service_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// JSON codec
+// ---------------------------------------------------------------------------
+
+TEST(ServiceJson, RoundTripsScalarsExactly) {
+  const Json parsed = Json::parse(
+      R"({"a":1,"b":-2.5,"c":true,"d":null,"e":"x\n\"y\"","f":[1,2,3]})");
+  EXPECT_EQ(parsed.at("a").as_int64(), 1);
+  EXPECT_DOUBLE_EQ(parsed.at("b").as_double(), -2.5);
+  EXPECT_TRUE(parsed.at("c").as_bool());
+  EXPECT_TRUE(parsed.at("d").is_null());
+  EXPECT_EQ(parsed.at("e").as_string(), "x\n\"y\"");
+  EXPECT_EQ(parsed.at("f").size(), 3u);
+
+  // dump → parse is lossless, including doubles with no short decimal form.
+  const double awkward = 0.1 + 0.2;
+  Json obj = Json::object();
+  obj.set("v", Json(awkward));
+  obj.set("big", Json(static_cast<std::uint64_t>(1234567890123456789ULL)));
+  const Json back = Json::parse(obj.dump());
+  EXPECT_EQ(back.at("v").as_double(), awkward);  // bit-identical
+  EXPECT_EQ(back.at("big").as_uint64(), 1234567890123456789ULL);
+}
+
+TEST(ServiceJson, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), Error);
+  EXPECT_THROW(Json::parse("[1 2]"), Error);
+  EXPECT_THROW(Json::parse(""), Error);
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += '[';
+  EXPECT_THROW(Json::parse(deep), Error);  // depth guard
+}
+
+TEST(ServiceJson, UnicodeEscapes) {
+  const Json j = Json::parse(R"("ABé")");
+  EXPECT_EQ(j.as_string(), "AB\xc3\xa9");
+}
+
+// ---------------------------------------------------------------------------
+// Plan fingerprinting and the cache
+// ---------------------------------------------------------------------------
+
+PlanKeyMaterial material_for(const ProblemSpec& spec, int p,
+                             std::span<const double> obj) {
+  PlanKeyMaterial m;
+  m.mixer_kind = spec.mixer;
+  m.n = spec.n;
+  m.k = spec.effective_k();
+  m.rounds = p;
+  m.obj_vals = obj;
+  return m;
+}
+
+/// Build-or-fetch through the cache the same way Service::execute does.
+PlanHandle cache_plan(PlanCache& cache, const ProblemSpec& spec, int p,
+                      int* builds = nullptr) {
+  const StateSpace space = problem_space(spec);
+  dvec obj = build_objective(spec, space);
+  return cache.get_or_build(material_for(spec, p, obj), [&]() -> CachedPlan {
+    if (builds != nullptr) ++*builds;
+    CachedPlan entry;
+    entry.mixer = build_mixer(spec, space);
+    entry.plan =
+        std::make_shared<const QaoaPlan>(*entry.mixer, std::move(obj), p);
+    return entry;
+  });
+}
+
+TEST(PlanCache, FingerprintSeparatesEveryKeyField) {
+  const dvec obj = {1.0, 2.0, 3.0, 4.0};
+  const dvec obj2 = {1.0, 2.0, 3.0, 5.0};
+  const dvec phase = {0.5, 0.5, 0.5, 0.5};
+  const cvec psi0 = {cplx{0.5, 0.0}, cplx{0.5, 0.0}, cplx{0.5, 0.0},
+                     cplx{0.5, 0.0}};
+
+  PlanKeyMaterial base;
+  base.mixer_kind = "tf";
+  base.n = 2;
+  base.k = -1;
+  base.rounds = 1;
+  base.obj_vals = obj;
+  const std::uint64_t fp = plan_fingerprint(base);
+
+  // Identical material (even via a different allocation) → same key.
+  const dvec obj_copy = obj;
+  PlanKeyMaterial same = base;
+  same.obj_vals = obj_copy;
+  EXPECT_EQ(plan_fingerprint(same), fp);
+
+  PlanKeyMaterial m = base;
+  m.mixer_kind = "grover";
+  EXPECT_NE(plan_fingerprint(m), fp);
+  m = base;
+  m.n = 3;
+  EXPECT_NE(plan_fingerprint(m), fp);
+  m = base;
+  m.k = 1;
+  EXPECT_NE(plan_fingerprint(m), fp);
+  m = base;
+  m.rounds = 2;
+  EXPECT_NE(plan_fingerprint(m), fp);
+  m = base;
+  m.obj_vals = obj2;
+  EXPECT_NE(plan_fingerprint(m), fp);
+  m = base;
+  m.phase_values = phase;
+  EXPECT_NE(plan_fingerprint(m), fp);
+  m = base;
+  m.initial_state = psi0;
+  EXPECT_NE(plan_fingerprint(m), fp);
+
+  // A phase table equal to the objective still keys differently from "no
+  // phase table" — threshold-QAOA plans must not collide with plain ones.
+  m = base;
+  m.phase_values = obj;
+  EXPECT_NE(plan_fingerprint(m), fp);
+}
+
+TEST(PlanCache, EqualTablesShareOneEntry) {
+  PlanCache cache;
+  ProblemSpec spec;  // maxcut/tf n=8 seed=42
+  int builds = 0;
+  const PlanHandle a = cache_plan(cache, spec, 2, &builds);
+  const PlanHandle b = cache_plan(cache, spec, 2, &builds);
+  EXPECT_EQ(builds, 1);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->plan.get(), b->plan.get());
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(PlanCache, DistinctSpecsDoNotCollide) {
+  PlanCache cache;
+  int builds = 0;
+  ProblemSpec spec;
+  cache_plan(cache, spec, 2, &builds);
+  cache_plan(cache, spec, 3, &builds);  // different p
+  ProblemSpec grover = spec;
+  grover.mixer = "grover";
+  cache_plan(cache, grover, 2, &builds);  // different mixer kind
+  ProblemSpec other = spec;
+  other.instance_seed = 43;
+  cache_plan(cache, other, 2, &builds);  // different table contents
+  EXPECT_EQ(builds, 4);
+  EXPECT_EQ(cache.stats().entries, 4u);
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(PlanCache, EvictsLruUnderByteBudget) {
+  // Measure one entry's tracked footprint first, then budget for two.
+  std::size_t entry_bytes = 0;
+  {
+    PlanCache probe;
+    ProblemSpec spec;
+    cache_plan(probe, spec, 1);
+    entry_bytes = probe.stats().bytes;
+  }
+  ASSERT_GT(entry_bytes, 0u);
+
+  PlanCache cache(PlanCache::Config{entry_bytes * 2 + entry_bytes / 2});
+  ProblemSpec spec;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ProblemSpec s = spec;
+    s.instance_seed = seed;
+    cache_plan(cache, s, 1);  // handle dropped immediately → evictable
+  }
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 2u);
+  EXPECT_LE(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, entry_bytes * 2 + entry_bytes / 2);
+
+  // The oldest entry is gone: asking for it again rebuilds.
+  int builds = 0;
+  ProblemSpec first = spec;
+  first.instance_seed = 1;
+  cache_plan(cache, first, 1, &builds);
+  EXPECT_EQ(builds, 1);
+}
+
+TEST(PlanCache, NeverEvictsPinnedEntries) {
+  PlanCache cache(PlanCache::Config{1});  // everything is over budget
+  ProblemSpec spec;
+  const PlanHandle pinned = cache_plan(cache, spec, 1);  // held → live job
+
+  for (std::uint64_t seed = 2; seed <= 4; ++seed) {
+    ProblemSpec s = spec;
+    s.instance_seed = seed;
+    cache_plan(cache, s, 1);
+  }
+  // The pinned entry survived every eviction pass: refetching is a pure
+  // hit, not a rebuild.
+  int builds = 0;
+  const PlanHandle again = cache_plan(cache, spec, 1, &builds);
+  EXPECT_EQ(builds, 0);
+  EXPECT_EQ(again.get(), pinned.get());
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Service: determinism, caching, backpressure, cancellation
+// ---------------------------------------------------------------------------
+
+JobSpec evaluate_spec(int p = 2) {
+  JobSpec spec;
+  spec.kind = JobKind::Evaluate;
+  spec.p = p;
+  spec.betas.assign(static_cast<std::size_t>(p), 0.17);
+  spec.gammas.assign(static_cast<std::size_t>(p), 0.41);
+  return spec;
+}
+
+/// The same computation Service::execute runs, performed directly against
+/// the library — the reference for bit-identical comparisons.
+double direct_evaluate(const JobSpec& spec) {
+  const StateSpace space = problem_space(spec.problem);
+  dvec obj = build_objective(spec.problem, space);
+  const std::unique_ptr<const Mixer> mixer = build_mixer(spec.problem, space);
+  const QaoaPlan plan(*mixer, std::move(obj), spec.p);
+  EvalWorkspace ws;
+  return evaluate(plan, ws, spec.betas, spec.gammas);
+}
+
+TEST(ServiceEvaluate, BitIdenticalToDirectCallAndCached) {
+  const JobSpec spec = evaluate_spec();
+  const double expected = direct_evaluate(spec);
+
+  ServiceConfig config;
+  config.workers = 1;
+  Service service(config);
+  constexpr int kJobs = 5;
+  for (int i = 0; i < kJobs; ++i) {
+    Service::SubmitOutcome outcome = service.submit(spec);
+    ASSERT_TRUE(outcome.accepted());
+    Service::wait(*outcome.job);
+    EXPECT_EQ(outcome.job->snapshot_state(), JobState::Done);
+    EXPECT_EQ(outcome.job->result.expectation, expected);  // exact
+    EXPECT_EQ(outcome.job->result.cache_hit, i > 0);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.plan_cache.misses, 1u);
+  EXPECT_EQ(stats.plan_cache.hits, static_cast<std::uint64_t>(kJobs - 1));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kJobs));
+}
+
+TEST(ServiceEvaluate, RejectsInvalidSpecsWithThrow) {
+  Service service;
+  JobSpec bad = evaluate_spec();
+  bad.betas.pop_back();  // size != p
+  EXPECT_THROW(service.submit(bad), Error);
+  JobSpec bad_problem = evaluate_spec();
+  bad_problem.problem.problem = "nonsense";
+  EXPECT_THROW(service.submit(bad_problem), Error);
+  EXPECT_EQ(service.stats().submitted, 0u);
+}
+
+std::vector<JobSpec> mixed_batch() {
+  std::vector<JobSpec> batch;
+  for (std::uint64_t seed : {7ULL, 8ULL}) {
+    JobSpec ev = evaluate_spec();
+    ev.problem.instance_seed = seed;
+    batch.push_back(ev);
+
+    JobSpec grad = evaluate_spec();
+    grad.kind = JobKind::Gradient;
+    grad.problem.instance_seed = seed;
+    batch.push_back(grad);
+
+    JobSpec sample = evaluate_spec();
+    sample.kind = JobKind::Sample;
+    sample.problem.instance_seed = seed;
+    sample.shots = 256;
+    sample.opt_seed = 99 + seed;
+    batch.push_back(sample);
+
+    JobSpec fa;
+    fa.kind = JobKind::FindAngles;
+    fa.problem.n = 6;
+    fa.problem.instance_seed = seed;
+    fa.p = 2;
+    fa.hops = 3;
+    batch.push_back(fa);
+  }
+  return batch;
+}
+
+std::vector<JobResultData> run_batch(int workers) {
+  ServiceConfig config;
+  config.workers = workers;
+  Service service(config);
+  std::vector<std::shared_ptr<Job>> jobs;
+  for (const JobSpec& spec : mixed_batch()) {
+    Service::SubmitOutcome outcome = service.submit(spec);
+    EXPECT_TRUE(outcome.accepted());
+    jobs.push_back(outcome.job);
+  }
+  std::vector<JobResultData> results;
+  for (const auto& job : jobs) {
+    Service::wait(*job);
+    EXPECT_EQ(job->snapshot_state(), JobState::Done);
+    results.push_back(job->result);
+  }
+  return results;
+}
+
+TEST(ServiceConcurrency, ResultsAreWorkerCountInvariant) {
+  const std::vector<JobResultData> one = run_batch(1);
+  const std::vector<JobResultData> four = run_batch(4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].expectation, four[i].expectation) << "job " << i;
+    EXPECT_EQ(one[i].grad_betas, four[i].grad_betas) << "job " << i;
+    EXPECT_EQ(one[i].grad_gammas, four[i].grad_gammas) << "job " << i;
+    EXPECT_EQ(one[i].shot_estimate, four[i].shot_estimate) << "job " << i;
+    EXPECT_EQ(one[i].shot_stderr, four[i].shot_stderr) << "job " << i;
+    ASSERT_EQ(one[i].schedules.size(), four[i].schedules.size());
+    for (std::size_t r = 0; r < one[i].schedules.size(); ++r) {
+      EXPECT_EQ(one[i].schedules[r].expectation,
+                four[i].schedules[r].expectation);
+      EXPECT_EQ(one[i].schedules[r].betas, four[i].schedules[r].betas);
+      EXPECT_EQ(one[i].schedules[r].gammas, four[i].schedules[r].gammas);
+    }
+  }
+}
+
+JobSpec slow_find_angles(std::uint64_t seed = 1) {
+  JobSpec spec;
+  spec.kind = JobKind::FindAngles;
+  spec.problem.n = 12;
+  spec.problem.instance_seed = seed;
+  spec.p = 8;
+  spec.hops = 40;
+  return spec;
+}
+
+void wait_until_running(const Job& job) {
+  while (job.snapshot_state() == JobState::Queued) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(ServiceConcurrency, OverloadedPastHighWaterMark) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_high_water = 1;
+  Service service(config);
+
+  Service::SubmitOutcome running = service.submit(slow_find_angles(1));
+  ASSERT_TRUE(running.accepted());
+  wait_until_running(*running.job);  // worker occupied, queue empty
+
+  Service::SubmitOutcome queued = service.submit(slow_find_angles(2));
+  ASSERT_TRUE(queued.accepted());
+
+  Service::SubmitOutcome rejected = service.submit(slow_find_angles(3));
+  EXPECT_FALSE(rejected.accepted());
+  EXPECT_EQ(rejected.error_code, "overloaded");
+  EXPECT_EQ(rejected.queue_depth, 1u);
+  EXPECT_EQ(service.stats().rejected, 1u);
+
+  // Cancel both so teardown is quick; the running job stops cooperatively.
+  EXPECT_TRUE(service.cancel(running.job->id));
+  EXPECT_TRUE(service.cancel(queued.job->id));
+  Service::wait(*running.job);
+  Service::wait(*queued.job);
+  EXPECT_EQ(queued.job->snapshot_state(), JobState::Cancelled);
+  EXPECT_EQ(running.job->snapshot_state(), JobState::Cancelled);
+}
+
+TEST(ServiceConcurrency, CancelRunningJobStopsCooperatively) {
+  ServiceConfig config;
+  config.workers = 1;
+  Service service(config);
+  Service::SubmitOutcome outcome = service.submit(slow_find_angles());
+  ASSERT_TRUE(outcome.accepted());
+  wait_until_running(*outcome.job);
+  ASSERT_TRUE(service.cancel(outcome.job->id));
+  Service::wait(*outcome.job);
+  EXPECT_EQ(outcome.job->snapshot_state(), JobState::Cancelled);
+  EXPECT_EQ(outcome.job->result.stop, runtime::StopReason::Cancelled);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+  // Cancelling a terminal job is a no-op.
+  EXPECT_FALSE(service.cancel(outcome.job->id));
+}
+
+TEST(ServiceConcurrency, DrainRejectsNewWorkAndDeliversInFlight) {
+  ServiceConfig config;
+  config.workers = 2;
+  Service service(config);
+  Service::SubmitOutcome a = service.submit(slow_find_angles(1));
+  Service::SubmitOutcome b = service.submit(evaluate_spec());
+  ASSERT_TRUE(a.accepted());
+  ASSERT_TRUE(b.accepted());
+
+  service.begin_drain();
+  Service::SubmitOutcome late = service.submit(evaluate_spec());
+  EXPECT_FALSE(late.accepted());
+  EXPECT_EQ(late.error_code, "draining");
+
+  service.shutdown();
+  // Every admitted job reached a terminal state with its result delivered.
+  EXPECT_TRUE(a.job->terminal());
+  EXPECT_TRUE(b.job->terminal());
+  EXPECT_TRUE(service.draining());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol dispatch (no socket)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceProtocol, JobSpecJsonRoundTrip) {
+  JobSpec spec;
+  spec.kind = JobKind::FindAngles;
+  spec.problem.problem = "ksat";
+  spec.problem.mixer = "tf";
+  spec.problem.n = 7;
+  spec.problem.density = 4.25;
+  spec.problem.instance_seed = 77;
+  spec.p = 3;
+  spec.minimize = true;
+  spec.hops = 5;
+  spec.starts = 2;
+  spec.opt_seed = 1234;
+  spec.checkpoint = "/tmp/x.ckpt";
+  spec.deadline_seconds = 1.5;
+  spec.max_evaluations = 9000;
+
+  const JobSpec back = job_spec_from_json(job_spec_to_json(spec));
+  EXPECT_EQ(back.kind, spec.kind);
+  EXPECT_EQ(back.problem.problem, spec.problem.problem);
+  EXPECT_EQ(back.problem.n, spec.problem.n);
+  EXPECT_EQ(back.problem.density, spec.problem.density);
+  EXPECT_EQ(back.problem.instance_seed, spec.problem.instance_seed);
+  EXPECT_EQ(back.p, spec.p);
+  EXPECT_EQ(back.minimize, spec.minimize);
+  EXPECT_EQ(back.hops, spec.hops);
+  EXPECT_EQ(back.starts, spec.starts);
+  EXPECT_EQ(back.opt_seed, spec.opt_seed);
+  EXPECT_EQ(back.checkpoint, spec.checkpoint);
+  EXPECT_EQ(back.deadline_seconds, spec.deadline_seconds);
+  EXPECT_EQ(back.max_evaluations, spec.max_evaluations);
+}
+
+TEST(ServiceProtocol, DispatchesVerbsAndRejectsGarbage) {
+  ServiceConfig config;
+  config.workers = 1;
+  Service service(config);
+
+  const Json pong = Json::parse(handle_request_line(service, R"({"op":"ping"})"));
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  EXPECT_TRUE(pong.at("pong").as_bool());
+
+  const Json bad = Json::parse(handle_request_line(service, "not json"));
+  EXPECT_FALSE(bad.at("ok").as_bool());
+  EXPECT_EQ(bad.at("error").at("code").as_string(), "bad_request");
+
+  const Json unknown =
+      Json::parse(handle_request_line(service, R"({"op":"frobnicate"})"));
+  EXPECT_FALSE(unknown.at("ok").as_bool());
+
+  const Json no_job = Json::parse(
+      handle_request_line(service, R"({"op":"status","id":12345})"));
+  EXPECT_EQ(no_job.at("error").at("code").as_string(), "unknown_job");
+
+  // A full evaluate round trip through the dispatcher matches the library.
+  const JobSpec spec = evaluate_spec();
+  const double expected = direct_evaluate(spec);
+  const Json response =
+      handle_request(service, job_spec_to_json(spec));
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("state").as_string(), "done");
+  EXPECT_EQ(response.at("result").at("expectation").as_double(), expected);
+
+  const Json stats =
+      Json::parse(handle_request_line(service, R"({"op":"stats"})"));
+  EXPECT_EQ(stats.at("stats").at("plan_cache").at("misses").as_uint64(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon end to end (fork; excluded from the TSan filter)
+// ---------------------------------------------------------------------------
+
+pid_t fork_daemon(const DaemonOptions& options) {
+  const pid_t pid = ::fork();
+  EXPECT_GE(pid, 0);
+  if (pid == 0) {
+    const int rc = run_daemon(options);
+    std::_Exit(rc);
+  }
+  return pid;
+}
+
+Client connect_with_retry(const std::string& socket_path) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    try {
+      return Client::connect_unix(socket_path);
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  throw Error("daemon did not come up at " + socket_path);
+}
+
+int wait_for_exit(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  EXPECT_TRUE(WIFEXITED(status)) << "daemon did not exit cleanly";
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(DaemonE2E, SequentialRequestsShareOnePlanAndMatchDirectCalls) {
+  TempDir tmp;
+  DaemonOptions options;
+  options.socket_path = tmp.path("qaoa.sock");
+  options.metrics_path = tmp.path("metrics.json");
+  options.verbose = false;
+  options.service.workers = 2;
+  const pid_t pid = fork_daemon(options);
+
+  const JobSpec spec = evaluate_spec();
+  const double expected = direct_evaluate(spec);
+
+  {
+    Client client = connect_with_retry(options.socket_path);
+    constexpr int kJobs = 5;
+    for (int i = 0; i < kJobs; ++i) {
+      const Json response = client.request(job_spec_to_json(spec));
+      ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+      EXPECT_EQ(response.at("state").as_string(), "done");
+      // %.17g doubles survive the wire bit-identically.
+      EXPECT_EQ(response.at("result").at("expectation").as_double(),
+                expected);
+      EXPECT_EQ(response.at("result").at("cache_hit").as_bool(), i > 0);
+    }
+    Json stats_req = Json::object();
+    stats_req.set("op", Json("stats"));
+    const Json stats = client.request(stats_req);
+    const Json& cache = stats.at("stats").at("plan_cache");
+    EXPECT_EQ(cache.at("misses").as_uint64(), 1u);
+    EXPECT_EQ(cache.at("hits").as_uint64(),
+              static_cast<std::uint64_t>(kJobs - 1));
+  }
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  EXPECT_EQ(wait_for_exit(pid), 0);
+
+  // The drain flushed a valid metrics document.
+  const Json metrics = Json::parse([&] {
+    std::ifstream in(options.metrics_path);
+    EXPECT_TRUE(in.good());
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }());
+  EXPECT_NE(metrics.find("service"), nullptr);
+  EXPECT_NE(metrics.find("engine"), nullptr);
+  EXPECT_EQ(metrics.at("service").at("completed").as_uint64(), 5u);
+}
+
+TEST(DaemonE2E, SigtermDrainsInFlightFindAnglesWithResumableCheckpoint) {
+  TempDir tmp;
+  DaemonOptions options;
+  options.socket_path = tmp.path("qaoa.sock");
+  options.verbose = false;
+  options.service.workers = 1;
+  const pid_t pid = fork_daemon(options);
+
+  // Slow enough that SIGTERM very likely lands mid-search, but cheap enough
+  // that the two full local runs below stay in CI budget.
+  JobSpec spec;
+  spec.kind = JobKind::FindAngles;
+  spec.problem.n = 10;
+  spec.p = 4;
+  spec.hops = 10;
+  spec.checkpoint = tmp.path("job.ckpt");
+
+  {
+    Client client = connect_with_retry(options.socket_path);
+    Json req = job_spec_to_json(spec);
+    req.set("async", Json(true));
+    const Json accepted = client.request(req);
+    ASSERT_TRUE(accepted.at("ok").as_bool()) << accepted.dump();
+  }
+
+  // Wait until at least one round has been checkpointed, then interrupt the
+  // daemon mid-search.
+  for (int i = 0; i < 2400 && !std::filesystem::exists(spec.checkpoint);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ASSERT_TRUE(std::filesystem::exists(spec.checkpoint));
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  EXPECT_EQ(wait_for_exit(pid), 0);
+
+  // The checkpoint is resumable: it carries the fingerprint of this exact
+  // run, and resuming completes the search bit-identically to a run that
+  // was never interrupted.
+  const StateSpace space = problem_space(spec.problem);
+  dvec obj = build_objective(spec.problem, space);
+  const std::unique_ptr<const Mixer> mixer = build_mixer(spec.problem, space);
+  const CheckpointFingerprint fingerprint{
+      static_cast<std::uint64_t>(obj.size()), Direction::Maximize,
+      spec.opt_seed, mixer->name()};
+  const std::vector<AngleSchedule> saved =
+      load_checkpoint(spec.checkpoint, fingerprint);
+  ASSERT_FALSE(saved.empty());
+
+  FindAnglesOptions opt;
+  opt.seed = spec.opt_seed;
+  opt.hopping.hops = spec.hops;
+  opt.checkpoint_file = spec.checkpoint;
+  const std::vector<AngleSchedule> resumed =
+      find_angles(*mixer, obj, spec.p, opt);
+
+  FindAnglesOptions fresh_opt = opt;
+  fresh_opt.checkpoint_file.clear();
+  const std::vector<AngleSchedule> fresh =
+      find_angles(*mixer, obj, spec.p, fresh_opt);
+
+  ASSERT_EQ(resumed.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(resumed[i].expectation, fresh[i].expectation) << "round " << i;
+    EXPECT_EQ(resumed[i].betas, fresh[i].betas) << "round " << i;
+    EXPECT_EQ(resumed[i].gammas, fresh[i].gammas) << "round " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fastqaoa::service

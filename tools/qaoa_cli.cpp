@@ -10,7 +10,7 @@
 //            [--n=10] [--k=n/2] [--p=4] [--seed=42] [--density=6]
 //            [--strategy=iterative|random|grid] [--restarts=50] [--hops=8]
 //            [--minimize] [--shots=0] [--checkpoint=path] [--mixer-cache=path]
-//            [--threads=N] [--starts=M]
+//            [--table-cache=path] [--threads=N] [--starts=M]
 //            [--deadline=seconds] [--max-evals=N]
 //            [--metrics=out.json] [--trace=out.trace.json] [--progress]
 //
@@ -40,6 +40,7 @@
 #include <string>
 
 #include "anglefind/strategies.hpp"
+#include "common/error.hpp"
 #include "common/threading.hpp"
 #include "common/timer.hpp"
 #include "core/qaoa.hpp"
@@ -108,7 +109,8 @@ bool has_flag(int argc, char** argv, const char* flag) {
                "[--p=4] [--seed=42] [--density=6] "
                "[--strategy=iterative|random|grid] [--restarts=50] "
                "[--hops=8] [--minimize] [--shots=0] [--checkpoint=path] "
-               "[--mixer-cache=path] [--threads=N] [--starts=M] "
+               "[--mixer-cache=path] [--table-cache=path] "
+               "[--threads=N] [--starts=M] "
                "[--deadline=seconds] [--max-evals=N] "
                "[--metrics=out.json] [--trace=out.trace.json] "
                "[--progress]\n");
@@ -164,29 +166,45 @@ int main(int argc, char** argv) {
       constrained ? StateSpace::dicke(n, k) : StateSpace::full(n);
 
   // --- problem ----------------------------------------------------------
-  dvec obj_vals;
-  if (problem == "maxcut") {
-    Graph g = erdos_renyi(n, 0.5, rng);
-    obj_vals = tabulate(space, [&g](state_t x) { return maxcut(g, x); });
-  } else if (problem == "ksat") {
-    CnfFormula f = random_ksat_density(n, 3, density, rng);
-    obj_vals = tabulate(space, [&f](state_t x) { return ksat(f, x); });
-  } else if (problem == "densest") {
-    Graph g = erdos_renyi(n, 0.5, rng);
-    obj_vals =
-        tabulate(space, [&g](state_t x) { return densest_subgraph(g, x); });
-  } else if (problem == "vertexcover") {
-    Graph g = erdos_renyi(n, 0.5, rng);
-    obj_vals = tabulate(space, [&g](state_t x) { return vertex_cover(g, x); });
-  } else if (problem == "partition") {
-    std::vector<double> weights(static_cast<std::size_t>(n));
-    for (auto& w : weights) w = std::floor(rng.uniform(1.0, 30.0));
-    obj_vals =
-        tabulate(space, [&weights](state_t x) {
-          return number_partition(weights, x);
-        });
-  } else {
+  // --table-cache applies the Listing-2 load-or-build pattern to the
+  // tabulated objective: the first run saves the table (crash-safely, via
+  // the atomic writer), later runs skip generation entirely.
+  auto tabulate_problem = [&]() -> dvec {
+    if (problem == "maxcut") {
+      Graph g = erdos_renyi(n, 0.5, rng);
+      return tabulate(space, [&g](state_t x) { return maxcut(g, x); });
+    }
+    if (problem == "ksat") {
+      CnfFormula f = random_ksat_density(n, 3, density, rng);
+      return tabulate(space, [&f](state_t x) { return ksat(f, x); });
+    }
+    if (problem == "densest") {
+      Graph g = erdos_renyi(n, 0.5, rng);
+      return tabulate(space,
+                      [&g](state_t x) { return densest_subgraph(g, x); });
+    }
+    if (problem == "vertexcover") {
+      Graph g = erdos_renyi(n, 0.5, rng);
+      return tabulate(space, [&g](state_t x) { return vertex_cover(g, x); });
+    }
+    if (problem == "partition") {
+      std::vector<double> weights(static_cast<std::size_t>(n));
+      for (auto& w : weights) w = std::floor(rng.uniform(1.0, 30.0));
+      return tabulate(space, [&weights](state_t x) {
+        return number_partition(weights, x);
+      });
+    }
     usage_error("unknown --problem '" + problem + "'");
+  };
+  const std::string table_cache =
+      string_option(argc, argv, "--table-cache", "");
+  dvec obj_vals = table_cache.empty()
+                      ? tabulate_problem()
+                      : io::load_or_build_table(table_cache, tabulate_problem);
+  if (!table_cache.empty()) {
+    FASTQAOA_CHECK(obj_vals.size() == space.dim(),
+                   "--table-cache file does not match this problem's "
+                   "state-space dimension: " + table_cache);
   }
 
   // --- mixer ------------------------------------------------------------

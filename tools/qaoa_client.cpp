@@ -1,0 +1,231 @@
+// qaoa_client — command-line client for the qaoa_serve daemon.
+//
+// Usage:
+//   qaoa_client --socket=PATH|--tcp=PORT VERB [options]
+//
+// Verbs:
+//   evaluate | gradient | sample   --problem --mixer --n [--k] [--p]
+//                                  --betas=a,b,.. --gammas=a,b,..
+//                                  [--seed] [--density] [--minimize]
+//                                  [--shots] [--opt-seed]
+//   find_angles                    --problem --mixer --n [--k] [--p]
+//                                  [--hops] [--starts] [--opt-seed]
+//                                  [--checkpoint] [--deadline] [--max-evals]
+//   status | cancel                --id=N
+//   stats | ping
+//   raw                            --json='{"op":...}'  (send verbatim)
+//
+// Job verbs block until the result arrives unless --async is given (then
+// the response carries the job id for later `status` polling).
+//
+// Exit codes: 0 = ok response; 4 = rejected "overloaded" (back off and
+// retry); 1 = any other protocol error ("draining", "bad_request", failed
+// job, ...); 2 = usage or transport failure (daemon unreachable/gone).
+//
+// The response object is printed to stdout as one JSON line either way —
+// scripts parse stdout and branch on the exit code.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/json.hpp"
+
+namespace {
+
+using namespace fastqaoa;
+using service::Json;
+
+std::string string_option(int argc, char** argv, const char* key,
+                          const std::string& fallback) {
+  const std::size_t len = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+bool has_option(int argc, char** argv, const char* key) {
+  const std::size_t len = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return true;
+    }
+  }
+  return false;
+}
+
+long long int_option(int argc, char** argv, const char* key,
+                     long long fallback) {
+  const std::string v = string_option(argc, argv, key, "");
+  return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+}
+
+double double_option(int argc, char** argv, const char* key,
+                     double fallback) {
+  const std::string v = string_option(argc, argv, key, "");
+  return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "qaoa_client: %s\n", message.c_str());
+  std::fprintf(stderr,
+               "usage: qaoa_client --socket=PATH|--tcp=PORT "
+               "evaluate|gradient|find_angles|sample|status|cancel|stats|"
+               "ping|raw [--problem=..] [--mixer=..] [--n=..] [--k=..] "
+               "[--p=..] [--betas=a,b,..] [--gammas=a,b,..] [--seed=..] "
+               "[--density=..] [--minimize] [--shots=..] [--hops=..] "
+               "[--starts=..] [--opt-seed=..] [--checkpoint=..] "
+               "[--deadline=..] [--max-evals=..] [--id=..] [--async] "
+               "[--json='{...}']\n");
+  std::exit(2);
+}
+
+Json csv_doubles(const std::string& csv) {
+  Json arr = Json::array();
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string field = csv.substr(start, comma - start);
+    if (!field.empty()) {
+      arr.push_back(Json(std::strtod(field.c_str(), nullptr)));
+    }
+    start = comma + 1;
+  }
+  return arr;
+}
+
+const char* find_verb(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') return argv[i];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h")) {
+    usage_error("help requested");
+  }
+  const char* verb_cstr = find_verb(argc, argv);
+  if (verb_cstr == nullptr) usage_error("missing verb");
+  const std::string verb = verb_cstr;
+
+  Json req = Json::object();
+  if (verb == "raw") {
+    const std::string raw = string_option(argc, argv, "--json", "");
+    if (raw.empty()) usage_error("raw needs --json='{...}'");
+    try {
+      req = Json::parse(raw);
+    } catch (const std::exception& e) {
+      usage_error(std::string("bad --json: ") + e.what());
+    }
+  } else if (verb == "status" || verb == "cancel") {
+    if (!has_option(argc, argv, "--id")) usage_error(verb + " needs --id=N");
+    req.set("op", Json(verb));
+    req.set("id", Json(static_cast<std::uint64_t>(
+                      int_option(argc, argv, "--id", 0))));
+  } else if (verb == "stats" || verb == "ping") {
+    req.set("op", Json(verb));
+  } else if (verb == "evaluate" || verb == "gradient" ||
+             verb == "find_angles" || verb == "sample") {
+    req.set("op", Json(verb));
+    req.set("problem", Json(string_option(argc, argv, "--problem", "maxcut")));
+    req.set("mixer", Json(string_option(argc, argv, "--mixer", "tf")));
+    req.set("n", Json(int_option(argc, argv, "--n", 8)));
+    if (has_option(argc, argv, "--k")) {
+      req.set("k", Json(int_option(argc, argv, "--k", -1)));
+    }
+    if (has_option(argc, argv, "--density")) {
+      req.set("density", Json(double_option(argc, argv, "--density", 6.0)));
+    }
+    if (has_option(argc, argv, "--seed")) {
+      req.set("seed", Json(static_cast<std::uint64_t>(
+                          int_option(argc, argv, "--seed", 42))));
+    }
+    req.set("p", Json(int_option(argc, argv, "--p", 1)));
+    if (has_flag(argc, argv, "--minimize")) req.set("minimize", Json(true));
+    if (has_option(argc, argv, "--betas")) {
+      req.set("betas", csv_doubles(string_option(argc, argv, "--betas", "")));
+    }
+    if (has_option(argc, argv, "--gammas")) {
+      req.set("gammas",
+              csv_doubles(string_option(argc, argv, "--gammas", "")));
+    }
+    if (has_option(argc, argv, "--shots")) {
+      req.set("shots", Json(static_cast<std::uint64_t>(
+                           int_option(argc, argv, "--shots", 1024))));
+    }
+    if (has_option(argc, argv, "--hops")) {
+      req.set("hops", Json(int_option(argc, argv, "--hops", 8)));
+    }
+    if (has_option(argc, argv, "--starts")) {
+      req.set("starts", Json(int_option(argc, argv, "--starts", 1)));
+    }
+    if (has_option(argc, argv, "--opt-seed")) {
+      req.set("opt_seed", Json(static_cast<std::uint64_t>(
+                              int_option(argc, argv, "--opt-seed", 0))));
+    }
+    if (has_option(argc, argv, "--checkpoint")) {
+      req.set("checkpoint",
+              Json(string_option(argc, argv, "--checkpoint", "")));
+    }
+    if (has_option(argc, argv, "--deadline")) {
+      req.set("deadline", Json(double_option(argc, argv, "--deadline", 0.0)));
+    }
+    if (has_option(argc, argv, "--max-evals")) {
+      req.set("max_evals", Json(static_cast<std::uint64_t>(
+                               int_option(argc, argv, "--max-evals", 0))));
+    }
+    if (has_flag(argc, argv, "--async")) req.set("async", Json(true));
+  } else {
+    usage_error("unknown verb '" + verb + "'");
+  }
+
+  const std::string socket_path = string_option(argc, argv, "--socket", "");
+  const long long tcp_port = int_option(argc, argv, "--tcp", -1);
+  if (socket_path.empty() && tcp_port < 0) {
+    usage_error("need --socket=PATH or --tcp=PORT");
+  }
+
+  try {
+    service::Client client =
+        socket_path.empty()
+            ? service::Client::connect_tcp(static_cast<int>(tcp_port))
+            : service::Client::connect_unix(socket_path);
+    const Json response = client.request(req);
+    std::printf("%s\n", response.dump().c_str());
+
+    const Json* ok = response.find("ok");
+    if (ok != nullptr && ok->is_bool() && ok->as_bool()) {
+      // "ok" covers the request, not the job: a sync job that ran and
+      // failed comes back ok:true with state "failed" — surface as exit 1.
+      const Json* state = response.find("state");
+      if (state != nullptr && state->as_string() == "failed") return 1;
+      return 0;
+    }
+    const Json* err = response.find("error");
+    if (err != nullptr) {
+      const Json* code = err->find("code");
+      if (code != nullptr && code->as_string() == "overloaded") return 4;
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qaoa_client: %s\n", e.what());
+    return 2;
+  }
+}

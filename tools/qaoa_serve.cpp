@@ -1,0 +1,94 @@
+// qaoa_serve — the shared-plan evaluation daemon.
+//
+// Hosts a service::Service (bounded job queue + worker pool + content-
+// addressed plan cache) behind a Unix-domain socket speaking newline-
+// delimited JSON; see src/service/protocol.hpp for the wire format and
+// docs/TUTORIAL.md for a walkthrough.
+//
+// Usage:
+//   qaoa_serve --socket=/tmp/qaoa.sock
+//              [--tcp=PORT] [--workers=2] [--queue=64]
+//              [--cache-bytes=N] [--cache-dir=DIR]
+//              [--metrics=out.json] [--quiet]
+//
+// --tcp adds a loopback TCP listener (port 0 = kernel-assigned, printed on
+// startup). --cache-bytes bounds the plan cache (0 = unlimited);
+// --cache-dir adds a disk tier for expensive constrained-mixer
+// eigendecompositions. --queue is the admission high-water mark: submits
+// past it are rejected with the structured "overloaded" error.
+//
+// SIGTERM/SIGINT drain: the daemon stops accepting, cancels queued jobs,
+// lets running ones deliver (and checkpoint) best-so-far results, flushes
+// --metrics, and exits 0. SIGTERM is "please finish", not a failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.hpp"
+
+namespace {
+
+using namespace fastqaoa;
+
+std::string string_option(int argc, char** argv, const char* key,
+                          const std::string& fallback) {
+  const std::size_t len = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+long long int_option(int argc, char** argv, const char* key,
+                     long long fallback) {
+  const std::string v = string_option(argc, argv, key, "");
+  return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "qaoa_serve: %s\n", message.c_str());
+  std::fprintf(stderr,
+               "usage: qaoa_serve --socket=PATH [--tcp=PORT] [--workers=2] "
+               "[--queue=64] [--cache-bytes=N] [--cache-dir=DIR] "
+               "[--metrics=out.json] [--quiet]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h")) {
+    usage_error("help requested");
+  }
+
+  service::DaemonOptions options;
+  options.socket_path = string_option(argc, argv, "--socket", "");
+  if (options.socket_path.empty()) usage_error("--socket=PATH is required");
+  options.tcp_port =
+      static_cast<int>(int_option(argc, argv, "--tcp", -1));
+  options.metrics_path = string_option(argc, argv, "--metrics", "");
+  options.verbose = !has_flag(argc, argv, "--quiet");
+
+  options.service.workers =
+      static_cast<int>(int_option(argc, argv, "--workers", 2));
+  if (options.service.workers < 1) usage_error("--workers must be >= 1");
+  const long long queue = int_option(argc, argv, "--queue", 64);
+  if (queue < 1) usage_error("--queue must be >= 1");
+  options.service.queue_high_water = static_cast<std::size_t>(queue);
+  options.service.cache_bytes =
+      static_cast<std::size_t>(int_option(argc, argv, "--cache-bytes", 0));
+  options.service.cache_dir = string_option(argc, argv, "--cache-dir", "");
+
+  return service::run_daemon(options);
+}
