@@ -1,157 +1,249 @@
-// Kernel ablations (google-benchmark): quantify each specialization the
-// library's design leans on (DESIGN.md §5).
+// Kernel-backend ablations: quantify the two structural bets of
+// src/linalg/kernels/ against the code they replaced.
 //
-//   * WHT diagonal frame vs dense eigendecomposition for X mixers
-//     (O(n 2^n) vs O(4^n) per application),
-//   * rank-1 Grover update vs dense eigenmixer application,
-//   * real-V GEMV fast path vs complex GEMV for constrained mixers,
-//   * fused phase+scale pass vs separate passes.
+//   1. blocked WHT — one parallel region, cache-resident multi-stage
+//      blocks — vs the seed's per-stage-parallel radix-2 butterflies,
+//   2. fused phase -> WHT -> expectation round vs the same work issued as
+//      separate kernel calls,
+//   3. the headline: the fused round on the best available backend vs the
+//      full seed-era evaluate round (libm sincos phase sweep, per-stage
+//      WHT, separate scale and reduction passes).
+//
+// Sweeps run per backend via kernels::select(); the seed references are
+// compiled locally in this TU with the build's default flags so they stay
+// an honest baseline. Results land in bench/baselines/kernel_backends.json
+// through the shared --json flag.
+//
+// Usage: ablation_kernels [--full] [--reps=N] [--json=path]
 
-#include <benchmark/benchmark.h>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
-#include "linalg/dense.hpp"
-#include "linalg/vector_ops.hpp"
-#include "linalg/wht.hpp"
-#include "mixers/eigen_mixer.hpp"
-#include "mixers/grover_mixer.hpp"
-#include "mixers/x_mixer.hpp"
-#include "problems/state_space.hpp"
+#include "common/threading.hpp"
+#include "common/types.hpp"
+#include "linalg/kernels/kernels.hpp"
 
 namespace {
 
 using namespace fastqaoa;
+namespace kn = linalg::kernels;
+
+// Defeats dead-code elimination of the timed loops; printed at the end.
+double g_sink = 0.0;
+
+// ---- seed-code references (default build flags, this TU) -------------------
+
+/// Per-stage-parallel radix-2 WHT: one omp parallel region per stage,
+/// exactly the shape src/linalg/wht.cpp shipped before the blocked kernel.
+void wht_per_stage(cplx* a, index_t n) {
+  for (index_t h = 1; h < n; h <<= 1) {
+    const std::ptrdiff_t blocks = static_cast<std::ptrdiff_t>(n / (2 * h));
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t b = 0; b < blocks; ++b) {
+      const index_t base = static_cast<index_t>(b) * 2 * h;
+      for (index_t j = base; j < base + h; ++j) {
+        const cplx x = a[j];
+        const cplx y = a[j + h];
+        a[j] = x + y;
+        a[j + h] = x - y;
+      }
+    }
+  }
+}
+
+/// Seed-era evaluate round: separate libm-sincos phase sweep, per-stage
+/// WHT, a scale pass, and an OpenMP-reduction expectation — four trips
+/// through memory where the fused kernel makes roughly one and a half.
+double round_seed(cplx* a, const double* d, double angle, double scale,
+                  const double* obj, index_t n) {
+  const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(n);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < m; ++i) {
+    const double phase = -angle * d[i];
+    a[i] *= cplx{std::cos(phase), std::sin(phase)};
+  }
+  wht_per_stage(a, n);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < m; ++i) a[i] *= scale;
+  double acc = 0.0;
+#pragma omp parallel for schedule(static) reduction(+ : acc)
+  for (std::ptrdiff_t i = 0; i < m; ++i) acc += obj[i] * std::norm(a[i]);
+  return acc;
+}
+
+// ---- state setup -----------------------------------------------------------
 
 cvec random_state(index_t dim, std::uint64_t seed) {
   Rng rng(seed);
   cvec psi(dim);
   double norm_sq = 0.0;
-  for (auto& a : psi) {
-    a = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
-    norm_sq += std::norm(a);
+  for (auto& v : psi) {
+    v = cplx{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    norm_sq += std::norm(v);
   }
-  for (auto& a : psi) a /= std::sqrt(norm_sq);
+  const double inv = 1.0 / std::sqrt(norm_sq);
+  for (auto& v : psi) v *= inv;
   return psi;
 }
 
-/// X-mixer exponential through the WHT diagonal frame (the production path).
-void BM_XMixer_WHT(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  XMixer mixer = XMixer::transverse_field(n);
-  cvec psi = random_state(index_t{1} << n, 1);
-  cvec scratch;
-  for (auto _ : state) {
-    mixer.apply_exp(psi, 0.37, scratch);
-    benchmark::DoNotOptimize(psi.data());
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_XMixer_WHT)->DenseRange(6, 14, 2);
-
-/// Same mixer, applied as a dense eigendecomposition (what a generic
-/// "store V, D" implementation pays when it ignores the H^{⊗n} structure).
-void BM_XMixer_DenseEigen(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const index_t dim = index_t{1} << n;
-  // The transverse-field Hamiltonian is dense-diagonalizable as a real
-  // symmetric matrix <y|H|x> = [popcount(x^y)==1].
-  linalg::dmat h(dim, dim);
-  for (index_t x = 0; x < dim; ++x) {
-    for (int q = 0; q < n; ++q) h(x ^ (index_t{1} << q), x) += 1.0;
-  }
-  EigenMixer mixer = EigenMixer::from_hamiltonian(std::move(h), "dense-tf");
-  cvec psi = random_state(dim, 2);
-  cvec scratch;
-  for (auto _ : state) {
-    mixer.apply_exp(psi, 0.37, scratch);
-    benchmark::DoNotOptimize(psi.data());
-  }
-}
-BENCHMARK(BM_XMixer_DenseEigen)->DenseRange(6, 8, 2);
-
-/// Rank-1 Grover update (production path).
-void BM_Grover_Rank1(benchmark::State& state) {
-  const index_t dim = static_cast<index_t>(state.range(0));
-  GroverMixer mixer(dim);
-  cvec psi = random_state(dim, 3);
-  cvec scratch;
-  for (auto _ : state) {
-    mixer.apply_exp(psi, 0.8, scratch);
-    benchmark::DoNotOptimize(psi.data());
-  }
-}
-BENCHMARK(BM_Grover_Rank1)->RangeMultiplier(4)->Range(256, 16384);
-
-/// Grover mixer as a dense eigenmixer (ignoring the projector structure).
-void BM_Grover_DenseEigen(benchmark::State& state) {
-  const index_t dim = static_cast<index_t>(state.range(0));
-  linalg::dmat h(dim, dim);
-  const double inv = 1.0 / static_cast<double>(dim);
-  for (index_t r = 0; r < dim; ++r)
-    for (index_t c = 0; c < dim; ++c) h(r, c) = inv;
-  EigenMixer mixer = EigenMixer::from_hamiltonian(std::move(h), "dense-g");
-  cvec psi = random_state(dim, 4);
-  cvec scratch;
-  for (auto _ : state) {
-    mixer.apply_exp(psi, 0.8, scratch);
-    benchmark::DoNotOptimize(psi.data());
-  }
-}
-BENCHMARK(BM_Grover_DenseEigen)->RangeMultiplier(4)->Range(256, 1024);
-
-/// Real-V GEMV (two real kernels) — the Clique/Ring production path.
-void BM_Gemv_RealV(benchmark::State& state) {
-  const index_t dim = static_cast<index_t>(state.range(0));
-  Rng rng(5);
-  const linalg::dmat v = linalg::random_matrix(dim, dim, rng);
-  cvec x = random_state(dim, 6);
-  cvec y(dim);
-  for (auto _ : state) {
-    linalg::gemv(v, x, y);
-    benchmark::DoNotOptimize(y.data());
-  }
-}
-BENCHMARK(BM_Gemv_RealV)->RangeMultiplier(2)->Range(256, 2048);
-
-/// Complex-V GEMV — what a complex-storage implementation pays.
-void BM_Gemv_ComplexV(benchmark::State& state) {
-  const index_t dim = static_cast<index_t>(state.range(0));
-  Rng rng(7);
-  const linalg::cmat v = linalg::random_cmatrix(dim, dim, rng);
-  cvec x = random_state(dim, 8);
-  cvec y(dim);
-  for (auto _ : state) {
-    linalg::gemv(v, x, y);
-    benchmark::DoNotOptimize(y.data());
-  }
-}
-BENCHMARK(BM_Gemv_ComplexV)->RangeMultiplier(2)->Range(256, 2048);
-
-/// Fused phase application (cos/sin computed inline, single pass).
-void BM_DiagPhase(benchmark::State& state) {
-  const index_t dim = static_cast<index_t>(state.range(0));
-  cvec psi = random_state(dim, 9);
-  Rng rng(10);
-  dvec d(dim, 0.0);
+dvec random_diag(index_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  dvec d(dim);
   for (auto& v : d) v = rng.uniform(-4.0, 4.0);
-  for (auto _ : state) {
-    linalg::apply_diag_phase(psi, d, 0.21);
-    benchmark::DoNotOptimize(psi.data());
-  }
+  return d;
 }
-BENCHMARK(BM_DiagPhase)->RangeMultiplier(4)->Range(1024, 65536);
-
-/// Raw unnormalized WHT throughput.
-void BM_Wht(benchmark::State& state) {
-  const index_t dim = static_cast<index_t>(state.range(0));
-  cvec psi = random_state(dim, 11);
-  for (auto _ : state) {
-    linalg::wht_unnormalized(psi);
-    benchmark::DoNotOptimize(psi.data());
-  }
-}
-BENCHMARK(BM_Wht)->RangeMultiplier(4)->Range(1024, 65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool full = benchutil::has_flag(argc, argv, "--full");
+  const int reps =
+      static_cast<int>(benchutil::int_option(argc, argv, "--reps", 5));
+
+  benchutil::banner("ablation_kernels",
+                    "blocked WHT and fused-round kernels vs seed code", full);
+
+  std::vector<int> qubits = full ? std::vector<int>{18, 20, 22}
+                                 : std::vector<int>{18, 20};
+
+  benchutil::JsonReport report(argc, argv, "ablation_kernels");
+  report.meta("mode", full ? std::string("full") : std::string("reduced"));
+  report.meta("threads", static_cast<long long>(num_threads()));
+  report.meta("reps", static_cast<long long>(reps));
+
+  const std::vector<std::string> backends = kn::available();
+  const double kAngle = 0.37;
+  const double kGamma = 0.21;
+
+  // -- 1. blocked vs per-stage WHT, per backend ------------------------------
+  std::printf("\n[wht] blocked (kernel) vs per-stage-parallel (seed)\n");
+  std::printf("%-8s %4s %14s %14s %9s\n", "backend", "n", "blocked_s",
+              "per_stage_s", "speedup");
+  double scalar_blocked_speedup_n20 = 0.0;
+  for (const auto& name : backends) {
+    if (!kn::select(name)) continue;
+    const kn::KernelBackend& k = kn::active();
+    for (const int n : qubits) {
+      const index_t dim = index_t{1} << n;
+      cvec psi = random_state(dim, 11);
+      const double t_blocked =
+          benchutil::time_median([&] { k.wht(psi.data(), dim); }, reps);
+      psi = random_state(dim, 11);
+      const double t_stage = benchutil::time_median(
+          [&] { wht_per_stage(psi.data(), dim); }, reps);
+      g_sink += psi[0].real();
+      const double speedup = t_stage / t_blocked;
+      if (name == "scalar" && n == 20) scalar_blocked_speedup_n20 = speedup;
+      std::printf("%-8s %4d %14.6f %14.6f %8.2fx\n", name.c_str(), n,
+                  t_blocked, t_stage, speedup);
+      report.row();
+      report.field("section", std::string("wht_blocked_vs_per_stage"));
+      report.field("backend", name);
+      report.field("n", static_cast<long long>(n));
+      report.field("blocked_s", t_blocked);
+      report.field("per_stage_s", t_stage);
+      report.field("speedup", speedup);
+    }
+  }
+
+  // -- 2. fused vs unfused round, per backend --------------------------------
+  // Round = diag phase + normalize-scale -> WHT -> diagonal expectation;
+  // unfused issues the identical kernels of the same backend as separate
+  // passes, so the delta is purely the fusion (memory traffic), not ISA.
+  std::printf("\n[round] fused phase_wht_expect vs separate kernel calls\n");
+  std::printf("%-8s %4s %14s %14s %9s\n", "backend", "n", "fused_s",
+              "unfused_s", "speedup");
+  for (const auto& name : backends) {
+    if (!kn::select(name)) continue;
+    const kn::KernelBackend& k = kn::active();
+    for (const int n : qubits) {
+      const index_t dim = index_t{1} << n;
+      const dvec d = random_diag(dim, 7);
+      const dvec obj = random_diag(dim, 13);
+      const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+      cvec psi = random_state(dim, 17);
+      const double t_fused = benchutil::time_median(
+          [&] {
+            g_sink += k.phase_wht_expect(psi.data(), d.data(), kGamma, scale,
+                                         obj.data(), dim);
+          },
+          reps);
+      psi = random_state(dim, 17);
+      const double t_unfused = benchutil::time_median(
+          [&] {
+            k.diag_phase(psi.data(), d.data(), kGamma, dim);
+            k.scale_real(psi.data(), scale, dim);
+            k.wht(psi.data(), dim);
+            g_sink += k.diag_expectation(obj.data(), psi.data(), dim);
+          },
+          reps);
+      const double speedup = t_unfused / t_fused;
+      std::printf("%-8s %4d %14.6f %14.6f %8.2fx\n", name.c_str(), n, t_fused,
+                  t_unfused, speedup);
+      report.row();
+      report.field("section", std::string("round_fused_vs_unfused"));
+      report.field("backend", name);
+      report.field("n", static_cast<long long>(n));
+      report.field("fused_s", t_fused);
+      report.field("unfused_s", t_unfused);
+      report.field("speedup", speedup);
+    }
+  }
+
+  // -- 3. headline: best backend fused round vs the seed-era round -----------
+  kn::select("auto");
+  const std::string best = kn::active_name();
+  const kn::KernelBackend& k = kn::active();
+  std::printf("\n[evaluate] %s fused round vs seed-era round\n", best.c_str());
+  std::printf("%-8s %4s %14s %14s %9s\n", "backend", "n", "fused_s", "seed_s",
+              "speedup");
+  double best_vs_seed_n20 = 0.0;
+  for (const int n : qubits) {
+    const index_t dim = index_t{1} << n;
+    const dvec d = random_diag(dim, 7);
+    const dvec obj = random_diag(dim, 13);
+    const double scale = 1.0 / std::sqrt(static_cast<double>(dim));
+    cvec psi = random_state(dim, 19);
+    const double t_fused = benchutil::time_median(
+        [&] {
+          g_sink += k.phase_wht_expect(psi.data(), d.data(), kAngle, scale,
+                                       obj.data(), dim);
+        },
+        reps);
+    psi = random_state(dim, 19);
+    const double t_seed = benchutil::time_median(
+        [&] {
+          g_sink += round_seed(psi.data(), d.data(), kAngle, scale, obj.data(),
+                               dim);
+        },
+        reps);
+    const double speedup = t_seed / t_fused;
+    if (n == 20) best_vs_seed_n20 = speedup;
+    std::printf("%-8s %4d %14.6f %14.6f %8.2fx\n", best.c_str(), n, t_fused,
+                t_seed, speedup);
+    report.row();
+    report.field("section", std::string("evaluate_vs_seed"));
+    report.field("backend", best);
+    report.field("n", static_cast<long long>(n));
+    report.field("fused_s", t_fused);
+    report.field("seed_s", t_seed);
+    report.field("speedup", speedup);
+  }
+
+  std::printf("\nacceptance: blocked vs per-stage WHT (scalar, n=20): %.2fx\n",
+              scalar_blocked_speedup_n20);
+  std::printf("acceptance: %s fused round vs seed round (n=20): %.2fx\n",
+              best.c_str(), best_vs_seed_n20);
+  report.meta("best_backend", best);
+  report.meta("scalar_blocked_speedup_n20", scalar_blocked_speedup_n20);
+  report.meta("best_vs_seed_speedup_n20", best_vs_seed_n20);
+  report.attach_metrics();
+  report.write();
+
+  std::printf("(sink %.3g)\n", g_sink);
+  return 0;
+}

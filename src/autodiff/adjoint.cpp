@@ -28,8 +28,8 @@ double adjoint_value_and_gradient(const QaoaPlan& plan, EvalWorkspace& ws,
 
   // lambda = C |psi>, with C the *measured* objective.
   const dvec& obj = plan.objective();
-  ws.lambda.resize(psi.size());
-  for (index_t i = 0; i < psi.size(); ++i) ws.lambda[i] = obj[i] * psi[i];
+  ws.lambda = psi;
+  linalg::diag_mul(ws.lambda, obj, 1.0);
 
   const dvec& phase = plan.phase_values();
   const auto& layers = plan.layers();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "obs/trace.hpp"
 
 namespace fastqaoa {
@@ -17,6 +18,10 @@ GroverQaoa::GroverQaoa(std::vector<double> values, std::vector<double> counts)
     total_ += c;
   }
   phase_vals_ = values_;
+  vc_.resize(values_.size());
+  for (std::size_t j = 0; j < values_.size(); ++j) {
+    vc_[j] = values_[j] * counts_[j];
+  }
   amps_.resize(values_.size());
 }
 
@@ -65,21 +70,16 @@ double GroverQaoa::run(std::span<const double> betas,
   const double amp0 = 1.0 / std::sqrt(total_);
   for (std::size_t j = 0; j < m; ++j) amps_[j] = cplx{amp0, 0.0};
 
+  const linalg::kernels::KernelBackend& kern = linalg::kernels::active();
   for (std::size_t round = 0; round < gammas.size(); ++round) {
-    const double gamma = gammas[round];
-    for (std::size_t j = 0; j < m; ++j) {
-      const double phase = -gamma * phase_vals_[j];
-      amps_[j] *= cplx{std::cos(phase), std::sin(phase)};
-    }
+    kern.diag_phase(amps_.data(), phase_vals_.data(), gammas[round],
+                    static_cast<index_t>(m));
     apply_grover_exp(amps_, betas[round]);
   }
 
-  double e = 0.0;
-  for (std::size_t j = 0; j < m; ++j) {
-    e += values_[j] * counts_[j] * std::norm(amps_[j]);
-  }
-  expectation_ = e;
-  return e;
+  expectation_ = kern.diag_expectation(vc_.data(), amps_.data(),
+                                       static_cast<index_t>(m));
+  return expectation_;
 }
 
 double GroverQaoa::value_and_gradient(std::span<const double> betas,

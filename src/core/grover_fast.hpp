@@ -88,6 +88,7 @@ class GroverQaoa {
   std::vector<double> values_;
   std::vector<double> counts_;
   std::vector<double> phase_vals_;
+  std::vector<double> vc_;  ///< values_[j] * counts_[j], the expectation diag
   std::vector<cplx> amps_;
   double total_ = 0.0;
   double expectation_ = 0.0;

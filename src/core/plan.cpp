@@ -119,13 +119,24 @@ double evaluate(const QaoaPlan& plan, EvalWorkspace& ws,
   const auto& layers = plan.layers();
   std::size_t beta_index = 0;
   for (std::size_t k = 0; k < layers.size(); ++k) {
-    {
-      FASTQAOA_OBS_TIMED("core.evaluate.phase");
-      linalg::apply_diag_phase(ws.psi, phase, gammas[k]);
+    FASTQAOA_OBS_TIMED("core.evaluate.round");
+    const auto& ms = layers[k].mixers;
+    const bool last = k + 1 == layers.size();
+    if (last && ms.size() == 1) {
+      // Whole final round — phase separator, mixer, expectation — through
+      // the mixer's fused entry point (XMixer folds all three into WHT
+      // passes; the base-class default composes the unfused kernels).
+      ws.expectation = ms[0]->apply_phase_exp_expect(
+          ws.psi, phase, gammas[k], betas[beta_index++], plan.objective(),
+          ws.scratch);
+      return ws.expectation;
     }
-    FASTQAOA_OBS_TIMED("core.evaluate.mix");
-    for (const Mixer* m : layers[k].mixers) {
-      m->apply_exp(ws.psi, betas[beta_index++], ws.scratch);
+    // Phase separator rides the first mixer's fused entry; extra mixers in
+    // the round apply plain.
+    ms[0]->apply_phase_exp(ws.psi, phase, gammas[k], betas[beta_index++],
+                           ws.scratch);
+    for (std::size_t j = 1; j < ms.size(); ++j) {
+      ms[j]->apply_exp(ws.psi, betas[beta_index++], ws.scratch);
     }
   }
   ws.expectation = linalg::diag_expectation(plan.objective(), ws.psi);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/kernels/kernels.hpp"
+
 namespace fastqaoa::linalg {
 
 namespace {
@@ -12,78 +14,32 @@ void gemv(const dmat& a, const cvec& x, cvec& y) {
   FASTQAOA_CHECK(a.cols() == x.size(), "gemv: dimension mismatch");
   FASTQAOA_CHECK(a.rows() == y.size(), "gemv: output dimension mismatch");
   FASTQAOA_CHECK(x.data() != y.data(), "gemv: x and y must not alias");
-  const ptrdiff_t rows = static_cast<ptrdiff_t>(a.rows());
-  const ptrdiff_t cols = static_cast<ptrdiff_t>(a.cols());
-#pragma omp parallel for schedule(static)
-  for (ptrdiff_t r = 0; r < rows; ++r) {
-    const double* arow = a.row(static_cast<index_t>(r));
-    double re = 0.0;
-    double im = 0.0;
-    for (ptrdiff_t c = 0; c < cols; ++c) {
-      re += arow[c] * x[c].real();
-      im += arow[c] * x[c].imag();
-    }
-    y[r] = {re, im};
-  }
+  kernels::active().gemv_real(a.data(), a.rows(), a.cols(), x.data(),
+                              y.data());
 }
 
 void gemv_transpose(const dmat& a, const cvec& x, cvec& y) {
   FASTQAOA_CHECK(a.rows() == x.size(), "gemv_transpose: dimension mismatch");
   FASTQAOA_CHECK(a.cols() == y.size(), "gemv_transpose: output mismatch");
   FASTQAOA_CHECK(x.data() != y.data(), "gemv_transpose: x and y must not alias");
-  const ptrdiff_t rows = static_cast<ptrdiff_t>(a.rows());
-  const ptrdiff_t cols = static_cast<ptrdiff_t>(a.cols());
-  // Traverse A row-by-row (unit stride) and accumulate into y. Parallelize
-  // over column blocks so threads never write the same y element.
-  const ptrdiff_t block = 256;
-#pragma omp parallel for schedule(static)
-  for (ptrdiff_t c0 = 0; c0 < cols; c0 += block) {
-    const ptrdiff_t c1 = std::min(c0 + block, cols);
-    for (ptrdiff_t c = c0; c < c1; ++c) y[c] = cplx{0.0, 0.0};
-    for (ptrdiff_t r = 0; r < rows; ++r) {
-      const double* arow = a.row(static_cast<index_t>(r));
-      const cplx xr = x[r];
-      for (ptrdiff_t c = c0; c < c1; ++c) {
-        y[c] += arow[c] * xr;
-      }
-    }
-  }
+  kernels::active().gemv_real_t(a.data(), a.rows(), a.cols(), x.data(),
+                                y.data());
 }
 
 void gemv(const cmat& a, const cvec& x, cvec& y) {
   FASTQAOA_CHECK(a.cols() == x.size(), "gemv: dimension mismatch");
   FASTQAOA_CHECK(a.rows() == y.size(), "gemv: output dimension mismatch");
   FASTQAOA_CHECK(x.data() != y.data(), "gemv: x and y must not alias");
-  const ptrdiff_t rows = static_cast<ptrdiff_t>(a.rows());
-  const ptrdiff_t cols = static_cast<ptrdiff_t>(a.cols());
-#pragma omp parallel for schedule(static)
-  for (ptrdiff_t r = 0; r < rows; ++r) {
-    const cplx* arow = a.row(static_cast<index_t>(r));
-    cplx acc{0.0, 0.0};
-    for (ptrdiff_t c = 0; c < cols; ++c) acc += arow[c] * x[c];
-    y[r] = acc;
-  }
+  kernels::active().gemv_cplx(a.data(), a.rows(), a.cols(), x.data(),
+                              y.data());
 }
 
 void gemv_adjoint(const cmat& a, const cvec& x, cvec& y) {
   FASTQAOA_CHECK(a.rows() == x.size(), "gemv_adjoint: dimension mismatch");
   FASTQAOA_CHECK(a.cols() == y.size(), "gemv_adjoint: output mismatch");
   FASTQAOA_CHECK(x.data() != y.data(), "gemv_adjoint: x and y must not alias");
-  const ptrdiff_t rows = static_cast<ptrdiff_t>(a.rows());
-  const ptrdiff_t cols = static_cast<ptrdiff_t>(a.cols());
-  const ptrdiff_t block = 256;
-#pragma omp parallel for schedule(static)
-  for (ptrdiff_t c0 = 0; c0 < cols; c0 += block) {
-    const ptrdiff_t c1 = std::min(c0 + block, cols);
-    for (ptrdiff_t c = c0; c < c1; ++c) y[c] = cplx{0.0, 0.0};
-    for (ptrdiff_t r = 0; r < rows; ++r) {
-      const cplx* arow = a.row(static_cast<index_t>(r));
-      const cplx xr = x[r];
-      for (ptrdiff_t c = c0; c < c1; ++c) {
-        y[c] += std::conj(arow[c]) * xr;
-      }
-    }
-  }
+  kernels::active().gemv_cplx_adj(a.data(), a.rows(), a.cols(), x.data(),
+                                  y.data());
 }
 
 namespace {
@@ -113,17 +69,49 @@ Matrix<T> matmul_impl(const Matrix<T>& a, const Matrix<T>& b) {
 dmat matmul(const dmat& a, const dmat& b) { return matmul_impl(a, b); }
 cmat matmul(const cmat& a, const cmat& b) { return matmul_impl(a, b); }
 
+namespace {
+
+/// Square tile edge for the out-of-place transpose: 64 complex (1 KiB) rows
+/// and columns both stay L1-resident, turning the strided side of the copy
+/// into whole-cache-line traffic.
+constexpr ptrdiff_t kTransTile = 64;
+/// Matrices with fewer elements than this transpose/reduce serially.
+constexpr ptrdiff_t kDenseSerial = 1 << 14;
+
+template <typename T, typename Map>
+void transpose_tiled(const Matrix<T>& a, Matrix<T>& t, Map map) {
+  const ptrdiff_t rows = static_cast<ptrdiff_t>(a.rows());
+  const ptrdiff_t cols = static_cast<ptrdiff_t>(a.cols());
+  const ptrdiff_t rtiles = (rows + kTransTile - 1) / kTransTile;
+  const ptrdiff_t ctiles = (cols + kTransTile - 1) / kTransTile;
+  const ptrdiff_t tiles = rtiles * ctiles;
+  const bool serial = rows * cols <= kDenseSerial;
+#pragma omp parallel for schedule(static) if (!serial)
+  for (ptrdiff_t tile = 0; tile < tiles; ++tile) {
+    const ptrdiff_t r0 = (tile / ctiles) * kTransTile;
+    const ptrdiff_t c0 = (tile % ctiles) * kTransTile;
+    const ptrdiff_t r1 = std::min(r0 + kTransTile, rows);
+    const ptrdiff_t c1 = std::min(c0 + kTransTile, cols);
+    for (ptrdiff_t r = r0; r < r1; ++r) {
+      const T* arow = a.row(static_cast<index_t>(r));
+      for (ptrdiff_t c = c0; c < c1; ++c) {
+        t(static_cast<index_t>(c), static_cast<index_t>(r)) = map(arow[c]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 dmat transpose(const dmat& a) {
   dmat t(a.cols(), a.rows());
-  for (index_t r = 0; r < a.rows(); ++r)
-    for (index_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  transpose_tiled(a, t, [](double v) { return v; });
   return t;
 }
 
 cmat adjoint(const cmat& a) {
   cmat t(a.cols(), a.rows());
-  for (index_t r = 0; r < a.rows(); ++r)
-    for (index_t c = 0; c < a.cols(); ++c) t(c, r) = std::conj(a(r, c));
+  transpose_tiled(a, t, [](const cplx& v) { return std::conj(v); });
   return t;
 }
 
@@ -133,9 +121,25 @@ template <typename T>
 double frobenius_diff_impl(const Matrix<T>& a, const Matrix<T>& b) {
   FASTQAOA_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
                  "frobenius_diff: shape mismatch");
+  // Both operands are contiguous row-major, so the doubly indexed loop is
+  // really a flat reduction; one partial per row keeps the combine order
+  // fixed at any thread count.
+  const ptrdiff_t rows = static_cast<ptrdiff_t>(a.rows());
+  const ptrdiff_t cols = static_cast<ptrdiff_t>(a.cols());
+  const bool serial = rows * cols <= kDenseSerial;
+  std::vector<double> part(static_cast<std::size_t>(rows), 0.0);
+#pragma omp parallel for schedule(static) if (!serial)
+  for (ptrdiff_t r = 0; r < rows; ++r) {
+    const T* arow = a.row(static_cast<index_t>(r));
+    const T* brow = b.row(static_cast<index_t>(r));
+    double acc = 0.0;
+    for (ptrdiff_t c = 0; c < cols; ++c) {
+      acc += std::norm(cplx(arow[c]) - cplx(brow[c]));
+    }
+    part[static_cast<std::size_t>(r)] = acc;
+  }
   double acc = 0.0;
-  for (index_t r = 0; r < a.rows(); ++r)
-    for (index_t c = 0; c < a.cols(); ++c) acc += std::norm(cplx(a(r, c)) - cplx(b(r, c)));
+  for (const double p : part) acc += p;
   return std::sqrt(acc);
 }
 

@@ -1,0 +1,33 @@
+// AVX2 backend. This TU is compiled with -mavx2 -mfma when the compiler
+// supports them (FASTQAOA_KERNELS_COMPILE_AVX2 is then defined by CMake);
+// otherwise it degrades to a null registration so the build stays portable.
+// Runtime dispatch in kernels.cpp only installs the table when CPUID says
+// the host has AVX2, so no AVX2 instruction ever executes on a lesser CPU.
+
+#include "linalg/kernels/kernels.hpp"
+
+#if defined(FASTQAOA_KERNELS_COMPILE_AVX2)
+
+#define FQ_KERNEL_NAMESPACE avx2_impl
+#define FQ_KERNEL_FAST_SINCOS 1
+
+#include "linalg/kernels/kernel_impl.inl"
+
+namespace fastqaoa::linalg::kernels {
+
+bool make_avx2_backend(KernelBackend* out) {
+  *out = avx2_impl::make_backend("avx2");
+  return true;
+}
+
+}  // namespace fastqaoa::linalg::kernels
+
+#else  // !FASTQAOA_KERNELS_COMPILE_AVX2
+
+namespace fastqaoa::linalg::kernels {
+
+bool make_avx2_backend(KernelBackend*) { return false; }
+
+}  // namespace fastqaoa::linalg::kernels
+
+#endif

@@ -1,0 +1,16 @@
+// Scalar reference backend: default build flags, libm sincos, reference
+// loop ordering. Always compiled in; the parity tolerance of every other
+// backend is measured against this one.
+
+#define FQ_KERNEL_NAMESPACE scalar_impl
+#define FQ_KERNEL_FAST_SINCOS 0
+
+#include "linalg/kernels/kernel_impl.inl"
+
+namespace fastqaoa::linalg::kernels {
+
+KernelBackend make_scalar_backend() {
+  return scalar_impl::make_backend("scalar");
+}
+
+}  // namespace fastqaoa::linalg::kernels

@@ -1,0 +1,1029 @@
+// kernel_impl.inl — the generic kernel implementation, included by each
+// backend TU inside its own namespace (FQ_KERNEL_NAMESPACE) so the compiler
+// can specialize every loop for that TU's target flags.
+//
+// Contract for this file (the backend TUs are compiled with ISA flags the
+// host may not support, so nothing here may leak linker-shared symbols):
+//   * every function is file-local (static) except make_backend();
+//   * no std:: templates are instantiated (no std::vector, std::min,
+//     std::bit_cast, no std::complex arithmetic) — raw double loops only;
+//   * cplx* arguments are immediately reinterpreted as double* (legal:
+//     std::complex<double> has array layout by [complex.numbers.general]).
+//
+// Determinism: all reductions accumulate fixed-size blocks into a partials
+// array indexed by block id and then sum the partials in block order, so
+// results are invariant under the OpenMP thread count. Vectorization inside
+// a block reassociates, but the codegen is fixed per backend, so the
+// per-backend bit pattern is stable.
+//
+// The including TU must define:
+//   FQ_KERNEL_NAMESPACE    — unique namespace for this backend
+//   FQ_KERNEL_FAST_SINCOS  — 1 to use the vectorizable polynomial sincos,
+//                            0 to call libm per element (scalar reference)
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "linalg/kernels/kernels.hpp"
+
+namespace fastqaoa::linalg::kernels {
+namespace FQ_KERNEL_NAMESPACE {
+
+// ---------------------------------------------------------------------------
+// Tuning constants (shared by all backends; chosen for ~48K L1d / 2M L2).
+// ---------------------------------------------------------------------------
+
+/// Largest transform done entirely serially (complex elements): below this,
+/// launching an OpenMP region costs more than the transform.
+inline constexpr index_t kWhtSerial = index_t{1} << 12;
+/// Bottom-block size of the blocked WHT: all stages with stride < kBlock
+/// run back-to-back on one contiguous 64 KiB block while it is cache-hot.
+inline constexpr int kLog2Block = 12;
+/// Contiguous chunk length (complex) for the strided top passes.
+inline constexpr index_t kJChunk = index_t{1} << 12;
+/// Elementwise kernels below this many complex elements skip OpenMP.
+inline constexpr index_t kEwSerial = index_t{1} << 13;
+/// Reductions below this many complex elements run serially; above it they
+/// accumulate one partial per kRedBlock elements.
+inline constexpr index_t kRedSerial = index_t{1} << 13;
+inline constexpr index_t kRedBlock = index_t{1} << 13;
+/// GEMVs with fewer than this many multiply-adds skip OpenMP.
+inline constexpr index_t kGemvSerial = index_t{1} << 14;
+/// Phase sweeps process this many elements per sincos batch (stack arrays).
+inline constexpr index_t kPhaseChunk = 512;
+
+static inline index_t min_i(index_t a, index_t b) { return a < b ? a : b; }
+
+static inline double* dp(cplx* p) { return reinterpret_cast<double*>(p); }
+static inline const double* dp(const cplx* p) {
+  return reinterpret_cast<const double*>(p);
+}
+
+/// Per-thread scratch for reduction partials (plain malloc so no allocator
+/// templates are instantiated in an ISA-specific TU).
+static double* red_buffer(index_t n) {
+  struct Buf {
+    double* p = nullptr;
+    index_t cap = 0;
+    ~Buf() { std::free(p); }
+  };
+  static thread_local Buf buf;
+  if (buf.cap < n) {
+    std::free(buf.p);
+    buf.p = static_cast<double*>(std::malloc(n * sizeof(double)));
+    if (buf.p == nullptr) {
+      std::fprintf(stderr, "fastqaoa kernels: out of memory\n");
+      std::abort();
+    }
+    buf.cap = n;
+  }
+  return buf.p;
+}
+
+// ---------------------------------------------------------------------------
+// sincos batch: fill s/c with sin/cos(-angle * d_i) * scale.
+// ---------------------------------------------------------------------------
+
+#if FQ_KERNEL_FAST_SINCOS
+
+/// Branchless Cody–Waite reduction + Cephes minimax polynomials, accurate to
+/// ~1 ulp for |x| <= 1e8 (the QAOA phase range by orders of magnitude); the
+/// rare larger argument falls back to libm for the whole batch.
+static void sincos_batch(const double* d, double angle, double scale,
+                         double* s, double* c, index_t m) {
+  double mx = 0.0;
+  for (index_t i = 0; i < m; ++i) {
+    const double ph = -angle * d[i];
+    s[i] = ph;
+    const double a = ph < 0.0 ? -ph : ph;
+    if (a > mx) mx = a;
+  }
+  if (mx > 1e8) {
+    for (index_t i = 0; i < m; ++i) {
+      const double ph = s[i];
+      c[i] = std::cos(ph) * scale;
+      s[i] = std::sin(ph) * scale;
+    }
+    return;
+  }
+#pragma omp simd
+  for (index_t i = 0; i < m; ++i) {
+    const double x = s[i];
+    // k = round(x * 2/pi) via the shift trick; the low mantissa bits of the
+    // shifted value hold k mod 2^32 in two's complement.
+    const double t = x * 0.63661977236758134308 + 6755399441055744.0;
+    const double k = t - 6755399441055744.0;
+    std::uint64_t tb;
+    __builtin_memcpy(&tb, &t, sizeof tb);
+    const std::uint64_t q = tb & 3u;
+    // 3-term Cody–Waite: r = x - k * (pi/2) with 150+ bits of pi/2.
+    const double r = ((x - k * 1.57079632673412561417e+00) -
+                      k * 6.07710050650619224932e-11) -
+                     k * 2.02226624879595063154e-21;
+    const double z = r * r;
+    double sp = 1.58962301576546568060e-10;
+    sp = sp * z - 2.50507477628578072866e-8;
+    sp = sp * z + 2.75573136213857245213e-6;
+    sp = sp * z - 1.98412698295895385996e-4;
+    sp = sp * z + 8.33333333332211858878e-3;
+    sp = sp * z - 1.66666666666666307295e-1;
+    const double sr = r + r * z * sp;
+    double cp = -1.13585365213876817300e-11;
+    cp = cp * z + 2.08757008419747316778e-9;
+    cp = cp * z - 2.75573141792967388112e-7;
+    cp = cp * z + 2.48015872888517179954e-5;
+    cp = cp * z - 1.38888888888730564116e-3;
+    cp = cp * z + 4.16666666666665929218e-2;
+    const double cr = 1.0 - 0.5 * z + z * z * cp;
+    // Quadrant selection, branch-free: q&1 swaps sin/cos, q&2 flips signs.
+    const double swap = static_cast<double>(q & 1u);
+    const double ssign = 1.0 - static_cast<double>(q & 2u);
+    const double csign = 1.0 - static_cast<double>((q + 1u) & 2u);
+    s[i] = ssign * (sr + swap * (cr - sr)) * scale;
+    c[i] = csign * (cr + swap * (sr - cr)) * scale;
+  }
+}
+
+#endif  // FQ_KERNEL_FAST_SINCOS
+
+/// Serial phase(+scale) sweep over n complex elements. d may be null (pure
+/// real scale).
+static void phase_scale_range(double* p, const double* d, double angle,
+                              double scale, index_t n) {
+  if (d == nullptr) {
+    const index_t n2 = 2 * n;
+#pragma omp simd
+    for (index_t i = 0; i < n2; ++i) p[i] *= scale;
+    return;
+  }
+#if FQ_KERNEL_FAST_SINCOS
+  double s[kPhaseChunk];
+  double c[kPhaseChunk];
+  for (index_t i0 = 0; i0 < n; i0 += kPhaseChunk) {
+    const index_t m = min_i(kPhaseChunk, n - i0);
+    sincos_batch(d + i0, angle, scale, s, c, m);
+    double* q = p + 2 * i0;
+    for (index_t i = 0; i < m; ++i) {
+      const double re = q[2 * i];
+      const double im = q[2 * i + 1];
+      q[2 * i] = re * c[i] - im * s[i];
+      q[2 * i + 1] = re * s[i] + im * c[i];
+    }
+  }
+#else
+  // Reference backend: per-element std::complex multiply, the exact loop
+  // shapes of the pre-dispatch code (one with the folded normalization
+  // scale, one without). Keeping the source shape keeps the compiler's
+  // FMA-contraction choices — and therefore the bits — identical to the
+  // historical evaluate path.
+  cplx* q = reinterpret_cast<cplx*>(p);
+  if (scale == 1.0) {
+    for (index_t i = 0; i < n; ++i) {
+      const double ph = -angle * d[i];
+      q[i] *= cplx{std::cos(ph), std::sin(ph)};
+    }
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) {
+    const double ph = -angle * d[i];
+    const double c = std::cos(ph) * scale;
+    const double s = std::sin(ph) * scale;
+    const double re = p[2 * i];
+    const double im = p[2 * i + 1];
+    p[2 * i] = std::fma(re, c, -(im * s));
+    p[2 * i + 1] = std::fma(re, s, im * c);
+  }
+#endif
+}
+
+/// Serial sum_i obj_i * |a_i|^2 over n complex elements. The omp simd
+/// reduction grants the vectorizer reassociation rights, exactly like the
+/// omp-reduction clause of the pre-dispatch loop did — same lane layout,
+/// same combine order, fixed at compile time (thread-count independent).
+static double expect_range(const double* a, const double* obj, index_t n) {
+  const cplx* q = reinterpret_cast<const cplx*>(a);
+  const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(n);
+  double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+  for (std::ptrdiff_t i = 0; i < m; ++i) acc += obj[i] * std::norm(q[i]);
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// WHT butterflies. A radix-4 sweep fuses two radix-2 stages (strides h and
+// 2h) into one pass over the data: the butterfly tree is associated exactly
+// as two consecutive radix-2 stages would be, so results are bit-identical
+// to the classic stage-by-stage transform.
+// ---------------------------------------------------------------------------
+
+static inline void butterfly2(double* a0, double* a1, index_t len) {
+#pragma omp simd
+  for (index_t i = 0; i < len; ++i) {
+    const double x = a0[i];
+    const double y = a1[i];
+    a0[i] = x + y;
+    a1[i] = x - y;
+  }
+}
+
+static inline void butterfly4(double* a0, double* a1, double* a2, double* a3,
+                              index_t len) {
+#pragma omp simd
+  for (index_t i = 0; i < len; ++i) {
+    const double x0 = a0[i];
+    const double x1 = a1[i];
+    const double x2 = a2[i];
+    const double x3 = a3[i];
+    const double t0 = x0 + x1;
+    const double t1 = x0 - x1;
+    const double t2 = x2 + x3;
+    const double t3 = x2 - x3;
+    a0[i] = t0 + t2;
+    a1[i] = t1 + t3;
+    a2[i] = t0 - t2;
+    a3[i] = t1 - t3;
+  }
+}
+
+/// Radix-4 sweep with the diagonal expectation fused in: the four output
+/// streams are final after this pass, so their contribution to
+/// sum obj_i |a_i|^2 is harvested while they are still in registers.
+static inline double butterfly4_expect(double* a0, double* a1, double* a2,
+                                       double* a3, const double* o0,
+                                       const double* o1, const double* o2,
+                                       const double* o3, index_t len) {
+  double acc = 0.0;
+  for (index_t i = 0; i < len; i += 2) {
+    const index_t j = i >> 1;
+    const double t0r = a0[i] + a1[i];
+    const double t0i = a0[i + 1] + a1[i + 1];
+    const double t1r = a0[i] - a1[i];
+    const double t1i = a0[i + 1] - a1[i + 1];
+    const double t2r = a2[i] + a3[i];
+    const double t2i = a2[i + 1] + a3[i + 1];
+    const double t3r = a2[i] - a3[i];
+    const double t3i = a2[i + 1] - a3[i + 1];
+    const double y0r = t0r + t2r, y0i = t0i + t2i;
+    const double y1r = t1r + t3r, y1i = t1i + t3i;
+    const double y2r = t0r - t2r, y2i = t0i - t2i;
+    const double y3r = t1r - t3r, y3i = t1i - t3i;
+    a0[i] = y0r;
+    a0[i + 1] = y0i;
+    a1[i] = y1r;
+    a1[i + 1] = y1i;
+    a2[i] = y2r;
+    a2[i + 1] = y2i;
+    a3[i] = y3r;
+    a3[i + 1] = y3i;
+    acc += o0[j] * (y0r * y0r + y0i * y0i) + o1[j] * (y1r * y1r + y1i * y1i) +
+           o2[j] * (y2r * y2r + y2i * y2i) + o3[j] * (y3r * y3r + y3i * y3i);
+  }
+  return acc;
+}
+
+static inline double butterfly2_expect(double* a0, double* a1,
+                                       const double* o0, const double* o1,
+                                       index_t len) {
+  double acc = 0.0;
+  for (index_t i = 0; i < len; i += 2) {
+    const index_t j = i >> 1;
+    const double yr0 = a0[i] + a1[i];
+    const double yi0 = a0[i + 1] + a1[i + 1];
+    const double yr1 = a0[i] - a1[i];
+    const double yi1 = a0[i + 1] - a1[i + 1];
+    a0[i] = yr0;
+    a0[i + 1] = yi0;
+    a1[i] = yr1;
+    a1[i + 1] = yi1;
+    acc += o0[j] * (yr0 * yr0 + yi0 * yi0) + o1[j] * (yr1 * yr1 + yi1 * yi1);
+  }
+  return acc;
+}
+
+/// Fused first pair of stages (strides 1 and 2) over a contiguous range:
+/// each group of four adjacent complex values butterflies within itself.
+static inline void butterfly4_stride1(double* a, index_t n2) {
+  for (index_t i = 0; i < n2; i += 8) {
+    double* p = a + i;
+    const double t0r = p[0] + p[2], t0i = p[1] + p[3];
+    const double t1r = p[0] - p[2], t1i = p[1] - p[3];
+    const double t2r = p[4] + p[6], t2i = p[5] + p[7];
+    const double t3r = p[4] - p[6], t3i = p[5] - p[7];
+    p[0] = t0r + t2r;
+    p[1] = t0i + t2i;
+    p[2] = t1r + t3r;
+    p[3] = t1i + t3i;
+    p[4] = t0r - t2r;
+    p[5] = t0i - t2i;
+    p[6] = t1r - t3r;
+    p[7] = t1i - t3i;
+  }
+}
+
+/// All butterfly stages of one contiguous power-of-two block, serial.
+static void wht_serial_block(double* a, index_t n) {
+  if (n < 2) return;
+  if (n == 2) {
+    butterfly2(a, a + 2, 2);
+    return;
+  }
+  butterfly4_stride1(a, 2 * n);  // strides 1 and 2
+  index_t h = 4;
+  while (4 * h <= n) {
+    for (index_t base = 0; base < n; base += 4 * h) {
+      double* b = a + 2 * base;
+      butterfly4(b, b + 2 * h, b + 4 * h, b + 6 * h, 2 * h);
+    }
+    h <<= 2;
+  }
+  if (2 * h <= n) {  // odd log2: one radix-2 stage at stride n/2 remains
+    for (index_t base = 0; base < n; base += 2 * h) {
+      double* b = a + 2 * base;
+      butterfly2(b, b + 2 * h, 2 * h);
+    }
+  }
+}
+
+/// One strided radix-4 pass at stride h, executed by the enclosing OpenMP
+/// team (orphaned `omp for`, implicit barrier). Work items are fixed-size
+/// (group, j-chunk) tiles, so the partials layout — and with it the fused
+/// expectation's summation order — is independent of the thread count.
+static void top_pass_radix4(double* a, index_t n, index_t h, const double* obj,
+                            double* part) {
+  const index_t jchunk = min_i(h, kJChunk);
+  const index_t cpg = h / jchunk;  // chunks per group
+  const std::ptrdiff_t items =
+      static_cast<std::ptrdiff_t>((n / (4 * h)) * cpg);
+#pragma omp for schedule(static)
+  for (std::ptrdiff_t it = 0; it < items; ++it) {
+    const index_t g = static_cast<index_t>(it) / cpg;
+    const index_t j0 = (static_cast<index_t>(it) % cpg) * jchunk;
+    const index_t base = g * 4 * h + j0;
+    double* a0 = a + 2 * base;
+    if (obj != nullptr) {
+      part[it] = butterfly4_expect(a0, a0 + 2 * h, a0 + 4 * h, a0 + 6 * h,
+                                   obj + base, obj + base + h,
+                                   obj + base + 2 * h, obj + base + 3 * h,
+                                   2 * jchunk);
+    } else {
+      butterfly4(a0, a0 + 2 * h, a0 + 4 * h, a0 + 6 * h, 2 * jchunk);
+    }
+  }
+}
+
+static void top_pass_radix2(double* a, index_t n, index_t h, const double* obj,
+                            double* part) {
+  const index_t jchunk = min_i(h, kJChunk);
+  const index_t cpg = h / jchunk;
+  const std::ptrdiff_t items =
+      static_cast<std::ptrdiff_t>((n / (2 * h)) * cpg);
+#pragma omp for schedule(static)
+  for (std::ptrdiff_t it = 0; it < items; ++it) {
+    const index_t g = static_cast<index_t>(it) / cpg;
+    const index_t j0 = (static_cast<index_t>(it) % cpg) * jchunk;
+    const index_t base = g * 2 * h + j0;
+    double* a0 = a + 2 * base;
+    if (obj != nullptr) {
+      part[it] = butterfly2_expect(a0, a0 + 2 * h, obj + base, obj + base + h,
+                                   2 * jchunk);
+    } else {
+      butterfly2(a0, a0 + 2 * h, 2 * jchunk);
+    }
+  }
+}
+
+/// The blocked WHT driver behind all four dispatch entries:
+///   [phase/scale] -> all butterfly stages -> [fused diag expectation].
+/// Bottom stages (stride < 2^kLog2Block) run serially per contiguous block
+/// inside one parallel region; top stages run as strided radix-4/2 passes
+/// in the same region (one barrier per pass, no region relaunch).
+static double wht_driver(cplx* av, const double* d, double angle, double scale,
+                         const double* obj, index_t n) {
+  double* a = dp(av);
+  const bool prepass = d != nullptr || scale != 1.0;
+
+  if (n <= kWhtSerial) {
+    if (prepass) phase_scale_range(a, d, angle, scale, n);
+    wht_serial_block(a, n);
+    return obj != nullptr ? expect_range(a, obj, n) : 0.0;
+  }
+
+  const index_t bsize = index_t{1} << kLog2Block;
+  const index_t nblocks = n >> kLog2Block;
+  int top = 0;  // number of top radix-2 stages
+  for (index_t m = bsize; m < n; m <<= 1) ++top;
+  const int n4 = top / 2;
+  const int n2 = top % 2;
+
+  // Partials for the fused expectation live one-per-item of the final pass.
+  index_t last_items = 0;
+  double* part = nullptr;
+  if (obj != nullptr) {
+    index_t h_last;
+    index_t groups;
+    if (n2 != 0) {
+      h_last = n >> 1;
+      groups = n / (2 * h_last);
+    } else {
+      h_last = n >> 2;
+      groups = n / (4 * h_last);
+    }
+    last_items = groups * (h_last / min_i(h_last, kJChunk));
+    part = red_buffer(last_items);
+  }
+
+  double result = 0.0;
+#pragma omp parallel
+  {
+    // Bottom: every stage with stride < bsize, one cache-resident block at
+    // a time, with the phase/scale prepass fused in front.
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nblocks);
+         ++b) {
+      const index_t off = static_cast<index_t>(b) * bsize;
+      double* blk = a + 2 * off;
+      if (prepass) {
+        phase_scale_range(blk, d != nullptr ? d + off : nullptr, angle, scale,
+                          bsize);
+      }
+      wht_serial_block(blk, bsize);
+    }
+    // Top: strided passes across the whole vector.
+    index_t h = bsize;
+    for (int p4 = 0; p4 < n4; ++p4) {
+      const bool last = n2 == 0 && p4 == n4 - 1;
+      top_pass_radix4(a, n, h, last ? obj : nullptr, part);
+      h <<= 2;
+    }
+    if (n2 != 0) top_pass_radix2(a, n, h, obj, part);
+  }
+  if (obj != nullptr) {
+    for (index_t i = 0; i < last_items; ++i) result += part[i];
+  }
+  return result;
+}
+
+static void k_wht(cplx* a, index_t n) {
+  wht_driver(a, nullptr, 0.0, 1.0, nullptr, n);
+}
+
+static void k_phase_wht(cplx* a, const double* d, double angle, double scale,
+                        index_t n) {
+  wht_driver(a, d, angle, scale, nullptr, n);
+}
+
+static double k_wht_expect(cplx* a, const double* obj, index_t n) {
+  return wht_driver(a, nullptr, 0.0, 1.0, obj, n);
+}
+
+static double k_phase_wht_expect(cplx* a, const double* d, double angle,
+                                 double scale, const double* obj, index_t n) {
+  return wht_driver(a, d, angle, scale, obj, n);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels: serial below kEwSerial, one parallel region above.
+// ---------------------------------------------------------------------------
+
+static void k_diag_phase(cplx* psi, const double* d, double angle,
+                         index_t n) {
+  double* p = dp(psi);
+  if (n <= kEwSerial) {
+    phase_scale_range(p, d, angle, 1.0, n);
+    return;
+  }
+  const std::ptrdiff_t chunks = static_cast<std::ptrdiff_t>(
+      (n + kPhaseChunk - 1) / kPhaseChunk);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t ch = 0; ch < chunks; ++ch) {
+    const index_t i0 = static_cast<index_t>(ch) * kPhaseChunk;
+    const index_t m = min_i(kPhaseChunk, n - i0);
+    phase_scale_range(p + 2 * i0, d + i0, angle, 1.0, m);
+  }
+}
+
+static void k_diag_mul(cplx* psi, const double* d, double s, index_t n) {
+  double* p = dp(psi);
+  if (n <= kEwSerial) {
+    for (index_t i = 0; i < n; ++i) {
+      const double f = d[i] * s;
+      p[2 * i] *= f;
+      p[2 * i + 1] *= f;
+    }
+    return;
+  }
+#pragma omp parallel for simd schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    const double f = d[i] * s;
+    p[2 * i] *= f;
+    p[2 * i + 1] *= f;
+  }
+}
+
+static void k_scale(cplx* v, double sr, double si, index_t n) {
+  double* p = dp(v);
+  if (n <= kEwSerial) {
+    for (index_t i = 0; i < n; ++i) {
+      const double re = p[2 * i];
+      const double im = p[2 * i + 1];
+      p[2 * i] = re * sr - im * si;
+      p[2 * i + 1] = re * si + im * sr;
+    }
+    return;
+  }
+#pragma omp parallel for simd schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    const double re = p[2 * i];
+    const double im = p[2 * i + 1];
+    p[2 * i] = re * sr - im * si;
+    p[2 * i + 1] = re * si + im * sr;
+  }
+}
+
+static void k_scale_real(cplx* v, double s, index_t n) {
+  double* p = dp(v);
+  const index_t n2 = 2 * n;
+  if (n <= kEwSerial) {
+#pragma omp simd
+    for (index_t i = 0; i < n2; ++i) p[i] *= s;
+    return;
+  }
+#pragma omp parallel for simd schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n2); ++i) {
+    p[i] *= s;
+  }
+}
+
+static void k_copy_scale(cplx* dst, const cplx* src, double s, index_t n) {
+  double* q = dp(dst);
+  const double* p = dp(src);
+  const index_t n2 = 2 * n;
+  if (n <= kEwSerial) {
+#pragma omp simd
+    for (index_t i = 0; i < n2; ++i) q[i] = p[i] * s;
+    return;
+  }
+#pragma omp parallel for simd schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n2); ++i) {
+    q[i] = p[i] * s;
+  }
+}
+
+static void k_fill(cplx* v, double re, double im, index_t n) {
+  double* p = dp(v);
+  if (n <= kEwSerial) {
+    for (index_t i = 0; i < n; ++i) {
+      p[2 * i] = re;
+      p[2 * i + 1] = im;
+    }
+    return;
+  }
+#pragma omp parallel for simd schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    p[2 * i] = re;
+    p[2 * i + 1] = im;
+  }
+}
+
+static void k_add_const(cplx* v, double re, double im, index_t n) {
+  double* p = dp(v);
+  if (n <= kEwSerial) {
+    for (index_t i = 0; i < n; ++i) {
+      p[2 * i] += re;
+      p[2 * i + 1] += im;
+    }
+    return;
+  }
+#pragma omp parallel for simd schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    p[2 * i] += re;
+    p[2 * i + 1] += im;
+  }
+}
+
+static void k_axpy(double ar, double ai, const cplx* x, cplx* y, index_t n) {
+  const double* px = dp(x);
+  double* py = dp(y);
+  if (n <= kEwSerial) {
+    for (index_t i = 0; i < n; ++i) {
+      const double xr = px[2 * i];
+      const double xi = px[2 * i + 1];
+      py[2 * i] += ar * xr - ai * xi;
+      py[2 * i + 1] += ar * xi + ai * xr;
+    }
+    return;
+  }
+#pragma omp parallel for simd schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    const double xr = px[2 * i];
+    const double xi = px[2 * i + 1];
+    py[2 * i] += ar * xr - ai * xi;
+    py[2 * i + 1] += ar * xi + ai * xr;
+  }
+}
+
+static void k_cheb_recur(cplx* t_next, const cplx* t_prev, double two_inv_r,
+                         index_t n) {
+  double* pn = dp(t_next);
+  const double* pp = dp(t_prev);
+  const index_t n2 = 2 * n;
+  if (n <= kEwSerial) {
+#pragma omp simd
+    for (index_t i = 0; i < n2; ++i) pn[i] = two_inv_r * pn[i] - pp[i];
+    return;
+  }
+#pragma omp parallel for simd schedule(static)
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n2); ++i) {
+    pn[i] = two_inv_r * pn[i] - pp[i];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-order reductions. One partial per kRedBlock elements, partials
+// summed in block order: thread-count invariant per backend.
+// ---------------------------------------------------------------------------
+
+static double nsq_range(const double* p, index_t i0, index_t i1) {
+  const cplx* q = reinterpret_cast<const cplx*>(p);
+  double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(i0);
+       i < static_cast<std::ptrdiff_t>(i1); ++i)
+    acc += std::norm(q[i]);
+  return acc;
+}
+
+static double k_norm_sq(const cplx* v, index_t n) {
+  const double* p = dp(v);
+  if (n <= kRedSerial) return nsq_range(p, 0, n);
+  const index_t nb = (n + kRedBlock - 1) / kRedBlock;
+  double* part = red_buffer(nb);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nb); ++b) {
+    const index_t i0 = static_cast<index_t>(b) * kRedBlock;
+    part[b] = nsq_range(p, i0, min_i(i0 + kRedBlock, n));
+  }
+  double acc = 0.0;
+  for (index_t b = 0; b < nb; ++b) acc += part[b];
+  return acc;
+}
+
+static void dot_range(const double* px, const double* py, index_t i0,
+                      index_t i1, double* out_re, double* out_im) {
+  double re = 0.0;
+  double im = 0.0;
+  // conj(x)*y with the fused-multiply pattern of the compiled std::complex
+  // product (round the xi cross terms, fuse the xr ones): keeps the serial
+  // bits of the pre-dispatch reduction loop.
+  for (index_t i = i0; i < i1; ++i) {
+    const double xr = px[2 * i];
+    const double xi = px[2 * i + 1];
+    const double yr = py[2 * i];
+    const double yi = py[2 * i + 1];
+    re += std::fma(xr, yr, xi * yi);
+    im += std::fma(xr, yi, -(xi * yr));
+  }
+  *out_re = re;
+  *out_im = im;
+}
+
+static CplxSum k_dot(const cplx* x, const cplx* y, index_t n) {
+  const double* px = dp(x);
+  const double* py = dp(y);
+  CplxSum out;
+  if (n <= kRedSerial) {
+    dot_range(px, py, 0, n, &out.re, &out.im);
+    return out;
+  }
+  const index_t nb = (n + kRedBlock - 1) / kRedBlock;
+  double* part = red_buffer(2 * nb);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nb); ++b) {
+    const index_t i0 = static_cast<index_t>(b) * kRedBlock;
+    dot_range(px, py, i0, min_i(i0 + kRedBlock, n), &part[2 * b],
+              &part[2 * b + 1]);
+  }
+  for (index_t b = 0; b < nb; ++b) {
+    out.re += part[2 * b];
+    out.im += part[2 * b + 1];
+  }
+  return out;
+}
+
+static void vsum_range(const double* p, index_t i0, index_t i1,
+                       double* out_re, double* out_im) {
+  double re = 0.0;
+  double im = 0.0;
+#pragma omp simd reduction(+ : re, im)
+  for (index_t i = i0; i < i1; ++i) {
+    re += p[2 * i];
+    im += p[2 * i + 1];
+  }
+  *out_re = re;
+  *out_im = im;
+}
+
+static CplxSum k_vsum(const cplx* v, index_t n) {
+  const double* p = dp(v);
+  CplxSum out;
+  if (n <= kRedSerial) {
+    vsum_range(p, 0, n, &out.re, &out.im);
+    return out;
+  }
+  const index_t nb = (n + kRedBlock - 1) / kRedBlock;
+  double* part = red_buffer(2 * nb);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nb); ++b) {
+    const index_t i0 = static_cast<index_t>(b) * kRedBlock;
+    vsum_range(p, i0, min_i(i0 + kRedBlock, n), &part[2 * b],
+               &part[2 * b + 1]);
+  }
+  for (index_t b = 0; b < nb; ++b) {
+    out.re += part[2 * b];
+    out.im += part[2 * b + 1];
+  }
+  return out;
+}
+
+static double dexp_range(const double* d, const double* p, index_t i0,
+                         index_t i1) {
+  const cplx* q = reinterpret_cast<const cplx*>(p);
+  double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(i0);
+       i < static_cast<std::ptrdiff_t>(i1); ++i)
+    acc += d[i] * std::norm(q[i]);
+  return acc;
+}
+
+static double k_diag_expectation(const double* d, const cplx* psi,
+                                 index_t n) {
+  const double* p = dp(psi);
+  if (n <= kRedSerial) return dexp_range(d, p, 0, n);
+  const index_t nb = (n + kRedBlock - 1) / kRedBlock;
+  double* part = red_buffer(nb);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nb); ++b) {
+    const index_t i0 = static_cast<index_t>(b) * kRedBlock;
+    part[b] = dexp_range(d, p, i0, min_i(i0 + kRedBlock, n));
+  }
+  double acc = 0.0;
+  for (index_t b = 0; b < nb; ++b) acc += part[b];
+  return acc;
+}
+
+static double dbi_range(const double* pl, const double* d, const double* pp,
+                        index_t i0, index_t i1) {
+  double acc = 0.0;
+  // Im(conj(l)*p) with the same fused pattern as dot_range, folded into the
+  // accumulator the way the pre-dispatch loop contracted it.
+  for (index_t i = i0; i < i1; ++i) {
+    const double lr = pl[2 * i];
+    const double li = pl[2 * i + 1];
+    const double pr = pp[2 * i];
+    const double pi = pp[2 * i + 1];
+    acc = std::fma(d[i], std::fma(lr, pi, -(li * pr)), acc);
+  }
+  return acc;
+}
+
+static double k_diag_bracket_imag(const cplx* lambda, const double* d,
+                                  const cplx* psi, index_t n) {
+  const double* pl = dp(lambda);
+  const double* pp = dp(psi);
+  if (n <= kRedSerial) return dbi_range(pl, d, pp, 0, n);
+  const index_t nb = (n + kRedBlock - 1) / kRedBlock;
+  double* part = red_buffer(nb);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nb); ++b) {
+    const index_t i0 = static_cast<index_t>(b) * kRedBlock;
+    part[b] = dbi_range(pl, d, pp, i0, min_i(i0 + kRedBlock, n));
+  }
+  double acc = 0.0;
+  for (index_t b = 0; b < nb; ++b) acc += part[b];
+  return acc;
+}
+
+static double mad_range(const double* pv, const double* pw, index_t i0,
+                        index_t i1) {
+  double m = 0.0;
+#pragma omp simd reduction(max : m)
+  for (index_t i = i0; i < i1; ++i) {
+    const double dr = pv[2 * i] - pw[2 * i];
+    const double di = pv[2 * i + 1] - pw[2 * i + 1];
+    const double nsq = dr * dr + di * di;
+    if (nsq > m) m = nsq;
+  }
+  return m;
+}
+
+static double k_max_abs_diff(const cplx* v, const cplx* w, index_t n) {
+  const double* pv = dp(v);
+  const double* pw = dp(w);
+  double m = 0.0;
+  if (n <= kRedSerial) {
+    m = mad_range(pv, pw, 0, n);
+  } else {
+    const index_t nb = (n + kRedBlock - 1) / kRedBlock;
+    double* part = red_buffer(nb);
+#pragma omp parallel for schedule(static)
+    for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nb); ++b) {
+      const index_t i0 = static_cast<index_t>(b) * kRedBlock;
+      part[b] = mad_range(pv, pw, i0, min_i(i0 + kRedBlock, n));
+    }
+    for (index_t b = 0; b < nb; ++b) {
+      if (part[b] > m) m = part[b];
+    }
+  }
+  return std::sqrt(m);  // max of |.|^2 then one sqrt: exact, monotone
+}
+
+// ---------------------------------------------------------------------------
+// Dense GEMV. Row-parallel forms reduce each row serially (deterministic at
+// any thread count); transpose/adjoint forms block over columns so threads
+// never share an output element, with rows streamed in order per block.
+// ---------------------------------------------------------------------------
+
+static inline void gemv_real_row(const double* arow, const double* px,
+                                 index_t cols, double* py) {
+  double re = 0.0;
+  double im = 0.0;
+#pragma omp simd reduction(+ : re, im)
+  for (index_t c = 0; c < cols; ++c) {
+    re += arow[c] * px[2 * c];
+    im += arow[c] * px[2 * c + 1];
+  }
+  py[0] = re;
+  py[1] = im;
+}
+
+static void k_gemv_real(const double* a, index_t rows, index_t cols,
+                        const cplx* x, cplx* y) {
+  const double* px = dp(x);
+  double* py = dp(y);
+  if (rows * cols <= kGemvSerial) {
+    for (index_t r = 0; r < rows; ++r) {
+      gemv_real_row(a + r * cols, px, cols, py + 2 * r);
+    }
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+    gemv_real_row(a + static_cast<index_t>(r) * cols, px, cols, py + 2 * r);
+  }
+}
+
+static inline void gemv_real_t_block(const double* a, index_t rows,
+                                     index_t cols, const double* px,
+                                     double* py, index_t c0, index_t c1) {
+  for (index_t c = c0; c < c1; ++c) {
+    py[2 * c] = 0.0;
+    py[2 * c + 1] = 0.0;
+  }
+  for (index_t r = 0; r < rows; ++r) {
+    const double* arow = a + r * cols;
+    const double xr = px[2 * r];
+    const double xi = px[2 * r + 1];
+#pragma omp simd
+    for (index_t c = c0; c < c1; ++c) {
+      py[2 * c] += arow[c] * xr;
+      py[2 * c + 1] += arow[c] * xi;
+    }
+  }
+}
+
+static void k_gemv_real_t(const double* a, index_t rows, index_t cols,
+                          const cplx* x, cplx* y) {
+  const double* px = dp(x);
+  double* py = dp(y);
+  const index_t block = 256;
+  if (rows * cols <= kGemvSerial) {
+    for (index_t c0 = 0; c0 < cols; c0 += block) {
+      gemv_real_t_block(a, rows, cols, px, py, c0, min_i(c0 + block, cols));
+    }
+    return;
+  }
+  const std::ptrdiff_t nblocks =
+      static_cast<std::ptrdiff_t>((cols + block - 1) / block);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < nblocks; ++b) {
+    const index_t c0 = static_cast<index_t>(b) * block;
+    gemv_real_t_block(a, rows, cols, px, py, c0, min_i(c0 + block, cols));
+  }
+}
+
+static inline void gemv_cplx_row(const double* arow, const double* px,
+                                 index_t cols, double* py, bool conj_a) {
+  double re = 0.0;
+  double im = 0.0;
+  const double sgn = conj_a ? -1.0 : 1.0;
+#pragma omp simd reduction(+ : re, im)
+  for (index_t c = 0; c < cols; ++c) {
+    const double ar = arow[2 * c];
+    const double ai = sgn * arow[2 * c + 1];
+    const double xr = px[2 * c];
+    const double xi = px[2 * c + 1];
+    re += ar * xr - ai * xi;
+    im += ar * xi + ai * xr;
+  }
+  py[0] = re;
+  py[1] = im;
+}
+
+static void k_gemv_cplx(const cplx* a, index_t rows, index_t cols,
+                        const cplx* x, cplx* y) {
+  const double* pa = dp(a);
+  const double* px = dp(x);
+  double* py = dp(y);
+  if (rows * cols <= kGemvSerial) {
+    for (index_t r = 0; r < rows; ++r) {
+      gemv_cplx_row(pa + 2 * r * cols, px, cols, py + 2 * r, false);
+    }
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t r = 0; r < static_cast<std::ptrdiff_t>(rows); ++r) {
+    gemv_cplx_row(pa + 2 * static_cast<index_t>(r) * cols, px, cols,
+                  py + 2 * r, false);
+  }
+}
+
+static inline void gemv_cplx_adj_block(const double* pa, index_t rows,
+                                       index_t cols, const double* px,
+                                       double* py, index_t c0, index_t c1) {
+  for (index_t c = c0; c < c1; ++c) {
+    py[2 * c] = 0.0;
+    py[2 * c + 1] = 0.0;
+  }
+  for (index_t r = 0; r < rows; ++r) {
+    const double* arow = pa + 2 * r * cols;
+    const double xr = px[2 * r];
+    const double xi = px[2 * r + 1];
+#pragma omp simd
+    for (index_t c = c0; c < c1; ++c) {
+      const double ar = arow[2 * c];
+      const double ai = -arow[2 * c + 1];  // conj(A)
+      py[2 * c] += ar * xr - ai * xi;
+      py[2 * c + 1] += ar * xi + ai * xr;
+    }
+  }
+}
+
+static void k_gemv_cplx_adj(const cplx* a, index_t rows, index_t cols,
+                            const cplx* x, cplx* y) {
+  const double* pa = dp(a);
+  const double* px = dp(x);
+  double* py = dp(y);
+  const index_t block = 256;
+  if (rows * cols <= kGemvSerial) {
+    for (index_t c0 = 0; c0 < cols; c0 += block) {
+      gemv_cplx_adj_block(pa, rows, cols, px, py, c0, min_i(c0 + block, cols));
+    }
+    return;
+  }
+  const std::ptrdiff_t nblocks =
+      static_cast<std::ptrdiff_t>((cols + block - 1) / block);
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t b = 0; b < nblocks; ++b) {
+    const index_t c0 = static_cast<index_t>(b) * block;
+    gemv_cplx_adj_block(pa, rows, cols, px, py, c0, min_i(c0 + block, cols));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registration: the one externally visible symbol of each backend TU.
+// ---------------------------------------------------------------------------
+
+inline KernelBackend make_backend(const char* name) {
+  KernelBackend b{};
+  b.name = name;
+  b.wht = k_wht;
+  b.phase_wht = k_phase_wht;
+  b.wht_expect = k_wht_expect;
+  b.phase_wht_expect = k_phase_wht_expect;
+  b.diag_phase = k_diag_phase;
+  b.diag_mul = k_diag_mul;
+  b.scale = k_scale;
+  b.scale_real = k_scale_real;
+  b.copy_scale = k_copy_scale;
+  b.fill = k_fill;
+  b.add_const = k_add_const;
+  b.axpy = k_axpy;
+  b.cheb_recur = k_cheb_recur;
+  b.dot = k_dot;
+  b.norm_sq = k_norm_sq;
+  b.vsum = k_vsum;
+  b.diag_expectation = k_diag_expectation;
+  b.diag_bracket_imag = k_diag_bracket_imag;
+  b.max_abs_diff = k_max_abs_diff;
+  b.gemv_real = k_gemv_real;
+  b.gemv_real_t = k_gemv_real_t;
+  b.gemv_cplx = k_gemv_cplx;
+  b.gemv_cplx_adj = k_gemv_cplx_adj;
+  return b;
+}
+
+}  // namespace FQ_KERNEL_NAMESPACE
+}  // namespace fastqaoa::linalg::kernels

@@ -1,0 +1,125 @@
+#include "linalg/kernels/kernels.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace fastqaoa::linalg::kernels {
+
+// Backend factories, one per TU. The AVX factories return false when their
+// TU was compiled without the ISA flags (unsupported compiler/arch).
+KernelBackend make_scalar_backend();
+bool make_avx2_backend(KernelBackend* out);
+bool make_avx512_backend(KernelBackend* out);
+
+namespace {
+
+// __builtin_cpu_supports requires string literals, so each probe is spelled
+// out. Non-x86 builds compile the AVX TUs to null registrations and these
+// probes are never reached with a true factory.
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0 &&
+         __builtin_cpu_supports("fma") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0;
+#else
+  return false;
+#endif
+}
+
+struct Registry {
+  KernelBackend scalar;
+  KernelBackend avx2;
+  KernelBackend avx512;
+  bool avx2_ok = false;    // compiled in AND supported by this CPU
+  bool avx512_ok = false;
+  const KernelBackend* current = nullptr;
+
+  Registry() {
+    scalar = make_scalar_backend();
+    KernelBackend b;
+    if (make_avx2_backend(&b) && cpu_has_avx2()) {
+      avx2 = b;
+      avx2_ok = true;
+    }
+    if (make_avx512_backend(&b) && cpu_has_avx512()) {
+      avx512 = b;
+      avx512_ok = true;
+    }
+    current = pick_auto();
+    const char* env = std::getenv("FASTQAOA_KERNEL");
+    if (env != nullptr && env[0] != '\0') {
+      const KernelBackend* forced = find(env);
+      if (forced != nullptr) {
+        current = forced;
+      } else {
+        std::fprintf(stderr,
+                     "fastqaoa: FASTQAOA_KERNEL=%s is unknown or unsupported "
+                     "on this CPU; using %s\n",
+                     env, current->name);
+      }
+    }
+    publish();
+  }
+
+  const KernelBackend* pick_auto() const {
+    if (avx512_ok) return &avx512;
+    if (avx2_ok) return &avx2;
+    return &scalar;
+  }
+
+  const KernelBackend* find(const char* name) const {
+    if (std::strcmp(name, "auto") == 0) return pick_auto();
+    if (std::strcmp(name, "scalar") == 0) return &scalar;
+    if (std::strcmp(name, "avx2") == 0 && avx2_ok) return &avx2;
+    if (std::strcmp(name, "avx512") == 0 && avx512_ok) return &avx512;
+    return nullptr;
+  }
+
+  void publish() const {
+    obs::set_global_label("kernel_backend", current->name);
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+const KernelBackend& active() { return *registry().current; }
+
+const char* active_name() { return registry().current->name; }
+
+bool select(const std::string& name) {
+  Registry& r = registry();
+  const KernelBackend* b = r.find(name.c_str());
+  if (b == nullptr) return false;
+  r.current = b;
+  r.publish();
+  return true;
+}
+
+std::vector<std::string> available() {
+  Registry& r = registry();
+  std::vector<std::string> out;
+  out.emplace_back("scalar");
+  if (r.avx2_ok) out.emplace_back("avx2");
+  if (r.avx512_ok) out.emplace_back("avx512");
+  return out;
+}
+
+}  // namespace fastqaoa::linalg::kernels

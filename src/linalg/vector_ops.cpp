@@ -3,52 +3,42 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/kernels/kernels.hpp"
 
 namespace fastqaoa::linalg {
 
 namespace {
 using std::ptrdiff_t;
+
+/// Elementwise loops below this many complex elements run serially: for
+/// Dicke-subspace states and small service jobs the OpenMP region launch
+/// costs more than the loop. Kernel-backed ops get the same cutoff inside
+/// the backend; this guard covers the loops that stay local to this TU.
+constexpr ptrdiff_t kSerialElems = 8192;
 }  // namespace
 
 void fill(cvec& v, cplx value) {
-  const ptrdiff_t n = static_cast<ptrdiff_t>(v.size());
-#pragma omp parallel for schedule(static)
-  for (ptrdiff_t i = 0; i < n; ++i) v[i] = value;
+  kernels::active().fill(v.data(), value.real(), value.imag(), v.size());
 }
 
 void scale(cvec& v, cplx s) {
-  const ptrdiff_t n = static_cast<ptrdiff_t>(v.size());
-#pragma omp parallel for schedule(static)
-  for (ptrdiff_t i = 0; i < n; ++i) v[i] *= s;
+  kernels::active().scale(v.data(), s.real(), s.imag(), v.size());
 }
 
 void axpy(cplx a, const cvec& x, cvec& y) {
   FASTQAOA_CHECK(x.size() == y.size(), "axpy: size mismatch");
-  const ptrdiff_t n = static_cast<ptrdiff_t>(x.size());
-#pragma omp parallel for schedule(static)
-  for (ptrdiff_t i = 0; i < n; ++i) y[i] += a * x[i];
+  kernels::active().axpy(a.real(), a.imag(), x.data(), y.data(), x.size());
 }
 
 cplx dot(const cvec& x, const cvec& y) {
   FASTQAOA_CHECK(x.size() == y.size(), "dot: size mismatch");
-  const ptrdiff_t n = static_cast<ptrdiff_t>(x.size());
-  double re = 0.0;
-  double im = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : re, im)
-  for (ptrdiff_t i = 0; i < n; ++i) {
-    const cplx t = std::conj(x[i]) * y[i];
-    re += t.real();
-    im += t.imag();
-  }
-  return {re, im};
+  const kernels::CplxSum s = kernels::active().dot(x.data(), y.data(),
+                                                   x.size());
+  return {s.re, s.im};
 }
 
 double norm_sq(const cvec& v) {
-  const ptrdiff_t n = static_cast<ptrdiff_t>(v.size());
-  double acc = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : acc)
-  for (ptrdiff_t i = 0; i < n; ++i) acc += std::norm(v[i]);
-  return acc;
+  return kernels::active().norm_sq(v.data(), v.size());
 }
 
 double norm(const cvec& v) { return std::sqrt(norm_sq(v)); }
@@ -62,12 +52,12 @@ double normalize(cvec& v) {
 
 void apply_diag_phase(cvec& psi, const dvec& d, double angle) {
   FASTQAOA_CHECK(psi.size() == d.size(), "apply_diag_phase: size mismatch");
-  const ptrdiff_t n = static_cast<ptrdiff_t>(psi.size());
-#pragma omp parallel for schedule(static)
-  for (ptrdiff_t i = 0; i < n; ++i) {
-    const double phase = -angle * d[i];
-    psi[i] *= cplx{std::cos(phase), std::sin(phase)};
-  }
+  kernels::active().diag_phase(psi.data(), d.data(), angle, psi.size());
+}
+
+void diag_mul(cvec& psi, const dvec& d, double s) {
+  FASTQAOA_CHECK(psi.size() == d.size(), "diag_mul: size mismatch");
+  kernels::active().diag_mul(psi.data(), d.data(), s, psi.size());
 }
 
 void apply_threshold_phase(cvec& psi, const dvec& d, double threshold,
@@ -76,6 +66,12 @@ void apply_threshold_phase(cvec& psi, const dvec& d, double threshold,
                  "apply_threshold_phase: size mismatch");
   const ptrdiff_t n = static_cast<ptrdiff_t>(psi.size());
   const cplx phase{std::cos(angle), -std::sin(angle)};
+  if (n <= kSerialElems) {
+    for (ptrdiff_t i = 0; i < n; ++i) {
+      if (d[i] > threshold) psi[i] *= phase;
+    }
+    return;
+  }
 #pragma omp parallel for schedule(static)
   for (ptrdiff_t i = 0; i < n; ++i) {
     if (d[i] > threshold) psi[i] *= phase;
@@ -84,24 +80,14 @@ void apply_threshold_phase(cvec& psi, const dvec& d, double threshold,
 
 double diag_expectation(const dvec& d, const cvec& psi) {
   FASTQAOA_CHECK(psi.size() == d.size(), "diag_expectation: size mismatch");
-  const ptrdiff_t n = static_cast<ptrdiff_t>(psi.size());
-  double acc = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : acc)
-  for (ptrdiff_t i = 0; i < n; ++i) acc += d[i] * std::norm(psi[i]);
-  return acc;
+  return kernels::active().diag_expectation(d.data(), psi.data(), psi.size());
 }
 
 double diag_bracket_imag(const cvec& lambda, const dvec& d, const cvec& psi) {
   FASTQAOA_CHECK(lambda.size() == d.size() && psi.size() == d.size(),
                  "diag_bracket_imag: size mismatch");
-  const ptrdiff_t n = static_cast<ptrdiff_t>(psi.size());
-  double acc = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : acc)
-  for (ptrdiff_t i = 0; i < n; ++i) {
-    const cplx t = std::conj(lambda[i]) * psi[i];
-    acc += d[i] * t.imag();
-  }
-  return acc;
+  return kernels::active().diag_bracket_imag(lambda.data(), d.data(),
+                                             psi.data(), psi.size());
 }
 
 double probability_at_value(const dvec& d, const cvec& psi, double value,
@@ -109,6 +95,12 @@ double probability_at_value(const dvec& d, const cvec& psi, double value,
   FASTQAOA_CHECK(psi.size() == d.size(), "probability_at_value: size mismatch");
   const ptrdiff_t n = static_cast<ptrdiff_t>(psi.size());
   double acc = 0.0;
+  if (n <= kSerialElems) {
+    for (ptrdiff_t i = 0; i < n; ++i) {
+      if (std::abs(d[i] - value) <= tol) acc += std::norm(psi[i]);
+    }
+    return acc;
+  }
 #pragma omp parallel for schedule(static) reduction(+ : acc)
   for (ptrdiff_t i = 0; i < n; ++i) {
     if (std::abs(d[i] - value) <= tol) acc += std::norm(psi[i]);
@@ -118,11 +110,7 @@ double probability_at_value(const dvec& d, const cvec& psi, double value,
 
 double max_abs_diff(const cvec& v, const cvec& w) {
   FASTQAOA_CHECK(v.size() == w.size(), "max_abs_diff: size mismatch");
-  double m = 0.0;
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    m = std::max(m, std::abs(v[i] - w[i]));
-  }
-  return m;
+  return kernels::active().max_abs_diff(v.data(), w.data(), v.size());
 }
 
 }  // namespace fastqaoa::linalg

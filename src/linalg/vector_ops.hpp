@@ -36,6 +36,10 @@ double normalize(cvec& v);
 /// diagonal-mixer kernel. d holds real eigenvalues (cost values).
 void apply_diag_phase(cvec& psi, const dvec& d, double angle);
 
+/// psi_i <- d_i * s * psi_i (real diagonal times real scale), the Hamiltonian
+/// analogue of apply_diag_phase used inside mixer apply_ham sandwiches.
+void diag_mul(cvec& psi, const dvec& d, double s);
+
 /// psi_i <- exp(-i * angle * d_i) * psi_i restricted to indices where
 /// d_i > threshold applies phase -angle, else no phase: the threshold
 /// phase separator of Golden et al. [18] uses an indicator cost; this

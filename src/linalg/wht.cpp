@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "obs/metrics.hpp"
 
 namespace fastqaoa::linalg {
@@ -20,31 +21,49 @@ void wht_unnormalized(cvec& v) {
   FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
   FASTQAOA_OBS_COUNT("linalg.wht.applies", 1);
   FASTQAOA_OBS_TIMED("linalg.wht");
-  cplx* a = v.data();
-  // Radix-2 butterflies. For strides that fit in cache the loop is a simple
-  // pair sweep; parallelism is over independent butterfly blocks.
-  for (index_t h = 1; h < n; h <<= 1) {
-    const std::ptrdiff_t blocks = static_cast<std::ptrdiff_t>(n / (2 * h));
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t b = 0; b < blocks; ++b) {
-      const index_t base = static_cast<index_t>(b) * 2 * h;
-      for (index_t j = base; j < base + h; ++j) {
-        const cplx x = a[j];
-        const cplx y = a[j + h];
-        a[j] = x + y;
-        a[j + h] = x - y;
-      }
-    }
-  }
+  kernels::active().wht(v.data(), n);
 }
 
 void wht_orthonormal(cvec& v) {
-  wht_unnormalized(v);
-  const double scale = 1.0 / std::sqrt(static_cast<double>(v.size()));
-  cplx* a = v.data();
-  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(v.size());
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < n; ++i) a[i] *= scale;
+  const index_t n = v.size();
+  FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
+  FASTQAOA_OBS_COUNT("linalg.wht.applies", 1);
+  FASTQAOA_OBS_TIMED("linalg.wht");
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  // Fold the normalization into the fused pre-pass (null diagonal = pure
+  // scale); self-inverse either way since the scale commutes with H.
+  kernels::active().phase_wht(v.data(), nullptr, 0.0, scale, n);
+}
+
+void phase_wht(cvec& v, const dvec& d, double angle, double scale) {
+  const index_t n = v.size();
+  FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
+  FASTQAOA_CHECK(d.size() == n, "phase_wht: diagonal size mismatch");
+  FASTQAOA_OBS_COUNT("linalg.wht.applies", 1);
+  FASTQAOA_OBS_TIMED("linalg.wht");
+  kernels::active().phase_wht(v.data(), d.data(), angle, scale, n);
+}
+
+double wht_expect(cvec& v, const dvec& obj) {
+  const index_t n = v.size();
+  FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
+  FASTQAOA_CHECK(obj.size() == n, "wht_expect: objective size mismatch");
+  FASTQAOA_OBS_COUNT("linalg.wht.applies", 1);
+  FASTQAOA_OBS_TIMED("linalg.wht");
+  return kernels::active().wht_expect(v.data(), obj.data(), n);
+}
+
+double phase_wht_expect(cvec& v, const dvec& d, double angle, double scale,
+                        const dvec& obj) {
+  const index_t n = v.size();
+  FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
+  FASTQAOA_CHECK(d.size() == n, "phase_wht_expect: diagonal size mismatch");
+  FASTQAOA_CHECK(obj.size() == n,
+                 "phase_wht_expect: objective size mismatch");
+  FASTQAOA_OBS_COUNT("linalg.wht.applies", 1);
+  FASTQAOA_OBS_TIMED("linalg.wht");
+  return kernels::active().phase_wht_expect(v.data(), d.data(), angle, scale,
+                                            obj.data(), n);
 }
 
 }  // namespace fastqaoa::linalg

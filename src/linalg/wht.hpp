@@ -21,6 +21,22 @@ void wht_unnormalized(cvec& v);
 /// 2^{-n/2}). Self-inverse.
 void wht_orthonormal(cvec& v);
 
+/// Fused diag-phase -> WHT: v_i *= scale * exp(-i * angle * d_i), then the
+/// unnormalized WHT, in one pass over the data. The phase (and the folded
+/// 1/2^n normalization of the surrounding mixer sandwich) is applied per
+/// cache block right before that block's butterflies, so the vector is
+/// streamed once instead of twice.
+void phase_wht(cvec& v, const dvec& d, double angle, double scale);
+
+/// Unnormalized WHT with sum_i obj_i |v_i|^2 fused into the final butterfly
+/// pass (the expectation epilogue of evaluate()).
+double wht_expect(cvec& v, const dvec& obj);
+
+/// phase_wht followed by the fused expectation: the complete final QAOA
+/// round (phase, mixer half, expectation) in two passes over the vector.
+double phase_wht_expect(cvec& v, const dvec& d, double angle, double scale,
+                        const dvec& obj);
+
 /// True iff sz is a power of two (and non-zero).
 bool is_power_of_two(index_t sz);
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "linalg/lanczos.hpp"
 
 namespace fastqaoa {
@@ -137,15 +138,20 @@ void ChebyshevMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
 
   // Carve everything out of the caller's scratch: four dim-sized recurrence
   // buffers plus the Bessel coefficient table (doubles packed into cplx
-  // slots via the std::complex array-compatibility guarantee).
+  // slots via the std::complex array-compatibility guarantee). The carve
+  // stride rounds dim up to a multiple of 4 complex so every sub-buffer
+  // keeps the 64-byte alignment of scratch.data() for the kernels below.
+  const index_t da = (d + 3) & ~index_t{3};
   const index_t coeff_slots = static_cast<index_t>(navail) / 2 + 1;
-  if (scratch.size() < 4 * d + coeff_slots) scratch.resize(4 * d + coeff_slots);
+  if (scratch.size() < 4 * da + coeff_slots) {
+    scratch.resize(4 * da + coeff_slots);
+  }
   cplx* t_prev = scratch.data();
-  cplx* t_cur = scratch.data() + d;
-  cplx* t_next = scratch.data() + 2 * d;
-  cplx* accum = scratch.data() + 3 * d;
-  double* bessel = reinterpret_cast<double*>(scratch.data() + 4 * d);
-  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(d);
+  cplx* t_cur = scratch.data() + da;
+  cplx* t_next = scratch.data() + 2 * da;
+  cplx* accum = scratch.data() + 3 * da;
+  double* bessel = reinterpret_cast<double*>(scratch.data() + 4 * da);
+  const linalg::kernels::KernelBackend& kern = linalg::kernels::active();
 
   // Bessel coefficients: e^{-i z x} = J_0(z) + 2 sum (-i)^k J_k(z) T_k(x)
   // for x in [-1, 1]; for z < 0 use J_k(-z) = (-1)^k J_k(z), i.e. flip the
@@ -155,17 +161,13 @@ void ChebyshevMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
 
   // T_0 term: T_0(H~) psi = psi.
   const double j0 = bessel[0];
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < sz; ++i) {
-    t_cur[i] = psi[static_cast<index_t>(i)];
-    accum[i] = j0 * t_cur[i];
-  }
+  kern.copy_scale(t_cur, psi.data(), 1.0, d);
+  kern.copy_scale(accum, psi.data(), j0, d);
 
   // T_1 term: T_1(H~) psi = (H/r) psi.
   op_->apply(t_cur, t_next);
   const double inv_r = 1.0 / r;
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < sz; ++i) t_next[i] *= inv_r;
+  kern.scale_real(t_next, inv_r, d);
   std::swap(t_prev, t_cur);
   std::swap(t_cur, t_next);
   cplx phase = unit;  // (-i)^1
@@ -175,8 +177,7 @@ void ChebyshevMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
     const double jk = bessel[k];
     if (std::abs(2.0 * jk) > tolerance_) {
       const cplx coeff = 2.0 * jk * phase;
-#pragma omp parallel for schedule(static)
-      for (std::ptrdiff_t i = 0; i < sz; ++i) accum[i] += coeff * t_cur[i];
+      kern.axpy(coeff.real(), coeff.imag(), t_cur, accum, d);
       consecutive_small = 0;
     } else if (static_cast<double>(k) > az) {
       // Past the turning point k ~ |z| the Bessel tail decays
@@ -186,10 +187,7 @@ void ChebyshevMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
     }
     // T_{k+1} = 2 H~ T_k - T_{k-1}.
     op_->apply(t_cur, t_next);
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t i = 0; i < sz; ++i) {
-      t_next[i] = 2.0 * inv_r * t_next[i] - t_prev[i];
-    }
+    kern.cheb_recur(t_next, t_prev, 2.0 * inv_r, d);
     std::swap(t_prev, t_cur);
     std::swap(t_cur, t_next);
     phase *= unit;
@@ -198,10 +196,7 @@ void ChebyshevMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
                  "ChebyshevMixer: expansion did not converge within "
                  "max_degree — increase the cap or the tolerance");
   last_degree_.store(k, std::memory_order_relaxed);
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < sz; ++i) {
-    psi[static_cast<index_t>(i)] = accum[i];
-  }
+  kern.copy_scale(psi.data(), accum, 1.0, d);
 }
 
 void ChebyshevMixer::apply_ham(const cvec& in, cvec& out,

@@ -80,24 +80,13 @@ void EigenMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
   FASTQAOA_OBS_COUNT("mixers.eigen.exp_applies", 1);
   FASTQAOA_OBS_TIMED("mixers.eigen.exp");
   scratch.resize(dim());
-  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(dim());
   if (real_) {
     linalg::gemv_transpose(real_->vectors, psi, scratch);  // V^T psi
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t i = 0; i < n; ++i) {
-      const double phase = -beta * real_->eigenvalues[static_cast<index_t>(i)];
-      scratch[static_cast<index_t>(i)] *= cplx{std::cos(phase),
-                                               std::sin(phase)};
-    }
+    linalg::apply_diag_phase(scratch, real_->eigenvalues, beta);
     linalg::gemv(real_->vectors, scratch, psi);  // V (...)
   } else {
     linalg::gemv_adjoint(herm_->vectors, psi, scratch);  // V^H psi
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t i = 0; i < n; ++i) {
-      const double phase = -beta * herm_->eigenvalues[static_cast<index_t>(i)];
-      scratch[static_cast<index_t>(i)] *= cplx{std::cos(phase),
-                                               std::sin(phase)};
-    }
+    linalg::apply_diag_phase(scratch, herm_->eigenvalues, beta);
     linalg::gemv(herm_->vectors, scratch, psi);
   }
 }
@@ -108,22 +97,13 @@ void EigenMixer::apply_ham(const cvec& in, cvec& out, cvec& scratch) const {
   FASTQAOA_OBS_TIMED("mixers.eigen.ham");
   scratch.resize(dim());
   out.resize(dim());
-  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(dim());
   if (real_) {
     linalg::gemv_transpose(real_->vectors, in, scratch);
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t i = 0; i < n; ++i) {
-      scratch[static_cast<index_t>(i)] *=
-          real_->eigenvalues[static_cast<index_t>(i)];
-    }
+    linalg::diag_mul(scratch, real_->eigenvalues, 1.0);
     linalg::gemv(real_->vectors, scratch, out);
   } else {
     linalg::gemv_adjoint(herm_->vectors, in, scratch);
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t i = 0; i < n; ++i) {
-      scratch[static_cast<index_t>(i)] *=
-          herm_->eigenvalues[static_cast<index_t>(i)];
-    }
+    linalg::diag_mul(scratch, herm_->eigenvalues, 1.0);
     linalg::gemv(herm_->vectors, scratch, out);
   }
 }

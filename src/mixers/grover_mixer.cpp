@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/kernels/kernels.hpp"
 
 namespace fastqaoa {
 
@@ -15,40 +16,22 @@ void GroverMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
   FASTQAOA_CHECK(psi.size() == dim_, "GroverMixer: state size mismatch");
   // <psi0|psi> * sqrt(dim) = sum_i psi_i; fold the two 1/sqrt(dim) factors
   // of the projector into a single 1/dim.
-  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(dim_);
-  double sum_re = 0.0;
-  double sum_im = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : sum_re, sum_im)
-  for (std::ptrdiff_t i = 0; i < n; ++i) {
-    sum_re += psi[static_cast<index_t>(i)].real();
-    sum_im += psi[static_cast<index_t>(i)].imag();
-  }
+  const linalg::kernels::KernelBackend& k = linalg::kernels::active();
+  const linalg::kernels::CplxSum sum = k.vsum(psi.data(), dim_);
   const cplx factor = (cplx{std::cos(beta), -std::sin(beta)} - 1.0) *
-                      cplx{sum_re, sum_im} /
+                      cplx{sum.re, sum.im} /
                       static_cast<double>(dim_);
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < n; ++i) {
-    psi[static_cast<index_t>(i)] += factor;
-  }
+  k.add_const(psi.data(), factor.real(), factor.imag(), dim_);
 }
 
 void GroverMixer::apply_ham(const cvec& in, cvec& out, cvec& scratch) const {
   (void)scratch;
   FASTQAOA_CHECK(in.size() == dim_, "GroverMixer: state size mismatch");
-  out.assign(dim_, cplx{0.0, 0.0});
-  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(dim_);
-  double sum_re = 0.0;
-  double sum_im = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : sum_re, sum_im)
-  for (std::ptrdiff_t i = 0; i < n; ++i) {
-    sum_re += in[static_cast<index_t>(i)].real();
-    sum_im += in[static_cast<index_t>(i)].imag();
-  }
-  const cplx amp = cplx{sum_re, sum_im} / static_cast<double>(dim_);
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < n; ++i) {
-    out[static_cast<index_t>(i)] = amp;
-  }
+  out.resize(dim_);
+  const linalg::kernels::KernelBackend& k = linalg::kernels::active();
+  const linalg::kernels::CplxSum sum = k.vsum(in.data(), dim_);
+  const cplx amp = cplx{sum.re, sum.im} / static_cast<double>(dim_);
+  k.fill(out.data(), amp.real(), amp.imag(), dim_);
 }
 
 }  // namespace fastqaoa

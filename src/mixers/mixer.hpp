@@ -45,6 +45,19 @@ class Mixer {
   /// `out`.
   virtual void apply_ham(const cvec& in, cvec& out, cvec& scratch) const = 0;
 
+  /// Fused whole-round step: psi <- e^{-i beta H_M} diag(e^{-i gamma
+  /// phase}) psi. The default composes apply_diag_phase + apply_exp;
+  /// mixers whose diagonal frame lets the phase ride along for free
+  /// (XMixer folds it into the first WHT pre-pass) override it.
+  virtual void apply_phase_exp(cvec& psi, const dvec& phase, double gamma,
+                               double beta, cvec& scratch) const;
+
+  /// apply_phase_exp followed by <psi| diag(obj) |psi> — the final QAOA
+  /// round plus the expectation epilogue, fused where the mixer can.
+  virtual double apply_phase_exp_expect(cvec& psi, const dvec& phase,
+                                        double gamma, double beta,
+                                        const dvec& obj, cvec& scratch) const;
+
   /// The uniform superposition the paper defaults |psi0> to, expressed on
   /// this mixer's space. Overridable for mixers whose natural ground state
   /// differs; the default is 1/sqrt(dim) on every feasible state.

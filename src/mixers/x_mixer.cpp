@@ -5,6 +5,7 @@
 #include "bits/bitops.hpp"
 #include "bits/combinatorics.hpp"
 #include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
 #include "linalg/wht.hpp"
 
 namespace fastqaoa {
@@ -108,17 +109,32 @@ void XMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
   (void)scratch;  // WHT is in-place; no workspace needed.
   FASTQAOA_CHECK(psi.size() == dvals_.size(), "XMixer: state size mismatch");
   linalg::wht_unnormalized(psi);
-  // Fused phase + the single 1/2^n normalization of the two unnormalized
-  // transforms.
+  // The second transform absorbs the mixer phase — and the single 1/2^n
+  // normalization of the two unnormalized WHTs — into its pre-pass.
   const double inv = 1.0 / static_cast<double>(dvals_.size());
-  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(psi.size());
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < sz; ++i) {
-    const double phase = -beta * dvals_[static_cast<index_t>(i)];
-    psi[static_cast<index_t>(i)] *=
-        cplx{std::cos(phase) * inv, std::sin(phase) * inv};
-  }
-  linalg::wht_unnormalized(psi);
+  linalg::phase_wht(psi, dvals_, beta, inv);
+}
+
+void XMixer::apply_phase_exp(cvec& psi, const dvec& phase, double gamma,
+                             double beta, cvec& scratch) const {
+  (void)scratch;
+  FASTQAOA_CHECK(psi.size() == dvals_.size(), "XMixer: state size mismatch");
+  // Phase separator rides the first WHT's pre-pass; mixer phase and 1/2^n
+  // ride the second's. Two streams over the vector for the whole round.
+  const double inv = 1.0 / static_cast<double>(dvals_.size());
+  linalg::phase_wht(psi, phase, gamma, 1.0);
+  linalg::phase_wht(psi, dvals_, beta, inv);
+}
+
+double XMixer::apply_phase_exp_expect(cvec& psi, const dvec& phase,
+                                      double gamma, double beta,
+                                      const dvec& obj, cvec& scratch) const {
+  (void)scratch;
+  FASTQAOA_CHECK(psi.size() == dvals_.size(), "XMixer: state size mismatch");
+  FASTQAOA_CHECK(obj.size() == dvals_.size(), "XMixer: objective mismatch");
+  const double inv = 1.0 / static_cast<double>(dvals_.size());
+  linalg::phase_wht(psi, phase, gamma, 1.0);
+  return linalg::phase_wht_expect(psi, dvals_, beta, inv, obj);
 }
 
 void XMixer::apply_ham(const cvec& in, cvec& out, cvec& scratch) const {
@@ -127,11 +143,7 @@ void XMixer::apply_ham(const cvec& in, cvec& out, cvec& scratch) const {
   out = in;
   linalg::wht_unnormalized(out);
   const double inv = 1.0 / static_cast<double>(dvals_.size());
-  const std::ptrdiff_t sz = static_cast<std::ptrdiff_t>(out.size());
-#pragma omp parallel for schedule(static)
-  for (std::ptrdiff_t i = 0; i < sz; ++i) {
-    out[static_cast<index_t>(i)] *= dvals_[static_cast<index_t>(i)] * inv;
-  }
+  linalg::diag_mul(out, dvals_, inv);
   linalg::wht_unnormalized(out);
 }
 

@@ -47,6 +47,15 @@ class XMixer final : public Mixer {
 
   void apply_exp(cvec& psi, double beta, cvec& scratch) const override;
   void apply_ham(const cvec& in, cvec& out, cvec& scratch) const override;
+  /// Overridden to fold the phase-separator sweep into the first WHT's
+  /// cache-blocked pre-pass (one fewer stream over the statevector).
+  void apply_phase_exp(cvec& psi, const dvec& phase, double gamma,
+                       double beta, cvec& scratch) const override;
+  /// Overridden to additionally fuse the expectation into the last WHT's
+  /// final butterfly pass.
+  double apply_phase_exp_expect(cvec& psi, const dvec& phase, double gamma,
+                                double beta, const dvec& obj,
+                                cvec& scratch) const override;
 
  private:
   XMixer(int n, std::vector<PauliXTerm> terms, dvec dvals, std::string name);

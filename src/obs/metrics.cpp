@@ -58,6 +58,7 @@ thread_local MetricsSink* t_active_sink = nullptr;
 struct GlobalSink {
   std::mutex mutex;
   MetricsSink sink;
+  std::map<std::string, std::string> labels;
 };
 
 GlobalSink& global_sink() {
@@ -110,13 +111,27 @@ MetricId timer_id(std::string_view name) {
 }
 
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.labels) labels[name] = value;
   for (const auto& [name, count] : other.counters) counters[name] += count;
   for (const auto& [name, stat] : other.timings) timings[name].merge(stat);
 }
 
 std::string MetricsSnapshot::to_json() const {
   std::ostringstream os;
-  os << "{\"counters\":{";
+  os << '{';
+  if (!labels.empty()) {
+    os << "\"labels\":{";
+    bool lfirst = true;
+    for (const auto& [name, value] : labels) {
+      if (!lfirst) os << ',';
+      lfirst = false;
+      append_json_escaped(os, name);
+      os << ':';
+      append_json_escaped(os, value);
+    }
+    os << "},";
+  }
+  os << "\"counters\":{";
   bool first = true;
   for (const auto& [name, count] : counters) {
     if (!first) os << ',';
@@ -217,13 +232,21 @@ void time_global(MetricId id, double seconds) {
 MetricsSnapshot global_snapshot() {
   GlobalSink& g = global_sink();
   std::lock_guard<std::mutex> lock(g.mutex);
-  return g.sink.snapshot();
+  MetricsSnapshot snap = g.sink.snapshot();
+  snap.labels = g.labels;
+  return snap;
 }
 
 void reset_global() {
   GlobalSink& g = global_sink();
   std::lock_guard<std::mutex> lock(g.mutex);
-  g.sink.clear();
+  g.sink.clear();  // labels survive: they are configuration, not counts
+}
+
+void set_global_label(std::string_view name, std::string_view value) {
+  GlobalSink& g = global_sink();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.labels[std::string(name)] = std::string(value);
 }
 
 }  // namespace fastqaoa::obs

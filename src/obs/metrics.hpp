@@ -63,14 +63,19 @@ struct TimingStat {
 /// Point-in-time view of a sink (or of the global aggregate) keyed by name.
 /// Mergeable, and serializable to a stable (sorted-key) JSON object.
 struct MetricsSnapshot {
+  /// Process facts attached to the snapshot (e.g. kernel_backend). Labels
+  /// describe configuration, not accumulation: merge() overwrites ours with
+  /// the other side's values instead of combining them.
+  std::map<std::string, std::string> labels;
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, TimingStat> timings;
 
   void merge(const MetricsSnapshot& other);
   [[nodiscard]] bool empty() const noexcept {
-    return counters.empty() && timings.empty();
+    return labels.empty() && counters.empty() && timings.empty();
   }
-  /// {"counters": {name: count, ...},
+  /// {"labels": {name: value, ...},
+  ///  "counters": {name: count, ...},
   ///  "timings": {name: {"count": n, "total_s": t, "min_s": a, "max_s": b}}}
   [[nodiscard]] std::string to_json() const;
 };
@@ -153,6 +158,11 @@ void count_global(MetricId id, std::uint64_t delta = 1);
 void time_global(MetricId id, double seconds);
 [[nodiscard]] MetricsSnapshot global_snapshot();
 void reset_global();
+
+/// Attach a label to every global snapshot (the kernel dispatch layer sets
+/// "kernel_backend" here). Labels describe process configuration and survive
+/// reset_global(), which clears accumulated counts only.
+void set_global_label(std::string_view name, std::string_view value);
 
 }  // namespace fastqaoa::obs
 

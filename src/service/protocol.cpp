@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "linalg/kernels/kernels.hpp"
 
 namespace fastqaoa::service {
 
@@ -191,6 +192,7 @@ Json stats_to_json(const ServiceStats& stats) {
   j.set("cancelled", Json(stats.cancelled));
   j.set("rejected", Json(stats.rejected));
   j.set("draining", Json(stats.draining));
+  j.set("kernel_backend", Json(linalg::kernels::active_name()));
   j.set("plan_cache", std::move(cache));
   return j;
 }

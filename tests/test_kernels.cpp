@@ -1,0 +1,435 @@
+// Backend-parity suite for the dispatched kernel layer (linalg/kernels/).
+//
+// Every backend the CPU supports is run against the scalar reference on
+// randomized inputs: results must agree to 1e-13 relative. On top of the
+// raw-kernel properties, each backend gets an adjoint-vs-finite-difference
+// gradient check through the full engine, and a 1-vs-4-thread bit-identity
+// check of the fixed-order reductions (the determinism contract of
+// kernels.hpp).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <random>
+#include <vector>
+
+#include "autodiff/adjoint.hpp"
+#include "common/threading.hpp"
+#include "core/qaoa.hpp"
+#include "linalg/kernels/kernels.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+
+namespace fastqaoa {
+namespace {
+
+namespace kn = linalg::kernels;
+
+constexpr double kParityTol = 1e-13;
+
+/// RAII: select a backend for one test, restore auto-detection after.
+class BackendGuard {
+ public:
+  explicit BackendGuard(const std::string& name) {
+    ok_ = kn::select(name);
+  }
+  ~BackendGuard() { kn::select("auto"); }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = false;
+};
+
+std::vector<std::string> simd_backends() {
+  std::vector<std::string> out;
+  for (const std::string& name : kn::available()) {
+    if (name != "scalar") out.push_back(name);
+  }
+  return out;
+}
+
+cvec random_state(std::mt19937_64& gen, index_t n) {
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  cvec v(n);
+  for (auto& z : v) z = cplx{u(gen), u(gen)};
+  return v;
+}
+
+std::vector<double> random_diag(std::mt19937_64& gen, index_t n,
+                                double span = 4.0) {
+  std::uniform_real_distribution<double> u(-span, span);
+  std::vector<double> d(n);
+  for (auto& x : d) x = u(gen);
+  return d;
+}
+
+double rel_err(double got, double want) {
+  const double scale = std::max(1.0, std::abs(want));
+  return std::abs(got - want) / scale;
+}
+
+double state_rel_err(const cvec& got, const cvec& want) {
+  double num = 0.0;
+  double den = 1.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    num = std::max(num, std::abs(got[i] - want[i]));
+    den = std::max(den, std::abs(want[i]));
+  }
+  return num / den;
+}
+
+/// Sizes that cross the serial/parallel thresholds of every kernel family
+/// (WHT blocks at 4096 complex, elementwise at 8192, reductions at 8192).
+const index_t kSizes[] = {1, 2, 8, 64, 1024, 1 << 14};
+
+TEST(Kernels, ScalarBackendAlwaysAvailable) {
+  const auto names = kn::available();
+  ASSERT_FALSE(names.empty());
+  EXPECT_NE(std::find(names.begin(), names.end(), "scalar"), names.end());
+  BackendGuard g("scalar");
+  ASSERT_TRUE(g.ok());
+  EXPECT_STREQ(kn::active_name(), "scalar");
+  EXPECT_STREQ(kn::active().name, "scalar");
+}
+
+TEST(Kernels, SelectRejectsUnknownName) {
+  EXPECT_FALSE(kn::select("not-a-backend"));
+  // The failed select must leave the active table untouched and usable.
+  EXPECT_NE(kn::active_name(), nullptr);
+  EXPECT_TRUE(kn::select("auto"));
+}
+
+TEST(Kernels, WhtFamilyMatchesScalarReference) {
+  std::mt19937_64 gen(7);
+  for (const std::string& name : simd_backends()) {
+    for (const index_t n : kSizes) {
+      const cvec base = random_state(gen, n);
+      const auto d = random_diag(gen, n);
+      const auto obj = random_diag(gen, n, 2.0);
+      const double angle = 0.83;
+      const double scale = 1.0 / static_cast<double>(n);
+
+      // Scalar reference results.
+      ASSERT_TRUE(kn::select("scalar"));
+      cvec ref_wht = base;
+      kn::active().wht(ref_wht.data(), n);
+      cvec ref_pw = base;
+      kn::active().phase_wht(ref_pw.data(), d.data(), angle, scale, n);
+      cvec ref_sc = base;
+      kn::active().phase_wht(ref_sc.data(), nullptr, 0.0, scale, n);
+      cvec ref_we = base;
+      const double ref_e =
+          kn::active().wht_expect(ref_we.data(), obj.data(), n);
+      cvec ref_pwe = base;
+      const double ref_pe = kn::active().phase_wht_expect(
+          ref_pwe.data(), d.data(), angle, scale, obj.data(), n);
+
+      BackendGuard g(name);
+      ASSERT_TRUE(g.ok());
+      cvec got = base;
+      kn::active().wht(got.data(), n);
+      EXPECT_LT(state_rel_err(got, ref_wht), kParityTol)
+          << name << " wht n=" << n;
+
+      got = base;
+      kn::active().phase_wht(got.data(), d.data(), angle, scale, n);
+      EXPECT_LT(state_rel_err(got, ref_pw), kParityTol)
+          << name << " phase_wht n=" << n;
+
+      got = base;
+      kn::active().phase_wht(got.data(), nullptr, 0.0, scale, n);
+      EXPECT_LT(state_rel_err(got, ref_sc), kParityTol)
+          << name << " phase_wht(scale-only) n=" << n;
+
+      got = base;
+      const double e = kn::active().wht_expect(got.data(), obj.data(), n);
+      EXPECT_LT(state_rel_err(got, ref_we), kParityTol)
+          << name << " wht_expect state n=" << n;
+      EXPECT_LT(rel_err(e, ref_e), kParityTol)
+          << name << " wht_expect value n=" << n;
+
+      got = base;
+      const double pe = kn::active().phase_wht_expect(
+          got.data(), d.data(), angle, scale, obj.data(), n);
+      EXPECT_LT(state_rel_err(got, ref_pwe), kParityTol)
+          << name << " phase_wht_expect state n=" << n;
+      EXPECT_LT(rel_err(pe, ref_pe), kParityTol)
+          << name << " phase_wht_expect value n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, ElementwiseMatchesScalarReference) {
+  std::mt19937_64 gen(11);
+  for (const std::string& name : simd_backends()) {
+    for (const index_t n : kSizes) {
+      const cvec base = random_state(gen, n);
+      const cvec other = random_state(gen, n);
+      const auto d = random_diag(gen, n);
+
+      struct Case {
+        const char* label;
+        cvec ref;
+        cvec got;
+      };
+      std::vector<Case> cases;
+      // Run each elementwise kernel once per backend; collect pairs.
+      for (int which = 0; which < 2; ++which) {
+        if (which == 0) {
+          ASSERT_TRUE(kn::select("scalar"));
+        } else {
+          ASSERT_TRUE(kn::select(name));
+        }
+        const kn::KernelBackend& k = kn::active();
+        auto out = [&](const char* label) -> cvec& {
+          if (which == 0) {
+            cases.push_back({label, base, base});
+            return cases.back().ref;
+          }
+          for (auto& c : cases) {
+            if (std::string_view(c.label) == label) return c.got;
+          }
+          ADD_FAILURE() << "missing case " << label;
+          return cases.back().got;
+        };
+        {
+          cvec& v = out("diag_phase");
+          k.diag_phase(v.data(), d.data(), 1.7, n);
+        }
+        {
+          cvec& v = out("diag_mul");
+          k.diag_mul(v.data(), d.data(), 0.5, n);
+        }
+        {
+          cvec& v = out("scale");
+          k.scale(v.data(), 0.8, -0.6, n);
+        }
+        {
+          cvec& v = out("scale_real");
+          k.scale_real(v.data(), 1.0 / 3.0, n);
+        }
+        {
+          cvec& v = out("copy_scale");
+          k.copy_scale(v.data(), other.data(), 0.25, n);
+        }
+        {
+          cvec& v = out("fill");
+          k.fill(v.data(), 0.125, -2.0, n);
+        }
+        {
+          cvec& v = out("add_const");
+          k.add_const(v.data(), -0.3, 0.7, n);
+        }
+        {
+          cvec& v = out("axpy");
+          k.axpy(0.9, -1.1, other.data(), v.data(), n);
+        }
+        {
+          cvec& v = out("cheb_recur");
+          k.cheb_recur(v.data(), other.data(), 1.9, n);
+        }
+      }
+      kn::select("auto");
+      for (const auto& c : cases) {
+        EXPECT_LT(state_rel_err(c.got, c.ref), kParityTol)
+            << name << " " << c.label << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Kernels, ReductionsMatchScalarReference) {
+  std::mt19937_64 gen(13);
+  for (const std::string& name : simd_backends()) {
+    for (const index_t n : kSizes) {
+      const cvec x = random_state(gen, n);
+      const cvec y = random_state(gen, n);
+      const auto d = random_diag(gen, n);
+
+      ASSERT_TRUE(kn::select("scalar"));
+      const kn::KernelBackend& s = kn::active();
+      const kn::CplxSum ref_dot = s.dot(x.data(), y.data(), n);
+      const double ref_nsq = s.norm_sq(x.data(), n);
+      const kn::CplxSum ref_vsum = s.vsum(x.data(), n);
+      const double ref_de = s.diag_expectation(d.data(), x.data(), n);
+      const double ref_bi =
+          s.diag_bracket_imag(x.data(), d.data(), y.data(), n);
+      const double ref_mad = s.max_abs_diff(x.data(), y.data(), n);
+
+      BackendGuard g(name);
+      ASSERT_TRUE(g.ok());
+      const kn::KernelBackend& k = kn::active();
+      const kn::CplxSum got_dot = k.dot(x.data(), y.data(), n);
+      EXPECT_LT(rel_err(got_dot.re, ref_dot.re), kParityTol) << name << n;
+      EXPECT_LT(rel_err(got_dot.im, ref_dot.im), kParityTol) << name << n;
+      EXPECT_LT(rel_err(k.norm_sq(x.data(), n), ref_nsq), kParityTol)
+          << name << n;
+      const kn::CplxSum got_vsum = k.vsum(x.data(), n);
+      EXPECT_LT(rel_err(got_vsum.re, ref_vsum.re), kParityTol) << name << n;
+      EXPECT_LT(rel_err(got_vsum.im, ref_vsum.im), kParityTol) << name << n;
+      EXPECT_LT(rel_err(k.diag_expectation(d.data(), x.data(), n), ref_de),
+                kParityTol)
+          << name << n;
+      EXPECT_LT(
+          rel_err(k.diag_bracket_imag(x.data(), d.data(), y.data(), n),
+                  ref_bi),
+          kParityTol)
+          << name << n;
+      EXPECT_LT(rel_err(k.max_abs_diff(x.data(), y.data(), n), ref_mad),
+                kParityTol)
+          << name << n;
+    }
+  }
+}
+
+TEST(Kernels, GemvMatchesScalarReference) {
+  std::mt19937_64 gen(17);
+  for (const std::string& name : simd_backends()) {
+    for (const index_t rows : {3, 64, 300}) {
+      const index_t cols = rows + 5;
+      const auto a_re = random_diag(gen, rows * cols, 1.0);
+      const cvec a_cx = random_state(gen, rows * cols);
+      const cvec x_c = random_state(gen, cols);
+      const cvec x_r = random_state(gen, rows);
+
+      ASSERT_TRUE(kn::select("scalar"));
+      const kn::KernelBackend& s = kn::active();
+      cvec ref_rv(rows), ref_rt(cols), ref_cv(rows), ref_ca(cols);
+      s.gemv_real(a_re.data(), rows, cols, x_c.data(), ref_rv.data());
+      s.gemv_real_t(a_re.data(), rows, cols, x_r.data(), ref_rt.data());
+      s.gemv_cplx(a_cx.data(), rows, cols, x_c.data(), ref_cv.data());
+      s.gemv_cplx_adj(a_cx.data(), rows, cols, x_r.data(), ref_ca.data());
+
+      BackendGuard g(name);
+      ASSERT_TRUE(g.ok());
+      const kn::KernelBackend& k = kn::active();
+      cvec got_rv(rows), got_rt(cols), got_cv(rows), got_ca(cols);
+      k.gemv_real(a_re.data(), rows, cols, x_c.data(), got_rv.data());
+      k.gemv_real_t(a_re.data(), rows, cols, x_r.data(), got_rt.data());
+      k.gemv_cplx(a_cx.data(), rows, cols, x_c.data(), got_cv.data());
+      k.gemv_cplx_adj(a_cx.data(), rows, cols, x_r.data(), got_ca.data());
+      EXPECT_LT(state_rel_err(got_rv, ref_rv), kParityTol) << name << rows;
+      EXPECT_LT(state_rel_err(got_rt, ref_rt), kParityTol) << name << rows;
+      EXPECT_LT(state_rel_err(got_cv, ref_cv), kParityTol) << name << rows;
+      EXPECT_LT(state_rel_err(got_ca, ref_ca), kParityTol) << name << rows;
+    }
+  }
+}
+
+TEST(Kernels, AdjointGradientMatchesFiniteDifferencePerBackend) {
+  // Full-engine property: the adjoint gradient agrees with central finite
+  // differences of evaluate() on every backend.
+  for (const std::string& name : kn::available()) {
+    BackendGuard g(name);
+    ASSERT_TRUE(g.ok());
+
+    Rng rng(21);
+    const int n = 6;
+    Graph graph = erdos_renyi(n, 0.5, rng);
+    dvec table = tabulate(StateSpace::full(n),
+                          [&graph](state_t x) { return maxcut(graph, x); });
+    XMixer mixer = XMixer::transverse_field(n);
+    Qaoa engine(mixer, table, 2);
+
+    std::vector<double> angles = {0.37, -0.82, 0.55, 1.21};
+    std::vector<double> grad(4);
+    AdjointDifferentiator diff(engine);
+    diff.value_and_gradient_packed(angles, grad);
+
+    const double h = 1e-6;
+    for (std::size_t j = 0; j < angles.size(); ++j) {
+      std::vector<double> plus = angles;
+      std::vector<double> minus = angles;
+      plus[j] += h;
+      minus[j] -= h;
+      const double fd =
+          (engine.run_packed(plus) - engine.run_packed(minus)) / (2.0 * h);
+      EXPECT_NEAR(grad[j], fd, 1e-5)
+          << name << " angle index " << j;
+    }
+  }
+}
+
+TEST(Kernels, ThreadCountInvariancePerBackend) {
+  // The determinism contract: fixed-order reductions make every kernel
+  // bit-identical at 1 thread and 4 threads. Sizes sit above every serial
+  // threshold so the parallel paths actually run.
+  std::mt19937_64 gen(29);
+  const index_t n = 1 << 15;
+  const cvec base = random_state(gen, n);
+  const cvec other = random_state(gen, n);
+  const auto d = random_diag(gen, n);
+  const auto obj = random_diag(gen, n, 2.0);
+
+  for (const std::string& name : kn::available()) {
+    BackendGuard g(name);
+    ASSERT_TRUE(g.ok());
+    const kn::KernelBackend& k = kn::active();
+
+    struct Results {
+      cvec pwe_state;
+      double pwe = 0.0, nsq = 0.0, de = 0.0, bi = 0.0, mad = 0.0;
+      kn::CplxSum dot{}, vsum{};
+    };
+    auto run_all = [&](int threads) {
+      set_num_threads(threads);
+      Results r;
+      r.pwe_state = base;
+      r.pwe = k.phase_wht_expect(r.pwe_state.data(), d.data(), 0.73,
+                                 1.0 / static_cast<double>(n), obj.data(),
+                                 n);
+      r.nsq = k.norm_sq(base.data(), n);
+      r.de = k.diag_expectation(d.data(), base.data(), n);
+      r.bi = k.diag_bracket_imag(base.data(), d.data(), other.data(), n);
+      r.mad = k.max_abs_diff(base.data(), other.data(), n);
+      r.dot = k.dot(base.data(), other.data(), n);
+      r.vsum = k.vsum(base.data(), n);
+      return r;
+    };
+
+    const int restore = num_threads();
+    const Results one = run_all(1);
+    const Results four = run_all(4);
+    set_num_threads(restore);
+
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(one.pwe_state[i], four.pwe_state[i])
+          << name << " state index " << i;
+    }
+    EXPECT_EQ(one.pwe, four.pwe) << name;
+    EXPECT_EQ(one.nsq, four.nsq) << name;
+    EXPECT_EQ(one.de, four.de) << name;
+    EXPECT_EQ(one.bi, four.bi) << name;
+    EXPECT_EQ(one.mad, four.mad) << name;
+    EXPECT_EQ(one.dot.re, four.dot.re) << name;
+    EXPECT_EQ(one.dot.im, four.dot.im) << name;
+    EXPECT_EQ(one.vsum.re, four.vsum.re) << name;
+    EXPECT_EQ(one.vsum.im, four.vsum.im) << name;
+  }
+}
+
+TEST(Kernels, EvaluateParityAcrossBackendsThroughEngine) {
+  // End-to-end: the same plan evaluated on every backend agrees to 1e-13.
+  Rng rng(31);
+  const int n = 8;
+  Graph graph = erdos_renyi(n, 0.5, rng);
+  dvec table = tabulate(StateSpace::full(n),
+                        [&graph](state_t x) { return maxcut(graph, x); });
+  XMixer mixer = XMixer::transverse_field(n);
+  std::vector<double> angles = {0.4, 0.9, 1.3, 0.7};
+
+  ASSERT_TRUE(kn::select("scalar"));
+  Qaoa ref_engine(mixer, table, 2);
+  const double ref = ref_engine.run_packed(angles);
+  for (const std::string& name : simd_backends()) {
+    BackendGuard g(name);
+    ASSERT_TRUE(g.ok());
+    Qaoa engine(mixer, table, 2);
+    EXPECT_LT(rel_err(engine.run_packed(angles), ref), kParityTol) << name;
+  }
+  kn::select("auto");
+}
+
+}  // namespace
+}  // namespace fastqaoa

@@ -11,6 +11,7 @@
 //            [--strategy=iterative|random|grid] [--restarts=50] [--hops=8]
 //            [--minimize] [--shots=0] [--checkpoint=path] [--mixer-cache=path]
 //            [--table-cache=path] [--threads=N] [--starts=M]
+//            [--backend=auto|scalar|avx2|avx512]
 //            [--deadline=seconds] [--max-evals=N]
 //            [--metrics=out.json] [--trace=out.trace.json] [--progress]
 //
@@ -45,6 +46,7 @@
 #include "common/timer.hpp"
 #include "core/qaoa.hpp"
 #include "io/serialize.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "mixers/eigen_mixer.hpp"
 #include "mixers/grover_mixer.hpp"
 #include "mixers/x_mixer.hpp"
@@ -110,8 +112,8 @@ bool has_flag(int argc, char** argv, const char* flag) {
                "[--strategy=iterative|random|grid] [--restarts=50] "
                "[--hops=8] [--minimize] [--shots=0] [--checkpoint=path] "
                "[--mixer-cache=path] [--table-cache=path] "
-               "[--threads=N] [--starts=M] "
-               "[--deadline=seconds] [--max-evals=N] "
+               "[--threads=N] [--starts=M] [--backend=auto|scalar|avx2|"
+               "avx512] [--deadline=seconds] [--max-evals=N] "
                "[--metrics=out.json] [--trace=out.trace.json] "
                "[--progress]\n");
   std::exit(2);
@@ -148,6 +150,20 @@ int main(int argc, char** argv) {
   // inner kernels (they share the OpenMP default team size).
   const int threads = static_cast<int>(int_option(argc, argv, "--threads", 0));
   if (threads > 0) set_num_threads(threads);
+
+  // Kernel backend override (beats the FASTQAOA_KERNEL env var).
+  const std::string backend = string_option(argc, argv, "--backend", "");
+  if (!backend.empty() && !linalg::kernels::select(backend)) {
+    usage_error("unknown or unsupported --backend '" + backend +
+                "' (available: " + [] {
+                  std::string s;
+                  for (const auto& b : linalg::kernels::available()) {
+                    if (!s.empty()) s += ", ";
+                    s += b;
+                  }
+                  return s;
+                }() + ")");
+  }
 
   const std::string metrics_path =
       string_option(argc, argv, "--metrics", "");

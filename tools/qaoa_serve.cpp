@@ -26,6 +26,7 @@
 #include <cstring>
 #include <string>
 
+#include "linalg/kernels/kernels.hpp"
 #include "service/server.hpp"
 
 namespace {
@@ -61,6 +62,7 @@ bool has_flag(int argc, char** argv, const char* flag) {
   std::fprintf(stderr,
                "usage: qaoa_serve --socket=PATH [--tcp=PORT] [--workers=2] "
                "[--queue=64] [--cache-bytes=N] [--cache-dir=DIR] "
+               "[--backend=auto|scalar|avx2|avx512] "
                "[--metrics=out.json] [--quiet]\n");
   std::exit(2);
 }
@@ -78,6 +80,11 @@ int main(int argc, char** argv) {
   options.tcp_port =
       static_cast<int>(int_option(argc, argv, "--tcp", -1));
   options.metrics_path = string_option(argc, argv, "--metrics", "");
+  // Kernel backend override (beats the FASTQAOA_KERNEL env var).
+  const std::string backend = string_option(argc, argv, "--backend", "");
+  if (!backend.empty() && !linalg::kernels::select(backend)) {
+    usage_error("unknown or unsupported --backend '" + backend + "'");
+  }
   options.verbose = !has_flag(argc, argv, "--quiet");
 
   options.service.workers =
