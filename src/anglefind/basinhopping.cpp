@@ -1,5 +1,6 @@
 #include "anglefind/basinhopping.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -8,11 +9,17 @@
 namespace fastqaoa {
 
 OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
-                       Rng& rng, const BasinHoppingOptions& opt) {
+                       Rng& rng, const BasinHoppingOptions& opt,
+                       const BatchObjective* batch_values) {
   FASTQAOA_CHECK(!x0.empty(), "basinhopping: empty starting point");
   FASTQAOA_CHECK(opt.hops >= 1, "basinhopping: need at least one hop");
+  FASTQAOA_CHECK(opt.proposals >= 1, "basinhopping: need proposals >= 1");
   FASTQAOA_OBS_TIMED("anglefind.basinhopping");
   FASTQAOA_TRACE_SPAN("basinhopping");
+  // Batched proposals need a batch evaluator; without one the hop falls
+  // back to the classic single-proposal shape.
+  const int proposals =
+      batch_values != nullptr && *batch_values ? opt.proposals : 1;
 
   // Initial local minimization from the seed point.
   OptResult best = bfgs_minimize(fn, std::move(x0), opt.local);
@@ -46,8 +53,36 @@ OptResult basinhopping(const GradObjective& fn, std::vector<double> x0,
     }
     FASTQAOA_OBS_COUNT("anglefind.basinhopping.hops", 1);
     FASTQAOA_TRACE_SPAN("basinhop");
-    for (std::size_t i = 0; i < current.size(); ++i) {
-      trial[i] = current[i] + rng.uniform(-step, step);
+    if (proposals == 1) {
+      for (std::size_t i = 0; i < current.size(); ++i) {
+        trial[i] = current[i] + rng.uniform(-step, step);
+      }
+    } else {
+      // Draw all P proposals serially (fixed order, one stream), score them
+      // in one batched evaluation, and spend the local minimization on the
+      // most promising basin only. Argmin ties break on the draw index, so
+      // the chosen trial is a pure function of the RNG stream.
+      const std::size_t dims = current.size();
+      std::vector<double> points(static_cast<std::size_t>(proposals) * dims);
+      for (int j = 0; j < proposals; ++j) {
+        for (std::size_t i = 0; i < dims; ++i) {
+          points[static_cast<std::size_t>(j) * dims + i] =
+              current[i] + rng.uniform(-step, step);
+        }
+      }
+      std::vector<double> values(static_cast<std::size_t>(proposals));
+      (*batch_values)(points, values);
+      evals += static_cast<std::size_t>(proposals);
+      int pick = 0;
+      for (int j = 1; j < proposals; ++j) {
+        if (values[static_cast<std::size_t>(j)] <
+            values[static_cast<std::size_t>(pick)]) {
+          pick = j;
+        }
+      }
+      const double* chosen = points.data() + static_cast<std::size_t>(pick) *
+                                                 dims;
+      std::copy(chosen, chosen + dims, trial.begin());
     }
     OptResult local = bfgs_minimize(fn, trial, opt.local);
     evals += local.evaluations;

@@ -19,6 +19,14 @@ using GradObjective =
 /// Gradient-free objective.
 using PlainObjective = std::function<double(std::span<const double>)>;
 
+/// Batched gradient-free objective: `points` holds out.size() lane-major
+/// packed angle vectors (lane l at points[l*width ..)), out[l] receives
+/// f(lane l). Contract: per-lane values are bit-identical to the plain
+/// objective at the same point (the evaluate_batch guarantee), so optimizers
+/// may batch or not without changing any result.
+using BatchObjective =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
 /// Result of a local or global minimization.
 struct OptResult {
   std::vector<double> x;      ///< best point found

@@ -5,13 +5,19 @@
 namespace fastqaoa {
 
 QaoaObjective::QaoaObjective(const QaoaPlan& plan, EvalWorkspace& ws,
-                             Direction direction, GradientProvider provider)
+                             Direction direction, GradientProvider provider,
+                             int eval_batch)
     : plan_(&plan),
       ws_(&ws),
       direction_(direction),
       provider_(provider),
       central_(plan, ws, FdScheme::Central),
-      forward_(plan, ws, FdScheme::Forward) {}
+      forward_(plan, ws, FdScheme::Forward),
+      eval_batch_(eval_batch) {
+  FASTQAOA_CHECK(eval_batch >= 1, "QaoaObjective: need eval_batch >= 1");
+  central_.set_eval_batch(eval_batch);
+  forward_.set_eval_batch(eval_batch);
+}
 
 QaoaObjective::QaoaObjective(Qaoa& engine, Direction direction,
                              GradientProvider provider)
@@ -49,9 +55,25 @@ double QaoaObjective::operator()(std::span<const double> packed,
   return sign * value;
 }
 
+void QaoaObjective::value_batch(std::span<const double> packed_lanes,
+                                std::span<double> out) {
+  FASTQAOA_CHECK(!out.empty(), "value_batch: empty output span");
+  evaluate_batch_packed(*plan_, *ws_, packed_lanes, out);
+  evals_ += out.size();
+  if (direction_ == Direction::Maximize) {
+    for (double& v : out) v = -v;
+  }
+}
+
 GradObjective QaoaObjective::as_grad_objective() {
   return [this](std::span<const double> x, std::span<double> g) {
     return (*this)(x, g);
+  };
+}
+
+BatchObjective QaoaObjective::as_batch_objective() {
+  return [this](std::span<const double> points, std::span<double> out) {
+    value_batch(points, out);
   };
 }
 

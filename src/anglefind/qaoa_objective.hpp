@@ -30,9 +30,13 @@ enum class GradientProvider {
 /// thread's QaoaObjective just needs its own EvalWorkspace.
 class QaoaObjective {
  public:
+  /// `eval_batch` > 1 routes finite-difference gradients and value_batch()
+  /// through evaluate_batch with that many lanes per kernel call; values
+  /// stay bit-identical to the sequential path, only throughput changes.
   QaoaObjective(const QaoaPlan& plan, EvalWorkspace& ws,
                 Direction direction = Direction::Maximize,
-                GradientProvider provider = GradientProvider::Adjoint);
+                GradientProvider provider = GradientProvider::Adjoint,
+                int eval_batch = 1);
 
   /// Convenience: bind to a Qaoa engine's plan + workspace.
   explicit QaoaObjective(Qaoa& engine,
@@ -42,9 +46,19 @@ class QaoaObjective {
   /// Evaluate f (and the gradient when `grad` is non-empty).
   double operator()(std::span<const double> packed, std::span<double> grad);
 
+  /// Batched value-only evaluation: out.size() lane-major packed angle
+  /// vectors, out[l] = f(lane l), bit-identical to out.size() calls of
+  /// operator() with an empty gradient span.
+  void value_batch(std::span<const double> packed_lanes,
+                   std::span<double> out);
+
   /// Expose as the std::function type the optimizers take. The returned
   /// callable references *this; keep the QaoaObjective alive while in use.
   [[nodiscard]] GradObjective as_grad_objective();
+
+  /// Batched counterpart of as_grad_objective() (wraps value_batch; same
+  /// lifetime caveat).
+  [[nodiscard]] BatchObjective as_batch_objective();
 
   /// Number of underlying expectation-value evaluations so far (each
   /// adjoint gradient counts as one forward evaluation plus one reverse
@@ -67,6 +81,7 @@ class QaoaObjective {
   GradientProvider provider_;
   FiniteDiffDifferentiator central_;
   FiniteDiffDifferentiator forward_;
+  int eval_batch_ = 1;
   std::size_t evals_ = 0;
 };
 

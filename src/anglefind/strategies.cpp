@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <span>
 #include <sstream>
 #include <utility>
 
@@ -91,8 +92,17 @@ ChainResult run_basinhopping(const QaoaPlan& plan, int p,
   FASTQAOA_OBS_SCOPE(ws.metrics);
   FASTQAOA_OBS_COUNT("anglefind.chains", 1);
   FASTQAOA_TRACE_SPAN("chain");
-  QaoaObjective objective(plan, ws, options.direction, options.gradient);
+  QaoaObjective objective(plan, ws, options.direction, options.gradient,
+                          std::max(1, options.eval_batch));
   GradObjective fn = objective.as_grad_objective();
+  // Batched hop-proposal scoring (bit-identical values, so the chain is
+  // still a pure function of its RNG stream and the proposal count).
+  BatchObjective batch_fn;
+  const BatchObjective* batch_values = nullptr;
+  if (options.hopping.proposals > 1) {
+    batch_fn = objective.as_batch_objective();
+    batch_values = &batch_fn;
+  }
 #ifdef FASTQAOA_FAULT_INJECTION_ENABLED
   // Wrap the objective so an armed "anglefind.chain_nan" fault poisons this
   // chain's value stream exactly once — the divergence the quarantine
@@ -109,7 +119,7 @@ ChainResult run_basinhopping(const QaoaPlan& plan, int p,
 #else
   (void)chain_index;
 #endif
-  OptResult res = basinhopping(fn, x0, rng, options.hopping);
+  OptResult res = basinhopping(fn, x0, rng, options.hopping, batch_values);
 
   ChainResult out;
   out.f = res.f;
@@ -406,7 +416,8 @@ AngleSchedule find_angles_random(const Mixer& mixer, const dvec& obj_vals,
   {
     EvalWorkspace ws;
     FASTQAOA_OBS_SCOPE(ws.metrics);
-    QaoaObjective objective(plan, ws, options.direction, options.gradient);
+    QaoaObjective objective(plan, ws, options.direction, options.gradient,
+                            std::max(1, options.eval_batch));
     GradObjective fn = objective.as_grad_objective();
 #pragma omp for schedule(dynamic)
     for (int r = 0; r < restarts; ++r) {
@@ -494,6 +505,51 @@ AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
   long long best_index = -1;
   std::size_t grid_evals = 0;
   std::exception_ptr error;
+  const int batch = std::max(1, options.eval_batch);
+  if (batch > 1) {
+    // Batched sweep: `batch` grid points per evaluate_batch call through one
+    // workspace. Batched values are bit-identical to sequential ones and the
+    // chunks walk the same flat enumeration, so the lexicographic (f, index)
+    // winner is exactly the scalar sweep's at any batch width.
+    EvalWorkspace ws;
+    FASTQAOA_OBS_SCOPE(ws.metrics);
+    QaoaObjective objective(plan, ws, options.direction, options.gradient,
+                            batch);
+    std::vector<double> points(static_cast<std::size_t>(batch) *
+                               static_cast<std::size_t>(dims));
+    std::vector<double> values(static_cast<std::size_t>(batch));
+    for (long long t0 = 0; t0 < total;
+         t0 += static_cast<long long>(batch)) {
+      // Cooperative stop at chunk granularity; the partial winner is
+      // flagged stopped_early below exactly like the scalar sweep.
+      if (tracker->active() &&
+          tracker->check() != runtime::StopReason::None) {
+        break;
+      }
+      const int chunk = static_cast<int>(
+          std::min<long long>(batch, total - t0));
+      for (int j = 0; j < chunk; ++j) {
+        long long rest = t0 + j;
+        for (int d = 0; d < dims; ++d) {
+          points[static_cast<std::size_t>(j * dims + d)] =
+              static_cast<double>(rest % points_per_axis) * step;
+          rest /= points_per_axis;
+        }
+      }
+      objective.value_batch(
+          std::span<const double>(points.data(),
+                                  static_cast<std::size_t>(chunk * dims)),
+          std::span<double>(values.data(), static_cast<std::size_t>(chunk)));
+      for (int j = 0; j < chunk; ++j) {
+        if (values[static_cast<std::size_t>(j)] < best_f) {
+          best_f = values[static_cast<std::size_t>(j)];
+          best_index = t0 + j;
+        }
+      }
+    }
+    grid_evals = objective.evaluations();
+    FASTQAOA_OBS_MERGE_GLOBAL(ws.metrics);
+  } else {
 #pragma omp parallel if (total > 1)
   {
     EvalWorkspace ws;
@@ -542,6 +598,7 @@ AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
     grid_evals += mine;
     FASTQAOA_OBS_MERGE_GLOBAL(ws.metrics);
   }
+  }
   if (error) std::rethrow_exception(error);
   tracker->add_evaluations(grid_evals);
 
@@ -560,7 +617,8 @@ AngleSchedule find_angles_grid(const Mixer& mixer, const dvec& obj_vals,
   if (polish && best_index >= 0) {
     EvalWorkspace ws;
     FASTQAOA_OBS_SCOPE(ws.metrics);
-    QaoaObjective objective(plan, ws, options.direction, options.gradient);
+    QaoaObjective objective(plan, ws, options.direction, options.gradient,
+                            batch);
     GradObjective fn = objective.as_grad_objective();
     OptResult res = bfgs_minimize(fn, best_point, opts.hopping.local);
     optimizer_calls += res.evaluations;

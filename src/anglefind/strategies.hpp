@@ -86,6 +86,14 @@ struct FindAnglesOptions {
   /// streams, so the best-of-chains result is identical at any thread
   /// count. 1 = the classic single-chain behaviour.
   int parallel_starts = 1;
+  /// Statevector lanes per evaluate_batch kernel call (1 = classic
+  /// single-point evaluation). With B > 1, grid search evaluates B grid
+  /// points per batch, finite-difference gradients batch their whole
+  /// stencil, and basinhopping scores hop proposals in batches (see
+  /// BasinHoppingOptions::proposals). Batched values are bit-identical to
+  /// sequential ones, so every search result is invariant in this knob —
+  /// it is purely a throughput lever (qaoa_cli --batch).
+  int eval_batch = 1;
   /// Called by find_angles() after each freshly optimized round (not for
   /// rounds restored from a checkpoint) with the round's schedule and its
   /// wall-clock seconds — the hook behind qaoa_cli --progress. Runs on the

@@ -1,0 +1,35 @@
+#include "linalg/diag_dict.hpp"
+
+#include <bit>
+#include <unordered_map>
+
+namespace fastqaoa::linalg {
+
+DiagDict build_diag_dict(const dvec& table) {
+  DiagDict dict;
+  if (table.size() < 64) return dict;  // kernels require n >= 64 anyway
+  // Bit-pattern keys: NaN payloads and signed zeros stay distinct, matching
+  // the bit-identity contract of the quantized kernel route.
+  std::unordered_map<std::uint64_t, std::uint16_t> seen;
+  seen.reserve(2 * static_cast<std::size_t>(kernels::kQuantizedDiagMax));
+  std::vector<std::uint16_t> idx(table.size());
+  dvec vals;
+  vals.reserve(static_cast<std::size_t>(kernels::kQuantizedDiagMax));
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const std::uint64_t key = std::bit_cast<std::uint64_t>(table[i]);
+    auto [it, inserted] = seen.try_emplace(
+        key, static_cast<std::uint16_t>(vals.size()));
+    if (inserted) {
+      if (vals.size() == static_cast<std::size_t>(kernels::kQuantizedDiagMax)) {
+        return dict;  // too many distinct values — leave invalid
+      }
+      vals.push_back(table[i]);
+    }
+    idx[i] = it->second;
+  }
+  dict.idx = std::move(idx);
+  dict.vals = std::move(vals);
+  return dict;
+}
+
+}  // namespace fastqaoa::linalg

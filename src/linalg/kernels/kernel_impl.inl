@@ -82,6 +82,28 @@ static double* red_buffer(index_t n) {
   return buf.p;
 }
 
+/// Second per-thread scratch, for the batched driver's per-lane phase
+/// tables. Separate from red_buffer because the fused-expectation partials
+/// already live there for the duration of the same call.
+static double* aux_buffer(index_t n) {
+  struct Buf {
+    double* p = nullptr;
+    index_t cap = 0;
+    ~Buf() { std::free(p); }
+  };
+  static thread_local Buf buf;
+  if (buf.cap < n) {
+    std::free(buf.p);
+    buf.p = static_cast<double*>(std::malloc(n * sizeof(double)));
+    if (buf.p == nullptr) {
+      std::fprintf(stderr, "fastqaoa kernels: out of memory\n");
+      std::abort();
+    }
+    buf.cap = n;
+  }
+  return buf.p;
+}
+
 // ---------------------------------------------------------------------------
 // sincos batch: fill s/c with sin/cos(-angle * d_i) * scale.
 // ---------------------------------------------------------------------------
@@ -146,6 +168,22 @@ static void sincos_batch(const double* d, double angle, double scale,
   }
 }
 
+/// Complex multiply q_i *= (c_i + i*s_i): the shared application loop of
+/// the fast-sincos phase sweeps. Kept out-of-line so the classic (computed)
+/// and the quantized (looked-up) routes run the exact same machine code on
+/// the factors — the compiler's FMA-contraction choices cannot diverge
+/// between the two call sites, which is what makes table lookup
+/// bit-identical to direct sincos.
+__attribute__((noinline)) static void cmul_range(double* q, const double* s,
+                                                 const double* c, index_t m) {
+  for (index_t i = 0; i < m; ++i) {
+    const double re = q[2 * i];
+    const double im = q[2 * i + 1];
+    q[2 * i] = re * c[i] - im * s[i];
+    q[2 * i + 1] = re * s[i] + im * c[i];
+  }
+}
+
 #endif  // FQ_KERNEL_FAST_SINCOS
 
 /// Serial phase(+scale) sweep over n complex elements. d may be null (pure
@@ -164,13 +202,7 @@ static void phase_scale_range(double* p, const double* d, double angle,
   for (index_t i0 = 0; i0 < n; i0 += kPhaseChunk) {
     const index_t m = min_i(kPhaseChunk, n - i0);
     sincos_batch(d + i0, angle, scale, s, c, m);
-    double* q = p + 2 * i0;
-    for (index_t i = 0; i < m; ++i) {
-      const double re = q[2 * i];
-      const double im = q[2 * i + 1];
-      q[2 * i] = re * c[i] - im * s[i];
-      q[2 * i + 1] = re * s[i] + im * c[i];
-    }
+    cmul_range(p + 2 * i0, s, c, m);
   }
 #else
   // Reference backend: per-element std::complex multiply, the exact loop
@@ -197,6 +229,136 @@ static void phase_scale_range(double* p, const double* d, double angle,
   }
 #endif
 }
+
+// ---------------------------------------------------------------------------
+// Quantized phase route. When a diagonal table takes few distinct values —
+// X-mixer eigenvalues take n_qubits+1, integer cost functions a few hundred
+// — the batched sweeps compute one sincos per distinct value per lane and
+// apply the factors by index lookup.
+//
+// Bit-identity with the per-element sweep, fast-sincos backends:
+//   * the factors in the table are produced by the very same sincos_batch
+//     as the per-element sweep, on the same inputs (-angle * value);
+//   * the values array is padded to a multiple of 64 so every entry is
+//     computed by the vectorized loop body, never a scalar epilogue whose
+//     contraction could differ — per-element chunks are always a multiple
+//     of 64 too (the route requires n >= 64, and chunk lengths divide
+//     kPhaseChunk);
+//   * the application multiply runs through the shared out-of-line
+//     cmul_range, the same machine code the computed route uses;
+//   * the route is declined — falling back to the per-element sweep, which
+//     is trivially identical — whenever any lane's phase range could trip
+//     the per-chunk libm fallback inside sincos_batch (|angle*value| > 1e8).
+// Scalar backend: the factors are per-element libm calls (deterministic per
+// input, position-independent), and the application loop reproduces the two
+// classic loop shapes (operator*= when scale == 1, the fma pattern
+// otherwise) on the looked-up values. Source-shape equality is not
+// machine-code equality, though: the compiler contracts the operator*= shape
+// per call site, and only the blocked driver's phase_scale_range clone
+// matches the lookup loop. The batched drivers therefore take this route
+// only above the serial-transform threshold on the scalar backend (see
+// quantize_ok in batch_wht_driver), and test_batch pins both regimes.
+// ---------------------------------------------------------------------------
+
+#if FQ_KERNEL_FAST_SINCOS
+
+/// Build per-lane factor tables: tabs + 2*nv*l holds lane l's
+/// (cos, sin)(-angles[l] * vals[j]) * scale pairs. Returns null (declining
+/// the route) if any lane's phase range is unsafe.
+static double* build_phase_tables(const double* vals, index_t nv,
+                                  const double* angles, int lanes,
+                                  double scale) {
+  double vmax = 0.0;
+  for (index_t j = 0; j < nv; ++j) {
+    const double a = vals[j] < 0.0 ? -vals[j] : vals[j];
+    if (a > vmax) vmax = a;
+  }
+  double amax = 0.0;
+  for (int l = 0; l < lanes; ++l) {
+    const double a = angles[l] < 0.0 ? -angles[l] : angles[l];
+    if (a > amax) amax = a;
+  }
+  if (!(vmax * amax <= 1e8)) return nullptr;
+  const index_t m = (nv + 63) & ~index_t{63};  // pad: vector body only
+  double vp[kPhaseChunk];
+  double ts[kPhaseChunk];
+  double tc[kPhaseChunk];
+  for (index_t j = 0; j < nv; ++j) vp[j] = vals[j];
+  for (index_t j = nv; j < m; ++j) vp[j] = 0.0;
+  double* tabs = aux_buffer(2 * static_cast<index_t>(lanes) * nv);
+  for (int l = 0; l < lanes; ++l) {
+    sincos_batch(vp, angles[l], scale, ts, tc, m);
+    double* t = tabs + 2 * nv * static_cast<index_t>(l);
+    for (index_t j = 0; j < nv; ++j) {
+      t[2 * j] = tc[j];
+      t[2 * j + 1] = ts[j];
+    }
+  }
+  return tabs;
+}
+
+/// Serial phase sweep via a prebuilt factor table: q_i *= tbl[idx[i]].
+/// scale_one is unused here — the table already carries the scale, and the
+/// fast path has a single application shape.
+static void phase_lookup_range(double* p, const std::uint16_t* idx,
+                               const double* tbl, bool scale_one, index_t n) {
+  (void)scale_one;
+  double s[kPhaseChunk];
+  double c[kPhaseChunk];
+  for (index_t i0 = 0; i0 < n; i0 += kPhaseChunk) {
+    const index_t m = min_i(kPhaseChunk, n - i0);
+    const std::uint16_t* ix = idx + i0;
+#pragma omp simd
+    for (index_t i = 0; i < m; ++i) {
+      c[i] = tbl[2 * ix[i]];
+      s[i] = tbl[2 * ix[i] + 1];
+    }
+    cmul_range(p + 2 * i0, s, c, m);
+  }
+}
+
+#else  // !FQ_KERNEL_FAST_SINCOS
+
+/// Reference-backend table build: one libm sincos per distinct value per
+/// lane. Multiplying by scale == 1.0 is exact, so one build covers both
+/// application shapes. Never declines (libm handles every phase range).
+static double* build_phase_tables(const double* vals, index_t nv,
+                                  const double* angles, int lanes,
+                                  double scale) {
+  double* tabs = aux_buffer(2 * static_cast<index_t>(lanes) * nv);
+  for (int l = 0; l < lanes; ++l) {
+    double* t = tabs + 2 * nv * static_cast<index_t>(l);
+    for (index_t j = 0; j < nv; ++j) {
+      const double ph = -angles[l] * vals[j];
+      t[2 * j] = std::cos(ph) * scale;
+      t[2 * j + 1] = std::sin(ph) * scale;
+    }
+  }
+  return tabs;
+}
+
+/// Reference-backend lookup sweep: the exact loop shapes of
+/// phase_scale_range with the sincos calls replaced by table loads.
+static void phase_lookup_range(double* p, const std::uint16_t* idx,
+                               const double* tbl, bool scale_one, index_t n) {
+  cplx* q = reinterpret_cast<cplx*>(p);
+  if (scale_one) {
+    for (index_t i = 0; i < n; ++i) {
+      q[i] *= cplx{tbl[2 * idx[i]], tbl[2 * idx[i] + 1]};
+    }
+    return;
+  }
+  for (index_t i = 0; i < n; ++i) {
+    const double c = tbl[2 * idx[i]];
+    const double s = tbl[2 * idx[i] + 1];
+    const double re = p[2 * i];
+    const double im = p[2 * i + 1];
+    p[2 * i] = std::fma(re, c, -(im * s));
+    p[2 * i + 1] = std::fma(re, s, im * c);
+  }
+}
+
+#endif  // FQ_KERNEL_FAST_SINCOS
 
 /// Serial sum_i obj_i * |a_i|^2 over n complex elements. The omp simd
 /// reduction grants the vectorizer reassociation rights, exactly like the
@@ -481,6 +643,322 @@ static double k_wht_expect(cplx* a, const double* obj, index_t n) {
 static double k_phase_wht_expect(cplx* a, const double* d, double angle,
                                  double scale, const double* obj, index_t n) {
   return wht_driver(a, d, angle, scale, obj, n);
+}
+
+// ---------------------------------------------------------------------------
+// Batched WHT driver: `lanes` statevectors, lane l at av + l*stride, carried
+// through the transform together so the d/obj tables are swept once per
+// batch instead of once per lane, and so the strided top stages — separate
+// full-vector passes in the single-state driver — collapse into one
+// cache-resident pass.
+//
+// Per-lane bit-identity with `lanes` sequential wht_driver calls:
+//   * the bottom pass and the butterflies are elementwise, so running them
+//     block-outer/lane-inner or column-tiled reorders execution only, never
+//     the association of any output element;
+//   * the obj-carrying final pass keeps the single-state (group, j-chunk)
+//     item layout and its serial in-item accumulation, with one partials row
+//     per lane summed in item order.
+// ---------------------------------------------------------------------------
+
+/// One strided radix-4 pass over every lane (no fused expectation): the
+/// classic (group, j-chunk) items of top_pass_radix4, crossed with the lane
+/// index, executed by the enclosing OpenMP team. h in complex elements.
+static void batch_top_pass_radix4(double* base, index_t stride, int lanes,
+                                  index_t n, index_t h) {
+  const index_t jchunk = min_i(h, kJChunk);
+  const index_t cpg = h / jchunk;
+  const index_t items = (n / (4 * h)) * cpg;
+  const std::ptrdiff_t jobs =
+      static_cast<std::ptrdiff_t>(items) * static_cast<std::ptrdiff_t>(lanes);
+#pragma omp for schedule(static)
+  for (std::ptrdiff_t jt = 0; jt < jobs; ++jt) {
+    const int l = static_cast<int>(jt % lanes);
+    const index_t it = static_cast<index_t>(jt) / static_cast<index_t>(lanes);
+    const index_t g = it / cpg;
+    const index_t j0 = (it % cpg) * jchunk;
+    const index_t off = g * 4 * h + j0;
+    double* a0 = base + 2 * (stride * static_cast<index_t>(l) + off);
+    butterfly4(a0, a0 + 2 * h, a0 + 4 * h, a0 + 6 * h, 2 * jchunk);
+  }
+}
+
+static void batch_top_pass_radix2(double* base, index_t stride, int lanes,
+                                  index_t n, index_t h) {
+  const index_t jchunk = min_i(h, kJChunk);
+  const index_t cpg = h / jchunk;
+  const index_t items = (n / (2 * h)) * cpg;
+  const std::ptrdiff_t jobs =
+      static_cast<std::ptrdiff_t>(items) * static_cast<std::ptrdiff_t>(lanes);
+#pragma omp for schedule(static)
+  for (std::ptrdiff_t jt = 0; jt < jobs; ++jt) {
+    const int l = static_cast<int>(jt % lanes);
+    const index_t it = static_cast<index_t>(jt) / static_cast<index_t>(lanes);
+    const index_t g = it / cpg;
+    const index_t j0 = (it % cpg) * jchunk;
+    const index_t off = g * 2 * h + j0;
+    double* a0 = base + 2 * (stride * static_cast<index_t>(l) + off);
+    butterfly2(a0, a0 + 2 * h, 2 * jchunk);
+  }
+}
+
+/// Copy 2*n doubles (n complex) — the fused per-block lane initialization.
+static inline void copy_range(double* dst, const double* src, index_t n) {
+  const index_t n2 = 2 * n;
+#pragma omp simd
+  for (index_t i = 0; i < n2; ++i) dst[i] = src[i];
+}
+
+static void batch_wht_driver(cplx* av, index_t stride, int lanes,
+                             const cplx* initv, const double* d,
+                             const QuantizedDiag* dq, const double* angles,
+                             double scale, const double* obj, double* out,
+                             index_t n) {
+  if (lanes <= 1) {
+    if (initv != nullptr) copy_range(dp(av), dp(initv), n);
+    const double r =
+        wht_driver(av, d, angles != nullptr ? angles[0] : 0.0, scale, obj, n);
+    if (out != nullptr) out[0] = r;
+    return;
+  }
+  double* base = dp(av);
+  const double* src = initv != nullptr ? dp(initv) : nullptr;
+  const bool prepass = d != nullptr || scale != 1.0;
+
+  // Quantized phase route: one sincos per distinct d value per lane instead
+  // of one per element, applied by lookup (bit-safe phase ranges only — see
+  // build_phase_tables).
+  // Reference backend, small transforms only: the quantized factors are the
+  // same doubles the per-element sweep computes, but the serial driver's
+  // application loop and phase_lookup_range are separately compiled loops
+  // whose FMA contraction the compiler resolves per call site — the blocked
+  // path's block-sized phase_scale_range clone matches the lookup loop, the
+  // serial path's general clone does not. Below the blocking threshold the
+  // lanes therefore run the exact per-element function the sequential
+  // driver calls instead of the lookup.
+  const bool quantize_ok = FQ_KERNEL_FAST_SINCOS != 0 || n > kWhtSerial;
+  const bool scale_one = scale == 1.0;
+  const double* qtab = nullptr;
+  const std::uint16_t* qidx = nullptr;
+  index_t qnv = 0;
+  if (quantize_ok && d != nullptr && angles != nullptr && dq != nullptr &&
+      dq->idx != nullptr && dq->vals != nullptr && dq->nv > 0 &&
+      dq->nv <= kQuantizedDiagMax && n >= 64) {
+    qtab = build_phase_tables(dq->vals, dq->nv, angles, lanes, scale);
+    if (qtab != nullptr) {
+      qidx = dq->idx;
+      qnv = dq->nv;
+    }
+  }
+
+  if (n <= kWhtSerial) {
+    // Small transforms: whole lanes are independent serial work items.
+#pragma omp parallel for schedule(static)
+    for (int l = 0; l < lanes; ++l) {
+      double* a = base + 2 * stride * static_cast<index_t>(l);
+      if (src != nullptr) copy_range(a, src, n);
+      if (qtab != nullptr) {
+        phase_lookup_range(a, qidx, qtab + 2 * qnv * static_cast<index_t>(l),
+                           scale_one, n);
+      } else if (prepass) {
+        phase_scale_range(a, d, angles != nullptr ? angles[l] : 0.0, scale, n);
+      }
+      wht_serial_block(a, n);
+      if (obj != nullptr) out[l] = expect_range(a, obj, n);
+    }
+    return;
+  }
+
+  const index_t bsize = index_t{1} << kLog2Block;
+  const index_t nblocks = n >> kLog2Block;
+  int top = 0;  // number of top radix-2 stages
+  for (index_t m = bsize; m < n; m <<= 1) ++top;
+  const int n4 = top / 2;
+  const int n2 = top % 2;
+
+  // The obj-carrying final pass cannot be regrouped (its in-item
+  // accumulation order is part of the bit contract), so the fused/strided
+  // machinery below covers every top stage except that one; with no obj it
+  // covers them all.
+  const int tile_n4 = obj == nullptr || n2 != 0 ? n4 : n4 - 1;
+  const bool tile_n2 = obj == nullptr && n2 != 0;
+
+  // Rows (= bottom blocks) per fused group. A radix-4 top stage at row
+  // stride hb only mixes rows within an aligned window of 4*hb consecutive
+  // rows, so the leading top stages with 4*hb <= gr can run right after the
+  // bottom stages on one contiguous gr-row slab while it is cache-resident:
+  // 64 rows x 64 KiB = 4 MiB absorbs the first three radix-4 stages (row
+  // strides 1, 4, 16) into one slab visit. Within the slab, 16-row windows
+  // (1 MiB, L2-resident) run the bottom stages plus the first two radix-4
+  // stages back-to-back, so only the stride-16 stage touches the slab at
+  // last-level-cache speed.
+  const index_t gr = min_i(nblocks, index_t{64});
+  int m4 = 0;  // leading radix-4 stages fused into the bottom pass
+  while (m4 < tile_n4 && (index_t{1} << (2 * (m4 + 1))) <= gr) ++m4;
+
+  // Partials for the fused expectation: one row of final-pass items per lane.
+  index_t last_items = 0;
+  double* part = nullptr;
+  if (obj != nullptr) {
+    index_t h_last;
+    index_t groups;
+    if (n2 != 0) {
+      h_last = n >> 1;
+      groups = n / (2 * h_last);
+    } else {
+      h_last = n >> 2;
+      groups = n / (4 * h_last);
+    }
+    last_items = groups * (h_last / min_i(h_last, kJChunk));
+    part = red_buffer(static_cast<index_t>(lanes) * last_items);
+  }
+
+#pragma omp parallel
+  {
+    // Bottom + leading top stages: each job owns one contiguous gr-row slab
+    // of one lane, runs the phase prepass, all bottom stages, and the first
+    // m4 radix-4 top stages on it back-to-back. Lane is the fast axis so
+    // consecutive jobs reuse the same d-table window while it is cache-hot.
+    const index_t ngroups = nblocks / gr;
+    const std::ptrdiff_t bjobs = static_cast<std::ptrdiff_t>(ngroups) *
+                                 static_cast<std::ptrdiff_t>(lanes);
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t jt = 0; jt < bjobs; ++jt) {
+      const index_t g = static_cast<index_t>(jt) / static_cast<index_t>(lanes);
+      const int l = static_cast<int>(jt % lanes);
+      const index_t row0 = g * gr;
+      double* slab = base + 2 * (stride * static_cast<index_t>(l) +
+                                 row0 * bsize);
+      const index_t wr = min_i(gr, index_t{16});  // L2-resident window rows
+      int m4w = 0;  // leading radix-4 stages that fit a wr-row window
+      while (m4w < m4 && (index_t{1} << (2 * (m4w + 1))) <= wr) ++m4w;
+      for (index_t w = 0; w < gr; w += wr) {
+        for (index_t b = 0; b < wr; ++b) {
+          const index_t off = (row0 + w + b) * bsize;
+          double* blk = base + 2 * (stride * static_cast<index_t>(l) + off);
+          if (src != nullptr) copy_range(blk, src + 2 * off, bsize);
+          if (qtab != nullptr) {
+            phase_lookup_range(blk, qidx + off,
+                               qtab + 2 * qnv * static_cast<index_t>(l),
+                               scale_one, bsize);
+          } else if (prepass) {
+            phase_scale_range(blk, d != nullptr ? d + off : nullptr,
+                              angles != nullptr ? angles[l] : 0.0, scale,
+                              bsize);
+          }
+          wht_serial_block(blk, bsize);
+        }
+        double* wbase = slab + 2 * w * bsize;
+        index_t hb = 1;
+        for (int s = 0; s < m4w; ++s) {
+          for (index_t gb = 0; gb < wr; gb += 4 * hb) {
+            for (index_t j = 0; j < hb; ++j) {
+              double* p0 = wbase + 2 * (gb + j) * bsize;
+              butterfly4(p0, p0 + 2 * hb * bsize, p0 + 4 * hb * bsize,
+                         p0 + 6 * hb * bsize, 2 * bsize);
+            }
+          }
+          hb <<= 2;
+        }
+      }
+      index_t hb = index_t{1} << (2 * m4w);
+      for (int s = m4w; s < m4; ++s) {
+        for (index_t gb = 0; gb < gr; gb += 4 * hb) {
+          for (index_t j = 0; j < hb; ++j) {
+            double* p0 = slab + 2 * (gb + j) * bsize;
+            butterfly4(p0, p0 + 2 * hb * bsize, p0 + 4 * hb * bsize,
+                       p0 + 6 * hb * bsize, 2 * bsize);
+          }
+        }
+        hb <<= 2;
+      }
+    }
+    // Remaining non-final top stages: classic strided passes across every
+    // lane (one barrier per stage, no region relaunch).
+    {
+      index_t h = bsize << (2 * m4);
+      for (int s = m4; s < tile_n4; ++s) {
+        batch_top_pass_radix4(base, stride, lanes, n, h);
+        h <<= 2;
+      }
+      if (tile_n2) batch_top_pass_radix2(base, stride, lanes, n, h);
+    }
+    // Final obj-carrying pass: classic item layout, item-outer/lane-inner so
+    // each item's obj window is read once per batch.
+    if (obj != nullptr) {
+      if (n2 != 0) {
+        const index_t h = n >> 1;
+        const index_t jchunk = min_i(h, kJChunk);
+        const index_t cpg = h / jchunk;
+        const std::ptrdiff_t items =
+            static_cast<std::ptrdiff_t>((n / (2 * h)) * cpg);
+#pragma omp for schedule(static)
+        for (std::ptrdiff_t it = 0; it < items; ++it) {
+          const index_t g = static_cast<index_t>(it) / cpg;
+          const index_t j0 = (static_cast<index_t>(it) % cpg) * jchunk;
+          const index_t off = g * 2 * h + j0;
+          for (int l = 0; l < lanes; ++l) {
+            double* a0 = base + 2 * (stride * static_cast<index_t>(l) + off);
+            part[static_cast<index_t>(l) * last_items +
+                 static_cast<index_t>(it)] =
+                butterfly2_expect(a0, a0 + 2 * h, obj + off, obj + off + h,
+                                  2 * jchunk);
+          }
+        }
+      } else {
+        const index_t h = n >> 2;
+        const index_t jchunk = min_i(h, kJChunk);
+        const index_t cpg = h / jchunk;
+        const std::ptrdiff_t items =
+            static_cast<std::ptrdiff_t>((n / (4 * h)) * cpg);
+#pragma omp for schedule(static)
+        for (std::ptrdiff_t it = 0; it < items; ++it) {
+          const index_t g = static_cast<index_t>(it) / cpg;
+          const index_t j0 = (static_cast<index_t>(it) % cpg) * jchunk;
+          const index_t off = g * 4 * h + j0;
+          for (int l = 0; l < lanes; ++l) {
+            double* a0 = base + 2 * (stride * static_cast<index_t>(l) + off);
+            part[static_cast<index_t>(l) * last_items +
+                 static_cast<index_t>(it)] =
+                butterfly4_expect(a0, a0 + 2 * h, a0 + 4 * h, a0 + 6 * h,
+                                  obj + off, obj + off + h, obj + off + 2 * h,
+                                  obj + off + 3 * h, 2 * jchunk);
+          }
+        }
+      }
+    }
+  }
+  if (obj != nullptr) {
+    for (int l = 0; l < lanes; ++l) {
+      const double* pl = part + static_cast<index_t>(l) * last_items;
+      double acc = 0.0;
+      for (index_t i = 0; i < last_items; ++i) acc += pl[i];
+      out[l] = acc;
+    }
+  }
+}
+
+static void k_phase_wht_batch(cplx* a, index_t stride, int lanes,
+                              const cplx* init, const double* d,
+                              const QuantizedDiag* dq, const double* angles,
+                              double scale, index_t n) {
+  batch_wht_driver(a, stride, lanes, init, d, dq, angles, scale, nullptr,
+                   nullptr, n);
+}
+
+static void k_wht_expect_batch(cplx* a, index_t stride, int lanes,
+                               const double* obj, double* out, index_t n) {
+  batch_wht_driver(a, stride, lanes, nullptr, nullptr, nullptr, nullptr, 1.0,
+                   obj, out, n);
+}
+
+static void k_phase_wht_expect_batch(cplx* a, index_t stride, int lanes,
+                                     const double* d, const QuantizedDiag* dq,
+                                     const double* angles, double scale,
+                                     const double* obj, double* out,
+                                     index_t n) {
+  batch_wht_driver(a, stride, lanes, nullptr, d, dq, angles, scale, obj, out,
+                   n);
 }
 
 // ---------------------------------------------------------------------------
@@ -1003,6 +1481,9 @@ inline KernelBackend make_backend(const char* name) {
   b.phase_wht = k_phase_wht;
   b.wht_expect = k_wht_expect;
   b.phase_wht_expect = k_phase_wht_expect;
+  b.phase_wht_batch = k_phase_wht_batch;
+  b.wht_expect_batch = k_wht_expect_batch;
+  b.phase_wht_expect_batch = k_phase_wht_expect_batch;
   b.diag_phase = k_diag_phase;
   b.diag_mul = k_diag_mul;
   b.scale = k_scale;

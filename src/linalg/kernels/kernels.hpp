@@ -26,6 +26,7 @@
 /// polynomials, different vector widths); tests pin cross-backend parity to
 /// 1e-13 relative.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,27 @@ struct CplxSum {
   double re = 0.0;
   double im = 0.0;
 };
+
+/// Optional quantized view of a diagonal table for the batched kernels:
+/// d[i] == vals[idx[i]] with nv distinct values (bit-pattern equality, so
+/// +0.0 and -0.0 are distinct entries). QAOA diagonals are usually highly
+/// degenerate — X-mixer eigenvalues take n+1 values, integer-weighted cost
+/// functions a few hundred — so a batched phase sweep can compute one
+/// sincos per distinct value per lane and apply the factors by lookup.
+/// The looked-up factors are produced by the same sincos code as the
+/// per-element sweep, so the result is bit-identical to the unquantized
+/// path; kernels fall back to the per-element sweep whenever the quantized
+/// route could diverge (too many values, or phases beyond the fast-sincos
+/// range). idx may be null to disable the quantized path.
+struct QuantizedDiag {
+  const std::uint16_t* idx = nullptr;
+  const double* vals = nullptr;
+  index_t nv = 0;
+};
+
+/// Largest nv for which the batched kernels take the quantized phase route
+/// (the per-lane factor tables must stay L1-resident).
+inline constexpr index_t kQuantizedDiagMax = 512;
 
 /// The dispatch table. All pointers are non-null in a registered backend.
 /// Kernels take raw pointers + element counts; the cvec-level wrappers in
@@ -62,6 +84,33 @@ struct KernelBackend {
   /// phase_wht and wht_expect combined: the whole final QAOA round.
   double (*phase_wht_expect)(cplx* a, const double* d, double angle,
                              double scale, const double* obj, index_t n);
+
+  // --- batched WHT family -------------------------------------------------
+  // `lanes` independent statevectors, lane l at a + l*stride (stride in
+  // complex elements, stride >= n), each phased by its own angles[l], share
+  // one sweep over the d/obj tables and one cache-resident pass over the
+  // strided top butterfly stages. Per-lane results are bit-identical to
+  // `lanes` sequential calls of the corresponding single-state kernel: the
+  // butterflies are elementwise (batching reorders execution, never
+  // association) and the fused expectation keeps the classic per-item
+  // serial accumulation, partials summed in item order per lane.
+  /// Batched phase_wht; d may be null (pure per-lane scale), dq may be null
+  /// (no quantized view of d available). init, when non-null, is a shared
+  /// input vector: every lane starts from init instead of its own slab
+  /// contents, with the copy fused into the first cache-resident pass — one
+  /// shared read replaces a per-lane copy pass (the first round of a batched
+  /// evaluation, where all lanes start from the same |psi_0>).
+  void (*phase_wht_batch)(cplx* a, index_t stride, int lanes, const cplx* init,
+                          const double* d, const QuantizedDiag* dq,
+                          const double* angles, double scale, index_t n);
+  /// Batched wht_expect: out[l] = sum_i obj_i |a_{l,i}|^2 after the WHT.
+  void (*wht_expect_batch)(cplx* a, index_t stride, int lanes,
+                           const double* obj, double* out, index_t n);
+  /// Batched phase_wht_expect: the whole final QAOA round for all lanes.
+  void (*phase_wht_expect_batch)(cplx* a, index_t stride, int lanes,
+                                 const double* d, const QuantizedDiag* dq,
+                                 const double* angles, double scale,
+                                 const double* obj, double* out, index_t n);
 
   // --- elementwise --------------------------------------------------------
   /// psi_i *= exp(-i * angle * d_i).

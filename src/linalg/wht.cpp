@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "linalg/diag_dict.hpp"
 #include "linalg/kernels/kernels.hpp"
 #include "obs/metrics.hpp"
 
@@ -64,6 +65,70 @@ double phase_wht_expect(cvec& v, const dvec& d, double angle, double scale,
   FASTQAOA_OBS_TIMED("linalg.wht");
   return kernels::active().phase_wht_expect(v.data(), d.data(), angle, scale,
                                             obj.data(), n);
+}
+
+namespace {
+
+kernels::QuantizedDiag dict_view(const DiagDict* dict) {
+  return dict != nullptr ? dict->view() : kernels::QuantizedDiag{};
+}
+
+void check_batch(index_t stride, int lanes, index_t n, const char* who) {
+  FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
+  FASTQAOA_CHECK(lanes >= 1, std::string(who) + ": need at least one lane");
+  FASTQAOA_CHECK(stride >= n, std::string(who) + ": stride below lane length");
+}
+
+}  // namespace
+
+void phase_wht_batch(cplx* states, index_t stride, int lanes, const cplx* init,
+                     const dvec& d, const DiagDict* dict, const double* angles,
+                     double scale) {
+  const index_t n = d.size();
+  check_batch(stride, lanes, n, "phase_wht_batch");
+  FASTQAOA_OBS_COUNT("linalg.wht.applies", lanes);
+  FASTQAOA_OBS_COUNT("linalg.wht.batched_lanes", lanes);
+  FASTQAOA_OBS_TIMED("linalg.wht");
+  const kernels::QuantizedDiag dq = dict_view(dict);
+  kernels::active().phase_wht_batch(states, stride, lanes, init, d.data(), &dq,
+                                    angles, scale, n);
+}
+
+void wht_batch(cplx* states, index_t stride, int lanes, index_t n) {
+  check_batch(stride, lanes, n, "wht_batch");
+  FASTQAOA_OBS_COUNT("linalg.wht.applies", lanes);
+  FASTQAOA_OBS_COUNT("linalg.wht.batched_lanes", lanes);
+  FASTQAOA_OBS_TIMED("linalg.wht");
+  kernels::active().phase_wht_batch(states, stride, lanes, nullptr, nullptr,
+                                    nullptr, nullptr, 1.0, n);
+}
+
+void wht_expect_batch(cplx* states, index_t stride, int lanes, const dvec& obj,
+                      double* out) {
+  const index_t n = obj.size();
+  check_batch(stride, lanes, n, "wht_expect_batch");
+  FASTQAOA_OBS_COUNT("linalg.wht.applies", lanes);
+  FASTQAOA_OBS_COUNT("linalg.wht.batched_lanes", lanes);
+  FASTQAOA_OBS_TIMED("linalg.wht");
+  kernels::active().wht_expect_batch(states, stride, lanes, obj.data(), out,
+                                     n);
+}
+
+void phase_wht_expect_batch(cplx* states, index_t stride, int lanes,
+                            const dvec& d, const DiagDict* dict,
+                            const double* angles, double scale, const dvec& obj,
+                            double* out) {
+  const index_t n = d.size();
+  check_batch(stride, lanes, n, "phase_wht_expect_batch");
+  FASTQAOA_CHECK(obj.size() == n,
+                 "phase_wht_expect_batch: objective size mismatch");
+  FASTQAOA_OBS_COUNT("linalg.wht.applies", lanes);
+  FASTQAOA_OBS_COUNT("linalg.wht.batched_lanes", lanes);
+  FASTQAOA_OBS_TIMED("linalg.wht");
+  const kernels::QuantizedDiag dq = dict_view(dict);
+  kernels::active().phase_wht_expect_batch(states, stride, lanes, d.data(),
+                                           &dq, angles, scale, obj.data(), out,
+                                           n);
 }
 
 }  // namespace fastqaoa::linalg

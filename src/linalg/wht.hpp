@@ -12,6 +12,8 @@
 
 namespace fastqaoa::linalg {
 
+struct DiagDict;  // linalg/diag_dict.hpp
+
 /// In-place unnormalized Walsh–Hadamard transform of a length-2^n vector:
 /// v'_x = sum_y (-1)^{popcount(x & y)} v_y.
 /// Complexity O(n 2^n); cache-blocked butterflies, OpenMP parallel.
@@ -36,6 +38,35 @@ double wht_expect(cvec& v, const dvec& obj);
 /// round (phase, mixer half, expectation) in two passes over the vector.
 double phase_wht_expect(cvec& v, const dvec& d, double angle, double scale,
                         const dvec& obj);
+
+// --- batched variants ------------------------------------------------------
+// `lanes` independent statevectors, lane l at states + l*stride (stride in
+// complex elements, stride >= d.size()), each phased by its own angles[l].
+// One sweep over the shared d/obj tables serves the whole batch, and a
+// DiagDict view (when valid) replaces the per-element sincos sweep with a
+// per-distinct-value one. Per-lane results are bit-identical to `lanes`
+// sequential calls of the single-state function. `dict` may be null.
+
+/// Batched phase_wht. `init`, when non-null, is a shared length-d.size()
+/// input: every lane starts from init (copy fused into the first pass)
+/// instead of its own slab contents — the first round of a batched
+/// evaluation, where all lanes start from the same |psi0>.
+void phase_wht_batch(cplx* states, index_t stride, int lanes, const cplx* init,
+                     const dvec& d, const DiagDict* dict, const double* angles,
+                     double scale);
+
+/// Batched plain unnormalized WHT (no phase, no scale) of length-n lanes.
+void wht_batch(cplx* states, index_t stride, int lanes, index_t n);
+
+/// Batched wht_expect: out[l] = sum_i obj_i |states_{l,i}|^2 after the WHT.
+void wht_expect_batch(cplx* states, index_t stride, int lanes, const dvec& obj,
+                      double* out);
+
+/// Batched phase_wht_expect: the whole final QAOA round for every lane.
+void phase_wht_expect_batch(cplx* states, index_t stride, int lanes,
+                            const dvec& d, const DiagDict* dict,
+                            const double* angles, double scale, const dvec& obj,
+                            double* out);
 
 /// True iff sz is a power of two (and non-zero).
 bool is_power_of_two(index_t sz);

@@ -15,6 +15,22 @@
 
 namespace fastqaoa {
 
+namespace linalg {
+struct DiagDict;  // linalg/diag_dict.hpp
+}
+
+/// A strided matrix of `lanes` statevectors threaded through the batched
+/// mixer entry points: lane l lives at states + l*stride (stride in complex
+/// elements, stride >= dim). `init`, when non-null, is a shared input vector
+/// all lanes start from (the copy is fused into the first pass over the
+/// data); when null, every lane transforms its own current contents.
+struct StateBatch {
+  cplx* states = nullptr;
+  index_t stride = 0;
+  int lanes = 0;
+  const cplx* init = nullptr;
+};
+
 /// A mixer Hamiltonian H_M restricted to a feasible subspace of dimension
 /// dim().
 ///
@@ -57,6 +73,35 @@ class Mixer {
   virtual double apply_phase_exp_expect(cvec& psi, const dvec& phase,
                                         double gamma, double beta,
                                         const dvec& obj, cvec& scratch) const;
+
+  // --- batched whole-round steps (evaluate_batch) ------------------------
+  // Per-lane results must be bit-identical to `lanes` sequential calls of
+  // the corresponding single-state virtual. The base-class defaults loop
+  // lanes through the single-state path via a bounce buffer (allocating —
+  // fallback quality); mixers whose diagonal frame batches well override
+  // them (XMixer shares one sweep over its tables across all lanes).
+  // `phase_dict`/the mixer's own diagonal dictionary may be null/invalid;
+  // they only unlock the quantized phase route, never change results.
+
+  /// Batched apply_phase_exp: lane l gets gammas[l] / betas[l].
+  virtual void apply_phase_exp_batch(const StateBatch& b, const dvec& phase,
+                                     const linalg::DiagDict* phase_dict,
+                                     const double* gammas, const double* betas,
+                                     cvec& scratch) const;
+
+  /// Batched apply_phase_exp_expect: out[l] = <lane l| diag(obj) |lane l>.
+  virtual void apply_phase_exp_expect_batch(const StateBatch& b,
+                                            const dvec& phase,
+                                            const linalg::DiagDict* phase_dict,
+                                            const double* gammas,
+                                            const double* betas,
+                                            const dvec& obj, double* out,
+                                            cvec& scratch) const;
+
+  /// Batched apply_exp: lane l gets betas[l]. b.init must be null (mid-round
+  /// steps are always in place).
+  virtual void apply_exp_batch(const StateBatch& b, const double* betas,
+                               cvec& scratch) const;
 
   /// The uniform superposition the paper defaults |psi0> to, expressed on
   /// this mixer's space. Overridable for mixers whose natural ground state

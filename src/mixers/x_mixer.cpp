@@ -29,6 +29,7 @@ XMixer::XMixer(int n, std::vector<PauliXTerm> terms, dvec dvals,
     : n_(n),
       terms_(std::move(terms)),
       dvals_(std::move(dvals)),
+      ddict_(linalg::build_diag_dict(dvals_)),
       name_(std::move(name)) {}
 
 XMixer::XMixer(int n, std::vector<PauliXTerm> terms)
@@ -48,6 +49,7 @@ XMixer::XMixer(int n, std::vector<PauliXTerm> terms)
     }
     dvals_[static_cast<index_t>(z)] = d;
   }
+  ddict_ = linalg::build_diag_dict(dvals_);
 }
 
 XMixer XMixer::transverse_field(int n) {
@@ -135,6 +137,50 @@ double XMixer::apply_phase_exp_expect(cvec& psi, const dvec& phase,
   const double inv = 1.0 / static_cast<double>(dvals_.size());
   linalg::phase_wht(psi, phase, gamma, 1.0);
   return linalg::phase_wht_expect(psi, dvals_, beta, inv, obj);
+}
+
+void XMixer::apply_phase_exp_batch(const StateBatch& b, const dvec& phase,
+                                   const linalg::DiagDict* phase_dict,
+                                   const double* gammas, const double* betas,
+                                   cvec& scratch) const {
+  (void)scratch;
+  FASTQAOA_CHECK(phase.size() == dvals_.size(),
+                 "XMixer: phase table size mismatch");
+  const double inv = 1.0 / static_cast<double>(dvals_.size());
+  linalg::phase_wht_batch(b.states, b.stride, b.lanes, b.init, phase,
+                          phase_dict, gammas, 1.0);
+  linalg::phase_wht_batch(b.states, b.stride, b.lanes, nullptr, dvals_,
+                          &ddict_, betas, inv);
+}
+
+void XMixer::apply_phase_exp_expect_batch(const StateBatch& b,
+                                          const dvec& phase,
+                                          const linalg::DiagDict* phase_dict,
+                                          const double* gammas,
+                                          const double* betas, const dvec& obj,
+                                          double* out, cvec& scratch) const {
+  (void)scratch;
+  FASTQAOA_CHECK(phase.size() == dvals_.size(),
+                 "XMixer: phase table size mismatch");
+  FASTQAOA_CHECK(obj.size() == dvals_.size(), "XMixer: objective mismatch");
+  const double inv = 1.0 / static_cast<double>(dvals_.size());
+  linalg::phase_wht_batch(b.states, b.stride, b.lanes, b.init, phase,
+                          phase_dict, gammas, 1.0);
+  linalg::phase_wht_expect_batch(b.states, b.stride, b.lanes, dvals_, &ddict_,
+                                 betas, inv, obj, out);
+}
+
+void XMixer::apply_exp_batch(const StateBatch& b, const double* betas,
+                             cvec& scratch) const {
+  (void)scratch;
+  FASTQAOA_CHECK(b.init == nullptr,
+                 "apply_exp_batch: mid-round steps are in place");
+  const double inv = 1.0 / static_cast<double>(dvals_.size());
+  // Mirror apply_exp's two-transform shape: plain first WHT, then the mixer
+  // phase + 1/2^n folded into the second's pre-pass.
+  linalg::wht_batch(b.states, b.stride, b.lanes, dvals_.size());
+  linalg::phase_wht_batch(b.states, b.stride, b.lanes, nullptr, dvals_,
+                          &ddict_, betas, inv);
 }
 
 void XMixer::apply_ham(const cvec& in, cvec& out, cvec& scratch) const {

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "linalg/diag_dict.hpp"
 #include "mixers/mixer.hpp"
 
 namespace fastqaoa {
@@ -44,6 +45,12 @@ class XMixer final : public Mixer {
   }
   /// Mixer eigenvalues in the Hadamard frame (d[z] of the header comment).
   [[nodiscard]] const dvec& diagonal() const noexcept { return dvals_; }
+  /// Quantized dictionary over diagonal() — always valid for pure-order
+  /// mixers (n+1 popcount eigenvalues), usually valid for weighted term
+  /// sums; feeds the batched kernels' per-distinct-value phase route.
+  [[nodiscard]] const linalg::DiagDict& diagonal_dict() const noexcept {
+    return ddict_;
+  }
 
   void apply_exp(cvec& psi, double beta, cvec& scratch) const override;
   void apply_ham(const cvec& in, cvec& out, cvec& scratch) const override;
@@ -56,6 +63,22 @@ class XMixer final : public Mixer {
   double apply_phase_exp_expect(cvec& psi, const dvec& phase, double gamma,
                                 double beta, const dvec& obj,
                                 cvec& scratch) const override;
+  /// Batched overrides: one sweep over phase/dvals_ serves every lane, the
+  /// quantized dictionaries collapse the sincos work to one call per
+  /// distinct value per lane, and b.init fuses the |psi0> copy into the
+  /// first cache-resident pass. Bit-identical per lane to the sequential
+  /// overrides above.
+  void apply_phase_exp_batch(const StateBatch& b, const dvec& phase,
+                             const linalg::DiagDict* phase_dict,
+                             const double* gammas, const double* betas,
+                             cvec& scratch) const override;
+  void apply_phase_exp_expect_batch(const StateBatch& b, const dvec& phase,
+                                    const linalg::DiagDict* phase_dict,
+                                    const double* gammas, const double* betas,
+                                    const dvec& obj, double* out,
+                                    cvec& scratch) const override;
+  void apply_exp_batch(const StateBatch& b, const double* betas,
+                       cvec& scratch) const override;
 
  private:
   XMixer(int n, std::vector<PauliXTerm> terms, dvec dvals, std::string name);
@@ -63,6 +86,7 @@ class XMixer final : public Mixer {
   int n_;
   std::vector<PauliXTerm> terms_;
   dvec dvals_;  ///< d[z], length 2^n
+  linalg::DiagDict ddict_;  ///< quantized view of dvals_ (may be invalid)
   std::string name_;
 };
 

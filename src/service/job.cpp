@@ -8,6 +8,8 @@ const char* to_string(JobKind kind) noexcept {
   switch (kind) {
     case JobKind::Evaluate:
       return "evaluate";
+    case JobKind::BatchEvaluate:
+      return "batch_evaluate";
     case JobKind::Gradient:
       return "gradient";
     case JobKind::FindAngles:
@@ -50,6 +52,17 @@ void validate_job_spec(const JobSpec& spec) {
       if (spec.kind == JobKind::Sample) {
         FASTQAOA_CHECK(spec.shots >= 1, "shots must be >= 1");
       }
+      break;
+    case JobKind::BatchEvaluate:
+      FASTQAOA_CHECK(spec.lanes >= 1, "batch_evaluate needs >= 1 angle set");
+      FASTQAOA_CHECK(spec.lanes <= 4096,
+                     "batch_evaluate caps at 4096 angle sets per job");
+      FASTQAOA_CHECK(
+          spec.betas.size() == static_cast<std::size_t>(spec.lanes) * p,
+          "betas must carry lanes * p entries (lane-major)");
+      FASTQAOA_CHECK(
+          spec.gammas.size() == static_cast<std::size_t>(spec.lanes) * p,
+          "gammas must carry lanes * p entries (lane-major)");
       break;
     case JobKind::FindAngles:
       FASTQAOA_CHECK(spec.hops >= 1, "hops must be >= 1");

@@ -20,7 +20,13 @@
 
 namespace fastqaoa::service {
 
-enum class JobKind : std::uint8_t { Evaluate, Gradient, FindAngles, Sample };
+enum class JobKind : std::uint8_t {
+  Evaluate,
+  BatchEvaluate,
+  Gradient,
+  FindAngles,
+  Sample,
+};
 
 enum class JobState : std::uint8_t {
   Queued,
@@ -42,8 +48,15 @@ struct JobSpec {
   bool minimize = false;
 
   /// evaluate / gradient / sample: fixed angles, one per round.
+  /// batch_evaluate: lane-major angle sets — lane l's betas live at
+  /// betas[l*p .. (l+1)*p), likewise gammas; `lanes` angle sets total. The
+  /// whole sweep is ONE job: a single admission decision, a single worker,
+  /// one evaluate_batch pass through the fused kernels.
   std::vector<double> betas;
   std::vector<double> gammas;
+
+  /// batch_evaluate: number of angle sets carried in betas/gammas.
+  int lanes = 0;
 
   /// sample: number of measurement shots.
   std::uint64_t shots = 1024;
@@ -67,6 +80,7 @@ void validate_job_spec(const JobSpec& spec);
 /// meaningful.
 struct JobResultData {
   double expectation = 0.0;
+  std::vector<double> expectations;             ///< batch_evaluate, per lane
   std::vector<double> grad_betas;               ///< gradient
   std::vector<double> grad_gammas;              ///< gradient
   std::vector<AngleSchedule> schedules;         ///< find_angles

@@ -24,6 +24,46 @@ Json doubles_to_json(const std::vector<double>& values) {
   return arr;
 }
 
+/// batch_evaluate angle sets arrive as an array of per-lane arrays
+/// ("betas": [[...], [...], ...]); flatten lane-major and report how many
+/// lanes the field carried. Every lane must have the same length.
+std::vector<double> lanes_from_json(const Json& value,
+                                    const std::string& field, int& lanes) {
+  FASTQAOA_CHECK(value.is_array() && value.size() > 0,
+                 "'" + field + "' must be a non-empty array of angle arrays");
+  std::vector<double> flat;
+  std::size_t width = 0;
+  for (std::size_t l = 0; l < value.size(); ++l) {
+    const Json& lane = value.as_array()[l];
+    FASTQAOA_CHECK(lane.is_array(),
+                   "'" + field + "' lanes must be arrays of numbers");
+    if (l == 0) {
+      width = lane.size();
+      flat.reserve(value.size() * width);
+    }
+    FASTQAOA_CHECK(lane.size() == width,
+                   "'" + field + "' lanes must all have the same length");
+    for (const Json& v : lane.as_array()) flat.push_back(v.as_double());
+  }
+  lanes = static_cast<int>(value.size());
+  return flat;
+}
+
+/// Inverse of lanes_from_json: lane-major flat angles -> nested arrays.
+Json lanes_to_json(const std::vector<double>& flat, int lanes) {
+  Json outer = Json::array();
+  const std::size_t width =
+      lanes > 0 ? flat.size() / static_cast<std::size_t>(lanes) : 0;
+  for (int l = 0; l < lanes; ++l) {
+    Json inner = Json::array();
+    for (std::size_t i = 0; i < width; ++i) {
+      inner.push_back(Json(flat[static_cast<std::size_t>(l) * width + i]));
+    }
+    outer.push_back(std::move(inner));
+  }
+  return outer;
+}
+
 Json schedule_to_json(const AngleSchedule& s) {
   Json j = Json::object();
   j.set("p", Json(static_cast<long long>(s.p)));
@@ -41,6 +81,10 @@ Json result_to_json(const JobKind kind, const JobResultData& r) {
   j.set("expectation", Json(r.expectation));
   switch (kind) {
     case JobKind::Evaluate:
+      break;
+    case JobKind::BatchEvaluate:
+      j.set("expectations", doubles_to_json(r.expectations));
+      j.set("lanes", Json(static_cast<long long>(r.expectations.size())));
       break;
     case JobKind::Gradient:
       j.set("grad_betas", doubles_to_json(r.grad_betas));
@@ -67,6 +111,7 @@ Json result_to_json(const JobKind kind, const JobResultData& r) {
 
 JobKind kind_from_op(const std::string& op) {
   if (op == "evaluate") return JobKind::Evaluate;
+  if (op == "batch_evaluate") return JobKind::BatchEvaluate;
   if (op == "gradient") return JobKind::Gradient;
   if (op == "find_angles") return JobKind::FindAngles;
   if (op == "sample") return JobKind::Sample;
@@ -74,8 +119,8 @@ JobKind kind_from_op(const std::string& op) {
 }
 
 bool is_job_op(const std::string& op) {
-  return op == "evaluate" || op == "gradient" || op == "find_angles" ||
-         op == "sample";
+  return op == "evaluate" || op == "batch_evaluate" || op == "gradient" ||
+         op == "find_angles" || op == "sample";
 }
 
 }  // namespace
@@ -91,8 +136,22 @@ JobSpec job_spec_from_json(const Json& request) {
   if (const Json* v = request.find("seed")) spec.problem.instance_seed = v->as_uint64();
   if (const Json* v = request.find("p")) spec.p = static_cast<int>(v->as_int64());
   if (const Json* v = request.find("minimize")) spec.minimize = v->as_bool();
-  if (const Json* v = request.find("betas")) spec.betas = doubles_from_json(*v, "betas");
-  if (const Json* v = request.find("gammas")) spec.gammas = doubles_from_json(*v, "gammas");
+  if (spec.kind == JobKind::BatchEvaluate) {
+    int beta_lanes = 0;
+    int gamma_lanes = 0;
+    if (const Json* v = request.find("betas")) {
+      spec.betas = lanes_from_json(*v, "betas", beta_lanes);
+    }
+    if (const Json* v = request.find("gammas")) {
+      spec.gammas = lanes_from_json(*v, "gammas", gamma_lanes);
+    }
+    FASTQAOA_CHECK(beta_lanes == gamma_lanes,
+                   "betas and gammas must carry the same number of lanes");
+    spec.lanes = beta_lanes;
+  } else {
+    if (const Json* v = request.find("betas")) spec.betas = doubles_from_json(*v, "betas");
+    if (const Json* v = request.find("gammas")) spec.gammas = doubles_from_json(*v, "gammas");
+  }
   if (const Json* v = request.find("shots")) spec.shots = v->as_uint64();
   if (const Json* v = request.find("hops")) spec.hops = static_cast<int>(v->as_int64());
   if (const Json* v = request.find("starts")) spec.starts = static_cast<int>(v->as_int64());
@@ -122,6 +181,10 @@ Json job_spec_to_json(const JobSpec& spec) {
     case JobKind::Gradient:
       j.set("betas", doubles_to_json(spec.betas));
       j.set("gammas", doubles_to_json(spec.gammas));
+      break;
+    case JobKind::BatchEvaluate:
+      j.set("betas", lanes_to_json(spec.betas, spec.lanes));
+      j.set("gammas", lanes_to_json(spec.gammas, spec.lanes));
       break;
     case JobKind::Sample:
       j.set("betas", doubles_to_json(spec.betas));
@@ -191,6 +254,13 @@ Json stats_to_json(const ServiceStats& stats) {
   j.set("failed", Json(stats.failed));
   j.set("cancelled", Json(stats.cancelled));
   j.set("rejected", Json(stats.rejected));
+  j.set("batch_jobs", Json(stats.batch_jobs));
+  j.set("batched_evals", Json(stats.batched_evals));
+  j.set("mean_batch_width",
+        Json(stats.batch_jobs > 0
+                 ? static_cast<double>(stats.batched_evals) /
+                       static_cast<double>(stats.batch_jobs)
+                 : 0.0));
   j.set("draining", Json(stats.draining));
   j.set("kernel_backend", Json(linalg::kernels::active_name()));
   j.set("plan_cache", std::move(cache));

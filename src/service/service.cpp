@@ -105,6 +105,8 @@ ServiceStats Service::stats() const {
     s.failed = failed_;
     s.cancelled = cancelled_;
     s.rejected = rejected_;
+    s.batch_jobs = batch_jobs_;
+    s.batched_evals = batched_evals_;
     s.draining = draining_;
   }
   s.plan_cache = cache_.stats();
@@ -280,6 +282,29 @@ void Service::execute(Job& job, EvalWorkspace& ws, JobResultData& out) {
   switch (spec.kind) {
     case JobKind::Evaluate: {
       out.expectation = evaluate(plan, ws, spec.betas, spec.gammas);
+      break;
+    }
+    case JobKind::BatchEvaluate: {
+      // The whole sweep runs on this one worker through evaluate_batch's
+      // fused kernels (one admission decision bought the whole thing).
+      // Per-lane values are bit-identical to lane-by-lane evaluate().
+      out.expectations.resize(static_cast<std::size_t>(spec.lanes));
+      evaluate_batch(plan, ws, spec.betas, spec.gammas, out.expectations);
+      // Headline expectation = the sweep's best lane under the requested
+      // direction (first such lane on ties).
+      out.expectation = out.expectations[0];
+      for (const double e : out.expectations) {
+        if (spec.minimize ? e < out.expectation : e > out.expectation) {
+          out.expectation = e;
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++batch_jobs_;
+        batched_evals_ += static_cast<std::uint64_t>(spec.lanes);
+      }
+      FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.batched_evals",
+                                static_cast<std::uint64_t>(spec.lanes));
       break;
     }
     case JobKind::Gradient: {

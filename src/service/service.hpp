@@ -86,6 +86,12 @@ struct ServiceStats {
   std::uint64_t failed = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t rejected = 0;
+  /// batch_evaluate accounting: jobs completed and total lanes they swept.
+  /// Both are pure functions of the submitted specs (one count per finished
+  /// batch job, lanes from its spec), so they are worker-count invariant —
+  /// the same job set reports the same totals on any pool size.
+  std::uint64_t batch_jobs = 0;
+  std::uint64_t batched_evals = 0;
   bool draining = false;
   PlanCache::Stats plan_cache;
 };
@@ -152,6 +158,8 @@ class Service {
   std::uint64_t failed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t batch_jobs_ = 0;
+  std::uint64_t batched_evals_ = 0;
 
   std::vector<std::thread> workers_;
 };

@@ -343,6 +343,20 @@ std::vector<JobSpec> mixed_batch() {
     fa.p = 2;
     fa.hops = 3;
     batch.push_back(fa);
+
+    JobSpec sweep = evaluate_spec();
+    sweep.kind = JobKind::BatchEvaluate;
+    sweep.problem.instance_seed = seed;
+    sweep.lanes = 3;
+    sweep.betas.clear();
+    sweep.gammas.clear();
+    for (int lane = 0; lane < sweep.lanes; ++lane) {
+      for (int r = 0; r < sweep.p; ++r) {
+        sweep.betas.push_back(0.1 + 0.2 * lane);
+        sweep.gammas.push_back(0.3 + 0.1 * lane);
+      }
+    }
+    batch.push_back(sweep);
   }
   return batch;
 }
@@ -366,12 +380,63 @@ std::vector<JobResultData> run_batch(int workers) {
   return results;
 }
 
+TEST(ServiceBatchEvaluate, LanesMatchIndividualJobsAndStatsCount) {
+  // One batch_evaluate job must report, per lane, the exact double an
+  // individual evaluate job computes for the same angles — and the stats
+  // verb's batch counters must reflect the sweep (worker-count invariant:
+  // they are pure functions of the submitted specs).
+  for (const int workers : {1, 4}) {
+    ServiceConfig config;
+    config.workers = workers;
+    Service service(config);
+
+    JobSpec sweep = evaluate_spec();
+    sweep.kind = JobKind::BatchEvaluate;
+    sweep.lanes = 4;
+    sweep.betas.clear();
+    sweep.gammas.clear();
+    for (int lane = 0; lane < sweep.lanes; ++lane) {
+      for (int r = 0; r < sweep.p; ++r) {
+        sweep.betas.push_back(0.05 + 0.15 * lane);
+        sweep.gammas.push_back(0.25 + 0.1 * lane);
+      }
+    }
+    Service::SubmitOutcome outcome = service.submit(sweep);
+    ASSERT_TRUE(outcome.accepted());
+    Service::wait(*outcome.job);
+    ASSERT_EQ(outcome.job->snapshot_state(), JobState::Done);
+    const JobResultData& result = outcome.job->result;
+    ASSERT_EQ(result.expectations.size(), 4u);
+
+    const auto sp = static_cast<std::size_t>(sweep.p);
+    for (int lane = 0; lane < sweep.lanes; ++lane) {
+      JobSpec single = evaluate_spec();
+      const auto offset = static_cast<std::size_t>(lane) * sp;
+      single.betas.assign(sweep.betas.begin() + offset,
+                          sweep.betas.begin() + offset + sp);
+      single.gammas.assign(sweep.gammas.begin() + offset,
+                           sweep.gammas.begin() + offset + sp);
+      Service::SubmitOutcome one = service.submit(single);
+      ASSERT_TRUE(one.accepted());
+      Service::wait(*one.job);
+      EXPECT_EQ(one.job->result.expectation,
+                result.expectations[static_cast<std::size_t>(lane)])
+          << "lane " << lane << " workers " << workers;
+    }
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.batch_jobs, 1u) << "workers " << workers;
+    EXPECT_EQ(stats.batched_evals, 4u) << "workers " << workers;
+  }
+}
+
 TEST(ServiceConcurrency, ResultsAreWorkerCountInvariant) {
   const std::vector<JobResultData> one = run_batch(1);
   const std::vector<JobResultData> four = run_batch(4);
   ASSERT_EQ(one.size(), four.size());
   for (std::size_t i = 0; i < one.size(); ++i) {
     EXPECT_EQ(one[i].expectation, four[i].expectation) << "job " << i;
+    EXPECT_EQ(one[i].expectations, four[i].expectations) << "job " << i;
     EXPECT_EQ(one[i].grad_betas, four[i].grad_betas) << "job " << i;
     EXPECT_EQ(one[i].grad_gammas, four[i].grad_gammas) << "job " << i;
     EXPECT_EQ(one[i].shot_estimate, four[i].shot_estimate) << "job " << i;
@@ -537,6 +602,66 @@ TEST(ServiceProtocol, DispatchesVerbsAndRejectsGarbage) {
   const Json stats =
       Json::parse(handle_request_line(service, R"({"op":"stats"})"));
   EXPECT_EQ(stats.at("stats").at("plan_cache").at("misses").as_uint64(), 1u);
+}
+
+TEST(ServiceProtocol, BatchEvaluateWireRoundTrip) {
+  ServiceConfig config;
+  config.workers = 1;
+  Service service(config);
+
+  // Nested per-lane angle arrays -> one job -> per-lane expectations, each
+  // matching the equivalent single evaluate request bit for bit.
+  const Json response = Json::parse(handle_request_line(
+      service,
+      R"({"op":"batch_evaluate","problem":"maxcut","mixer":"tf","n":6,)"
+      R"("p":1,"betas":[[0.1],[0.2],[0.3]],"gammas":[[0.5],[0.6],[0.7]]})"));
+  ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+  ASSERT_EQ(response.at("state").as_string(), "done");
+  const Json& expectations = response.at("result").at("expectations");
+  ASSERT_EQ(expectations.size(), 3u);
+  EXPECT_EQ(response.at("result").at("lanes").as_int64(), 3);
+
+  const double betas[] = {0.1, 0.2, 0.3};
+  const double gammas[] = {0.5, 0.6, 0.7};
+  for (std::size_t lane = 0; lane < 3; ++lane) {
+    JobSpec single;
+    single.kind = JobKind::Evaluate;
+    single.problem.n = 6;
+    single.p = 1;
+    single.betas = {betas[lane]};
+    single.gammas = {gammas[lane]};
+    EXPECT_EQ(expectations.as_array()[lane].as_double(),
+              direct_evaluate(single))
+        << "lane " << lane;
+  }
+
+  // Spec JSON round trip preserves the lane structure.
+  JobSpec sweep;
+  sweep.kind = JobKind::BatchEvaluate;
+  sweep.problem.n = 6;
+  sweep.p = 1;
+  sweep.lanes = 3;
+  sweep.betas = {0.1, 0.2, 0.3};
+  sweep.gammas = {0.5, 0.6, 0.7};
+  const JobSpec back = job_spec_from_json(job_spec_to_json(sweep));
+  EXPECT_EQ(back.kind, JobKind::BatchEvaluate);
+  EXPECT_EQ(back.lanes, sweep.lanes);
+  EXPECT_EQ(back.betas, sweep.betas);
+  EXPECT_EQ(back.gammas, sweep.gammas);
+
+  // Ragged lanes are a bad_request, not a crash.
+  const Json ragged = Json::parse(handle_request_line(
+      service,
+      R"({"op":"batch_evaluate","problem":"maxcut","mixer":"tf","n":6,)"
+      R"("p":1,"betas":[[0.1],[0.2,0.3]],"gammas":[[0.5],[0.6]]})"));
+  EXPECT_FALSE(ragged.at("ok").as_bool());
+
+  // The stats verb reports the sweep.
+  const Json stats =
+      Json::parse(handle_request_line(service, R"({"op":"stats"})"));
+  EXPECT_EQ(stats.at("stats").at("batch_jobs").as_uint64(), 1u);
+  EXPECT_EQ(stats.at("stats").at("batched_evals").as_uint64(), 3u);
+  EXPECT_EQ(stats.at("stats").at("mean_batch_width").as_double(), 3.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,12 @@
 //                                  --betas=a,b,.. --gammas=a,b,..
 //                                  [--seed] [--density] [--minimize]
 //                                  [--shots] [--opt-seed]
+//   batch_evaluate                 like evaluate, but --betas/--gammas take
+//                                  ';'-separated lanes of ','-separated
+//                                  angles (--betas=0.1;0.2;0.3 sweeps three
+//                                  p=1 angle sets in ONE job / one
+//                                  admission decision); result carries one
+//                                  expectation per lane
 //   find_angles                    --problem --mixer --n [--k] [--p]
 //                                  [--hops] [--starts] [--opt-seed]
 //                                  [--checkpoint] [--deadline] [--max-evals]
@@ -83,8 +89,8 @@ bool has_flag(int argc, char** argv, const char* flag) {
   std::fprintf(stderr, "qaoa_client: %s\n", message.c_str());
   std::fprintf(stderr,
                "usage: qaoa_client --socket=PATH|--tcp=PORT "
-               "evaluate|gradient|find_angles|sample|status|cancel|stats|"
-               "ping|raw [--problem=..] [--mixer=..] [--n=..] [--k=..] "
+               "evaluate|batch_evaluate|gradient|find_angles|sample|status|"
+               "cancel|stats|ping|raw [--problem=..] [--mixer=..] [--n=..] [--k=..] "
                "[--p=..] [--betas=a,b,..] [--gammas=a,b,..] [--seed=..] "
                "[--density=..] [--minimize] [--shots=..] [--hops=..] "
                "[--starts=..] [--opt-seed=..] [--checkpoint=..] "
@@ -106,6 +112,21 @@ Json csv_doubles(const std::string& csv) {
     start = comma + 1;
   }
   return arr;
+}
+
+/// batch_evaluate angle lists: ';' separates lanes, ',' separates the
+/// angles within one lane — "0.1,0.2;0.3,0.4" -> [[0.1,0.2],[0.3,0.4]].
+Json csv_lanes(const std::string& csv) {
+  Json outer = Json::array();
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t semi = csv.find(';', start);
+    if (semi == std::string::npos) semi = csv.size();
+    const std::string lane = csv.substr(start, semi - start);
+    if (!lane.empty()) outer.push_back(csv_doubles(lane));
+    start = semi + 1;
+  }
+  return outer;
 }
 
 const char* find_verb(int argc, char** argv) {
@@ -141,8 +162,9 @@ int main(int argc, char** argv) {
                       int_option(argc, argv, "--id", 0))));
   } else if (verb == "stats" || verb == "ping") {
     req.set("op", Json(verb));
-  } else if (verb == "evaluate" || verb == "gradient" ||
-             verb == "find_angles" || verb == "sample") {
+  } else if (verb == "evaluate" || verb == "batch_evaluate" ||
+             verb == "gradient" || verb == "find_angles" ||
+             verb == "sample") {
     req.set("op", Json(verb));
     req.set("problem", Json(string_option(argc, argv, "--problem", "maxcut")));
     req.set("mixer", Json(string_option(argc, argv, "--mixer", "tf")));
@@ -159,12 +181,14 @@ int main(int argc, char** argv) {
     }
     req.set("p", Json(int_option(argc, argv, "--p", 1)));
     if (has_flag(argc, argv, "--minimize")) req.set("minimize", Json(true));
+    const bool lanes = verb == "batch_evaluate";
     if (has_option(argc, argv, "--betas")) {
-      req.set("betas", csv_doubles(string_option(argc, argv, "--betas", "")));
+      const std::string csv = string_option(argc, argv, "--betas", "");
+      req.set("betas", lanes ? csv_lanes(csv) : csv_doubles(csv));
     }
     if (has_option(argc, argv, "--gammas")) {
-      req.set("gammas",
-              csv_doubles(string_option(argc, argv, "--gammas", "")));
+      const std::string csv = string_option(argc, argv, "--gammas", "");
+      req.set("gammas", lanes ? csv_lanes(csv) : csv_doubles(csv));
     }
     if (has_option(argc, argv, "--shots")) {
       req.set("shots", Json(static_cast<std::uint64_t>(
