@@ -369,6 +369,7 @@ std::vector<AngleSchedule> find_angles(const Mixer& mixer,
             .count();
     FASTQAOA_OBS_COUNT_GLOBAL("anglefind.rounds", 1);
     FASTQAOA_OBS_TIME_GLOBAL("anglefind.round", seconds);
+    FASTQAOA_OBS_HIST_GLOBAL("anglefind.round_latency_seconds", seconds);
     if (options.on_round) options.on_round(schedules.back(), seconds);
     if (schedules.back().stopped_early()) break;
   }

@@ -119,6 +119,7 @@ double evaluate(const QaoaPlan& plan, EvalWorkspace& ws,
   FASTQAOA_OBS_SCOPE(ws.metrics);
   FASTQAOA_OBS_COUNT("core.evaluate.calls", 1);
   FASTQAOA_OBS_TIMED("core.evaluate");
+  FASTQAOA_OBS_HIST_TIMED("core.evaluate.latency_seconds");
   FASTQAOA_TRACE_SPAN("evaluate");
   ws.psi = plan.initial_state();
   const dvec& phase = plan.phase_values();
@@ -126,6 +127,7 @@ double evaluate(const QaoaPlan& plan, EvalWorkspace& ws,
   std::size_t beta_index = 0;
   for (std::size_t k = 0; k < layers.size(); ++k) {
     FASTQAOA_OBS_TIMED("core.evaluate.round");
+    FASTQAOA_OBS_HIST_TIMED("core.evaluate.round_latency_seconds");
     const auto& ms = layers[k].mixers;
     const bool last = k + 1 == layers.size();
     if (last && ms.size() == 1) {
@@ -194,6 +196,8 @@ void evaluate_batch(const QaoaPlan& plan, EvalWorkspace& ws,
   FASTQAOA_OBS_COUNT("core.evaluate_batch.calls", 1);
   FASTQAOA_OBS_COUNT("core.evaluate.batched_lanes", b_count);
   FASTQAOA_OBS_TIMED("core.evaluate_batch");
+  FASTQAOA_OBS_HIST_TIMED("core.evaluate_batch.latency_seconds");
+  FASTQAOA_OBS_HIST("core.evaluate_batch.width", b_count);
   FASTQAOA_TRACE_SPAN("evaluate_batch");
 
   const index_t d = plan.dim();
@@ -222,6 +226,7 @@ void evaluate_batch(const QaoaPlan& plan, EvalWorkspace& ws,
     bool fused_expect = false;
     for (std::size_t k = 0; k < layers.size(); ++k) {
       FASTQAOA_OBS_TIMED("core.evaluate_batch.round");
+      FASTQAOA_OBS_HIST_TIMED("core.evaluate_batch.round_latency_seconds");
       const auto& ms = layers[k].mixers;
       const bool last = k + 1 == layers.size();
       // All lanes start from the shared |psi0>; the copy is fused into the

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <mutex>
 #include <sstream>
@@ -16,8 +17,10 @@ struct Registry {
   std::mutex mutex;
   std::vector<std::string> counter_names;
   std::vector<std::string> timer_names;
+  std::vector<std::string> histogram_names;
   std::unordered_map<std::string, MetricId> counter_ids;
   std::unordered_map<std::string, MetricId> timer_ids;
+  std::unordered_map<std::string, MetricId> histogram_ids;
 };
 
 Registry& registry() {
@@ -48,6 +51,12 @@ std::string timer_name(MetricId id) {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   return r.timer_names[id];
+}
+
+std::string histogram_name(MetricId id) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.histogram_names[id];
 }
 
 std::atomic<bool> g_metrics_enabled{true};
@@ -110,10 +119,52 @@ MetricId timer_id(std::string_view name) {
   return intern(name, r.timer_names, r.timer_ids);
 }
 
+MetricId histogram_id(std::string_view name) {
+  Registry& r = registry();
+  return intern(name, r.histogram_names, r.histogram_ids);
+}
+
+std::size_t HistogramStat::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN samples
+  int exp = 0;
+  std::frexp(v, &exp);  // v = m * 2^exp with m in [0.5, 1)
+  const int idx = exp + 20;  // v in [2^(idx-21), 2^(idx-20))
+  if (idx < 0) return 0;
+  if (idx >= static_cast<int>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+double HistogramStat::bucket_upper(std::size_t i) noexcept {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i) - 20);
+}
+
+double HistogramStat::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Smallest bucket whose cumulative count reaches ceil(q * count).
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target) {
+      double upper = bucket_upper(i);
+      if (upper > max) upper = max;  // incl. the +inf last bucket
+      if (upper < min) upper = min;
+      return upper;
+    }
+  }
+  return max;
+}
+
 void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, value] : other.labels) labels[name] = value;
   for (const auto& [name, count] : other.counters) counters[name] += count;
   for (const auto& [name, stat] : other.timings) timings[name].merge(stat);
+  for (const auto& [name, hist] : other.histograms) {
+    histograms[name].merge(hist);
+  }
 }
 
 std::string MetricsSnapshot::to_json() const {
@@ -153,6 +204,34 @@ std::string MetricsSnapshot::to_json() const {
     append_double(os, stat.max);
     os << '}';
   }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    append_json_escaped(os, name);
+    os << ":{\"count\":" << hist.count << ",\"sum\":";
+    append_double(os, hist.sum);
+    os << ",\"min\":";
+    append_double(os, hist.min);
+    os << ",\"max\":";
+    append_double(os, hist.max);
+    os << ",\"p50\":";
+    append_double(os, hist.quantile(0.50));
+    os << ",\"p95\":";
+    append_double(os, hist.quantile(0.95));
+    os << ",\"p99\":";
+    append_double(os, hist.quantile(0.99));
+    os << ",\"buckets\":{";
+    bool bfirst = true;
+    for (std::size_t i = 0; i < HistogramStat::kBuckets; ++i) {
+      if (hist.buckets[i] == 0) continue;
+      if (!bfirst) os << ',';
+      bfirst = false;
+      os << '"' << i << "\":" << hist.buckets[i];
+    }
+    os << "}}";
+  }
   os << "}}";
   return os.str();
 }
@@ -170,6 +249,12 @@ void MetricsSink::merge(const MetricsSink& other) {
   for (std::size_t i = 0; i < other.timings_.size(); ++i) {
     timings_[i].merge(other.timings_[i]);
   }
+  if (other.histograms_.size() > histograms_.size()) {
+    histograms_.resize(other.histograms_.size());
+  }
+  for (std::size_t i = 0; i < other.histograms_.size(); ++i) {
+    histograms_[i].merge(other.histograms_[i]);
+  }
 }
 
 bool MetricsSink::empty() const noexcept {
@@ -178,6 +263,9 @@ bool MetricsSink::empty() const noexcept {
   }
   for (const TimingStat& t : timings_) {
     if (t.count != 0) return false;
+  }
+  for (const HistogramStat& h : histograms_) {
+    if (h.count != 0) return false;
   }
   return true;
 }
@@ -189,6 +277,11 @@ MetricsSnapshot MetricsSink::snapshot() const {
   }
   for (std::size_t i = 0; i < timings_.size(); ++i) {
     if (timings_[i].count != 0) snap.timings[timer_name(i)] = timings_[i];
+  }
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i].count != 0) {
+      snap.histograms[histogram_name(i)] = histograms_[i];
+    }
   }
   return snap;
 }
@@ -227,6 +320,12 @@ void time_global(MetricId id, double seconds) {
   GlobalSink& g = global_sink();
   std::lock_guard<std::mutex> lock(g.mutex);
   g.sink.add_timing(id, seconds);
+}
+
+void hist_global(MetricId id, double value) {
+  GlobalSink& g = global_sink();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.sink.add_histogram(id, value);
 }
 
 MetricsSnapshot global_snapshot() {

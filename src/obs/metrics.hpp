@@ -20,6 +20,7 @@
 /// at the bottom — the things that sit on hot paths — compile to nothing
 /// when the build sets FASTQAOA_PROFILING=OFF.
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <map>
@@ -34,10 +35,12 @@ namespace fastqaoa::obs {
 /// Dense handle for an interned metric name.
 using MetricId = std::size_t;
 
-/// Intern a counter / timer name (process-global, append-only; safe to call
-/// from any thread, but intended to run once per site via a local static).
+/// Intern a counter / timer / histogram name (process-global, append-only;
+/// safe to call from any thread, but intended to run once per site via a
+/// local static). The three kinds live in separate id spaces.
 MetricId counter_id(std::string_view name);
 MetricId timer_id(std::string_view name);
+MetricId histogram_id(std::string_view name);
 
 /// Accumulated timing distribution for one named timer.
 struct TimingStat {
@@ -60,6 +63,51 @@ struct TimingStat {
   }
 };
 
+/// Fixed log2-bucketed distribution for one named histogram.
+///
+/// The bucket index is a pure function of the recorded value (its binary
+/// exponent), never of thread scheduling or insertion order — so merged
+/// bucket counts are bit-identical at any worker/thread count on the same
+/// workload, exactly like counters. Bucket i covers values in
+/// [2^(i-21), 2^(i-20)): bucket 0 absorbs everything below ~0.95 µs (the
+/// base resolution, chosen for second-denominated latencies; integer-valued
+/// samples such as batch widths land in the exact power-of-two buckets),
+/// and the last bucket absorbs the unbounded tail.
+struct HistogramStat {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  /// Bucket index for a value: clamp(binary_exponent(v) + 20, 0, 63).
+  /// Non-positive (and NaN) values land in bucket 0.
+  [[nodiscard]] static std::size_t bucket_index(double v) noexcept;
+  /// Inclusive upper bound of bucket i: 2^(i-20) seconds; +inf for the
+  /// last bucket.
+  [[nodiscard]] static double bucket_upper(std::size_t i) noexcept;
+
+  void add(double v) noexcept {
+    ++count;
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+    ++buckets[bucket_index(v)];
+  }
+  void merge(const HistogramStat& other) noexcept {
+    count += other.count;
+    sum += other.sum;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  }
+  /// Quantile estimate derived from bucket upper bounds (clamped to the
+  /// observed [min, max] so p100-ish queries never exceed real data).
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
 /// Point-in-time view of a sink (or of the global aggregate) keyed by name.
 /// Mergeable, and serializable to a stable (sorted-key) JSON object.
 struct MetricsSnapshot {
@@ -69,14 +117,21 @@ struct MetricsSnapshot {
   std::map<std::string, std::string> labels;
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, TimingStat> timings;
+  std::map<std::string, HistogramStat> histograms;
 
   void merge(const MetricsSnapshot& other);
   [[nodiscard]] bool empty() const noexcept {
-    return labels.empty() && counters.empty() && timings.empty();
+    return labels.empty() && counters.empty() && timings.empty() &&
+           histograms.empty();
   }
   /// {"labels": {name: value, ...},
   ///  "counters": {name: count, ...},
-  ///  "timings": {name: {"count": n, "total_s": t, "min_s": a, "max_s": b}}}
+  ///  "timings": {name: {"count": n, "total_s": t, "min_s": a, "max_s": b}},
+  ///  "histograms": {name: {"count": n, "sum": s, "min": a, "max": b,
+  ///                        "p50": q1, "p95": q2, "p99": q3,
+  ///                        "buckets": {"<index>": count, ...}}}}
+  /// Bucket counts are exact (sparse: zero buckets omitted); the quantiles
+  /// are derived from bucket upper bounds.
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -93,17 +148,23 @@ class MetricsSink {
     if (id >= timings_.size()) timings_.resize(id + 1);
     timings_[id].add(seconds);
   }
+  void add_histogram(MetricId id, double value) {
+    if (id >= histograms_.size()) histograms_.resize(id + 1);
+    histograms_[id].add(value);
+  }
   void merge(const MetricsSink& other);
   void clear() noexcept {
     counters_.clear();
     timings_.clear();
+    histograms_.clear();
   }
   [[nodiscard]] bool empty() const noexcept;
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
  private:
-  std::vector<std::uint64_t> counters_;  ///< indexed by counter MetricId
-  std::vector<TimingStat> timings_;      ///< indexed by timer MetricId
+  std::vector<std::uint64_t> counters_;   ///< indexed by counter MetricId
+  std::vector<TimingStat> timings_;       ///< indexed by timer MetricId
+  std::vector<HistogramStat> histograms_; ///< indexed by histogram MetricId
 };
 
 /// Runtime master switch (default on). When off, SinkScope binds no active
@@ -149,13 +210,34 @@ class ScopedTimer {
   WallTimer timer_;
 };
 
+/// Times a scope into a *histogram* of the active sink (captured at
+/// construction) — for durations whose distribution matters, not just the
+/// total (per-eval latency, WHT round time).
+class ScopedHistTimer {
+ public:
+  explicit ScopedHistTimer(MetricId id) noexcept
+      : sink_(active_sink()), id_(id) {}
+  ~ScopedHistTimer() {
+    if (sink_ != nullptr) sink_->add_histogram(id_, timer_.seconds());
+  }
+  ScopedHistTimer(const ScopedHistTimer&) = delete;
+  ScopedHistTimer& operator=(const ScopedHistTimer&) = delete;
+
+ private:
+  MetricsSink* sink_;
+  MetricId id_;
+  WallTimer timer_;
+};
+
 /// Process-global aggregate. merge_global is the join-point primitive
 /// (mutex-protected, called once per chain/instance — never per
-/// evaluation); count_global/time_global record cold-path events that have
-/// no per-thread sink (find_angles rounds, ensemble instances).
+/// evaluation); count_global/time_global/hist_global record cold-path
+/// events that have no per-thread sink (find_angles rounds, ensemble
+/// instances, service job bookkeeping).
 void merge_global(const MetricsSink& sink);
 void count_global(MetricId id, std::uint64_t delta = 1);
 void time_global(MetricId id, double seconds);
+void hist_global(MetricId id, double value);
 [[nodiscard]] MetricsSnapshot global_snapshot();
 void reset_global();
 
@@ -212,6 +294,25 @@ void set_global_label(std::string_view name, std::string_view value);
     }                                                                     \
   } while (false)
 
+/// Record a value into the named histogram of the active sink.
+#define FASTQAOA_OBS_HIST(name, value)                                    \
+  do {                                                                    \
+    if (::fastqaoa::obs::MetricsSink* fq_obs_s =                          \
+            ::fastqaoa::obs::active_sink()) {                             \
+      static const ::fastqaoa::obs::MetricId fq_obs_id =                  \
+          ::fastqaoa::obs::histogram_id(name);                            \
+      fq_obs_s->add_histogram(fq_obs_id, (value));                        \
+    }                                                                     \
+  } while (false)
+
+/// Time the enclosing scope into the named *histogram* of the active sink.
+#define FASTQAOA_OBS_HIST_TIMED(name)                                     \
+  static const ::fastqaoa::obs::MetricId FASTQAOA_OBS_CONCAT(             \
+      fq_obs_hid_, __LINE__) = ::fastqaoa::obs::histogram_id(name);       \
+  ::fastqaoa::obs::ScopedHistTimer FASTQAOA_OBS_CONCAT(fq_obs_htimer_,    \
+                                                       __LINE__)(         \
+      FASTQAOA_OBS_CONCAT(fq_obs_hid_, __LINE__))
+
 /// Cold-path global counter/timer (serial outer-loop bookkeeping).
 #define FASTQAOA_OBS_COUNT_GLOBAL(name, delta)                           \
   do {                                                                   \
@@ -231,6 +332,15 @@ void set_global_label(std::string_view name, std::string_view value);
     }                                                                    \
   } while (false)
 
+#define FASTQAOA_OBS_HIST_GLOBAL(name, value)                             \
+  do {                                                                    \
+    if (::fastqaoa::obs::metrics_enabled()) {                             \
+      static const ::fastqaoa::obs::MetricId fq_obs_id =                  \
+          ::fastqaoa::obs::histogram_id(name);                            \
+      ::fastqaoa::obs::hist_global(fq_obs_id, (value));                   \
+    }                                                                     \
+  } while (false)
+
 /// Merge a worker sink into the global aggregate at a join point.
 #define FASTQAOA_OBS_MERGE_GLOBAL(sink) ::fastqaoa::obs::merge_global(sink)
 
@@ -248,11 +358,20 @@ void set_global_label(std::string_view name, std::string_view value);
 #define FASTQAOA_OBS_TIME(name, seconds) \
   do {                                   \
   } while (false)
+#define FASTQAOA_OBS_HIST(name, value) \
+  do {                                 \
+  } while (false)
+#define FASTQAOA_OBS_HIST_TIMED(name) \
+  do {                                \
+  } while (false)
 #define FASTQAOA_OBS_COUNT_GLOBAL(name, delta) \
   do {                                         \
   } while (false)
 #define FASTQAOA_OBS_TIME_GLOBAL(name, seconds) \
   do {                                          \
+  } while (false)
+#define FASTQAOA_OBS_HIST_GLOBAL(name, value) \
+  do {                                        \
   } while (false)
 #define FASTQAOA_OBS_MERGE_GLOBAL(sink) \
   do {                                  \

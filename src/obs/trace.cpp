@@ -18,6 +18,8 @@ struct TraceEvent {
   const char* name;
   double ts_us;
   double dur_us;
+  std::uint64_t id = 0;  ///< correlation id ("args":{"id":N}) when has_id
+  bool has_id = false;
 };
 
 /// Per-thread span buffer. Owned by the thread (appends are uncontended);
@@ -93,7 +95,9 @@ void append_event_json(std::ostringstream& os, const TraceEvent& e,
   os << "{\"name\":\"" << e.name << "\",\"cat\":\"fastqaoa\",\"ph\":\"X\"";
   std::snprintf(buf, sizeof buf, ",\"ts\":%.3f,\"dur\":%.3f", e.ts_us,
                 e.dur_us);
-  os << buf << ",\"pid\":1,\"tid\":" << tid << '}';
+  os << buf << ",\"pid\":1,\"tid\":" << tid;
+  if (e.has_id) os << ",\"args\":{\"id\":" << e.id << '}';
+  os << '}';
 }
 
 }  // namespace
@@ -170,6 +174,11 @@ TraceSpan::TraceSpan(const char* name) noexcept
   if (tracing_enabled()) start_us_ = now_us();
 }
 
+TraceSpan::TraceSpan(const char* name, std::uint64_t id) noexcept
+    : name_(name), start_us_(-1.0), id_(id), has_id_(true) {
+  if (tracing_enabled()) start_us_ = now_us();
+}
+
 TraceSpan::~TraceSpan() {
   if (start_us_ < 0.0 || !tracing_enabled()) return;
   ThreadBuffer& buffer = thread_buffer();
@@ -178,7 +187,7 @@ TraceSpan::~TraceSpan() {
     return;
   }
   buffer.events.push_back(
-      TraceEvent{name_, start_us_, now_us() - start_us_});
+      TraceEvent{name_, start_us_, now_us() - start_us_, id_, has_id_});
 }
 
 }  // namespace fastqaoa::obs

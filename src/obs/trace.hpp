@@ -48,9 +48,14 @@ bool write_trace(const std::string& path);
 /// RAII span: records [construction, destruction) under `name` on the
 /// calling thread. Nested spans nest naturally in the trace viewer because
 /// their intervals are contained in the parent's.
+///
+/// The two-argument form stamps a correlation id (e.g. a service job id)
+/// into the event's "args" object as "id", so a Perfetto/Chrome trace can
+/// be joined against the daemon's NDJSON log and histogram samples.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) noexcept;
+  TraceSpan(const char* name, std::uint64_t id) noexcept;
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -58,6 +63,8 @@ class TraceSpan {
  private:
   const char* name_;
   double start_us_;  ///< < 0 when tracing was off at construction
+  std::uint64_t id_ = 0;
+  bool has_id_ = false;
 };
 
 }  // namespace fastqaoa::obs
@@ -66,8 +73,15 @@ class TraceSpan {
 #define FASTQAOA_TRACE_SPAN(name)                                  \
   ::fastqaoa::obs::TraceSpan FASTQAOA_OBS_CONCAT(fq_trace_span_,   \
                                                  __LINE__)(name)
+/// Span carrying a correlation id (service job id) as a span argument.
+#define FASTQAOA_TRACE_SPAN_ID(name, id)                           \
+  ::fastqaoa::obs::TraceSpan FASTQAOA_OBS_CONCAT(fq_trace_span_,   \
+                                                 __LINE__)(name, (id))
 #else
 #define FASTQAOA_TRACE_SPAN(name) \
   do {                            \
+  } while (false)
+#define FASTQAOA_TRACE_SPAN_ID(name, id) \
+  do {                                   \
   } while (false)
 #endif

@@ -34,16 +34,26 @@ Client Client::connect_tcp(int port) {
 }
 
 Json Client::request(const Json& req) {
+  send(req);
+  std::string line;
+  FASTQAOA_CHECK(read_line(line),
+                 "connection closed before a response arrived");
+  return Json::parse(line);
+}
+
+void Client::send(const Json& req) {
   FASTQAOA_CHECK(connected(), "client is not connected");
   write_all(fd_, req.dump() + "\n");
+}
 
-  std::string line;
+bool Client::read_line(std::string& line) {
+  FASTQAOA_CHECK(connected(), "client is not connected");
   for (;;) {
     const std::size_t pos = carry_.find('\n');
     if (pos != std::string::npos) {
       line.assign(carry_, 0, pos);
       carry_.erase(0, pos + 1);
-      break;
+      return true;
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
@@ -51,10 +61,9 @@ Json Client::request(const Json& req) {
       if (errno == EINTR) continue;
       throw Error(std::string("recv: ") + std::strerror(errno));
     }
-    FASTQAOA_CHECK(n != 0, "connection closed before a response arrived");
+    if (n == 0) return false;  // clean EOF mid-stream
     carry_.append(chunk, static_cast<std::size_t>(n));
   }
-  return Json::parse(line);
 }
 
 void Client::close() noexcept {

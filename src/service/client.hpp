@@ -31,6 +31,14 @@ class Client {
   /// {"ok":false,...} objects, not exceptions.
   Json request(const Json& req);
 
+  /// Send one request object without reading a response — the first half
+  /// of a streaming verb like "subscribe".
+  void send(const Json& req);
+
+  /// Block for the next response line of a streaming verb. Returns false
+  /// on clean EOF (server closed the stream); throws on transport errors.
+  bool read_line(std::string& line);
+
   void close() noexcept;
 
  private:

@@ -1,0 +1,122 @@
+#include "service/progress.hpp"
+
+#include <chrono>
+
+namespace fastqaoa::service {
+
+struct ProgressSubState {
+  std::deque<std::string> queue;
+  std::uint64_t dropped = 0;
+  bool final_delivered = false;
+};
+
+struct ProgressInner {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::shared_ptr<ProgressSubState>> subs;
+  std::size_t cap = 256;
+  std::atomic<std::uint64_t>* drop_counter = nullptr;
+  std::uint64_t total_dropped = 0;
+  bool closed = false;
+  bool has_final = false;
+  std::string final_line;
+};
+
+ProgressChannel::ProgressChannel() : inner_(std::make_shared<ProgressInner>()) {}
+
+void ProgressChannel::configure(
+    std::size_t queue_cap, std::atomic<std::uint64_t>* drop_counter) noexcept {
+  std::lock_guard<std::mutex> lock(inner_->mu);
+  inner_->cap = queue_cap == 0 ? 1 : queue_cap;
+  inner_->drop_counter = drop_counter;
+}
+
+void ProgressChannel::publish(const std::string& line) {
+  ProgressInner& in = *inner_;
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(in.mu);
+    if (in.closed) return;
+    for (const auto& sub : in.subs) {
+      if (sub->queue.size() >= in.cap) {
+        sub->queue.pop_front();
+        ++sub->dropped;
+        ++in.total_dropped;
+        if (in.drop_counter != nullptr) {
+          in.drop_counter->fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      sub->queue.push_back(line);
+    }
+    notify = !in.subs.empty();
+  }
+  if (notify) in.cv.notify_all();
+}
+
+void ProgressChannel::close(const std::string& final_line) {
+  ProgressInner& in = *inner_;
+  {
+    std::lock_guard<std::mutex> lock(in.mu);
+    if (in.closed) return;
+    in.closed = true;
+    in.has_final = true;
+    in.final_line = final_line;
+  }
+  in.cv.notify_all();
+}
+
+bool ProgressChannel::closed() const {
+  std::lock_guard<std::mutex> lock(inner_->mu);
+  return inner_->closed;
+}
+
+std::uint64_t ProgressChannel::dropped() const {
+  std::lock_guard<std::mutex> lock(inner_->mu);
+  return inner_->total_dropped;
+}
+
+ProgressChannel::Subscription ProgressChannel::subscribe() {
+  Subscription sub;
+  sub.inner_ = inner_;
+  sub.state_ = std::make_shared<ProgressSubState>();
+  std::lock_guard<std::mutex> lock(inner_->mu);
+  // A post-close subscriber gets no backlog, just the latched terminal
+  // line (delivered by next()); a live one starts with an empty queue.
+  if (!inner_->closed) inner_->subs.push_back(sub.state_);
+  return sub;
+}
+
+bool ProgressChannel::Subscription::next(std::string& line) {
+  if (inner_ == nullptr) return false;
+  ProgressInner& in = *inner_;
+  std::unique_lock<std::mutex> lock(in.mu);
+  in.cv.wait(lock,
+             [&] { return !state_->queue.empty() || in.closed; });
+  if (!state_->queue.empty()) {
+    line = std::move(state_->queue.front());
+    state_->queue.pop_front();
+    return true;
+  }
+  if (in.has_final && !state_->final_delivered) {
+    state_->final_delivered = true;
+    line = in.final_line;
+    return true;
+  }
+  return false;
+}
+
+void ProgressChannel::Subscription::wait_closed_for(int ms) {
+  if (inner_ == nullptr || ms <= 0) return;
+  ProgressInner& in = *inner_;
+  std::unique_lock<std::mutex> lock(in.mu);
+  in.cv.wait_for(lock, std::chrono::milliseconds(ms),
+                 [&] { return in.closed; });
+}
+
+std::uint64_t ProgressChannel::Subscription::dropped() const {
+  if (inner_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(inner_->mu);
+  return state_->dropped;
+}
+
+}  // namespace fastqaoa::service

@@ -1,0 +1,87 @@
+#pragma once
+/// \file progress.hpp
+/// Per-job progress fan-out with slow-subscriber protection.
+///
+/// A worker running a job publishes NDJSON event lines into its job's
+/// ProgressChannel; any number of subscribers (one per `subscribe`
+/// connection) each own a *bounded* event queue. The publisher never
+/// blocks and never allocates per subscriber count on the hot path beyond
+/// the queue append: when a subscriber's queue is full the channel drops
+/// that subscriber's *oldest* event and counts the drop — a stalled client
+/// loses intermediate events, never the terminal one, and can never block
+/// a worker or job completion.
+///
+/// close() publishes the terminal line and latches it: subscribers that
+/// attach after the job finished still receive exactly the terminal event,
+/// so `watch` on a completed job degrades gracefully instead of hanging.
+///
+/// The channel is always compiled (it is product behavior, not
+/// profiling); the optional drop counter hook lets the service surface
+/// total drops in stats() regardless of FASTQAOA_PROFILING.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fastqaoa::service {
+
+struct ProgressInner;     // shared channel state (progress.cpp)
+struct ProgressSubState;  // one subscriber's bounded queue (progress.cpp)
+
+class ProgressChannel {
+ public:
+  ProgressChannel();
+
+  /// Set the per-subscriber queue bound and the (optional) service-wide
+  /// drop counter. Call before the job becomes visible to subscribers.
+  void configure(std::size_t queue_cap,
+                 std::atomic<std::uint64_t>* drop_counter) noexcept;
+
+  /// Publisher side (worker thread). No-op after close().
+  void publish(const std::string& line);
+
+  /// Publish the terminal line and close the channel. Idempotent (the
+  /// first close wins). Late subscribers still receive the terminal line.
+  void close(const std::string& final_line);
+
+  [[nodiscard]] bool closed() const;
+
+  /// Total events dropped across all subscribers over the channel's life.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  class Subscription {
+   public:
+    Subscription() = default;
+
+    /// Block until an event is available or the stream ends. Returns true
+    /// with the next line (terminal line last), false once exhausted.
+    bool next(std::string& line);
+
+    /// Wait up to `ms` or until the channel closes, whichever is first —
+    /// the interruptible sleep behind the subscribe `throttle_ms` option
+    /// (a deliberately slow subscriber must not delay daemon drain).
+    void wait_closed_for(int ms);
+
+    /// Events dropped from *this* subscriber's queue so far.
+    [[nodiscard]] std::uint64_t dropped() const;
+
+    [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+   private:
+    friend class ProgressChannel;
+    std::shared_ptr<ProgressInner> inner_;
+    std::shared_ptr<ProgressSubState> state_;
+  };
+
+  [[nodiscard]] Subscription subscribe();
+
+ private:
+  std::shared_ptr<ProgressInner> inner_;
+};
+
+}  // namespace fastqaoa::service

@@ -1,9 +1,12 @@
 #include "service/protocol.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
 #include "linalg/kernels/kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 
 namespace fastqaoa::service {
 
@@ -261,10 +264,81 @@ Json stats_to_json(const ServiceStats& stats) {
                  ? static_cast<double>(stats.batched_evals) /
                        static_cast<double>(stats.batch_jobs)
                  : 0.0));
+  j.set("subscribe_dropped", Json(stats.subscribe_dropped));
   j.set("draining", Json(stats.draining));
   j.set("kernel_backend", Json(linalg::kernels::active_name()));
   j.set("plan_cache", std::move(cache));
   return j;
+}
+
+std::string metrics_prometheus(Service& service) {
+  // Engine side: every counter/timer/histogram the workers merged into the
+  // global aggregate (empty in FASTQAOA_PROFILING=OFF builds).
+  std::string text = obs::to_prometheus(obs::global_snapshot());
+
+  // Service side: always-available gauges/counters, carrying the same
+  // kernel_backend label the engine snapshot attaches. A few of these
+  // families (the service.jobs.* counters) are ALSO tracked by the engine
+  // aggregate in profiling builds; emitting both would be a duplicate
+  // # TYPE, so the engine series wins when present and the stats-derived
+  // sample fills the gap in FASTQAOA_PROFILING=OFF builds (or when metrics
+  // recording is disabled at runtime).
+  const std::string labels =
+      std::string("kernel_backend=\"") +
+      obs::escape_prometheus_label_value(linalg::kernels::active_name()) +
+      '"';
+  const ServiceStats st = service.stats();
+  const auto gauge = [&text, &labels](const char* name, const char* help,
+                                      double value) {
+    if (text.find(std::string("# TYPE ") + name + ' ') != std::string::npos) {
+      return;
+    }
+    obs::append_prometheus_gauge(text, name, help, value, labels);
+  };
+  const auto counter = [&text, &labels](const char* name, const char* help,
+                                        std::uint64_t value) {
+    if (text.find(std::string("# TYPE ") + name + ' ') != std::string::npos) {
+      return;
+    }
+    obs::append_prometheus_counter(text, name, help, value, labels);
+  };
+  gauge("fastqaoa_service_queue_depth",
+        "jobs waiting in the admission queue",
+        static_cast<double>(st.queue_depth));
+  gauge("fastqaoa_service_running", "jobs currently executing",
+        static_cast<double>(st.running));
+  gauge("fastqaoa_service_workers", "worker pool size",
+        static_cast<double>(st.workers));
+  gauge("fastqaoa_service_draining", "1 while the daemon is draining",
+        st.draining ? 1.0 : 0.0);
+  counter("fastqaoa_service_jobs_submitted_total", "jobs admitted",
+          st.submitted);
+  counter("fastqaoa_service_jobs_completed_total",
+          "jobs finished successfully", st.completed);
+  counter("fastqaoa_service_jobs_failed_total", "jobs that raised an error",
+          st.failed);
+  counter("fastqaoa_service_jobs_cancelled_total", "jobs cancelled",
+          st.cancelled);
+  counter("fastqaoa_service_jobs_rejected_total",
+          "submissions rejected by backpressure", st.rejected);
+  counter("fastqaoa_service_batch_jobs_total", "batch_evaluate jobs finished",
+          st.batch_jobs);
+  counter("fastqaoa_service_batched_evals_total",
+          "total lanes swept by batch_evaluate jobs", st.batched_evals);
+  counter("fastqaoa_service_subscribe_dropped_events_total",
+          "progress events dropped because a subscriber fell behind",
+          st.subscribe_dropped);
+  gauge("fastqaoa_service_plan_cache_entries", "plans resident in the cache",
+        static_cast<double>(st.plan_cache.entries));
+  gauge("fastqaoa_service_plan_cache_bytes", "bytes held by cached plans",
+        static_cast<double>(st.plan_cache.bytes));
+  counter("fastqaoa_service_plan_cache_hits_total", "plan cache hits",
+          st.plan_cache.hits);
+  counter("fastqaoa_service_plan_cache_misses_total", "plan cache misses",
+          st.plan_cache.misses);
+  counter("fastqaoa_service_plan_cache_evictions_total",
+          "plan cache evictions", st.plan_cache.evictions);
+  return text;
 }
 
 Json error_response(std::string_view code, std::string_view message) {
@@ -342,6 +416,20 @@ Json handle_request(Service& service, const Json& request) {
       j.set("stats", stats_to_json(service.stats()));
       return j;
     }
+    if (op == "metrics") {
+      Json j = Json::object();
+      j.set("ok", Json(true));
+      j.set("format", Json("prometheus"));
+      j.set("text", Json(metrics_prometheus(service)));
+      return j;
+    }
+    if (op == "subscribe") {
+      // Reachable only through a non-streaming dispatcher (in-process
+      // request() or a transport that didn't divert); the daemon's
+      // connection loop routes subscribe lines to handle_subscribe().
+      return error_response("bad_request",
+                            "subscribe requires a streaming connection");
+    }
     if (op == "ping") {
       Json j = Json::object();
       j.set("ok", Json(true));
@@ -362,6 +450,71 @@ std::string handle_request_line(Service& service, const std::string& line) {
     return error_response("bad_request", e.what()).dump();
   }
   return handle_request(service, request).dump();
+}
+
+bool is_subscribe_line(const std::string& line) {
+  try {
+    const Json request = Json::parse(line);
+    const Json* op = request.find("op");
+    return op != nullptr && op->is_string() && op->as_string() == "subscribe";
+  } catch (...) {
+    return false;  // the normal path will produce the parse error response
+  }
+}
+
+void handle_subscribe(Service& service, const Json& request,
+                      const std::function<bool(const std::string&)>& emit) {
+  std::uint64_t id = 0;
+  int throttle_ms = 0;
+  try {
+    id = request.at("id").as_uint64();
+    if (const Json* v = request.find("throttle_ms")) {
+      throttle_ms =
+          std::clamp(static_cast<int>(v->as_int64()), 0, 10'000);
+    }
+  } catch (const std::exception& e) {
+    emit(error_response("bad_request", e.what()).dump());
+    return;
+  }
+  const std::shared_ptr<Job> job = service.find(id);
+  if (job == nullptr) {
+    emit(error_response("unknown_job", "no job with id " + std::to_string(id))
+             .dump());
+    return;
+  }
+
+  ProgressChannel::Subscription sub = job->progress.subscribe();
+  Json ack = Json::object();
+  ack.set("ok", Json(true));
+  ack.set("id", Json(id));
+  ack.set("subscribed", Json(true));
+  ack.set("state", Json(to_string(job->snapshot_state())));
+  if (!emit(ack.dump())) return;
+
+  std::string line;
+  for (;;) {
+    // The throttle simulates (or tests) a slow consumer: while the job is
+    // live the subscriber sits out `throttle_ms` per event and its bounded
+    // queue absorbs/drops the overflow; once the channel closes the wait
+    // returns immediately, so the backlog and terminal event drain fast.
+    if (throttle_ms > 0) sub.wait_closed_for(throttle_ms);
+    if (!sub.next(line)) break;
+    bool terminal = false;
+    try {
+      Json ev = Json::parse(line);
+      const Json* kind = ev.find("event");
+      if (kind != nullptr && kind->is_string() &&
+          kind->as_string() == "done") {
+        // Stamp this subscriber's drop count into the terminal event.
+        ev.set("dropped_events", Json(sub.dropped()));
+        line = ev.dump();
+        terminal = true;
+      }
+    } catch (...) {
+      // Not JSON? Forward verbatim; the publisher only emits JSON today.
+    }
+    if (!emit(line) || terminal) return;
+  }
 }
 
 }  // namespace fastqaoa::service

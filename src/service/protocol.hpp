@@ -6,7 +6,13 @@
 /// Job verbs (evaluate, gradient, find_angles, sample) either block until
 /// the result is ready (the default) or, with "async": true, return the
 /// assigned job id immediately for later "status" polling. Control verbs:
-/// "status", "cancel", "stats", "ping".
+/// "status", "cancel", "stats", "ping", "metrics".
+///
+/// "subscribe" is the one verb that breaks the one-line-per-request rule:
+/// it streams NDJSON progress events (an ack, then one line per
+/// angle-finding round, then a terminal "done" event) until the job
+/// finishes. The daemon's connection loop diverts it to
+/// handle_subscribe(); in-process callers pass their own emit callback.
 ///
 /// Responses always carry "ok". Failures look like
 ///   {"ok":false,"error":{"code":"overloaded","message":...,"queue_depth":N}}
@@ -18,6 +24,7 @@
 /// connection threads and the in-process tests route through the same
 /// function, so the protocol is tested without a socket in the loop.
 
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -43,11 +50,32 @@ Json stats_to_json(const ServiceStats& stats);
 
 Json error_response(std::string_view code, std::string_view message);
 
+/// Render the merged engine observability snapshot (counters, timers,
+/// histograms) plus the service-level gauges/counters in Prometheus text
+/// exposition format. This is what the "metrics" verb and the daemon's
+/// --metrics-file writer both serve.
+[[nodiscard]] std::string metrics_prometheus(Service& service);
+
 /// Dispatch one parsed request against a service and produce the response.
 /// Never throws: malformed requests become "bad_request" responses.
 Json handle_request(Service& service, const Json& request);
 
 /// Convenience: parse `line`, dispatch, and serialize the response.
 std::string handle_request_line(Service& service, const std::string& line);
+
+/// True when `line` parses as a request whose op is "subscribe" — the
+/// daemon's connection loop diverts such lines to handle_subscribe().
+[[nodiscard]] bool is_subscribe_line(const std::string& line);
+
+/// Streaming dispatcher for the "subscribe" verb. Emits, via `emit`, an
+/// ack line, then every progress event of the job (per angle-finding
+/// round), then the terminal "done" event stamped with this subscriber's
+/// dropped_events count. Returns when the stream is exhausted or `emit`
+/// returns false (client gone). The optional "throttle_ms" request field
+/// delays consumption between events (deterministic slow-subscriber
+/// testing); the wait is cut short when the job finishes, so a throttled
+/// watcher never delays daemon drain.
+void handle_subscribe(Service& service, const Json& request,
+                      const std::function<bool(const std::string&)>& emit);
 
 }  // namespace fastqaoa::service

@@ -5,8 +5,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -109,6 +111,22 @@ void serve_connection(Service& service, int fd) {
     std::string line;
     while (reader.next(line)) {
       if (line.empty()) continue;
+      if (is_subscribe_line(line)) {
+        // Streaming path: many response lines for one request line. The
+        // emit callback reports a broken peer as false so the stream stops
+        // without tearing down the daemon; afterwards the connection keeps
+        // serving normal requests.
+        handle_subscribe(service, Json::parse(line),
+                         [fd](const std::string& event) {
+                           try {
+                             write_all(fd, event + "\n");
+                             return true;
+                           } catch (const std::exception&) {
+                             return false;
+                           }
+                         });
+        continue;
+      }
       write_all(fd, handle_request_line(service, line) + "\n");
     }
   } catch (const std::exception&) {
@@ -116,6 +134,18 @@ void serve_connection(Service& service, int fd) {
     // over; the daemon itself is unaffected.
   }
   close_fd(fd);
+}
+
+/// Best-effort atomic rewrite of the Prometheus text file (scrape targets
+/// tolerate a stale file better than a torn one).
+void write_prometheus_file(Service& service, const std::string& path) {
+  try {
+    runtime::atomic_write_file(path, metrics_prometheus(service),
+                               "daemon_prometheus");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qaoa_serve: prometheus write failed: %s\n",
+                 e.what());
+  }
 }
 
 }  // namespace
@@ -175,6 +205,16 @@ int run_daemon(const DaemonOptions& options) {
                    options.service.workers, options.service.queue_high_water);
     }
 
+    // Periodic Prometheus file writes need the accept loop to wake up on a
+    // cadence; without them the poll blocks indefinitely as before.
+    const bool periodic = !options.prometheus_path.empty();
+    const int poll_timeout_ms =
+        periodic ? std::max(100, static_cast<int>(
+                                     options.metrics_interval_seconds * 1e3))
+                 : -1;
+    auto last_write = std::chrono::steady_clock::now();
+    if (periodic) write_prometheus_file(service, options.prometheus_path);
+
     bool drain = false;
     while (!drain) {
       pollfd fds[3];
@@ -182,13 +222,23 @@ int run_daemon(const DaemonOptions& options) {
       for (int i = 0; i < n_listeners; ++i) {
         fds[i + 1] = {listen_fds[i], POLLIN, 0};
       }
-      const int rc = ::poll(fds, static_cast<nfds_t>(n_listeners + 1), -1);
+      const int rc = ::poll(fds, static_cast<nfds_t>(n_listeners + 1),
+                            poll_timeout_ms);
       if (rc < 0) {
         if (errno == EINTR) continue;
         std::fprintf(stderr, "qaoa_serve: poll: %s\n", std::strerror(errno));
         drain = true;
         break;
       }
+      if (periodic) {
+        const auto now = std::chrono::steady_clock::now();
+        if (std::chrono::duration<double>(now - last_write).count() >=
+            options.metrics_interval_seconds) {
+          write_prometheus_file(service, options.prometheus_path);
+          last_write = now;
+        }
+      }
+      if (rc == 0) continue;  // poll timeout: metrics tick only
       if ((fds[0].revents & POLLIN) != 0) {
         drain = true;
         break;
@@ -234,6 +284,9 @@ int run_daemon(const DaemonOptions& options) {
         std::fprintf(stderr, "qaoa_serve: metrics flush failed: %s\n",
                      e.what());
       }
+    }
+    if (!options.prometheus_path.empty()) {
+      write_prometheus_file(service, options.prometheus_path);
     }
     if (options.verbose) std::fprintf(stderr, "qaoa_serve: drained, bye\n");
   }

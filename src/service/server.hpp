@@ -31,6 +31,11 @@ struct DaemonOptions {
   int tcp_port = -1;
   /// Where to flush the final metrics JSON on drain ("" = skip).
   std::string metrics_path;
+  /// Prometheus text exposition for file-based scrapers: atomically
+  /// rewritten every metrics_interval_seconds while the daemon runs, and
+  /// once more at drain ("" = disabled).
+  std::string prometheus_path;
+  double metrics_interval_seconds = 5.0;
   bool verbose = true;
 };
 

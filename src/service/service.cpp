@@ -8,9 +8,51 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sampling/sampler.hpp"
+#include "service/json.hpp"
 
 namespace fastqaoa::service {
+
+namespace {
+
+/// The NDJSON line a `subscribe` stream terminates with (also latched for
+/// late watchers of an already-finished job).
+std::string terminal_event_json(std::uint64_t id, JobState state,
+                                runtime::StopReason stop,
+                                const std::string& error) {
+  Json j = Json::object();
+  j.set("event", Json("done"));
+  j.set("id", Json(id));
+  j.set("state", Json(to_string(state)));
+  j.set("stop_reason", Json(runtime::to_string(stop)));
+  if (!error.empty()) j.set("error", Json(error));
+  return j.dump();
+}
+
+/// Job-distribution samples keyed per kind via the `name|key=value` label
+/// convention (the Prometheus renderer splits these back into real labels).
+/// The names are dynamic, so this goes through histogram_id() directly —
+/// once per job, cold path — instead of the static-id macros.
+void record_job_distributions(JobKind kind, double queue_wait_s,
+                              double latency_s) {
+#ifdef FASTQAOA_PROFILING_ENABLED
+  if (obs::metrics_enabled()) {
+    obs::hist_global(
+        obs::histogram_id(std::string("service.job.latency_seconds|kind=") +
+                          to_string(kind)),
+        latency_s);
+    obs::hist_global(obs::histogram_id("service.job.queue_wait_seconds"),
+                     queue_wait_s);
+  }
+#else
+  (void)kind;
+  (void)queue_wait_s;
+  (void)latency_s;
+#endif
+}
+
+}  // namespace
 
 Service::Service(ServiceConfig config)
     : config_(std::move(config)), cache_(PlanCache::Config{config_.cache_bytes}) {
@@ -41,6 +83,8 @@ Service::SubmitOutcome Service::submit(JobSpec spec) {
     return SubmitOutcome{nullptr, "overloaded", queue_.size()};
   }
   job->id = next_id_++;
+  job->progress.configure(config_.subscriber_queue_cap, &subscribe_dropped_);
+  job->enqueued_at = std::chrono::steady_clock::now();
   jobs_.emplace(job->id, job);
   queue_.push_back(job);
   ++submitted_;
@@ -78,6 +122,9 @@ bool Service::cancel(std::uint64_t id) {
   }
   job->cv.notify_all();
   if (was_queued) {
+    job->progress.close(terminal_event_json(job->id, JobState::Cancelled,
+                                            runtime::StopReason::Cancelled,
+                                            /*error=*/""));
     std::lock_guard<std::mutex> lock(mu_);
     ++cancelled_;
     FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.cancelled", 1);
@@ -107,6 +154,8 @@ ServiceStats Service::stats() const {
     s.rejected = rejected_;
     s.batch_jobs = batch_jobs_;
     s.batched_evals = batched_evals_;
+    s.subscribe_dropped =
+        subscribe_dropped_.load(std::memory_order_relaxed);
     s.draining = draining_;
   }
   s.plan_cache = cache_.stats();
@@ -143,6 +192,9 @@ void Service::begin_drain() {
     }
     if (was_queued) {
       job->cv.notify_all();
+      job->progress.close(terminal_event_json(job->id, JobState::Cancelled,
+                                              runtime::StopReason::Cancelled,
+                                              /*error=*/""));
       ++newly_cancelled;
     }
   }
@@ -204,6 +256,11 @@ void Service::run_job(Job& job, EvalWorkspace& ws) {
     if (job.state != JobState::Queued) return;  // cancelled while queued
     job.state = JobState::Running;
   }
+  const double queue_wait_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    job.enqueued_at)
+          .count();
+  FASTQAOA_TRACE_SPAN_ID("service.job", job.id);
 
   WallTimer timer;
   JobResultData out;
@@ -220,6 +277,7 @@ void Service::run_job(Job& job, EvalWorkspace& ws) {
   }
   out.seconds = timer.seconds();
   FASTQAOA_OBS_TIME_GLOBAL("service.job_seconds", out.seconds);
+  record_job_distributions(job.spec.kind, queue_wait_s, out.seconds);
 
   // Count the outcome *before* publishing the terminal state: a waiter
   // released by the notify below must already see consistent stats().
@@ -243,6 +301,9 @@ void Service::run_job(Job& job, EvalWorkspace& ws) {
     }
   }
 
+  const runtime::StopReason final_stop = out.stop;
+  const std::string terminal_line =
+      terminal_event_json(job.id, final_state, final_stop, error);
   {
     std::lock_guard<std::mutex> lock(job.mu);
     job.result = std::move(out);
@@ -250,6 +311,7 @@ void Service::run_job(Job& job, EvalWorkspace& ws) {
     job.state = final_state;
   }
   job.cv.notify_all();
+  job.progress.close(terminal_line);
 }
 
 void Service::execute(Job& job, EvalWorkspace& ws, JobResultData& out) {
@@ -268,10 +330,13 @@ void Service::execute(Job& job, EvalWorkspace& ws, JobResultData& out) {
   const PlanHandle cached =
       cache_.get_or_build(material, [&]() -> CachedPlan {
         built_here = true;
+        WallTimer build_timer;
         CachedPlan entry;
         entry.mixer = build_mixer(spec.problem, space, config_.cache_dir);
         entry.plan = std::make_shared<const QaoaPlan>(
             *entry.mixer, std::move(obj_vals), spec.p);
+        FASTQAOA_OBS_HIST_GLOBAL("service.plan_cache.build_seconds",
+                                 build_timer.seconds());
         return entry;
       });
   out.cache_hit = !built_here;
@@ -305,6 +370,8 @@ void Service::execute(Job& job, EvalWorkspace& ws, JobResultData& out) {
       }
       FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.batched_evals",
                                 static_cast<std::uint64_t>(spec.lanes));
+      FASTQAOA_OBS_HIST_GLOBAL("service.batch.width",
+                               static_cast<double>(spec.lanes));
       break;
     }
     case JobKind::Gradient: {
@@ -335,6 +402,27 @@ void Service::execute(Job& job, EvalWorkspace& ws, JobResultData& out) {
       opt.budget.wall_seconds = spec.deadline_seconds;
       opt.budget.max_evaluations = spec.max_evaluations;
       opt.budget.cancel = &job.cancel;
+      // Per-round progress events for `subscribe`. on_round runs on this
+      // worker thread, outside any parallel region; publish() never blocks
+      // (slow subscribers drop their oldest events instead).
+      WallTimer search_elapsed;
+      opt.on_round = [&job, &search_elapsed](const AngleSchedule& s,
+                                             double seconds) {
+        Json ev = Json::object();
+        ev.set("event", Json("round"));
+        ev.set("id", Json(job.id));
+        ev.set("p", Json(s.p));
+        ev.set("best_energy", Json(s.expectation));
+        ev.set("evals", Json(static_cast<std::uint64_t>(s.evaluations)));
+        ev.set("optimizer_calls",
+               Json(static_cast<std::uint64_t>(s.optimizer_calls)));
+        ev.set("round_seconds", Json(seconds));
+        ev.set("elapsed_seconds", Json(search_elapsed.seconds()));
+        if (s.stop_reason != runtime::StopReason::None) {
+          ev.set("stop_reason", Json(runtime::to_string(s.stop_reason)));
+        }
+        job.progress.publish(ev.dump());
+      };
       out.schedules =
           find_angles(*cached->mixer, plan.objective(), spec.p, opt);
       if (!out.schedules.empty()) {

@@ -24,6 +24,8 @@
 /// delivering those results. Nothing in-flight is lost — a drained
 /// find_angles job leaves a resumable checkpoint behind.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -37,6 +39,7 @@
 #include "runtime/budget.hpp"
 #include "service/job.hpp"
 #include "service/plan_cache.hpp"
+#include "service/progress.hpp"
 
 namespace fastqaoa::service {
 
@@ -50,6 +53,10 @@ struct ServiceConfig {
   std::size_t cache_bytes = 0;
   /// Disk tier for expensive mixers ("" = memory only).
   std::string cache_dir;
+  /// Per-subscriber progress event queue bound (`subscribe` verb). When a
+  /// slow subscriber's queue is full its oldest event is dropped (and
+  /// counted) rather than ever blocking the publishing worker.
+  std::size_t subscriber_queue_cap = 256;
 };
 
 /// One job's shared record. The service and the submitting client both hold
@@ -59,6 +66,13 @@ class Job {
   std::uint64_t id = 0;
   JobSpec spec;
   runtime::CancelToken cancel;
+  /// Per-round progress fan-out for `subscribe`/`watch`. The worker
+  /// publishes round events while the job runs and closes the channel with
+  /// the terminal event; every terminal path (including cancelled-while-
+  /// queued) closes it, so a watcher never hangs.
+  ProgressChannel progress;
+  /// When the job entered the queue (queue-wait histogram).
+  std::chrono::steady_clock::time_point enqueued_at{};
 
   mutable std::mutex mu;
   std::condition_variable cv;
@@ -92,6 +106,10 @@ struct ServiceStats {
   /// the same job set reports the same totals on any pool size.
   std::uint64_t batch_jobs = 0;
   std::uint64_t batched_evals = 0;
+  /// Progress events dropped across all subscribers because a slow
+  /// `subscribe` client fell behind its bounded queue. Always counted
+  /// (product behavior, independent of FASTQAOA_PROFILING).
+  std::uint64_t subscribe_dropped = 0;
   bool draining = false;
   PlanCache::Stats plan_cache;
 };
@@ -160,6 +178,7 @@ class Service {
   std::uint64_t rejected_ = 0;
   std::uint64_t batch_jobs_ = 0;
   std::uint64_t batched_evals_ = 0;
+  std::atomic<std::uint64_t> subscribe_dropped_{0};
 
   std::vector<std::thread> workers_;
 };

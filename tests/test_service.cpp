@@ -14,6 +14,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -27,10 +28,12 @@
 #include "common/error.hpp"
 #include "core/plan.hpp"
 #include "io/serialize.hpp"
+#include "obs/prometheus.hpp"
 #include "service/client.hpp"
 #include "service/job.hpp"
 #include "service/json.hpp"
 #include "service/plan_cache.hpp"
+#include "service/progress.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
@@ -665,6 +668,263 @@ TEST(ServiceProtocol, BatchEvaluateWireRoundTrip) {
 }
 
 // ---------------------------------------------------------------------------
+// Progress channel: bounded fan-out with drop-oldest backpressure
+// ---------------------------------------------------------------------------
+
+TEST(ServiceProgress, DropsOldestWhenTheQueueOverflowsAndCounts) {
+  std::atomic<std::uint64_t> service_drops{0};
+  ProgressChannel channel;
+  channel.configure(2, &service_drops);
+  ProgressChannel::Subscription sub = channel.subscribe();
+
+  for (int i = 0; i < 5; ++i) channel.publish("ev" + std::to_string(i));
+  channel.close("final");
+
+  // Cap 2: ev0..ev2 were dropped oldest-first; ev3, ev4 survive, then the
+  // terminal line, then exhaustion.
+  std::string line;
+  ASSERT_TRUE(sub.next(line));
+  EXPECT_EQ(line, "ev3");
+  ASSERT_TRUE(sub.next(line));
+  EXPECT_EQ(line, "ev4");
+  ASSERT_TRUE(sub.next(line));
+  EXPECT_EQ(line, "final");
+  EXPECT_FALSE(sub.next(line));
+  EXPECT_EQ(sub.dropped(), 3u);
+  EXPECT_EQ(channel.dropped(), 3u);
+  EXPECT_EQ(service_drops.load(), 3u);
+}
+
+TEST(ServiceProgress, LateSubscriberGetsExactlyTheTerminalEvent) {
+  ProgressChannel channel;
+  channel.publish("lost");  // nobody is listening yet
+  channel.close("terminal");
+  channel.close("second close is ignored");
+  EXPECT_TRUE(channel.closed());
+
+  ProgressChannel::Subscription late = channel.subscribe();
+  std::string line;
+  ASSERT_TRUE(late.next(line));
+  EXPECT_EQ(line, "terminal");
+  EXPECT_FALSE(late.next(line));
+  EXPECT_EQ(late.dropped(), 0u);
+}
+
+TEST(ServiceProgress, ConcurrentPublisherAndConsumerDeliverInOrder) {
+  ProgressChannel channel;
+  channel.configure(1024, nullptr);
+  ProgressChannel::Subscription sub = channel.subscribe();
+
+  constexpr int kEvents = 200;
+  std::thread publisher([&channel] {
+    for (int i = 0; i < kEvents; ++i) {
+      channel.publish(std::to_string(i));
+    }
+    channel.close("done");
+  });
+
+  std::vector<std::string> received;
+  std::string line;
+  while (sub.next(line)) received.push_back(line);
+  publisher.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kEvents) + 1);
+  for (int i = 0; i < kEvents; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)], std::to_string(i));
+  }
+  EXPECT_EQ(received.back(), "done");
+  EXPECT_EQ(channel.dropped(), 0u);
+}
+
+TEST(ServiceProgress, ThrottledWaitReturnsOnceTheChannelCloses) {
+  ProgressChannel channel;
+  ProgressChannel::Subscription sub = channel.subscribe();
+  std::thread closer([&channel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    channel.close("bye");
+  });
+  const auto start = std::chrono::steady_clock::now();
+  sub.wait_closed_for(10'000);  // must be cut short by close()
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  closer.join();
+  EXPECT_LT(waited, 5.0);
+  std::string line;
+  ASSERT_TRUE(sub.next(line));
+  EXPECT_EQ(line, "bye");
+}
+
+// ---------------------------------------------------------------------------
+// Streaming subscribe + metrics verbs (in-process, no socket)
+// ---------------------------------------------------------------------------
+
+JobSpec find_angles_spec(int p, int hops, int n = 6) {
+  JobSpec spec;
+  spec.kind = JobKind::FindAngles;
+  spec.problem.n = n;
+  spec.p = p;
+  spec.hops = hops;
+  return spec;
+}
+
+TEST(ServiceProtocol, SubscribeStreamsEveryRoundAndTheTerminalEvent) {
+  ServiceConfig config;
+  config.workers = 1;
+  Service service(config);
+
+  // Occupy the single worker so the watched job is still *queued* when the
+  // subscription attaches — every round event is then guaranteed to land
+  // in the subscriber's queue, not just the tail of them.
+  Service::SubmitOutcome blocker =
+      service.submit(find_angles_spec(2, 3, 8));
+  ASSERT_TRUE(blocker.accepted());
+
+  constexpr int kRounds = 3;
+  Service::SubmitOutcome outcome =
+      service.submit(find_angles_spec(kRounds, 2));
+  ASSERT_TRUE(outcome.accepted());
+
+  Json req = Json::object();
+  req.set("op", Json("subscribe"));
+  req.set("id", Json(outcome.job->id));
+  std::vector<std::string> lines;
+  handle_subscribe(service, req, [&lines](const std::string& line) {
+    lines.push_back(line);
+    return true;
+  });
+  Service::wait(*outcome.job);
+  EXPECT_EQ(outcome.job->snapshot_state(), JobState::Done);
+
+  // ack + one event per round + the terminal event.
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kRounds) + 2);
+  const Json ack = Json::parse(lines.front());
+  EXPECT_TRUE(ack.at("ok").as_bool());
+  EXPECT_TRUE(ack.at("subscribed").as_bool());
+  EXPECT_EQ(ack.at("id").as_uint64(), outcome.job->id);
+
+  for (int round = 1; round <= kRounds; ++round) {
+    const Json ev = Json::parse(lines[static_cast<std::size_t>(round)]);
+    EXPECT_EQ(ev.at("event").as_string(), "round");
+    EXPECT_EQ(ev.at("id").as_uint64(), outcome.job->id);
+    EXPECT_EQ(ev.at("p").as_int64(), round);
+    EXPECT_GE(ev.at("round_seconds").as_double(), 0.0);
+    EXPECT_GE(ev.at("elapsed_seconds").as_double(),
+              ev.at("round_seconds").as_double());
+    EXPECT_GT(ev.at("evals").as_uint64(), 0u);
+  }
+
+  const Json done = Json::parse(lines.back());
+  EXPECT_EQ(done.at("event").as_string(), "done");
+  EXPECT_EQ(done.at("state").as_string(), "done");
+  EXPECT_NE(done.find("stop_reason"), nullptr);
+  EXPECT_EQ(done.at("dropped_events").as_uint64(), 0u);
+}
+
+TEST(ServiceProtocol, StalledSubscriberDropsEventsButTheJobCompletes) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.subscriber_queue_cap = 1;  // every backlog beyond 1 event drops
+  Service service(config);
+
+  Service::SubmitOutcome outcome = service.submit(find_angles_spec(6, 3));
+  ASSERT_TRUE(outcome.accepted());
+
+  // throttle_ms makes handle_subscribe sleep (interruptibly) before each
+  // next(): with a queue bound of 1 the worker outruns the watcher and the
+  // channel must drop intermediate rounds rather than stall the job.
+  Json req = Json::object();
+  req.set("op", Json("subscribe"));
+  req.set("id", Json(outcome.job->id));
+  req.set("throttle_ms", Json(10'000));
+  std::vector<std::string> lines;
+  handle_subscribe(service, req, [&lines](const std::string& line) {
+    lines.push_back(line);
+    return true;
+  });
+
+  Service::wait(*outcome.job);
+  EXPECT_EQ(outcome.job->snapshot_state(), JobState::Done);
+
+  const Json done = Json::parse(lines.back());
+  ASSERT_EQ(done.at("event").as_string(), "done");
+  EXPECT_GT(done.at("dropped_events").as_uint64(), 0u);
+  EXPECT_GT(service.stats().subscribe_dropped, 0u);
+}
+
+TEST(ServiceProtocol, SubscribeErrorsOnUnknownJobsAndNonStreamingDispatch) {
+  Service service;
+  Json req = Json::object();
+  req.set("op", Json("subscribe"));
+  req.set("id", Json(std::uint64_t{12345}));
+  std::vector<std::string> lines;
+  handle_subscribe(service, req, [&lines](const std::string& line) {
+    lines.push_back(line);
+    return true;
+  });
+  ASSERT_EQ(lines.size(), 1u);
+  const Json err = Json::parse(lines.front());
+  EXPECT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ(err.at("error").at("code").as_string(), "unknown_job");
+
+  // The one-line dispatcher refuses to fake a stream.
+  const Json via_request = Json::parse(handle_request_line(
+      service, R"({"op":"subscribe","id":1})"));
+  EXPECT_FALSE(via_request.at("ok").as_bool());
+  EXPECT_TRUE(is_subscribe_line(R"({"op":"subscribe","id":1})"));
+  EXPECT_FALSE(is_subscribe_line(R"({"op":"stats"})"));
+  EXPECT_FALSE(is_subscribe_line("not json"));
+}
+
+TEST(ServiceProtocol, MetricsVerbRendersValidatedPrometheusText) {
+  ServiceConfig config;
+  config.workers = 2;
+  Service service(config);
+  // Put real traffic through so engine histograms exist in profiling
+  // builds and service counters are nonzero either way.
+  for (int i = 0; i < 3; ++i) {
+    Service::SubmitOutcome outcome = service.submit(evaluate_spec());
+    ASSERT_TRUE(outcome.accepted());
+    Service::wait(*outcome.job);
+  }
+
+  const Json response =
+      Json::parse(handle_request_line(service, R"({"op":"metrics"})"));
+  ASSERT_TRUE(response.at("ok").as_bool()) << response.dump();
+  EXPECT_EQ(response.at("format").as_string(), "prometheus");
+  const std::string& text = response.at("text").as_string();
+
+  std::string error;
+  EXPECT_TRUE(obs::validate_prometheus_text(text, &error)) << error;
+  EXPECT_NE(text.find("fastqaoa_service_jobs_submitted_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("fastqaoa_service_queue_depth"), std::string::npos);
+  EXPECT_NE(text.find("kernel_backend=\""), std::string::npos);
+  EXPECT_NE(text.find("fastqaoa_service_subscribe_dropped_events_total"),
+            std::string::npos);
+
+  // The same text under concurrent load still validates — the snapshot is
+  // taken under the merge lock, so a half-updated exposition is impossible.
+  std::atomic<bool> stop{false};
+  std::thread load([&service, &stop] {
+    while (!stop.load()) {
+      Service::SubmitOutcome outcome = service.submit(evaluate_spec());
+      if (outcome.accepted()) Service::wait(*outcome.job);
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    const Json mid =
+        Json::parse(handle_request_line(service, R"({"op":"metrics"})"));
+    ASSERT_TRUE(mid.at("ok").as_bool());
+    EXPECT_TRUE(
+        obs::validate_prometheus_text(mid.at("text").as_string(), &error))
+        << error;
+  }
+  stop.store(true);
+  load.join();
+}
+
+// ---------------------------------------------------------------------------
 // Daemon end to end (fork; excluded from the TSan filter)
 // ---------------------------------------------------------------------------
 
@@ -742,6 +1002,149 @@ TEST(DaemonE2E, SequentialRequestsShareOnePlanAndMatchDirectCalls) {
   EXPECT_NE(metrics.find("service"), nullptr);
   EXPECT_NE(metrics.find("engine"), nullptr);
   EXPECT_EQ(metrics.at("service").at("completed").as_uint64(), 5u);
+}
+
+TEST(DaemonE2E, SubscribeStreamsRoundsOverTheSocketUntilDone) {
+  TempDir tmp;
+  DaemonOptions options;
+  options.socket_path = tmp.path("qaoa.sock");
+  options.prometheus_path = tmp.path("metrics.prom");
+  options.metrics_interval_seconds = 0.2;
+  options.verbose = false;
+  options.service.workers = 1;
+  const pid_t pid = fork_daemon(options);
+
+  Client client = connect_with_retry(options.socket_path);
+
+  // Hold the single worker so the watched job is still queued when the
+  // subscribe line goes out (same trick as the in-process test).
+  {
+    Json blocker = job_spec_to_json(find_angles_spec(2, 3, 8));
+    blocker.set("async", Json(true));
+    ASSERT_TRUE(client.request(blocker).at("ok").as_bool());
+  }
+
+  constexpr int kRounds = 3;
+  Json submit = job_spec_to_json(find_angles_spec(kRounds, 2));
+  submit.set("async", Json(true));
+  const Json accepted = client.request(submit);
+  ASSERT_TRUE(accepted.at("ok").as_bool()) << accepted.dump();
+  const std::uint64_t id = accepted.at("id").as_uint64();
+
+  // The same connection switches into streaming mode for the subscribe,
+  // then back to request/response once the stream ends.
+  Json sub = Json::object();
+  sub.set("op", Json("subscribe"));
+  sub.set("id", Json(id));
+  client.send(sub);
+
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  const Json ack = Json::parse(line);
+  ASSERT_TRUE(ack.at("ok").as_bool()) << line;
+  EXPECT_TRUE(ack.at("subscribed").as_bool());
+
+  int rounds = 0;
+  bool done_seen = false;
+  while (client.read_line(line)) {
+    const Json ev = Json::parse(line);
+    if (ev.at("event").as_string() == "round") {
+      ++rounds;
+      EXPECT_EQ(ev.at("p").as_int64(), rounds);
+      EXPECT_EQ(ev.at("id").as_uint64(), id);
+    } else if (ev.at("event").as_string() == "done") {
+      done_seen = true;
+      EXPECT_EQ(ev.at("state").as_string(), "done");
+      EXPECT_NE(ev.find("stop_reason"), nullptr);
+      EXPECT_EQ(ev.at("dropped_events").as_uint64(), 0u);
+      break;
+    }
+  }
+  EXPECT_EQ(rounds, kRounds);
+  EXPECT_TRUE(done_seen);
+
+  // The connection still answers plain requests after the stream.
+  Json ping = Json::object();
+  ping.set("op", Json("ping"));
+  EXPECT_TRUE(client.request(ping).at("ok").as_bool());
+
+  // A second subscribe to the (now finished) job degrades gracefully to
+  // just the latched terminal event.
+  client.send(sub);
+  ASSERT_TRUE(client.read_line(line));  // ack
+  ASSERT_TRUE(client.read_line(line));  // terminal
+  EXPECT_EQ(Json::parse(line).at("event").as_string(), "done");
+
+  client.close();
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  EXPECT_EQ(wait_for_exit(pid), 0);
+
+  // The daemon kept (and finally flushed) a validating Prometheus file.
+  std::ifstream in(options.prometheus_path);
+  ASSERT_TRUE(in.good());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::string error;
+  EXPECT_TRUE(obs::validate_prometheus_text(text, &error)) << error;
+  EXPECT_NE(text.find("fastqaoa_service_jobs_completed_total"),
+            std::string::npos);
+}
+
+TEST(DaemonE2E, StalledSubscriberDropsEventsWithoutBlockingTheJob) {
+  TempDir tmp;
+  DaemonOptions options;
+  options.socket_path = tmp.path("qaoa.sock");
+  options.verbose = false;
+  options.service.workers = 1;
+  options.service.subscriber_queue_cap = 1;
+  const pid_t pid = fork_daemon(options);
+
+  Client watcher = connect_with_retry(options.socket_path);
+
+  Json submit = job_spec_to_json(find_angles_spec(6, 3));
+  submit.set("async", Json(true));
+  const Json accepted = watcher.request(submit);
+  ASSERT_TRUE(accepted.at("ok").as_bool()) << accepted.dump();
+  const std::uint64_t id = accepted.at("id").as_uint64();
+
+  // throttle_ms parks the server-side watcher until the job finishes; with
+  // a queue bound of 1 the intermediate rounds must be dropped, counted,
+  // and the job must complete on schedule regardless.
+  Json sub = Json::object();
+  sub.set("op", Json("subscribe"));
+  sub.set("id", Json(id));
+  sub.set("throttle_ms", Json(10'000));
+  watcher.send(sub);
+
+  std::string line;
+  ASSERT_TRUE(watcher.read_line(line));  // ack
+  ASSERT_TRUE(Json::parse(line).at("ok").as_bool()) << line;
+
+  std::uint64_t dropped = 0;
+  bool done_seen = false;
+  while (watcher.read_line(line)) {
+    const Json ev = Json::parse(line);
+    if (ev.at("event").as_string() == "done") {
+      done_seen = true;
+      dropped = ev.at("dropped_events").as_uint64();
+      break;
+    }
+  }
+  ASSERT_TRUE(done_seen);
+  EXPECT_GT(dropped, 0u);
+
+  // A second connection sees the service-wide drop counter in stats.
+  Client prober = Client::connect_unix(options.socket_path);
+  Json stats_req = Json::object();
+  stats_req.set("op", Json("stats"));
+  const Json stats = prober.request(stats_req);
+  EXPECT_EQ(stats.at("stats").at("subscribe_dropped").as_uint64(), dropped);
+  EXPECT_EQ(stats.at("stats").at("completed").as_uint64(), 1u);
+
+  watcher.close();
+  prober.close();
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  EXPECT_EQ(wait_for_exit(pid), 0);
 }
 
 TEST(DaemonE2E, SigtermDrainsInFlightFindAnglesWithResumableCheckpoint) {

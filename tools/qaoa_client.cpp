@@ -19,6 +19,17 @@
 //                                  [--checkpoint] [--deadline] [--max-evals]
 //   status | cancel                --id=N
 //   stats | ping
+//   stats --watch[=SECS]           poll stats on a cadence and print a
+//                                  delta line per tick (jobs/s, cache hit
+//                                  rate, queue depth); --count=N stops
+//                                  after N ticks (default: run forever)
+//   metrics [--validate]           print the daemon's Prometheus text
+//                                  exposition; --validate also runs the
+//                                  format checker (exit 1 on violations)
+//   watch --id=N [--throttle=MS]   stream per-round progress events for a
+//                                  running find_angles job as NDJSON until
+//                                  the terminal "done" event; --throttle
+//                                  simulates a slow consumer (testing aid)
 //   raw                            --json='{"op":...}'  (send verbatim)
 //
 // Job verbs block until the result arrives unless --async is given (then
@@ -31,12 +42,15 @@
 // The response object is printed to stdout as one JSON line either way —
 // scripts parse stdout and branch on the exit code.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/prometheus.hpp"
 #include "service/client.hpp"
 #include "service/json.hpp"
 
@@ -90,11 +104,13 @@ bool has_flag(int argc, char** argv, const char* flag) {
   std::fprintf(stderr,
                "usage: qaoa_client --socket=PATH|--tcp=PORT "
                "evaluate|batch_evaluate|gradient|find_angles|sample|status|"
-               "cancel|stats|ping|raw [--problem=..] [--mixer=..] [--n=..] [--k=..] "
+               "cancel|stats|metrics|watch|ping|raw "
+               "[--problem=..] [--mixer=..] [--n=..] [--k=..] "
                "[--p=..] [--betas=a,b,..] [--gammas=a,b,..] [--seed=..] "
                "[--density=..] [--minimize] [--shots=..] [--hops=..] "
                "[--starts=..] [--opt-seed=..] [--checkpoint=..] "
                "[--deadline=..] [--max-evals=..] [--id=..] [--async] "
+               "[--watch[=SECS]] [--count=N] [--validate] [--throttle=MS] "
                "[--json='{...}']\n");
   std::exit(2);
 }
@@ -136,6 +152,141 @@ const char* find_verb(int argc, char** argv) {
   return nullptr;
 }
 
+std::uint64_t stat_u64(const Json& stats, const char* key) {
+  const Json* v = stats.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_uint64() : 0;
+}
+
+/// `metrics [--validate]`: print the Prometheus exposition verbatim so the
+/// output can be piped straight into promtool or a file scrape target.
+int run_metrics(service::Client& client, bool validate) {
+  const Json response = client.request([] {
+    Json req = Json::object();
+    req.set("op", Json("metrics"));
+    return req;
+  }());
+  const Json* ok = response.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    std::printf("%s\n", response.dump().c_str());
+    return 1;
+  }
+  const std::string text = response.at("text").as_string();
+  std::fputs(text.c_str(), stdout);
+  if (validate) {
+    std::string error;
+    if (!obs::validate_prometheus_text(text, &error)) {
+      std::fprintf(stderr, "qaoa_client: invalid prometheus text: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "qaoa_client: prometheus text valid\n");
+  }
+  return 0;
+}
+
+/// `watch --id=N`: stream progress events, one JSON line each, until the
+/// terminal "done" event (exit 0) or the daemon closes the stream (exit 1).
+int run_watch(service::Client& client, const Json& req) {
+  client.send(req);
+  std::string line;
+  if (!client.read_line(line)) {
+    std::fprintf(stderr, "qaoa_client: stream closed before the ack\n");
+    return 1;
+  }
+  std::printf("%s\n", line.c_str());
+  std::fflush(stdout);
+  try {
+    const Json ack = Json::parse(line);
+    const Json* ok = ack.find("ok");
+    if (ok != nullptr && ok->is_bool() && !ok->as_bool()) return 1;
+  } catch (const std::exception&) {
+    return 1;
+  }
+  while (client.read_line(line)) {
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+    try {
+      const Json event = Json::parse(line);
+      const Json* kind = event.find("event");
+      if (kind != nullptr && kind->is_string() &&
+          kind->as_string() == "done") {
+        return 0;
+      }
+    } catch (const std::exception&) {
+      // Not JSON? Keep relaying; the daemon decides when the stream ends.
+    }
+  }
+  std::fprintf(stderr, "qaoa_client: stream ended without a terminal event\n");
+  return 1;
+}
+
+/// `stats --watch[=SECS]`: poll the stats verb and print one delta line per
+/// tick — the 30-second "is it healthy" view without a metrics stack.
+int run_stats_watch(service::Client& client, double interval_seconds,
+                    long long max_ticks) {
+  Json req = Json::object();
+  req.set("op", Json("stats"));
+
+  Json first = client.request(req);
+  const Json* stats = first.find("stats");
+  if (stats == nullptr) {
+    std::printf("%s\n", first.dump().c_str());
+    return 1;
+  }
+  std::uint64_t prev_done = stat_u64(*stats, "completed") +
+                            stat_u64(*stats, "failed") +
+                            stat_u64(*stats, "cancelled");
+  const Json* cache = stats->find("plan_cache");
+  std::uint64_t prev_hits = cache != nullptr ? stat_u64(*cache, "hits") : 0;
+  std::uint64_t prev_misses =
+      cache != nullptr ? stat_u64(*cache, "misses") : 0;
+  auto prev_time = std::chrono::steady_clock::now();
+
+  for (long long tick = 0; max_ticks <= 0 || tick < max_ticks; ++tick) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_seconds));
+    const Json response = client.request(req);
+    stats = response.find("stats");
+    if (stats == nullptr) {
+      std::printf("%s\n", response.dump().c_str());
+      return 1;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now - prev_time).count();
+    const std::uint64_t done = stat_u64(*stats, "completed") +
+                               stat_u64(*stats, "failed") +
+                               stat_u64(*stats, "cancelled");
+    cache = stats->find("plan_cache");
+    const std::uint64_t hits = cache != nullptr ? stat_u64(*cache, "hits") : 0;
+    const std::uint64_t misses =
+        cache != nullptr ? stat_u64(*cache, "misses") : 0;
+    const double jobs_per_s =
+        dt > 0.0 ? static_cast<double>(done - prev_done) / dt : 0.0;
+    const std::uint64_t lookups = (hits - prev_hits) + (misses - prev_misses);
+    const double hit_rate =
+        lookups > 0
+            ? 100.0 * static_cast<double>(hits - prev_hits) /
+                  static_cast<double>(lookups)
+            : 0.0;
+    std::printf("jobs/s=%.2f queue=%llu running=%llu cache_hit%%=%.1f "
+                "dropped_events=%llu total_done=%llu\n",
+                jobs_per_s,
+                static_cast<unsigned long long>(
+                    stat_u64(*stats, "queue_depth")),
+                static_cast<unsigned long long>(stat_u64(*stats, "running")),
+                hit_rate,
+                static_cast<unsigned long long>(
+                    stat_u64(*stats, "subscribe_dropped")),
+                static_cast<unsigned long long>(done));
+    std::fflush(stdout);
+    prev_done = done;
+    prev_hits = hits;
+    prev_misses = misses;
+    prev_time = now;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,8 +311,17 @@ int main(int argc, char** argv) {
     req.set("op", Json(verb));
     req.set("id", Json(static_cast<std::uint64_t>(
                       int_option(argc, argv, "--id", 0))));
-  } else if (verb == "stats" || verb == "ping") {
+  } else if (verb == "stats" || verb == "ping" || verb == "metrics") {
     req.set("op", Json(verb));
+  } else if (verb == "watch") {
+    if (!has_option(argc, argv, "--id")) usage_error("watch needs --id=N");
+    req.set("op", Json("subscribe"));
+    req.set("id", Json(static_cast<std::uint64_t>(
+                      int_option(argc, argv, "--id", 0))));
+    if (has_option(argc, argv, "--throttle")) {
+      req.set("throttle_ms",
+              Json(int_option(argc, argv, "--throttle", 0)));
+    }
   } else if (verb == "evaluate" || verb == "batch_evaluate" ||
              verb == "gradient" || verb == "find_angles" ||
              verb == "sample") {
@@ -231,6 +391,20 @@ int main(int argc, char** argv) {
         socket_path.empty()
             ? service::Client::connect_tcp(static_cast<int>(tcp_port))
             : service::Client::connect_unix(socket_path);
+    if (verb == "metrics") {
+      return run_metrics(client, has_flag(argc, argv, "--validate"));
+    }
+    if (verb == "watch") {
+      return run_watch(client, req);
+    }
+    if (verb == "stats" &&
+        (has_flag(argc, argv, "--watch") ||
+         has_option(argc, argv, "--watch"))) {
+      double secs = double_option(argc, argv, "--watch", 2.0);
+      if (secs <= 0.0) secs = 2.0;
+      return run_stats_watch(client, secs,
+                             int_option(argc, argv, "--count", 0));
+    }
     const Json response = client.request(req);
     std::printf("%s\n", response.dump().c_str());
 

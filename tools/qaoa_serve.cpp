@@ -9,13 +9,21 @@
 //   qaoa_serve --socket=/tmp/qaoa.sock
 //              [--tcp=PORT] [--workers=2] [--queue=64]
 //              [--cache-bytes=N] [--cache-dir=DIR]
-//              [--metrics=out.json] [--quiet]
+//              [--metrics=out.json] [--metrics-file=out.prom]
+//              [--metrics-interval=SECS] [--sub-queue=N] [--quiet]
 //
 // --tcp adds a loopback TCP listener (port 0 = kernel-assigned, printed on
 // startup). --cache-bytes bounds the plan cache (0 = unlimited);
 // --cache-dir adds a disk tier for expensive constrained-mixer
 // eigendecompositions. --queue is the admission high-water mark: submits
 // past it are rejected with the structured "overloaded" error.
+//
+// Telemetry: the `metrics` verb serves Prometheus text on demand;
+// --metrics-file additionally rewrites the same text atomically every
+// --metrics-interval seconds (and once at drain) for file-based scrapers.
+// --sub-queue bounds each `subscribe` watcher's event queue; a slow
+// watcher drops its oldest events (counted in stats) instead of ever
+// blocking a worker.
 //
 // SIGTERM/SIGINT drain: the daemon stops accepting, cancels queued jobs,
 // lets running ones deliver (and checkpoint) best-so-far results, flushes
@@ -57,13 +65,20 @@ bool has_flag(int argc, char** argv, const char* flag) {
   return false;
 }
 
+double double_option(int argc, char** argv, const char* key,
+                     double fallback) {
+  const std::string v = string_option(argc, argv, key, "");
+  return v.empty() ? fallback : std::strtod(v.c_str(), nullptr);
+}
+
 [[noreturn]] void usage_error(const std::string& message) {
   std::fprintf(stderr, "qaoa_serve: %s\n", message.c_str());
   std::fprintf(stderr,
                "usage: qaoa_serve --socket=PATH [--tcp=PORT] [--workers=2] "
                "[--queue=64] [--cache-bytes=N] [--cache-dir=DIR] "
                "[--backend=auto|scalar|avx2|avx512] "
-               "[--metrics=out.json] [--quiet]\n");
+               "[--metrics=out.json] [--metrics-file=out.prom] "
+               "[--metrics-interval=SECS] [--sub-queue=N] [--quiet]\n");
   std::exit(2);
 }
 
@@ -80,6 +95,12 @@ int main(int argc, char** argv) {
   options.tcp_port =
       static_cast<int>(int_option(argc, argv, "--tcp", -1));
   options.metrics_path = string_option(argc, argv, "--metrics", "");
+  options.prometheus_path = string_option(argc, argv, "--metrics-file", "");
+  options.metrics_interval_seconds =
+      double_option(argc, argv, "--metrics-interval", 5.0);
+  if (options.metrics_interval_seconds <= 0.0) {
+    usage_error("--metrics-interval must be > 0");
+  }
   // Kernel backend override (beats the FASTQAOA_KERNEL env var).
   const std::string backend = string_option(argc, argv, "--backend", "");
   if (!backend.empty() && !linalg::kernels::select(backend)) {
@@ -96,6 +117,9 @@ int main(int argc, char** argv) {
   options.service.cache_bytes =
       static_cast<std::size_t>(int_option(argc, argv, "--cache-bytes", 0));
   options.service.cache_dir = string_option(argc, argv, "--cache-dir", "");
+  const long long sub_queue = int_option(argc, argv, "--sub-queue", 256);
+  if (sub_queue < 1) usage_error("--sub-queue must be >= 1");
+  options.service.subscriber_queue_cap = static_cast<std::size_t>(sub_queue);
 
   return service::run_daemon(options);
 }
