@@ -30,6 +30,18 @@
 ///                                                round's checkpoint lands
 ///   study.crash_after_instance(index = instance) _Exit(137) after the
 ///                                                instance's file lands
+///   net.accept_fail           (index = accept#)  daemon drops the freshly
+///                                                accepted connection as if
+///                                                accept() had failed
+///   net.drop_connection       (index = accept#)  daemon abruptly closes the
+///                                                connection mid-frame after
+///                                                its next read
+///   net.short_write           (index = accept#)  daemon writes at most one
+///                                                byte on one flush pass
+///   net.stall_reader          (index = accept#)  connection behaves as if
+///                                                the peer never drains its
+///                                                socket (writes stall until
+///                                                the eviction timeout)
 
 #include <string>
 #include <string_view>

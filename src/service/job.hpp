@@ -47,6 +47,13 @@ struct JobSpec {
   int p = 1;
   bool minimize = false;
 
+  /// Submitting tenant ("" = the default/unconfigured tenant). Set by the
+  /// daemon from the connection's authenticated identity; drives fair-share
+  /// scheduling, quota accounting, and plan-cache partition charging. Not a
+  /// wire field — clients authenticate with a key, never by naming a
+  /// tenant directly.
+  std::string tenant;
+
   /// evaluate / gradient / sample: fixed angles, one per round.
   /// batch_evaluate: lane-major angle sets — lane l's betas live at
   /// betas[l*p .. (l+1)*p), likewise gammas; `lanes` angle sets total. The

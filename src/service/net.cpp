@@ -1,7 +1,9 @@
 #include "service/net.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -35,7 +37,7 @@ int listen_unix(const std::string& path) {
     close_fd(fd);
     throw_errno("bind(" + path + ")");
   }
-  if (::listen(fd, 64) < 0) {
+  if (::listen(fd, SOMAXCONN) < 0) {
     close_fd(fd);
     throw_errno("listen(" + path + ")");
   }
@@ -56,7 +58,7 @@ int listen_tcp(int port, int* bound_port) {
     close_fd(fd);
     throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
   }
-  if (::listen(fd, 64) < 0) {
+  if (::listen(fd, SOMAXCONN) < 0) {
     close_fd(fd);
     throw_errno("listen(tcp)");
   }
@@ -111,10 +113,42 @@ void write_all(int fd, const std::string& data) {
         ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking socket with a full kernel buffer: wait until it is
+        // writable again instead of spinning or (the old bug) throwing.
+        pollfd pfd{fd, POLLOUT, 0};
+        const int rc = ::poll(&pfd, 1, /*timeout_ms=*/1000);
+        if (rc < 0 && errno != EINTR) throw_errno("poll(POLLOUT)");
+        continue;
+      }
       throw_errno("send");
     }
     sent += static_cast<std::size_t>(n);
   }
+}
+
+std::size_t write_some(int fd, const char* data, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw_errno("send");
+  }
+}
+
+void set_nonblocking(int fd, bool enable) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    throw_errno("fcntl(F_SETFL)");
+  }
+}
+
+void set_send_buffer(int fd, int bytes) noexcept {
+  if (bytes <= 0) return;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
 }
 
 bool LineReader::next(std::string& line) {

@@ -26,8 +26,25 @@ int connect_unix(const std::string& path);
 int connect_tcp(int port);
 
 /// Write all of `data` (handles short writes; MSG_NOSIGNAL so a dead peer
-/// yields an Error, not SIGPIPE).
+/// yields an Error, not SIGPIPE). On a non-blocking socket EAGAIN is
+/// absorbed by a short poll-for-writable wait, so the call keeps its
+/// "everything was sent" contract regardless of the fd's blocking mode.
 void write_all(int fd, const std::string& data);
+
+/// One non-blocking write attempt: send as much of [data, data+len) as the
+/// socket accepts right now. Returns the byte count (possibly 0 when the
+/// kernel buffer is full — EAGAIN/EWOULDBLOCK are not errors here), or
+/// throws on a real socket error / dead peer. EINTR is retried internally.
+/// This is the event loop's write primitive.
+std::size_t write_some(int fd, const char* data, std::size_t len);
+
+/// Switch a socket's O_NONBLOCK flag. Throws on fcntl failure.
+void set_nonblocking(int fd, bool enable);
+
+/// Best-effort SO_SNDBUF override (0 = leave the kernel default). Used by
+/// the daemon to shrink the send buffer so slow-client eviction is testable
+/// without megabytes of kernel-side slack.
+void set_send_buffer(int fd, int bytes) noexcept;
 
 /// Buffered line reader over one fd. Lines are '\n'-terminated; the
 /// terminator is stripped. A final unterminated chunk before EOF is

@@ -47,7 +47,21 @@ std::uint64_t plan_fingerprint(const PlanKeyMaterial& material) noexcept {
   return h;
 }
 
+void PlanCache::set_partition_budget(const std::string& partition,
+                                     std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (partition.empty()) return;  // "" is the shared pool by definition
+  budgets_[partition] = bytes;
+  partition_stats_.emplace(partition, PartitionStats{});
+}
+
 PlanHandle PlanCache::get_or_build(const PlanKeyMaterial& material,
+                                   const std::function<CachedPlan()>& build) {
+  return get_or_build(material, std::string{}, build);
+}
+
+PlanHandle PlanCache::get_or_build(const PlanKeyMaterial& material,
+                                   const std::string& partition,
                                    const std::function<CachedPlan()>& build) {
   const std::uint64_t fp = plan_fingerprint(material);
   // Floor for the byte estimate, in case the builder received pre-built
@@ -75,27 +89,65 @@ PlanHandle PlanCache::get_or_build(const PlanKeyMaterial& material,
   built.bytes = std::max(after > before ? after - before : std::size_t{0},
                          nominal);
 
+  // Charge a budgeted partition when the builder has one; everything else
+  // (unknown partitions, the default "") lands in the shared pool.
+  const std::string charged = has_budget(partition) ? partition : std::string{};
   auto handle = std::make_shared<const CachedPlan>(std::move(built));
   lru_.push_front(fp);
-  entries_[fp] = Entry{handle, lru_.begin()};
+  entries_[fp] = Entry{handle, lru_.begin(), charged};
   bytes_ += handle->bytes;
-  evict_over_budget_locked();
+  if (!charged.empty()) {
+    budgeted_bytes_ += handle->bytes;
+    PartitionStats& ps = partition_stats_[charged];
+    ++ps.entries;
+    ps.bytes += handle->bytes;
+  }
+  evict_over_budget_locked(charged);
   return handle;
 }
 
-void PlanCache::evict_over_budget_locked() {
-  if (config_.max_bytes == 0) return;
+/// Evict LRU-first within one accounting pool. A budgeted partition only
+/// ever sheds its own entries; the shared pool only sheds unbudgeted ones —
+/// that asymmetry is the isolation guarantee (one tenant's churn cannot
+/// evict another budgeted tenant's plans).
+void PlanCache::evict_over_budget_locked(const std::string& partition) {
+  std::size_t limit = 0;
+  if (partition.empty()) {
+    limit = config_.max_bytes;
+  } else {
+    auto it = budgets_.find(partition);
+    limit = it == budgets_.end() ? 0 : it->second;
+  }
+  if (limit == 0) return;
+
+  const auto pool_bytes = [&]() -> std::size_t {
+    if (partition.empty()) {
+      return bytes_ - std::min(bytes_, budgeted_bytes_);
+    }
+    auto it = partition_stats_.find(partition);
+    return it == partition_stats_.end() ? 0 : it->second.bytes;
+  };
+
   auto it = lru_.end();
-  while (bytes_ > config_.max_bytes && it != lru_.begin()) {
+  while (pool_bytes() > limit && it != lru_.begin()) {
     --it;
     auto ent = entries_.find(*it);
     if (ent == entries_.end()) {
       it = lru_.erase(it);
       continue;
     }
+    if (ent->second.partition != partition) continue;  // other pool
     // use_count > 1 means a job still holds the handle: pinned, skip.
     if (ent->second.plan.use_count() > 1) continue;
-    bytes_ -= std::min(bytes_, ent->second.plan->bytes);
+    const std::size_t entry_bytes = ent->second.plan->bytes;
+    bytes_ -= std::min(bytes_, entry_bytes);
+    if (!partition.empty()) {
+      budgeted_bytes_ -= std::min(budgeted_bytes_, entry_bytes);
+      PartitionStats& ps = partition_stats_[partition];
+      ps.entries -= std::min<std::size_t>(ps.entries, 1);
+      ps.bytes -= std::min(ps.bytes, entry_bytes);
+      ++ps.evictions;
+    }
     ++evictions_;
     FASTQAOA_OBS_COUNT_GLOBAL("service.plan_cache.evict", 1);
     entries_.erase(ent);
@@ -111,6 +163,7 @@ PlanCache::Stats PlanCache::stats() const {
   s.evictions = evictions_;
   s.entries = entries_.size();
   s.bytes = bytes_;
+  s.partitions = partition_stats_;
   return s;
 }
 
@@ -119,6 +172,11 @@ void PlanCache::clear() {
   lru_.clear();
   entries_.clear();
   bytes_ = 0;
+  budgeted_bytes_ = 0;
+  for (auto& [name, ps] : partition_stats_) {
+    ps.entries = 0;
+    ps.bytes = 0;
+  }
 }
 
 }  // namespace fastqaoa::service

@@ -23,6 +23,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,6 +52,14 @@ class ProgressChannel {
 
   [[nodiscard]] bool closed() const;
 
+  /// Register a callback that fires exactly once when the channel closes
+  /// (i.e. when the job reaches a terminal state). If the channel is
+  /// already closed the hook runs inline, on the caller's thread; otherwise
+  /// it runs on the closing (worker) thread, outside the channel lock.
+  /// This is how the event-loop front end learns a sync-waited job
+  /// finished without parking a thread in Service::wait().
+  void add_close_hook(std::function<void()> hook);
+
   /// Total events dropped across all subscribers over the channel's life.
   [[nodiscard]] std::uint64_t dropped() const;
 
@@ -66,6 +75,27 @@ class ProgressChannel {
     /// the interruptible sleep behind the subscribe `throttle_ms` option
     /// (a deliberately slow subscriber must not delay daemon drain).
     void wait_closed_for(int ms);
+
+    /// Non-blocking variant of next(): returns true with a line when one is
+    /// ready (terminal line last), false when nothing is pending right now.
+    /// Pair with set_notify() to learn when to poll again.
+    bool try_next(std::string& line);
+
+    /// True once the stream is exhausted: channel closed, queue drained,
+    /// terminal line delivered. try_next() never yields again.
+    [[nodiscard]] bool finished() const;
+
+    /// Install a wakeup callback invoked (outside the channel lock, on the
+    /// publisher's thread) whenever a new event lands in this subscriber's
+    /// queue or the channel closes. The event-loop front end posts a
+    /// readiness token from here instead of blocking in next().
+    void set_notify(std::function<void()> fn);
+
+    /// Remove this subscriber from the channel (publishes stop landing in
+    /// its queue, the notify callback is cleared). Idempotent; used when a
+    /// connection is evicted or closed mid-stream so the channel does not
+    /// retain dead queues for the daemon's lifetime.
+    void detach();
 
     /// Events dropped from *this* subscriber's queue so far.
     [[nodiscard]] std::uint64_t dropped() const;

@@ -1,6 +1,8 @@
 #include "service/protocol.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "common/error.hpp"
@@ -121,9 +123,42 @@ JobKind kind_from_op(const std::string& op) {
   throw Error("unknown job op '" + op + "'");
 }
 
-bool is_job_op(const std::string& op) {
-  return op == "evaluate" || op == "batch_evaluate" || op == "gradient" ||
-         op == "find_angles" || op == "sample";
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Render the always-on queue-depth histogram as a Prometheus histogram
+/// family (cumulative le buckets, +Inf terminator, _sum/_count), matching
+/// what obs::to_prometheus emits for profiling-build histograms.
+void append_depth_histogram(std::string& text, const obs::HistogramStat& h,
+                            const std::string& labels) {
+  const std::string family = "fastqaoa_service_queue_depth_at_admission";
+  if (text.find("# TYPE " + family + ' ') != std::string::npos) return;
+  text += "# HELP " + family + " queue depth observed at each admission\n";
+  text += "# TYPE " + family + " histogram\n";
+  std::size_t first = obs::HistogramStat::kBuckets;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < obs::HistogramStat::kBuckets; ++i) {
+    if (h.buckets[i] != 0) {
+      if (first == obs::HistogramStat::kBuckets) first = i;
+      last = i;
+    }
+  }
+  std::uint64_t cum = 0;
+  for (std::size_t i = first; i <= last && i < obs::HistogramStat::kBuckets;
+       ++i) {
+    cum += h.buckets[i];
+    const double upper = obs::HistogramStat::bucket_upper(i);
+    if (std::isinf(upper)) break;  // the +Inf line below covers it
+    text += family + "_bucket{" + labels + ",le=\"" + fmt_double(upper) +
+            "\"} " + std::to_string(cum) + '\n';
+  }
+  text += family + "_bucket{" + labels + ",le=\"+Inf\"} " +
+          std::to_string(h.count) + '\n';
+  text += family + "_sum{" + labels + "} " + fmt_double(h.sum) + '\n';
+  text += family + "_count{" + labels + "} " + std::to_string(h.count) + '\n';
 }
 
 }  // namespace
@@ -247,6 +282,17 @@ Json stats_to_json(const ServiceStats& stats) {
   cache.set("hits", Json(stats.plan_cache.hits));
   cache.set("misses", Json(stats.plan_cache.misses));
   cache.set("evictions", Json(stats.plan_cache.evictions));
+  if (!stats.plan_cache.partitions.empty()) {
+    Json parts = Json::object();
+    for (const auto& [name, ps] : stats.plan_cache.partitions) {
+      Json p = Json::object();
+      p.set("entries", Json(static_cast<std::uint64_t>(ps.entries)));
+      p.set("bytes", Json(static_cast<std::uint64_t>(ps.bytes)));
+      p.set("evictions", Json(ps.evictions));
+      parts.set(name, std::move(p));
+    }
+    cache.set("partitions", std::move(parts));
+  }
 
   Json j = Json::object();
   j.set("queue_depth", Json(static_cast<std::uint64_t>(stats.queue_depth)));
@@ -265,9 +311,40 @@ Json stats_to_json(const ServiceStats& stats) {
                        static_cast<double>(stats.batch_jobs)
                  : 0.0));
   j.set("subscribe_dropped", Json(stats.subscribe_dropped));
+  j.set("over_quota", Json(stats.over_quota));
   j.set("draining", Json(stats.draining));
   j.set("kernel_backend", Json(linalg::kernels::active_name()));
   j.set("plan_cache", std::move(cache));
+  if (!stats.tenants.empty()) {
+    Json tenants = Json::array();
+    for (const ServiceStats::TenantStats& t : stats.tenants) {
+      Json tj = Json::object();
+      tj.set("name", Json(t.name));
+      tj.set("weight", Json(t.weight));
+      tj.set("queued", Json(static_cast<std::uint64_t>(t.queued)));
+      tj.set("running", Json(static_cast<std::uint64_t>(t.running)));
+      tj.set("submitted", Json(t.submitted));
+      tj.set("completed", Json(t.completed));
+      tj.set("rejected", Json(t.rejected));
+      tj.set("over_quota", Json(t.over_quota));
+      tenants.push_back(std::move(tj));
+    }
+    j.set("tenants", std::move(tenants));
+  }
+  {
+    Json fe = Json::object();
+    const ServiceStats::FrontendSnapshot& f = stats.frontend;
+    fe.set("accepted", Json(f.accepted));
+    fe.set("active", Json(f.active));
+    fe.set("closed", Json(f.closed));
+    fe.set("evicted_slow", Json(f.evicted_slow));
+    fe.set("evicted_idle", Json(f.evicted_idle));
+    fe.set("evicted_oversize", Json(f.evicted_oversize));
+    fe.set("rejected_conn_limit", Json(f.rejected_conn_limit));
+    fe.set("shed_fd_pressure", Json(f.shed_fd_pressure));
+    fe.set("auth_failures", Json(f.auth_failures));
+    j.set("frontend", std::move(fe));
+  }
   return j;
 }
 
@@ -338,7 +415,77 @@ std::string metrics_prometheus(Service& service) {
           st.plan_cache.misses);
   counter("fastqaoa_service_plan_cache_evictions_total",
           "plan cache evictions", st.plan_cache.evictions);
+
+  // Front-end connection counters (always on; the event loop is the only
+  // writer). These families never exist in the engine snapshot, so no
+  // dedup guard is needed.
+  counter("fastqaoa_frontend_connections_accepted_total",
+          "connections accepted by the event loop", st.frontend.accepted);
+  counter("fastqaoa_frontend_connections_closed_total",
+          "connections closed (any reason)", st.frontend.closed);
+  counter("fastqaoa_frontend_evicted_slow_total",
+          "connections evicted for write-buffer stall", st.frontend.evicted_slow);
+  counter("fastqaoa_frontend_evicted_idle_total",
+          "connections evicted for idle timeout", st.frontend.evicted_idle);
+  counter("fastqaoa_frontend_evicted_oversize_total",
+          "connections evicted for an oversized request line",
+          st.frontend.evicted_oversize);
+  counter("fastqaoa_frontend_rejected_conn_limit_total",
+          "connections refused at the hard connection limit",
+          st.frontend.rejected_conn_limit);
+  counter("fastqaoa_frontend_shed_fd_pressure_total",
+          "idle connections shed on EMFILE/ENFILE",
+          st.frontend.shed_fd_pressure);
+  counter("fastqaoa_frontend_auth_failures_total",
+          "requests rejected for a missing or unknown API key",
+          st.frontend.auth_failures);
+  gauge("fastqaoa_frontend_connections_active", "open connections right now",
+        static_cast<double>(st.frontend.active));
+
+  // Queue depth at admission as a real histogram family (always on, so
+  // depth quantiles survive FASTQAOA_PROFILING=OFF builds).
+  append_depth_histogram(text, st.queue_depth_hist, labels);
+
+  // Per-tenant series: one # TYPE block per family, one tenant-labelled
+  // sample per tenant (append_prometheus_counter would re-emit the TYPE
+  // header per sample, which the strict validator rejects).
+  if (!st.tenants.empty()) {
+    const auto tenant_family = [&](const char* name, const char* help,
+                                   const auto& project) {
+      text += "# HELP " + std::string(name) + ' ' + help + '\n';
+      text += "# TYPE " + std::string(name) + " counter\n";
+      for (const ServiceStats::TenantStats& t : st.tenants) {
+        text += std::string(name) + "{tenant=\"" +
+                obs::escape_prometheus_label_value(t.name) + "\"," + labels +
+                "} " + std::to_string(project(t)) + '\n';
+      }
+    };
+    tenant_family("fastqaoa_tenant_jobs_submitted_total",
+                  "jobs admitted per tenant",
+                  [](const ServiceStats::TenantStats& t) { return t.submitted; });
+    tenant_family("fastqaoa_tenant_jobs_completed_total",
+                  "jobs finished successfully per tenant",
+                  [](const ServiceStats::TenantStats& t) { return t.completed; });
+    tenant_family("fastqaoa_tenant_jobs_rejected_total",
+                  "submissions rejected per tenant (backpressure or quota)",
+                  [](const ServiceStats::TenantStats& t) { return t.rejected; });
+    tenant_family("fastqaoa_tenant_over_quota_total",
+                  "over_quota rejections per tenant",
+                  [](const ServiceStats::TenantStats& t) { return t.over_quota; });
+    text += "# HELP fastqaoa_tenant_queue_depth jobs waiting per tenant\n";
+    text += "# TYPE fastqaoa_tenant_queue_depth gauge\n";
+    for (const ServiceStats::TenantStats& t : st.tenants) {
+      text += "fastqaoa_tenant_queue_depth{tenant=\"" +
+              obs::escape_prometheus_label_value(t.name) + "\"," + labels +
+              "} " + std::to_string(t.queued) + '\n';
+    }
+  }
   return text;
+}
+
+bool is_job_op(const std::string& op) {
+  return op == "evaluate" || op == "batch_evaluate" || op == "gradient" ||
+         op == "find_angles" || op == "sample";
 }
 
 Json error_response(std::string_view code, std::string_view message) {
@@ -351,37 +498,111 @@ Json error_response(std::string_view code, std::string_view message) {
   return j;
 }
 
+Json submit_job_request(Service& service, const Json& request,
+                        const std::string& tenant,
+                        std::shared_ptr<Job>* out_job) {
+  JobSpec spec = job_spec_from_json(request);
+  spec.tenant = tenant;
+  Service::SubmitOutcome outcome = service.submit(std::move(spec));
+  if (!outcome.accepted()) {
+    // Structured backpressure: tell the client how deep the queue is, and
+    // for quota rejections when to come back.
+    Json err = Json::object();
+    err.set("code", Json(outcome.error_code));
+    std::string message;
+    if (outcome.error_code == "overloaded") {
+      message = "queue is at its high-water mark; retry later";
+    } else if (outcome.error_code == "over_quota") {
+      message = "tenant quota exceeded; retry after retry_after_ms";
+    } else {
+      message = "service is draining; no new jobs accepted";
+    }
+    err.set("message", Json(message));
+    err.set("queue_depth",
+            Json(static_cast<std::uint64_t>(outcome.queue_depth)));
+    if (outcome.retry_after_ms > 0) {
+      err.set("retry_after_ms",
+              Json(static_cast<long long>(outcome.retry_after_ms)));
+    }
+    Json response = Json::object();
+    response.set("ok", Json(false));
+    response.set("error", std::move(err));
+    return response;
+  }
+  const Json* async = request.find("async");
+  if (async != nullptr && async->as_bool()) {
+    Json j = Json::object();
+    j.set("ok", Json(true));
+    j.set("id", Json(outcome.job->id));
+    j.set("state", Json(to_string(outcome.job->snapshot_state())));
+    return j;
+  }
+  *out_job = std::move(outcome.job);
+  return Json();  // null: the caller waits for *out_job and renders it
+}
+
+Json check_auth(Service& service, const Json& request, const std::string& op,
+                RequestContext& ctx) {
+  const TenantRegistry& registry = service.tenant_registry();
+  // A per-request "key" acts as an implicit auth for this connection.
+  if (const Json* key = request.find("key");
+      key != nullptr && key->is_string() && registry.enabled()) {
+    if (auto tenant = registry.by_key(key->as_string())) {
+      ctx.tenant = tenant->name;
+      ctx.authenticated = true;
+    } else {
+      service.frontend.auth_failures.fetch_add(1, std::memory_order_relaxed);
+      return error_response("unauthorized", "unknown API key");
+    }
+  }
+  if (registry.enabled() && !ctx.trusted && !ctx.authenticated &&
+      op != "ping" && op != "auth") {
+    service.frontend.auth_failures.fetch_add(1, std::memory_order_relaxed);
+    return error_response(
+        "unauthorized",
+        "tenants are configured; authenticate with {\"op\":\"auth\",\"key\":...}");
+  }
+  return Json();
+}
+
 Json handle_request(Service& service, const Json& request) {
+  RequestContext trusted_ctx;
+  return handle_request(service, request, trusted_ctx);
+}
+
+Json handle_request(Service& service, const Json& request,
+                    RequestContext& ctx) {
   try {
     const std::string& op = request.at("op").as_string();
-    if (is_job_op(op)) {
-      JobSpec spec = job_spec_from_json(request);
-      Service::SubmitOutcome outcome = service.submit(std::move(spec));
-      if (!outcome.accepted()) {
-        // Structured backpressure: tell the client how deep the queue is.
-        Json err = Json::object();
-        err.set("code", Json(outcome.error_code));
-        err.set("message",
-                Json(outcome.error_code == "overloaded"
-                         ? "queue is at its high-water mark; retry later"
-                         : "service is draining; no new jobs accepted"));
-        err.set("queue_depth",
-                Json(static_cast<std::uint64_t>(outcome.queue_depth)));
-        Json response = Json::object();
-        response.set("ok", Json(false));
-        response.set("error", std::move(err));
-        return response;
-      }
-      const Json* async = request.find("async");
-      if (async != nullptr && async->as_bool()) {
+    if (Json denied = check_auth(service, request, op, ctx);
+        !denied.is_null()) {
+      return denied;
+    }
+    if (op == "auth") {
+      if (!service.tenant_registry().enabled()) {
+        // No tenant file: auth is a no-op so clients can send it
+        // unconditionally.
         Json j = Json::object();
         j.set("ok", Json(true));
-        j.set("id", Json(outcome.job->id));
-        j.set("state", Json(to_string(outcome.job->snapshot_state())));
+        j.set("tenant", Json("default"));
         return j;
       }
-      Service::wait(*outcome.job);
-      Json j = job_to_json(*outcome.job);
+      if (!ctx.authenticated) {
+        service.frontend.auth_failures.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        return error_response("unauthorized", "missing or unknown API key");
+      }
+      Json j = Json::object();
+      j.set("ok", Json(true));
+      j.set("tenant", Json(ctx.tenant));
+      return j;
+    }
+    if (is_job_op(op)) {
+      std::shared_ptr<Job> job;
+      Json response = submit_job_request(service, request, ctx.tenant, &job);
+      if (job == nullptr) return response;
+      Service::wait(*job);
+      Json j = job_to_json(*job);
       j.set("ok", Json(true));
       return j;
     }
@@ -462,33 +683,66 @@ bool is_subscribe_line(const std::string& line) {
   }
 }
 
-void handle_subscribe(Service& service, const Json& request,
-                      const std::function<bool(const std::string&)>& emit) {
+Json subscribe_attach(Service& service, const Json& request,
+                      std::shared_ptr<Job>* out_job) {
   std::uint64_t id = 0;
-  int throttle_ms = 0;
   try {
     id = request.at("id").as_uint64();
-    if (const Json* v = request.find("throttle_ms")) {
-      throttle_ms =
-          std::clamp(static_cast<int>(v->as_int64()), 0, 10'000);
-    }
   } catch (const std::exception& e) {
-    emit(error_response("bad_request", e.what()).dump());
-    return;
+    return error_response("bad_request", e.what());
   }
-  const std::shared_ptr<Job> job = service.find(id);
+  std::shared_ptr<Job> job = service.find(id);
   if (job == nullptr) {
-    emit(error_response("unknown_job", "no job with id " + std::to_string(id))
-             .dump());
-    return;
+    return error_response("unknown_job",
+                          "no job with id " + std::to_string(id));
   }
-
-  ProgressChannel::Subscription sub = job->progress.subscribe();
   Json ack = Json::object();
   ack.set("ok", Json(true));
   ack.set("id", Json(id));
   ack.set("subscribed", Json(true));
   ack.set("state", Json(to_string(job->snapshot_state())));
+  *out_job = std::move(job);
+  return ack;
+}
+
+std::string stamp_terminal_event(const std::string& line,
+                                 std::uint64_t dropped_events,
+                                 bool* is_terminal) {
+  if (is_terminal != nullptr) *is_terminal = false;
+  try {
+    Json ev = Json::parse(line);
+    const Json* kind = ev.find("event");
+    if (kind != nullptr && kind->is_string() && kind->as_string() == "done") {
+      // Stamp this subscriber's drop count into the terminal event.
+      ev.set("dropped_events", Json(dropped_events));
+      if (is_terminal != nullptr) *is_terminal = true;
+      return ev.dump();
+    }
+  } catch (...) {
+    // Not JSON? Forward verbatim; the publisher only emits JSON today.
+  }
+  return line;
+}
+
+void handle_subscribe(Service& service, const Json& request,
+                      const std::function<bool(const std::string&)>& emit) {
+  int throttle_ms = 0;
+  if (const Json* v = request.find("throttle_ms")) {
+    try {
+      throttle_ms = std::clamp(static_cast<int>(v->as_int64()), 0, 10'000);
+    } catch (const std::exception& e) {
+      emit(error_response("bad_request", e.what()).dump());
+      return;
+    }
+  }
+  std::shared_ptr<Job> job;
+  const Json ack = subscribe_attach(service, request, &job);
+  if (job == nullptr) {
+    emit(ack.dump());
+    return;
+  }
+
+  ProgressChannel::Subscription sub = job->progress.subscribe();
   if (!emit(ack.dump())) return;
 
   std::string line;
@@ -500,19 +754,7 @@ void handle_subscribe(Service& service, const Json& request,
     if (throttle_ms > 0) sub.wait_closed_for(throttle_ms);
     if (!sub.next(line)) break;
     bool terminal = false;
-    try {
-      Json ev = Json::parse(line);
-      const Json* kind = ev.find("event");
-      if (kind != nullptr && kind->is_string() &&
-          kind->as_string() == "done") {
-        // Stamp this subscriber's drop count into the terminal event.
-        ev.set("dropped_events", Json(sub.dropped()));
-        line = ev.dump();
-        terminal = true;
-      }
-    } catch (...) {
-      // Not JSON? Forward verbatim; the publisher only emits JSON today.
-    }
+    line = stamp_terminal_event(line, sub.dropped(), &terminal);
     if (!emit(line) || terminal) return;
   }
 }

@@ -1,7 +1,7 @@
 #include "service/server.hpp"
 
-#include <poll.h>
 #include <signal.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -21,13 +23,17 @@
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/checkpoint.hpp"
+#include "runtime/fault.hpp"
 #include "service/json.hpp"
 #include "service/net.hpp"
 #include "service/protocol.hpp"
+#include "service/tenant.hpp"
 
 namespace fastqaoa::service {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
 
 // Self-pipe: the write end is the only thing the signal handler touches.
 std::atomic<int> g_signal_pipe_wr{-1};
@@ -42,99 +48,71 @@ extern "C" void daemon_signal_handler(int /*signo*/) {
   }
 }
 
-/// Connection threads register their fd so drain can shutdown(SHUT_RD) any
-/// reader still blocked in recv(); finished threads queue themselves for
-/// joining so a long-lived daemon does not accumulate dead std::threads.
-class ConnectionTracker {
+/// Connection ids ready for a pump: worker threads post here from progress
+/// close hooks (sync job finished) and subscription notifies (stream event
+/// landed), then poke the event loop awake through a non-blocking pipe.
+/// Stale ids (connection already closed) are simply ignored at drain time.
+class ReadyQueue {
  public:
-  void add(std::uint64_t id, int fd, std::thread thread) {
-    std::lock_guard<std::mutex> lock(mu_);
-    threads_.emplace(id, std::move(thread));
-    fds_.emplace(id, fd);
-  }
+  void set_wake_fd(int fd) noexcept { wake_fd_ = fd; }
 
-  /// Called by a connection thread as it exits.
-  void finished(std::uint64_t id) {
-    std::lock_guard<std::mutex> lock(mu_);
-    fds_.erase(id);
-    done_.push_back(id);
-  }
-
-  /// Join threads that announced completion (accept-loop housekeeping).
-  void reap() {
-    std::vector<std::thread> joinable;
+  void post(std::uint64_t conn_id) {
+    bool wake = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (const std::uint64_t id : done_) {
-        auto it = threads_.find(id);
-        if (it != threads_.end()) {
-          joinable.push_back(std::move(it->second));
-          threads_.erase(it);
-        }
-      }
-      done_.clear();
+      wake = ids_.empty();
+      ids_.push_back(conn_id);
     }
-    for (std::thread& t : joinable) {
-      if (t.joinable()) t.join();
+    if (wake && wake_fd_ >= 0) {
+      const char byte = 1;
+      // Non-blocking pipe: EAGAIN means a wakeup is already pending.
+      [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &byte, 1);
     }
   }
 
-  /// Unblock readers: half-close every live connection's read side. The
-  /// write side stays open so in-flight responses still reach the client.
-  void shutdown_reads() {
+  std::vector<std::uint64_t> drain() {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [id, fd] : fds_) ::shutdown(fd, SHUT_RD);
-  }
-
-  void join_all() {
-    std::unordered_map<std::uint64_t, std::thread> threads;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      threads.swap(threads_);
-      done_.clear();
-    }
-    for (auto& [id, t] : threads) {
-      if (t.joinable()) t.join();
-    }
+    std::vector<std::uint64_t> out;
+    out.swap(ids_);
+    return out;
   }
 
  private:
   std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::thread> threads_;
-  std::unordered_map<std::uint64_t, int> fds_;
-  std::deque<std::uint64_t> done_;
+  std::vector<std::uint64_t> ids_;
+  int wake_fd_ = -1;
 };
 
-void serve_connection(Service& service, int fd) {
-  try {
-    LineReader reader(fd);
-    std::string line;
-    while (reader.next(line)) {
-      if (line.empty()) continue;
-      if (is_subscribe_line(line)) {
-        // Streaming path: many response lines for one request line. The
-        // emit callback reports a broken peer as false so the stream stops
-        // without tearing down the daemon; afterwards the connection keeps
-        // serving normal requests.
-        handle_subscribe(service, Json::parse(line),
-                         [fd](const std::string& event) {
-                           try {
-                             write_all(fd, event + "\n");
-                             return true;
-                           } catch (const std::exception&) {
-                             return false;
-                           }
-                         });
-        continue;
-      }
-      write_all(fd, handle_request_line(service, line) + "\n");
-    }
-  } catch (const std::exception&) {
-    // Peer vanished or sent garbage past the line cap — this connection is
-    // over; the daemon itself is unaffected.
+/// One connection's state machine. The loop thread owns everything here;
+/// worker threads only ever touch the ReadyQueue.
+struct Conn {
+  int fd = -1;
+  std::uint64_t id = 0;   ///< epoll key (and ReadyQueue token)
+  std::uint64_t seq = 0;  ///< accept order, 1-based (fault discriminator)
+  RequestContext ctx;
+
+  std::string rbuf;                 ///< bytes not yet split into lines
+  std::deque<std::string> lines;    ///< complete request lines awaiting serve
+  std::string wbuf;                 ///< pending output
+  std::size_t woff = 0;             ///< wbuf bytes already sent
+  std::uint32_t interest = 0;       ///< current epoll event mask
+  bool peer_eof = false;
+  bool simulated_stall = false;     ///< net.stall_reader: pretend EAGAIN
+
+  enum class Mode { Idle, WaitJob, Stream } mode = Mode::Idle;
+  std::shared_ptr<Job> wait_job;    ///< WaitJob: sync job being awaited
+  std::shared_ptr<Job> stream_job;  ///< Stream: job being watched
+  ProgressChannel::Subscription sub;
+  int throttle_ms = 0;
+  SteadyClock::time_point next_stream_at{};
+
+  SteadyClock::time_point last_activity{};
+  SteadyClock::time_point last_write_progress{};
+
+  [[nodiscard]] std::size_t pending_out() const noexcept {
+    return wbuf.size() - woff;
   }
-  close_fd(fd);
-}
+};
 
 /// Best-effort atomic rewrite of the Prometheus text file (scrape targets
 /// tolerate a stale file better than a torn one).
@@ -147,6 +125,636 @@ void write_prometheus_file(Service& service, const std::string& path) {
                  e.what());
   }
 }
+
+/// The whole front end: listeners, connections, timers, drain. One instance
+/// per run_daemon call; runs on the calling thread.
+class EventLoop {
+ public:
+  EventLoop(Service& service, const DaemonOptions& options, int signal_rfd,
+            const int* listen_fds, int n_listeners)
+      : service_(service),
+        opts_(options),
+        signal_rfd_(signal_rfd),
+        n_listeners_(n_listeners) {
+    for (int i = 0; i < n_listeners; ++i) listen_fds_[i] = listen_fds[i];
+  }
+
+  ~EventLoop() {
+    for (auto& [id, c] : conns_) close_fd(c->fd);
+    conns_.clear();
+    if (epoll_fd_ >= 0) close_fd(epoll_fd_);
+    if (wake_pipe_[0] >= 0) close_fd(wake_pipe_[0]);
+    if (wake_pipe_[1] >= 0) close_fd(wake_pipe_[1]);
+  }
+
+  /// Returns 0 after a clean drain, 2 on a setup failure.
+  int run() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      std::fprintf(stderr, "qaoa_serve: epoll_create1: %s\n",
+                   std::strerror(errno));
+      return 2;
+    }
+    if (::pipe(wake_pipe_) != 0) {
+      std::fprintf(stderr, "qaoa_serve: pipe: %s\n", std::strerror(errno));
+      return 2;
+    }
+    set_nonblocking(wake_pipe_[0], true);
+    set_nonblocking(wake_pipe_[1], true);
+    ready_.set_wake_fd(wake_pipe_[1]);
+
+    add_watch(signal_rfd_, kKeySignal, EPOLLIN);
+    add_watch(wake_pipe_[0], kKeyWake, EPOLLIN);
+    for (int i = 0; i < n_listeners_; ++i) {
+      set_nonblocking(listen_fds_[i], true);
+      add_watch(listen_fds_[i], kKeyListener0 + static_cast<std::uint64_t>(i),
+                EPOLLIN);
+    }
+
+    const bool periodic = !opts_.prometheus_path.empty();
+    auto last_metrics = SteadyClock::now();
+    if (periodic) write_prometheus_file(service_, opts_.prometheus_path);
+
+    bool drain = false;
+    while (!drain) {
+      epoll_event events[64];
+      const int rc = ::epoll_wait(epoll_fd_, events, 64, kTickMs);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        std::fprintf(stderr, "qaoa_serve: epoll_wait: %s\n",
+                     std::strerror(errno));
+        break;  // fall through to drain: never exit without flushing
+      }
+      for (int i = 0; i < rc && !drain; ++i) {
+        const std::uint64_t key = events[i].data.u64;
+        const std::uint32_t ev = events[i].events;
+        if (key == kKeySignal) {
+          drain = true;
+        } else if (key == kKeyWake) {
+          drain_pipe(wake_pipe_[0]);
+        } else if (key >= kKeyListener0 && key < kKeyListener0 + 2) {
+          accept_burst(static_cast<int>(key - kKeyListener0));
+        } else {
+          auto it = conns_.find(key);
+          if (it == conns_.end()) continue;  // already closed this round
+          Conn* c = it->second.get();
+          if ((ev & (EPOLLHUP | EPOLLERR)) != 0 && (ev & EPOLLIN) == 0 &&
+              c->pending_out() == 0) {
+            close_conn(c->id);
+            continue;
+          }
+          bool alive = true;
+          if ((ev & EPOLLOUT) != 0) alive = on_writable(c);
+          if (alive && (ev & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+            on_readable(c);
+          }
+        }
+      }
+      if (drain) break;
+
+      // Worker-thread completions (sync jobs, stream events).
+      for (const std::uint64_t id : ready_.drain()) {
+        auto it = conns_.find(id);
+        if (it != conns_.end()) pump(it->second.get());
+      }
+
+      housekeeping();
+
+      if (periodic) {
+        const auto now = SteadyClock::now();
+        if (std::chrono::duration<double>(now - last_metrics).count() >=
+            opts_.metrics_interval_seconds) {
+          write_prometheus_file(service_, opts_.prometheus_path);
+          last_metrics = now;
+        }
+      }
+    }
+
+    drain_and_close();
+    return 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kKeySignal = 0;
+  static constexpr std::uint64_t kKeyWake = 1;
+  static constexpr std::uint64_t kKeyListener0 = 2;
+  static constexpr std::uint64_t kFirstConnId = 16;
+  static constexpr int kTickMs = 100;
+  static constexpr std::size_t kReadChunk = 64 * 1024;
+
+  // ---- epoll plumbing -----------------------------------------------------
+
+  void add_watch(int fd, std::uint64_t key, std::uint32_t events) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.u64 = key;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      throw Error(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+    }
+  }
+
+  static void drain_pipe(int fd) {
+    char buf[256];
+    while (::read(fd, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  /// Recompute the connection's epoll interest from its buffer state:
+  /// EPOLLIN while we are willing to buffer more input, EPOLLOUT only while
+  /// output is pending.
+  void update_interest(Conn* c) {
+    std::uint32_t want = 0;
+    const bool read_more = !c->peer_eof &&
+                           c->lines.size() < opts_.max_pipeline &&
+                           c->rbuf.size() <= opts_.max_line_bytes;
+    if (read_more) want |= EPOLLIN;
+    if (c->pending_out() > 0) want |= EPOLLOUT;
+    if (want == c->interest) return;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.u64 = c->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev) == 0) {
+      c->interest = want;
+    }
+  }
+
+  // ---- accept path --------------------------------------------------------
+
+  void accept_burst(int listener) {
+    const int lfd = listen_fds_[listener];
+    bool shed_tried = false;
+    for (;;) {
+      const int fd = ::accept4(lfd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EMFILE || errno == ENFILE) {
+          // fd pressure: shed the oldest idle connection to make room, then
+          // retry once. If nothing is sheddable, back off until next tick.
+          if (!shed_tried && shed_oldest_idle()) {
+            shed_tried = true;
+            continue;
+          }
+          return;
+        }
+        return;  // other transient accept failure
+      }
+      const std::uint64_t seq = ++accept_seq_;
+      if (FASTQAOA_FAULT_FIRE("net.accept_fail",
+                              static_cast<long long>(seq))) {
+        close_fd(fd);  // simulated transient accept failure
+        continue;
+      }
+      if (conns_.size() >= opts_.max_connections) {
+        service_.frontend.rejected_conn_limit.fetch_add(
+            1, std::memory_order_relaxed);
+        const std::string line =
+            error_response("too_many_connections",
+                           "connection limit reached, try again later")
+                .dump() +
+            "\n";
+        [[maybe_unused]] const ssize_t n =
+            ::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+        close_fd(fd);
+        continue;
+      }
+      if (opts_.sndbuf_bytes > 0) set_send_buffer(fd, opts_.sndbuf_bytes);
+
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      conn->id = next_conn_id_++;
+      conn->seq = seq;
+      conn->ctx.trusted = false;  // socket clients must present keys
+      conn->last_activity = SteadyClock::now();
+      conn->last_write_progress = conn->last_activity;
+      if (FASTQAOA_FAULT_FIRE("net.stall_reader",
+                              static_cast<long long>(seq))) {
+        conn->simulated_stall = true;  // peer "never drains": writes stall
+      }
+      Conn* c = conn.get();
+      conns_.emplace(c->id, std::move(conn));
+      try {
+        add_watch(c->fd, c->id, EPOLLIN);
+        c->interest = EPOLLIN;
+      } catch (const std::exception&) {
+        close_fd(c->fd);
+        conns_.erase(c->id);
+        continue;
+      }
+      service_.frontend.accepted.fetch_add(1, std::memory_order_relaxed);
+      service_.frontend.active.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Shed the least-recently-active fully idle connection (EMFILE relief).
+  bool shed_oldest_idle() {
+    Conn* victim = nullptr;
+    for (auto& [id, c] : conns_) {
+      if (c->mode != Conn::Mode::Idle || !c->lines.empty() ||
+          c->pending_out() != 0) {
+        continue;
+      }
+      if (victim == nullptr || c->last_activity < victim->last_activity) {
+        victim = c.get();
+      }
+    }
+    if (victim == nullptr) return false;
+    service_.frontend.shed_fd_pressure.fetch_add(1,
+                                                 std::memory_order_relaxed);
+    evict(victim, "shed_fd_pressure",
+          "connection shed under file-descriptor pressure");
+    return true;
+  }
+
+  // ---- read path ----------------------------------------------------------
+
+  void on_readable(Conn* c) {
+    char buf[kReadChunk];
+    for (;;) {
+      if (c->lines.size() >= opts_.max_pipeline) break;  // backpressure
+      const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_conn(c->id);  // peer reset
+        return;
+      }
+      if (n == 0) {
+        c->peer_eof = true;
+        break;
+      }
+      c->last_activity = SteadyClock::now();
+      if (FASTQAOA_FAULT_FIRE("net.drop_connection",
+                              static_cast<long long>(c->seq))) {
+        close_conn(c->id);  // simulated mid-frame connection drop
+        return;
+      }
+      c->rbuf.append(buf, static_cast<std::size_t>(n));
+      const bool oversized_line = !split_lines(c);
+      // Reject past max_line_bytes whether the line is still accumulating
+      // (the unbounded-buffering guard) or arrived complete in one read.
+      if (oversized_line || c->rbuf.size() > opts_.max_line_bytes) {
+        service_.frontend.evicted_oversize.fetch_add(
+            1, std::memory_order_relaxed);
+        send_best_effort(
+            c, error_response("bad_request",
+                              "request line exceeds " +
+                                  std::to_string(opts_.max_line_bytes) +
+                                  " bytes")
+                   .dump());
+        close_conn(c->id);
+        return;
+      }
+    }
+    if (c->peer_eof && !c->rbuf.empty()) {
+      // Tolerate a missing trailing newline before EOF (curl-style).
+      c->lines.push_back(std::move(c->rbuf));
+      c->rbuf.clear();
+    }
+    pump(c);
+  }
+
+  /// Extract complete lines from the read buffer. Returns false when a
+  /// completed line exceeds max_line_bytes (the caller evicts).
+  bool split_lines(Conn* c) {
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = c->rbuf.find('\n', start);
+      if (nl == std::string::npos) break;
+      if (nl - start > opts_.max_line_bytes) return false;
+      if (nl > start) {
+        c->lines.emplace_back(c->rbuf, start, nl - start);
+      }
+      start = nl + 1;
+    }
+    if (start > 0) c->rbuf.erase(0, start);
+    return true;
+  }
+
+  // ---- write path ---------------------------------------------------------
+
+  /// Push as much pending output as the socket accepts. Returns false when
+  /// the connection died (and was closed) in the attempt.
+  bool try_flush(Conn* c) {
+    while (c->woff < c->wbuf.size()) {
+      if (c->simulated_stall) break;  // net.stall_reader: kernel "full"
+      std::size_t len = c->wbuf.size() - c->woff;
+      if (FASTQAOA_FAULT_FIRE("net.short_write",
+                              static_cast<long long>(c->seq))) {
+        len = 1;  // simulated short write: one byte this pass
+      }
+      std::size_t n = 0;
+      try {
+        n = write_some(c->fd, c->wbuf.data() + c->woff, len);
+      } catch (const std::exception&) {
+        close_conn(c->id);  // peer gone mid-response
+        return false;
+      }
+      if (n == 0) break;  // kernel buffer full
+      c->woff += n;
+      c->last_write_progress = SteadyClock::now();
+    }
+    if (c->woff == c->wbuf.size()) {
+      c->wbuf.clear();
+      c->woff = 0;
+    } else if (c->woff > (1u << 20)) {
+      c->wbuf.erase(0, c->woff);
+      c->woff = 0;
+    }
+    return true;
+  }
+
+  /// Queue one response line. Returns false when the connection died.
+  bool send_line(Conn* c, const std::string& line) {
+    // The stall clock starts when output first becomes pending, not from
+    // whenever the last byte happened to flow.
+    if (c->pending_out() == 0) c->last_write_progress = SteadyClock::now();
+    c->wbuf += line;
+    c->wbuf += '\n';
+    return try_flush(c);
+  }
+
+  /// One best-effort non-blocking write, used on paths that close the
+  /// connection right after (eviction notices, reject-at-accept).
+  void send_best_effort(Conn* c, const std::string& line) {
+    const std::string framed = line + "\n";
+    [[maybe_unused]] const ssize_t n = ::send(
+        c->fd, framed.data(), framed.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+  }
+
+  bool on_writable(Conn* c) {
+    const std::uint64_t id = c->id;
+    if (!try_flush(c)) return false;
+    pump(c);  // may close (and free) the connection
+    return conns_.count(id) != 0;
+  }
+
+  // ---- the FSM pump -------------------------------------------------------
+
+  /// Advance a connection as far as it can go right now: deliver a finished
+  /// sync job, stream subscription events, then serve pipelined request
+  /// lines — stopping at backpressure (full write buffer), an unfinished
+  /// job, or an empty input queue.
+  void pump(Conn* c) {
+    const std::uint64_t id = c->id;
+    for (;;) {
+      if (conns_.count(id) == 0) return;  // closed underneath us
+      if (c->mode == Conn::Mode::WaitJob) {
+        if (!c->wait_job->terminal()) break;
+        Json j = job_to_json(*c->wait_job);
+        j.set("ok", Json(true));
+        c->wait_job.reset();
+        c->mode = Conn::Mode::Idle;
+        if (!send_line(c, j.dump())) return;
+        continue;
+      }
+      if (c->mode == Conn::Mode::Stream) {
+        if (!pump_stream(c)) return;
+        if (c->mode == Conn::Mode::Stream) break;  // waiting on events
+        continue;
+      }
+      // Idle: serve the next pipelined request line.
+      if (c->lines.empty()) break;
+      if (c->pending_out() >= opts_.write_buffer_cap) break;
+      const std::string line = std::move(c->lines.front());
+      c->lines.pop_front();
+      if (!handle_line(c, line)) return;
+    }
+    if (c->peer_eof && c->mode == Conn::Mode::Idle && c->lines.empty() &&
+        c->pending_out() == 0) {
+      close_conn(id);
+      return;
+    }
+    update_interest(c);
+  }
+
+  /// Move subscription events into the write buffer. Returns false when the
+  /// connection died. Leaves mode == Idle once the terminal event is
+  /// queued.
+  bool pump_stream(Conn* c) {
+    for (;;) {
+      if (c->pending_out() >= opts_.write_buffer_cap) return true;
+      const bool closed = c->stream_job->progress.closed();
+      if (c->throttle_ms > 0 && !closed &&
+          SteadyClock::now() < c->next_stream_at) {
+        return true;  // housekeeping re-pumps when the throttle expires
+      }
+      std::string line;
+      if (!c->sub.try_next(line)) {
+        if (c->sub.finished()) {
+          end_stream(c);
+        }
+        return true;
+      }
+      c->next_stream_at =
+          SteadyClock::now() + std::chrono::milliseconds(c->throttle_ms);
+      bool terminal = false;
+      line = stamp_terminal_event(line, c->sub.dropped(), &terminal);
+      if (!send_line(c, line)) return false;
+      if (terminal) {
+        end_stream(c);
+        return true;
+      }
+    }
+  }
+
+  void end_stream(Conn* c) {
+    c->sub.detach();
+    c->sub = ProgressChannel::Subscription();
+    c->stream_job.reset();
+    c->throttle_ms = 0;
+    c->mode = Conn::Mode::Idle;
+  }
+
+  /// Serve one request line: parse, authenticate, route. Job verbs and
+  /// subscribe park the connection in WaitJob/Stream instead of blocking;
+  /// everything else dispatches inline. Returns false when the connection
+  /// died while writing.
+  bool handle_line(Conn* c, const std::string& line) {
+    Json request;
+    try {
+      request = Json::parse(line);
+    } catch (const std::exception& e) {
+      return send_line(
+          c, error_response("bad_request",
+                            std::string("parse error: ") + e.what())
+                 .dump());
+    }
+    std::string op;
+    if (const Json* v = request.find("op"); v != nullptr && v->is_string()) {
+      op = v->as_string();
+    }
+    if (op == "subscribe") {
+      const Json denied = check_auth(service_, request, op, c->ctx);
+      if (!denied.is_null()) return send_line(c, denied.dump());
+      std::shared_ptr<Job> job;
+      Json ack = subscribe_attach(service_, request, &job);
+      if (!send_line(c, ack.dump())) return false;
+      if (job == nullptr) return true;  // unknown job: error already sent
+      c->stream_job = std::move(job);
+      c->sub = c->stream_job->progress.subscribe();
+      c->throttle_ms = 0;
+      if (const Json* t = request.find("throttle_ms");
+          t != nullptr && t->is_number()) {
+        c->throttle_ms = std::max(0, static_cast<int>(t->as_int64()));
+      }
+      c->next_stream_at =
+          SteadyClock::now() + std::chrono::milliseconds(c->throttle_ms);
+      c->mode = Conn::Mode::Stream;
+      c->sub.set_notify([q = &ready_, id = c->id] { q->post(id); });
+      return true;
+    }
+    if (is_job_op(op)) {
+      const Json denied = check_auth(service_, request, op, c->ctx);
+      if (!denied.is_null()) return send_line(c, denied.dump());
+      std::shared_ptr<Job> job;
+      Json response;
+      try {
+        response = submit_job_request(service_, request, c->ctx.tenant, &job);
+      } catch (const std::exception& e) {
+        return send_line(c, error_response("bad_request", e.what()).dump());
+      }
+      if (job == nullptr) return send_line(c, response.dump());
+      // Sync-accepted: answer when the job's progress channel closes (every
+      // terminal path closes it), without parking a thread in wait().
+      c->wait_job = std::move(job);
+      c->mode = Conn::Mode::WaitJob;
+      c->wait_job->progress.add_close_hook(
+          [q = &ready_, id = c->id] { q->post(id); });
+      return true;
+    }
+    return send_line(c, handle_request(service_, request, c->ctx).dump());
+  }
+
+  // ---- timeouts, eviction, close ------------------------------------------
+
+  void housekeeping() {
+    const auto now = SteadyClock::now();
+    std::vector<std::uint64_t> slow;
+    std::vector<std::uint64_t> idle;
+    std::vector<std::uint64_t> throttled;
+    for (auto& [id, c] : conns_) {
+      if (c->pending_out() > 0 && opts_.write_timeout_seconds > 0 &&
+          std::chrono::duration<double>(now - c->last_write_progress)
+                  .count() >= opts_.write_timeout_seconds) {
+        slow.push_back(id);
+        continue;
+      }
+      if (c->mode == Conn::Mode::Idle && c->lines.empty() &&
+          c->pending_out() == 0 && opts_.idle_timeout_seconds > 0 &&
+          std::chrono::duration<double>(now - c->last_activity).count() >=
+              opts_.idle_timeout_seconds) {
+        idle.push_back(id);
+        continue;
+      }
+      if (c->mode == Conn::Mode::Stream && c->throttle_ms > 0) {
+        throttled.push_back(id);  // re-pump: throttle may have expired
+      }
+    }
+    for (const std::uint64_t id : slow) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      service_.frontend.evicted_slow.fetch_add(1, std::memory_order_relaxed);
+      evict(it->second.get(), "evicted",
+            "client too slow: write stalled past the timeout");
+    }
+    for (const std::uint64_t id : idle) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      service_.frontend.evicted_idle.fetch_add(1, std::memory_order_relaxed);
+      evict(it->second.get(), "idle_timeout",
+            "connection idle past the timeout");
+    }
+    for (const std::uint64_t id : throttled) {
+      auto it = conns_.find(id);
+      if (it != conns_.end()) pump(it->second.get());
+    }
+  }
+
+  /// Drop a connection with a structured (best-effort) error notice,
+  /// cancelling any sync job it was the only waiter of.
+  void evict(Conn* c, const char* code, const char* message) {
+    if (c->wait_job != nullptr) {
+      service_.cancel(c->wait_job->id);  // no one is listening anymore
+    }
+    send_best_effort(c, error_response(code, message).dump());
+    close_conn(c->id);
+  }
+
+  void close_conn(std::uint64_t id) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn* c = it->second.get();
+    if (c->sub.valid()) c->sub.detach();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+    close_fd(c->fd);
+    conns_.erase(it);
+    service_.frontend.closed.fetch_add(1, std::memory_order_relaxed);
+    service_.frontend.active.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // ---- drain --------------------------------------------------------------
+
+  /// SIGTERM path: stop accepting, drain the service (all jobs reach a
+  /// terminal state and every progress channel closes), render every
+  /// parked response, then flush what the peers will accept within a
+  /// bounded deadline. Connections, unlike jobs, are expendable at this
+  /// point — a peer that will not drain its socket is closed.
+  void drain_and_close() {
+    if (opts_.verbose) {
+      std::fprintf(stderr, "qaoa_serve: draining (queued jobs cancelled, "
+                           "running jobs finishing)\n");
+    }
+    for (int i = 0; i < n_listeners_; ++i) close_fd(listen_fds_[i]);
+    n_listeners_ = 0;
+    ::unlink(opts_.socket_path.c_str());
+    service_.begin_drain();
+    service_.shutdown();  // every in-flight job delivers its result
+
+    // Every channel is closed now, so each pump reaches quiescence: parked
+    // sync responses render, streams drain to their terminal event
+    // (throttles are moot once the channel is closed).
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (auto& [id, c] : conns_) ids.push_back(id);
+    for (const std::uint64_t id : ids) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Conn* c = it->second.get();
+      c->throttle_ms = 0;
+      pump(c);
+    }
+
+    // Bounded flush: give peers a few seconds to take their last bytes.
+    const auto deadline = SteadyClock::now() + std::chrono::seconds(5);
+    for (;;) {
+      std::vector<std::uint64_t> pending;
+      for (auto& [id, c] : conns_) {
+        if (c->pending_out() > 0 && !c->simulated_stall) pending.push_back(id);
+      }
+      if (pending.empty() || SteadyClock::now() >= deadline) break;
+      for (const std::uint64_t id : pending) {
+        auto it = conns_.find(id);
+        if (it != conns_.end()) try_flush(it->second.get());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    while (!conns_.empty()) close_conn(conns_.begin()->first);
+  }
+
+  Service& service_;
+  const DaemonOptions& opts_;
+  int signal_rfd_;
+  int listen_fds_[2] = {-1, -1};
+  int n_listeners_ = 0;
+  int epoll_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  ReadyQueue ready_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = kFirstConnId;
+  std::uint64_t accept_seq_ = 0;
+};
 
 }  // namespace
 
@@ -161,6 +769,16 @@ int run_daemon(const DaemonOptions& options) {
   if (options.socket_path.empty()) {
     std::fprintf(stderr, "qaoa_serve: --socket path is required\n");
     return 2;
+  }
+
+  ServiceConfig service_config = options.service;
+  if (!options.tenants_path.empty()) {
+    try {
+      service_config.tenants = load_tenant_config(options.tenants_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "qaoa_serve: --tenants: %s\n", e.what());
+      return 2;
+    }
   }
 
   int listen_fds[2] = {-1, -1};
@@ -183,6 +801,7 @@ int run_daemon(const DaemonOptions& options) {
     for (int i = 0; i < n_listeners; ++i) close_fd(listen_fds[i]);
     return 2;
   }
+  set_nonblocking(signal_pipe[0], true);
   g_signal_pipe_wr.store(signal_pipe[1], std::memory_order_relaxed);
 
   struct sigaction sa{};
@@ -192,88 +811,39 @@ int run_daemon(const DaemonOptions& options) {
   ::sigaction(SIGINT, &sa, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
 
+  int rc = 0;
   {
-    Service service(options.service);
-    ConnectionTracker connections;
-    std::uint64_t next_conn_id = 1;
+    // The event loop (and its ReadyQueue) must outlive nothing: worker
+    // threads post readiness from progress callbacks until the Service's
+    // shutdown() inside drain_and_close() joins them, which happens while
+    // the loop object is alive. Service is declared first so it is
+    // destroyed last.
+    Service service(service_config);
 
     if (options.verbose) {
       std::fprintf(stderr, "qaoa_serve: listening on %s",
                    options.socket_path.c_str());
       if (tcp_port >= 0) std::fprintf(stderr, " and 127.0.0.1:%d", tcp_port);
-      std::fprintf(stderr, " (workers=%d, queue=%zu)\n",
-                   options.service.workers, options.service.queue_high_water);
+      std::fprintf(stderr, " (workers=%d, queue=%zu",
+                   service_config.workers, service_config.queue_high_water);
+      if (!service_config.tenants.empty()) {
+        std::fprintf(stderr, ", tenants=%zu", service_config.tenants.size());
+      }
+      std::fprintf(stderr, ")\n");
     }
 
-    // Periodic Prometheus file writes need the accept loop to wake up on a
-    // cadence; without them the poll blocks indefinitely as before.
-    const bool periodic = !options.prometheus_path.empty();
-    const int poll_timeout_ms =
-        periodic ? std::max(100, static_cast<int>(
-                                     options.metrics_interval_seconds * 1e3))
-                 : -1;
-    auto last_write = std::chrono::steady_clock::now();
-    if (periodic) write_prometheus_file(service, options.prometheus_path);
-
-    bool drain = false;
-    while (!drain) {
-      pollfd fds[3];
-      fds[0] = {signal_pipe[0], POLLIN, 0};
-      for (int i = 0; i < n_listeners; ++i) {
-        fds[i + 1] = {listen_fds[i], POLLIN, 0};
+    {
+      EventLoop loop(service, options, signal_pipe[0], listen_fds,
+                     n_listeners);
+      rc = loop.run();
+      if (rc != 0) {
+        // Setup failure inside the loop: still drain the service cleanly.
+        for (int i = 0; i < n_listeners; ++i) close_fd(listen_fds[i]);
+        ::unlink(options.socket_path.c_str());
+        service.begin_drain();
+        service.shutdown();
       }
-      const int rc = ::poll(fds, static_cast<nfds_t>(n_listeners + 1),
-                            poll_timeout_ms);
-      if (rc < 0) {
-        if (errno == EINTR) continue;
-        std::fprintf(stderr, "qaoa_serve: poll: %s\n", std::strerror(errno));
-        drain = true;
-        break;
-      }
-      if (periodic) {
-        const auto now = std::chrono::steady_clock::now();
-        if (std::chrono::duration<double>(now - last_write).count() >=
-            options.metrics_interval_seconds) {
-          write_prometheus_file(service, options.prometheus_path);
-          last_write = now;
-        }
-      }
-      if (rc == 0) continue;  // poll timeout: metrics tick only
-      if ((fds[0].revents & POLLIN) != 0) {
-        drain = true;
-        break;
-      }
-      for (int i = 0; i < n_listeners; ++i) {
-        if ((fds[i + 1].revents & POLLIN) == 0) continue;
-        const int conn = ::accept(listen_fds[i], nullptr, nullptr);
-        if (conn < 0) continue;  // transient (ECONNABORTED, EINTR, ...)
-        const std::uint64_t id = next_conn_id++;
-        std::thread t([&service, &connections, conn, id] {
-          serve_connection(service, conn);
-          connections.finished(id);
-        });
-        connections.add(id, conn, std::move(t));
-      }
-      connections.reap();
     }
-
-    if (options.verbose) {
-      std::fprintf(stderr, "qaoa_serve: draining (queued jobs cancelled, "
-                           "running jobs finishing)\n");
-    }
-
-    // Drain: stop accepting first, so no client can slip a job in between
-    // "listener closed" and "service draining".
-    for (int i = 0; i < n_listeners; ++i) close_fd(listen_fds[i]);
-    ::unlink(options.socket_path.c_str());
-    service.begin_drain();
-    service.shutdown();  // every in-flight job delivers its result
-
-    // All jobs are terminal now, so any connection thread blocked in
-    // Service::wait() has already been released and is writing its
-    // response; half-close the rest so recv() returns EOF.
-    connections.shutdown_reads();
-    connections.join_all();
 
     if (!options.metrics_path.empty()) {
       try {
@@ -288,13 +858,15 @@ int run_daemon(const DaemonOptions& options) {
     if (!options.prometheus_path.empty()) {
       write_prometheus_file(service, options.prometheus_path);
     }
-    if (options.verbose) std::fprintf(stderr, "qaoa_serve: drained, bye\n");
+    if (options.verbose && rc == 0) {
+      std::fprintf(stderr, "qaoa_serve: drained, bye\n");
+    }
   }
 
   g_signal_pipe_wr.store(-1, std::memory_order_relaxed);
   close_fd(signal_pipe[0]);
   close_fd(signal_pipe[1]);
-  return 0;
+  return rc;
 }
 
 }  // namespace fastqaoa::service

@@ -1,21 +1,37 @@
 #pragma once
 /// \file server.hpp
-/// The daemon: listeners + connection threads around an embedded Service.
+/// The daemon: a single-threaded epoll event loop in front of an embedded
+/// Service worker pool.
 ///
 /// run_daemon() owns the whole lifecycle so `qaoa_serve` is a thin flag
 /// parser and tests can fork a real daemon without exec'ing a binary:
 ///
 ///   1. bind listeners (Unix socket always; TCP-on-loopback when asked),
-///   2. accept connections, one thread per connection, each speaking the
-///      NDJSON protocol via handle_request_line(),
+///   2. accept connections into non-blocking per-connection state machines
+///      (bounded read/write buffers, NDJSON protocol). The event loop never
+///      computes: job verbs are admitted into the Service and the response
+///      is written when the job's progress channel closes; `subscribe`
+///      streams from a bounded subscription pumped by readiness callbacks.
+///      Misbehaving clients are evicted rather than ever blocking the loop:
+///      an over-long request line, an idle connection, or a client that
+///      stops reading while output is pending each get a structured error
+///      (best-effort) and a close, with always-on counters in `metrics`.
 ///   3. on SIGTERM/SIGINT (self-pipe, async-signal-safe): stop accepting,
 ///      unlink the socket, drain the service — queued jobs are cancelled,
 ///      running ones trip their cancel tokens and deliver (and checkpoint)
-///      best-so-far results — flush metrics, and return 0.
+///      best-so-far results — flush every connection's pending output,
+///      flush metrics, and return 0.
 ///
 /// A clean drain is exit code 0 by design: SIGTERM is the orchestrator's
 /// "please finish", not a failure.
+///
+/// Multi-tenancy: when `tenants_path` (or service.tenants) is set, clients
+/// authenticate with {"op":"auth","key":...} or a per-request "key"; the
+/// resolved tenant drives fair-share scheduling, quotas, and plan-cache
+/// partitioning inside the Service. Without tenants the daemon behaves
+/// exactly as before (no keys, one default tenant).
 
+#include <cstddef>
 #include <string>
 
 #include "service/service.hpp"
@@ -37,11 +53,43 @@ struct DaemonOptions {
   std::string prometheus_path;
   double metrics_interval_seconds = 5.0;
   bool verbose = true;
+
+  /// Tenant config JSON (see tenant.hpp). Loaded into service.tenants at
+  /// startup; a parse error is a startup failure (exit 2). "" = skip.
+  std::string tenants_path;
+
+  /// Idle-connection timeout: a connection with no pending requests, no
+  /// buffered output, and no traffic for this long is closed (counted as
+  /// evicted_idle). 0 disables.
+  double idle_timeout_seconds = 300.0;
+  /// Write-stall timeout: when output is pending and the peer has accepted
+  /// no bytes for this long, the client is evicted (counted as
+  /// evicted_slow) and any sync job it was waiting on is cancelled.
+  /// 0 disables.
+  double write_timeout_seconds = 10.0;
+  /// Hard cap on concurrent connections; excess accepts are answered with
+  /// a structured "too_many_connections" error and closed.
+  std::size_t max_connections = 1024;
+  /// Longest accepted request line. A connection that exceeds it mid-line
+  /// is evicted (bad_request + evicted_oversize) instead of buffering
+  /// without bound.
+  std::size_t max_line_bytes = 16u << 20;  // 16 MiB
+  /// Per-connection outgoing buffer cap: once this much output is pending
+  /// the connection stops being served (and a subscribe stream stops being
+  /// pumped) until the peer drains it. Bounds daemon memory per client.
+  std::size_t write_buffer_cap = 8u << 20;  // 8 MiB
+  /// Parsed-but-unserved request lines buffered per connection before the
+  /// loop stops reading from it (pipelining backpressure).
+  std::size_t max_pipeline = 64;
+  /// SO_SNDBUF override for accepted sockets (0 = kernel default). Tests
+  /// shrink it so write-stall eviction triggers without megabytes of
+  /// kernel-side slack.
+  int sndbuf_bytes = 0;
 };
 
 /// Run until SIGTERM/SIGINT, then drain. Returns the process exit code:
 /// 0 after a clean drain, non-zero only for startup failures (bad socket
-/// path, bind errors).
+/// path, bind errors, unreadable tenant file).
 int run_daemon(const DaemonOptions& options);
 
 /// The metrics document run_daemon flushes: {"service": <stats>,

@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "autodiff/adjoint.hpp"
@@ -15,6 +16,10 @@
 namespace fastqaoa::service {
 
 namespace {
+
+/// retry_after_ms hint for concurrency-quota rejections, where (unlike the
+/// token bucket) there is no refill schedule to derive a wait from.
+constexpr int kQuotaRetryHintMs = 250;
 
 /// The NDJSON line a `subscribe` stream terminates with (also latched for
 /// late watchers of an already-finished job).
@@ -52,12 +57,52 @@ void record_job_distributions(JobKind kind, double queue_wait_s,
 #endif
 }
 
+double bucket_capacity(const TenantConfig& cfg) {
+  if (cfg.rate_per_sec <= 0.0) return 0.0;
+  return cfg.burst > 0.0 ? cfg.burst : std::max(1.0, cfg.rate_per_sec);
+}
+
 }  // namespace
 
 Service::Service(ServiceConfig config)
-    : config_(std::move(config)), cache_(PlanCache::Config{config_.cache_bytes}) {
+    : config_(std::move(config)),
+      registry_(config_.tenants),
+      cache_(PlanCache::Config{config_.cache_bytes}) {
   config_.workers = std::max(1, config_.workers);
   config_.queue_high_water = std::max<std::size_t>(1, config_.queue_high_water);
+
+  const auto now = std::chrono::steady_clock::now();
+  // Slot 0 is the default (unnamed, quota-free) tenant so multi-tenancy-off
+  // deployments schedule exactly like the old single FIFO queue.
+  auto def = std::make_unique<TenantState>();
+  def->last_refill = now;
+  tenant_index_.emplace(std::string{}, 0);
+  tenant_states_.push_back(std::move(def));
+
+  double total_weight = 0.0;
+  for (const TenantConfig& t : config_.tenants) total_weight += t.weight;
+  for (const TenantConfig& t : config_.tenants) {
+    auto ts = std::make_unique<TenantState>();
+    ts->cfg = t;
+    ts->stride = 1.0 / t.weight;
+    ts->tokens = bucket_capacity(t);
+    ts->last_refill = now;
+    tenant_index_.emplace(t.name, tenant_states_.size());
+    tenant_states_.push_back(std::move(ts));
+    // Partition the plan cache's byte budget by fair-share weight (or the
+    // tenant's explicit cache_bytes override) so one tenant's plan churn
+    // cannot evict another's working set.
+    if (config_.cache_bytes > 0) {
+      const std::size_t budget =
+          t.cache_bytes > 0
+              ? t.cache_bytes
+              : static_cast<std::size_t>(
+                    static_cast<double>(config_.cache_bytes) * t.weight /
+                    total_weight);
+      cache_.set_partition_budget(t.name, std::max<std::size_t>(1, budget));
+    }
+  }
+
   workers_.reserve(static_cast<std::size_t>(config_.workers));
   for (int i = 0; i < config_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -65,6 +110,21 @@ Service::Service(ServiceConfig config)
 }
 
 Service::~Service() { shutdown(); }
+
+Service::TenantState& Service::tenant_state_locked(const std::string& name) {
+  auto it = tenant_index_.find(name);
+  if (it != tenant_index_.end()) return *tenant_states_[it->second];
+  // First sight of an unconfigured tenant name (in-process embedding):
+  // default config, fair weight 1, no quotas. Its pass starts at the
+  // current virtual time so it cannot claim "credit" for its idle past.
+  auto ts = std::make_unique<TenantState>();
+  ts->cfg.name = name;
+  ts->pass = global_pass_;
+  ts->last_refill = std::chrono::steady_clock::now();
+  tenant_index_.emplace(name, tenant_states_.size());
+  tenant_states_.push_back(std::move(ts));
+  return *tenant_states_.back();
+}
 
 Service::SubmitOutcome Service::submit(JobSpec spec) {
   validate_job_spec(spec);
@@ -75,21 +135,65 @@ Service::SubmitOutcome Service::submit(JobSpec spec) {
   if (draining_) {
     ++rejected_;
     FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.rejected", 1);
-    return SubmitOutcome{nullptr, "draining", queue_.size()};
+    return SubmitOutcome{nullptr, "draining", total_queued_};
   }
-  if (queue_.size() >= config_.queue_high_water) {
+  TenantState& ts = tenant_state_locked(job->spec.tenant);
+  // Concurrency quota: queued + running jobs this tenant already owns.
+  if (ts.cfg.max_inflight > 0 && ts.inflight >= ts.cfg.max_inflight) {
     ++rejected_;
+    ++over_quota_;
+    ++ts.rejected;
+    ++ts.over_quota;
     FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.rejected", 1);
-    return SubmitOutcome{nullptr, "overloaded", queue_.size()};
+    return SubmitOutcome{nullptr, "over_quota", total_queued_,
+                         kQuotaRetryHintMs};
   }
+  // Rate quota (token bucket). Checked before the global high-water mark so
+  // the retry hint reflects the tenant's own refill schedule; the token is
+  // only consumed once the job is actually admitted.
+  if (ts.cfg.rate_per_sec > 0.0) {
+    const auto now = std::chrono::steady_clock::now();
+    const double dt =
+        std::chrono::duration<double>(now - ts.last_refill).count();
+    ts.tokens = std::min(bucket_capacity(ts.cfg),
+                         ts.tokens + dt * ts.cfg.rate_per_sec);
+    ts.last_refill = now;
+    if (ts.tokens < 1.0) {
+      ++rejected_;
+      ++over_quota_;
+      ++ts.rejected;
+      ++ts.over_quota;
+      FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.rejected", 1);
+      const double wait_s = (1.0 - ts.tokens) / ts.cfg.rate_per_sec;
+      const int retry_ms = std::max(
+          1, static_cast<int>(std::ceil(wait_s * 1000.0)));
+      return SubmitOutcome{nullptr, "over_quota", total_queued_, retry_ms};
+    }
+  }
+  if (total_queued_ >= config_.queue_high_water) {
+    ++rejected_;
+    ++ts.rejected;
+    FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.rejected", 1);
+    return SubmitOutcome{nullptr, "overloaded", total_queued_};
+  }
+  if (ts.cfg.rate_per_sec > 0.0) ts.tokens -= 1.0;
+
   job->id = next_id_++;
   job->progress.configure(config_.subscriber_queue_cap, &subscribe_dropped_);
   job->enqueued_at = std::chrono::steady_clock::now();
   jobs_.emplace(job->id, job);
-  queue_.push_back(job);
+  // A tenant going from idle to busy re-enters the stride schedule at the
+  // current virtual time: it competes fairly from now on instead of
+  // draining an unbounded backlog of "owed" service.
+  if (ts.queue.empty()) ts.pass = std::max(ts.pass, global_pass_);
+  ts.queue.push_back(job);
+  ++total_queued_;
+  ++ts.inflight;
+  ++ts.submitted;
   ++submitted_;
+  queue_depth_hist_.add(static_cast<double>(total_queued_));
   FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.submitted", 1);
-  const std::size_t depth = queue_.size();
+  const std::size_t depth = total_queued_;
   lock.unlock();
   work_cv_.notify_one();
   return SubmitOutcome{std::move(job), "", depth};
@@ -144,7 +248,7 @@ ServiceStats Service::stats() const {
   ServiceStats s;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    s.queue_depth = queue_.size();
+    s.queue_depth = total_queued_;
     s.running = running_;
     s.workers = config_.workers;
     s.submitted = submitted_;
@@ -152,13 +256,48 @@ ServiceStats Service::stats() const {
     s.failed = failed_;
     s.cancelled = cancelled_;
     s.rejected = rejected_;
+    s.over_quota = over_quota_;
     s.batch_jobs = batch_jobs_;
     s.batched_evals = batched_evals_;
     s.subscribe_dropped =
         subscribe_dropped_.load(std::memory_order_relaxed);
     s.draining = draining_;
+    s.queue_depth_hist = queue_depth_hist_;
+    for (const auto& tsp : tenant_states_) {
+      const TenantState& ts = *tsp;
+      // The default slot only shows up once it has actually been used, so
+      // single-tenant deployments don't render a phantom tenant.
+      if (ts.cfg.name.empty() && ts.submitted == 0 && ts.rejected == 0) {
+        continue;
+      }
+      ServiceStats::TenantStats t;
+      t.name = ts.cfg.name.empty() ? "default" : ts.cfg.name;
+      t.weight = ts.cfg.weight;
+      t.queued = ts.queue.size();
+      t.running = ts.running;
+      t.submitted = ts.submitted;
+      t.completed = ts.completed;
+      t.rejected = ts.rejected;
+      t.over_quota = ts.over_quota;
+      s.tenants.push_back(std::move(t));
+    }
   }
   s.plan_cache = cache_.stats();
+  s.frontend.accepted = frontend.accepted.load(std::memory_order_relaxed);
+  s.frontend.closed = frontend.closed.load(std::memory_order_relaxed);
+  s.frontend.evicted_slow =
+      frontend.evicted_slow.load(std::memory_order_relaxed);
+  s.frontend.evicted_idle =
+      frontend.evicted_idle.load(std::memory_order_relaxed);
+  s.frontend.evicted_oversize =
+      frontend.evicted_oversize.load(std::memory_order_relaxed);
+  s.frontend.rejected_conn_limit =
+      frontend.rejected_conn_limit.load(std::memory_order_relaxed);
+  s.frontend.shed_fd_pressure =
+      frontend.shed_fd_pressure.load(std::memory_order_relaxed);
+  s.frontend.auth_failures =
+      frontend.auth_failures.load(std::memory_order_relaxed);
+  s.frontend.active = frontend.active.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -225,25 +364,48 @@ void Service::shutdown() {
   }
 }
 
+std::shared_ptr<Job> Service::pop_next_locked() {
+  // Stride scheduling: serve the eligible tenant with the smallest pass,
+  // then advance its pass by 1/weight. Ties keep the earliest-created
+  // tenant (config order), so the schedule is fully deterministic.
+  TenantState* best = nullptr;
+  for (const auto& tsp : tenant_states_) {
+    if (tsp->queue.empty()) continue;
+    if (best == nullptr || tsp->pass < best->pass) best = tsp.get();
+  }
+  if (best == nullptr) return nullptr;
+  std::shared_ptr<Job> job = best->queue.front();
+  best->queue.pop_front();
+  --total_queued_;
+  global_pass_ = best->pass;
+  best->pass += best->stride;
+  return job;
+}
+
 void Service::worker_loop() {
   EvalWorkspace ws;  // reused across jobs; buffers grow to the largest plan
   for (;;) {
     std::shared_ptr<Job> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      work_cv_.wait(lock, [this] { return stop_ || total_queued_ > 0; });
+      if (total_queued_ == 0) {
         if (stop_) return;
         continue;
       }
-      job = queue_.front();
-      queue_.pop_front();
+      job = pop_next_locked();
+      if (job == nullptr) continue;
+      TenantState& ts = tenant_state_locked(job->spec.tenant);
       ++running_;
+      ++ts.running;
     }
     run_job(*job, ws);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --running_;
+      TenantState& ts = tenant_state_locked(job->spec.tenant);
+      --ts.running;
+      --ts.inflight;
     }
     FASTQAOA_OBS_MERGE_GLOBAL(ws.metrics);
     ws.metrics.clear();
@@ -283,9 +445,11 @@ void Service::run_job(Job& job, EvalWorkspace& ws) {
   // released by the notify below must already see consistent stats().
   {
     std::lock_guard<std::mutex> lock(mu_);
+    TenantState& ts = tenant_state_locked(job.spec.tenant);
     switch (final_state) {
       case JobState::Done:
         ++completed_;
+        ++ts.completed;
         FASTQAOA_OBS_COUNT_GLOBAL("service.jobs.completed", 1);
         break;
       case JobState::Failed:
@@ -328,7 +492,7 @@ void Service::execute(Job& job, EvalWorkspace& ws, JobResultData& out) {
 
   bool built_here = false;
   const PlanHandle cached =
-      cache_.get_or_build(material, [&]() -> CachedPlan {
+      cache_.get_or_build(material, spec.tenant, [&]() -> CachedPlan {
         built_here = true;
         WallTimer build_timer;
         CachedPlan entry;

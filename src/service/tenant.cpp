@@ -1,0 +1,91 @@
+#include "service/tenant.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "service/json.hpp"
+
+namespace fastqaoa::service {
+
+TenantRegistry::TenantRegistry(std::vector<TenantConfig> tenants)
+    : tenants_(std::move(tenants)) {}
+
+std::optional<TenantConfig> TenantRegistry::by_key(
+    const std::string& key) const {
+  if (key.empty()) return std::nullopt;
+  for (const TenantConfig& t : tenants_) {
+    if (t.key == key) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<TenantConfig> TenantRegistry::by_name(
+    const std::string& name) const {
+  for (const TenantConfig& t : tenants_) {
+    if (t.name == name) return t;
+  }
+  return std::nullopt;
+}
+
+std::vector<TenantConfig> parse_tenant_config(const std::string& json_text) {
+  const Json doc = Json::parse(json_text);
+  const Json* list = doc.find("tenants");
+  FASTQAOA_CHECK(list != nullptr && list->is_array(),
+                 "tenant config must carry a 'tenants' array");
+  std::vector<TenantConfig> out;
+  std::set<std::string> names;
+  std::set<std::string> keys;
+  for (const Json& entry : list->as_array()) {
+    FASTQAOA_CHECK(entry.is_object(), "tenant entries must be objects");
+    TenantConfig t;
+    const Json* name = entry.find("name");
+    FASTQAOA_CHECK(name != nullptr && name->is_string() &&
+                       !name->as_string().empty(),
+                   "tenant entry needs a non-empty 'name'");
+    t.name = name->as_string();
+    const Json* key = entry.find("key");
+    FASTQAOA_CHECK(key != nullptr && key->is_string() &&
+                       !key->as_string().empty(),
+                   "tenant '" + t.name + "' needs a non-empty 'key'");
+    t.key = key->as_string();
+    if (const Json* v = entry.find("weight")) t.weight = v->as_double();
+    FASTQAOA_CHECK(t.weight > 0.0,
+                   "tenant '" + t.name + "': weight must be > 0");
+    if (const Json* v = entry.find("max_inflight")) {
+      t.max_inflight = static_cast<std::size_t>(v->as_uint64());
+    }
+    if (const Json* v = entry.find("rate_per_sec")) {
+      t.rate_per_sec = v->as_double();
+      FASTQAOA_CHECK(t.rate_per_sec >= 0.0,
+                     "tenant '" + t.name + "': rate_per_sec must be >= 0");
+    }
+    if (const Json* v = entry.find("burst")) {
+      t.burst = v->as_double();
+      FASTQAOA_CHECK(t.burst >= 0.0,
+                     "tenant '" + t.name + "': burst must be >= 0");
+    }
+    if (const Json* v = entry.find("cache_bytes")) {
+      t.cache_bytes = static_cast<std::size_t>(v->as_uint64());
+    }
+    FASTQAOA_CHECK(names.insert(t.name).second,
+                   "duplicate tenant name '" + t.name + "'");
+    FASTQAOA_CHECK(keys.insert(t.key).second,
+                   "duplicate tenant key for '" + t.name + "'");
+    out.push_back(std::move(t));
+  }
+  FASTQAOA_CHECK(!out.empty(), "tenant config lists no tenants");
+  return out;
+}
+
+std::vector<TenantConfig> load_tenant_config(const std::string& path) {
+  std::ifstream in(path);
+  FASTQAOA_CHECK(in.good(), "cannot read tenant config: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_tenant_config(buf.str());
+}
+
+}  // namespace fastqaoa::service

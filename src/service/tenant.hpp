@@ -1,0 +1,90 @@
+#pragma once
+/// \file tenant.hpp
+/// Multi-tenancy configuration: who may talk to the daemon, with what
+/// weight, and under which quotas.
+///
+/// Tenants are declared in a JSON file passed to `qaoa_serve --tenants`:
+///
+///   {"tenants": [
+///     {"name": "acme", "key": "k-acme-1", "weight": 3,
+///      "max_inflight": 8, "rate_per_sec": 50, "burst": 100,
+///      "cache_bytes": 0},
+///     {"name": "widgets", "key": "k-widgets-1", "weight": 1}
+///   ]}
+///
+/// `key` is the API key a client presents (an "auth" request, or a "key"
+/// field on any request). `weight` drives fair-share scheduling: over a
+/// busy period tenants receive worker time proportional to their weights.
+/// `max_inflight` bounds a tenant's queued+running jobs; `rate_per_sec` /
+/// `burst` parameterize a token bucket on admissions. Either quota trips a
+/// structured `over_quota` rejection carrying a `retry_after_ms` hint.
+/// `cache_bytes` optionally pins this tenant's plan-cache partition budget;
+/// 0 derives it from the weights under the global byte budget.
+///
+/// When no tenant file is configured the registry is disabled and the
+/// daemon behaves exactly as before: every connection maps to the default
+/// (unnamed) tenant with no quotas — full backward compatibility.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fastqaoa::service {
+
+struct TenantConfig {
+  std::string name;
+  /// API key presented by clients. Must be non-empty for configured
+  /// tenants (an empty key would make the tenant unreachable).
+  std::string key;
+  /// Fair-share weight (> 0). A weight-3 tenant gets 3x the worker time of
+  /// a weight-1 tenant when both have work queued.
+  double weight = 1.0;
+  /// Max queued+running jobs at once (0 = unlimited).
+  std::size_t max_inflight = 0;
+  /// Sustained admission rate in jobs/second (0 = unlimited) and the token
+  /// bucket's burst capacity (0 = derived: max(1, rate_per_sec)).
+  double rate_per_sec = 0.0;
+  double burst = 0.0;
+  /// Plan-cache partition budget in bytes (0 = weight-derived share of the
+  /// global budget).
+  std::size_t cache_bytes = 0;
+};
+
+/// Immutable post-load view of the tenant table.
+class TenantRegistry {
+ public:
+  TenantRegistry() = default;
+  explicit TenantRegistry(std::vector<TenantConfig> tenants);
+
+  /// True when tenants were configured: API keys are then required for job
+  /// and control verbs.
+  [[nodiscard]] bool enabled() const noexcept { return !tenants_.empty(); }
+
+  /// Look up by API key; nullopt on unknown key.
+  [[nodiscard]] std::optional<TenantConfig> by_key(
+      const std::string& key) const;
+
+  /// Look up by tenant name; nullopt on unknown name.
+  [[nodiscard]] std::optional<TenantConfig> by_name(
+      const std::string& name) const;
+
+  [[nodiscard]] const std::vector<TenantConfig>& all() const noexcept {
+    return tenants_;
+  }
+
+ private:
+  std::vector<TenantConfig> tenants_;
+};
+
+/// Parse a tenant config document (the file format above). Throws
+/// fastqaoa::Error naming the offending field on malformed input,
+/// duplicate names/keys, or non-positive weights.
+[[nodiscard]] std::vector<TenantConfig> parse_tenant_config(
+    const std::string& json_text);
+
+/// Load and parse `path`. Throws fastqaoa::Error when unreadable.
+[[nodiscard]] std::vector<TenantConfig> load_tenant_config(
+    const std::string& path);
+
+}  // namespace fastqaoa::service

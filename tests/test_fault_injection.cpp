@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -29,6 +30,9 @@
 #include "problems/cost_functions.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/fault.hpp"
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "service/server.hpp"
 #include "study/ensemble.hpp"
 
 namespace fastqaoa {
@@ -335,6 +339,115 @@ TEST(FaultInjection, ArmFromEnvParsesPointIndexAfter) {
   EXPECT_FALSE(fault::fire("anglefind.chain_nan", 5));  // fire-once
   EXPECT_TRUE(fault::fire("crash.after_round", 1));
   EXPECT_EQ(fault::fired_count("anglefind.chain_nan"), 1);
+}
+
+// --- network fault points -----------------------------------------------
+
+TEST(FaultInjection, NetFaultPointsExerciseEvictionAndCleanup) {
+  SKIP_WITHOUT_FAULT_INJECTION();
+  FaultReset cleanup;
+  TempDir tmp;
+
+  // Arm one fault per accepted connection (index = accept sequence), then
+  // fork the daemon: the child inherits the armed table.
+  fault::arm("net.accept_fail", 1);      // conn 1 dropped at accept
+  fault::arm("net.short_write", 2);      // conn 2 flushed one byte at a time
+  fault::arm("net.drop_connection", 3);  // conn 3 cut mid-frame
+  fault::arm("net.stall_reader", 4);     // conn 4 writes never drain
+
+  service::DaemonOptions options;
+  options.socket_path = tmp.path("qaoa.sock");
+  options.verbose = false;
+  options.write_timeout_seconds = 0.3;
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    std::_Exit(service::run_daemon(options));
+  }
+  fault::reset();  // parent side: only the daemon keeps the armed table
+
+  // Reap the daemon on every exit path so a failing assertion cannot orphan
+  // it (an orphan keeps the test's stdout pipe open and hangs the harness).
+  struct DaemonGuard {
+    pid_t pid;
+    ~DaemonGuard() {
+      if (pid > 0) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+      }
+    }
+  } guard{pid};
+
+  // A connection the daemon drops may end in a clean EOF or, when our last
+  // request is still unread in its receive buffer, an RST (recv fails with
+  // ECONNRESET and Client::read_line throws). Both count as "disconnected".
+  auto disconnected = [](service::Client& c) {
+    try {
+      std::string line;
+      while (c.read_line(line)) {
+      }
+      return true;  // clean EOF
+    } catch (const std::exception&) {
+      return true;  // connection reset
+    }
+  };
+
+  auto connect = [&] {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      try {
+        return service::Client::connect_unix(options.socket_path);
+      } catch (const std::exception&) {
+        ::usleep(25 * 1000);
+      }
+    }
+    throw Error("daemon did not come up");
+  };
+  service::Json ping = service::Json::object();
+  ping.set("op", service::Json("ping"));
+
+  // conn 1: accepted then immediately dropped, as if accept() had failed.
+  {
+    service::Client c1 = connect();
+    try {
+      c1.send(ping);
+    } catch (const std::exception&) {
+      // Already closed before our send — also a valid "accept failed" shape.
+    }
+    EXPECT_TRUE(disconnected(c1));
+  }
+  // conn 2: one-byte flush passes still deliver a complete response.
+  {
+    service::Client c2 = connect();
+    EXPECT_TRUE(c2.request(ping).at("ok").as_bool());
+  }
+  // conn 3: abrupt mid-frame close after its next read.
+  {
+    service::Client c3 = connect();
+    c3.send(ping);
+    EXPECT_TRUE(disconnected(c3));
+  }
+  // conn 4: a reader that never drains — evicted within the write timeout.
+  {
+    service::Client c4 = connect();
+    c4.send(ping);
+    EXPECT_TRUE(disconnected(c4));
+  }
+  // conn 5: a healthy connection confirms the daemon shrugged it all off
+  // and counted the stalled-reader eviction.
+  {
+    service::Client c5 = connect();
+    service::Json req = service::Json::object();
+    req.set("op", service::Json("stats"));
+    const service::Json stats = c5.request(req).at("stats");
+    EXPECT_GE(stats.at("frontend").at("evicted_slow").as_uint64(), 1u);
+  }
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  guard.pid = -1;  // reaped gracefully; nothing left for the guard
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -32,6 +33,7 @@
 #include "service/client.hpp"
 #include "service/job.hpp"
 #include "service/json.hpp"
+#include "service/net.hpp"
 #include "service/plan_cache.hpp"
 #include "service/progress.hpp"
 #include "service/protocol.hpp"
@@ -261,6 +263,73 @@ TEST(PlanCache, NeverEvictsPinnedEntries) {
   EXPECT_EQ(builds, 0);
   EXPECT_EQ(again.get(), pinned.get());
   EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+/// Build-or-fetch charged to a tenant partition, as Service::execute does
+/// for configured tenants.
+PlanHandle cache_plan_for(PlanCache& cache, const std::string& partition,
+                          const ProblemSpec& spec, int p,
+                          int* builds = nullptr) {
+  const StateSpace space = problem_space(spec);
+  dvec obj = build_objective(spec, space);
+  return cache.get_or_build(
+      material_for(spec, p, obj), partition, [&]() -> CachedPlan {
+        if (builds != nullptr) ++*builds;
+        CachedPlan entry;
+        entry.mixer = build_mixer(spec, space);
+        entry.plan =
+            std::make_shared<const QaoaPlan>(*entry.mixer, std::move(obj), p);
+        return entry;
+      });
+}
+
+TEST(PlanCache, PartitionBudgetsIsolateTenantChurn) {
+  // Measure one entry's tracked footprint first.
+  std::size_t entry_bytes = 0;
+  {
+    PlanCache probe;
+    ProblemSpec spec;
+    cache_plan(probe, spec, 1);
+    entry_bytes = probe.stats().bytes;
+  }
+  ASSERT_GT(entry_bytes, 0u);
+
+  PlanCache cache;  // no global budget: only partitions constrain
+  cache.set_partition_budget("acme", entry_bytes + entry_bytes / 2);
+  cache.set_partition_budget("widgets", entry_bytes + entry_bytes / 2);
+
+  ProblemSpec spec;
+  cache_plan_for(cache, "acme", spec, 1);  // acme's one resident plan
+
+  // widgets churns through many distinct plans; its one-entry budget
+  // evicts its own LRU entries but must never touch acme's partition.
+  for (std::uint64_t seed = 2; seed <= 6; ++seed) {
+    ProblemSpec s = spec;
+    s.instance_seed = seed;
+    cache_plan_for(cache, "widgets", s, 1);
+  }
+
+  const PlanCache::Stats stats = cache.stats();
+  const auto acme = stats.partitions.find("acme");
+  const auto widgets = stats.partitions.find("widgets");
+  ASSERT_NE(acme, stats.partitions.end());
+  ASSERT_NE(widgets, stats.partitions.end());
+  EXPECT_EQ(acme->second.entries, 1u);
+  EXPECT_EQ(acme->second.evictions, 0u);
+  EXPECT_GE(widgets->second.evictions, 3u);
+  EXPECT_LE(widgets->second.entries, 1u);
+
+  // acme's plan survived the churn: refetching is a hit, not a rebuild.
+  int builds = 0;
+  cache_plan_for(cache, "acme", spec, 1, &builds);
+  EXPECT_EQ(builds, 0);
+
+  // Content hits stay cross-partition: widgets asking for acme's plan is
+  // served from acme's partition without a second build or double charge.
+  builds = 0;
+  cache_plan_for(cache, "widgets", spec, 1, &builds);
+  EXPECT_EQ(builds, 0);
+  EXPECT_EQ(cache.stats().partitions.at("acme").entries, 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -533,6 +602,59 @@ TEST(ServiceConcurrency, DrainRejectsNewWorkAndDeliversInFlight) {
   EXPECT_TRUE(a.job->terminal());
   EXPECT_TRUE(b.job->terminal());
   EXPECT_TRUE(service.draining());
+}
+
+TEST(ServiceConcurrency, TenantQuotaRejectsWithRetryAfterHint) {
+  ServiceConfig config;
+  config.workers = 1;
+  TenantConfig capped;  // concurrency quota: one job in flight at a time
+  capped.name = "capped";
+  capped.key = "k-capped";
+  capped.max_inflight = 1;
+  TenantConfig drip;  // rate quota: one admission per 10 s after the burst
+  drip.name = "drip";
+  drip.key = "k-drip";
+  drip.rate_per_sec = 0.1;
+  drip.burst = 1.0;
+  config.tenants = {capped, drip};
+  Service service(config);
+
+  JobSpec first = slow_find_angles(1);
+  first.tenant = "capped";
+  Service::SubmitOutcome held = service.submit(first);
+  ASSERT_TRUE(held.accepted());
+
+  // Inflight quota: rejected with a positive backoff hint while the first
+  // job is still queued or running.
+  JobSpec second = slow_find_angles(2);
+  second.tenant = "capped";
+  const Service::SubmitOutcome capped_out = service.submit(second);
+  EXPECT_FALSE(capped_out.accepted());
+  EXPECT_EQ(capped_out.error_code, "over_quota");
+  EXPECT_GT(capped_out.retry_after_ms, 0);
+
+  // Rate quota: the burst token admits one job, the next must wait for the
+  // ~10 s refill — the hint reflects that horizon.
+  JobSpec pour = evaluate_spec();
+  pour.tenant = "drip";
+  ASSERT_TRUE(service.submit(pour).accepted());
+  JobSpec extra = slow_find_angles(3);
+  extra.tenant = "drip";
+  const Service::SubmitOutcome dripped = service.submit(extra);
+  EXPECT_FALSE(dripped.accepted());
+  EXPECT_EQ(dripped.error_code, "over_quota");
+  EXPECT_GT(dripped.retry_after_ms, 1000);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.over_quota, 2u);
+  for (const ServiceStats::TenantStats& t : stats.tenants) {
+    if (t.name == "capped" || t.name == "drip") {
+      EXPECT_EQ(t.over_quota, 1u) << t.name;
+    }
+  }
+
+  service.cancel(held.job->id);
+  Service::wait(*held.job);
 }
 
 // ---------------------------------------------------------------------------
@@ -1213,6 +1335,216 @@ TEST(DaemonE2E, SigtermDrainsInFlightFindAnglesWithResumableCheckpoint) {
     EXPECT_EQ(resumed[i].betas, fresh[i].betas) << "round " << i;
     EXPECT_EQ(resumed[i].gammas, fresh[i].gammas) << "round " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon front end: timeouts, oversize lines, slow clients, tenants
+// ---------------------------------------------------------------------------
+
+/// Frontend counter snapshot via a fresh stats request.
+std::uint64_t frontend_counter(const std::string& socket_path,
+                               const char* field,
+                               const char* key = nullptr) {
+  Client client = connect_with_retry(socket_path);
+  Json req = Json::object();
+  req.set("op", Json("stats"));
+  if (key != nullptr) req.set("key", Json(key));
+  const Json stats = client.request(req).at("stats");
+  return stats.at("frontend").at(field).as_uint64();
+}
+
+TEST(DaemonE2E, OversizedRequestLineIsRejectedNotBuffered) {
+  TempDir tmp;
+  DaemonOptions options;
+  options.socket_path = tmp.path("qaoa.sock");
+  options.verbose = false;
+  options.max_line_bytes = 4096;
+  const pid_t pid = fork_daemon(options);
+
+  {
+    Client client = connect_with_retry(options.socket_path);
+    // A ~48 KB request line (small enough to land in the kernel's socket
+    // buffers in one send, so writing it cannot race the daemon's close):
+    // the daemon must reject it rather than serve or buffer it.
+    Json req = Json::object();
+    req.set("op", Json("ping"));
+    req.set("padding", Json(std::string(48u << 10, 'x')));
+    client.send(req);
+    std::string line;
+    ASSERT_TRUE(client.read_line(line));
+    const Json rejection = Json::parse(line);
+    EXPECT_FALSE(rejection.at("ok").as_bool());
+    EXPECT_EQ(rejection.at("error").at("code").as_string(), "bad_request");
+    EXPECT_FALSE(client.read_line(line));  // connection closed behind it
+  }
+
+  EXPECT_EQ(frontend_counter(options.socket_path, "evicted_oversize"), 1u);
+  // A well-formed client on a fresh connection is unaffected.
+  Client ok_client = connect_with_retry(options.socket_path);
+  Json ping = Json::object();
+  ping.set("op", Json("ping"));
+  EXPECT_TRUE(ok_client.request(ping).at("ok").as_bool());
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  EXPECT_EQ(wait_for_exit(pid), 0);
+}
+
+TEST(DaemonE2E, IdleConnectionEvictedAfterTimeout) {
+  TempDir tmp;
+  DaemonOptions options;
+  options.socket_path = tmp.path("qaoa.sock");
+  options.verbose = false;
+  options.idle_timeout_seconds = 0.5;
+  const pid_t pid = fork_daemon(options);
+
+  Client idle = connect_with_retry(options.socket_path);
+  Json ping = Json::object();
+  ping.set("op", Json("ping"));
+  ASSERT_TRUE(idle.request(ping).at("ok").as_bool());
+
+  // Go quiet: the daemon must hang up on us with a structured error once
+  // the idle timeout elapses (the blocking read returns it, then EOF).
+  const auto before = std::chrono::steady_clock::now();
+  std::string line;
+  ASSERT_TRUE(idle.read_line(line));
+  const Json goodbye = Json::parse(line);
+  EXPECT_FALSE(goodbye.at("ok").as_bool());
+  EXPECT_EQ(goodbye.at("error").at("code").as_string(), "idle_timeout");
+  EXPECT_FALSE(idle.read_line(line));
+  const auto waited = std::chrono::steady_clock::now() - before;
+  EXPECT_GE(waited, std::chrono::milliseconds(400));
+  EXPECT_LT(waited, std::chrono::seconds(30));
+
+  EXPECT_EQ(frontend_counter(options.socket_path, "evicted_idle"), 1u);
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  EXPECT_EQ(wait_for_exit(pid), 0);
+}
+
+TEST(DaemonE2E, SlowClientEvictedWithinWriteTimeoutOthersUnaffected) {
+  TempDir tmp;
+  DaemonOptions options;
+  options.socket_path = tmp.path("qaoa.sock");
+  options.verbose = false;
+  options.service.workers = 2;
+  options.write_timeout_seconds = 0.5;
+  options.sndbuf_bytes = 8 * 1024;  // so an ~80 KB response cannot drain
+  const pid_t pid = fork_daemon(options);
+  connect_with_retry(options.socket_path);  // wait for the listener
+
+  // Raw fd so nothing reads the response: a big batch_evaluate answer
+  // jams the shrunken SO_SNDBUF and the daemon's write stalls.
+  const int fd = connect_unix(options.socket_path);
+  std::string betas = "[";
+  std::string gammas = "[";
+  for (int lane = 0; lane < 4000; ++lane) {
+    if (lane > 0) {
+      betas += ',';
+      gammas += ',';
+    }
+    betas += "[0.3]";
+    gammas += "[0.6]";
+  }
+  betas += ']';
+  gammas += ']';
+  write_all(fd,
+            "{\"op\":\"batch_evaluate\",\"problem\":\"maxcut\","
+            "\"mixer\":\"tf\",\"n\":8,\"p\":1,\"seed\":9,\"betas\":" +
+                betas + ",\"gammas\":" + gammas + "}\n");
+
+  // While the slow client stalls, a normal client stays fully served.
+  Client brisk = connect_with_retry(options.socket_path);
+  const auto stall_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  std::uint64_t evicted = 0;
+  while (std::chrono::steady_clock::now() < stall_deadline) {
+    Json req = Json::object();
+    req.set("op", Json("stats"));
+    const Json stats = brisk.request(req).at("stats");
+    evicted = stats.at("frontend").at("evicted_slow").as_uint64();
+    if (evicted > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(evicted, 1u) << "slow client not evicted within write timeout";
+
+  // The evicted connection drains to EOF (or a reset) promptly.
+  timeval tv{};
+  tv.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char sink[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+    if (n <= 0) {
+      EXPECT_NE(n, -1) << "kernel receive timeout: connection still open";
+      break;
+    }
+  }
+  close_fd(fd);
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  EXPECT_EQ(wait_for_exit(pid), 0);
+}
+
+TEST(DaemonE2E, TenantsRequireKeysAndEnforceQuotasOverTheWire) {
+  TempDir tmp;
+  DaemonOptions options;
+  options.socket_path = tmp.path("qaoa.sock");
+  options.verbose = false;
+  options.service.workers = 1;
+  TenantConfig paying;
+  paying.name = "paying";
+  paying.key = "k-paying";
+  paying.weight = 2.0;
+  TenantConfig capped;
+  capped.name = "capped";
+  capped.key = "k-capped";
+  capped.max_inflight = 1;
+  options.service.tenants = {paying, capped};
+  const pid_t pid = fork_daemon(options);
+
+  Client client = connect_with_retry(options.socket_path);
+
+  // Job verbs without a key are refused once tenants are configured.
+  Json bare = job_spec_to_json(evaluate_spec());
+  const Json denied = client.request(bare);
+  EXPECT_FALSE(denied.at("ok").as_bool());
+  EXPECT_EQ(denied.at("error").at("code").as_string(), "unauthorized");
+
+  // A wrong key is an auth failure, not a crash.
+  Json wrong = job_spec_to_json(evaluate_spec());
+  wrong.set("key", Json("k-nope"));
+  EXPECT_EQ(client.request(wrong).at("error").at("code").as_string(),
+            "unauthorized");
+
+  // The right key works, and `auth` upgrades the whole connection.
+  Json auth = Json::object();
+  auth.set("op", Json("auth"));
+  auth.set("key", Json("k-paying"));
+  const Json authed = client.request(auth);
+  ASSERT_TRUE(authed.at("ok").as_bool()) << authed.dump();
+  EXPECT_EQ(authed.at("tenant").as_string(), "paying");
+  const Json served = client.request(job_spec_to_json(evaluate_spec()));
+  ASSERT_TRUE(served.at("ok").as_bool()) << served.dump();
+
+  // Quota rejection over the wire carries the structured code and a
+  // positive retry_after_ms hint.
+  Client capped_client = connect_with_retry(options.socket_path);
+  Json slow = job_spec_to_json(slow_find_angles(1));
+  slow.set("key", Json("k-capped"));
+  slow.set("async", Json(true));
+  ASSERT_TRUE(capped_client.request(slow).at("ok").as_bool());
+  Json second = job_spec_to_json(slow_find_angles(2));
+  second.set("key", Json("k-capped"));
+  const Json rejected = capped_client.request(second);
+  EXPECT_FALSE(rejected.at("ok").as_bool());
+  const Json& err = rejected.at("error");
+  EXPECT_EQ(err.at("code").as_string(), "over_quota");
+  EXPECT_GT(err.at("retry_after_ms").as_int64(), 0);
+
+  EXPECT_GE(frontend_counter(options.socket_path, "auth_failures",
+                             "k-paying"),
+            2u);
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  EXPECT_EQ(wait_for_exit(pid), 0);
 }
 
 }  // namespace

@@ -35,20 +35,37 @@
 // Job verbs block until the result arrives unless --async is given (then
 // the response carries the job id for later `status` polling).
 //
-// Exit codes: 0 = ok response; 4 = rejected "overloaded" (back off and
-// retry); 1 = any other protocol error ("draining", "bad_request", failed
-// job, ...); 2 = usage or transport failure (daemon unreachable/gone).
+// Multi-tenant daemons require an API key: --key=K authenticates every
+// request (it rides along as the protocol's "key" field).
+//
+// Backoff: --retries=N re-sends a request rejected with "overloaded" or
+// "over_quota" up to N times, sleeping a jittered exponential backoff
+// between attempts — and at least the server's retry_after_ms hint when
+// the rejection carries one. --retry-max-ms caps one sleep (default
+// 30000). `watch --id=N` with --retries also reconnects transparently
+// when the daemon drops the stream mid-watch (a finished job's terminal
+// event is latched server-side, so a reconnect never hangs).
+//
+// Exit codes: 0 = ok response; 4 = rejected "overloaded"/"over_quota"
+// (back off and retry); 1 = any other protocol error ("draining",
+// "bad_request", failed job, ...); 2 = usage or transport failure (daemon
+// unreachable/gone).
 //
 // The response object is printed to stdout as one JSON line either way —
 // scripts parse stdout and branch on the exit code.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "obs/prometheus.hpp"
 #include "service/client.hpp"
@@ -111,6 +128,7 @@ bool has_flag(int argc, char** argv, const char* flag) {
                "[--starts=..] [--opt-seed=..] [--checkpoint=..] "
                "[--deadline=..] [--max-evals=..] [--id=..] [--async] "
                "[--watch[=SECS]] [--count=N] [--validate] [--throttle=MS] "
+               "[--key=K] [--retries=N] [--retry-max-ms=MS] "
                "[--json='{...}']\n");
   std::exit(2);
 }
@@ -157,12 +175,55 @@ std::uint64_t stat_u64(const Json& stats, const char* key) {
   return (v != nullptr && v->is_number()) ? v->as_uint64() : 0;
 }
 
+/// Retry policy for "overloaded"/"over_quota" rejections: jittered
+/// exponential backoff, floored at the server's retry_after_ms hint.
+struct Backoff {
+  long long retries = 0;       ///< additional attempts after the first
+  long long max_sleep_ms = 30'000;
+  long long base_ms = 50;
+  std::mt19937 rng{static_cast<std::uint32_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count() ^
+      (static_cast<long long>(::getpid()) << 16))};
+
+  /// Sleep before attempt `attempt` (1-based retry count). `hint_ms` is the
+  /// server's retry_after_ms (0 = none).
+  void sleep(long long attempt, long long hint_ms) {
+    const long long shift = std::min<long long>(attempt - 1, 20);
+    long long ms = std::min(max_sleep_ms, base_ms << shift);
+    // Full jitter: uniform in [ms/2, ms] so a burst of rejected clients
+    // does not come back in lockstep.
+    std::uniform_real_distribution<double> dist(0.5, 1.0);
+    ms = static_cast<long long>(static_cast<double>(ms) * dist(rng));
+    ms = std::min(max_sleep_ms, std::max(ms, hint_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+};
+
+/// When `response` is a retryable rejection, returns true and surfaces the
+/// server's retry_after_ms hint.
+bool retryable_rejection(const Json& response, long long* hint_ms) {
+  const Json* err = response.find("error");
+  if (err == nullptr) return false;
+  const Json* code = err->find("code");
+  if (code == nullptr || !code->is_string()) return false;
+  const std::string c = code->as_string();
+  if (c != "overloaded" && c != "over_quota") return false;
+  *hint_ms = 0;
+  if (const Json* hint = err->find("retry_after_ms");
+      hint != nullptr && hint->is_number()) {
+    *hint_ms = hint->as_int64();
+  }
+  return true;
+}
+
 /// `metrics [--validate]`: print the Prometheus exposition verbatim so the
 /// output can be piped straight into promtool or a file scrape target.
-int run_metrics(service::Client& client, bool validate) {
-  const Json response = client.request([] {
+int run_metrics(service::Client& client, bool validate,
+                const std::string& key) {
+  const Json response = client.request([&key] {
     Json req = Json::object();
     req.set("op", Json("metrics"));
+    if (!key.empty()) req.set("key", Json(key));
     return req;
   }());
   const Json* ok = response.find("ok");
@@ -186,34 +247,57 @@ int run_metrics(service::Client& client, bool validate) {
 
 /// `watch --id=N`: stream progress events, one JSON line each, until the
 /// terminal "done" event (exit 0) or the daemon closes the stream (exit 1).
-int run_watch(service::Client& client, const Json& req) {
-  client.send(req);
-  std::string line;
-  if (!client.read_line(line)) {
-    std::fprintf(stderr, "qaoa_client: stream closed before the ack\n");
-    return 1;
-  }
-  std::printf("%s\n", line.c_str());
-  std::fflush(stdout);
-  try {
-    const Json ack = Json::parse(line);
-    const Json* ok = ack.find("ok");
-    if (ok != nullptr && ok->is_bool() && !ok->as_bool()) return 1;
-  } catch (const std::exception&) {
-    return 1;
-  }
-  while (client.read_line(line)) {
-    std::printf("%s\n", line.c_str());
-    std::fflush(stdout);
+/// With retries, a stream dropped before "done" reconnects transparently:
+/// the replacement subscription picks up live events (or the latched
+/// terminal event when the job already finished), and the duplicate ack is
+/// not re-printed.
+int run_watch(service::Client client,
+              const std::function<service::Client()>& reconnect,
+              const Json& req, Backoff backoff) {
+  bool ack_printed = false;
+  for (long long attempt = 0;; ++attempt) {
+    std::string line;
+    bool stream_open = true;
     try {
-      const Json event = Json::parse(line);
-      const Json* kind = event.find("event");
-      if (kind != nullptr && kind->is_string() &&
-          kind->as_string() == "done") {
-        return 0;
+      client.send(req);
+      if (!client.read_line(line)) {
+        stream_open = false;
+      } else {
+        if (!ack_printed) {
+          std::printf("%s\n", line.c_str());
+          std::fflush(stdout);
+          ack_printed = true;
+        }
+        const Json ack = Json::parse(line);
+        const Json* ok = ack.find("ok");
+        if (ok != nullptr && ok->is_bool() && !ok->as_bool()) return 1;
+        while (client.read_line(line)) {
+          std::printf("%s\n", line.c_str());
+          std::fflush(stdout);
+          try {
+            const Json event = Json::parse(line);
+            const Json* kind = event.find("event");
+            if (kind != nullptr && kind->is_string() &&
+                kind->as_string() == "done") {
+              return 0;
+            }
+          } catch (const std::exception&) {
+            // Not JSON? Keep relaying; the daemon ends the stream.
+          }
+        }
+        stream_open = false;
       }
     } catch (const std::exception&) {
-      // Not JSON? Keep relaying; the daemon decides when the stream ends.
+      stream_open = false;  // transport error: same recovery as a clean EOF
+    }
+    if (stream_open) continue;
+    if (attempt >= backoff.retries) break;
+    backoff.sleep(attempt + 1, 0);
+    try {
+      client = reconnect();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "qaoa_client: reconnect failed: %s\n", e.what());
+      return 2;
     }
   }
   std::fprintf(stderr, "qaoa_client: stream ended without a terminal event\n");
@@ -223,9 +307,10 @@ int run_watch(service::Client& client, const Json& req) {
 /// `stats --watch[=SECS]`: poll the stats verb and print one delta line per
 /// tick — the 30-second "is it healthy" view without a metrics stack.
 int run_stats_watch(service::Client& client, double interval_seconds,
-                    long long max_ticks) {
+                    long long max_ticks, const std::string& key) {
   Json req = Json::object();
   req.set("op", Json("stats"));
+  if (!key.empty()) req.set("key", Json(key));
 
   Json first = client.request(req);
   const Json* stats = first.find("stats");
@@ -380,22 +465,34 @@ int main(int argc, char** argv) {
     usage_error("unknown verb '" + verb + "'");
   }
 
+  // Multi-tenant daemons: --key authenticates every request.
+  const std::string key = string_option(argc, argv, "--key", "");
+  if (!key.empty() && req.find("key") == nullptr) req.set("key", Json(key));
+
+  Backoff backoff;
+  backoff.retries = int_option(argc, argv, "--retries", 0);
+  if (backoff.retries < 0) usage_error("--retries must be >= 0");
+  backoff.max_sleep_ms = int_option(argc, argv, "--retry-max-ms", 30'000);
+  if (backoff.max_sleep_ms < 1) usage_error("--retry-max-ms must be >= 1");
+
   const std::string socket_path = string_option(argc, argv, "--socket", "");
   const long long tcp_port = int_option(argc, argv, "--tcp", -1);
   if (socket_path.empty() && tcp_port < 0) {
     usage_error("need --socket=PATH or --tcp=PORT");
   }
+  const auto connect = [&socket_path, tcp_port] {
+    return socket_path.empty()
+               ? service::Client::connect_tcp(static_cast<int>(tcp_port))
+               : service::Client::connect_unix(socket_path);
+  };
 
   try {
-    service::Client client =
-        socket_path.empty()
-            ? service::Client::connect_tcp(static_cast<int>(tcp_port))
-            : service::Client::connect_unix(socket_path);
+    service::Client client = connect();
     if (verb == "metrics") {
-      return run_metrics(client, has_flag(argc, argv, "--validate"));
+      return run_metrics(client, has_flag(argc, argv, "--validate"), key);
     }
     if (verb == "watch") {
-      return run_watch(client, req);
+      return run_watch(std::move(client), connect, req, backoff);
     }
     if (verb == "stats" &&
         (has_flag(argc, argv, "--watch") ||
@@ -403,9 +500,16 @@ int main(int argc, char** argv) {
       double secs = double_option(argc, argv, "--watch", 2.0);
       if (secs <= 0.0) secs = 2.0;
       return run_stats_watch(client, secs,
-                             int_option(argc, argv, "--count", 0));
+                             int_option(argc, argv, "--count", 0), key);
     }
-    const Json response = client.request(req);
+
+    Json response = client.request(req);
+    for (long long attempt = 1; attempt <= backoff.retries; ++attempt) {
+      long long hint_ms = 0;
+      if (!retryable_rejection(response, &hint_ms)) break;
+      backoff.sleep(attempt, hint_ms);
+      response = client.request(req);
+    }
     std::printf("%s\n", response.dump().c_str());
 
     const Json* ok = response.find("ok");
@@ -419,7 +523,10 @@ int main(int argc, char** argv) {
     const Json* err = response.find("error");
     if (err != nullptr) {
       const Json* code = err->find("code");
-      if (code != nullptr && code->as_string() == "overloaded") return 4;
+      if (code != nullptr && (code->as_string() == "overloaded" ||
+                              code->as_string() == "over_quota")) {
+        return 4;
+      }
     }
     return 1;
   } catch (const std::exception& e) {

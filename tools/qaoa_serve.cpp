@@ -9,6 +9,9 @@
 //   qaoa_serve --socket=/tmp/qaoa.sock
 //              [--tcp=PORT] [--workers=2] [--queue=64]
 //              [--cache-bytes=N] [--cache-dir=DIR]
+//              [--tenants=FILE] [--idle-timeout=SECS] [--write-timeout=SECS]
+//              [--max-conns=N] [--max-line=BYTES] [--write-buf=BYTES]
+//              [--max-pipeline=N] [--sndbuf=BYTES]
 //              [--metrics=out.json] [--metrics-file=out.prom]
 //              [--metrics-interval=SECS] [--sub-queue=N] [--quiet]
 //
@@ -17,6 +20,18 @@
 // --cache-dir adds a disk tier for expensive constrained-mixer
 // eigendecompositions. --queue is the admission high-water mark: submits
 // past it are rejected with the structured "overloaded" error.
+//
+// Multi-tenancy: --tenants names a JSON file of {name, key, weight,
+// max_inflight, rate_per_sec, burst, cache_bytes} entries (see
+// src/service/tenant.hpp). Clients then authenticate with a key; worker
+// time is shared by weight, quotas trip structured "over_quota" rejections
+// with a retry_after_ms hint, and the plan cache is partitioned per tenant.
+//
+// Robustness knobs (all per connection): --idle-timeout / --write-timeout
+// evict idle and stalled-reader clients, --max-line bounds one request
+// line, --write-buf bounds buffered output, --max-pipeline bounds parsed-
+// but-unserved requests, --max-conns caps concurrent connections, and
+// --sndbuf overrides SO_SNDBUF (testing aid for eviction timing).
 //
 // Telemetry: the `metrics` verb serves Prometheus text on demand;
 // --metrics-file additionally rewrites the same text atomically every
@@ -76,6 +91,9 @@ double double_option(int argc, char** argv, const char* key,
   std::fprintf(stderr,
                "usage: qaoa_serve --socket=PATH [--tcp=PORT] [--workers=2] "
                "[--queue=64] [--cache-bytes=N] [--cache-dir=DIR] "
+               "[--tenants=FILE] [--idle-timeout=SECS] "
+               "[--write-timeout=SECS] [--max-conns=N] [--max-line=BYTES] "
+               "[--write-buf=BYTES] [--max-pipeline=N] [--sndbuf=BYTES] "
                "[--backend=auto|scalar|avx2|avx512] "
                "[--metrics=out.json] [--metrics-file=out.prom] "
                "[--metrics-interval=SECS] [--sub-queue=N] [--quiet]\n");
@@ -120,6 +138,43 @@ int main(int argc, char** argv) {
   const long long sub_queue = int_option(argc, argv, "--sub-queue", 256);
   if (sub_queue < 1) usage_error("--sub-queue must be >= 1");
   options.service.subscriber_queue_cap = static_cast<std::size_t>(sub_queue);
+
+  options.tenants_path = string_option(argc, argv, "--tenants", "");
+  options.idle_timeout_seconds =
+      double_option(argc, argv, "--idle-timeout",
+                    options.idle_timeout_seconds);
+  if (options.idle_timeout_seconds < 0.0) {
+    usage_error("--idle-timeout must be >= 0 (0 disables)");
+  }
+  options.write_timeout_seconds =
+      double_option(argc, argv, "--write-timeout",
+                    options.write_timeout_seconds);
+  if (options.write_timeout_seconds < 0.0) {
+    usage_error("--write-timeout must be >= 0 (0 disables)");
+  }
+  const long long max_conns =
+      int_option(argc, argv, "--max-conns",
+                 static_cast<long long>(options.max_connections));
+  if (max_conns < 1) usage_error("--max-conns must be >= 1");
+  options.max_connections = static_cast<std::size_t>(max_conns);
+  const long long max_line =
+      int_option(argc, argv, "--max-line",
+                 static_cast<long long>(options.max_line_bytes));
+  if (max_line < 1024) usage_error("--max-line must be >= 1024");
+  options.max_line_bytes = static_cast<std::size_t>(max_line);
+  const long long write_buf =
+      int_option(argc, argv, "--write-buf",
+                 static_cast<long long>(options.write_buffer_cap));
+  if (write_buf < 4096) usage_error("--write-buf must be >= 4096");
+  options.write_buffer_cap = static_cast<std::size_t>(write_buf);
+  const long long max_pipeline =
+      int_option(argc, argv, "--max-pipeline",
+                 static_cast<long long>(options.max_pipeline));
+  if (max_pipeline < 1) usage_error("--max-pipeline must be >= 1");
+  options.max_pipeline = static_cast<std::size_t>(max_pipeline);
+  options.sndbuf_bytes =
+      static_cast<int>(int_option(argc, argv, "--sndbuf", 0));
+  if (options.sndbuf_bytes < 0) usage_error("--sndbuf must be >= 0");
 
   return service::run_daemon(options);
 }
