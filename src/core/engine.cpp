@@ -1,0 +1,26 @@
+#include "core/engine.hpp"
+
+namespace fastqaoa {
+
+const char* to_string(EngineKind kind) noexcept {
+  switch (kind) {
+    case EngineKind::Exact:
+      return "exact";
+    case EngineKind::Mps:
+      return "mps";
+  }
+  return "unknown";
+}
+
+const std::vector<std::string>& engine_names() {
+  static const std::vector<std::string> names = {"exact", "mps"};
+  return names;
+}
+
+std::optional<EngineKind> parse_engine(const std::string& name) {
+  if (name == "exact") return EngineKind::Exact;
+  if (name == "mps") return EngineKind::Mps;
+  return std::nullopt;
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,36 @@
+#pragma once
+/// \file engine.hpp
+/// The engine-selection seam: every front end (qaoa_cli, the service
+/// workload router) names its evaluation engine through this one enum, so
+/// adding an engine is a one-line change here plus a dispatch arm there —
+/// the exact statevector engine (this directory) and the approximate
+/// matrix-product-state engine (src/mps/) are the two today.
+///
+/// Engine choice is part of every result's identity: plan-cache keys and
+/// checkpoint fingerprints must incorporate to_string(kind) (plus any
+/// engine-specific knobs) so exact and approximate artifacts for the same
+/// problem can never be confused for each other.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fastqaoa {
+
+enum class EngineKind {
+  Exact,  ///< dense statevector over the (sub)space — exact, O(2^n)
+  Mps,    ///< matrix-product state — approximate, polynomial in n
+};
+
+/// Stable lower-case names ("exact", "mps") — the CLI flag values, the
+/// service wire values, and the cache-key material.
+const char* to_string(EngineKind kind) noexcept;
+
+/// All engines, in declaration order, for error messages and --help.
+const std::vector<std::string>& engine_names();
+
+/// Parse a flag/wire value; std::nullopt for unknown names (callers build
+/// their own error with engine_names()).
+std::optional<EngineKind> parse_engine(const std::string& name);
+
+}  // namespace fastqaoa

@@ -1,0 +1,84 @@
+#include "mps/hamiltonian.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "bits/bitops.hpp"
+#include "common/error.hpp"
+
+namespace fastqaoa::mps {
+
+DiagonalHamiltonian canonicalize(DiagonalHamiltonian h) {
+  FASTQAOA_CHECK(h.n >= 1, "DiagonalHamiltonian: need n >= 1");
+  for (ZTerm& t : h.z_terms) {
+    FASTQAOA_CHECK(t.site < h.n, "DiagonalHamiltonian: Z site out of range");
+  }
+  std::vector<ZZTerm> zz;
+  zz.reserve(h.zz_terms.size());
+  for (ZZTerm t : h.zz_terms) {
+    FASTQAOA_CHECK(t.u < h.n && t.v < h.n,
+                   "DiagonalHamiltonian: ZZ site out of range");
+    if (t.u == t.v) {
+      h.constant += t.coeff;  // Z^2 = I
+      continue;
+    }
+    if (t.u > t.v) std::swap(t.u, t.v);
+    zz.push_back(t);
+  }
+  std::sort(zz.begin(), zz.end(), [](const ZZTerm& a, const ZZTerm& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  h.zz_terms.clear();
+  for (const ZZTerm& t : zz) {
+    if (!h.zz_terms.empty() && h.zz_terms.back().u == t.u &&
+        h.zz_terms.back().v == t.v) {
+      h.zz_terms.back().coeff += t.coeff;
+    } else {
+      h.zz_terms.push_back(t);
+    }
+  }
+  h.zz_terms.erase(std::remove_if(h.zz_terms.begin(), h.zz_terms.end(),
+                                  [](const ZZTerm& t) {
+                                    return t.coeff == 0.0;
+                                  }),
+                   h.zz_terms.end());
+
+  std::sort(h.z_terms.begin(), h.z_terms.end(),
+            [](const ZTerm& a, const ZTerm& b) { return a.site < b.site; });
+  std::vector<ZTerm> z;
+  for (const ZTerm& t : h.z_terms) {
+    if (!z.empty() && z.back().site == t.site) {
+      z.back().coeff += t.coeff;
+    } else {
+      z.push_back(t);
+    }
+  }
+  z.erase(std::remove_if(z.begin(), z.end(),
+                         [](const ZTerm& t) { return t.coeff == 0.0; }),
+          z.end());
+  h.z_terms = std::move(z);
+  return h;
+}
+
+DiagonalHamiltonian maxcut_hamiltonian(const Graph& g) {
+  DiagonalHamiltonian h;
+  h.n = static_cast<index_t>(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    h.constant += 0.5 * e.weight;
+    h.zz_terms.push_back({static_cast<index_t>(e.u),
+                          static_cast<index_t>(e.v), -0.5 * e.weight});
+  }
+  return canonicalize(std::move(h));
+}
+
+double eval_bits(const DiagonalHamiltonian& h, state_t x) {
+  auto z = [x](index_t site) {
+    return bit(x, static_cast<int>(site)) ? -1.0 : 1.0;
+  };
+  double val = h.constant;
+  for (const ZTerm& t : h.z_terms) val += t.coeff * z(t.site);
+  for (const ZZTerm& t : h.zz_terms) val += t.coeff * z(t.u) * z(t.v);
+  return val;
+}
+
+}  // namespace fastqaoa::mps

@@ -1,0 +1,44 @@
+#include "mps/mps_objective.hpp"
+
+#include "common/error.hpp"
+
+namespace fastqaoa::mps {
+
+MpsObjective::MpsObjective(const MpsPlan& plan, MpsWorkspace& ws,
+                           Direction direction, double fd_step)
+    : plan_(&plan), ws_(&ws), direction_(direction), step_(fd_step) {
+  FASTQAOA_CHECK(fd_step > 0.0, "MpsObjective: need fd_step > 0");
+}
+
+double MpsObjective::value(std::span<const double> packed) {
+  ++evals_;
+  const double e = evaluate_packed(*plan_, *ws_, packed);
+  return direction_ == Direction::Maximize ? -e : e;
+}
+
+double MpsObjective::operator()(std::span<const double> packed,
+                                std::span<double> grad) {
+  const double f = value(packed);
+  if (grad.empty()) return f;
+  FASTQAOA_CHECK(grad.size() == packed.size(),
+                 "MpsObjective: gradient span size mismatch");
+  scratch_.assign(packed.begin(), packed.end());
+  for (std::size_t d = 0; d < packed.size(); ++d) {
+    const double x = scratch_[d];
+    scratch_[d] = x + step_;
+    const double fp = value(scratch_);
+    scratch_[d] = x - step_;
+    const double fm = value(scratch_);
+    scratch_[d] = x;
+    grad[d] = (fp - fm) / (2.0 * step_);
+  }
+  return f;
+}
+
+GradObjective MpsObjective::as_grad_objective() {
+  return [this](std::span<const double> x, std::span<double> g) {
+    return (*this)(x, g);
+  };
+}
+
+}  // namespace fastqaoa::mps

@@ -1,0 +1,52 @@
+#pragma once
+/// \file mps_objective.hpp
+/// MPS counterpart of anglefind's QaoaObjective: adapts an MpsPlan +
+/// MpsWorkspace into the minimization objective the optimizers consume
+/// (f = -<C> for maximization). Gradients are always central finite
+/// differences — the adjoint reverse sweep is statevector-specific, and
+/// 4p extra evaluations per gradient is acceptable at the evaluation cost
+/// profile MPS lives in. One instance per optimization thread.
+
+#include <cstddef>
+#include <span>
+
+#include "anglefind/optimizer.hpp"
+#include "mps/mps_plan.hpp"
+#include "problems/objective.hpp"
+
+namespace fastqaoa::mps {
+
+class MpsObjective {
+ public:
+  MpsObjective(const MpsPlan& plan, MpsWorkspace& ws,
+               Direction direction = Direction::Maximize,
+               double fd_step = 1e-6);
+
+  /// f (and central-difference gradient when `grad` is non-empty).
+  double operator()(std::span<const double> packed, std::span<double> grad);
+
+  /// Expose as the std::function type the optimizers take. References
+  /// *this; keep the MpsObjective alive while in use.
+  [[nodiscard]] GradObjective as_grad_objective();
+
+  /// Underlying MPS evaluations so far (a gradient tallies 4p + the value).
+  [[nodiscard]] std::size_t evaluations() const noexcept { return evals_; }
+
+  [[nodiscard]] Direction direction() const noexcept { return direction_; }
+
+  [[nodiscard]] double to_expectation(double f) const noexcept {
+    return direction_ == Direction::Maximize ? -f : f;
+  }
+
+ private:
+  double value(std::span<const double> packed);
+
+  const MpsPlan* plan_;
+  MpsWorkspace* ws_;
+  Direction direction_;
+  double step_;
+  std::size_t evals_ = 0;
+  std::vector<double> scratch_;
+};
+
+}  // namespace fastqaoa::mps

@@ -1,0 +1,105 @@
+#pragma once
+/// \file mps_plan.hpp
+/// MPS analogue of core/plan.hpp's QaoaPlan/EvalWorkspace split: an
+/// immutable shared plan (canonicalized Hamiltonian + precomputed two-site
+/// gate schedule + truncation knobs) and a cheap per-thread workspace, so
+/// the basinhopping/grid drivers parallelize over chains exactly like the
+/// exact engine — one plan, one MpsWorkspace per thread.
+///
+/// Gate schedule: each round applies e^{-i gamma H_C} then e^{-i beta H_M}
+/// (H_M = sum_i X_i, the transverse-field mixer; the only mixer the MPS
+/// engine supports). Linear Z terms are single-site phases; each ZZ term on
+/// non-adjacent sites (u, v) is routed by bringing qubit v next to u with
+/// adjacent swap gates and swapping it back afterwards (route-and-return,
+/// 2(v-u-1)+1 two-site ops). The schedule, including which side keeps the
+/// orthogonality center after each op, is fixed at plan construction — the
+/// evaluator just replays it, so the gate order (and therefore the
+/// truncation sequence) is a pure function of the Hamiltonian.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mps/hamiltonian.hpp"
+#include "mps/mps_state.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/budget.hpp"
+
+namespace fastqaoa::mps {
+
+/// Truncation/approximation knobs. Part of the service plan-cache
+/// fingerprint: two jobs with different knobs never share a cache entry.
+struct MpsOptions {
+  index_t max_bond = 64;          ///< chi cap per bond
+  double fidelity_budget = 1e-3;  ///< cumulative discarded-weight allowance
+  double trunc_tol = 1e-12;       ///< per-split relative tail threshold
+};
+
+enum class OpKind : std::uint8_t {
+  Swap,     ///< adjacent swap gate (routing)
+  PhaseZZ,  ///< e^{-i gamma c Z Z} on adjacent sites
+};
+
+/// One two-site op on sites (bond, bond+1). `leave` is the site that keeps
+/// the orthogonality center afterwards, chosen so consecutive ops in a
+/// route need no extra center moves.
+struct MpsOp {
+  index_t bond = 0;
+  OpKind kind = OpKind::PhaseZZ;
+  double coeff = 0.0;  ///< ZZ coefficient (PhaseZZ only)
+  index_t leave = 0;
+};
+
+class MpsPlan {
+ public:
+  explicit MpsPlan(DiagonalHamiltonian h, MpsOptions options = {});
+
+  [[nodiscard]] index_t n() const noexcept { return h_.n; }
+  [[nodiscard]] const DiagonalHamiltonian& hamiltonian() const noexcept {
+    return h_;
+  }
+  [[nodiscard]] const MpsOptions& options() const noexcept {
+    return options_;
+  }
+  /// The per-round e^{-i gamma H_C} two-site schedule (ZZ + routing swaps).
+  [[nodiscard]] const std::vector<MpsOp>& cost_ops() const noexcept {
+    return ops_;
+  }
+  /// Routing swaps per round (schedule cost diagnostic).
+  [[nodiscard]] std::size_t swaps_per_round() const noexcept {
+    return swaps_;
+  }
+
+ private:
+  DiagonalHamiltonian h_;
+  MpsOptions options_;
+  std::vector<MpsOp> ops_;
+  std::size_t swaps_ = 0;
+};
+
+/// Per-thread evaluation state. Construction is cheap; the MPS tensors are
+/// reallocated per evaluation (they are tiny next to a 2^n statevector).
+struct MpsWorkspace {
+  MpsState state;
+  TruncationStats stats;  ///< reset at the start of every evaluation
+  /// Optional live budget, polled between rounds inside evaluate(): a
+  /// tripped deadline/cancel abandons the remaining (expensive) rounds and
+  /// sets `interrupted` — the returned value is then a partial-state
+  /// artifact and callers must honour the tracker's StopReason instead of
+  /// trusting it. Deterministic runs leave this null.
+  const runtime::BudgetTracker* tracker = nullptr;
+  bool interrupted = false;
+  obs::MetricsSink metrics;
+};
+
+/// Evolve |+>^n through p = betas.size() rounds of
+/// e^{-i beta_k H_M} e^{-i gamma_k H_C} and return <C>.
+double evaluate(const MpsPlan& plan, MpsWorkspace& ws,
+                std::span<const double> betas, std::span<const double> gammas);
+
+/// Packed [betas..., gammas...] convenience wrapper.
+double evaluate_packed(const MpsPlan& plan, MpsWorkspace& ws,
+                       std::span<const double> packed);
+
+}  // namespace fastqaoa::mps

@@ -1,0 +1,27 @@
+#include "problems/weighted_maxcut.hpp"
+
+#include "common/error.hpp"
+
+namespace fastqaoa {
+
+Graph with_random_weights(const Graph& g, Rng& rng, double lo, double hi) {
+  FASTQAOA_CHECK(lo > 0.0 && lo <= hi,
+                 "with_random_weights: need 0 < lo <= hi");
+  Graph weighted(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    weighted.add_edge(e.u, e.v, rng.uniform(lo, hi));
+  }
+  return weighted;
+}
+
+Graph weighted_erdos_renyi(int n, double p, Rng& rng, double lo, double hi) {
+  const Graph g = erdos_renyi(n, p, rng);
+  return with_random_weights(g, rng, lo, hi);
+}
+
+Graph weighted_regular(int n, int d, Rng& rng, double lo, double hi) {
+  const Graph g = random_regular(n, d, rng);
+  return with_random_weights(g, rng, lo, hi);
+}
+
+}  // namespace fastqaoa

@@ -1,0 +1,33 @@
+#pragma once
+/// \file weighted_maxcut.hpp
+/// Weighted MaxCut instance generators (ROADMAP item 3 down-payment): the
+/// standard random topologies with i.i.d. edge weights drawn from a seeded
+/// Rng, so instances are reproducible end-to-end. maxcut() in
+/// cost_functions.hpp is already weight-aware, and the MPS engine's
+/// maxcut_hamiltonian() carries weights into its ZZ coefficients — these
+/// generators are the missing piece that makes "weighted MaxCut" a
+/// first-class workload in qaoa_cli and the service.
+
+#include "common/rng.hpp"
+#include "graphs/graph.hpp"
+
+namespace fastqaoa {
+
+/// Copy `g` with every edge weight replaced by an i.i.d. Uniform[lo, hi)
+/// draw (consumed in edge order, so the result is a pure function of the
+/// graph and the Rng state). Requires lo <= hi and lo > 0 — zero-weight
+/// edges would silently degenerate to the unweighted problem.
+Graph with_random_weights(const Graph& g, Rng& rng, double lo = 0.1,
+                          double hi = 1.0);
+
+/// Weighted G(n, p): Erdős–Rényi topology, Uniform[lo, hi) weights.
+Graph weighted_erdos_renyi(int n, double p, Rng& rng, double lo = 0.1,
+                           double hi = 1.0);
+
+/// Weighted random d-regular graph: pairing-model topology, Uniform[lo, hi)
+/// weights. The sparse large-n benchmark workload (MPS cost scales with
+/// edge span, so bounded degree is the regime it wins in).
+Graph weighted_regular(int n, int d, Rng& rng, double lo = 0.1,
+                       double hi = 1.0);
+
+}  // namespace fastqaoa

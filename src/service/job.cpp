@@ -38,6 +38,13 @@ const char* to_string(JobState state) noexcept {
 
 void validate_job_spec(const JobSpec& spec) {
   validate_problem_spec(spec.problem);
+  if (spec.problem.uses_mps()) {
+    // Fail fast at admission: the MPS engine has no batched kernels, no
+    // adjoint gradients, and no statevector to sample from.
+    FASTQAOA_CHECK(
+        spec.kind == JobKind::Evaluate || spec.kind == JobKind::FindAngles,
+        "engine 'mps' supports evaluate and find_angles only");
+  }
   FASTQAOA_CHECK(spec.p >= 1 && spec.p <= 50,
                  "p out of supported range [1, 50]");
   const auto p = static_cast<std::size_t>(spec.p);

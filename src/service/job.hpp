@@ -96,6 +96,14 @@ struct JobResultData {
   runtime::StopReason stop = runtime::StopReason::None;
   bool cache_hit = false;  ///< plan came from the cache
   double seconds = 0.0;    ///< worker wall-clock for this job
+
+  /// MPS-engine jobs only (mps == true): fidelity proxy and truncation
+  /// pressure for the reported expectation (for find_angles: harvested by
+  /// re-evaluating the winning schedule once).
+  bool mps = false;
+  double discarded_weight = 0.0;
+  std::uint64_t truncations = 0;
+  std::uint64_t max_bond_reached = 0;
 };
 
 }  // namespace fastqaoa::service

@@ -44,6 +44,8 @@ std::uint64_t plan_fingerprint(const PlanKeyMaterial& material) noexcept {
   fnv_u64(h, material.initial_state.size());
   fnv_bytes(h, material.initial_state.data(),
             material.initial_state.size_bytes());
+  fnv_u64(h, material.engine.size());
+  fnv_bytes(h, material.engine.data(), material.engine.size());
   return h;
 }
 
@@ -83,7 +85,7 @@ PlanHandle PlanCache::get_or_build(const PlanKeyMaterial& material,
   const std::size_t before = MemoryTracker::current_bytes();
   CachedPlan built = build();
   const std::size_t after = MemoryTracker::current_bytes();
-  FASTQAOA_CHECK(built.plan != nullptr,
+  FASTQAOA_CHECK(built.plan != nullptr || built.mps_plan != nullptr,
                  "PlanCache: builder returned a null plan");
   built.fingerprint = fp;
   built.bytes = std::max(after > before ? after - before : std::size_t{0},

@@ -108,6 +108,14 @@ Json result_to_json(const JobKind kind, const JobResultData& r) {
       break;
     }
   }
+  if (r.mps) {
+    // The MPS engine's fidelity proxy for the reported expectation: how
+    // much weight truncation discarded and how hard the bond cap was hit.
+    j.set("engine", Json("mps"));
+    j.set("discarded_weight", Json(r.discarded_weight));
+    j.set("truncations", Json(r.truncations));
+    j.set("max_bond_reached", Json(r.max_bond_reached));
+  }
   j.set("stop_reason", Json(runtime::to_string(r.stop)));
   j.set("cache_hit", Json(r.cache_hit));
   j.set("seconds", Json(r.seconds));
@@ -172,6 +180,11 @@ JobSpec job_spec_from_json(const Json& request) {
   if (const Json* v = request.find("k")) spec.problem.k = static_cast<int>(v->as_int64());
   if (const Json* v = request.find("density")) spec.problem.density = v->as_double();
   if (const Json* v = request.find("seed")) spec.problem.instance_seed = v->as_uint64();
+  if (const Json* v = request.find("degree")) spec.problem.degree = static_cast<int>(v->as_int64());
+  if (const Json* v = request.find("engine")) spec.problem.engine = v->as_string();
+  if (const Json* v = request.find("max_bond")) spec.problem.max_bond = static_cast<int>(v->as_int64());
+  if (const Json* v = request.find("fidelity_budget")) spec.problem.fidelity_budget = v->as_double();
+  if (const Json* v = request.find("trunc_tol")) spec.problem.trunc_tol = v->as_double();
   if (const Json* v = request.find("p")) spec.p = static_cast<int>(v->as_int64());
   if (const Json* v = request.find("minimize")) spec.minimize = v->as_bool();
   if (spec.kind == JobKind::BatchEvaluate) {
@@ -212,6 +225,15 @@ Json job_spec_to_json(const JobSpec& spec) {
   if (spec.problem.k >= 0) j.set("k", Json(static_cast<long long>(spec.problem.k)));
   j.set("density", Json(spec.problem.density));
   j.set("seed", Json(spec.problem.instance_seed));
+  if (spec.problem.degree != 0) {
+    j.set("degree", Json(static_cast<long long>(spec.problem.degree)));
+  }
+  if (spec.problem.engine != "exact") {
+    j.set("engine", Json(spec.problem.engine));
+    j.set("max_bond", Json(static_cast<long long>(spec.problem.max_bond)));
+    j.set("fidelity_budget", Json(spec.problem.fidelity_budget));
+    j.set("trunc_tol", Json(spec.problem.trunc_tol));
+  }
   j.set("p", Json(static_cast<long long>(spec.p)));
   if (spec.minimize) j.set("minimize", Json(true));
   switch (spec.kind) {

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "mps/mps_strategies.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sampling/sampler.hpp"
@@ -384,6 +385,7 @@ std::shared_ptr<Job> Service::pop_next_locked() {
 
 void Service::worker_loop() {
   EvalWorkspace ws;  // reused across jobs; buffers grow to the largest plan
+  mps::MpsWorkspace mws;  // MPS-engine jobs' per-worker state
   for (;;) {
     std::shared_ptr<Job> job;
     {
@@ -399,7 +401,7 @@ void Service::worker_loop() {
       ++running_;
       ++ts.running;
     }
-    run_job(*job, ws);
+    run_job(*job, ws, mws);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --running_;
@@ -409,10 +411,12 @@ void Service::worker_loop() {
     }
     FASTQAOA_OBS_MERGE_GLOBAL(ws.metrics);
     ws.metrics.clear();
+    FASTQAOA_OBS_MERGE_GLOBAL(mws.metrics);
+    mws.metrics.clear();
   }
 }
 
-void Service::run_job(Job& job, EvalWorkspace& ws) {
+void Service::run_job(Job& job, EvalWorkspace& ws, mps::MpsWorkspace& mws) {
   {
     std::lock_guard<std::mutex> lock(job.mu);
     if (job.state != JobState::Queued) return;  // cancelled while queued
@@ -429,7 +433,7 @@ void Service::run_job(Job& job, EvalWorkspace& ws) {
   JobState final_state = JobState::Done;
   std::string error;
   try {
-    execute(job, ws, out);
+    execute(job, ws, mws, out);
     if (out.stop == runtime::StopReason::Cancelled) {
       final_state = JobState::Cancelled;
     }
@@ -478,7 +482,12 @@ void Service::run_job(Job& job, EvalWorkspace& ws) {
   job.progress.close(terminal_line);
 }
 
-void Service::execute(Job& job, EvalWorkspace& ws, JobResultData& out) {
+void Service::execute(Job& job, EvalWorkspace& ws, mps::MpsWorkspace& mws,
+                      JobResultData& out) {
+  if (job.spec.problem.uses_mps()) {
+    execute_mps(job, mws, out);
+    return;
+  }
   const JobSpec& spec = job.spec;
   const StateSpace space = problem_space(spec.problem);
   dvec obj_vals = build_objective(spec.problem, space);
@@ -598,6 +607,126 @@ void Service::execute(Job& job, EvalWorkspace& ws, JobResultData& out) {
       }
       break;
     }
+  }
+}
+
+void Service::execute_mps(Job& job, mps::MpsWorkspace& mws,
+                          JobResultData& out) {
+  const JobSpec& spec = job.spec;
+  out.mps = true;
+
+  mps::DiagonalHamiltonian h = build_mps_hamiltonian(spec.problem);
+  // Flatten the term list as the fingerprint content — the MPS analogue of
+  // hashing the exact engine's objective table. Deterministic per spec
+  // (the generator's draw order is fixed), and disjoint from exact-engine
+  // fingerprints via the engine tag.
+  std::vector<double> key;
+  key.reserve(1 + 2 * h.z_terms.size() + 3 * h.zz_terms.size());
+  key.push_back(h.constant);
+  for (const mps::ZTerm& t : h.z_terms) {
+    key.push_back(static_cast<double>(t.site));
+    key.push_back(t.coeff);
+  }
+  for (const mps::ZZTerm& t : h.zz_terms) {
+    key.push_back(static_cast<double>(t.u));
+    key.push_back(static_cast<double>(t.v));
+    key.push_back(t.coeff);
+  }
+  const std::string engine_tag = engine_cache_tag(spec.problem);
+
+  PlanKeyMaterial material;
+  material.mixer_kind = spec.problem.mixer;
+  material.n = spec.problem.n;
+  material.k = -1;
+  material.rounds = spec.p;
+  material.obj_vals = key;
+  material.engine = engine_tag;
+
+  bool built_here = false;
+  const PlanHandle cached =
+      cache_.get_or_build(material, spec.tenant, [&]() -> CachedPlan {
+        built_here = true;
+        WallTimer build_timer;
+        CachedPlan entry;
+        entry.mps_plan = std::make_shared<const mps::MpsPlan>(
+            std::move(h), mps_options(spec.problem));
+        FASTQAOA_OBS_HIST_GLOBAL("service.plan_cache.build_seconds",
+                                 build_timer.seconds());
+        return entry;
+      });
+  out.cache_hit = !built_here;
+  const mps::MpsPlan& plan = *cached->mps_plan;
+
+  const auto harvest_stats = [&out, &mws] {
+    out.discarded_weight = mws.stats.discarded_weight;
+    out.truncations = mws.stats.truncations;
+    out.max_bond_reached = static_cast<std::uint64_t>(mws.stats.max_bond_reached);
+  };
+
+  switch (spec.kind) {
+    case JobKind::Evaluate: {
+      runtime::RunBudget budget;
+      budget.wall_seconds = spec.deadline_seconds;
+      budget.max_evaluations = spec.max_evaluations;
+      budget.cancel = &job.cancel;
+      const runtime::BudgetTracker tracker(budget);
+      mws.tracker = &tracker;
+      out.expectation = mps::evaluate(plan, mws, spec.betas, spec.gammas);
+      mws.tracker = nullptr;
+      harvest_stats();
+      if (mws.interrupted) out.stop = tracker.check();
+      break;
+    }
+    case JobKind::FindAngles: {
+      FindAnglesOptions opt;
+      opt.direction =
+          spec.minimize ? Direction::Minimize : Direction::Maximize;
+      opt.seed = spec.opt_seed;
+      opt.hopping.hops = spec.hops;
+      opt.parallel_starts = spec.starts;
+      opt.checkpoint_file = spec.checkpoint;
+      opt.budget.wall_seconds = spec.deadline_seconds;
+      opt.budget.max_evaluations = spec.max_evaluations;
+      opt.budget.cancel = &job.cancel;
+      WallTimer search_elapsed;
+      opt.on_round = [&job, &search_elapsed](const AngleSchedule& s,
+                                             double seconds) {
+        Json ev = Json::object();
+        ev.set("event", Json("round"));
+        ev.set("id", Json(job.id));
+        ev.set("p", Json(s.p));
+        ev.set("best_energy", Json(s.expectation));
+        ev.set("evals", Json(static_cast<std::uint64_t>(s.evaluations)));
+        ev.set("optimizer_calls",
+               Json(static_cast<std::uint64_t>(s.optimizer_calls)));
+        ev.set("round_seconds", Json(seconds));
+        ev.set("elapsed_seconds", Json(search_elapsed.seconds()));
+        if (s.stop_reason != runtime::StopReason::None) {
+          ev.set("stop_reason", Json(runtime::to_string(s.stop_reason)));
+        }
+        job.progress.publish(ev.dump());
+      };
+      out.schedules = mps::find_angles_mps(plan, spec.p, opt);
+      if (!out.schedules.empty()) {
+        const AngleSchedule& best = out.schedules.back();
+        out.expectation = best.expectation;
+        out.stop = best.stop_reason;
+        // One extra evaluation of the winning schedule harvests the
+        // fidelity proxy for the reported result (skipped when cancelled —
+        // a cancelled search should not burn more worker time).
+        if (!job.cancel.stop_requested()) {
+          mws.tracker = nullptr;
+          mps::evaluate(plan, mws, best.betas, best.gammas);
+          harvest_stats();
+        }
+      }
+      if (job.cancel.stop_requested()) {
+        out.stop = runtime::StopReason::Cancelled;
+      }
+      break;
+    }
+    default:
+      FASTQAOA_CHECK(false, "engine 'mps' supports evaluate and find_angles only");
   }
 }
 

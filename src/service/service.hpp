@@ -256,8 +256,10 @@ class Service {
   TenantState& tenant_state_locked(const std::string& name);
   std::shared_ptr<Job> pop_next_locked();
   void worker_loop();
-  void run_job(Job& job, EvalWorkspace& ws);
-  void execute(Job& job, EvalWorkspace& ws, JobResultData& out);
+  void run_job(Job& job, EvalWorkspace& ws, mps::MpsWorkspace& mws);
+  void execute(Job& job, EvalWorkspace& ws, mps::MpsWorkspace& mws,
+               JobResultData& out);
+  void execute_mps(Job& job, mps::MpsWorkspace& mws, JobResultData& out);
 
   ServiceConfig config_;
   TenantRegistry registry_;

@@ -3,14 +3,18 @@
 #include <cmath>
 #include <filesystem>
 
+#include <cstdio>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "core/engine.hpp"
 #include "graphs/graph.hpp"
 #include "io/serialize.hpp"
 #include "mixers/eigen_mixer.hpp"
 #include "mixers/grover_mixer.hpp"
 #include "mixers/x_mixer.hpp"
 #include "problems/cost_functions.hpp"
+#include "problems/weighted_maxcut.hpp"
 #include "sat/cnf.hpp"
 
 namespace fastqaoa::service {
@@ -25,16 +29,40 @@ bool constrained_mixer(const std::string& mixer) noexcept {
 }
 
 void validate_problem_spec(const ProblemSpec& spec) {
-  FASTQAOA_CHECK(spec.problem == "maxcut" || spec.problem == "ksat" ||
-                     spec.problem == "densest" ||
+  FASTQAOA_CHECK(spec.problem == "maxcut" || spec.problem == "wmaxcut" ||
+                     spec.problem == "ksat" || spec.problem == "densest" ||
                      spec.problem == "vertexcover" ||
                      spec.problem == "partition",
                  "unknown problem '" + spec.problem + "'");
   FASTQAOA_CHECK(spec.mixer == "tf" || spec.mixer == "grover" ||
                      spec.mixer == "clique" || spec.mixer == "ring",
                  "unknown mixer '" + spec.mixer + "'");
-  FASTQAOA_CHECK(spec.n >= 2 && spec.n <= 24,
-                 "n out of supported range [2, 24]");
+  FASTQAOA_CHECK(parse_engine(spec.engine).has_value(),
+                 "unknown engine '" + spec.engine + "'");
+  if (spec.uses_mps()) {
+    FASTQAOA_CHECK(spec.problem == "maxcut" || spec.problem == "wmaxcut",
+                   "engine 'mps' supports problem maxcut|wmaxcut only");
+    FASTQAOA_CHECK(spec.mixer == "tf",
+                   "engine 'mps' supports the tf mixer only");
+    FASTQAOA_CHECK(spec.n >= 2 && spec.n <= 256,
+                   "n out of supported range [2, 256] for engine 'mps'");
+    FASTQAOA_CHECK(spec.max_bond >= 1, "max_bond must be >= 1");
+    FASTQAOA_CHECK(spec.fidelity_budget >= 0.0,
+                   "fidelity_budget must be non-negative");
+    FASTQAOA_CHECK(spec.trunc_tol >= 0.0, "trunc_tol must be non-negative");
+  } else {
+    FASTQAOA_CHECK(spec.n >= 2 && spec.n <= 24,
+                   "n out of supported range [2, 24] for engine 'exact' "
+                   "(use engine 'mps' for larger maxcut instances)");
+  }
+  if (spec.degree != 0) {
+    FASTQAOA_CHECK(spec.problem == "maxcut" || spec.problem == "wmaxcut",
+                   "degree applies to maxcut/wmaxcut only");
+    FASTQAOA_CHECK(spec.degree >= 1 && spec.degree < spec.n,
+                   "degree must satisfy 1 <= degree < n");
+    FASTQAOA_CHECK((static_cast<long long>(spec.n) * spec.degree) % 2 == 0,
+                   "n * degree must be even for a regular graph");
+  }
   if (constrained_mixer(spec.mixer)) {
     const int k = spec.effective_k();
     FASTQAOA_CHECK(k >= 1 && k < spec.n,
@@ -49,11 +77,23 @@ StateSpace problem_space(const ProblemSpec& spec) {
              : StateSpace::full(spec.n);
 }
 
+Graph build_graph(const ProblemSpec& spec) {
+  FASTQAOA_CHECK(spec.problem == "maxcut" || spec.problem == "wmaxcut",
+                 "build_graph: spec is not a maxcut/wmaxcut problem");
+  Rng rng(spec.instance_seed);
+  // Same draw order as qaoa_cli's build_maxcut_graph: topology first, then
+  // (for wmaxcut) weights consumed in edge order from the same stream.
+  Graph g = spec.degree > 0 ? random_regular(spec.n, spec.degree, rng)
+                            : erdos_renyi(spec.n, 0.5, rng);
+  if (spec.problem == "wmaxcut") g = with_random_weights(g, rng);
+  return g;
+}
+
 dvec build_objective(const ProblemSpec& spec, const StateSpace& space) {
   Rng rng(spec.instance_seed);
   const int n = spec.n;
-  if (spec.problem == "maxcut") {
-    Graph g = erdos_renyi(n, 0.5, rng);
+  if (spec.problem == "maxcut" || spec.problem == "wmaxcut") {
+    Graph g = build_graph(spec);
     return tabulate(space, [&g](state_t x) { return maxcut(g, x); });
   }
   if (spec.problem == "ksat") {
@@ -74,6 +114,26 @@ dvec build_objective(const ProblemSpec& spec, const StateSpace& space) {
   for (auto& w : weights) w = std::floor(rng.uniform(1.0, 30.0));
   return tabulate(space,
                   [&weights](state_t x) { return number_partition(weights, x); });
+}
+
+mps::DiagonalHamiltonian build_mps_hamiltonian(const ProblemSpec& spec) {
+  return mps::maxcut_hamiltonian(build_graph(spec));
+}
+
+mps::MpsOptions mps_options(const ProblemSpec& spec) {
+  mps::MpsOptions opt;
+  opt.max_bond = spec.max_bond;
+  opt.fidelity_budget = spec.fidelity_budget;
+  opt.trunc_tol = spec.trunc_tol;
+  return opt;
+}
+
+std::string engine_cache_tag(const ProblemSpec& spec) {
+  if (!spec.uses_mps()) return "exact";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "mps;chi=%d;tol=%.17g;budget=%.17g",
+                spec.max_bond, spec.trunc_tol, spec.fidelity_budget);
+  return buf;
 }
 
 std::unique_ptr<const Mixer> build_mixer(const ProblemSpec& spec,

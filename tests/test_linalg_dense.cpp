@@ -3,8 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/rng.hpp"
 #include "linalg/dense.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/svd.hpp"
 #include "test_util.hpp"
 
 namespace fastqaoa {
@@ -153,6 +158,139 @@ TEST(Hermitize, ProducesHermitianMatrix) {
 TEST(DenseMatrix, RaggedInitializerThrows) {
   auto make_ragged = [] { return dmat{{1.0, 2.0}, {3.0}}; };
   EXPECT_THROW(make_ragged(), Error);
+}
+
+// ---------------------------------------------------------------------------
+// SVD golden tests: reconstruction, orthonormality, agreement with eigh on
+// the Gram matrix, rank-deficient and ill-conditioned inputs, determinism.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double orthonormality_error(const dmat& u) {
+  return frobenius_diff(matmul(transpose(u), u), dmat::identity(u.cols()));
+}
+
+double orthonormality_error(const cmat& u) {
+  const cmat g = matmul(adjoint(u), u);
+  cmat eye(u.cols(), u.cols());
+  for (index_t i = 0; i < u.cols(); ++i) eye(i, i) = cplx{1.0, 0.0};
+  return frobenius_diff(g, eye);
+}
+
+}  // namespace
+
+TEST(Svd, RandomTallReconstructs) {
+  Rng rng(11);
+  const dmat a = random_matrix(9, 5, rng);
+  const linalg::SvdResult r = linalg::svd(a);
+  ASSERT_EQ(r.singular_values.size(), 5u);
+  EXPECT_EQ(r.u.rows(), 9u);
+  EXPECT_EQ(r.u.cols(), 5u);
+  EXPECT_EQ(r.v.rows(), 5u);
+  EXPECT_EQ(r.v.cols(), 5u);
+  EXPECT_LT(linalg::svd_residual(a, r), 1e-12);
+  EXPECT_LT(orthonormality_error(r.u), 1e-12);
+  EXPECT_LT(orthonormality_error(r.v), 1e-12);
+  EXPECT_TRUE(std::is_sorted(r.singular_values.begin(),
+                             r.singular_values.end(),
+                             [](double x, double y) { return x > y; }));
+}
+
+TEST(Svd, RandomWideReconstructs) {
+  Rng rng(12);
+  const dmat a = random_matrix(4, 8, rng);
+  const linalg::SvdResult r = linalg::svd(a);
+  ASSERT_EQ(r.singular_values.size(), 4u);
+  EXPECT_EQ(r.u.rows(), 4u);
+  EXPECT_EQ(r.u.cols(), 4u);
+  EXPECT_EQ(r.v.rows(), 8u);
+  EXPECT_EQ(r.v.cols(), 4u);
+  EXPECT_LT(linalg::svd_residual(a, r), 1e-12);
+  EXPECT_LT(orthonormality_error(r.u), 1e-12);
+  EXPECT_LT(orthonormality_error(r.v), 1e-12);
+}
+
+TEST(Svd, ComplexReconstructsBothOrientations) {
+  Rng rng(13);
+  const cmat tall = random_cmatrix(7, 4, rng);
+  const linalg::CSvdResult rt = linalg::svd(tall);
+  EXPECT_LT(linalg::svd_residual(tall, rt), 1e-12);
+  EXPECT_LT(orthonormality_error(rt.u), 1e-12);
+  EXPECT_LT(orthonormality_error(rt.v), 1e-12);
+  const cmat wide = random_cmatrix(3, 6, rng);
+  const linalg::CSvdResult rw = linalg::svd(wide);
+  EXPECT_LT(linalg::svd_residual(wide, rw), 1e-12);
+  EXPECT_LT(orthonormality_error(rw.u), 1e-12);
+  EXPECT_LT(orthonormality_error(rw.v), 1e-12);
+}
+
+TEST(Svd, SingularValuesMatchEighOfGram) {
+  // Golden cross-check: sigma_j^2 are the eigenvalues of A^T A, which the
+  // independent Householder/QL path computes. eigh sorts ascending.
+  Rng rng(14);
+  const dmat a = random_matrix(8, 6, rng);
+  const linalg::SvdResult r = linalg::svd(a);
+  const dvec evals = linalg::eigvalsh(matmul(transpose(a), a));
+  ASSERT_EQ(evals.size(), 6u);
+  for (index_t j = 0; j < 6; ++j) {
+    const double expected = std::sqrt(std::max(0.0, evals[5 - j]));
+    EXPECT_NEAR(r.singular_values[j], expected, 1e-10);
+  }
+}
+
+TEST(Svd, RankDeficientDuplicateColumns) {
+  Rng rng(15);
+  dmat a = random_matrix(7, 4, rng);
+  for (index_t i = 0; i < 7; ++i) {
+    a(i, 2) = a(i, 0);              // exact duplicate -> rank <= 3
+    a(i, 3) = 2.0 * a(i, 1);        // exact multiple  -> rank <= 2
+  }
+  const linalg::SvdResult r = linalg::svd(a);
+  EXPECT_LT(r.singular_values[2], 1e-12 * r.singular_values[0]);
+  EXPECT_LT(r.singular_values[3], 1e-12 * r.singular_values[0]);
+  EXPECT_LT(linalg::svd_residual(a, r), 1e-12);
+}
+
+TEST(Svd, IllConditionedRecoversSpectrum) {
+  // Build A = U S V^T from known orthonormal frames (eigenvectors of random
+  // symmetric matrices) and a geometric spectrum spanning 10 decades.
+  Rng rng(16);
+  const index_t n = 6;
+  const dmat u = linalg::eigh(symmetrize(random_matrix(n, n, rng))).vectors;
+  const dmat v = linalg::eigh(symmetrize(random_matrix(n, n, rng))).vectors;
+  dvec sigma(n);
+  for (index_t j = 0; j < n; ++j) sigma[j] = std::pow(10.0, -2.0 * double(j));
+  dmat us(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) us(i, j) = u(i, j) * sigma[j];
+  const dmat a = matmul(us, transpose(v));
+  const linalg::SvdResult r = linalg::svd(a);
+  // One-sided Jacobi has high *relative* accuracy on graded matrices, but
+  // forming A = U S V^T in floating point already perturbs A by ~1e-16
+  // absolute, i.e. up to ~1e-6 relative to the smallest value — that, not
+  // the solver, bounds the achievable tolerance here.
+  for (index_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(r.singular_values[j] / sigma[j], 1.0, 1e-6)
+        << "sigma index " << j;
+  }
+  EXPECT_LT(linalg::svd_residual(a, r), 1e-12);
+}
+
+TEST(Svd, DeterministicAcrossCalls) {
+  Rng rng(17);
+  const dmat a = random_matrix(10, 7, rng);
+  const linalg::SvdResult r1 = linalg::svd(a);
+  const linalg::SvdResult r2 = linalg::svd(a);
+  EXPECT_TRUE(r1.u == r2.u);
+  EXPECT_TRUE(r1.v == r2.v);
+  EXPECT_EQ(r1.singular_values, r2.singular_values);
+}
+
+TEST(Svd, RejectsEmptyAndNonFinite) {
+  EXPECT_THROW(linalg::svd(dmat()), Error);
+  dmat bad = {{1.0, 2.0}, {3.0, std::nan("")}};
+  EXPECT_THROW(linalg::svd(bad), Error);
 }
 
 }  // namespace

@@ -1547,5 +1547,215 @@ TEST(DaemonE2E, TenantsRequireKeysAndEnforceQuotasOverTheWire) {
   EXPECT_EQ(wait_for_exit(pid), 0);
 }
 
+// ---------------------------------------------------------------------------
+// MPS engine jobs: routing, cache-key separation, invariance, protocol
+// ---------------------------------------------------------------------------
+
+JobSpec mps_evaluate_spec(int p = 2) {
+  JobSpec spec = evaluate_spec(p);
+  spec.problem.problem = "wmaxcut";
+  spec.problem.n = 10;
+  spec.problem.degree = 3;
+  spec.problem.engine = "mps";
+  spec.problem.max_bond = 32;
+  spec.problem.fidelity_budget = 0.0;
+  spec.problem.trunc_tol = 1e-14;
+  return spec;
+}
+
+/// Service::execute_mps performed directly against the library.
+double direct_mps_evaluate(const JobSpec& spec) {
+  const mps::MpsPlan plan(build_mps_hamiltonian(spec.problem),
+                          mps_options(spec.problem));
+  mps::MpsWorkspace ws;
+  return mps::evaluate(plan, ws, spec.betas, spec.gammas);
+}
+
+TEST(ServiceMps, EvaluateMatchesDirectCallAndExactEngine) {
+  const JobSpec spec = mps_evaluate_spec();
+  const double expected = direct_mps_evaluate(spec);
+
+  ServiceConfig config;
+  config.workers = 1;
+  Service service(config);
+  Service::SubmitOutcome mps_out = service.submit(spec);
+  ASSERT_TRUE(mps_out.accepted());
+  Service::wait(*mps_out.job);
+  ASSERT_EQ(mps_out.job->snapshot_state(), JobState::Done)
+      << mps_out.job->error;
+  EXPECT_EQ(mps_out.job->result.expectation, expected);  // bit-identical
+  EXPECT_TRUE(mps_out.job->result.mps);
+  EXPECT_EQ(mps_out.job->result.discarded_weight, 0.0);  // chi=32 at n=10
+  EXPECT_GE(mps_out.job->result.max_bond_reached, 1u);
+
+  // The same instance through the exact engine agrees physically...
+  JobSpec exact = spec;
+  exact.problem.engine = "exact";
+  Service::SubmitOutcome exact_out = service.submit(exact);
+  ASSERT_TRUE(exact_out.accepted());
+  Service::wait(*exact_out.job);
+  ASSERT_EQ(exact_out.job->snapshot_state(), JobState::Done);
+  EXPECT_FALSE(exact_out.job->result.mps);
+  EXPECT_NEAR(exact_out.job->result.expectation, expected, 1e-8);
+  // ...but never shares a cache entry: engine is part of the key.
+  EXPECT_EQ(service.stats().plan_cache.entries, 2u);
+  EXPECT_EQ(service.stats().plan_cache.misses, 2u);
+}
+
+TEST(ServiceMps, TruncationKnobsSeparateCacheEntries) {
+  ServiceConfig config;
+  config.workers = 1;
+  Service service(config);
+  JobSpec spec = mps_evaluate_spec();
+  std::size_t expected_entries = 0;
+  const auto submit_and_wait = [&service](const JobSpec& s) {
+    Service::SubmitOutcome out = service.submit(s);
+    ASSERT_TRUE(out.accepted());
+    Service::wait(*out.job);
+    ASSERT_EQ(out.job->snapshot_state(), JobState::Done);
+  };
+  submit_and_wait(spec);
+  ++expected_entries;
+  EXPECT_EQ(service.stats().plan_cache.entries, expected_entries);
+
+  // Re-submitting the identical spec hits the cache.
+  submit_and_wait(spec);
+  EXPECT_EQ(service.stats().plan_cache.entries, expected_entries);
+  EXPECT_EQ(service.stats().plan_cache.hits, 1u);
+
+  // Every truncation knob is part of result identity => a fresh entry.
+  JobSpec other = spec;
+  other.problem.max_bond = 16;
+  submit_and_wait(other);
+  ++expected_entries;
+  other = spec;
+  other.problem.fidelity_budget = 1e-3;
+  submit_and_wait(other);
+  ++expected_entries;
+  other = spec;
+  other.problem.trunc_tol = 1e-10;
+  submit_and_wait(other);
+  ++expected_entries;
+  EXPECT_EQ(service.stats().plan_cache.entries, expected_entries);
+}
+
+TEST(ServiceMps, RejectsUnsupportedKindsAndBadSpecs) {
+  Service service;
+  for (const JobKind kind :
+       {JobKind::Gradient, JobKind::Sample, JobKind::BatchEvaluate}) {
+    JobSpec bad = mps_evaluate_spec();
+    bad.kind = kind;
+    if (kind == JobKind::BatchEvaluate) bad.lanes = 1;
+    EXPECT_THROW(service.submit(bad), Error) << to_string(kind);
+  }
+  JobSpec bad_engine = mps_evaluate_spec();
+  bad_engine.problem.engine = "bogus";
+  EXPECT_THROW(service.submit(bad_engine), Error);
+  JobSpec bad_problem = mps_evaluate_spec();
+  bad_problem.problem.problem = "ksat";
+  EXPECT_THROW(service.submit(bad_problem), Error);
+  JobSpec bad_mixer = mps_evaluate_spec();
+  bad_mixer.problem.mixer = "grover";
+  EXPECT_THROW(service.submit(bad_mixer), Error);
+  // The exact engine keeps its statevector bound; mps relaxes it.
+  JobSpec large = evaluate_spec();
+  large.problem.n = 40;
+  EXPECT_THROW(service.submit(large), Error);
+  EXPECT_EQ(service.stats().submitted, 0u);
+}
+
+std::vector<JobResultData> run_mps_batch(int workers) {
+  ServiceConfig config;
+  config.workers = workers;
+  Service service(config);
+  std::vector<std::shared_ptr<Job>> jobs;
+  for (std::uint64_t seed : {11ULL, 12ULL}) {
+    JobSpec ev = mps_evaluate_spec();
+    ev.problem.n = 8;
+    ev.problem.instance_seed = seed;
+    ev.problem.max_bond = 8;  // saturate so truncation stats are non-trivial
+    Service::SubmitOutcome out = service.submit(ev);
+    EXPECT_TRUE(out.accepted());
+    jobs.push_back(out.job);
+
+    JobSpec fa;
+    fa.kind = JobKind::FindAngles;
+    fa.problem = ev.problem;
+    fa.p = 1;
+    fa.hops = 1;
+    fa.opt_seed = 5 + seed;
+    // Deterministic early stop: evaluation counts are schedule-independent
+    // (one chain, one worker per job), so the budget trips at the same
+    // point on any pool size.
+    fa.max_evaluations = 80;
+    out = service.submit(fa);
+    EXPECT_TRUE(out.accepted());
+    jobs.push_back(out.job);
+  }
+  std::vector<JobResultData> results;
+  for (const auto& job : jobs) {
+    Service::wait(*job);
+    EXPECT_EQ(job->snapshot_state(), JobState::Done);
+    results.push_back(job->result);
+  }
+  return results;
+}
+
+TEST(ServiceMps, ResultsAreWorkerCountInvariant) {
+  const std::vector<JobResultData> one = run_mps_batch(1);
+  const std::vector<JobResultData> four = run_mps_batch(4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].expectation, four[i].expectation) << "job " << i;
+    EXPECT_EQ(one[i].discarded_weight, four[i].discarded_weight)
+        << "job " << i;
+    EXPECT_EQ(one[i].truncations, four[i].truncations) << "job " << i;
+    EXPECT_EQ(one[i].max_bond_reached, four[i].max_bond_reached)
+        << "job " << i;
+    ASSERT_EQ(one[i].schedules.size(), four[i].schedules.size());
+    for (std::size_t r = 0; r < one[i].schedules.size(); ++r) {
+      EXPECT_EQ(one[i].schedules[r].expectation,
+                four[i].schedules[r].expectation);
+      EXPECT_EQ(one[i].schedules[r].betas, four[i].schedules[r].betas);
+      EXPECT_EQ(one[i].schedules[r].gammas, four[i].schedules[r].gammas);
+    }
+  }
+}
+
+TEST(ServiceMps, ProtocolCarriesEngineFieldsBothWays) {
+  JobSpec spec = mps_evaluate_spec();
+  spec.problem.max_bond = 16;
+  spec.problem.fidelity_budget = 1e-3;
+  const Json wire = job_spec_to_json(spec);
+  EXPECT_EQ(wire.at("engine").as_string(), "mps");
+  const JobSpec parsed = job_spec_from_json(wire);
+  EXPECT_EQ(parsed.problem.engine, "mps");
+  EXPECT_EQ(parsed.problem.degree, spec.problem.degree);
+  EXPECT_EQ(parsed.problem.max_bond, 16);
+  EXPECT_EQ(parsed.problem.fidelity_budget, 1e-3);
+  EXPECT_EQ(parsed.problem.trunc_tol, spec.problem.trunc_tol);
+
+  Service service;
+  Json req = job_spec_to_json(spec);
+  const Json resp = handle_request(service, req);
+  ASSERT_TRUE(resp.at("ok").as_bool());
+  const Json& result = resp.at("result");
+  EXPECT_EQ(result.at("engine").as_string(), "mps");
+  // chi=16 saturates at n=10 p=2; the soft-truncation budget bounds the
+  // reported fidelity proxy.
+  const double discarded = result.at("discarded_weight").as_double();
+  EXPECT_GT(discarded, 0.0);
+  EXPECT_LE(discarded, spec.problem.fidelity_budget);
+  EXPECT_GT(result.at("truncations").as_uint64(), 0u);
+  EXPECT_GE(result.at("max_bond_reached").as_uint64(), 1u);
+  EXPECT_EQ(result.at("expectation").as_double(), direct_mps_evaluate(spec));
+
+  // Unknown engine comes back as a structured bad_request, not a hang.
+  req.set("engine", Json("bogus"));
+  const Json err = handle_request(service, req);
+  EXPECT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ(err.at("error").at("code").as_string(), "bad_request");
+}
+
 }  // namespace
 }  // namespace fastqaoa::service

@@ -5,8 +5,10 @@
 // the paper's Fig. 2 automates, exposed as a tool.
 //
 // Usage:
-//   qaoa_cli --problem=maxcut|ksat|densest|vertexcover|partition
+//   qaoa_cli --problem=maxcut|wmaxcut|ksat|densest|vertexcover|partition
 //            --mixer=tf|grover|clique|ring
+//            [--engine=exact|mps] [--max-bond=64] [--fidelity-budget=1e-3]
+//            [--trunc-tol=1e-12] [--degree=D]
 //            [--n=10] [--k=n/2] [--p=4] [--seed=42] [--density=6]
 //            [--strategy=iterative|random|grid] [--restarts=50] [--hops=8]
 //            [--minimize] [--shots=0] [--checkpoint=path] [--mixer-cache=path]
@@ -14,6 +16,14 @@
 //            [--backend=auto|scalar|avx2|avx512]
 //            [--deadline=seconds] [--max-evals=N]
 //            [--metrics=out.json] [--trace=out.trace.json] [--progress]
+//
+// Engines: --engine=exact (default) runs the dense statevector engine,
+// limited to n <= 24. --engine=mps runs the approximate matrix-product-state
+// engine (maxcut/wmaxcut with the tf mixer only) whose cost is polynomial in
+// n — the n=40-100 regime — with --max-bond capping the bond dimension and
+// --fidelity-budget bounding the cumulative discarded weight (the CSV gains
+// discarded_weight / max_bond_reached fidelity-proxy columns). Flags that
+// have no meaning for the selected engine are rejected, not ignored.
 //
 // Batching: --batch=B routes grid-search points and finite-difference
 // gradient stencils through evaluate_batch, B statevector lanes per fused
@@ -52,15 +62,19 @@
 #include "common/error.hpp"
 #include "common/threading.hpp"
 #include "common/timer.hpp"
+#include "core/engine.hpp"
 #include "core/qaoa.hpp"
 #include "io/serialize.hpp"
 #include "linalg/kernels/kernels.hpp"
 #include "mixers/eigen_mixer.hpp"
 #include "mixers/grover_mixer.hpp"
 #include "mixers/x_mixer.hpp"
+#include "mps/mps_plan.hpp"
+#include "mps/mps_strategies.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "problems/cost_functions.hpp"
+#include "problems/weighted_maxcut.hpp"
 #include "runtime/budget.hpp"
 #include "runtime/fault.hpp"
 #include "sampling/sampler.hpp"
@@ -114,8 +128,10 @@ bool has_flag(int argc, char** argv, const char* flag) {
 [[noreturn]] void usage_error(const std::string& message) {
   std::fprintf(stderr, "qaoa_cli: %s\n", message.c_str());
   std::fprintf(stderr,
-               "usage: qaoa_cli --problem=maxcut|ksat|densest|vertexcover|"
-               "partition --mixer=tf|grover|clique|ring [--n=10] [--k=n/2] "
+               "usage: qaoa_cli --problem=maxcut|wmaxcut|ksat|densest|"
+               "vertexcover|partition --mixer=tf|grover|clique|ring "
+               "[--engine=exact|mps] [--max-bond=64] [--fidelity-budget=1e-3] "
+               "[--trunc-tol=1e-12] [--degree=D] [--n=10] [--k=n/2] "
                "[--p=4] [--seed=42] [--density=6] "
                "[--strategy=iterative|random|grid] [--restarts=50] "
                "[--hops=8] [--minimize] [--shots=0] [--checkpoint=path] "
@@ -126,6 +142,170 @@ bool has_flag(int argc, char** argv, const char* flag) {
                "[--metrics=out.json] [--trace=out.trace.json] "
                "[--progress]\n");
   std::exit(2);
+}
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string s;
+  for (const auto& name : names) {
+    if (!s.empty()) s += ", ";
+    s += name;
+  }
+  return s;
+}
+
+/// Shared instance generation for maxcut/wmaxcut: --degree picks a random
+/// d-regular topology (the sparse large-n workload), otherwise G(n, 0.5);
+/// wmaxcut layers seeded Uniform[0.1, 1.0) edge weights on top. Identical
+/// for both engines, so exact-vs-MPS comparisons see the same instance.
+Graph build_maxcut_graph(const std::string& problem, int n, int degree,
+                         Rng& rng) {
+  Graph g = degree > 0 ? random_regular(n, degree, rng)
+                       : erdos_renyi(n, 0.5, rng);
+  if (problem == "wmaxcut") g = with_random_weights(g, rng);
+  return g;
+}
+
+/// The --engine=mps driver: same strategies, options, checkpointing, budget
+/// and observability surface as the exact path, but evaluation runs through
+/// the approximate MPS engine and the CSV reports the fidelity proxies
+/// (discarded_weight, max_bond_reached, truncations) instead of the
+/// table-derived ratio / ground-state-probability columns, which would need
+/// the 2^n enumeration this engine exists to avoid.
+int run_mps(int argc, char** argv) {
+  const std::string problem = string_option(argc, argv, "--problem", "maxcut");
+  const std::string strategy =
+      string_option(argc, argv, "--strategy", "iterative");
+  const int n = static_cast<int>(int_option(argc, argv, "--n", 10));
+  const int p = static_cast<int>(int_option(argc, argv, "--p", 4));
+  const auto seed =
+      static_cast<std::uint64_t>(int_option(argc, argv, "--seed", 42));
+  const int degree = static_cast<int>(int_option(argc, argv, "--degree", 0));
+  const bool minimize = has_flag(argc, argv, "--minimize");
+  const bool progress = has_flag(argc, argv, "--progress");
+  const std::string metrics_path = string_option(argc, argv, "--metrics", "");
+  const std::string trace_path = string_option(argc, argv, "--trace", "");
+  if (!trace_path.empty()) obs::trace_begin();
+
+  const int threads = static_cast<int>(int_option(argc, argv, "--threads", 0));
+  if (threads > 0) set_num_threads(threads);
+
+  mps::MpsOptions mps_options;
+  mps_options.max_bond = static_cast<index_t>(
+      int_option(argc, argv, "--max-bond", 64));
+  mps_options.fidelity_budget =
+      double_option(argc, argv, "--fidelity-budget", 1e-3);
+  mps_options.trunc_tol = double_option(argc, argv, "--trunc-tol", 1e-12);
+  if (mps_options.max_bond < 1) usage_error("--max-bond must be >= 1");
+  if (mps_options.fidelity_budget < 0.0) {
+    usage_error("--fidelity-budget must be >= 0");
+  }
+  if (mps_options.trunc_tol < 0.0) usage_error("--trunc-tol must be >= 0");
+
+  Rng rng(seed);
+  const Graph g = build_maxcut_graph(problem, n, degree, rng);
+  const mps::MpsPlan plan(mps::maxcut_hamiltonian(g), mps_options);
+
+  FindAnglesOptions opt;
+  opt.seed = seed;
+  opt.direction = minimize ? Direction::Minimize : Direction::Maximize;
+  opt.hopping.hops = static_cast<int>(int_option(argc, argv, "--hops", 8));
+  opt.checkpoint_file = string_option(argc, argv, "--checkpoint", "");
+  opt.parallel_starts =
+      static_cast<int>(int_option(argc, argv, "--starts", 1));
+  if (opt.parallel_starts < 1) usage_error("--starts must be >= 1");
+  opt.budget.wall_seconds = double_option(argc, argv, "--deadline", 0.0);
+  opt.budget.max_evaluations =
+      static_cast<std::size_t>(int_option(argc, argv, "--max-evals", 0));
+  opt.budget.cancel = &g_cancel;
+  if (progress) {
+    opt.on_round = [](const AngleSchedule& s, double seconds) {
+      std::fprintf(stderr,
+                   "# round p=%d done in %.2f s: <C>=%.6f "
+                   "(%zu optimizer calls, %zu evaluations)\n",
+                   s.p, seconds, s.expectation, s.optimizer_calls,
+                   s.evaluations);
+    };
+  }
+
+  std::fprintf(stderr,
+               "# engine=mps problem=%s n=%d edges=%d total_weight=%.4f "
+               "p=%d seed=%llu chi=%zu fidelity_budget=%g trunc_tol=%g "
+               "swaps_per_round=%zu\n",
+               problem.c_str(), n, g.num_edges(), g.total_weight(), p,
+               static_cast<unsigned long long>(seed),
+               static_cast<std::size_t>(plan.options().max_bond),
+               plan.options().fidelity_budget, plan.options().trunc_tol,
+               plan.swaps_per_round());
+
+  WallTimer timer;
+  std::vector<AngleSchedule> schedules;
+  if (strategy == "iterative") {
+    schedules = mps::find_angles_mps(plan, p, opt);
+  } else if (strategy == "grid") {
+    const int points =
+        static_cast<int>(int_option(argc, argv, "--grid-points", 16));
+    schedules.push_back(mps::find_angles_grid_mps(plan, p, points, opt));
+  } else {
+    usage_error("unknown --strategy '" + strategy + "'");
+  }
+  const double elapsed = timer.seconds();
+
+  std::size_t total_evals = 0;
+  for (const AngleSchedule& s : schedules) total_evals += s.evaluations;
+  const double evals_per_sec =
+      elapsed > 0.0 ? static_cast<double>(total_evals) / elapsed : 0.0;
+  std::printf("p,expectation,optimizer_calls,evaluations,evals_per_sec,"
+              "discarded_weight,max_bond_reached,truncations\n");
+  for (const AngleSchedule& s : schedules) {
+    // One extra evaluation at the winning angles harvests the truncation
+    // stats (the fidelity proxy) for this row.
+    mps::MpsWorkspace ws;
+    mps::evaluate_packed(plan, ws, s.packed());
+    std::printf("%d,%.8f,%zu,%zu,%.1f,%.3e,%zu,%llu\n", s.p, s.expectation,
+                s.optimizer_calls, s.evaluations, evals_per_sec,
+                ws.stats.discarded_weight,
+                static_cast<std::size_t>(ws.stats.max_bond_reached),
+                static_cast<unsigned long long>(ws.stats.truncations));
+  }
+  std::fprintf(stderr,
+               "# angle finding took %.2f s (%zu evaluations, %.1f evals/s, "
+               "engine=mps)\n",
+               elapsed, total_evals, evals_per_sec);
+
+  runtime::StopReason stop = runtime::StopReason::None;
+  for (const AngleSchedule& s : schedules) {
+    if (s.stopped_early()) stop = s.stop_reason;
+  }
+  if (g_cancel.stop_requested()) stop = runtime::StopReason::Cancelled;
+  if (stop != runtime::StopReason::None) {
+    std::fprintf(stderr,
+                 "# run stopped early (%s): results above are best-so-far"
+                 "%s\n",
+                 runtime::to_string(stop),
+                 opt.checkpoint_file.empty()
+                     ? ""
+                     : "; re-run with the same --checkpoint to resume");
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "qaoa_cli: cannot open --metrics file %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    out << obs::global_snapshot().to_json() << "\n";
+    std::fprintf(stderr, "# metrics written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!obs::write_trace(trace_path)) {
+      std::fprintf(stderr, "qaoa_cli: cannot open --trace file %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# trace written to %s\n", trace_path.c_str());
+  }
+  return stop == runtime::StopReason::Cancelled ? 130 : 0;
 }
 
 }  // namespace
@@ -152,8 +332,83 @@ int main(int argc, char** argv) {
   const auto shots =
       static_cast<std::uint64_t>(int_option(argc, argv, "--shots", 0));
   const bool minimize = has_flag(argc, argv, "--minimize");
-  if (n < 2 || n > 24) usage_error("--n out of supported range [2, 24]");
+  const int degree = static_cast<int>(int_option(argc, argv, "--degree", 0));
+
+  // --- engine selection -------------------------------------------------
+  const std::string engine_name =
+      string_option(argc, argv, "--engine", "exact");
+  const std::optional<EngineKind> engine = parse_engine(engine_name);
+  if (!engine) {
+    usage_error("unknown --engine '" + engine_name +
+                "' (available: " + join_names(engine_names()) + ")");
+  }
+  const bool use_mps = *engine == EngineKind::Mps;
+
+  if (use_mps) {
+    if (n < 2 || n > 256) {
+      usage_error("--n out of supported range [2, 256] for --engine=mps");
+    }
+  } else if (n < 2 || n > 24) {
+    usage_error("--n out of supported range [2, 24] for --engine=exact "
+                "(use --engine=mps for larger n)");
+  }
   if (p < 1 || p > 50) usage_error("--p out of supported range [1, 50]");
+
+  // Engine-incompatible flag combinations fail fast with an explanation
+  // instead of silently ignoring flags.
+  if (use_mps) {
+    if (problem != "maxcut" && problem != "wmaxcut") {
+      usage_error("--engine=mps supports --problem=maxcut|wmaxcut only "
+                  "(sparse diagonal cost Hamiltonians)");
+    }
+    if (mixer_name != "tf") {
+      usage_error("--engine=mps supports the transverse-field mixer only; "
+                  "--mixer=" + mixer_name + " requires --engine=exact");
+    }
+    if (strategy == "random") {
+      usage_error("--strategy=random is not available for --engine=mps "
+                  "(use iterative or grid)");
+    }
+    if (int_option(argc, argv, "--batch", 1) > 1) {
+      usage_error("--engine=mps has no batched kernels; --batch requires "
+                  "--engine=exact");
+    }
+    if (shots > 0) {
+      usage_error("--shots samples the dense statevector; it requires "
+                  "--engine=exact");
+    }
+    if (!string_option(argc, argv, "--table-cache", "").empty()) {
+      usage_error("--table-cache tabulates all 2^n objective values; it "
+                  "requires --engine=exact");
+    }
+    if (!string_option(argc, argv, "--backend", "").empty()) {
+      usage_error("--backend selects statevector kernel tables; it "
+                  "requires --engine=exact");
+    }
+    if (!string_option(argc, argv, "--mixer-cache", "").empty()) {
+      usage_error("--mixer-cache caches eigendecomposed mixers; it "
+                  "requires --engine=exact");
+    }
+  } else {
+    if (!string_option(argc, argv, "--max-bond", "").empty() ||
+        !string_option(argc, argv, "--fidelity-budget", "").empty() ||
+        !string_option(argc, argv, "--trunc-tol", "").empty()) {
+      usage_error("--max-bond/--fidelity-budget/--trunc-tol tune MPS "
+                  "truncation; they require --engine=mps");
+    }
+  }
+  if (degree != 0) {
+    if (problem != "maxcut" && problem != "wmaxcut") {
+      usage_error("--degree applies to maxcut/wmaxcut graph generation only");
+    }
+    if (degree < 1 || degree >= n || (n * degree) % 2 != 0) {
+      usage_error("--degree needs 1 <= degree < n with n*degree even");
+    }
+  }
+
+  // The MPS engine takes its own driver: no state space, no objective
+  // table, no mixer object — those are all statevector concepts.
+  if (use_mps) return run_mps(argc, argv);
 
   // --threads caps both the restart/grid outer loops and the per-state
   // inner kernels (they share the OpenMP default team size).
@@ -195,8 +450,8 @@ int main(int argc, char** argv) {
   // tabulated objective: the first run saves the table (crash-safely, via
   // the atomic writer), later runs skip generation entirely.
   auto tabulate_problem = [&]() -> dvec {
-    if (problem == "maxcut") {
-      Graph g = erdos_renyi(n, 0.5, rng);
+    if (problem == "maxcut" || problem == "wmaxcut") {
+      Graph g = build_maxcut_graph(problem, n, degree, rng);
       return tabulate(space, [&g](state_t x) { return maxcut(g, x); });
     }
     if (problem == "ksat") {

@@ -124,7 +124,9 @@ bool has_flag(int argc, char** argv, const char* flag) {
                "cancel|stats|metrics|watch|ping|raw "
                "[--problem=..] [--mixer=..] [--n=..] [--k=..] "
                "[--p=..] [--betas=a,b,..] [--gammas=a,b,..] [--seed=..] "
-               "[--density=..] [--minimize] [--shots=..] [--hops=..] "
+               "[--density=..] [--degree=..] [--engine=exact|mps] "
+               "[--max-bond=..] [--fidelity-budget=..] [--trunc-tol=..] "
+               "[--minimize] [--shots=..] [--hops=..] "
                "[--starts=..] [--opt-seed=..] [--checkpoint=..] "
                "[--deadline=..] [--max-evals=..] [--id=..] [--async] "
                "[--watch[=SECS]] [--count=N] [--validate] [--throttle=MS] "
@@ -423,6 +425,23 @@ int main(int argc, char** argv) {
     if (has_option(argc, argv, "--seed")) {
       req.set("seed", Json(static_cast<std::uint64_t>(
                           int_option(argc, argv, "--seed", 42))));
+    }
+    if (has_option(argc, argv, "--degree")) {
+      req.set("degree", Json(int_option(argc, argv, "--degree", 0)));
+    }
+    if (has_option(argc, argv, "--engine")) {
+      req.set("engine", Json(string_option(argc, argv, "--engine", "exact")));
+    }
+    if (has_option(argc, argv, "--max-bond")) {
+      req.set("max_bond", Json(int_option(argc, argv, "--max-bond", 64)));
+    }
+    if (has_option(argc, argv, "--fidelity-budget")) {
+      req.set("fidelity_budget",
+              Json(double_option(argc, argv, "--fidelity-budget", 1e-3)));
+    }
+    if (has_option(argc, argv, "--trunc-tol")) {
+      req.set("trunc_tol",
+              Json(double_option(argc, argv, "--trunc-tol", 1e-12)));
     }
     req.set("p", Json(int_option(argc, argv, "--p", 1)));
     if (has_flag(argc, argv, "--minimize")) req.set("minimize", Json(true));
