@@ -1,0 +1,118 @@
+// bench_shard_scaling — throughput of the sharded statevector layer.
+//
+// Times evaluate_packed() per (backend, n, shard count) and reports the
+// shards=K vs shards=1 speedup. On a multi-socket machine the sharded
+// path wins by keeping each shard's WHT sweeps node-local; on a
+// single-node machine the two paths are the same arithmetic, so the
+// ratios gate *overhead*: the sharded drivers must not regress the
+// monolithic path (headline `shards4_vs_1_speedup_n*` fields, checked by
+// the non-blocking bench_check CI job against
+// bench/baselines/shard_scaling.json).
+//
+// Bit-identity is asserted as a side effect: every (backend, n, K) cell's
+// expectation must equal the shards=1 cell exactly, or the bench fails.
+//
+// Usage: bench_shard_scaling [--full] [--reps=N] [--json=path]
+//   reduced sweep: n = 20, 22        (CI-sized)
+//   --full sweep:  n = 20, 22, 24, 26 (needs ~3 GiB free at n=26)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/plan.hpp"
+#include "linalg/kernels/kernels.hpp"
+#include "mixers/x_mixer.hpp"
+#include "problems/cost_functions.hpp"
+
+using namespace fastqaoa;
+
+namespace kn = linalg::kernels;
+
+int main(int argc, char** argv) {
+  const bool full = benchutil::has_flag(argc, argv, "--full");
+  const int reps =
+      static_cast<int>(benchutil::int_option(argc, argv, "--reps", full ? 5 : 3));
+  const int p = 2;
+  std::vector<int> sizes = {20, 22};
+  if (full) {
+    sizes.push_back(24);
+    sizes.push_back(26);
+  }
+  const std::vector<int> shard_counts = {1, 2, 4};
+
+  benchutil::banner("shard scaling",
+                    "sharded vs monolithic statevector evaluation", full);
+
+  kn::select("auto");
+  const std::string auto_backend = kn::active_name();
+  std::printf("p=%d reps=%d auto_backend=%s\n\n", p, reps,
+              auto_backend.c_str());
+  std::printf("%8s %4s %7s %12s %10s\n", "backend", "n", "shards", "median_s",
+              "speedup");
+
+  benchutil::JsonReport report(argc, argv, "bench_shard_scaling");
+  report.meta("p", static_cast<long long>(p));
+  report.meta("reps", static_cast<long long>(reps));
+  report.meta("full", static_cast<long long>(full ? 1 : 0));
+  report.meta("auto_backend", auto_backend);
+
+  bool identical = true;
+  for (const std::string& backend : kn::available()) {
+    if (!kn::select(backend)) continue;
+    for (const int n : sizes) {
+      Rng rng(42);
+      Graph g = erdos_renyi(n, full ? 0.1 : 0.3, rng);
+      dvec table = tabulate(StateSpace::full(n),
+                            [&g](state_t x) { return maxcut(g, x); });
+      XMixer mixer = XMixer::transverse_field(n);
+      QaoaPlan plan(mixer, table, p);
+      std::vector<double> angles(static_cast<std::size_t>(2 * p));
+      for (auto& a : angles) a = rng.uniform(0.0, 2.0 * kPi);
+
+      double base_s = 0.0;
+      double base_e = 0.0;
+      for (const int shards : shard_counts) {
+        EvalWorkspace ws;
+        ws.shards = shards;
+        ws.reserve(plan);
+        double expectation = 0.0;
+        const double median_s = benchutil::time_median(
+            [&] { expectation = evaluate_packed(plan, ws, angles); }, reps);
+        if (shards == 1) {
+          base_s = median_s;
+          base_e = expectation;
+        } else if (expectation != base_e) {
+          std::printf("ERROR: %s n=%d shards=%d expectation %.17g != "
+                      "shards=1 value %.17g\n",
+                      backend.c_str(), n, shards, expectation, base_e);
+          identical = false;
+        }
+        const double speedup = base_s / median_s;
+        std::printf("%8s %4d %7d %12.6f %9.3fx\n", backend.c_str(), n, shards,
+                    median_s, speedup);
+        report.row();
+        report.field("backend", backend);
+        report.field("n", static_cast<long long>(n));
+        report.field("shards", static_cast<long long>(shards));
+        report.field("median_s", median_s);
+        report.field("speedup", speedup);
+        if (backend == auto_backend && shards == 4) {
+          report.meta("shards4_vs_1_speedup_n" + std::to_string(n), speedup);
+        }
+      }
+    }
+  }
+  kn::select("auto");
+
+  if (!identical) {
+    std::printf("\nFAILED: shard counts disagreed — see errors above\n");
+    return 1;
+  }
+  report.attach_metrics();
+  report.write();
+  return 0;
+}

@@ -9,7 +9,7 @@
 
 namespace fastqaoa {
 
-linalg::cmat reduced_density_matrix(const cvec& psi, int n,
+linalg::cmat reduced_density_matrix(linalg::ConstStateRef psi, int n,
                                     const std::vector<int>& subsystem) {
   FASTQAOA_CHECK(n >= 1 && n <= 24, "reduced_density_matrix: bad n");
   FASTQAOA_CHECK(psi.size() == (index_t{1} << n),
@@ -80,12 +80,12 @@ double von_neumann_entropy(const linalg::cmat& rho) {
   return entropy;
 }
 
-double entanglement_entropy(const cvec& psi, int n,
+double entanglement_entropy(linalg::ConstStateRef psi, int n,
                             const std::vector<int>& subsystem) {
   return von_neumann_entropy(reduced_density_matrix(psi, n, subsystem));
 }
 
-double participation_ratio(const cvec& psi) {
+double participation_ratio(linalg::ConstStateRef psi) {
   FASTQAOA_CHECK(!psi.empty(), "participation_ratio: empty state");
   double sum4 = 0.0;
   for (const cplx& a : psi) {
@@ -96,7 +96,7 @@ double participation_ratio(const cvec& psi) {
   return 1.0 / sum4;
 }
 
-double state_fidelity(const cvec& a, const cvec& b) {
+double state_fidelity(linalg::ConstStateRef a, linalg::ConstStateRef b) {
   return std::norm(linalg::dot(a, b));
 }
 

@@ -19,7 +19,7 @@ namespace fastqaoa {
 /// state. The result is a 2^|subsystem| square Hermitian PSD matrix with
 /// unit trace; subsystem qubit `subsystem[j]` maps to bit j of the reduced
 /// index.
-linalg::cmat reduced_density_matrix(const cvec& psi, int n,
+linalg::cmat reduced_density_matrix(linalg::ConstStateRef psi, int n,
                                     const std::vector<int>& subsystem);
 
 /// Von Neumann entropy  -Tr(rho ln rho)  of a density matrix (natural
@@ -29,14 +29,14 @@ double von_neumann_entropy(const linalg::cmat& rho);
 /// Entanglement entropy of a qubit bipartition: the entropy of the reduced
 /// state on `subsystem` (equals the entropy of its complement for pure
 /// states).
-double entanglement_entropy(const cvec& psi, int n,
+double entanglement_entropy(linalg::ConstStateRef psi, int n,
                             const std::vector<int>& subsystem);
 
 /// Inverse participation ratio 1 / sum_i |psi_i|^4: the effective number
 /// of basis states the state occupies (1 = basis state, dim = uniform).
-double participation_ratio(const cvec& psi);
+double participation_ratio(linalg::ConstStateRef psi);
 
 /// Fidelity |<a|b>|^2 between two normalized states.
-double state_fidelity(const cvec& a, const cvec& b);
+double state_fidelity(linalg::ConstStateRef a, linalg::ConstStateRef b);
 
 }  // namespace fastqaoa

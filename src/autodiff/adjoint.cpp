@@ -24,7 +24,7 @@ double adjoint_value_and_gradient(const QaoaPlan& plan, EvalWorkspace& ws,
   // copy so callers can still read the optimized state afterwards).
   const double value = evaluate(plan, ws, betas, gammas);
   ws.adjoint_psi = ws.psi;
-  cvec& psi = ws.adjoint_psi;
+  linalg::ShardedState& psi = ws.adjoint_psi;
 
   // lambda = C |psi>, with C the *measured* objective.
   const dvec& obj = plan.objective();
@@ -33,6 +33,8 @@ double adjoint_value_and_gradient(const QaoaPlan& plan, EvalWorkspace& ws,
 
   const dvec& phase = plan.phase_values();
   const auto& layers = plan.layers();
+  ws.hpsi.set_shard_request(ws.shards);
+  ws.hpsi.resize(plan.dim());  // apply_ham outputs must be presized
 
   // Reverse sweep: unapply each layer from both psi and lambda, harvesting
   // angle gradients along the way.

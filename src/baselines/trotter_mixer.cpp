@@ -4,6 +4,7 @@
 
 #include "bits/bitops.hpp"
 #include "common/error.hpp"
+#include "linalg/vector_ops.hpp"
 
 namespace fastqaoa::baselines {
 
@@ -32,7 +33,8 @@ std::string TrotterXYMixer::name() const {
   return "trotter-xy(steps=" + std::to_string(steps_) + ")";
 }
 
-void TrotterXYMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
+void TrotterXYMixer::apply_exp(StateRef psi, double beta,
+                               cvec& scratch) const {
   (void)scratch;
   FASTQAOA_CHECK(psi.size() == dim(), "TrotterXYMixer: state size mismatch");
   const double theta_total = beta / static_cast<double>(steps_);
@@ -60,13 +62,15 @@ void TrotterXYMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
   }
 }
 
-void TrotterXYMixer::apply_ham(const cvec& in, cvec& out,
+void TrotterXYMixer::apply_ham(ConstStateRef in, StateRef out,
                                cvec& scratch) const {
   (void)scratch;
   FASTQAOA_CHECK(in.size() == dim(), "TrotterXYMixer: state size mismatch");
+  FASTQAOA_CHECK(out.size() == dim(),
+                 "TrotterXYMixer: apply_ham output must be presized");
   // Exact H application (H = sum_e 2 w_e swap_e on differing bits); the
   // Trotterization only approximates the exponential, not H itself.
-  out.assign(dim(), cplx{0.0, 0.0});
+  linalg::fill(out, cplx{0.0, 0.0});
   for (std::size_t e = 0; e < pairs_.edges().size(); ++e) {
     const double w = 2.0 * pairs_.edges()[e].weight;
     const auto& table = partner_[e];

@@ -28,8 +28,9 @@ class TrotterXYMixer final : public Mixer {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] int steps() const noexcept { return steps_; }
 
-  void apply_exp(cvec& psi, double beta, cvec& scratch) const override;
-  void apply_ham(const cvec& in, cvec& out, cvec& scratch) const override;
+  void apply_exp(StateRef psi, double beta, cvec& scratch) const override;
+  void apply_ham(ConstStateRef in, StateRef out,
+                 cvec& scratch) const override;
 
  private:
   StateSpace space_;

@@ -16,6 +16,19 @@
 
 namespace fastqaoa {
 
+/// Alignment of every tracked allocation (one cache line).
+inline constexpr std::size_t kTrackedAlignment = 64;
+
+/// The number of bytes actually allocated (and tracked) for a request of
+/// `bytes`: aligned_alloc requires a size that is a multiple of the
+/// alignment, so every tracked allocation is padded up to 64 bytes. Byte
+/// budgets that compare against MemoryTracker totals must use this, not the
+/// raw requested size, or they drift low by up to 63 bytes per buffer.
+constexpr std::size_t tracked_alloc_bytes(std::size_t bytes) noexcept {
+  return (bytes + kTrackedAlignment - 1) / kTrackedAlignment *
+         kTrackedAlignment;
+}
+
 /// Process-wide allocation statistics for tracked containers.
 class MemoryTracker {
  public:
@@ -55,7 +68,7 @@ template <typename T>
 class TrackedAlignedAllocator {
  public:
   using value_type = T;
-  static constexpr std::size_t kAlignment = 64;
+  static constexpr std::size_t kAlignment = kTrackedAlignment;
 
   TrackedAlignedAllocator() noexcept = default;
   template <typename U>
@@ -82,7 +95,7 @@ class TrackedAlignedAllocator {
 
  private:
   static constexpr std::size_t round_up(std::size_t bytes) noexcept {
-    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+    return tracked_alloc_bytes(bytes);
   }
 };
 

@@ -1,0 +1,177 @@
+#include "common/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/threading.hpp"
+
+#ifdef __linux__
+#include <dirent.h>
+#include <unistd.h>
+#endif
+
+namespace fastqaoa {
+
+namespace {
+
+std::string read_first_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in) std::getline(in, line);
+  return line;
+}
+
+/// Pull "Node N MemTotal: X kB" out of a node's meminfo file.
+std::size_t read_node_mem_bytes(const std::string& meminfo_path) {
+  std::ifstream in(meminfo_path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find("MemTotal:");
+    if (pos == std::string::npos) continue;
+    std::istringstream rest(line.substr(pos + 9));
+    std::size_t kb = 0;
+    if (rest >> kb) return kb * 1024;
+  }
+  return 0;
+}
+
+int hardware_cpu_count() {
+#ifdef __linux__
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  if (n > 0) return static_cast<int>(n);
+#endif
+  return 1;
+}
+
+bool is_pow2(index_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+int floor_pow2(int v) {
+  int p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> cpus;
+  std::istringstream in(list);
+  std::string tok;
+  while (std::getline(in, tok, ',')) {
+    if (tok.empty()) continue;
+    const auto dash = tok.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(tok));
+      } else {
+        const int lo = std::stoi(tok.substr(0, dash));
+        const int hi = std::stoi(tok.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (...) {
+      // Malformed range (trailing newline garbage, etc.) — skip it.
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology detect_topology() {
+  Topology topo;
+#ifdef __linux__
+  const std::string base = "/sys/devices/system/node";
+  if (DIR* dir = opendir(base.c_str())) {
+    while (dirent* ent = readdir(dir)) {
+      const std::string name = ent->d_name;
+      if (name.rfind("node", 0) != 0 || name.size() <= 4) continue;
+      bool numeric = true;
+      for (std::size_t i = 4; i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9') {
+          numeric = false;
+          break;
+        }
+      }
+      if (!numeric) continue;
+      NumaNode node;
+      node.id = std::atoi(name.c_str() + 4);
+      node.cpus = parse_cpulist(read_first_line(base + "/" + name + "/cpulist"));
+      node.mem_bytes = read_node_mem_bytes(base + "/" + name + "/meminfo");
+      // Memory-only nodes (CXL expanders) get no compute shard.
+      if (!node.cpus.empty()) topo.nodes.push_back(std::move(node));
+    }
+    closedir(dir);
+  }
+#endif
+  if (!topo.nodes.empty()) {
+    std::sort(topo.nodes.begin(), topo.nodes.end(),
+              [](const NumaNode& a, const NumaNode& b) { return a.id < b.id; });
+    topo.from_sysfs = true;
+    for (const NumaNode& node : topo.nodes)
+      topo.total_cpus += static_cast<int>(node.cpus.size());
+    return topo;
+  }
+
+  // Fallback: one synthetic node spanning every online CPU.
+  NumaNode node;
+  node.id = 0;
+  const int ncpu = hardware_cpu_count();
+  node.cpus.reserve(static_cast<std::size_t>(ncpu));
+  for (int c = 0; c < ncpu; ++c) node.cpus.push_back(c);
+  topo.total_cpus = ncpu;
+  topo.nodes.push_back(std::move(node));
+  topo.from_sysfs = false;
+  return topo;
+}
+
+const Topology& topology() {
+  static const Topology topo = detect_topology();
+  return topo;
+}
+
+int shard_request(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("FASTQAOA_SHARDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 0;
+}
+
+ShardPlan plan_shards(index_t size, int requested) {
+  ShardPlan plan;
+  plan.shards = 1;
+  plan.shard_elems = size;
+
+  int want = 0;
+  if (requested > 0) {
+    want = requested;
+    plan.source = "request";
+  } else if (const char* env = std::getenv("FASTQAOA_SHARDS");
+             env != nullptr && std::atoi(env) > 0) {
+    want = std::atoi(env);
+    plan.source = "env";
+  } else {
+    const Topology& topo = topology();
+    want = std::max(1, topo.node_count());
+    plan.source = topo.from_sysfs ? "topology" : "fallback";
+  }
+
+  // Power-of-two shard count, and never shard below the kernel block size
+  // (the sharded WHT drivers would delegate to the monolithic path anyway).
+  int k = floor_pow2(std::max(1, want));
+  if (!is_pow2(size) || size < 2 * kMinShardElems) {
+    k = 1;
+  } else {
+    while (k > 1 && size / static_cast<index_t>(k) < kMinShardElems) k /= 2;
+  }
+  plan.shards = k;
+  plan.shard_elems = k > 0 ? size / static_cast<index_t>(k) : size;
+  plan.threads_per_shard = std::max(1, num_threads() / std::max(1, k));
+  return plan;
+}
+
+}  // namespace fastqaoa

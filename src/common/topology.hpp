@@ -1,0 +1,74 @@
+#pragma once
+/// \file topology.hpp
+/// CPU / NUMA topology detection and the shard-plan policy used by the
+/// sharded statevector layer (ShardedState).
+///
+/// Everything here is parsed straight from /sys — no libnuma dependency —
+/// so the library keeps building on machines (and containers) that expose
+/// no NUMA information at all; those fall back to a single node spanning
+/// every online CPU.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fastqaoa {
+
+/// One NUMA node as reported by /sys/devices/system/node/nodeN.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;      ///< logical CPUs local to this node
+  std::size_t mem_bytes = 0;  ///< MemTotal of the node (0 when unreadable)
+};
+
+/// Machine topology snapshot.
+struct Topology {
+  std::vector<NumaNode> nodes;
+  int total_cpus = 0;
+  bool from_sysfs = false;  ///< true when read from /sys, false on fallback
+
+  int node_count() const noexcept { return static_cast<int>(nodes.size()); }
+};
+
+/// Detect the machine topology (uncached). Reads
+/// /sys/devices/system/node/node*/{cpulist,meminfo}; when that hierarchy is
+/// absent, synthesizes a single node spanning all online CPUs.
+Topology detect_topology();
+
+/// Cached topology — detected once on first use, shared afterwards.
+const Topology& topology();
+
+/// Parse a kernel cpulist string ("0-3,8,10-11") into CPU ids.
+/// Exposed for tests; malformed ranges are skipped.
+std::vector<int> parse_cpulist(const std::string& list);
+
+/// Shard plan for one statevector.
+struct ShardPlan {
+  int shards = 1;               ///< K — always a power of two, >= 1
+  int threads_per_shard = 1;    ///< OpenMP threads serving each shard
+  index_t shard_elems = 0;      ///< amplitudes per shard (size / K)
+  std::string source;           ///< "request", "env", "topology", "fallback"
+};
+
+/// Smallest shard the kernels will operate on. Matches the blocked-WHT
+/// granularity (kLog2Block = 12): a shard below one kernel block would
+/// force the sharded drivers to delegate to the monolithic path anyway.
+inline constexpr index_t kMinShardElems = index_t{1} << 12;
+
+/// Resolve the shard count for a state of `size` amplitudes.
+///
+/// Precedence: explicit `requested` (--shards / ServiceConfig) beats the
+/// FASTQAOA_SHARDS environment variable, which beats one-shard-per-NUMA-node
+/// from the detected topology. Whatever the source asked for is then
+/// rounded down to a power of two and clamped so each shard keeps at least
+/// kMinShardElems amplitudes; small states therefore always resolve to a
+/// single shard regardless of the request.
+ShardPlan plan_shards(index_t size, int requested = 0);
+
+/// The raw shard request currently in effect (0 = auto): explicit value if
+/// nonzero, else FASTQAOA_SHARDS, else 0.
+int shard_request(int requested = 0);
+
+}  // namespace fastqaoa

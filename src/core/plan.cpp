@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/topology.hpp"
 #include "linalg/kernels/kernels.hpp"
 #include "linalg/vector_ops.hpp"
 #include "obs/trace.hpp"
@@ -105,7 +106,8 @@ void QaoaPlan::validate_and_finalize(QaoaPlanOptions options) {
 }
 
 void EvalWorkspace::reserve(const QaoaPlan& plan) {
-  psi.reserve(plan.dim());
+  psi.set_shard_request(shards);
+  psi.resize(plan.dim());
   scratch.reserve(plan.dim());
 }
 
@@ -121,6 +123,7 @@ double evaluate(const QaoaPlan& plan, EvalWorkspace& ws,
   FASTQAOA_OBS_TIMED("core.evaluate");
   FASTQAOA_OBS_HIST_TIMED("core.evaluate.latency_seconds");
   FASTQAOA_TRACE_SPAN("evaluate");
+  ws.psi.set_shard_request(ws.shards);
   ws.psi = plan.initial_state();
   const dvec& phase = plan.phase_values();
   const auto& layers = plan.layers();
@@ -205,9 +208,13 @@ void evaluate_batch(const QaoaPlan& plan, EvalWorkspace& ws,
   // 64-cplx pad that skews the cache-set mapping of equal offsets across
   // lanes (power-of-two strides alias brutally in set-associative caches).
   const index_t stride = ((d + index_t{3}) & ~index_t{3}) + 64;
+  ws.batch_states.set_shard_request(ws.shards);
   ws.batch_states.resize(stride * static_cast<index_t>(b_count));
   ws.batch_stride = stride;
   ws.batch_lanes = b_count;
+  // Shard count appropriate for ONE lane of length d (the batch matrix as a
+  // whole is not what the kernels shard over).
+  const int lane_shards = plan_shards(d, ws.shards).shards;
 
   const dvec& phase = plan.phase_values();
   const linalg::DiagDict* pdict = &plan.phase_dict();
@@ -221,7 +228,7 @@ void evaluate_batch(const QaoaPlan& plan, EvalWorkspace& ws,
   for (int l0 = 0; l0 < b_count; l0 += kEvalBatchTile) {
     const int lanes = std::min(kEvalBatchTile, b_count - l0);
     StateBatch tile{ws.batch_states.data() + stride * static_cast<index_t>(l0),
-                    stride, lanes, nullptr};
+                    stride, lanes, nullptr, lane_shards};
     std::size_t beta_index = 0;
     bool fused_expect = false;
     for (std::size_t k = 0; k < layers.size(); ++k) {

@@ -19,6 +19,7 @@
 
 #include "common/types.hpp"
 #include "linalg/diag_dict.hpp"
+#include "linalg/sharded_state.hpp"
 #include "mixers/mixer.hpp"
 #include "obs/metrics.hpp"
 #include "problems/objective.hpp"
@@ -125,20 +126,26 @@ class QaoaPlan {
 /// fields psi and expectation are left untouched and keep reflecting the
 /// last single-point evaluate().
 struct EvalWorkspace {
-  cvec psi;      ///< statevector of the last evaluate()
-  cvec scratch;  ///< mixer workspace
+  /// Shard request for the statevector buffers: 0 = auto (FASTQAOA_SHARDS,
+  /// then one shard per detected NUMA node), otherwise an explicit count
+  /// (rounded to a power of two, clamped for small states — see
+  /// fastqaoa::plan_shards). Applied when buffers are (re)sized; results
+  /// are bit-identical at every shard count.
+  int shards = 0;
+  linalg::ShardedState psi;  ///< statevector of the last evaluate()
+  cvec scratch;              ///< mixer workspace
   /// Batched-evaluation state matrix: lane l of the last evaluate_batch()
   /// (B > 1) occupies batch_states[l*batch_stride .. l*batch_stride+dim).
   /// The stride is padded past dim to keep lanes 64-byte aligned while
   /// skewing their cache-set mapping; the pad tail is uninitialized.
-  cvec batch_states;
+  linalg::ShardedState batch_states;
   index_t batch_stride = 0;  ///< lane stride of batch_states, in elements
   int batch_lanes = 0;       ///< lane count of the last evaluate_batch()
   /// Adjoint-gradient buffers (see autodiff/adjoint.hpp); unused — and
   /// unallocated — by plain evaluation.
-  cvec adjoint_psi;
-  cvec lambda;
-  cvec hpsi;
+  linalg::ShardedState adjoint_psi;
+  linalg::ShardedState lambda;
+  linalg::ShardedState hpsi;
   /// <C> of the last evaluate().
   double expectation = 0.0;
   /// This workspace's metric sink. evaluate() binds it as the thread's
@@ -149,7 +156,9 @@ struct EvalWorkspace {
   obs::MetricsSink metrics;
 
   /// Pre-size the forward buffers for a plan (optional warm-up; evaluation
-  /// grows them on demand anyway).
+  /// grows them on demand anyway). Applies the shard request and
+  /// first-touches psi so its pages land on their shard's NUMA node before
+  /// the first evaluation.
   void reserve(const QaoaPlan& plan);
 
   /// Lane l's final statevector after the last evaluate_batch(). For a

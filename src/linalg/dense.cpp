@@ -10,7 +10,7 @@ namespace {
 using std::ptrdiff_t;
 }  // namespace
 
-void gemv(const dmat& a, const cvec& x, cvec& y) {
+void gemv(const dmat& a, ConstStateRef x, StateRef y) {
   FASTQAOA_CHECK(a.cols() == x.size(), "gemv: dimension mismatch");
   FASTQAOA_CHECK(a.rows() == y.size(), "gemv: output dimension mismatch");
   FASTQAOA_CHECK(x.data() != y.data(), "gemv: x and y must not alias");
@@ -18,7 +18,7 @@ void gemv(const dmat& a, const cvec& x, cvec& y) {
                               y.data());
 }
 
-void gemv_transpose(const dmat& a, const cvec& x, cvec& y) {
+void gemv_transpose(const dmat& a, ConstStateRef x, StateRef y) {
   FASTQAOA_CHECK(a.rows() == x.size(), "gemv_transpose: dimension mismatch");
   FASTQAOA_CHECK(a.cols() == y.size(), "gemv_transpose: output mismatch");
   FASTQAOA_CHECK(x.data() != y.data(), "gemv_transpose: x and y must not alias");
@@ -26,7 +26,7 @@ void gemv_transpose(const dmat& a, const cvec& x, cvec& y) {
                                 y.data());
 }
 
-void gemv(const cmat& a, const cvec& x, cvec& y) {
+void gemv(const cmat& a, ConstStateRef x, StateRef y) {
   FASTQAOA_CHECK(a.cols() == x.size(), "gemv: dimension mismatch");
   FASTQAOA_CHECK(a.rows() == y.size(), "gemv: output dimension mismatch");
   FASTQAOA_CHECK(x.data() != y.data(), "gemv: x and y must not alias");
@@ -34,7 +34,7 @@ void gemv(const cmat& a, const cvec& x, cvec& y) {
                               y.data());
 }
 
-void gemv_adjoint(const cmat& a, const cvec& x, cvec& y) {
+void gemv_adjoint(const cmat& a, ConstStateRef x, StateRef y) {
   FASTQAOA_CHECK(a.rows() == x.size(), "gemv_adjoint: dimension mismatch");
   FASTQAOA_CHECK(a.cols() == y.size(), "gemv_adjoint: output mismatch");
   FASTQAOA_CHECK(x.data() != y.data(), "gemv_adjoint: x and y must not alias");

@@ -17,6 +17,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "linalg/sharded_state.hpp"
 
 namespace fastqaoa::linalg {
 
@@ -78,17 +79,18 @@ class Matrix {
 using dmat = Matrix<double>;
 using cmat = Matrix<cplx>;
 
-/// y <- A x for real A, complex x (two fused real GEMVs). y must not alias x.
-void gemv(const dmat& a, const cvec& x, cvec& y);
+/// y <- A x for real A, complex x (two fused real GEMVs). y must not alias x
+/// and must already be sized to a.rows().
+void gemv(const dmat& a, ConstStateRef x, StateRef y);
 
 /// y <- A^T x for real A (column traversal, cache-blocked). No aliasing.
-void gemv_transpose(const dmat& a, const cvec& x, cvec& y);
+void gemv_transpose(const dmat& a, ConstStateRef x, StateRef y);
 
 /// y <- A x for complex A. No aliasing.
-void gemv(const cmat& a, const cvec& x, cvec& y);
+void gemv(const cmat& a, ConstStateRef x, StateRef y);
 
 /// y <- A^H x for complex A (conjugate transpose). No aliasing.
-void gemv_adjoint(const cmat& a, const cvec& x, cvec& y);
+void gemv_adjoint(const cmat& a, ConstStateRef x, StateRef y);
 
 /// C <- A B (naive blocked product; used for tests and one-off setup work,
 /// never in the simulation hot loop).

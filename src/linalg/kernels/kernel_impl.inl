@@ -646,6 +646,177 @@ static double k_phase_wht_expect(cplx* a, const double* d, double angle,
 }
 
 // ---------------------------------------------------------------------------
+// Sharded WHT driver. The state is K contiguous shards of S = n/K elements
+// (K a power of two, S a multiple of the bottom-block size). Viewing the
+// state after the bottom pass as a (row, column) matrix — row = one
+// 2^kLog2Block block, column = offset within a block — every top stage
+// butterflies along rows with the column offset invariant, so:
+//
+//   * stages with row stride < S/bsize stay inside one shard. Pass B runs
+//     ALL of them back-to-back on one (shard, column-chunk) tile while it is
+//     cache-resident — one memory sweep instead of one per stage, and with
+//     shard-major static scheduling each shard's tiles go to one contiguous
+//     thread group (the per-shard team), all touching only that shard's
+//     NUMA pages;
+//   * the top log2(K) stages cross shards in pairs (shard s exchanges with
+//     s XOR 2^t at cross stage t — the fixed hypercube schedule) and run as
+//     classic full-width strided passes (Pass C);
+//   * when obj is present, the LAST pass (radix-4 or radix-2, exactly as
+//     the monolithic driver splits top into radix-4 pairs + optional
+//     radix-2) is replayed verbatim from the monolithic code — same item
+//     grid, same per-item serial accumulation, same partials layout, same
+//     serial fold in item order (item order == shard order, since items are
+//     laid out shard-major). Butterflies are elementwise and
+//     association-fixed, so regrouping the earlier stages never changes any
+//     bit; replaying the order-sensitive final reduction makes the result
+//     bit-identical to the monolithic driver at ANY shard count.
+//
+// Degenerate geometries (shards <= 1, state at or below the serial
+// threshold, n not divisible into block-aligned shards) delegate to
+// wht_driver, so shards == 1 takes the exact pre-sharding code path.
+// ---------------------------------------------------------------------------
+
+/// Pass B: all shard-local top stages (radix-2 row strides 1 .. 2^(stages-1)
+/// in block-row units) applied per (shard, column-chunk) tile, executed by
+/// the enclosing OpenMP team. Stage pairs are fused radix-4 exactly like the
+/// monolithic top passes pair them.
+static void shard_local_top(double* a, index_t shard_elems, index_t shards,
+                            int stages) {
+  const index_t bsize = index_t{1} << kLog2Block;
+  const index_t jw = min_i(bsize, index_t{256});  // column chunk (complex)
+  const index_t cpb = bsize / jw;                 // chunks per block row
+  const index_t rows = shard_elems >> kLog2Block;
+  const std::ptrdiff_t items =
+      static_cast<std::ptrdiff_t>(shards) * static_cast<std::ptrdiff_t>(cpb);
+#pragma omp for schedule(static)
+  for (std::ptrdiff_t it = 0; it < items; ++it) {
+    const index_t s = static_cast<index_t>(it) / cpb;
+    const index_t j0 = (static_cast<index_t>(it) % cpb) * jw;
+    double* tile = a + 2 * (s * shard_elems + j0);
+    index_t q = 1;  // row stride of the current stage
+    int t = 0;
+    for (; t + 2 <= stages; t += 2, q <<= 2) {
+      for (index_t rb = 0; rb < rows; rb += 4 * q) {
+        for (index_t rr = 0; rr < q; ++rr) {
+          double* p0 = tile + 2 * (rb + rr) * bsize;
+          butterfly4(p0, p0 + 2 * q * bsize, p0 + 4 * q * bsize,
+                     p0 + 6 * q * bsize, 2 * jw);
+        }
+      }
+    }
+    if (t < stages) {
+      for (index_t rb = 0; rb < rows; rb += 2 * q) {
+        for (index_t rr = 0; rr < q; ++rr) {
+          double* p0 = tile + 2 * (rb + rr) * bsize;
+          butterfly2(p0, p0 + 2 * q * bsize, 2 * jw);
+        }
+      }
+    }
+  }
+}
+
+static double sharded_wht_driver(cplx* av, const double* d, double angle,
+                                 double scale, const double* obj, index_t n,
+                                 int shards) {
+  const index_t bsize = index_t{1} << kLog2Block;
+  if (shards <= 1 || n <= kWhtSerial ||
+      n % static_cast<index_t>(shards) != 0 ||
+      (n / static_cast<index_t>(shards)) % bsize != 0) {
+    return wht_driver(av, d, angle, scale, obj, n);
+  }
+  double* a = dp(av);
+  const bool prepass = d != nullptr || scale != 1.0;
+  const index_t K = static_cast<index_t>(shards);
+  const index_t S = n / K;  // elements per shard
+  const index_t nblocks = n >> kLog2Block;
+
+  int top = 0;  // number of top radix-2 stages
+  for (index_t m = bsize; m < n; m <<= 1) ++top;
+  const int n2 = top % 2;
+  int c = 0;  // cross-shard stages (log2 K)
+  for (index_t m = 1; m < K; m <<= 1) ++c;
+  const int r = top - c;  // shard-local top stages
+  // Stages claimed by the obj-carrying final pass (the monolithic driver
+  // ends on a radix-2 pass when top is odd, a radix-4 pass when even).
+  const int nf = obj != nullptr ? (n2 != 0 ? 1 : 2) : 0;
+  const int local_end = r < top - nf ? r : top - nf;  // Pass B: [0, local_end)
+
+  // Partials for the fused expectation — the monolithic layout, verbatim.
+  index_t last_items = 0;
+  double* part = nullptr;
+  if (obj != nullptr) {
+    index_t h_last;
+    index_t groups;
+    if (n2 != 0) {
+      h_last = n >> 1;
+      groups = n / (2 * h_last);
+    } else {
+      h_last = n >> 2;
+      groups = n / (4 * h_last);
+    }
+    last_items = groups * (h_last / min_i(h_last, kJChunk));
+    part = red_buffer(last_items);
+  }
+
+  double result = 0.0;
+#pragma omp parallel
+  {
+    // Pass A: bottom blocks, the exact monolithic grid (shard-major static
+    // schedule: each shard's blocks land on one contiguous thread group).
+#pragma omp for schedule(static)
+    for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nblocks);
+         ++b) {
+      const index_t off = static_cast<index_t>(b) * bsize;
+      double* blk = a + 2 * off;
+      if (prepass) {
+        phase_scale_range(blk, d != nullptr ? d + off : nullptr, angle, scale,
+                          bsize);
+      }
+      wht_serial_block(blk, bsize);
+    }
+    // Pass B: every shard-local top stage not claimed by the final pass,
+    // fused into one cache-resident sweep per (shard, column-chunk) tile.
+    if (local_end > 0) shard_local_top(a, S, K, local_end);
+    // Pass C: cross-shard exchange stages (hypercube schedule), excluding
+    // the final-pass stages.
+    for (int t = r; t < top - nf; ++t) {
+      top_pass_radix2(a, n, bsize << t, nullptr, nullptr);
+    }
+    // Final pass: replay the monolithic driver's obj-carrying last pass.
+    if (nf == 2) {
+      top_pass_radix4(a, n, n >> 2, obj, part);
+    } else if (nf == 1) {
+      top_pass_radix2(a, n, n >> 1, obj, part);
+    }
+  }
+  if (obj != nullptr) {
+    for (index_t i = 0; i < last_items; ++i) result += part[i];
+  }
+  return result;
+}
+
+static void k_wht_sharded(cplx* a, index_t n, int shards) {
+  sharded_wht_driver(a, nullptr, 0.0, 1.0, nullptr, n, shards);
+}
+
+static void k_phase_wht_sharded(cplx* a, const double* d, double angle,
+                                double scale, index_t n, int shards) {
+  sharded_wht_driver(a, d, angle, scale, nullptr, n, shards);
+}
+
+static double k_wht_expect_sharded(cplx* a, const double* obj, index_t n,
+                                   int shards) {
+  return sharded_wht_driver(a, nullptr, 0.0, 1.0, obj, n, shards);
+}
+
+static double k_phase_wht_expect_sharded(cplx* a, const double* d,
+                                         double angle, double scale,
+                                         const double* obj, index_t n,
+                                         int shards) {
+  return sharded_wht_driver(a, d, angle, scale, obj, n, shards);
+}
+
+// ---------------------------------------------------------------------------
 // Batched WHT driver: `lanes` statevectors, lane l at av + l*stride, carried
 // through the transform together so the d/obj tables are swept once per
 // batch instead of once per lane, and so the strided top stages — separate
@@ -959,6 +1130,75 @@ static void k_phase_wht_expect_batch(cplx* a, index_t stride, int lanes,
                                      index_t n) {
   batch_wht_driver(a, stride, lanes, nullptr, d, dq, angles, scale, obj, out,
                    n);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded batched driver. With shards engaged, lanes run sequentially
+// through the sharded single-state driver: the batched driver's per-lane
+// contract is bit-identity with `lanes` sequential single-state calls, and
+// the sharded single driver is bit-identical to the single-state driver, so
+// this composition preserves the batch contract exactly while keeping each
+// 2^n sweep NUMA-local. (At large n — the only regime where sharding
+// engages — one statevector already saturates memory bandwidth, so
+// lane-sequential costs nothing; the batched slab/lane tiling exists for
+// the many-small-lanes regime, which delegates below.)
+// ---------------------------------------------------------------------------
+
+static void sharded_batch_wht_driver(cplx* av, index_t stride, int lanes,
+                                     const cplx* initv, const double* d,
+                                     const QuantizedDiag* dq,
+                                     const double* angles, double scale,
+                                     const double* obj, double* out, index_t n,
+                                     int shards) {
+  const index_t bsize = index_t{1} << kLog2Block;
+  if (shards <= 1 || n <= kWhtSerial ||
+      n % static_cast<index_t>(shards) != 0 ||
+      (n / static_cast<index_t>(shards)) % bsize != 0) {
+    batch_wht_driver(av, stride, lanes, initv, d, dq, angles, scale, obj, out,
+                     n);
+    return;
+  }
+  const index_t nblocks = n >> kLog2Block;
+  for (int l = 0; l < lanes; ++l) {
+    cplx* a = av + stride * static_cast<index_t>(l);
+    if (initv != nullptr) {
+      double* pa = dp(a);
+      const double* ps = dp(initv);
+#pragma omp parallel for schedule(static)
+      for (std::ptrdiff_t b = 0; b < static_cast<std::ptrdiff_t>(nblocks);
+           ++b) {
+        const index_t off = static_cast<index_t>(b) * bsize;
+        copy_range(pa + 2 * off, ps + 2 * off, bsize);
+      }
+    }
+    const double r = sharded_wht_driver(
+        a, d, angles != nullptr ? angles[l] : 0.0, scale, obj, n, shards);
+    if (out != nullptr) out[l] = r;
+  }
+}
+
+static void k_phase_wht_batch_sharded(cplx* a, index_t stride, int lanes,
+                                      const cplx* init, const double* d,
+                                      const QuantizedDiag* dq,
+                                      const double* angles, double scale,
+                                      index_t n, int shards) {
+  sharded_batch_wht_driver(a, stride, lanes, init, d, dq, angles, scale,
+                           nullptr, nullptr, n, shards);
+}
+
+static void k_wht_expect_batch_sharded(cplx* a, index_t stride, int lanes,
+                                       const double* obj, double* out,
+                                       index_t n, int shards) {
+  sharded_batch_wht_driver(a, stride, lanes, nullptr, nullptr, nullptr,
+                           nullptr, 1.0, obj, out, n, shards);
+}
+
+static void k_phase_wht_expect_batch_sharded(
+    cplx* a, index_t stride, int lanes, const double* d,
+    const QuantizedDiag* dq, const double* angles, double scale,
+    const double* obj, double* out, index_t n, int shards) {
+  sharded_batch_wht_driver(a, stride, lanes, nullptr, d, dq, angles, scale,
+                           obj, out, n, shards);
 }
 
 // ---------------------------------------------------------------------------
@@ -1481,6 +1721,13 @@ inline KernelBackend make_backend(const char* name) {
   b.phase_wht = k_phase_wht;
   b.wht_expect = k_wht_expect;
   b.phase_wht_expect = k_phase_wht_expect;
+  b.wht_sharded = k_wht_sharded;
+  b.phase_wht_sharded = k_phase_wht_sharded;
+  b.wht_expect_sharded = k_wht_expect_sharded;
+  b.phase_wht_expect_sharded = k_phase_wht_expect_sharded;
+  b.phase_wht_batch_sharded = k_phase_wht_batch_sharded;
+  b.wht_expect_batch_sharded = k_wht_expect_batch_sharded;
+  b.phase_wht_expect_batch_sharded = k_phase_wht_expect_batch_sharded;
   b.phase_wht_batch = k_phase_wht_batch;
   b.wht_expect_batch = k_wht_expect_batch;
   b.phase_wht_expect_batch = k_phase_wht_expect_batch;

@@ -1,0 +1,118 @@
+#include "linalg/sharded_state.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/alloc.hpp"
+#include "common/threading.hpp"
+
+namespace fastqaoa::linalg {
+
+StateRef::StateRef(ShardedState& s) noexcept
+    : ptr(s.data()), len(s.size()), shard_count(s.shards()) {}
+
+ConstStateRef::ConstStateRef(const ShardedState& s) noexcept
+    : ptr(s.data()), len(s.size()), shard_count(s.shards()) {}
+
+namespace {
+
+/// Parallel elementwise loop over contiguous 4096-element chunks with a
+/// static schedule — the same thread-to-range mapping the kernels' blocked
+/// `omp for schedule(static)` loops use, so first-touch page placement
+/// matches the sweeps that follow. Serial below one chunk of work or when
+/// already inside a parallel region.
+template <typename Fn>
+void parallel_ranges(index_t n, Fn&& fn) {
+  constexpr index_t kChunk = 1 << 12;
+  if (n <= kChunk || in_parallel()) {
+    fn(index_t{0}, n);
+    return;
+  }
+  const long long nchunks =
+      static_cast<long long>((n + kChunk - 1) / kChunk);
+#pragma omp parallel for schedule(static)
+  for (long long c = 0; c < nchunks; ++c) {
+    const index_t lo = kChunk * static_cast<index_t>(c);
+    const index_t hi = std::min(n, lo + kChunk);
+    fn(lo, hi);
+  }
+}
+
+}  // namespace
+
+void ShardedState::resize(index_t n) {
+  if (n == size_) {
+    shards_ = plan_shards(n, requested_).shards;
+    return;
+  }
+  if (n <= capacity_) {
+    size_ = n;
+    shards_ = plan_shards(n, requested_).shards;
+    return;
+  }
+  const std::size_t bytes = tracked_alloc_bytes(n * sizeof(cplx));
+  auto* fresh = static_cast<cplx*>(std::aligned_alloc(kTrackedAlignment,
+                                                      bytes));
+  if (fresh == nullptr) throw std::bad_alloc{};
+  MemoryTracker::add(bytes);
+  // First touch: zero the new allocation in parallel so pages are placed on
+  // the nodes whose threads will sweep them, then bring over the old prefix.
+  parallel_ranges(n, [&](index_t lo, index_t hi) {
+    std::memset(fresh + lo, 0, (hi - lo) * sizeof(cplx));
+  });
+  if (size_ > 0) std::memcpy(fresh, data_, size_ * sizeof(cplx));
+  release();
+  data_ = fresh;
+  capacity_ = bytes / sizeof(cplx);
+  size_ = n;
+  shards_ = plan_shards(n, requested_).shards;
+}
+
+void ShardedState::assign(index_t n, cplx value) {
+  resize(n);
+  cplx* dst = data_;
+  parallel_ranges(n, [&](index_t lo, index_t hi) {
+    std::fill(dst + lo, dst + hi, value);
+  });
+}
+
+ShardedState& ShardedState::operator=(const ShardedState& other) {
+  if (this == &other) return *this;
+  requested_ = other.requested_;
+  resize(other.size_);
+  const cplx* src = other.data_;
+  cplx* dst = data_;
+  parallel_ranges(size_, [&](index_t lo, index_t hi) {
+    std::memcpy(dst + lo, src + lo, (hi - lo) * sizeof(cplx));
+  });
+  return *this;
+}
+
+ShardedState& ShardedState::operator=(const cvec& v) {
+  resize(v.size());
+  const cplx* src = v.data();
+  cplx* dst = data_;
+  parallel_ranges(size_, [&](index_t lo, index_t hi) {
+    std::memcpy(dst + lo, src + lo, (hi - lo) * sizeof(cplx));
+  });
+  return *this;
+}
+
+cvec ShardedState::to_vec() const {
+  cvec out(size_);
+  std::memcpy(out.data(), data_, size_ * sizeof(cplx));
+  return out;
+}
+
+void ShardedState::release() noexcept {
+  if (data_ == nullptr) return;
+  MemoryTracker::sub(tracked_alloc_bytes(capacity_ * sizeof(cplx)));
+  std::free(data_);
+  data_ = nullptr;
+  size_ = 0;
+  capacity_ = 0;
+}
+
+}  // namespace fastqaoa::linalg

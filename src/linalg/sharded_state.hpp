@@ -1,0 +1,172 @@
+#pragma once
+/// \file sharded_state.hpp
+/// NUMA-aware sharded statevector storage and the lightweight views the
+/// kernel / mixer layers operate on.
+///
+/// A ShardedState is ONE contiguous 64-byte-aligned allocation of 2^n
+/// amplitudes, logically split into K contiguous shards (K a power of two,
+/// chosen by fastqaoa::plan_shards from --shards / FASTQAOA_SHARDS / the
+/// detected NUMA topology). Pages are first-touch-initialized in parallel,
+/// shard-major with a static schedule — the same thread-to-range mapping the
+/// kernels' `omp for schedule(static)` loops use — so on a multi-socket
+/// machine each shard's pages land on the socket whose threads sweep it.
+///
+/// The shard count is a *placement and scheduling* hint: the numerical
+/// results of every kernel are bit-identical at any shard count and thread
+/// count (see docs/architecture.md, "Sharded statevector layer"). With
+/// K == 1 the kernels take exactly the pre-sharding blocked code path.
+
+#include <cstddef>
+#include <utility>
+
+#include "common/topology.hpp"
+#include "common/types.hpp"
+
+namespace fastqaoa::linalg {
+
+class ShardedState;
+
+/// Mutable view of a statevector: raw amplitudes plus the shard count the
+/// kernels should schedule for. Implicitly constructible from both cvec and
+/// ShardedState so existing call sites keep compiling unchanged (a plain
+/// cvec is a one-shard state).
+struct StateRef {
+  cplx* ptr = nullptr;
+  index_t len = 0;
+  int shard_count = 1;
+
+  StateRef() = default;
+  StateRef(cvec& v) noexcept  // NOLINT(google-explicit-constructor)
+      : ptr(v.data()), len(v.size()) {}
+  StateRef(ShardedState& s) noexcept;  // NOLINT(google-explicit-constructor)
+  StateRef(cplx* p, index_t n, int shards = 1) noexcept
+      : ptr(p), len(n), shard_count(shards < 1 ? 1 : shards) {}
+
+  cplx* data() const noexcept { return ptr; }
+  index_t size() const noexcept { return len; }
+  bool empty() const noexcept { return len == 0; }
+  int shards() const noexcept { return shard_count; }
+  cplx& operator[](index_t i) const noexcept { return ptr[i]; }
+  cplx* begin() const noexcept { return ptr; }
+  cplx* end() const noexcept { return ptr + len; }
+};
+
+/// Read-only counterpart of StateRef.
+struct ConstStateRef {
+  const cplx* ptr = nullptr;
+  index_t len = 0;
+  int shard_count = 1;
+
+  ConstStateRef() = default;
+  ConstStateRef(const cvec& v) noexcept  // NOLINT(google-explicit-constructor)
+      : ptr(v.data()), len(v.size()) {}
+  ConstStateRef(const ShardedState& s) noexcept;  // NOLINT
+  ConstStateRef(StateRef r) noexcept  // NOLINT(google-explicit-constructor)
+      : ptr(r.ptr), len(r.len), shard_count(r.shard_count) {}
+  ConstStateRef(const cplx* p, index_t n, int shards = 1) noexcept
+      : ptr(p), len(n), shard_count(shards < 1 ? 1 : shards) {}
+
+  const cplx* data() const noexcept { return ptr; }
+  index_t size() const noexcept { return len; }
+  bool empty() const noexcept { return len == 0; }
+  int shards() const noexcept { return shard_count; }
+  const cplx& operator[](index_t i) const noexcept { return ptr[i]; }
+  const cplx* begin() const noexcept { return ptr; }
+  const cplx* end() const noexcept { return ptr + len; }
+};
+
+/// Owning sharded statevector. Deliberately NOT a cvec: std::vector's
+/// resize value-initializes serially through the allocator, which would
+/// first-touch every page from one thread and pin the whole state to one
+/// NUMA node. ShardedState allocates raw aligned storage and zero-fills it
+/// in parallel, shard-major, so pages land where the compute threads live.
+///
+/// Allocations are reported to MemoryTracker at their actual padded size
+/// (tracked_alloc_bytes), matching the tracked-container accounting.
+class ShardedState {
+ public:
+  ShardedState() = default;
+  explicit ShardedState(index_t n, int shard_request = 0) {
+    requested_ = shard_request;
+    resize(n);
+  }
+  ShardedState(const ShardedState& other) { *this = other; }
+  ShardedState(ShardedState&& other) noexcept { swap(other); }
+  ShardedState& operator=(const ShardedState& other);
+  ShardedState& operator=(ShardedState&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+  /// Parallel sharded copy from a plain vector (used when loading a plan's
+  /// initial state into a workspace).
+  ShardedState& operator=(const cvec& v);
+  ~ShardedState() { release(); }
+
+  /// Set the shard request (0 = auto: FASTQAOA_SHARDS, then topology).
+  /// Takes effect on the next resize that changes the element count.
+  void set_shard_request(int shards) noexcept { requested_ = shards; }
+  int shard_request() const noexcept { return requested_; }
+
+  /// Size the state to n amplitudes. Newly allocated storage is
+  /// zero-filled in parallel (first touch); when storage is reused, the
+  /// contents are preserved up to min(old, new) like vector::resize. The
+  /// shard count is re-planned for the new size.
+  void resize(index_t n);
+  /// resize + parallel fill.
+  void assign(index_t n, cplx value);
+
+  cplx* data() noexcept { return data_; }
+  const cplx* data() const noexcept { return data_; }
+  index_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  cplx& operator[](index_t i) noexcept { return data_[i]; }
+  const cplx& operator[](index_t i) const noexcept { return data_[i]; }
+  cplx* begin() noexcept { return data_; }
+  cplx* end() noexcept { return data_ + size_; }
+  const cplx* begin() const noexcept { return data_; }
+  const cplx* end() const noexcept { return data_ + size_; }
+
+  /// Shard geometry for the current size.
+  int shards() const noexcept { return shards_; }
+  index_t shard_elems() const noexcept {
+    return shards_ > 0 ? size_ / static_cast<index_t>(shards_) : size_;
+  }
+  cplx* shard_data(int k) noexcept {
+    return data_ + shard_elems() * static_cast<index_t>(k);
+  }
+  const cplx* shard_data(int k) const noexcept {
+    return data_ + shard_elems() * static_cast<index_t>(k);
+  }
+
+  /// Explicit copy out to a plain vector (results, IO, checkpoints). There
+  /// is intentionally no implicit conversion: binding a temporary cvec to a
+  /// const reference is too easy to get wrong.
+  cvec to_vec() const;
+
+  void swap(ShardedState& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+    std::swap(capacity_, other.capacity_);
+    std::swap(shards_, other.shards_);
+    std::swap(requested_, other.requested_);
+  }
+
+ private:
+  void release() noexcept;
+
+  cplx* data_ = nullptr;
+  index_t size_ = 0;
+  index_t capacity_ = 0;
+  int shards_ = 1;
+  int requested_ = 0;  ///< 0 = auto
+};
+
+/// Shard-exchange schedule for the top log2(K) WHT stages: cross-shard
+/// stage t (t = 0 .. log2(K)-1, executed in increasing-stride order) pairs
+/// shard s with shard s XOR 2^t — the standard hypercube schedule. Fixed by
+/// construction; exposed so tests and qaoa_topo can print/verify it.
+inline int shard_exchange_partner(int shard, int stage) noexcept {
+  return shard ^ (1 << stage);
+}
+
+}  // namespace fastqaoa::linalg

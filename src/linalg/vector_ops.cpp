@@ -17,50 +17,56 @@ using std::ptrdiff_t;
 constexpr ptrdiff_t kSerialElems = 8192;
 }  // namespace
 
-void fill(cvec& v, cplx value) {
+void fill(StateRef v, cplx value) {
   kernels::active().fill(v.data(), value.real(), value.imag(), v.size());
 }
 
-void scale(cvec& v, cplx s) {
+void copy_state(ConstStateRef src, StateRef dst) {
+  FASTQAOA_CHECK(src.size() == dst.size(), "copy_state: size mismatch");
+  // copy_scale by 1.0 is exact and reuses the kernels' parallel sweep.
+  kernels::active().copy_scale(dst.data(), src.data(), 1.0, src.size());
+}
+
+void scale(StateRef v, cplx s) {
   kernels::active().scale(v.data(), s.real(), s.imag(), v.size());
 }
 
-void axpy(cplx a, const cvec& x, cvec& y) {
+void axpy(cplx a, ConstStateRef x, StateRef y) {
   FASTQAOA_CHECK(x.size() == y.size(), "axpy: size mismatch");
   kernels::active().axpy(a.real(), a.imag(), x.data(), y.data(), x.size());
 }
 
-cplx dot(const cvec& x, const cvec& y) {
+cplx dot(ConstStateRef x, ConstStateRef y) {
   FASTQAOA_CHECK(x.size() == y.size(), "dot: size mismatch");
   const kernels::CplxSum s = kernels::active().dot(x.data(), y.data(),
                                                    x.size());
   return {s.re, s.im};
 }
 
-double norm_sq(const cvec& v) {
+double norm_sq(ConstStateRef v) {
   return kernels::active().norm_sq(v.data(), v.size());
 }
 
-double norm(const cvec& v) { return std::sqrt(norm_sq(v)); }
+double norm(ConstStateRef v) { return std::sqrt(norm_sq(v)); }
 
-double normalize(cvec& v) {
+double normalize(StateRef v) {
   const double nrm = norm(v);
   FASTQAOA_CHECK(nrm > 0.0, "normalize: zero vector");
   scale(v, cplx{1.0 / nrm, 0.0});
   return nrm;
 }
 
-void apply_diag_phase(cvec& psi, const dvec& d, double angle) {
+void apply_diag_phase(StateRef psi, const dvec& d, double angle) {
   FASTQAOA_CHECK(psi.size() == d.size(), "apply_diag_phase: size mismatch");
   kernels::active().diag_phase(psi.data(), d.data(), angle, psi.size());
 }
 
-void diag_mul(cvec& psi, const dvec& d, double s) {
+void diag_mul(StateRef psi, const dvec& d, double s) {
   FASTQAOA_CHECK(psi.size() == d.size(), "diag_mul: size mismatch");
   kernels::active().diag_mul(psi.data(), d.data(), s, psi.size());
 }
 
-void apply_threshold_phase(cvec& psi, const dvec& d, double threshold,
+void apply_threshold_phase(StateRef psi, const dvec& d, double threshold,
                            double angle) {
   FASTQAOA_CHECK(psi.size() == d.size(),
                  "apply_threshold_phase: size mismatch");
@@ -78,19 +84,20 @@ void apply_threshold_phase(cvec& psi, const dvec& d, double threshold,
   }
 }
 
-double diag_expectation(const dvec& d, const cvec& psi) {
+double diag_expectation(const dvec& d, ConstStateRef psi) {
   FASTQAOA_CHECK(psi.size() == d.size(), "diag_expectation: size mismatch");
   return kernels::active().diag_expectation(d.data(), psi.data(), psi.size());
 }
 
-double diag_bracket_imag(const cvec& lambda, const dvec& d, const cvec& psi) {
+double diag_bracket_imag(ConstStateRef lambda, const dvec& d,
+                         ConstStateRef psi) {
   FASTQAOA_CHECK(lambda.size() == d.size() && psi.size() == d.size(),
                  "diag_bracket_imag: size mismatch");
   return kernels::active().diag_bracket_imag(lambda.data(), d.data(),
                                              psi.data(), psi.size());
 }
 
-double probability_at_value(const dvec& d, const cvec& psi, double value,
+double probability_at_value(const dvec& d, ConstStateRef psi, double value,
                             double tol) {
   FASTQAOA_CHECK(psi.size() == d.size(), "probability_at_value: size mismatch");
   const ptrdiff_t n = static_cast<ptrdiff_t>(psi.size());
@@ -108,7 +115,7 @@ double probability_at_value(const dvec& d, const cvec& psi, double value,
   return acc;
 }
 
-double max_abs_diff(const cvec& v, const cvec& w) {
+double max_abs_diff(ConstStateRef v, ConstStateRef w) {
   FASTQAOA_CHECK(v.size() == w.size(), "max_abs_diff: size mismatch");
   return kernels::active().max_abs_diff(v.data(), w.data(), v.size());
 }

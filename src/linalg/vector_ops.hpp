@@ -4,63 +4,77 @@
 /// inner loops of the simulator: fused diagonal-phase application, conjugated
 /// dot products, rank-1 updates. All kernels are allocation-free and OpenMP
 /// parallel over the vector length.
+///
+/// Every entry point takes StateRef / ConstStateRef views — implicitly
+/// constructible from cvec and ShardedState — so the same wrappers serve
+/// plain vectors and NUMA-sharded workspace states. The kernels' static
+/// chunked schedules assign contiguous ranges to threads, which coincide
+/// with shard boundaries (ShardedState first-touches pages with the same
+/// mapping), so elementwise sweeps and fixed-order reductions stay
+/// shard-local without shard-specific code paths — and therefore stay
+/// bit-identical at every shard count by construction.
 
 #include <cstddef>
 
 #include "common/types.hpp"
+#include "linalg/sharded_state.hpp"
 
 namespace fastqaoa::linalg {
 
 /// out <- value for every element.
-void fill(cvec& v, cplx value);
+void fill(StateRef v, cplx value);
+
+/// dst_i <- src_i, parallel with the shard-aligned static schedule. dst must
+/// already be sized to src.size() (views cannot grow). Exact (bitwise) copy.
+void copy_state(ConstStateRef src, StateRef dst);
 
 /// v <- v * s (complex scale).
-void scale(cvec& v, cplx s);
+void scale(StateRef v, cplx s);
 
 /// y <- y + a * x. x and y must have equal length.
-void axpy(cplx a, const cvec& x, cvec& y);
+void axpy(cplx a, ConstStateRef x, StateRef y);
 
 /// Conjugated inner product <x|y> = sum_i conj(x_i) * y_i.
-[[nodiscard]] cplx dot(const cvec& x, const cvec& y);
+[[nodiscard]] cplx dot(ConstStateRef x, ConstStateRef y);
 
 /// Squared 2-norm sum_i |v_i|^2.
-[[nodiscard]] double norm_sq(const cvec& v);
+[[nodiscard]] double norm_sq(ConstStateRef v);
 
 /// 2-norm.
-[[nodiscard]] double norm(const cvec& v);
+[[nodiscard]] double norm(ConstStateRef v);
 
 /// Normalize v to unit 2-norm; returns the original norm.
-double normalize(cvec& v);
+double normalize(StateRef v);
 
 /// psi_i <- exp(-i * angle * d_i) * psi_i — the phase-separator /
 /// diagonal-mixer kernel. d holds real eigenvalues (cost values).
-void apply_diag_phase(cvec& psi, const dvec& d, double angle);
+void apply_diag_phase(StateRef psi, const dvec& d, double angle);
 
 /// psi_i <- d_i * s * psi_i (real diagonal times real scale), the Hamiltonian
 /// analogue of apply_diag_phase used inside mixer apply_ham sandwiches.
-void diag_mul(cvec& psi, const dvec& d, double s);
+void diag_mul(StateRef psi, const dvec& d, double s);
 
 /// psi_i <- exp(-i * angle * d_i) * psi_i restricted to indices where
 /// d_i > threshold applies phase -angle, else no phase: the threshold
 /// phase separator of Golden et al. [18] uses an indicator cost; this
 /// helper applies phase only above the threshold.
-void apply_threshold_phase(cvec& psi, const dvec& d, double threshold,
+void apply_threshold_phase(StateRef psi, const dvec& d, double threshold,
                            double angle);
 
 /// Expectation sum_i d_i * |psi_i|^2 of a diagonal observable.
-[[nodiscard]] double diag_expectation(const dvec& d, const cvec& psi);
+[[nodiscard]] double diag_expectation(const dvec& d, ConstStateRef psi);
 
 /// Derivative helper: Im( sum_i conj(lambda_i) * d_i * psi_i ), the
 /// imaginary part of <lambda| diag(d) |psi>. Used by the adjoint gradient.
-[[nodiscard]] double diag_bracket_imag(const cvec& lambda, const dvec& d,
-                                       const cvec& psi);
+[[nodiscard]] double diag_bracket_imag(ConstStateRef lambda, const dvec& d,
+                                       ConstStateRef psi);
 
 /// Total probability of states whose cost equals the extremal value
 /// (within tol): sum over argmax/argmin of |psi_i|^2.
-[[nodiscard]] double probability_at_value(const dvec& d, const cvec& psi,
+[[nodiscard]] double probability_at_value(const dvec& d, ConstStateRef psi,
                                           double value, double tol = 1e-12);
 
 /// Maximum |v_i - w_i| over all elements (test helper, but broadly useful).
-[[nodiscard]] double max_abs_diff(const cvec& v, const cvec& w);
+[[nodiscard]] double max_abs_diff(ConstStateRef v, ConstStateRef w);
 
 }  // namespace fastqaoa::linalg

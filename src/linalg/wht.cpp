@@ -17,15 +17,15 @@ int log2_exact(index_t sz) {
   return std::countr_zero(sz);
 }
 
-void wht_unnormalized(cvec& v) {
+void wht_unnormalized(StateRef v) {
   const index_t n = v.size();
   FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
   FASTQAOA_OBS_COUNT("linalg.wht.applies", 1);
   FASTQAOA_OBS_TIMED("linalg.wht");
-  kernels::active().wht(v.data(), n);
+  kernels::active().wht_sharded(v.data(), n, v.shards());
 }
 
-void wht_orthonormal(cvec& v) {
+void wht_orthonormal(StateRef v) {
   const index_t n = v.size();
   FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
   FASTQAOA_OBS_COUNT("linalg.wht.applies", 1);
@@ -33,28 +33,31 @@ void wht_orthonormal(cvec& v) {
   const double scale = 1.0 / std::sqrt(static_cast<double>(n));
   // Fold the normalization into the fused pre-pass (null diagonal = pure
   // scale); self-inverse either way since the scale commutes with H.
-  kernels::active().phase_wht(v.data(), nullptr, 0.0, scale, n);
+  kernels::active().phase_wht_sharded(v.data(), nullptr, 0.0, scale, n,
+                                      v.shards());
 }
 
-void phase_wht(cvec& v, const dvec& d, double angle, double scale) {
+void phase_wht(StateRef v, const dvec& d, double angle, double scale) {
   const index_t n = v.size();
   FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
   FASTQAOA_CHECK(d.size() == n, "phase_wht: diagonal size mismatch");
   FASTQAOA_OBS_COUNT("linalg.wht.applies", 1);
   FASTQAOA_OBS_TIMED("linalg.wht");
-  kernels::active().phase_wht(v.data(), d.data(), angle, scale, n);
+  kernels::active().phase_wht_sharded(v.data(), d.data(), angle, scale, n,
+                                      v.shards());
 }
 
-double wht_expect(cvec& v, const dvec& obj) {
+double wht_expect(StateRef v, const dvec& obj) {
   const index_t n = v.size();
   FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
   FASTQAOA_CHECK(obj.size() == n, "wht_expect: objective size mismatch");
   FASTQAOA_OBS_COUNT("linalg.wht.applies", 1);
   FASTQAOA_OBS_TIMED("linalg.wht");
-  return kernels::active().wht_expect(v.data(), obj.data(), n);
+  return kernels::active().wht_expect_sharded(v.data(), obj.data(), n,
+                                              v.shards());
 }
 
-double phase_wht_expect(cvec& v, const dvec& d, double angle, double scale,
+double phase_wht_expect(StateRef v, const dvec& d, double angle, double scale,
                         const dvec& obj) {
   const index_t n = v.size();
   FASTQAOA_CHECK(is_power_of_two(n), "wht: length must be a power of 2");
@@ -63,8 +66,8 @@ double phase_wht_expect(cvec& v, const dvec& d, double angle, double scale,
                  "phase_wht_expect: objective size mismatch");
   FASTQAOA_OBS_COUNT("linalg.wht.applies", 1);
   FASTQAOA_OBS_TIMED("linalg.wht");
-  return kernels::active().phase_wht_expect(v.data(), d.data(), angle, scale,
-                                            obj.data(), n);
+  return kernels::active().phase_wht_expect_sharded(
+      v.data(), d.data(), angle, scale, obj.data(), n, v.shards());
 }
 
 namespace {
@@ -83,41 +86,44 @@ void check_batch(index_t stride, int lanes, index_t n, const char* who) {
 
 void phase_wht_batch(cplx* states, index_t stride, int lanes, const cplx* init,
                      const dvec& d, const DiagDict* dict, const double* angles,
-                     double scale) {
+                     double scale, int shards) {
   const index_t n = d.size();
   check_batch(stride, lanes, n, "phase_wht_batch");
   FASTQAOA_OBS_COUNT("linalg.wht.applies", lanes);
   FASTQAOA_OBS_COUNT("linalg.wht.batched_lanes", lanes);
   FASTQAOA_OBS_TIMED("linalg.wht");
   const kernels::QuantizedDiag dq = dict_view(dict);
-  kernels::active().phase_wht_batch(states, stride, lanes, init, d.data(), &dq,
-                                    angles, scale, n);
+  kernels::active().phase_wht_batch_sharded(states, stride, lanes, init,
+                                            d.data(), &dq, angles, scale, n,
+                                            shards);
 }
 
-void wht_batch(cplx* states, index_t stride, int lanes, index_t n) {
+void wht_batch(cplx* states, index_t stride, int lanes, index_t n,
+               int shards) {
   check_batch(stride, lanes, n, "wht_batch");
   FASTQAOA_OBS_COUNT("linalg.wht.applies", lanes);
   FASTQAOA_OBS_COUNT("linalg.wht.batched_lanes", lanes);
   FASTQAOA_OBS_TIMED("linalg.wht");
-  kernels::active().phase_wht_batch(states, stride, lanes, nullptr, nullptr,
-                                    nullptr, nullptr, 1.0, n);
+  kernels::active().phase_wht_batch_sharded(states, stride, lanes, nullptr,
+                                            nullptr, nullptr, nullptr, 1.0, n,
+                                            shards);
 }
 
 void wht_expect_batch(cplx* states, index_t stride, int lanes, const dvec& obj,
-                      double* out) {
+                      double* out, int shards) {
   const index_t n = obj.size();
   check_batch(stride, lanes, n, "wht_expect_batch");
   FASTQAOA_OBS_COUNT("linalg.wht.applies", lanes);
   FASTQAOA_OBS_COUNT("linalg.wht.batched_lanes", lanes);
   FASTQAOA_OBS_TIMED("linalg.wht");
-  kernels::active().wht_expect_batch(states, stride, lanes, obj.data(), out,
-                                     n);
+  kernels::active().wht_expect_batch_sharded(states, stride, lanes, obj.data(),
+                                             out, n, shards);
 }
 
 void phase_wht_expect_batch(cplx* states, index_t stride, int lanes,
                             const dvec& d, const DiagDict* dict,
                             const double* angles, double scale, const dvec& obj,
-                            double* out) {
+                            double* out, int shards) {
   const index_t n = d.size();
   check_batch(stride, lanes, n, "phase_wht_expect_batch");
   FASTQAOA_CHECK(obj.size() == n,
@@ -126,9 +132,9 @@ void phase_wht_expect_batch(cplx* states, index_t stride, int lanes,
   FASTQAOA_OBS_COUNT("linalg.wht.batched_lanes", lanes);
   FASTQAOA_OBS_TIMED("linalg.wht");
   const kernels::QuantizedDiag dq = dict_view(dict);
-  kernels::active().phase_wht_expect_batch(states, stride, lanes, d.data(),
-                                           &dq, angles, scale, obj.data(), out,
-                                           n);
+  kernels::active().phase_wht_expect_batch_sharded(
+      states, stride, lanes, d.data(), &dq, angles, scale, obj.data(), out, n,
+      shards);
 }
 
 }  // namespace fastqaoa::linalg

@@ -7,8 +7,14 @@
 /// WHT -> elementwise phase -> WHT. The *unnormalized* transform applied
 /// twice equals 2^n * identity; callers fold the single 1/2^n scale into an
 /// adjacent elementwise pass instead of paying two 1/sqrt(2^n) scalings.
+///
+/// All single-state entry points take a StateRef — implicitly constructible
+/// from both cvec (one shard) and ShardedState — and dispatch to the
+/// shard-aware kernel drivers. Results are bit-identical at any shard
+/// count; with one shard the kernels take the pre-sharding blocked path.
 
 #include "common/types.hpp"
+#include "linalg/sharded_state.hpp"
 
 namespace fastqaoa::linalg {
 
@@ -17,26 +23,26 @@ struct DiagDict;  // linalg/diag_dict.hpp
 /// In-place unnormalized Walsh–Hadamard transform of a length-2^n vector:
 /// v'_x = sum_y (-1)^{popcount(x & y)} v_y.
 /// Complexity O(n 2^n); cache-blocked butterflies, OpenMP parallel.
-void wht_unnormalized(cvec& v);
+void wht_unnormalized(StateRef v);
 
 /// In-place orthonormal transform H^{⊗n} (unnormalized WHT scaled by
 /// 2^{-n/2}). Self-inverse.
-void wht_orthonormal(cvec& v);
+void wht_orthonormal(StateRef v);
 
 /// Fused diag-phase -> WHT: v_i *= scale * exp(-i * angle * d_i), then the
 /// unnormalized WHT, in one pass over the data. The phase (and the folded
 /// 1/2^n normalization of the surrounding mixer sandwich) is applied per
 /// cache block right before that block's butterflies, so the vector is
 /// streamed once instead of twice.
-void phase_wht(cvec& v, const dvec& d, double angle, double scale);
+void phase_wht(StateRef v, const dvec& d, double angle, double scale);
 
 /// Unnormalized WHT with sum_i obj_i |v_i|^2 fused into the final butterfly
 /// pass (the expectation epilogue of evaluate()).
-double wht_expect(cvec& v, const dvec& obj);
+double wht_expect(StateRef v, const dvec& obj);
 
 /// phase_wht followed by the fused expectation: the complete final QAOA
 /// round (phase, mixer half, expectation) in two passes over the vector.
-double phase_wht_expect(cvec& v, const dvec& d, double angle, double scale,
+double phase_wht_expect(StateRef v, const dvec& d, double angle, double scale,
                         const dvec& obj);
 
 // --- batched variants ------------------------------------------------------
@@ -46,6 +52,8 @@ double phase_wht_expect(cvec& v, const dvec& d, double angle, double scale,
 // DiagDict view (when valid) replaces the per-element sincos sweep with a
 // per-distinct-value one. Per-lane results are bit-identical to `lanes`
 // sequential calls of the single-state function. `dict` may be null.
+// `shards` (default 1 = monolithic) selects the shard-aware driver; lanes
+// then run shard-local sweeps, still lane-for-lane bit-identical.
 
 /// Batched phase_wht. `init`, when non-null, is a shared length-d.size()
 /// input: every lane starts from init (copy fused into the first pass)
@@ -53,20 +61,21 @@ double phase_wht_expect(cvec& v, const dvec& d, double angle, double scale,
 /// evaluation, where all lanes start from the same |psi0>.
 void phase_wht_batch(cplx* states, index_t stride, int lanes, const cplx* init,
                      const dvec& d, const DiagDict* dict, const double* angles,
-                     double scale);
+                     double scale, int shards = 1);
 
 /// Batched plain unnormalized WHT (no phase, no scale) of length-n lanes.
-void wht_batch(cplx* states, index_t stride, int lanes, index_t n);
+void wht_batch(cplx* states, index_t stride, int lanes, index_t n,
+               int shards = 1);
 
 /// Batched wht_expect: out[l] = sum_i obj_i |states_{l,i}|^2 after the WHT.
 void wht_expect_batch(cplx* states, index_t stride, int lanes, const dvec& obj,
-                      double* out);
+                      double* out, int shards = 1);
 
 /// Batched phase_wht_expect: the whole final QAOA round for every lane.
 void phase_wht_expect_batch(cplx* states, index_t stride, int lanes,
                             const dvec& d, const DiagDict* dict,
                             const double* angles, double scale, const dvec& obj,
-                            double* out);
+                            double* out, int shards = 1);
 
 /// True iff sz is a power of two (and non-zero).
 bool is_power_of_two(index_t sz);

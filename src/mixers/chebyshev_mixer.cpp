@@ -119,7 +119,8 @@ double ChebyshevMixer::tighten_spectral_bound(Rng& rng) {
   return bound_override_;
 }
 
-void ChebyshevMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
+void ChebyshevMixer::apply_exp(StateRef psi, double beta,
+                               cvec& scratch) const {
   FASTQAOA_CHECK(psi.size() == dim(), "ChebyshevMixer: state size mismatch");
   // The whole recurrence runs inside the caller's scratch (four dim-sized
   // sub-buffers), so concurrent calls on one shared mixer stay independent
@@ -199,10 +200,12 @@ void ChebyshevMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
   kern.copy_scale(psi.data(), accum, 1.0, d);
 }
 
-void ChebyshevMixer::apply_ham(const cvec& in, cvec& out,
+void ChebyshevMixer::apply_ham(ConstStateRef in, StateRef out,
                                cvec& scratch) const {
   (void)scratch;
-  op_->apply(in, out);
+  FASTQAOA_CHECK(in.size() == dim() && out.size() == dim(),
+                 "ChebyshevMixer: apply_ham buffers must be presized");
+  op_->apply(in.data(), out.data());
 }
 
 }  // namespace fastqaoa

@@ -69,8 +69,9 @@ class ChebyshevMixer final : public Mixer {
   /// Returns the new bound.
   double tighten_spectral_bound(Rng& rng);
 
-  void apply_exp(cvec& psi, double beta, cvec& scratch) const override;
-  void apply_ham(const cvec& in, cvec& out, cvec& scratch) const override;
+  void apply_exp(StateRef psi, double beta, cvec& scratch) const override;
+  void apply_ham(ConstStateRef in, StateRef out,
+                 cvec& scratch) const override;
 
  private:
   std::shared_ptr<const SparseXYOperator> op_;

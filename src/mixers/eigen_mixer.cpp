@@ -75,7 +75,7 @@ const linalg::HermEig& EigenMixer::herm_eig() const {
   return *herm_;
 }
 
-void EigenMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
+void EigenMixer::apply_exp(StateRef psi, double beta, cvec& scratch) const {
   FASTQAOA_CHECK(psi.size() == dim(), "EigenMixer: state size mismatch");
   FASTQAOA_OBS_COUNT("mixers.eigen.exp_applies", 1);
   FASTQAOA_OBS_TIMED("mixers.eigen.exp");
@@ -91,12 +91,14 @@ void EigenMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
   }
 }
 
-void EigenMixer::apply_ham(const cvec& in, cvec& out, cvec& scratch) const {
+void EigenMixer::apply_ham(ConstStateRef in, StateRef out,
+                           cvec& scratch) const {
   FASTQAOA_CHECK(in.size() == dim(), "EigenMixer: state size mismatch");
+  FASTQAOA_CHECK(out.size() == dim(),
+                 "EigenMixer: apply_ham output must be presized");
   FASTQAOA_OBS_COUNT("mixers.eigen.ham_applies", 1);
   FASTQAOA_OBS_TIMED("mixers.eigen.ham");
   scratch.resize(dim());
-  out.resize(dim());
   if (real_) {
     linalg::gemv_transpose(real_->vectors, in, scratch);
     linalg::diag_mul(scratch, real_->eigenvalues, 1.0);

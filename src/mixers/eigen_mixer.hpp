@@ -65,8 +65,9 @@ class EigenMixer final : public Mixer {
   [[nodiscard]] const linalg::SymEig& real_eig() const;
   [[nodiscard]] const linalg::HermEig& herm_eig() const;
 
-  void apply_exp(cvec& psi, double beta, cvec& scratch) const override;
-  void apply_ham(const cvec& in, cvec& out, cvec& scratch) const override;
+  void apply_exp(StateRef psi, double beta, cvec& scratch) const override;
+  void apply_ham(ConstStateRef in, StateRef out,
+                 cvec& scratch) const override;
 
  private:
   std::optional<linalg::SymEig> real_;

@@ -11,7 +11,7 @@ GroverMixer::GroverMixer(index_t dim) : dim_(dim) {
   FASTQAOA_CHECK(dim >= 1, "GroverMixer: dimension must be positive");
 }
 
-void GroverMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
+void GroverMixer::apply_exp(StateRef psi, double beta, cvec& scratch) const {
   (void)scratch;
   FASTQAOA_CHECK(psi.size() == dim_, "GroverMixer: state size mismatch");
   // <psi0|psi> * sqrt(dim) = sum_i psi_i; fold the two 1/sqrt(dim) factors
@@ -24,10 +24,12 @@ void GroverMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
   k.add_const(psi.data(), factor.real(), factor.imag(), dim_);
 }
 
-void GroverMixer::apply_ham(const cvec& in, cvec& out, cvec& scratch) const {
+void GroverMixer::apply_ham(ConstStateRef in, StateRef out,
+                            cvec& scratch) const {
   (void)scratch;
   FASTQAOA_CHECK(in.size() == dim_, "GroverMixer: state size mismatch");
-  out.resize(dim_);
+  FASTQAOA_CHECK(out.size() == dim_,
+                 "GroverMixer: apply_ham output must be presized");
   const linalg::kernels::KernelBackend& k = linalg::kernels::active();
   const linalg::kernels::CplxSum sum = k.vsum(in.data(), dim_);
   const cplx amp = cplx{sum.re, sum.im} / static_cast<double>(dim_);

@@ -21,8 +21,9 @@ class GroverMixer final : public Mixer {
   [[nodiscard]] index_t dim() const override { return dim_; }
   [[nodiscard]] std::string name() const override { return "grover"; }
 
-  void apply_exp(cvec& psi, double beta, cvec& scratch) const override;
-  void apply_ham(const cvec& in, cvec& out, cvec& scratch) const override;
+  void apply_exp(StateRef psi, double beta, cvec& scratch) const override;
+  void apply_ham(ConstStateRef in, StateRef out,
+                 cvec& scratch) const override;
 
  private:
   index_t dim_;

@@ -14,13 +14,13 @@ void Mixer::initial_state(cvec& psi) const {
   linalg::fill(psi, cplx{amp, 0.0});
 }
 
-void Mixer::apply_phase_exp(cvec& psi, const dvec& phase, double gamma,
+void Mixer::apply_phase_exp(StateRef psi, const dvec& phase, double gamma,
                             double beta, cvec& scratch) const {
   linalg::apply_diag_phase(psi, phase, gamma);
   apply_exp(psi, beta, scratch);
 }
 
-double Mixer::apply_phase_exp_expect(cvec& psi, const dvec& phase,
+double Mixer::apply_phase_exp_expect(StateRef psi, const dvec& phase,
                                      double gamma, double beta,
                                      const dvec& obj, cvec& scratch) const {
   apply_phase_exp(psi, phase, gamma, beta, scratch);

@@ -8,10 +8,17 @@
 ///   * EigenMixer  — dense precomputed eigenvectors, O(dim^2)
 /// The two virtuals are everything the simulator (apply_exp) and the
 /// adjoint-mode gradient (apply_ham) need.
+///
+/// All state arguments are StateRef / ConstStateRef views (implicitly
+/// constructible from cvec and ShardedState), so the same mixer serves
+/// plain vectors and NUMA-sharded workspace states; the shard count rides
+/// the view into the kernel layer. Results are bit-identical at any shard
+/// count.
 
 #include <string>
 
 #include "common/types.hpp"
+#include "linalg/sharded_state.hpp"
 
 namespace fastqaoa {
 
@@ -19,16 +26,21 @@ namespace linalg {
 struct DiagDict;  // linalg/diag_dict.hpp
 }
 
+using linalg::ConstStateRef;
+using linalg::StateRef;
+
 /// A strided matrix of `lanes` statevectors threaded through the batched
 /// mixer entry points: lane l lives at states + l*stride (stride in complex
 /// elements, stride >= dim). `init`, when non-null, is a shared input vector
 /// all lanes start from (the copy is fused into the first pass over the
 /// data); when null, every lane transforms its own current contents.
+/// `shards` is the shard count of the backing storage (1 = monolithic).
 struct StateBatch {
   cplx* states = nullptr;
   index_t stride = 0;
   int lanes = 0;
   const cplx* init = nullptr;
+  int shards = 1;
 };
 
 /// A mixer Hamiltonian H_M restricted to a feasible subspace of dimension
@@ -55,22 +67,23 @@ class Mixer {
 
   /// psi <- e^{-i beta H_M} psi. `scratch` is caller-provided workspace
   /// (resized as needed once, then reused allocation-free).
-  virtual void apply_exp(cvec& psi, double beta, cvec& scratch) const = 0;
+  virtual void apply_exp(StateRef psi, double beta, cvec& scratch) const = 0;
 
   /// out <- H_M * in (used by the adjoint gradient). `in` must not alias
-  /// `out`.
-  virtual void apply_ham(const cvec& in, cvec& out, cvec& scratch) const = 0;
+  /// `out`, and `out` must already be sized to dim() — views cannot grow.
+  virtual void apply_ham(ConstStateRef in, StateRef out,
+                         cvec& scratch) const = 0;
 
   /// Fused whole-round step: psi <- e^{-i beta H_M} diag(e^{-i gamma
   /// phase}) psi. The default composes apply_diag_phase + apply_exp;
   /// mixers whose diagonal frame lets the phase ride along for free
   /// (XMixer folds it into the first WHT pre-pass) override it.
-  virtual void apply_phase_exp(cvec& psi, const dvec& phase, double gamma,
+  virtual void apply_phase_exp(StateRef psi, const dvec& phase, double gamma,
                                double beta, cvec& scratch) const;
 
   /// apply_phase_exp followed by <psi| diag(obj) |psi> — the final QAOA
   /// round plus the expectation epilogue, fused where the mixer can.
-  virtual double apply_phase_exp_expect(cvec& psi, const dvec& phase,
+  virtual double apply_phase_exp_expect(StateRef psi, const dvec& phase,
                                         double gamma, double beta,
                                         const dvec& obj, cvec& scratch) const;
 
@@ -105,7 +118,8 @@ class Mixer {
 
   /// The uniform superposition the paper defaults |psi0> to, expressed on
   /// this mixer's space. Overridable for mixers whose natural ground state
-  /// differs; the default is 1/sqrt(dim) on every feasible state.
+  /// differs; the default is 1/sqrt(dim) on every feasible state. Takes an
+  /// owning vector (not a view) because it sizes the state itself.
   virtual void initial_state(cvec& psi) const;
 };
 

@@ -107,7 +107,7 @@ XMixer XMixer::from_orders(int n, const std::vector<int>& orders) {
   return XMixer(n, std::move(terms), std::move(dvals), order_name(orders));
 }
 
-void XMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
+void XMixer::apply_exp(StateRef psi, double beta, cvec& scratch) const {
   (void)scratch;  // WHT is in-place; no workspace needed.
   FASTQAOA_CHECK(psi.size() == dvals_.size(), "XMixer: state size mismatch");
   linalg::wht_unnormalized(psi);
@@ -117,7 +117,7 @@ void XMixer::apply_exp(cvec& psi, double beta, cvec& scratch) const {
   linalg::phase_wht(psi, dvals_, beta, inv);
 }
 
-void XMixer::apply_phase_exp(cvec& psi, const dvec& phase, double gamma,
+void XMixer::apply_phase_exp(StateRef psi, const dvec& phase, double gamma,
                              double beta, cvec& scratch) const {
   (void)scratch;
   FASTQAOA_CHECK(psi.size() == dvals_.size(), "XMixer: state size mismatch");
@@ -128,7 +128,7 @@ void XMixer::apply_phase_exp(cvec& psi, const dvec& phase, double gamma,
   linalg::phase_wht(psi, dvals_, beta, inv);
 }
 
-double XMixer::apply_phase_exp_expect(cvec& psi, const dvec& phase,
+double XMixer::apply_phase_exp_expect(StateRef psi, const dvec& phase,
                                       double gamma, double beta,
                                       const dvec& obj, cvec& scratch) const {
   (void)scratch;
@@ -148,9 +148,9 @@ void XMixer::apply_phase_exp_batch(const StateBatch& b, const dvec& phase,
                  "XMixer: phase table size mismatch");
   const double inv = 1.0 / static_cast<double>(dvals_.size());
   linalg::phase_wht_batch(b.states, b.stride, b.lanes, b.init, phase,
-                          phase_dict, gammas, 1.0);
+                          phase_dict, gammas, 1.0, b.shards);
   linalg::phase_wht_batch(b.states, b.stride, b.lanes, nullptr, dvals_,
-                          &ddict_, betas, inv);
+                          &ddict_, betas, inv, b.shards);
 }
 
 void XMixer::apply_phase_exp_expect_batch(const StateBatch& b,
@@ -165,9 +165,9 @@ void XMixer::apply_phase_exp_expect_batch(const StateBatch& b,
   FASTQAOA_CHECK(obj.size() == dvals_.size(), "XMixer: objective mismatch");
   const double inv = 1.0 / static_cast<double>(dvals_.size());
   linalg::phase_wht_batch(b.states, b.stride, b.lanes, b.init, phase,
-                          phase_dict, gammas, 1.0);
+                          phase_dict, gammas, 1.0, b.shards);
   linalg::phase_wht_expect_batch(b.states, b.stride, b.lanes, dvals_, &ddict_,
-                                 betas, inv, obj, out);
+                                 betas, inv, obj, out, b.shards);
 }
 
 void XMixer::apply_exp_batch(const StateBatch& b, const double* betas,
@@ -178,15 +178,17 @@ void XMixer::apply_exp_batch(const StateBatch& b, const double* betas,
   const double inv = 1.0 / static_cast<double>(dvals_.size());
   // Mirror apply_exp's two-transform shape: plain first WHT, then the mixer
   // phase + 1/2^n folded into the second's pre-pass.
-  linalg::wht_batch(b.states, b.stride, b.lanes, dvals_.size());
+  linalg::wht_batch(b.states, b.stride, b.lanes, dvals_.size(), b.shards);
   linalg::phase_wht_batch(b.states, b.stride, b.lanes, nullptr, dvals_,
-                          &ddict_, betas, inv);
+                          &ddict_, betas, inv, b.shards);
 }
 
-void XMixer::apply_ham(const cvec& in, cvec& out, cvec& scratch) const {
+void XMixer::apply_ham(ConstStateRef in, StateRef out, cvec& scratch) const {
   (void)scratch;
   FASTQAOA_CHECK(in.size() == dvals_.size(), "XMixer: state size mismatch");
-  out = in;
+  FASTQAOA_CHECK(out.size() == dvals_.size(),
+                 "XMixer: apply_ham output must be presized");
+  linalg::copy_state(in, out);
   linalg::wht_unnormalized(out);
   const double inv = 1.0 / static_cast<double>(dvals_.size());
   linalg::diag_mul(out, dvals_, inv);

@@ -52,15 +52,16 @@ class XMixer final : public Mixer {
     return ddict_;
   }
 
-  void apply_exp(cvec& psi, double beta, cvec& scratch) const override;
-  void apply_ham(const cvec& in, cvec& out, cvec& scratch) const override;
+  void apply_exp(StateRef psi, double beta, cvec& scratch) const override;
+  void apply_ham(ConstStateRef in, StateRef out,
+                 cvec& scratch) const override;
   /// Overridden to fold the phase-separator sweep into the first WHT's
   /// cache-blocked pre-pass (one fewer stream over the statevector).
-  void apply_phase_exp(cvec& psi, const dvec& phase, double gamma,
+  void apply_phase_exp(StateRef psi, const dvec& phase, double gamma,
                        double beta, cvec& scratch) const override;
   /// Overridden to additionally fuse the expectation into the last WHT's
   /// final butterfly pass.
-  double apply_phase_exp_expect(cvec& psi, const dvec& phase, double gamma,
+  double apply_phase_exp_expect(StateRef psi, const dvec& phase, double gamma,
                                 double beta, const dvec& obj,
                                 cvec& scratch) const override;
   /// Batched overrides: one sweep over phase/dvals_ serves every lane, the

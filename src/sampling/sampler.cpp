@@ -7,7 +7,7 @@
 
 namespace fastqaoa {
 
-MeasurementSampler::MeasurementSampler(const cvec& psi) {
+MeasurementSampler::MeasurementSampler(linalg::ConstStateRef psi) {
   FASTQAOA_CHECK(!psi.empty(), "MeasurementSampler: empty state");
   probability_.resize(psi.size());
   double total = 0.0;

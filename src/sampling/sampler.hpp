@@ -13,6 +13,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "linalg/sharded_state.hpp"
 
 namespace fastqaoa {
 
@@ -20,8 +21,10 @@ namespace fastqaoa {
 class MeasurementSampler {
  public:
   /// Build from a statevector (probabilities |psi_i|^2, renormalized
-  /// against accumulated float error). Throws on a zero vector.
-  explicit MeasurementSampler(const cvec& psi);
+  /// against accumulated float error). Throws on a zero vector. Takes a
+  /// view, so cvec and ShardedState both work; the probabilities are copied
+  /// out, nothing references the state afterwards.
+  explicit MeasurementSampler(linalg::ConstStateRef psi);
 
   /// Build directly from (non-negative, not all zero) weights.
   explicit MeasurementSampler(const dvec& weights);

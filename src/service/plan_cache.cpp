@@ -67,10 +67,14 @@ PlanHandle PlanCache::get_or_build(const PlanKeyMaterial& material,
                                    const std::function<CachedPlan()>& build) {
   const std::uint64_t fp = plan_fingerprint(material);
   // Floor for the byte estimate, in case the builder received pre-built
-  // tables (the MemoryTracker delta then misses them).
-  const std::size_t nominal = material.obj_vals.size_bytes() +
-                              material.phase_values.size_bytes() +
-                              material.initial_state.size_bytes();
+  // tables (the MemoryTracker delta then misses them). Each component is
+  // rounded to its tracked allocation size — the tracker accounts padded
+  // 64-byte-aligned blocks, so summing raw size_bytes() here would
+  // undercount and let the cache drift past its byte budget.
+  const std::size_t nominal =
+      tracked_alloc_bytes(material.obj_vals.size_bytes()) +
+      tracked_alloc_bytes(material.phase_values.size_bytes()) +
+      tracked_alloc_bytes(material.initial_state.size_bytes());
 
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = entries_.find(fp); it != entries_.end()) {

@@ -102,7 +102,7 @@ TEST(EigenMixer, ApplyHamMatchesMatrix) {
   const linalg::dmat h = EigenMixer::xy_hamiltonian(space, ring_graph(5));
   EigenMixer mixer = EigenMixer::ring(space);
   cvec psi = testutil::random_state(space.dim(), rng);
-  cvec out, scratch;
+  cvec out(space.dim()), scratch;
   mixer.apply_ham(psi, out, scratch);
   cvec expected = testutil::matvec(to_complex(h), psi);
   EXPECT_LT(testutil::max_diff(out, expected), 1e-10);
@@ -144,7 +144,7 @@ TEST(EigenMixer, FromComplexHamiltonian) {
   mixer.apply_exp(psi, -0.45, scratch);
   EXPECT_LT(testutil::max_diff(psi, expected), 1e-9);
   // apply_ham agrees with the dense matrix too.
-  cvec out;
+  cvec out(psi.size());
   mixer.apply_ham(psi, out, scratch);
   cvec hexp = testutil::matvec(h, psi);
   EXPECT_LT(testutil::max_diff(out, hexp), 1e-9);

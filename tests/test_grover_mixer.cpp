@@ -93,13 +93,13 @@ TEST(GroverMixer, ApplyHamIsProjection) {
   const index_t dim = 12;
   GroverMixer mixer(dim);
   cvec psi = testutil::random_state(dim, rng);
-  cvec out, scratch;
+  cvec out(dim), scratch;
   mixer.apply_ham(psi, out, scratch);
   const linalg::cmat h = dense_grover_hamiltonian(dim);
   cvec expected = testutil::matvec(h, psi);
   EXPECT_LT(testutil::max_diff(out, expected), 1e-13);
   // Projector: H(H psi) = H psi.
-  cvec out2;
+  cvec out2(dim);
   mixer.apply_ham(out, out2, scratch);
   EXPECT_LT(testutil::max_diff(out, out2), 1e-13);
 }

@@ -98,7 +98,7 @@ TEST(Trotter, ApplyHamMatchesExactHamiltonian) {
   const linalg::dmat h = EigenMixer::xy_hamiltonian(space, pairs);
   Rng rng(5);
   cvec psi = testutil::random_state(space.dim(), rng);
-  cvec out, scratch;
+  cvec out(space.dim()), scratch;
   trotter.apply_ham(psi, out, scratch);
   // Dense reference.
   cvec expected(space.dim(), cplx{0.0, 0.0});

@@ -77,8 +77,8 @@ inline cvec matvec(const linalg::cmat& m, const cvec& x) {
   return y;
 }
 
-/// Max elementwise |v - w|.
-inline double max_diff(const cvec& v, const cvec& w) {
+/// Max elementwise |v - w|. Takes views, so cvec and ShardedState mix.
+inline double max_diff(linalg::ConstStateRef v, linalg::ConstStateRef w) {
   double m = 0.0;
   for (index_t i = 0; i < v.size(); ++i) m = std::max(m, std::abs(v[i] - w[i]));
   return m;

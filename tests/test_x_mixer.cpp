@@ -125,7 +125,7 @@ TEST(XMixer, ApplyHamMatchesDenseHamiltonian) {
   XMixer mixer(n, terms);
   const linalg::cmat h = dense_x_hamiltonian(n, terms);
   cvec psi = testutil::random_state(16, rng);
-  cvec out, scratch;
+  cvec out(psi.size()), scratch;
   mixer.apply_ham(psi, out, scratch);
   cvec expected = testutil::matvec(h, psi);
   EXPECT_LT(testutil::max_diff(out, expected), 1e-11);

@@ -7,7 +7,7 @@
 //
 // Usage:
 //   qaoa_serve --socket=/tmp/qaoa.sock
-//              [--tcp=PORT] [--workers=2] [--queue=64]
+//              [--tcp=PORT] [--workers=2] [--shards=0] [--queue=64]
 //              [--cache-bytes=N] [--cache-dir=DIR]
 //              [--tenants=FILE] [--idle-timeout=SECS] [--write-timeout=SECS]
 //              [--max-conns=N] [--max-line=BYTES] [--write-buf=BYTES]
@@ -16,7 +16,9 @@
 //              [--metrics-interval=SECS] [--sub-queue=N] [--quiet]
 //
 // --tcp adds a loopback TCP listener (port 0 = kernel-assigned, printed on
-// startup). --cache-bytes bounds the plan cache (0 = unlimited);
+// startup). --shards requests K NUMA shards per worker statevector
+// (0 = auto: FASTQAOA_SHARDS, then the detected topology; results are
+// bit-identical at every shard count). --cache-bytes bounds the plan cache (0 = unlimited);
 // --cache-dir adds a disk tier for expensive constrained-mixer
 // eigendecompositions. --queue is the admission high-water mark: submits
 // past it are rejected with the structured "overloaded" error.
@@ -90,6 +92,7 @@ double double_option(int argc, char** argv, const char* key,
   std::fprintf(stderr, "qaoa_serve: %s\n", message.c_str());
   std::fprintf(stderr,
                "usage: qaoa_serve --socket=PATH [--tcp=PORT] [--workers=2] "
+               "[--shards=0] "
                "[--queue=64] [--cache-bytes=N] [--cache-dir=DIR] "
                "[--tenants=FILE] [--idle-timeout=SECS] "
                "[--write-timeout=SECS] [--max-conns=N] [--max-line=BYTES] "
@@ -129,6 +132,9 @@ int main(int argc, char** argv) {
   options.service.workers =
       static_cast<int>(int_option(argc, argv, "--workers", 2));
   if (options.service.workers < 1) usage_error("--workers must be >= 1");
+  options.service.shards =
+      static_cast<int>(int_option(argc, argv, "--shards", 0));
+  if (options.service.shards < 0) usage_error("--shards must be >= 0");
   const long long queue = int_option(argc, argv, "--queue", 64);
   if (queue < 1) usage_error("--queue must be >= 1");
   options.service.queue_high_water = static_cast<std::size_t>(queue);

@@ -1,0 +1,152 @@
+// qaoa_topo — dump the detected machine topology and the shard plan the
+// sharded statevector layer would pick for a given problem size.
+//
+// Usage:
+//   qaoa_topo [--n=QUBITS] [--shards=K] [--json]
+//
+// With no arguments, prints the NUMA nodes (CPUs and memory per node) and
+// the shard plan for a handful of representative sizes. --n pins the plan
+// to one statevector size (2^n amplitudes); --shards previews an explicit
+// request (same precedence as the library: request > FASTQAOA_SHARDS >
+// topology). --json emits the same information as a single JSON object for
+// scripting.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/topology.hpp"
+#include "common/types.hpp"
+
+namespace {
+
+using namespace fastqaoa;
+
+std::string string_option(int argc, char** argv, const char* key,
+                          const std::string& fallback) {
+  const std::size_t len = std::strlen(key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], key, len) == 0 && argv[i][len] == '=') {
+      return std::string(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+long long int_option(int argc, char** argv, const char* key,
+                     long long fallback) {
+  const std::string v = string_option(argc, argv, key, "");
+  return v.empty() ? fallback : std::strtoll(v.c_str(), nullptr, 10);
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "qaoa_topo: %s\n", message.c_str());
+  std::fprintf(stderr, "usage: qaoa_topo [--n=QUBITS] [--shards=K] [--json]\n");
+  std::exit(2);
+}
+
+std::string cpulist_string(const std::vector<int>& cpus) {
+  // Re-compress into the kernel's range syntax for readability.
+  std::string out;
+  std::size_t i = 0;
+  while (i < cpus.size()) {
+    std::size_t j = i;
+    while (j + 1 < cpus.size() && cpus[j + 1] == cpus[j] + 1) ++j;
+    if (!out.empty()) out += ',';
+    out += std::to_string(cpus[i]);
+    if (j > i) out += '-' + std::to_string(cpus[j]);
+    i = j + 1;
+  }
+  return out;
+}
+
+void print_plan_text(int n, const ShardPlan& plan) {
+  std::printf("  n=%-3d dim=%-12lld shards=%-3d threads/shard=%-3d "
+              "elems/shard=%-12lld source=%s\n",
+              n, static_cast<long long>(index_t{1} << n), plan.shards,
+              plan.threads_per_shard,
+              static_cast<long long>(plan.shard_elems), plan.source.c_str());
+}
+
+void print_plan_json(int n, const ShardPlan& plan, bool last) {
+  std::printf("    {\"n\": %d, \"dim\": %lld, \"shards\": %d, "
+              "\"threads_per_shard\": %d, \"shard_elems\": %lld, "
+              "\"source\": \"%s\"}%s\n",
+              n, static_cast<long long>(index_t{1} << n), plan.shards,
+              plan.threads_per_shard,
+              static_cast<long long>(plan.shard_elems), plan.source.c_str(),
+              last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (has_flag(argc, argv, "--help") || has_flag(argc, argv, "-h")) {
+    usage_error("help requested");
+  }
+  const int n_opt = static_cast<int>(int_option(argc, argv, "--n", 0));
+  if (n_opt < 0 || n_opt > 62) usage_error("--n must be in [1, 62]");
+  const int shards = static_cast<int>(int_option(argc, argv, "--shards", 0));
+  if (shards < 0) usage_error("--shards must be >= 0");
+  const bool json = has_flag(argc, argv, "--json");
+
+  const Topology topo = detect_topology();
+  std::vector<int> sizes;
+  if (n_opt > 0) {
+    sizes.push_back(n_opt);
+  } else {
+    sizes = {16, 20, 24, 26, 28};
+  }
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"from_sysfs\": %s,\n", topo.from_sysfs ? "true" : "false");
+    std::printf("  \"total_cpus\": %d,\n", topo.total_cpus);
+    std::printf("  \"nodes\": [\n");
+    for (std::size_t i = 0; i < topo.nodes.size(); ++i) {
+      const NumaNode& node = topo.nodes[i];
+      std::printf("    {\"id\": %d, \"cpus\": \"%s\", \"cpu_count\": %zu, "
+                  "\"mem_bytes\": %zu}%s\n",
+                  node.id, cpulist_string(node.cpus).c_str(), node.cpus.size(),
+                  node.mem_bytes, i + 1 == topo.nodes.size() ? "" : ",");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"shard_request\": %d,\n", shard_request(shards));
+    std::printf("  \"plans\": [\n");
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const ShardPlan plan = plan_shards(index_t{1} << sizes[i], shards);
+      print_plan_json(sizes[i], plan, i + 1 == sizes.size());
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+
+  std::printf("topology: %d node(s), %d cpu(s)%s\n", topo.node_count(),
+              topo.total_cpus,
+              topo.from_sysfs ? "" : " (no /sys NUMA info; fallback)");
+  for (const NumaNode& node : topo.nodes) {
+    if (node.mem_bytes > 0) {
+      std::printf("  node %d: cpus %s (%zu), mem %.1f GiB\n", node.id,
+                  cpulist_string(node.cpus).c_str(), node.cpus.size(),
+                  static_cast<double>(node.mem_bytes) / (1024.0 * 1024.0 * 1024.0));
+    } else {
+      std::printf("  node %d: cpus %s (%zu), mem unknown\n", node.id,
+                  cpulist_string(node.cpus).c_str(), node.cpus.size());
+    }
+  }
+  std::printf("shard request: %d (0 = auto)\n", shard_request(shards));
+  std::printf("shard plans:\n");
+  for (int n : sizes) {
+    print_plan_text(n, plan_shards(index_t{1} << n, shards));
+  }
+  return 0;
+}
